@@ -1,0 +1,20 @@
+//! Criterion bench for the MPI + CORBA coexistence workload.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use padico_bench::coexistence;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("coexistence");
+    g.sample_size(10);
+    g.bench_function("mpi50_corba25", |b| {
+        b.iter(|| {
+            let r = coexistence(50, 25);
+            assert_eq!(r.mpi_messages, 50);
+            assert_eq!(r.corba_requests, 25);
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

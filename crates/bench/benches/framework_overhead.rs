@@ -1,0 +1,19 @@
+//! Criterion bench for the MPI-in-PadicoTM framework overhead measurement.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use padico_bench::mpich_overhead;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("framework_overhead");
+    g.sample_size(10);
+    g.bench_function("mpich_standalone_vs_padicotm", |b| {
+        b.iter(|| {
+            let r = mpich_overhead();
+            assert!(r.overhead_us().abs() < 3.0);
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,19 @@
+//! Criterion bench for the MadIO-over-Madeleine overhead measurement.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use padico_bench::madio_overhead;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("madio_overhead");
+    g.sample_size(20);
+    g.bench_function("madeleine_vs_madio", |b| {
+        b.iter(|| {
+            let r = madio_overhead();
+            assert!(r.overhead_us() < 0.25);
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,22 @@
+//! Criterion bench regenerating the Table 1 measurement (latency/bandwidth).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use padico_bench::{profile_stack, Stack};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table1");
+    g.sample_size(10);
+    let sizes = vec![1024 * 1024];
+    for stack in Stack::table1() {
+        g.bench_function(stack.name(), |b| {
+            b.iter(|| {
+                let p = profile_stack(stack, &sizes);
+                assert!(p.latency_us > 0.0);
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,19 @@
+//! Criterion bench for the VRP-vs-TCP lossy-link experiment.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use padico_bench::vrp_lossy_link;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("vrp_lossy_link");
+    g.sample_size(10);
+    g.bench_function("tcp_vs_vrp_500KB", |b| {
+        b.iter(|| {
+            let r = vrp_lossy_link(500_000, 0.10);
+            assert!(r.vrp_kb_s > r.tcp_kb_s);
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

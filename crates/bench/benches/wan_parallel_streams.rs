@@ -1,0 +1,19 @@
+//! Criterion bench for the VTHD WAN experiment (single vs parallel streams).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use padico_bench::wan_vthd;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("wan_vthd");
+    g.sample_size(10);
+    g.bench_function("single_vs_parallel_4MB", |b| {
+        b.iter(|| {
+            let r = wan_vthd(4_000_000, 4);
+            assert!(r.parallel_streams_mb_s > r.single_stream_mb_s);
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,10 @@
+//! Adapter selection across deployment configurations (§3.2).
+
+use padico_bench::adapter_selection;
+
+fn main() {
+    println!("# Selector decisions per deployment configuration");
+    for obs in adapter_selection() {
+        println!("{:<32} VLink: {:<40} Circuit: {}", obs.pair, obs.vlink_decision, obs.circuit_decision);
+    }
+}

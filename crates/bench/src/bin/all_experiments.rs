@@ -1,0 +1,71 @@
+//! Runs every experiment and prints the full report (used to fill
+//! EXPERIMENTS.md).
+
+use padico_bench::*;
+
+fn main() {
+    println!("==================== Table 1 ====================");
+    for p in table1() {
+        println!(
+            "{:<28} latency {:>8.2} us   max bandwidth {:>8.1} MB/s",
+            p.stack.name(),
+            p.latency_us,
+            p.max_bandwidth_mb_s()
+        );
+    }
+    println!();
+    println!("==================== Figure 3 ====================");
+    let sizes = figure3_sizes();
+    print!("{:<28}", "stack \\ size");
+    for s in &sizes {
+        print!("{:>10}", human_size(*s));
+    }
+    println!();
+    for p in figure3(&sizes) {
+        print!("{:<28}", p.stack.name());
+        for m in &p.points {
+            print!("{:>10.1}", m.bandwidth_mb_s());
+        }
+        println!();
+    }
+    println!();
+    println!("==================== VTHD WAN ====================");
+    let w = wan_vthd(16_000_000, 4);
+    println!(
+        "single {:.1} MB/s | parallel({}) {:.1} MB/s | latency {:.1} ms",
+        w.single_stream_mb_s, w.streams, w.parallel_streams_mb_s, w.latency_ms
+    );
+    println!();
+    println!("==================== VRP lossy link ====================");
+    let v = vrp_lossy_link(2_000_000, 0.10);
+    println!(
+        "TCP {:.0} KB/s | VRP {:.0} KB/s | speedup {:.2}x | delivered {:.3}",
+        v.tcp_kb_s, v.vrp_kb_s, v.speedup(), v.delivered_fraction
+    );
+    println!();
+    println!("==================== MadIO overhead ====================");
+    let m = madio_overhead();
+    println!(
+        "madeleine {:.3} us | madio {:.3} us | overhead {:.3} us",
+        m.baseline_us, m.layered_us, m.overhead_us()
+    );
+    println!();
+    println!("==================== MPICH overhead ====================");
+    let m = mpich_overhead();
+    println!(
+        "standalone {:.2} us | inside PadicoTM {:.2} us | overhead {:.2} us",
+        m.baseline_us, m.layered_us, m.overhead_us()
+    );
+    println!();
+    println!("==================== Coexistence ====================");
+    let c = coexistence(200, 100);
+    println!(
+        "mpi {} | corba {} | madio events {} | sysio events {}",
+        c.mpi_messages, c.corba_requests, c.madio_events, c.sysio_events
+    );
+    println!();
+    println!("==================== Adapter selection ====================");
+    for obs in adapter_selection() {
+        println!("{:<32} VLink: {:<44} Circuit: {}", obs.pair, obs.vlink_decision, obs.circuit_decision);
+    }
+}

@@ -1,0 +1,12 @@
+//! Coexistence experiment: MPI and CORBA sharing one node and one SAN.
+
+use padico_bench::coexistence;
+
+fn main() {
+    let r = coexistence(200, 100);
+    println!("# Coexistence: MPI + CORBA on the same nodes, same SAN");
+    println!("MPI round-trips completed   : {}", r.mpi_messages);
+    println!("CORBA requests completed    : {}", r.corba_requests);
+    println!("NetAccess MadIO dispatches  : {}", r.madio_events);
+    println!("NetAccess SysIO dispatches  : {}", r.sysio_events);
+}

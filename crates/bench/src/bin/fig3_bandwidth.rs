@@ -1,0 +1,22 @@
+//! Figure 3: bandwidth of the middleware systems in PadicoTM over
+//! Myrinet-2000, plus the TCP/Ethernet-100 reference curve.
+
+use padico_bench::{figure3, figure3_sizes, human_size};
+
+fn main() {
+    let sizes = figure3_sizes();
+    let profiles = figure3(&sizes);
+    println!("# Figure 3 — Bandwidth (MB/s) of middleware systems in PadicoTM over Myrinet-2000");
+    print!("{:<28}", "message size");
+    for s in &sizes {
+        print!("{:>10}", human_size(*s));
+    }
+    println!();
+    for p in &profiles {
+        print!("{:<28}", p.stack.name());
+        for m in &p.points {
+            print!("{:>10.1}", m.bandwidth_mb_s());
+        }
+        println!();
+    }
+}

@@ -1,0 +1,11 @@
+//! MadIO multiplexing overhead over plain Madeleine (§4.1).
+
+use padico_bench::madio_overhead;
+
+fn main() {
+    let r = madio_overhead();
+    println!("# MadIO overhead over plain Madeleine (16-byte message, Myrinet-2000)");
+    println!("plain Madeleine latency  : {:.3} us", r.baseline_us);
+    println!("MadIO latency            : {:.3} us", r.layered_us);
+    println!("overhead                 : {:.3} us (paper: < 0.1 us)", r.overhead_us());
+}

@@ -1,0 +1,12 @@
+//! Framework overhead for MPI (§5): MPICH alone vs inside PadicoTM with a
+//! CORBA ORB also active.
+
+use padico_bench::mpich_overhead;
+
+fn main() {
+    let r = mpich_overhead();
+    println!("# MPI latency: standalone vs inside PadicoTM (sharing the node with CORBA)");
+    println!("standalone MPI          : {:.2} us one-way", r.baseline_us);
+    println!("MPI inside PadicoTM     : {:.2} us one-way", r.layered_us);
+    println!("overhead                : {:.2} us (paper: negligible)", r.overhead_us());
+}

@@ -1,0 +1,18 @@
+//! Table 1: one-way latency and maximum bandwidth of the abstract
+//! interfaces and middleware systems with PadicoTM over Myrinet-2000.
+
+use padico_bench::table1;
+
+fn main() {
+    let profiles = table1();
+    println!("# Table 1 — Performance of various middleware systems with PadicoTM over Myrinet-2000");
+    println!("{:<28}{:>22}{:>26}", "API or middleware", "One-way latency (us)", "Max bandwidth (MB/s)");
+    for p in &profiles {
+        println!(
+            "{:<28}{:>22.2}{:>26.1}",
+            p.stack.name(),
+            p.latency_us,
+            p.max_bandwidth_mb_s()
+        );
+    }
+}

@@ -1,0 +1,16 @@
+//! The VRP experiment (§5): TCP vs VRP on a lossy trans-continental link.
+
+use padico_bench::vrp_lossy_link;
+
+fn main() {
+    let r = vrp_lossy_link(2_000_000, 0.10);
+    println!("# Lossy trans-continental link (5-10% loss)");
+    println!("TCP / plain sockets      : {:.0} KB/s", r.tcp_kb_s);
+    println!(
+        "VRP ({:.0}% tolerated loss) : {:.0} KB/s (delivered fraction {:.3})",
+        r.tolerance * 100.0,
+        r.vrp_kb_s,
+        r.delivered_fraction
+    );
+    println!("speed-up                 : {:.2}x", r.speedup());
+}

@@ -1,0 +1,15 @@
+//! The VTHD WAN experiment (§5): single TCP stream vs Parallel Streams.
+
+use padico_bench::wan_vthd;
+
+fn main() {
+    let r = wan_vthd(16_000_000, 4);
+    println!("# VTHD WAN experiment (high-bandwidth WAN, Ethernet-100 access links)");
+    println!("one-way latency          : {:.1} ms", r.latency_ms);
+    println!("single TCP stream        : {:.1} MB/s", r.single_stream_mb_s);
+    println!("parallel streams (n={})   : {:.1} MB/s", r.streams, r.parallel_streams_mb_s);
+    println!(
+        "gain                     : {:.2}x",
+        r.parallel_streams_mb_s / r.single_stream_mb_s
+    );
+}

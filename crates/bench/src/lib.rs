@@ -1,0 +1,23 @@
+//! # padico-bench — experiment harness for PadicoTM-RS
+//!
+//! Regenerates every table and figure of the paper's evaluation section
+//! over the simulated testbed. See [`experiments`] for the individual
+//! experiments and the `src/bin/*` binaries for printable output.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod experiments;
+
+pub use experiments::*;
+
+/// Formats a byte size the way the paper's axes do.
+pub fn human_size(bytes: usize) -> String {
+    if bytes >= 1024 * 1024 {
+        format!("{}MB", bytes / (1024 * 1024))
+    } else if bytes >= 1024 {
+        format!("{}KB", bytes / 1024)
+    } else {
+        format!("{bytes}B")
+    }
+}

@@ -1,0 +1,547 @@
+//! Circuit: the parallel-oriented abstract interface.
+//!
+//! A Circuit manages communications inside a definite *group* of nodes
+//! (a cluster, a subset of one, or nodes spread over several sites). The
+//! interface is message-based and optimized for parallel runtimes:
+//! messages are lists of segments (incremental packing), delivery is
+//! per-link, and each link of one Circuit instance may use a different
+//! adapter — straight MadIO on a SAN, a framed stream over SysIO TCP or
+//! over any VLink method when the peer is only reachable through a
+//! distributed network.
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::rc::Rc;
+
+use bytes::{Bytes, BytesMut};
+use netaccess::{MadIO, MadIOTag};
+use simnet::{NodeId, SimDuration, SimWorld};
+use transport::ByteStream;
+
+/// A message received on a Circuit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CircuitMessage {
+    /// Rank of the sender within the Circuit group.
+    pub src_rank: usize,
+    /// Message segments, in packing order.
+    pub segments: Vec<Bytes>,
+}
+
+impl CircuitMessage {
+    /// Total payload size.
+    pub fn payload_len(&self) -> usize {
+        self.segments.iter().map(|s| s.len()).sum()
+    }
+
+    /// Concatenated segments.
+    pub fn concat(&self) -> Vec<u8> {
+        let mut v = Vec::with_capacity(self.payload_len());
+        for s in &self.segments {
+            v.extend_from_slice(s);
+        }
+        v
+    }
+}
+
+/// The adapter used by one link of a Circuit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CircuitLinkKind {
+    /// Straight parallel adapter: MadIO on a SAN.
+    MadIo,
+    /// Cross-paradigm adapter: framed stream over SysIO TCP.
+    SysIoStream,
+    /// Framed stream over a VLink method (parallel streams, AdOC, …).
+    VLinkStream,
+    /// Intra-node loopback.
+    Loopback,
+}
+
+/// One outgoing link of a Circuit.
+pub trait CircuitLink {
+    /// Sends one message (list of segments) to the link's destination.
+    fn send(&self, world: &mut SimWorld, src_rank: usize, segments: Vec<Bytes>);
+    /// The adapter kind of this link.
+    fn kind(&self) -> CircuitLinkKind;
+}
+
+type MessageCallback = Box<dyn FnMut(&mut SimWorld, CircuitMessage)>;
+
+struct CircuitInner {
+    group: Vec<NodeId>,
+    my_rank: usize,
+    links: Vec<Option<Box<dyn CircuitLink>>>,
+    incoming: VecDeque<CircuitMessage>,
+    callback: Option<MessageCallback>,
+    notify_pending: bool,
+    messages_sent: u64,
+    messages_received: u64,
+    bytes_sent: u64,
+}
+
+/// A Circuit instance on one node.
+#[derive(Clone)]
+pub struct Circuit {
+    inner: Rc<RefCell<CircuitInner>>,
+    /// Fixed cost charged by the Circuit layer per message sent.
+    send_overhead: SimDuration,
+}
+
+impl Circuit {
+    /// Default per-message cost of the Circuit layer.
+    pub const DEFAULT_SEND_OVERHEAD: SimDuration = SimDuration::from_nanos(250);
+
+    /// Creates an (unwired) Circuit for `group`, where this node is
+    /// `my_rank`. Links must be attached with [`Circuit::set_link`] (the
+    /// PadicoTM runtime does this according to the selector's choices).
+    pub fn new(group: Vec<NodeId>, my_rank: usize) -> Circuit {
+        assert!(my_rank < group.len(), "rank outside group");
+        let n = group.len();
+        Circuit {
+            inner: Rc::new(RefCell::new(CircuitInner {
+                group,
+                my_rank,
+                links: (0..n).map(|_| None).collect(),
+                incoming: VecDeque::new(),
+                callback: None,
+                notify_pending: false,
+                messages_sent: 0,
+                messages_received: 0,
+                bytes_sent: 0,
+            })),
+            send_overhead: Self::DEFAULT_SEND_OVERHEAD,
+        }
+    }
+
+    /// The group of this Circuit, in rank order.
+    pub fn group(&self) -> Vec<NodeId> {
+        self.inner.borrow().group.clone()
+    }
+
+    /// This node's rank.
+    pub fn my_rank(&self) -> usize {
+        self.inner.borrow().my_rank
+    }
+
+    /// Group size.
+    pub fn size(&self) -> usize {
+        self.inner.borrow().group.len()
+    }
+
+    /// (messages sent, messages received, payload bytes sent).
+    pub fn stats(&self) -> (u64, u64, u64) {
+        let st = self.inner.borrow();
+        (st.messages_sent, st.messages_received, st.bytes_sent)
+    }
+
+    /// Attaches the outgoing link towards `dst_rank`.
+    pub fn set_link(&self, dst_rank: usize, link: Box<dyn CircuitLink>) {
+        self.inner.borrow_mut().links[dst_rank] = Some(link);
+    }
+
+    /// The adapter kind used towards `dst_rank` (None if not wired).
+    pub fn link_kind(&self, dst_rank: usize) -> Option<CircuitLinkKind> {
+        self.inner.borrow().links[dst_rank].as_ref().map(|l| l.kind())
+    }
+
+    /// Sends a message (list of segments) to `dst_rank`.
+    pub fn send(&self, world: &mut SimWorld, dst_rank: usize, segments: Vec<Bytes>) {
+        let my_rank = {
+            let mut st = self.inner.borrow_mut();
+            st.messages_sent += 1;
+            st.bytes_sent += segments.iter().map(|s| s.len() as u64).sum::<u64>();
+            st.my_rank
+        };
+        if dst_rank == my_rank {
+            // Self-delivery through the loopback path.
+            let circuit = self.clone();
+            world.schedule_after(self.send_overhead, move |world| {
+                circuit.deliver(
+                    world,
+                    CircuitMessage {
+                        src_rank: my_rank,
+                        segments,
+                    },
+                );
+            });
+            return;
+        }
+        let circuit = self.clone();
+        world.schedule_after(self.send_overhead, move |world| {
+            let link_exists = circuit.inner.borrow().links[dst_rank].is_some();
+            assert!(link_exists, "no Circuit link wired towards rank {dst_rank}");
+            // Call the link without holding the borrow (links may re-enter
+            // the circuit for immediate local notifications).
+            let st = circuit.inner.borrow();
+            let link = st.links[dst_rank].as_ref().expect("checked above");
+            // The link trait object lives inside the borrow; its send only
+            // needs &self, and never calls back into this circuit
+            // synchronously for remote destinations, so the borrow is safe.
+            link.send(world, st.my_rank, segments);
+        });
+    }
+
+    /// Convenience: sends one contiguous buffer.
+    pub fn send_bytes(&self, world: &mut SimWorld, dst_rank: usize, data: impl Into<Bytes>) {
+        self.send(world, dst_rank, vec![data.into()]);
+    }
+
+    /// Registers the message callback. Queued messages remain pollable.
+    pub fn set_message_callback(&self, cb: impl FnMut(&mut SimWorld, CircuitMessage) + 'static) {
+        self.inner.borrow_mut().callback = Some(Box::new(cb));
+    }
+
+    /// Pops a received message, if any.
+    pub fn poll_message(&self) -> Option<CircuitMessage> {
+        self.inner.borrow_mut().incoming.pop_front()
+    }
+
+    /// Number of messages waiting.
+    pub fn pending_messages(&self) -> usize {
+        self.inner.borrow().incoming.len()
+    }
+
+    /// Delivers a message into this Circuit (called by incoming adapters).
+    pub fn deliver(&self, world: &mut SimWorld, msg: CircuitMessage) {
+        {
+            let mut st = self.inner.borrow_mut();
+            st.messages_received += 1;
+            st.incoming.push_back(msg);
+        }
+        self.schedule_notify(world);
+    }
+
+    fn schedule_notify(&self, world: &mut SimWorld) {
+        let should = {
+            let mut st = self.inner.borrow_mut();
+            if st.callback.is_some() && !st.notify_pending && !st.incoming.is_empty() {
+                st.notify_pending = true;
+                true
+            } else {
+                false
+            }
+        };
+        if should {
+            let circuit = self.clone();
+            world.schedule_after(SimDuration::ZERO, move |world| loop {
+                let (cb, msg) = {
+                    let mut st = circuit.inner.borrow_mut();
+                    if st.incoming.is_empty() || st.callback.is_none() {
+                        st.notify_pending = false;
+                        return;
+                    }
+                    (
+                        st.callback.take().expect("checked"),
+                        st.incoming.pop_front().expect("checked"),
+                    )
+                };
+                let mut cb = cb;
+                cb(world, msg);
+                let mut st = circuit.inner.borrow_mut();
+                if st.callback.is_none() {
+                    st.callback = Some(cb);
+                } else {
+                    st.notify_pending = false;
+                    return;
+                }
+            });
+        }
+    }
+
+    // ------------------------------------------------------------------ //
+    // Incoming adapters
+    // ------------------------------------------------------------------ //
+
+    /// Registers this Circuit on a MadIO tag so that messages sent by
+    /// [`MadIoCircuitLink`]s on other nodes are delivered here.
+    pub fn attach_madio_incoming(&self, world: &mut SimWorld, madio: &MadIO, tag: MadIOTag) {
+        let circuit = self.clone();
+        madio.register(world, tag, move |world, m| {
+            if m.segments.is_empty() || m.segments[0].len() < 4 {
+                return;
+            }
+            let src_rank = u32::from_be_bytes(m.segments[0][0..4].try_into().unwrap()) as usize;
+            circuit.deliver(
+                world,
+                CircuitMessage {
+                    src_rank,
+                    segments: m.segments[1..].to_vec(),
+                },
+            );
+        });
+    }
+
+    /// Attaches an incoming framed stream (accepted TCP connection, VLink,
+    /// …): frames parsed from it are delivered into this Circuit.
+    pub fn attach_incoming_stream(&self, world: &mut SimWorld, stream: Rc<dyn ByteStream>) {
+        let circuit = self.clone();
+        let partial = Rc::new(RefCell::new(Vec::<u8>::new()));
+        let stream2 = stream.clone();
+        stream.set_readable_callback(Box::new(move |world| {
+            let data = stream2.recv(world, usize::MAX);
+            let mut buf = partial.borrow_mut();
+            buf.extend_from_slice(&data);
+            loop {
+                match decode_frame(&buf) {
+                    Some((msg, consumed)) => {
+                        buf.drain(..consumed);
+                        circuit.deliver(world, msg);
+                    }
+                    None => break,
+                }
+            }
+        }));
+        let _ = world;
+    }
+}
+
+// --------------------------------------------------------------------- //
+// Stream framing shared by the SysIO and VLink adapters
+// --------------------------------------------------------------------- //
+
+fn encode_frame(src_rank: usize, segments: &[Bytes]) -> Vec<u8> {
+    let payload: usize = segments.iter().map(|s| s.len()).sum();
+    let mut out = Vec::with_capacity(12 + segments.len() * 4 + payload);
+    out.extend_from_slice(&(src_rank as u32).to_be_bytes());
+    out.extend_from_slice(&(segments.len() as u32).to_be_bytes());
+    for s in segments {
+        out.extend_from_slice(&(s.len() as u32).to_be_bytes());
+    }
+    for s in segments {
+        out.extend_from_slice(s);
+    }
+    out
+}
+
+fn decode_frame(buf: &[u8]) -> Option<(CircuitMessage, usize)> {
+    if buf.len() < 8 {
+        return None;
+    }
+    let src_rank = u32::from_be_bytes(buf[0..4].try_into().unwrap()) as usize;
+    let n_segs = u32::from_be_bytes(buf[4..8].try_into().unwrap()) as usize;
+    if n_segs > 1_000_000 {
+        return None; // corrupt
+    }
+    let header = 8 + n_segs * 4;
+    if buf.len() < header {
+        return None;
+    }
+    let mut lens = Vec::with_capacity(n_segs);
+    for i in 0..n_segs {
+        lens.push(u32::from_be_bytes(buf[8 + i * 4..12 + i * 4].try_into().unwrap()) as usize);
+    }
+    let total: usize = lens.iter().sum();
+    if buf.len() < header + total {
+        return None;
+    }
+    let mut segments = Vec::with_capacity(n_segs);
+    let mut off = header;
+    for len in lens {
+        segments.push(Bytes::copy_from_slice(&buf[off..off + len]));
+        off += len;
+    }
+    Some((CircuitMessage { src_rank, segments }, off))
+}
+
+// --------------------------------------------------------------------- //
+// Outgoing link adapters
+// --------------------------------------------------------------------- //
+
+/// Straight adapter: Circuit messages carried as MadIO messages on a SAN.
+pub struct MadIoCircuitLink {
+    madio: MadIO,
+    tag: MadIOTag,
+    /// Destination rank within the MadIO channel group (which may differ
+    /// from the Circuit group).
+    dst_madio_rank: usize,
+}
+
+impl MadIoCircuitLink {
+    /// Creates a link towards the node that has rank `dst_madio_rank` in
+    /// `madio`'s channel group.
+    pub fn new(madio: MadIO, tag: MadIOTag, dst_madio_rank: usize) -> Self {
+        MadIoCircuitLink {
+            madio,
+            tag,
+            dst_madio_rank,
+        }
+    }
+}
+
+impl CircuitLink for MadIoCircuitLink {
+    fn send(&self, world: &mut SimWorld, src_rank: usize, segments: Vec<Bytes>) {
+        let mut header = BytesMut::with_capacity(4);
+        header.extend_from_slice(&(src_rank as u32).to_be_bytes());
+        let mut mad_segments = Vec::with_capacity(segments.len() + 1);
+        mad_segments.push((header.freeze(), madeleine::SendMode::Safer));
+        for s in segments {
+            mad_segments.push((s, madeleine::SendMode::Cheaper));
+        }
+        self.madio.send(world, self.dst_madio_rank, self.tag, mad_segments);
+    }
+
+    fn kind(&self) -> CircuitLinkKind {
+        CircuitLinkKind::MadIo
+    }
+}
+
+/// Cross-paradigm adapter: Circuit messages framed onto a byte stream
+/// (SysIO TCP, Parallel Streams, AdOC, any VLink method).
+pub struct StreamCircuitLink {
+    stream: Rc<dyn ByteStream>,
+    kind: CircuitLinkKind,
+}
+
+impl StreamCircuitLink {
+    /// Wraps an outgoing stream as a Circuit link.
+    pub fn new(stream: Rc<dyn ByteStream>, kind: CircuitLinkKind) -> Self {
+        StreamCircuitLink { stream, kind }
+    }
+}
+
+impl CircuitLink for StreamCircuitLink {
+    fn send(&self, world: &mut SimWorld, src_rank: usize, segments: Vec<Bytes>) {
+        let frame = encode_frame(src_rank, &segments);
+        let sent = self.stream.send(world, &frame);
+        debug_assert_eq!(sent, frame.len(), "stream refused Circuit frame");
+    }
+
+    fn kind(&self) -> CircuitLinkKind {
+        self.kind
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netaccess::NetAccess;
+    use simnet::topology;
+    use transport::loopback_pair;
+
+    #[test]
+    fn frame_roundtrip() {
+        let segments = vec![
+            Bytes::from_static(b"header"),
+            Bytes::from_static(b""),
+            Bytes::from_static(b"payload data"),
+        ];
+        let wire = encode_frame(3, &segments);
+        let (msg, consumed) = decode_frame(&wire).unwrap();
+        assert_eq!(consumed, wire.len());
+        assert_eq!(msg.src_rank, 3);
+        assert_eq!(msg.segments, segments);
+        // Partial frames are not decoded.
+        assert!(decode_frame(&wire[..wire.len() - 1]).is_none());
+        assert!(decode_frame(&wire[..4]).is_none());
+    }
+
+    #[test]
+    fn self_send_loops_back() {
+        let mut world = SimWorld::new(0);
+        let n = world.add_node("n");
+        let circuit = Circuit::new(vec![n], 0);
+        circuit.send_bytes(&mut world, 0, &b"to me"[..]);
+        world.run();
+        let msg = circuit.poll_message().unwrap();
+        assert_eq!(msg.src_rank, 0);
+        assert_eq!(msg.concat(), b"to me");
+    }
+
+    #[test]
+    fn circuit_over_madio_straight_adapter() {
+        let p = topology::san_pair(51);
+        let mut world = p.world;
+        let nodes = vec![p.a, p.b];
+        let na: Vec<NetAccess> = nodes
+            .iter()
+            .map(|&n| NetAccess::new(&mut world, n, Some((p.san, nodes.clone()))))
+            .collect();
+        let c0 = Circuit::new(nodes.clone(), 0);
+        let c1 = Circuit::new(nodes.clone(), 1);
+        c0.attach_madio_incoming(&mut world, &na[0].madio(), MadIOTag::CIRCUIT);
+        c1.attach_madio_incoming(&mut world, &na[1].madio(), MadIOTag::CIRCUIT);
+        c0.set_link(
+            1,
+            Box::new(MadIoCircuitLink::new(na[0].madio(), MadIOTag::CIRCUIT, 1)),
+        );
+        c1.set_link(
+            0,
+            Box::new(MadIoCircuitLink::new(na[1].madio(), MadIOTag::CIRCUIT, 0)),
+        );
+        assert_eq!(c0.link_kind(1), Some(CircuitLinkKind::MadIo));
+
+        c0.send(
+            &mut world,
+            1,
+            vec![Bytes::from_static(b"hdr"), Bytes::from_static(b"body")],
+        );
+        c1.send_bytes(&mut world, 0, &b"reply"[..]);
+        world.run();
+        let m = c1.poll_message().unwrap();
+        assert_eq!(m.src_rank, 0);
+        assert_eq!(m.segments.len(), 2);
+        assert_eq!(&m.segments[1][..], b"body");
+        let m = c0.poll_message().unwrap();
+        assert_eq!(m.src_rank, 1);
+        assert_eq!(m.concat(), b"reply");
+    }
+
+    #[test]
+    fn circuit_over_stream_adapter() {
+        // Two circuit endpoints joined by a loopback byte stream, as used
+        // when a Circuit link crosses a distributed network.
+        let mut world = SimWorld::new(0);
+        let n = world.add_node("n");
+        let (sa, sb) = loopback_pair(&world, n);
+        let (sa, sb): (Rc<dyn ByteStream>, Rc<dyn ByteStream>) = (Rc::new(sa), Rc::new(sb));
+        let c0 = Circuit::new(vec![n, n], 0);
+        let c1 = Circuit::new(vec![n, n], 1);
+        c0.set_link(1, Box::new(StreamCircuitLink::new(sa.clone(), CircuitLinkKind::SysIoStream)));
+        c1.attach_incoming_stream(&mut world, sb.clone());
+        assert_eq!(c0.link_kind(1), Some(CircuitLinkKind::SysIoStream));
+
+        for i in 0..5u8 {
+            c0.send(
+                &mut world,
+                1,
+                vec![Bytes::from(vec![i]), Bytes::from(vec![i; i as usize])],
+            );
+        }
+        world.run();
+        assert_eq!(c1.pending_messages(), 5);
+        for i in 0..5u8 {
+            let m = c1.poll_message().unwrap();
+            assert_eq!(m.src_rank, 0);
+            assert_eq!(m.segments[0][0], i);
+            assert_eq!(m.segments[1].len(), i as usize);
+        }
+    }
+
+    #[test]
+    fn callback_delivery() {
+        let mut world = SimWorld::new(0);
+        let n = world.add_node("n");
+        let circuit = Circuit::new(vec![n], 0);
+        let got = Rc::new(RefCell::new(Vec::new()));
+        let g = got.clone();
+        circuit.set_message_callback(move |_w, m| g.borrow_mut().push(m.concat()));
+        circuit.send_bytes(&mut world, 0, &b"one"[..]);
+        circuit.send_bytes(&mut world, 0, &b"two"[..]);
+        world.run();
+        assert_eq!(*got.borrow(), vec![b"one".to_vec(), b"two".to_vec()]);
+        let (sent, received, bytes) = circuit.stats();
+        assert_eq!(sent, 2);
+        assert_eq!(received, 2);
+        assert_eq!(bytes, 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "no Circuit link wired")]
+    fn sending_without_link_panics() {
+        let mut world = SimWorld::new(0);
+        let n = world.add_node("n");
+        let m = world.add_node("m");
+        let circuit = Circuit::new(vec![n, m], 0);
+        circuit.send_bytes(&mut world, 1, &b"x"[..]);
+        world.run();
+    }
+}

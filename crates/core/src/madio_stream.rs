@@ -1,0 +1,456 @@
+//! Byte streams over MadIO messages: the cross-paradigm building block that
+//! lets the distributed-oriented VLink interface run on parallel-oriented
+//! hardware (e.g. CORBA over Myrinet).
+//!
+//! MadIO is message-based; a VLink is a connected stream. This module
+//! implements a tiny connection protocol (CONNECT / ACCEPT / DATA / CLOSE)
+//! on one MadIO tag so any number of logical streams share the SAN.
+
+use std::cell::RefCell;
+use std::collections::{HashMap, VecDeque};
+use std::rc::Rc;
+
+use bytes::{Bytes, BytesMut};
+use netaccess::{MadIO, MadIOMessage, MadIOTag};
+use simnet::{SimDuration, SimWorld};
+use transport::{ByteStream, ReadableCallback};
+
+const KIND_CONNECT: u8 = 0;
+const KIND_ACCEPT: u8 = 1;
+const KIND_DATA: u8 = 2;
+const KIND_CLOSE: u8 = 3;
+const KIND_REFUSE: u8 = 4;
+
+/// Header bytes of the stream-over-MadIO protocol.
+const HEADER_BYTES: usize = 11;
+
+fn encode_header(kind: u8, stream_id: u64, service: u16) -> Bytes {
+    let mut b = BytesMut::with_capacity(HEADER_BYTES);
+    b.extend_from_slice(&[kind]);
+    b.extend_from_slice(&stream_id.to_be_bytes());
+    b.extend_from_slice(&service.to_be_bytes());
+    b.freeze()
+}
+
+struct StreamState {
+    remote_rank: usize,
+    stream_id: u64,
+    established: bool,
+    refused: bool,
+    peer_closed: bool,
+    self_closed: bool,
+    recv_buf: VecDeque<u8>,
+    readable_cb: Option<ReadableCallback>,
+    notify_pending: bool,
+    bytes_sent: u64,
+}
+
+/// One logical byte stream carried over MadIO messages.
+#[derive(Clone)]
+pub struct MadStream {
+    driver: MadStreamDriver,
+    state: Rc<RefCell<StreamState>>,
+}
+
+type AcceptCallback = Box<dyn FnMut(&mut SimWorld, MadStream)>;
+
+struct DriverInner {
+    madio: MadIO,
+    /// Cost charged per DATA message by the stream emulation (marshalling a
+    /// stream onto messages is not free; this is part of VLink's extra
+    /// latency over Circuit).
+    per_message_overhead: SimDuration,
+    listeners: HashMap<u16, AcceptCallback>,
+    streams: HashMap<u64, Rc<RefCell<StreamState>>>,
+    next_stream_id: u64,
+}
+
+/// The per-node driver multiplexing every [`MadStream`] onto one MadIO tag.
+#[derive(Clone)]
+pub struct MadStreamDriver {
+    inner: Rc<RefCell<DriverInner>>,
+}
+
+impl MadStreamDriver {
+    /// Creates the driver and registers it on [`MadIOTag::VLINK`].
+    pub fn new(world: &mut SimWorld, madio: MadIO) -> MadStreamDriver {
+        let my_rank = madio.my_rank() as u64;
+        let driver = MadStreamDriver {
+            inner: Rc::new(RefCell::new(DriverInner {
+                madio: madio.clone(),
+                per_message_overhead: SimDuration::from_nanos(900),
+                listeners: HashMap::new(),
+                streams: HashMap::new(),
+                // Stream ids are made globally unique by embedding the
+                // initiator's rank in the upper bits.
+                next_stream_id: my_rank << 40,
+            })),
+        };
+        let d = driver.clone();
+        madio.register(world, MadIOTag::VLINK, move |world, msg| {
+            d.on_message(world, msg);
+        });
+        driver
+    }
+
+    /// Starts accepting streams on `service`.
+    pub fn listen(&self, service: u16, on_accept: impl FnMut(&mut SimWorld, MadStream) + 'static) {
+        self.inner
+            .borrow_mut()
+            .listeners
+            .insert(service, Box::new(on_accept));
+    }
+
+    /// Stops accepting streams on `service`.
+    pub fn unlisten(&self, service: u16) {
+        self.inner.borrow_mut().listeners.remove(&service);
+    }
+
+    /// Opens a stream to the node of `remote_rank` (rank within the MadIO
+    /// channel group) on `service`.
+    pub fn connect(&self, world: &mut SimWorld, remote_rank: usize, service: u16) -> MadStream {
+        let (madio, stream_id) = {
+            let mut inner = self.inner.borrow_mut();
+            let id = inner.next_stream_id;
+            inner.next_stream_id += 1;
+            (inner.madio.clone(), id)
+        };
+        let state = Rc::new(RefCell::new(StreamState {
+            remote_rank,
+            stream_id,
+            established: false,
+            refused: false,
+            peer_closed: false,
+            self_closed: false,
+            recv_buf: VecDeque::new(),
+            readable_cb: None,
+            notify_pending: false,
+            bytes_sent: 0,
+        }));
+        self.inner
+            .borrow_mut()
+            .streams
+            .insert(stream_id, state.clone());
+        madio.send(
+            world,
+            remote_rank,
+            MadIOTag::VLINK,
+            vec![(
+                encode_header(KIND_CONNECT, stream_id, service),
+                madeleine::SendMode::Safer,
+            )],
+        );
+        MadStream {
+            driver: self.clone(),
+            state,
+        }
+    }
+
+    fn on_message(&self, world: &mut SimWorld, msg: MadIOMessage) {
+        if msg.segments.is_empty() || msg.segments[0].len() < HEADER_BYTES {
+            return;
+        }
+        let header = &msg.segments[0];
+        let kind = header[0];
+        let stream_id = u64::from_be_bytes(header[1..9].try_into().unwrap());
+        let service = u16::from_be_bytes(header[9..11].try_into().unwrap());
+        match kind {
+            KIND_CONNECT => {
+                let has_listener = self.inner.borrow().listeners.contains_key(&service);
+                let madio = self.inner.borrow().madio.clone();
+                if !has_listener {
+                    madio.send(
+                        world,
+                        msg.src_rank,
+                        MadIOTag::VLINK,
+                        vec![(
+                            encode_header(KIND_REFUSE, stream_id, service),
+                            madeleine::SendMode::Safer,
+                        )],
+                    );
+                    return;
+                }
+                let state = Rc::new(RefCell::new(StreamState {
+                    remote_rank: msg.src_rank,
+                    stream_id,
+                    established: true,
+                    refused: false,
+                    peer_closed: false,
+                    self_closed: false,
+                    recv_buf: VecDeque::new(),
+                    readable_cb: None,
+                    notify_pending: false,
+                    bytes_sent: 0,
+                }));
+                self.inner
+                    .borrow_mut()
+                    .streams
+                    .insert(stream_id, state.clone());
+                madio.send(
+                    world,
+                    msg.src_rank,
+                    MadIOTag::VLINK,
+                    vec![(
+                        encode_header(KIND_ACCEPT, stream_id, service),
+                        madeleine::SendMode::Safer,
+                    )],
+                );
+                let stream = MadStream {
+                    driver: self.clone(),
+                    state,
+                };
+                // Hand the new stream to the listener (take the callback out
+                // so it may itself register new listeners).
+                let cb = self.inner.borrow_mut().listeners.remove(&service);
+                if let Some(mut cb) = cb {
+                    cb(world, stream);
+                    self.inner
+                        .borrow_mut()
+                        .listeners
+                        .entry(service)
+                        .or_insert(cb);
+                }
+            }
+            KIND_ACCEPT | KIND_REFUSE | KIND_DATA | KIND_CLOSE => {
+                let state = self.inner.borrow().streams.get(&stream_id).cloned();
+                let Some(state) = state else { return };
+                let stream = MadStream {
+                    driver: self.clone(),
+                    state: state.clone(),
+                };
+                match kind {
+                    KIND_ACCEPT => state.borrow_mut().established = true,
+                    KIND_REFUSE => {
+                        let mut st = state.borrow_mut();
+                        st.refused = true;
+                        st.peer_closed = true;
+                    }
+                    KIND_DATA => {
+                        let mut st = state.borrow_mut();
+                        for seg in &msg.segments[1..] {
+                            st.recv_buf.extend(seg.iter().copied());
+                        }
+                    }
+                    KIND_CLOSE => state.borrow_mut().peer_closed = true,
+                    _ => unreachable!(),
+                }
+                if matches!(kind, KIND_DATA | KIND_CLOSE | KIND_REFUSE) {
+                    stream.schedule_notify(world);
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+impl MadStream {
+    fn schedule_notify(&self, world: &mut SimWorld) {
+        let should = {
+            let mut st = self.state.borrow_mut();
+            if st.readable_cb.is_some() && !st.notify_pending {
+                st.notify_pending = true;
+                true
+            } else {
+                false
+            }
+        };
+        if should {
+            let stream = self.clone();
+            world.schedule_after(SimDuration::ZERO, move |world| {
+                let cb = {
+                    let mut st = stream.state.borrow_mut();
+                    st.notify_pending = false;
+                    st.readable_cb.take()
+                };
+                if let Some(mut cb) = cb {
+                    cb(world);
+                    let mut st = stream.state.borrow_mut();
+                    if st.readable_cb.is_none() {
+                        st.readable_cb = Some(cb);
+                    }
+                }
+            });
+        }
+    }
+
+    /// Whether the peer refused the connection (no listener on the service).
+    pub fn is_refused(&self) -> bool {
+        self.state.borrow().refused
+    }
+}
+
+impl ByteStream for MadStream {
+    fn send(&self, world: &mut SimWorld, data: &[u8]) -> usize {
+        let (madio, overhead) = {
+            let inner = self.driver.inner.borrow();
+            (inner.madio.clone(), inner.per_message_overhead)
+        };
+        let (remote_rank, stream_id, closed) = {
+            let st = self.state.borrow();
+            (st.remote_rank, st.stream_id, st.self_closed || st.peer_closed)
+        };
+        if closed {
+            return 0;
+        }
+        self.state.borrow_mut().bytes_sent += data.len() as u64;
+        let header = encode_header(KIND_DATA, stream_id, 0);
+        let payload = Bytes::copy_from_slice(data);
+        // The stream emulation charges its per-message cost before handing
+        // the message to MadIO.
+        world.schedule_after(overhead, move |world| {
+            madio.send(
+                world,
+                remote_rank,
+                MadIOTag::VLINK,
+                vec![
+                    (header, madeleine::SendMode::Safer),
+                    (payload, madeleine::SendMode::Cheaper),
+                ],
+            );
+        });
+        data.len()
+    }
+
+    fn available(&self) -> usize {
+        self.state.borrow().recv_buf.len()
+    }
+
+    fn recv(&self, _world: &mut SimWorld, max: usize) -> Vec<u8> {
+        let mut st = self.state.borrow_mut();
+        let n = max.min(st.recv_buf.len());
+        st.recv_buf.drain(..n).collect()
+    }
+
+    fn is_established(&self) -> bool {
+        self.state.borrow().established
+    }
+
+    fn is_finished(&self) -> bool {
+        let st = self.state.borrow();
+        st.peer_closed && st.recv_buf.is_empty()
+    }
+
+    fn close(&self, world: &mut SimWorld) {
+        let (madio, remote_rank, stream_id, already) = {
+            let mut st = self.state.borrow_mut();
+            let already = st.self_closed;
+            st.self_closed = true;
+            (
+                self.driver.inner.borrow().madio.clone(),
+                st.remote_rank,
+                st.stream_id,
+                already,
+            )
+        };
+        if !already {
+            madio.send(
+                world,
+                remote_rank,
+                MadIOTag::VLINK,
+                vec![(
+                    encode_header(KIND_CLOSE, stream_id, 0),
+                    madeleine::SendMode::Safer,
+                )],
+            );
+        }
+    }
+
+    fn set_readable_callback(&self, cb: ReadableCallback) {
+        self.state.borrow_mut().readable_cb = Some(cb);
+    }
+
+    fn bytes_acked(&self) -> u64 {
+        // The SAN is lossless: everything handed to MadIO is delivered.
+        self.state.borrow().bytes_sent
+    }
+
+    fn bytes_unacked(&self) -> u64 {
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netaccess::NetAccess;
+    use simnet::topology;
+    use transport::ByteStreamExt;
+
+    fn setup() -> (SimWorld, MadStreamDriver, MadStreamDriver) {
+        let p = topology::san_pair(41);
+        let mut world = p.world;
+        let nodes = vec![p.a, p.b];
+        let na0 = NetAccess::new(&mut world, p.a, Some((p.san, nodes.clone())));
+        let na1 = NetAccess::new(&mut world, p.b, Some((p.san, nodes.clone())));
+        let d0 = MadStreamDriver::new(&mut world, na0.madio());
+        let d1 = MadStreamDriver::new(&mut world, na1.madio());
+        (world, d0, d1)
+    }
+
+    #[test]
+    fn connect_accept_and_exchange() {
+        let (mut world, d0, d1) = setup();
+        let accepted: Rc<RefCell<Option<MadStream>>> = Rc::new(RefCell::new(None));
+        let a = accepted.clone();
+        d1.listen(42, move |_w, s| *a.borrow_mut() = Some(s));
+        let client = d0.connect(&mut world, 1, 42);
+        world.run();
+        assert!(client.is_established());
+        let server = accepted.borrow().clone().unwrap();
+        client.send_all(&mut world, b"corba request over the SAN");
+        server.send_all(&mut world, b"reply");
+        world.run();
+        assert_eq!(server.recv_all(&mut world), b"corba request over the SAN");
+        assert_eq!(client.recv_all(&mut world), b"reply");
+    }
+
+    #[test]
+    fn connect_to_missing_service_is_refused() {
+        let (mut world, d0, _d1) = setup();
+        let client = d0.connect(&mut world, 1, 999);
+        world.run();
+        assert!(client.is_refused());
+        assert!(!client.is_established());
+        assert_eq!(client.send(&mut world, b"x"), 0);
+    }
+
+    #[test]
+    fn close_is_propagated() {
+        let (mut world, d0, d1) = setup();
+        let accepted: Rc<RefCell<Option<MadStream>>> = Rc::new(RefCell::new(None));
+        let a = accepted.clone();
+        d1.listen(7, move |_w, s| *a.borrow_mut() = Some(s));
+        let client = d0.connect(&mut world, 1, 7);
+        world.run();
+        client.send_all(&mut world, b"last words");
+        client.close(&mut world);
+        world.run();
+        let server = accepted.borrow().clone().unwrap();
+        assert_eq!(server.recv_all(&mut world), b"last words");
+        assert!(server.is_finished());
+    }
+
+    #[test]
+    fn many_streams_share_one_tag() {
+        let (mut world, d0, d1) = setup();
+        let accepted: Rc<RefCell<Vec<MadStream>>> = Rc::new(RefCell::new(Vec::new()));
+        let a = accepted.clone();
+        d1.listen(5, move |_w, s| a.borrow_mut().push(s));
+        let clients: Vec<MadStream> = (0..8).map(|_| d0.connect(&mut world, 1, 5)).collect();
+        world.run();
+        assert_eq!(accepted.borrow().len(), 8);
+        for (i, c) in clients.iter().enumerate() {
+            c.send_all(&mut world, format!("stream {i}").as_bytes());
+        }
+        world.run();
+        let mut got: Vec<String> = accepted
+            .borrow()
+            .iter()
+            .map(|s| String::from_utf8(s.recv_all(&mut world)).unwrap())
+            .collect();
+        got.sort();
+        let mut want: Vec<String> = (0..8).map(|i| format!("stream {i}")).collect();
+        want.sort();
+        assert_eq!(got, want);
+    }
+}

@@ -1,0 +1,135 @@
+//! Aio: a POSIX.2 asynchronous-I/O style personality over VLink.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use simnet::SimWorld;
+
+use crate::vlink::{ReadOp, VLink};
+
+/// State of an asynchronous operation (mirrors `aio_error` semantics).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AioState {
+    /// Still in progress (`EINPROGRESS`).
+    InProgress,
+    /// Completed; `aio_return` will yield the data / byte count.
+    Complete,
+    /// Already returned to the caller.
+    Consumed,
+}
+
+/// Handle of an asynchronous operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct AioHandle(u64);
+
+enum Op {
+    Read(ReadOp),
+    Write(usize),
+}
+
+/// The asynchronous-I/O personality over one VLink.
+pub struct Aio {
+    vlink: VLink,
+    ops: Rc<RefCell<HashMap<u64, Op>>>,
+    next: RefCell<u64>,
+}
+
+impl Aio {
+    /// Wraps a VLink.
+    pub fn new(vlink: VLink) -> Aio {
+        Aio {
+            vlink,
+            ops: Rc::new(RefCell::new(HashMap::new())),
+            next: RefCell::new(0),
+        }
+    }
+
+    fn alloc(&self, op: Op) -> AioHandle {
+        let mut next = self.next.borrow_mut();
+        let id = *next;
+        *next += 1;
+        self.ops.borrow_mut().insert(id, op);
+        AioHandle(id)
+    }
+
+    /// `aio_write`: posts an asynchronous write of the whole buffer.
+    pub fn aio_write(&self, world: &mut SimWorld, data: &[u8]) -> AioHandle {
+        let n = self.vlink.post_write(world, data);
+        self.alloc(Op::Write(n))
+    }
+
+    /// `aio_read`: posts an asynchronous read of exactly `len` bytes.
+    pub fn aio_read(&self, world: &mut SimWorld, len: usize) -> AioHandle {
+        let op = self.vlink.post_read(world, len);
+        self.alloc(Op::Read(op))
+    }
+
+    /// `aio_error`: the state of an operation.
+    pub fn aio_error(&self, h: AioHandle) -> AioState {
+        match self.ops.borrow().get(&h.0) {
+            None => AioState::Consumed,
+            Some(Op::Write(_)) => AioState::Complete,
+            Some(Op::Read(op)) => {
+                if self.vlink.test(*op) {
+                    AioState::Complete
+                } else {
+                    AioState::InProgress
+                }
+            }
+        }
+    }
+
+    /// `aio_return`: takes the result of a completed operation: the data of
+    /// a read, or the accepted byte count of a write (as a vec for API
+    /// uniformity: its length is the count).
+    pub fn aio_return(&self, h: AioHandle) -> Option<Vec<u8>> {
+        let op = self.ops.borrow_mut().remove(&h.0)?;
+        match op {
+            Op::Write(n) => Some(vec![0u8; n]),
+            Op::Read(read) => {
+                let data = self.vlink.complete_read(read);
+                if data.is_none() {
+                    // Not complete yet: put it back.
+                    self.ops.borrow_mut().insert(h.0, Op::Read(read));
+                }
+                data
+            }
+        }
+    }
+
+    /// `aio_suspend`-style helper for tests: true when every listed
+    /// operation has completed.
+    pub fn all_complete(&self, handles: &[AioHandle]) -> bool {
+        handles.iter().all(|h| self.aio_error(*h) != AioState::InProgress)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vlink::VLinkMethod;
+    use transport::loopback_pair;
+
+    #[test]
+    fn async_read_write_lifecycle() {
+        let mut world = SimWorld::new(0);
+        let n = world.add_node("n");
+        let (a, b) = loopback_pair(&world, n);
+        let aio_a = Aio::new(VLink::from_stream(Rc::new(a), VLinkMethod::Loopback));
+        let aio_b = Aio::new(VLink::from_stream(Rc::new(b), VLinkMethod::Loopback));
+
+        let w = aio_a.aio_write(&mut world, b"async data");
+        assert_eq!(aio_a.aio_error(w), AioState::Complete);
+        assert_eq!(aio_a.aio_return(w).unwrap().len(), 10);
+        assert_eq!(aio_a.aio_error(w), AioState::Consumed);
+
+        let r = aio_b.aio_read(&mut world, 10);
+        assert_eq!(aio_b.aio_error(r), AioState::InProgress);
+        assert!(aio_b.aio_return(r).is_none(), "not complete yet");
+        world.run();
+        assert_eq!(aio_b.aio_error(r), AioState::Complete);
+        assert!(aio_b.all_complete(&[r]));
+        assert_eq!(aio_b.aio_return(r).unwrap(), b"async data");
+    }
+}

@@ -1,0 +1,105 @@
+//! FastMessage: an FM 2.0-style active-message personality over Circuit.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use bytes::Bytes;
+use simnet::SimWorld;
+
+use crate::circuit::Circuit;
+
+/// Identifier of a registered message handler.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct HandlerId(pub u16);
+
+type Handler = Box<dyn FnMut(&mut SimWorld, usize, &[u8])>;
+
+/// The FastMessage personality over one Circuit.
+#[derive(Clone)]
+pub struct FastMessage {
+    circuit: Circuit,
+    handlers: Rc<RefCell<HashMap<HandlerId, Handler>>>,
+}
+
+impl FastMessage {
+    /// Wraps a Circuit. Incoming circuit messages are dispatched to the
+    /// handler named in their first segment (FM's "handler id").
+    pub fn new(world: &mut SimWorld, circuit: Circuit) -> FastMessage {
+        let fm = FastMessage {
+            circuit: circuit.clone(),
+            handlers: Rc::new(RefCell::new(HashMap::new())),
+        };
+        let handlers = fm.handlers.clone();
+        circuit.set_message_callback(move |world, msg| {
+            if msg.segments.is_empty() || msg.segments[0].len() < 2 {
+                return;
+            }
+            let id = HandlerId(u16::from_be_bytes(msg.segments[0][0..2].try_into().unwrap()));
+            let payload = if msg.segments.len() > 1 {
+                msg.segments[1].to_vec()
+            } else {
+                Vec::new()
+            };
+            let h = handlers.borrow_mut().remove(&id);
+            if let Some(mut h) = h {
+                h(world, msg.src_rank, &payload);
+                handlers.borrow_mut().entry(id).or_insert(h);
+            }
+        });
+        let _ = world;
+        fm
+    }
+
+    /// Registers (or replaces) the handler for `id`.
+    pub fn register_handler(
+        &self,
+        id: HandlerId,
+        handler: impl FnMut(&mut SimWorld, usize, &[u8]) + 'static,
+    ) {
+        self.handlers.borrow_mut().insert(id, Box::new(handler));
+    }
+
+    /// `FM_send`: sends `payload` to `dst_rank`, to be handled by `id`.
+    pub fn send(&self, world: &mut SimWorld, dst_rank: usize, id: HandlerId, payload: &[u8]) {
+        self.circuit.send(
+            world,
+            dst_rank,
+            vec![
+                Bytes::copy_from_slice(&id.0.to_be_bytes()),
+                Bytes::copy_from_slice(payload),
+            ],
+        );
+    }
+
+    /// `FM_send_4`: the short-message variant carrying one machine word.
+    pub fn send_4(&self, world: &mut SimWorld, dst_rank: usize, id: HandlerId, word: u32) {
+        self.send(world, dst_rank, id, &word.to_be_bytes());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::Cell;
+
+    #[test]
+    fn handlers_receive_messages() {
+        let mut world = SimWorld::new(0);
+        let n = world.add_node("n");
+        // A 1-node circuit is enough to exercise the personality itself.
+        let circuit = Circuit::new(vec![n], 0);
+        let fm = FastMessage::new(&mut world, circuit);
+        let sum = Rc::new(Cell::new(0u32));
+        let s = sum.clone();
+        fm.register_handler(HandlerId(7), move |_w, src, payload| {
+            assert_eq!(src, 0);
+            s.set(s.get() + u32::from_be_bytes(payload[0..4].try_into().unwrap()));
+        });
+        fm.send_4(&mut world, 0, HandlerId(7), 40);
+        fm.send_4(&mut world, 0, HandlerId(7), 2);
+        fm.send(&mut world, 0, HandlerId(99), b"no handler, silently dropped");
+        world.run();
+        assert_eq!(sum.get(), 42);
+    }
+}

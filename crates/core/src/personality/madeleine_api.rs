@@ -1,0 +1,131 @@
+//! A virtual Madeleine API over Circuit.
+//!
+//! PadicoTM exposes a (virtual) Madeleine personality so the existing
+//! MPICH/Madeleine port runs inside the framework without modification.
+//! The API mirrors `madeleine`'s packing interface but is carried by a
+//! Circuit, which means it works on *any* network the Circuit can use —
+//! not only the SAN.
+
+use bytes::Bytes;
+use madeleine::{RecvMode, SendMode};
+use simnet::SimWorld;
+
+use crate::circuit::{Circuit, CircuitMessage};
+
+/// The virtual Madeleine personality over one Circuit.
+#[derive(Clone)]
+pub struct VirtualMadeleine {
+    circuit: Circuit,
+}
+
+/// An in-progress outgoing message.
+pub struct VPackHandle<'a> {
+    vm: &'a VirtualMadeleine,
+    dst_rank: usize,
+    segments: Vec<Bytes>,
+}
+
+/// An in-progress incoming message.
+pub struct VUnpackHandle {
+    message: CircuitMessage,
+    next: usize,
+}
+
+impl VirtualMadeleine {
+    /// Wraps a Circuit in the Madeleine personality.
+    pub fn new(circuit: Circuit) -> VirtualMadeleine {
+        VirtualMadeleine { circuit }
+    }
+
+    /// This node's rank.
+    pub fn my_rank(&self) -> usize {
+        self.circuit.my_rank()
+    }
+
+    /// Group size.
+    pub fn size(&self) -> usize {
+        self.circuit.size()
+    }
+
+    /// `mad_begin_packing`.
+    pub fn begin_packing(&self, dst_rank: usize) -> VPackHandle<'_> {
+        VPackHandle {
+            vm: self,
+            dst_rank,
+            segments: Vec::new(),
+        }
+    }
+
+    /// `mad_begin_unpacking`: starts consuming the next received message.
+    pub fn begin_unpacking(&self) -> Option<VUnpackHandle> {
+        self.circuit
+            .poll_message()
+            .map(|message| VUnpackHandle { message, next: 0 })
+    }
+
+    /// Number of messages waiting.
+    pub fn pending(&self) -> usize {
+        self.circuit.pending_messages()
+    }
+}
+
+impl VPackHandle<'_> {
+    /// `mad_pack`. The send mode is accepted for API compatibility; the
+    /// Circuit below makes its own zero-copy decisions.
+    pub fn pack(&mut self, data: impl Into<Bytes>, _mode: SendMode) -> &mut Self {
+        self.segments.push(data.into());
+        self
+    }
+
+    /// `mad_end_packing`.
+    pub fn end_packing(self, world: &mut SimWorld) {
+        self.vm.circuit.send(world, self.dst_rank, self.segments);
+    }
+}
+
+impl VUnpackHandle {
+    /// Rank of the sender.
+    pub fn src_rank(&self) -> usize {
+        self.message.src_rank
+    }
+
+    /// `mad_unpack`: next segment, in packing order.
+    pub fn unpack(&mut self, _mode: RecvMode) -> Option<Bytes> {
+        let seg = self.message.segments.get(self.next)?;
+        self.next += 1;
+        Some(seg.clone())
+    }
+
+    /// `mad_end_unpacking`.
+    pub fn end_unpacking(self) -> CircuitMessage {
+        self.message
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn virtual_madeleine_pack_unpack() {
+        let mut world = SimWorld::new(0);
+        let n = world.add_node("n");
+        let circuit = Circuit::new(vec![n], 0);
+        let vm = VirtualMadeleine::new(circuit);
+        assert_eq!(vm.my_rank(), 0);
+        assert_eq!(vm.size(), 1);
+
+        let mut pk = vm.begin_packing(0);
+        pk.pack(&b"header"[..], SendMode::Safer);
+        pk.pack(&b"body"[..], SendMode::Cheaper);
+        pk.end_packing(&mut world);
+        world.run();
+
+        assert_eq!(vm.pending(), 1);
+        let mut up = vm.begin_unpacking().unwrap();
+        assert_eq!(up.src_rank(), 0);
+        assert_eq!(&up.unpack(RecvMode::Express).unwrap()[..], b"header");
+        assert_eq!(&up.unpack(RecvMode::Cheaper).unwrap()[..], b"body");
+        assert!(up.unpack(RecvMode::Cheaper).is_none());
+    }
+}

@@ -1,0 +1,26 @@
+//! Personalities: thin wrappers exposing standard APIs on top of the
+//! abstract interfaces.
+//!
+//! A personality does no protocol adaptation and no paradigm translation —
+//! it only adapts the *syntax* so existing middleware and legacy code can
+//! run unmodified on PadicoTM:
+//!
+//! * [`vio`] — an explicit socket-like API over VLink;
+//! * [`syswrap`] — a BSD-socket-compatible API (integer descriptors) for
+//!   legacy code, over VLink;
+//! * [`aio`] — a POSIX.2 asynchronous-I/O style API over VLink;
+//! * [`fastmessage`] — a FastMessage 2.0 style API over Circuit;
+//! * [`madeleine_api`] — a virtual Madeleine API over Circuit, so an
+//!   MPICH/Madeleine port runs unchanged.
+
+pub mod aio;
+pub mod fastmessage;
+pub mod madeleine_api;
+pub mod syswrap;
+pub mod vio;
+
+pub use aio::{Aio, AioHandle, AioState};
+pub use fastmessage::FastMessage;
+pub use madeleine_api::VirtualMadeleine;
+pub use syswrap::SysWrap;
+pub use vio::VioSocket;

@@ -1,0 +1,210 @@
+//! SysWrap: a BSD-socket-compatible personality.
+//!
+//! In PadicoTM, `SysWrap` re-implements the libc socket entry points at
+//! link stage so unmodified C/C++/Fortran binaries transparently use the
+//! framework. In this Rust reproduction the equivalent is an integer-
+//! descriptor API with the familiar verbs (`socket`, `bind`, `listen`,
+//! `accept`, `connect`, `send`, `recv`, `close`), implemented as a thin
+//! veneer over the runtime's VLink service.
+
+use std::cell::RefCell;
+use std::collections::{HashMap, VecDeque};
+use std::rc::Rc;
+
+use simnet::{NodeId, SimWorld};
+
+use crate::runtime::PadicoRuntime;
+use crate::vlink::VLink;
+
+/// Error codes, loosely modelled on errno values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SockErr {
+    /// Descriptor does not exist.
+    BadFd,
+    /// Operation would block (no data / no pending connection).
+    WouldBlock,
+    /// The descriptor is not in the right state for the operation.
+    InvalidState,
+}
+
+enum SocketState {
+    /// Created but unbound.
+    Fresh,
+    /// Bound to a service and listening; holds the accept backlog.
+    Listening {
+        backlog: Rc<RefCell<VecDeque<VLink>>>,
+    },
+    /// Connected (either actively or via accept).
+    Connected(VLink),
+}
+
+/// The SysWrap personality for one node.
+pub struct SysWrap {
+    runtime: PadicoRuntime,
+    sockets: RefCell<HashMap<i32, SocketState>>,
+    next_fd: RefCell<i32>,
+}
+
+impl SysWrap {
+    /// Creates the wrapper over a runtime.
+    pub fn new(runtime: PadicoRuntime) -> SysWrap {
+        SysWrap {
+            runtime,
+            sockets: RefCell::new(HashMap::new()),
+            next_fd: RefCell::new(3), // 0/1/2 are stdio, as tradition demands
+        }
+    }
+
+    /// `socket()`: allocates a descriptor.
+    pub fn socket(&self) -> i32 {
+        let mut next = self.next_fd.borrow_mut();
+        let fd = *next;
+        *next += 1;
+        self.sockets.borrow_mut().insert(fd, SocketState::Fresh);
+        fd
+    }
+
+    /// `bind()` + `listen()`: starts accepting on `service`.
+    pub fn listen(&self, world: &mut SimWorld, fd: i32, service: u16) -> Result<(), SockErr> {
+        let mut sockets = self.sockets.borrow_mut();
+        match sockets.get_mut(&fd) {
+            Some(state @ SocketState::Fresh) => {
+                let backlog: Rc<RefCell<VecDeque<VLink>>> = Rc::new(RefCell::new(VecDeque::new()));
+                let b = backlog.clone();
+                self.runtime
+                    .vlink_listen(world, service, move |_w, vlink| {
+                        b.borrow_mut().push_back(vlink);
+                    });
+                *state = SocketState::Listening { backlog };
+                Ok(())
+            }
+            Some(_) => Err(SockErr::InvalidState),
+            None => Err(SockErr::BadFd),
+        }
+    }
+
+    /// `accept()`: pops a pending connection, returning a new descriptor.
+    pub fn accept(&self, fd: i32) -> Result<i32, SockErr> {
+        let vlink = {
+            let sockets = self.sockets.borrow();
+            match sockets.get(&fd) {
+                Some(SocketState::Listening { backlog }) => {
+                    backlog.borrow_mut().pop_front().ok_or(SockErr::WouldBlock)?
+                }
+                Some(_) => return Err(SockErr::InvalidState),
+                None => return Err(SockErr::BadFd),
+            }
+        };
+        let new_fd = self.socket();
+        self.sockets
+            .borrow_mut()
+            .insert(new_fd, SocketState::Connected(vlink));
+        Ok(new_fd)
+    }
+
+    /// `connect()`: connects the descriptor to `remote:service`.
+    pub fn connect(
+        &self,
+        world: &mut SimWorld,
+        fd: i32,
+        remote: NodeId,
+        service: u16,
+    ) -> Result<(), SockErr> {
+        let mut sockets = self.sockets.borrow_mut();
+        match sockets.get_mut(&fd) {
+            Some(state @ SocketState::Fresh) => {
+                let vlink = self.runtime.vlink_connect(world, remote, service);
+                *state = SocketState::Connected(vlink);
+                Ok(())
+            }
+            Some(_) => Err(SockErr::InvalidState),
+            None => Err(SockErr::BadFd),
+        }
+    }
+
+    /// `send()`.
+    pub fn send(&self, world: &mut SimWorld, fd: i32, data: &[u8]) -> Result<usize, SockErr> {
+        match self.sockets.borrow().get(&fd) {
+            Some(SocketState::Connected(v)) => Ok(v.post_write(world, data)),
+            Some(_) => Err(SockErr::InvalidState),
+            None => Err(SockErr::BadFd),
+        }
+    }
+
+    /// `recv()`: non-blocking read; `WouldBlock` when nothing is available.
+    pub fn recv(&self, world: &mut SimWorld, fd: i32, buf: &mut [u8]) -> Result<usize, SockErr> {
+        match self.sockets.borrow().get(&fd) {
+            Some(SocketState::Connected(v)) => {
+                let data = v.read_now(world, buf.len());
+                if data.is_empty() && !v.is_finished() {
+                    return Err(SockErr::WouldBlock);
+                }
+                buf[..data.len()].copy_from_slice(&data);
+                Ok(data.len())
+            }
+            Some(_) => Err(SockErr::InvalidState),
+            None => Err(SockErr::BadFd),
+        }
+    }
+
+    /// `close()`.
+    pub fn close(&self, world: &mut SimWorld, fd: i32) -> Result<(), SockErr> {
+        match self.sockets.borrow_mut().remove(&fd) {
+            Some(SocketState::Connected(v)) => {
+                v.close(world);
+                Ok(())
+            }
+            Some(_) => Ok(()),
+            None => Err(SockErr::BadFd),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runtime::runtimes_for_cluster;
+    use crate::selector::SelectorPreferences;
+    use simnet::topology;
+
+    #[test]
+    fn bsd_style_client_server() {
+        let p = topology::san_pair(71);
+        let mut world = p.world;
+        let nodes = vec![p.a, p.b];
+        let rts = runtimes_for_cluster(&mut world, p.san, &nodes, SelectorPreferences::default());
+        let server_api = SysWrap::new(rts[1].clone());
+        let client_api = SysWrap::new(rts[0].clone());
+
+        let listen_fd = server_api.socket();
+        server_api.listen(&mut world, listen_fd, 2000).unwrap();
+        assert_eq!(server_api.accept(listen_fd), Err(SockErr::WouldBlock));
+
+        let client_fd = client_api.socket();
+        client_api
+            .connect(&mut world, client_fd, nodes[1], 2000)
+            .unwrap();
+        client_api
+            .send(&mut world, client_fd, b"legacy code says hi")
+            .unwrap();
+        world.run();
+
+        let conn_fd = server_api.accept(listen_fd).unwrap();
+        let mut buf = [0u8; 64];
+        let n = server_api.recv(&mut world, conn_fd, &mut buf).unwrap();
+        assert_eq!(&buf[..n], b"legacy code says hi");
+
+        // Error paths.
+        assert_eq!(client_api.send(&mut world, 999, b"x"), Err(SockErr::BadFd));
+        assert_eq!(
+            server_api.recv(&mut world, conn_fd, &mut buf),
+            Err(SockErr::WouldBlock)
+        );
+        assert_eq!(
+            client_api.connect(&mut world, client_fd, nodes[1], 2000),
+            Err(SockErr::InvalidState)
+        );
+        client_api.close(&mut world, client_fd).unwrap();
+        assert_eq!(client_api.close(&mut world, client_fd), Err(SockErr::BadFd));
+    }
+}

@@ -1,0 +1,91 @@
+//! Vio: the explicit socket-like personality over VLink.
+
+use simnet::SimWorld;
+
+use crate::vlink::{VLink, VLinkMethod};
+
+/// A socket-like handle over a VLink.
+///
+/// The API mirrors what a middleware system expects from a non-blocking
+/// socket: `write` queues data, `read` returns whatever has arrived,
+/// `poll`-style readiness is available through [`VioSocket::readable`].
+#[derive(Clone)]
+pub struct VioSocket {
+    vlink: VLink,
+}
+
+impl VioSocket {
+    /// Wraps a VLink in the Vio personality.
+    pub fn new(vlink: VLink) -> VioSocket {
+        VioSocket { vlink }
+    }
+
+    /// The underlying VLink.
+    pub fn vlink(&self) -> &VLink {
+        &self.vlink
+    }
+
+    /// The method carrying this socket (for diagnostics).
+    pub fn method(&self) -> VLinkMethod {
+        self.vlink.method()
+    }
+
+    /// Non-blocking write; returns the number of bytes accepted.
+    pub fn write(&self, world: &mut SimWorld, data: &[u8]) -> usize {
+        self.vlink.post_write(world, data)
+    }
+
+    /// Non-blocking read into `buf`; returns the number of bytes read.
+    pub fn read(&self, world: &mut SimWorld, buf: &mut [u8]) -> usize {
+        let data = self.vlink.read_now(world, buf.len());
+        buf[..data.len()].copy_from_slice(&data);
+        data.len()
+    }
+
+    /// True if data is available to read.
+    pub fn readable(&self) -> bool {
+        self.vlink.available() > 0
+    }
+
+    /// True once the connection is established.
+    pub fn connected(&self) -> bool {
+        self.vlink.is_established()
+    }
+
+    /// True once the peer has closed and everything was read.
+    pub fn eof(&self) -> bool {
+        self.vlink.is_finished()
+    }
+
+    /// Closes the socket.
+    pub fn close(&self, world: &mut SimWorld) {
+        self.vlink.close(world);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::rc::Rc;
+    use transport::loopback_pair;
+
+    #[test]
+    fn socket_like_roundtrip() {
+        let mut world = SimWorld::new(0);
+        let n = world.add_node("n");
+        let (a, b) = loopback_pair(&world, n);
+        let sa = VioSocket::new(VLink::from_stream(Rc::new(a), VLinkMethod::Loopback));
+        let sb = VioSocket::new(VLink::from_stream(Rc::new(b), VLinkMethod::Loopback));
+        assert!(sa.connected());
+        assert_eq!(sa.write(&mut world, b"hello vio"), 9);
+        world.run();
+        assert!(sb.readable());
+        let mut buf = [0u8; 64];
+        let n = sb.read(&mut world, &mut buf);
+        assert_eq!(&buf[..n], b"hello vio");
+        assert!(!sb.readable());
+        sa.close(&mut world);
+        world.run();
+        assert!(sb.eof());
+    }
+}

@@ -1,0 +1,576 @@
+//! The PadicoTM runtime: one instance per node, tying together the
+//! arbitration layer, the abstract interfaces, the selector and the
+//! personalities.
+//!
+//! Middleware systems never talk to the network directly: they ask the
+//! runtime for VLinks (distributed paradigm) or Circuits (parallel
+//! paradigm) and the runtime wires the appropriate adapters underneath,
+//! according to the topology knowledge base and the user preferences.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use netaccess::{MadIOTag, NetAccess, NetAccessConfig};
+use simnet::{NetworkId, NodeId, SimDuration, SimWorld};
+use transport::{
+    adoc_over, loopback_pair, secure_over, AdocConfig, ByteStream, ParallelStream,
+    ParallelStreamConfig, SecureConfig,
+};
+
+use crate::circuit::{Circuit, CircuitLinkKind, MadIoCircuitLink, StreamCircuitLink};
+use crate::madio_stream::MadStreamDriver;
+use crate::selector::{LinkDecision, SelectorPreferences, TopologyKb};
+use crate::vlink::{VLink, VLinkMethod};
+
+/// Port offset used for Parallel Streams bundles.
+const PSTREAM_PORT_OFFSET: u16 = 10_000;
+/// Port offset used for AdOC-wrapped connections.
+const ADOC_PORT_OFFSET: u16 = 20_000;
+/// Port offset used for secured connections.
+const SECURE_PORT_OFFSET: u16 = 30_000;
+/// MadIO tag base used by Circuits (one tag per circuit port).
+const CIRCUIT_TAG_BASE: u16 = 2_000;
+
+type VLinkAcceptCallback = Rc<RefCell<Box<dyn FnMut(&mut SimWorld, VLink)>>>;
+
+struct RuntimeInner {
+    node: NodeId,
+    netaccess: NetAccess,
+    madstream: Option<MadStreamDriver>,
+    san_group: Vec<NodeId>,
+    kb: TopologyKb,
+    /// Accept callbacks per service, used for intra-node (loopback) connects.
+    local_services: HashMap<u16, VLinkAcceptCallback>,
+}
+
+/// A node's PadicoTM runtime.
+#[derive(Clone)]
+pub struct PadicoRuntime {
+    inner: Rc<RefCell<RuntimeInner>>,
+}
+
+impl PadicoRuntime {
+    /// Brings up the runtime on `node`. If the node is attached to a SAN,
+    /// pass it along with the SAN group so MadIO can be set up.
+    pub fn new(
+        world: &mut SimWorld,
+        node: NodeId,
+        san: Option<(NetworkId, Vec<NodeId>)>,
+        prefs: SelectorPreferences,
+    ) -> PadicoRuntime {
+        Self::with_netaccess_config(world, node, san, prefs, NetAccessConfig::default())
+    }
+
+    /// Brings up the runtime with an explicit arbitration-layer config.
+    pub fn with_netaccess_config(
+        world: &mut SimWorld,
+        node: NodeId,
+        san: Option<(NetworkId, Vec<NodeId>)>,
+        prefs: SelectorPreferences,
+        na_config: NetAccessConfig,
+    ) -> PadicoRuntime {
+        let san_group = san.as_ref().map(|(_, g)| g.clone()).unwrap_or_default();
+        let netaccess = NetAccess::with_config(world, node, san.clone(), na_config);
+        let madstream = san
+            .as_ref()
+            .map(|_| MadStreamDriver::new(world, netaccess.madio()));
+        PadicoRuntime {
+            inner: Rc::new(RefCell::new(RuntimeInner {
+                node,
+                netaccess,
+                madstream,
+                san_group,
+                kb: TopologyKb::new(prefs),
+                local_services: HashMap::new(),
+            })),
+        }
+    }
+
+    /// The node this runtime runs on.
+    pub fn node(&self) -> NodeId {
+        self.inner.borrow().node
+    }
+
+    /// The arbitration layer of this node.
+    pub fn netaccess(&self) -> NetAccess {
+        self.inner.borrow().netaccess.clone()
+    }
+
+    /// The topology knowledge base / selector preferences.
+    pub fn preferences(&self) -> SelectorPreferences {
+        self.inner.borrow().kb.prefs.clone()
+    }
+
+    /// Replaces the selector preferences.
+    pub fn set_preferences(&self, prefs: SelectorPreferences) {
+        self.inner.borrow_mut().kb = TopologyKb::new(prefs);
+    }
+
+    /// The method the selector would pick for a VLink towards `remote`.
+    pub fn vlink_decision(&self, world: &SimWorld, remote: NodeId) -> LinkDecision {
+        let inner = self.inner.borrow();
+        inner.kb.select_vlink(world, inner.node, remote)
+    }
+
+    /// The method the selector would pick for a Circuit link towards `remote`.
+    pub fn circuit_decision(&self, world: &SimWorld, remote: NodeId) -> LinkDecision {
+        let inner = self.inner.borrow();
+        inner.kb.select_circuit(world, inner.node, remote)
+    }
+
+    // ------------------------------------------------------------------ //
+    // VLink: distributed-oriented links
+    // ------------------------------------------------------------------ //
+
+    /// Starts accepting VLinks on `service`, on every substrate this node
+    /// can be reached through (SAN, TCP, Parallel Streams, AdOC, secure).
+    pub fn vlink_listen(
+        &self,
+        world: &mut SimWorld,
+        service: u16,
+        on_accept: impl FnMut(&mut SimWorld, VLink) + 'static,
+    ) {
+        let cb: VLinkAcceptCallback = Rc::new(RefCell::new(Box::new(on_accept)));
+        self.inner
+            .borrow_mut()
+            .local_services
+            .insert(service, cb.clone());
+
+        // SAN substrate (stream-over-MadIO).
+        let madstream = self.inner.borrow().madstream.clone();
+        if let Some(driver) = madstream {
+            let cb2 = cb.clone();
+            driver.listen(service, move |world, stream| {
+                let vlink = VLink::from_stream(Rc::new(stream), VLinkMethod::MadIo);
+                (cb2.borrow_mut())(world, vlink);
+            });
+        }
+
+        let sysio = self.inner.borrow().netaccess.sysio();
+
+        // Plain TCP substrate.
+        let cb2 = cb.clone();
+        sysio.listen(service, move |world, conn| {
+            let vlink = VLink::from_stream(Rc::new(conn), VLinkMethod::SysIoTcp);
+            (cb2.borrow_mut())(world, vlink);
+        });
+
+        // Parallel Streams substrate.
+        let cb2 = cb.clone();
+        let width = self.preferences().parallel_stream_width;
+        ParallelStream::listen(
+            world,
+            &sysio.tcp(),
+            service + PSTREAM_PORT_OFFSET,
+            ParallelStreamConfig {
+                n_streams: width,
+                ..Default::default()
+            },
+            move |world, ps| {
+                let w = ps.width();
+                let vlink = VLink::from_stream(Rc::new(ps), VLinkMethod::ParallelStreams { width: w });
+                (cb2.borrow_mut())(world, vlink);
+            },
+        );
+
+        // AdOC substrate (compressed TCP).
+        let cb2 = cb.clone();
+        sysio.listen(service + ADOC_PORT_OFFSET, move |world, conn| {
+            let adoc = adoc_over(world, Box::new(conn), AdocConfig::default());
+            let vlink = VLink::from_stream(Rc::new(adoc), VLinkMethod::Adoc);
+            (cb2.borrow_mut())(world, vlink);
+        });
+
+        // Secure substrate (ciphered TCP).
+        let cb2 = cb.clone();
+        sysio.listen(service + SECURE_PORT_OFFSET, move |world, conn| {
+            let sec = secure_over(world, Box::new(conn), SecureConfig::default());
+            let vlink = VLink::from_stream(Rc::new(sec), VLinkMethod::Secure);
+            (cb2.borrow_mut())(world, vlink);
+        });
+    }
+
+    /// Opens a VLink to `remote:service`; the carrying method is chosen by
+    /// the selector.
+    pub fn vlink_connect(&self, world: &mut SimWorld, remote: NodeId, service: u16) -> VLink {
+        let decision = self.vlink_decision(world, remote);
+        self.vlink_connect_with(world, remote, service, decision)
+    }
+
+    /// Opens a VLink forcing a specific method (used by experiments that
+    /// compare methods explicitly).
+    pub fn vlink_connect_with(
+        &self,
+        world: &mut SimWorld,
+        remote: NodeId,
+        service: u16,
+        decision: LinkDecision,
+    ) -> VLink {
+        let node = self.node();
+        match decision {
+            LinkDecision::Loopback => {
+                assert_eq!(remote, node, "loopback decision for distinct nodes");
+                let (local, peer) = loopback_pair(world, node);
+                let cb = self
+                    .inner
+                    .borrow()
+                    .local_services
+                    .get(&service)
+                    .cloned()
+                    .unwrap_or_else(|| panic!("no local service {service} to loop back to"));
+                let peer_vlink = VLink::from_stream(Rc::new(peer), VLinkMethod::Loopback);
+                world.schedule_after(SimDuration::ZERO, move |world| {
+                    (cb.borrow_mut())(world, peer_vlink);
+                });
+                VLink::from_stream(Rc::new(local), VLinkMethod::Loopback)
+            }
+            LinkDecision::San(_) => {
+                let (driver, rank) = {
+                    let inner = self.inner.borrow();
+                    let driver = inner
+                        .madstream
+                        .clone()
+                        .expect("SAN decision on a node without MadIO");
+                    let rank = inner
+                        .san_group
+                        .iter()
+                        .position(|&n| n == remote)
+                        .expect("remote outside the SAN group");
+                    (driver, rank)
+                };
+                let stream = driver.connect(world, rank, service);
+                VLink::from_stream(Rc::new(stream), VLinkMethod::MadIo)
+            }
+            LinkDecision::Tcp(net) => {
+                let conn = self
+                    .inner
+                    .borrow()
+                    .netaccess
+                    .sysio()
+                    .connect(world, net, remote, service);
+                VLink::from_stream(Rc::new(conn), VLinkMethod::SysIoTcp)
+            }
+            LinkDecision::ParallelStreams(net, width) => {
+                let tcp = self.inner.borrow().netaccess.sysio().tcp();
+                let ps = ParallelStream::connect(
+                    world,
+                    &tcp,
+                    net,
+                    remote,
+                    service + PSTREAM_PORT_OFFSET,
+                    ParallelStreamConfig {
+                        n_streams: width,
+                        ..Default::default()
+                    },
+                );
+                VLink::from_stream(Rc::new(ps), VLinkMethod::ParallelStreams { width })
+            }
+            LinkDecision::Adoc(net) => {
+                let conn = self.inner.borrow().netaccess.sysio().connect(
+                    world,
+                    net,
+                    remote,
+                    service + ADOC_PORT_OFFSET,
+                );
+                let adoc = adoc_over(world, Box::new(conn), AdocConfig::default());
+                VLink::from_stream(Rc::new(adoc), VLinkMethod::Adoc)
+            }
+            LinkDecision::Secure(net) => {
+                let conn = self.inner.borrow().netaccess.sysio().connect(
+                    world,
+                    net,
+                    remote,
+                    service + SECURE_PORT_OFFSET,
+                );
+                let sec = secure_over(world, Box::new(conn), SecureConfig::default());
+                VLink::from_stream(Rc::new(sec), VLinkMethod::Secure)
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------ //
+    // Circuit: parallel-oriented groups
+    // ------------------------------------------------------------------ //
+
+    /// Creates a Circuit over `group` (this node must be a member), using
+    /// `circuit_port` as the rendezvous identifier. Every member must call
+    /// this with the same group and port before the simulation runs the
+    /// exchanged traffic (SPMD style).
+    pub fn circuit_create(
+        &self,
+        world: &mut SimWorld,
+        group: Vec<NodeId>,
+        circuit_port: u16,
+    ) -> Circuit {
+        let node = self.node();
+        let my_rank = group
+            .iter()
+            .position(|&n| n == node)
+            .expect("this node is not in the Circuit group");
+        let circuit = Circuit::new(group.clone(), my_rank);
+        let tag = MadIOTag(CIRCUIT_TAG_BASE + circuit_port);
+
+        // Incoming: MadIO tag and framed streams on the circuit port family.
+        let has_san = self.inner.borrow().madstream.is_some();
+        if has_san {
+            let madio = self.inner.borrow().netaccess.madio();
+            circuit.attach_madio_incoming(world, &madio, tag);
+        }
+        let sysio = self.inner.borrow().netaccess.sysio();
+        for port in [
+            circuit_port,
+            circuit_port + PSTREAM_PORT_OFFSET,
+            circuit_port + ADOC_PORT_OFFSET,
+        ] {
+            let c = circuit.clone();
+            if port == circuit_port + PSTREAM_PORT_OFFSET {
+                let width = self.preferences().parallel_stream_width;
+                let c2 = c.clone();
+                ParallelStream::listen(
+                    world,
+                    &sysio.tcp(),
+                    port,
+                    ParallelStreamConfig {
+                        n_streams: width,
+                        ..Default::default()
+                    },
+                    move |world, ps| {
+                        c2.attach_incoming_stream(world, Rc::new(ps));
+                    },
+                );
+            } else {
+                sysio.listen(port, move |world, conn| {
+                    c.attach_incoming_stream(world, Rc::new(conn));
+                });
+            }
+        }
+
+        // Outgoing links, one per remote rank, chosen by the selector.
+        for (rank, &dst) in group.iter().enumerate() {
+            if rank == my_rank {
+                continue;
+            }
+            let decision = self.circuit_decision(world, dst);
+            match decision {
+                LinkDecision::Loopback => {}
+                LinkDecision::San(_) => {
+                    let inner = self.inner.borrow();
+                    let madio = inner.netaccess.madio();
+                    let mad_rank = madio
+                        .group()
+                        .iter()
+                        .position(|&n| n == dst)
+                        .expect("SAN decision for a node outside the MadIO group");
+                    circuit.set_link(rank, Box::new(MadIoCircuitLink::new(madio.clone(), tag, mad_rank)));
+                }
+                LinkDecision::Tcp(net) => {
+                    let conn = sysio.connect(world, net, dst, circuit_port);
+                    circuit.set_link(
+                        rank,
+                        Box::new(StreamCircuitLink::new(Rc::new(conn), CircuitLinkKind::SysIoStream)),
+                    );
+                }
+                LinkDecision::ParallelStreams(net, width) => {
+                    let ps = ParallelStream::connect(
+                        world,
+                        &sysio.tcp(),
+                        net,
+                        dst,
+                        circuit_port + PSTREAM_PORT_OFFSET,
+                        ParallelStreamConfig {
+                            n_streams: width,
+                            ..Default::default()
+                        },
+                    );
+                    circuit.set_link(
+                        rank,
+                        Box::new(StreamCircuitLink::new(Rc::new(ps), CircuitLinkKind::VLinkStream)),
+                    );
+                }
+                LinkDecision::Adoc(net) | LinkDecision::Secure(net) => {
+                    let conn = sysio.connect(world, net, dst, circuit_port + ADOC_PORT_OFFSET);
+                    let stream: Rc<dyn ByteStream> = match decision {
+                        LinkDecision::Adoc(_) => {
+                            Rc::new(adoc_over(world, Box::new(conn), AdocConfig::default()))
+                        }
+                        _ => Rc::new(secure_over(world, Box::new(conn), SecureConfig::default())),
+                    };
+                    circuit.set_link(
+                        rank,
+                        Box::new(StreamCircuitLink::new(stream, CircuitLinkKind::VLinkStream)),
+                    );
+                }
+            }
+        }
+        circuit
+    }
+}
+
+/// Builds runtimes for every node of a SAN cluster (the common case in the
+/// experiments): each node gets MadIO over the cluster's SAN.
+pub fn runtimes_for_cluster(
+    world: &mut SimWorld,
+    san: NetworkId,
+    nodes: &[NodeId],
+    prefs: SelectorPreferences,
+) -> Vec<PadicoRuntime> {
+    nodes
+        .iter()
+        .map(|&n| PadicoRuntime::new(world, n, Some((san, nodes.to_vec())), prefs.clone()))
+        .collect()
+}
+
+/// Builds runtimes for nodes that only have distributed networks (no SAN).
+pub fn runtimes_for_lan(
+    world: &mut SimWorld,
+    nodes: &[NodeId],
+    prefs: SelectorPreferences,
+) -> Vec<PadicoRuntime> {
+    nodes
+        .iter()
+        .map(|&n| PadicoRuntime::new(world, n, None, prefs.clone()))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simnet::topology;
+    use std::cell::Cell;
+
+    fn san_runtimes() -> (SimWorld, Vec<PadicoRuntime>, Vec<NodeId>) {
+        let p = topology::san_pair(61);
+        let mut world = p.world;
+        let nodes = vec![p.a, p.b];
+        let rts = runtimes_for_cluster(&mut world, p.san, &nodes, SelectorPreferences::default());
+        (world, rts, nodes)
+    }
+
+    #[test]
+    fn vlink_over_san_connects_and_exchanges() {
+        let (mut world, rts, nodes) = san_runtimes();
+        let accepted: Rc<RefCell<Option<VLink>>> = Rc::new(RefCell::new(None));
+        let a = accepted.clone();
+        rts[1].vlink_listen(&mut world, 100, move |_w, v| *a.borrow_mut() = Some(v));
+        let client = rts[0].vlink_connect(&mut world, nodes[1], 100);
+        assert_eq!(client.method(), VLinkMethod::MadIo, "SAN should be selected");
+        world.run();
+        let server = accepted.borrow().clone().unwrap();
+        assert_eq!(server.method(), VLinkMethod::MadIo);
+        client.post_write(&mut world, b"over the SAN");
+        let op = server.post_read(&mut world, 12);
+        world.run();
+        assert_eq!(server.complete_read(op).unwrap(), b"over the SAN");
+    }
+
+    #[test]
+    fn vlink_over_wan_uses_parallel_streams() {
+        let wanp = topology::wan_pair(3);
+        let mut world = wanp.world;
+        let rts = runtimes_for_lan(&mut world, &[wanp.a, wanp.b], SelectorPreferences::default());
+        let accepted: Rc<RefCell<Option<VLink>>> = Rc::new(RefCell::new(None));
+        let a = accepted.clone();
+        rts[1].vlink_listen(&mut world, 200, move |_w, v| *a.borrow_mut() = Some(v));
+        let client = rts[0].vlink_connect(&mut world, wanp.b, 200);
+        assert!(matches!(client.method(), VLinkMethod::ParallelStreams { width: 4 }));
+        world.run();
+        let server = accepted.borrow().clone().unwrap();
+        client.post_write(&mut world, b"wide area");
+        let op = server.post_read(&mut world, 9);
+        world.run();
+        assert_eq!(server.complete_read(op).unwrap(), b"wide area");
+    }
+
+    #[test]
+    fn vlink_to_self_uses_loopback() {
+        let (mut world, rts, nodes) = san_runtimes();
+        let hits = Rc::new(Cell::new(0));
+        let h = hits.clone();
+        rts[0].vlink_listen(&mut world, 7, move |_w, _v| h.set(h.get() + 1));
+        let v = rts[0].vlink_connect(&mut world, nodes[0], 7);
+        assert_eq!(v.method(), VLinkMethod::Loopback);
+        world.run();
+        assert_eq!(hits.get(), 1);
+    }
+
+    #[test]
+    fn forced_method_overrides_selector() {
+        let (mut world, rts, nodes) = san_runtimes();
+        let accepted: Rc<RefCell<Option<VLink>>> = Rc::new(RefCell::new(None));
+        let a = accepted.clone();
+        rts[1].vlink_listen(&mut world, 300, move |_w, v| *a.borrow_mut() = Some(v));
+        // Force plain TCP on the Ethernet even though Myrinet is available.
+        let lan = world.networks_between(nodes[0], nodes[1])[1];
+        let client = rts[0].vlink_connect_with(
+            &mut world,
+            nodes[1],
+            300,
+            LinkDecision::Tcp(lan),
+        );
+        assert_eq!(client.method(), VLinkMethod::SysIoTcp);
+        world.run();
+        assert_eq!(accepted.borrow().as_ref().unwrap().method(), VLinkMethod::SysIoTcp);
+    }
+
+    #[test]
+    fn circuit_inside_a_cluster_uses_the_san() {
+        let (mut world, rts, nodes) = san_runtimes();
+        let c0 = rts[0].circuit_create(&mut world, nodes.clone(), 50);
+        let c1 = rts[1].circuit_create(&mut world, nodes.clone(), 50);
+        assert_eq!(c0.link_kind(1), Some(crate::circuit::CircuitLinkKind::MadIo));
+        c0.send_bytes(&mut world, 1, &b"rank0->rank1"[..]);
+        c1.send_bytes(&mut world, 0, &b"rank1->rank0"[..]);
+        world.run();
+        assert_eq!(c1.poll_message().unwrap().concat(), b"rank0->rank1");
+        assert_eq!(c0.poll_message().unwrap().concat(), b"rank1->rank0");
+    }
+
+    #[test]
+    fn circuit_across_a_grid_mixes_adapters() {
+        let g = topology::two_clusters_over_wan(5, 2);
+        let mut world = g.world;
+        let all: Vec<NodeId> = g
+            .cluster_a
+            .nodes
+            .iter()
+            .chain(g.cluster_b.nodes.iter())
+            .copied()
+            .collect();
+        let san_a = g.cluster_a.san.unwrap();
+        let san_b = g.cluster_b.san.unwrap();
+        let mut rts = Vec::new();
+        for &n in &g.cluster_a.nodes {
+            rts.push(PadicoRuntime::new(
+                &mut world,
+                n,
+                Some((san_a, g.cluster_a.nodes.clone())),
+                SelectorPreferences::default(),
+            ));
+        }
+        for &n in &g.cluster_b.nodes {
+            rts.push(PadicoRuntime::new(
+                &mut world,
+                n,
+                Some((san_b, g.cluster_b.nodes.clone())),
+                SelectorPreferences::default(),
+            ));
+        }
+        let circuits: Vec<Circuit> = rts
+            .iter()
+            .map(|rt| rt.circuit_create(&mut world, all.clone(), 60))
+            .collect();
+        // Link 0 -> 1 stays inside cluster A (straight MadIO); 0 -> 2 spans
+        // the WAN (cross-paradigm stream).
+        assert_eq!(circuits[0].link_kind(1), Some(crate::circuit::CircuitLinkKind::MadIo));
+        assert_eq!(
+            circuits[0].link_kind(2),
+            Some(crate::circuit::CircuitLinkKind::VLinkStream)
+        );
+        circuits[0].send_bytes(&mut world, 1, &b"intra"[..]);
+        circuits[0].send_bytes(&mut world, 2, &b"inter"[..]);
+        world.run();
+        assert_eq!(circuits[1].poll_message().unwrap().concat(), b"intra");
+        assert_eq!(circuits[2].poll_message().unwrap().concat(), b"inter");
+    }
+}

@@ -1,0 +1,274 @@
+//! The adapter selector and its topology knowledge base.
+//!
+//! VLink and Circuit "automatically choose which protocol to use according
+//! to a knowledge base of the network topology managed by PadicoTM and
+//! user-defined preferences" (§4.2). This module implements that choice:
+//! given two nodes, the networks they share, and the user's preferences, it
+//! decides which adapter/method carries the link — straight adapters where
+//! possible, cross-paradigm or WAN-specific methods where required.
+
+use simnet::{NetworkClass, NetworkId, NodeId, SimWorld};
+
+/// User-defined preferences consulted by the selector.
+#[derive(Debug, Clone)]
+pub struct SelectorPreferences {
+    /// Use Parallel Streams on WAN-class networks.
+    pub parallel_streams_on_wan: bool,
+    /// Number of member streams for Parallel Streams.
+    pub parallel_stream_width: usize,
+    /// Use AdOC adaptive compression on slow Internet-class links.
+    pub compression_on_slow_links: bool,
+    /// Cipher and authenticate traffic that crosses site boundaries
+    /// (WAN/Internet). Intra-site networks are considered secure, so this
+    /// never applies to SAN/LAN/loopback ("if the network is secure, it is
+    /// useless to cipher data").
+    pub secure_inter_site: bool,
+    /// Never use the SAN even when available (ablation / debugging knob).
+    pub forbid_san: bool,
+}
+
+impl Default for SelectorPreferences {
+    fn default() -> Self {
+        SelectorPreferences {
+            parallel_streams_on_wan: true,
+            parallel_stream_width: 4,
+            compression_on_slow_links: true,
+            secure_inter_site: false,
+            forbid_san: false,
+        }
+    }
+}
+
+/// The method selected for one link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LinkDecision {
+    /// Both endpoints are the same node.
+    Loopback,
+    /// Straight parallel adapter (MadIO) over the given SAN.
+    San(NetworkId),
+    /// Plain TCP through SysIO over the given network.
+    Tcp(NetworkId),
+    /// Parallel TCP streams over the given WAN.
+    ParallelStreams(NetworkId, usize),
+    /// AdOC-compressed TCP over the given slow link.
+    Adoc(NetworkId),
+    /// Authenticated/encrypted TCP over the given inter-site link.
+    Secure(NetworkId),
+}
+
+impl LinkDecision {
+    /// The network the decision uses, if any.
+    pub fn network(&self) -> Option<NetworkId> {
+        match self {
+            LinkDecision::Loopback => None,
+            LinkDecision::San(n)
+            | LinkDecision::Tcp(n)
+            | LinkDecision::ParallelStreams(n, _)
+            | LinkDecision::Adoc(n)
+            | LinkDecision::Secure(n) => Some(*n),
+        }
+    }
+
+    /// Whether the decision is a straight adapter for a parallel middleware
+    /// (no paradigm translation).
+    pub fn is_straight_for_parallel(&self) -> bool {
+        matches!(self, LinkDecision::Loopback | LinkDecision::San(_))
+    }
+}
+
+/// The topology knowledge base: what the runtime knows about reachable
+/// networks, plus the user preferences.
+#[derive(Debug, Clone, Default)]
+pub struct TopologyKb {
+    /// User preferences applied by the selector.
+    pub prefs: SelectorPreferences,
+}
+
+impl TopologyKb {
+    /// Creates a knowledge base with the given preferences.
+    pub fn new(prefs: SelectorPreferences) -> TopologyKb {
+        TopologyKb { prefs }
+    }
+
+    /// Classifies the best network of each class shared by `a` and `b`.
+    fn shared(
+        &self,
+        world: &SimWorld,
+        a: NodeId,
+        b: NodeId,
+    ) -> Vec<(NetworkClass, NetworkId, f64)> {
+        let mut v: Vec<(NetworkClass, NetworkId, f64)> = world
+            .networks_between(a, b)
+            .into_iter()
+            .map(|id| {
+                let spec = &world.network(id).spec;
+                (spec.class, id, spec.bytes_per_sec)
+            })
+            .collect();
+        // Fastest first within the list.
+        v.sort_by(|x, y| y.2.partial_cmp(&x.2).unwrap_or(std::cmp::Ordering::Equal));
+        v
+    }
+
+    fn best_of(
+        &self,
+        shared: &[(NetworkClass, NetworkId, f64)],
+        class: NetworkClass,
+    ) -> Option<NetworkId> {
+        shared.iter().find(|(c, _, _)| *c == class).map(|(_, id, _)| *id)
+    }
+
+    /// Selects the method for a link used by a *distributed-oriented*
+    /// middleware (through VLink).
+    pub fn select_vlink(&self, world: &SimWorld, a: NodeId, b: NodeId) -> LinkDecision {
+        if a == b {
+            return LinkDecision::Loopback;
+        }
+        let shared = self.shared(world, a, b);
+        assert!(!shared.is_empty(), "no network between {a} and {b}");
+        if !self.prefs.forbid_san {
+            if let Some(san) = self.best_of(&shared, NetworkClass::San) {
+                // Cross-paradigm adapter: the distributed middleware rides
+                // the SAN through the stream-over-MadIO driver.
+                return LinkDecision::San(san);
+            }
+        }
+        if let Some(lan) = self.best_of(&shared, NetworkClass::Lan) {
+            return LinkDecision::Tcp(lan);
+        }
+        if let Some(wan) = self.best_of(&shared, NetworkClass::Wan) {
+            if self.prefs.secure_inter_site {
+                return LinkDecision::Secure(wan);
+            }
+            if self.prefs.parallel_streams_on_wan {
+                return LinkDecision::ParallelStreams(wan, self.prefs.parallel_stream_width);
+            }
+            return LinkDecision::Tcp(wan);
+        }
+        if let Some(inet) = self.best_of(&shared, NetworkClass::Internet) {
+            if self.prefs.secure_inter_site {
+                return LinkDecision::Secure(inet);
+            }
+            if self.prefs.compression_on_slow_links {
+                return LinkDecision::Adoc(inet);
+            }
+            return LinkDecision::Tcp(inet);
+        }
+        // Only loopback-class networks left.
+        LinkDecision::Tcp(shared[0].1)
+    }
+
+    /// Selects the method for a link used by a *parallel-oriented*
+    /// middleware (through Circuit).
+    pub fn select_circuit(&self, world: &SimWorld, a: NodeId, b: NodeId) -> LinkDecision {
+        if a == b {
+            return LinkDecision::Loopback;
+        }
+        let shared = self.shared(world, a, b);
+        assert!(!shared.is_empty(), "no network between {a} and {b}");
+        if !self.prefs.forbid_san {
+            if let Some(san) = self.best_of(&shared, NetworkClass::San) {
+                // Straight adapter: parallel middleware on parallel hardware.
+                return LinkDecision::San(san);
+            }
+        }
+        // Cross-paradigm: the parallel middleware must ride a distributed
+        // network; reuse the distributed-side method selection (which may
+        // itself pick WAN-specific methods).
+        match self.select_vlink(world, a, b) {
+            LinkDecision::San(n) => LinkDecision::Tcp(n),
+            other => other,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simnet::topology;
+    use simnet::NetworkSpec;
+
+    #[test]
+    fn same_node_is_loopback() {
+        let p = topology::san_pair(1);
+        let kb = TopologyKb::default();
+        assert_eq!(kb.select_vlink(&p.world, p.a, p.a), LinkDecision::Loopback);
+        assert_eq!(kb.select_circuit(&p.world, p.b, p.b), LinkDecision::Loopback);
+    }
+
+    #[test]
+    fn san_preferred_for_both_paradigms_when_available() {
+        let p = topology::san_pair(1);
+        let kb = TopologyKb::default();
+        assert_eq!(kb.select_vlink(&p.world, p.a, p.b), LinkDecision::San(p.san));
+        assert_eq!(kb.select_circuit(&p.world, p.a, p.b), LinkDecision::San(p.san));
+        assert!(kb.select_circuit(&p.world, p.a, p.b).is_straight_for_parallel());
+    }
+
+    #[test]
+    fn forbidding_san_falls_back_to_lan() {
+        let p = topology::san_pair(1);
+        let kb = TopologyKb::new(SelectorPreferences {
+            forbid_san: true,
+            ..Default::default()
+        });
+        assert_eq!(kb.select_vlink(&p.world, p.a, p.b), LinkDecision::Tcp(p.lan));
+    }
+
+    #[test]
+    fn wan_gets_parallel_streams_and_internet_gets_adoc() {
+        let wan = topology::wan_pair(1);
+        let kb = TopologyKb::default();
+        assert_eq!(
+            kb.select_vlink(&wan.world, wan.a, wan.b),
+            LinkDecision::ParallelStreams(wan.network, 4)
+        );
+        let inet = topology::lossy_internet_pair(1);
+        assert_eq!(
+            kb.select_vlink(&inet.world, inet.a, inet.b),
+            LinkDecision::Adoc(inet.network)
+        );
+    }
+
+    #[test]
+    fn secure_preference_overrides_wan_methods() {
+        let wan = topology::wan_pair(1);
+        let kb = TopologyKb::new(SelectorPreferences {
+            secure_inter_site: true,
+            ..Default::default()
+        });
+        assert_eq!(
+            kb.select_vlink(&wan.world, wan.a, wan.b),
+            LinkDecision::Secure(wan.network)
+        );
+        // But never on an intra-site network.
+        let lanp = topology::pair_over(1, NetworkSpec::ethernet_100());
+        assert_eq!(
+            kb.select_vlink(&lanp.world, lanp.a, lanp.b),
+            LinkDecision::Tcp(lanp.network)
+        );
+    }
+
+    #[test]
+    fn circuit_on_wan_is_cross_paradigm() {
+        let g = topology::two_clusters_over_wan(1, 2);
+        let kb = TopologyKb::default();
+        let a0 = g.cluster_a.node(0);
+        let b0 = g.cluster_b.node(0);
+        let d = kb.select_circuit(&g.world, a0, b0);
+        assert!(!d.is_straight_for_parallel());
+        assert_eq!(d, LinkDecision::ParallelStreams(g.wan, 4));
+        // Within a cluster the straight SAN adapter is used.
+        let a1 = g.cluster_a.node(1);
+        assert!(kb.select_circuit(&g.world, a0, a1).is_straight_for_parallel());
+    }
+
+    #[test]
+    fn decision_network_accessor() {
+        let p = topology::san_pair(1);
+        let kb = TopologyKb::default();
+        let d = kb.select_vlink(&p.world, p.a, p.b);
+        assert_eq!(d.network(), Some(p.san));
+        assert_eq!(LinkDecision::Loopback.network(), None);
+    }
+}

@@ -1,0 +1,724 @@
+//! Madeleine channels: groups of nodes exchanging incrementally packed
+//! messages over a SAN.
+
+use std::cell::RefCell;
+use std::collections::{HashMap, VecDeque};
+use std::rc::Rc;
+
+use bytes::Bytes;
+use simnet::{Frame, NetworkId, NodeId, ProtoId, SimDuration, SimWorld};
+
+use crate::message::{FrameKind, MadMessage, RecvMode, Segment, SendMode, WireMessage};
+
+/// Cost model and protocol thresholds of the Madeleine library.
+#[derive(Debug, Clone)]
+pub struct MadConfig {
+    /// Fixed sender-side software overhead per message.
+    pub send_overhead: SimDuration,
+    /// Fixed receiver-side software overhead per message.
+    pub recv_overhead: SimDuration,
+    /// Messages larger than this use the rendezvous protocol; smaller ones
+    /// are sent eagerly.
+    pub rendezvous_threshold: usize,
+    /// Extra round-trips are harmless for huge messages, but the grant
+    /// itself costs one software overhead on each side.
+    pub rendezvous_overhead: SimDuration,
+}
+
+impl Default for MadConfig {
+    fn default() -> Self {
+        MadConfig {
+            send_overhead: SimDuration::from_nanos(500),
+            recv_overhead: SimDuration::from_nanos(500),
+            rendezvous_threshold: 64 * 1024,
+            rendezvous_overhead: SimDuration::from_nanos(300),
+        }
+    }
+}
+
+/// Error returned when opening more channels than the hardware supports.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MadError {
+    /// The NIC/driver only exposes a limited number of hardware channels
+    /// (e.g. 2 on Myrinet with GM, 1 on SCI).
+    NoHardwareChannelLeft {
+        /// Number of channels the hardware supports.
+        max: u8,
+    },
+    /// The local node is not part of the requested group.
+    NotInGroup,
+    /// A rank outside the channel's group was addressed.
+    InvalidRank(usize),
+}
+
+impl std::fmt::Display for MadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MadError::NoHardwareChannelLeft { max } => {
+                write!(f, "the network hardware exposes only {max} channels")
+            }
+            MadError::NotInGroup => write!(f, "the local node is not a member of the group"),
+            MadError::InvalidRank(r) => write!(f, "rank {r} is outside the channel group"),
+        }
+    }
+}
+impl std::error::Error for MadError {}
+
+type MessageCallback = Box<dyn FnMut(&mut SimWorld, MadMessage)>;
+
+struct PendingRendezvous {
+    dst_rank: usize,
+    segments: Vec<Segment>,
+}
+
+struct ChannelState {
+    id: u16,
+    group: Vec<NodeId>,
+    my_rank: usize,
+    incoming: VecDeque<MadMessage>,
+    callback: Option<MessageCallback>,
+    notify_pending: bool,
+    // Sender-side rendezvous bookkeeping.
+    next_rendezvous_id: u32,
+    pending_rendezvous: HashMap<u32, PendingRendezvous>,
+    // Stats.
+    messages_sent: u64,
+    messages_received: u64,
+    bytes_sent: u64,
+}
+
+struct MadInner {
+    node: NodeId,
+    network: NetworkId,
+    config: MadConfig,
+    hw_channels: u8,
+    channels: HashMap<u16, Rc<RefCell<ChannelState>>>,
+    next_channel_id: u16,
+    /// Instant until which the sending CPU path is busy: per-message
+    /// software overheads serialize on the host, they do not overlap.
+    send_cpu_free: simnet::SimTime,
+    /// Instant until which the receiving CPU path is busy.
+    recv_cpu_free: simnet::SimTime,
+}
+
+/// A node's instance of the Madeleine communication library, bound to one
+/// SAN.
+#[derive(Clone)]
+pub struct Madeleine {
+    inner: Rc<RefCell<MadInner>>,
+}
+
+/// A communication channel over a group of nodes.
+#[derive(Clone)]
+pub struct MadChannel {
+    mad: Madeleine,
+    state: Rc<RefCell<ChannelState>>,
+}
+
+/// Handle used to build a message incrementally (`pack` … `end_packing`).
+pub struct PackHandle<'a> {
+    channel: &'a MadChannel,
+    dst_rank: usize,
+    segments: Vec<Segment>,
+    copied_bytes: u64,
+}
+
+/// Handle used to consume a received message incrementally.
+pub struct UnpackHandle {
+    message: MadMessage,
+    next: usize,
+}
+
+impl Madeleine {
+    /// Creates a Madeleine instance for `node` over `network` and registers
+    /// its frame handler.
+    pub fn new(world: &mut SimWorld, node: NodeId, network: NetworkId) -> Madeleine {
+        Self::with_config(world, node, network, MadConfig::default())
+    }
+
+    /// Creates a Madeleine instance with an explicit cost model.
+    pub fn with_config(
+        world: &mut SimWorld,
+        node: NodeId,
+        network: NetworkId,
+        config: MadConfig,
+    ) -> Madeleine {
+        let hw_channels = world.network(network).spec.hw_channels;
+        let mad = Madeleine {
+            inner: Rc::new(RefCell::new(MadInner {
+                node,
+                network,
+                config,
+                hw_channels: if hw_channels == 0 { u8::MAX } else { hw_channels },
+                channels: HashMap::new(),
+                next_channel_id: 0,
+                send_cpu_free: simnet::SimTime::ZERO,
+                recv_cpu_free: simnet::SimTime::ZERO,
+            })),
+        };
+        let m2 = mad.clone();
+        world.register_handler(node, ProtoId::MADELEINE, move |world, _net, frame| {
+            m2.on_frame(world, frame);
+        });
+        mad
+    }
+
+    /// The node this instance runs on.
+    pub fn node(&self) -> NodeId {
+        self.inner.borrow().node
+    }
+
+    /// The SAN this instance is bound to.
+    pub fn network(&self) -> NetworkId {
+        self.inner.borrow().network
+    }
+
+    /// Number of hardware channels still available.
+    pub fn channels_left(&self) -> u8 {
+        let inner = self.inner.borrow();
+        inner.hw_channels.saturating_sub(inner.channels.len() as u8)
+    }
+
+    /// Opens a channel over `group`. All members must call `open_channel`
+    /// with the same group in the same order (SPMD style) so channel ids
+    /// match across nodes.
+    pub fn open_channel(&self, group: Vec<NodeId>) -> Result<MadChannel, MadError> {
+        let mut inner = self.inner.borrow_mut();
+        if inner.channels.len() as u8 >= inner.hw_channels {
+            return Err(MadError::NoHardwareChannelLeft {
+                max: inner.hw_channels,
+            });
+        }
+        let my_rank = group
+            .iter()
+            .position(|&n| n == inner.node)
+            .ok_or(MadError::NotInGroup)?;
+        let id = inner.next_channel_id;
+        inner.next_channel_id += 1;
+        let state = Rc::new(RefCell::new(ChannelState {
+            id,
+            group,
+            my_rank,
+            incoming: VecDeque::new(),
+            callback: None,
+            notify_pending: false,
+            next_rendezvous_id: 0,
+            pending_rendezvous: HashMap::new(),
+            messages_sent: 0,
+            messages_received: 0,
+            bytes_sent: 0,
+        }));
+        inner.channels.insert(id, state.clone());
+        Ok(MadChannel {
+            mad: self.clone(),
+            state,
+        })
+    }
+
+    fn send_wire(&self, world: &mut SimWorld, dst: NodeId, wire: WireMessage, delay: SimDuration) {
+        let (src, network) = {
+            let inner = self.inner.borrow();
+            (inner.node, inner.network)
+        };
+        let payload = wire.encode();
+        let frame = Frame::new(src, dst, ProtoId::MADELEINE, payload)
+            .with_header_bytes(WireMessage::HEADER_BYTES as u32);
+        if delay.is_zero() {
+            world
+                .send_frame(network, frame)
+                .expect("Madeleine node detached from its SAN");
+        } else {
+            let network2 = network;
+            world.schedule_after(delay, move |world| {
+                world
+                    .send_frame(network2, frame)
+                    .expect("Madeleine node detached from its SAN");
+            });
+        }
+    }
+
+    fn on_frame(&self, world: &mut SimWorld, frame: Frame) {
+        let Some(wire) = WireMessage::decode(frame.payload) else {
+            return;
+        };
+        let (config, channel_state) = {
+            let inner = self.inner.borrow();
+            (
+                inner.config.clone(),
+                inner.channels.get(&wire.channel).cloned(),
+            )
+        };
+        let Some(state) = channel_state else { return };
+        match wire.kind {
+            FrameKind::Eager | FrameKind::RendezvousData => {
+                // Charge the receiver-side software overhead before the
+                // message becomes visible; receive processing of successive
+                // messages serializes on the host CPU.
+                let mad = self.clone();
+                let deliver_at = {
+                    let mut inner = self.inner.borrow_mut();
+                    let ready = world.now().max(inner.recv_cpu_free) + config.recv_overhead;
+                    inner.recv_cpu_free = ready;
+                    ready
+                };
+                world.schedule_at(deliver_at, move |world| {
+                    let msg = MadMessage {
+                        src_rank: wire.src_rank as usize,
+                        segments: wire.segments.clone(),
+                    };
+                    {
+                        let mut st = state.borrow_mut();
+                        st.messages_received += 1;
+                        st.incoming.push_back(msg);
+                    }
+                    MadChannel {
+                        mad: mad.clone(),
+                        state: state.clone(),
+                    }
+                    .schedule_notify(world);
+                });
+            }
+            FrameKind::RendezvousRequest => {
+                // Grant immediately (the receiver in this model always has
+                // room); the grant costs one small control frame.
+                let grant = WireMessage {
+                    channel: wire.channel,
+                    kind: FrameKind::RendezvousGrant,
+                    src_rank: state.borrow().my_rank as u32,
+                    rendezvous_id: wire.rendezvous_id,
+                    segments: vec![],
+                };
+                let dst = state.borrow().group[wire.src_rank as usize];
+                self.send_wire(world, dst, grant, config.rendezvous_overhead);
+            }
+            FrameKind::RendezvousGrant => {
+                let pending = state
+                    .borrow_mut()
+                    .pending_rendezvous
+                    .remove(&wire.rendezvous_id);
+                if let Some(p) = pending {
+                    let (dst, my_rank, channel) = {
+                        let st = state.borrow();
+                        (st.group[p.dst_rank], st.my_rank, st.id)
+                    };
+                    let data = WireMessage {
+                        channel,
+                        kind: FrameKind::RendezvousData,
+                        src_rank: my_rank as u32,
+                        rendezvous_id: wire.rendezvous_id,
+                        segments: p.segments,
+                    };
+                    self.send_wire(world, dst, data, config.rendezvous_overhead);
+                }
+            }
+        }
+    }
+}
+
+impl MadChannel {
+    /// This node's rank within the channel group.
+    pub fn my_rank(&self) -> usize {
+        self.state.borrow().my_rank
+    }
+
+    /// The channel's group, in rank order.
+    pub fn group(&self) -> Vec<NodeId> {
+        self.state.borrow().group.clone()
+    }
+
+    /// Number of members.
+    pub fn group_size(&self) -> usize {
+        self.state.borrow().group.len()
+    }
+
+    /// (messages sent, messages received, payload bytes sent).
+    pub fn stats(&self) -> (u64, u64, u64) {
+        let st = self.state.borrow();
+        (st.messages_sent, st.messages_received, st.bytes_sent)
+    }
+
+    /// Starts packing a message for `dst_rank`.
+    pub fn begin_packing(&self, dst_rank: usize) -> Result<PackHandle<'_>, MadError> {
+        let st = self.state.borrow();
+        if dst_rank >= st.group.len() {
+            return Err(MadError::InvalidRank(dst_rank));
+        }
+        Ok(PackHandle {
+            channel: self,
+            dst_rank,
+            segments: Vec::new(),
+            copied_bytes: 0,
+        })
+    }
+
+    /// Pops the next received message, if any.
+    pub fn poll_message(&self) -> Option<MadMessage> {
+        self.state.borrow_mut().incoming.pop_front()
+    }
+
+    /// Starts unpacking the next received message, if any.
+    pub fn begin_unpacking(&self) -> Option<UnpackHandle> {
+        self.poll_message().map(|message| UnpackHandle { message, next: 0 })
+    }
+
+    /// Number of messages waiting to be unpacked.
+    pub fn pending_messages(&self) -> usize {
+        self.state.borrow().incoming.len()
+    }
+
+    /// Registers a callback invoked (as a simulation event) whenever a
+    /// message is ready. Queued messages remain pollable.
+    pub fn set_message_callback(&self, cb: impl FnMut(&mut SimWorld, MadMessage) + 'static) {
+        self.state.borrow_mut().callback = Some(Box::new(cb));
+    }
+
+    fn schedule_notify(&self, world: &mut SimWorld) {
+        let should = {
+            let mut st = self.state.borrow_mut();
+            if st.callback.is_some() && !st.notify_pending && !st.incoming.is_empty() {
+                st.notify_pending = true;
+                true
+            } else {
+                false
+            }
+        };
+        if should {
+            let ch = self.clone();
+            world.schedule_after(SimDuration::ZERO, move |world| {
+                loop {
+                    let (cb, msg) = {
+                        let mut st = ch.state.borrow_mut();
+                        if st.incoming.is_empty() || st.callback.is_none() {
+                            st.notify_pending = false;
+                            return;
+                        }
+                        let msg = st.incoming.pop_front().expect("checked non-empty");
+                        (st.callback.take().expect("checked some"), msg)
+                    };
+                    let mut cb = cb;
+                    cb(world, msg);
+                    let mut st = ch.state.borrow_mut();
+                    if st.callback.is_none() {
+                        st.callback = Some(cb);
+                    } else {
+                        // The user installed a new callback from within the
+                        // old one; stop draining with the stale closure.
+                        st.notify_pending = false;
+                        return;
+                    }
+                }
+            });
+        }
+    }
+}
+
+impl PackHandle<'_> {
+    /// Appends a segment to the message being built.
+    pub fn pack(&mut self, data: impl Into<Bytes>, mode: SendMode) -> &mut Self {
+        let data = data.into();
+        if mode == SendMode::Safer {
+            // SAFER semantics force an internal copy: account for it.
+            self.copied_bytes += data.len() as u64;
+        }
+        self.segments.push(Segment {
+            data,
+            send_mode: mode,
+        });
+        self
+    }
+
+    /// Finishes the message and hands it to the network. Returns the number
+    /// of payload bytes sent.
+    pub fn end_packing(self, world: &mut SimWorld) -> usize {
+        let PackHandle {
+            channel,
+            dst_rank,
+            segments,
+            copied_bytes,
+        } = self;
+        let payload: usize = segments.iter().map(|s| s.data.len()).sum();
+        let (dst, my_rank, channel_id, config, node) = {
+            let st = channel.state.borrow();
+            let inner = channel.mad.inner.borrow();
+            (
+                st.group[dst_rank],
+                st.my_rank,
+                st.id,
+                inner.config.clone(),
+                inner.node,
+            )
+        };
+        {
+            let mut st = channel.state.borrow_mut();
+            st.messages_sent += 1;
+            st.bytes_sent += payload as u64;
+        }
+        // Sender-side cost: fixed software overhead plus one memory copy for
+        // every SAFER segment. The sending CPU handles one message at a
+        // time, so back-to-back sends serialize.
+        let mut cost = config.send_overhead;
+        if copied_bytes > 0 {
+            cost += world.copy_cost(node, copied_bytes);
+        }
+        let delay = {
+            let mut inner = channel.mad.inner.borrow_mut();
+            let ready = world.now().max(inner.send_cpu_free) + cost;
+            inner.send_cpu_free = ready;
+            ready - world.now()
+        };
+
+        if dst == node {
+            // Self-delivery: loop the message back without touching the SAN.
+            let state = channel.state.clone();
+            let ch = channel.clone();
+            let recv_overhead = config.recv_overhead;
+            world.schedule_after(delay + recv_overhead, move |world| {
+                {
+                    let mut st = state.borrow_mut();
+                    st.messages_received += 1;
+                    st.incoming.push_back(MadMessage {
+                        src_rank: my_rank,
+                        segments: segments.clone(),
+                    });
+                }
+                ch.schedule_notify(world);
+            });
+            return payload;
+        }
+
+        if payload > config.rendezvous_threshold {
+            // Rendezvous: announce, wait for the grant, then send the data.
+            let rendezvous_id = {
+                let mut st = channel.state.borrow_mut();
+                let id = st.next_rendezvous_id;
+                st.next_rendezvous_id += 1;
+                st.pending_rendezvous.insert(
+                    id,
+                    PendingRendezvous {
+                        dst_rank,
+                        segments,
+                    },
+                );
+                id
+            };
+            let request = WireMessage {
+                channel: channel_id,
+                kind: FrameKind::RendezvousRequest,
+                src_rank: my_rank as u32,
+                rendezvous_id,
+                segments: vec![],
+            };
+            channel.mad.send_wire(world, dst, request, delay);
+        } else {
+            let wire = WireMessage {
+                channel: channel_id,
+                kind: FrameKind::Eager,
+                src_rank: my_rank as u32,
+                rendezvous_id: 0,
+                segments,
+            };
+            channel.mad.send_wire(world, dst, wire, delay);
+        }
+        payload
+    }
+}
+
+impl UnpackHandle {
+    /// Rank of the message's sender.
+    pub fn src_rank(&self) -> usize {
+        self.message.src_rank
+    }
+
+    /// Unpacks the next segment. The receive mode only expresses when the
+    /// caller needs the data; segments are always returned in packing
+    /// order.
+    pub fn unpack(&mut self, _mode: RecvMode) -> Option<Bytes> {
+        let seg = self.message.segments.get(self.next)?;
+        self.next += 1;
+        Some(seg.data.clone())
+    }
+
+    /// Number of segments not yet unpacked.
+    pub fn remaining(&self) -> usize {
+        self.message.segments.len() - self.next
+    }
+
+    /// Finishes unpacking and returns the underlying message.
+    pub fn end_unpacking(self) -> MadMessage {
+        self.message
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simnet::topology;
+    use simnet::NetworkSpec;
+    use std::cell::Cell;
+
+    fn san_world(n: usize) -> (SimWorld, Vec<NodeId>, NetworkId) {
+        let mut world = SimWorld::new(3);
+        let cluster = topology::build_san_cluster(&mut world, "n", n, NetworkSpec::myrinet_2000());
+        let san = cluster.san.unwrap();
+        (world, cluster.nodes, san)
+    }
+
+    #[test]
+    fn channel_limit_matches_hardware() {
+        let (mut world, nodes, san) = san_world(2);
+        let mad = Madeleine::new(&mut world, nodes[0], san);
+        assert_eq!(mad.channels_left(), 2, "Myrinet exposes 2 channels");
+        let _c1 = mad.open_channel(nodes.clone()).unwrap();
+        let _c2 = mad.open_channel(nodes.clone()).unwrap();
+        let err = mad.open_channel(nodes.clone()).err().unwrap();
+        assert_eq!(err, MadError::NoHardwareChannelLeft { max: 2 });
+    }
+
+    #[test]
+    fn not_in_group_is_rejected() {
+        let (mut world, nodes, san) = san_world(3);
+        let mad = Madeleine::new(&mut world, nodes[0], san);
+        let err = mad.open_channel(vec![nodes[1], nodes[2]]).err().unwrap();
+        assert_eq!(err, MadError::NotInGroup);
+    }
+
+    #[test]
+    fn pack_unpack_roundtrip() {
+        let (mut world, nodes, san) = san_world(2);
+        let mad0 = Madeleine::new(&mut world, nodes[0], san);
+        let mad1 = Madeleine::new(&mut world, nodes[1], san);
+        let c0 = mad0.open_channel(nodes.clone()).unwrap();
+        let c1 = mad1.open_channel(nodes.clone()).unwrap();
+
+        let mut pk = c0.begin_packing(1).unwrap();
+        pk.pack(&b"hdr"[..], SendMode::Safer);
+        pk.pack(&b"payload-payload"[..], SendMode::Cheaper);
+        let sent = pk.end_packing(&mut world);
+        assert_eq!(sent, 18);
+        world.run();
+
+        let mut up = c1.begin_unpacking().expect("message arrived");
+        assert_eq!(up.src_rank(), 0);
+        assert_eq!(up.remaining(), 2);
+        assert_eq!(&up.unpack(RecvMode::Express).unwrap()[..], b"hdr");
+        assert_eq!(&up.unpack(RecvMode::Cheaper).unwrap()[..], b"payload-payload");
+        assert!(up.unpack(RecvMode::Cheaper).is_none());
+    }
+
+    #[test]
+    fn small_message_latency_is_a_few_microseconds() {
+        let (mut world, nodes, san) = san_world(2);
+        let mad0 = Madeleine::new(&mut world, nodes[0], san);
+        let mad1 = Madeleine::new(&mut world, nodes[1], san);
+        let c0 = mad0.open_channel(nodes.clone()).unwrap();
+        let c1 = mad1.open_channel(nodes.clone()).unwrap();
+        let arrived = Rc::new(Cell::new(0.0f64));
+        let a = arrived.clone();
+        c1.set_message_callback(move |world, _msg| a.set(world.now().as_micros_f64()));
+        let mut pk = c0.begin_packing(1).unwrap();
+        pk.pack(&[0u8; 4][..], SendMode::Cheaper);
+        pk.end_packing(&mut world);
+        world.run();
+        let latency = arrived.get();
+        // Myrinet hardware (≈6.8 µs) plus Madeleine overheads: ~7.5–9 µs.
+        assert!(latency > 7.0 && latency < 9.5, "latency {latency} µs");
+    }
+
+    #[test]
+    fn large_message_bandwidth_approaches_wire_rate() {
+        let (mut world, nodes, san) = san_world(2);
+        let mad0 = Madeleine::new(&mut world, nodes[0], san);
+        let mad1 = Madeleine::new(&mut world, nodes[1], san);
+        let c0 = mad0.open_channel(nodes.clone()).unwrap();
+        let c1 = mad1.open_channel(nodes.clone()).unwrap();
+        let received = Rc::new(Cell::new(0usize));
+        let done_at = Rc::new(Cell::new(0.0f64));
+        let (r, d) = (received.clone(), done_at.clone());
+        c1.set_message_callback(move |world, msg| {
+            r.set(r.get() + msg.payload_len());
+            d.set(world.now().as_secs_f64());
+        });
+        let total = 32 * 1024 * 1024usize;
+        let msg_size = 1024 * 1024usize;
+        for _ in 0..total / msg_size {
+            let mut pk = c0.begin_packing(1).unwrap();
+            pk.pack(vec![0u8; msg_size], SendMode::Cheaper);
+            pk.end_packing(&mut world);
+        }
+        world.run();
+        assert_eq!(received.get(), total);
+        let bw = total as f64 / done_at.get() / 1e6;
+        // Zero-copy Madeleine should reach ~96% of the 250 MB/s wire rate.
+        assert!(bw > 235.0, "bandwidth {bw} MB/s");
+        assert!(bw <= 251.0, "bandwidth {bw} MB/s exceeds hardware");
+    }
+
+    #[test]
+    fn safer_mode_costs_a_copy() {
+        let run = |mode: SendMode| -> f64 {
+            let (mut world, nodes, san) = san_world(2);
+            let mad0 = Madeleine::new(&mut world, nodes[0], san);
+            let mad1 = Madeleine::new(&mut world, nodes[1], san);
+            let c0 = mad0.open_channel(nodes.clone()).unwrap();
+            let c1 = mad1.open_channel(nodes.clone()).unwrap();
+            let done = Rc::new(Cell::new(0.0f64));
+            let d = done.clone();
+            c1.set_message_callback(move |world, _| d.set(world.now().as_secs_f64()));
+            let mut pk = c0.begin_packing(1).unwrap();
+            pk.pack(vec![0u8; 4 * 1024 * 1024], mode);
+            pk.end_packing(&mut world);
+            world.run();
+            done.get()
+        };
+        let cheap = run(SendMode::Cheaper);
+        let safe = run(SendMode::Safer);
+        assert!(
+            safe > cheap * 1.5,
+            "SAFER ({safe}s) must pay a copy versus CHEAPER ({cheap}s)"
+        );
+    }
+
+    #[test]
+    fn rendezvous_and_eager_both_deliver() {
+        let (mut world, nodes, san) = san_world(2);
+        let mad0 = Madeleine::new(&mut world, nodes[0], san);
+        let mad1 = Madeleine::new(&mut world, nodes[1], san);
+        let c0 = mad0.open_channel(nodes.clone()).unwrap();
+        let c1 = mad1.open_channel(nodes.clone()).unwrap();
+        // Eager (small) and rendezvous (large) messages.
+        let mut pk = c0.begin_packing(1).unwrap();
+        pk.pack(vec![1u8; 100], SendMode::Cheaper);
+        pk.end_packing(&mut world);
+        let mut pk = c0.begin_packing(1).unwrap();
+        pk.pack(vec![2u8; 500_000], SendMode::Cheaper);
+        pk.end_packing(&mut world);
+        world.run();
+        assert_eq!(c1.pending_messages(), 2);
+        let m1 = c1.poll_message().unwrap();
+        let m2 = c1.poll_message().unwrap();
+        assert_eq!(m1.payload_len() + m2.payload_len(), 500_100);
+    }
+
+    #[test]
+    fn self_delivery_loops_back() {
+        let (mut world, nodes, san) = san_world(2);
+        let mad0 = Madeleine::new(&mut world, nodes[0], san);
+        let c0 = mad0.open_channel(nodes.clone()).unwrap();
+        let mut pk = c0.begin_packing(0).unwrap();
+        pk.pack(&b"to myself"[..], SendMode::Cheaper);
+        pk.end_packing(&mut world);
+        world.run();
+        let msg = c0.poll_message().unwrap();
+        assert_eq!(msg.src_rank, 0);
+        assert_eq!(msg.concat(), b"to myself");
+    }
+
+    #[test]
+    fn invalid_rank_is_rejected() {
+        let (mut world, nodes, san) = san_world(2);
+        let mad0 = Madeleine::new(&mut world, nodes[0], san);
+        let c0 = mad0.open_channel(nodes.clone()).unwrap();
+        assert!(matches!(c0.begin_packing(5), Err(MadError::InvalidRank(5))));
+        let _ = &mut world;
+    }
+}

@@ -1,0 +1,291 @@
+//! Madeleine message model: incrementally packed segments with explicit
+//! send/receive semantics.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// How a packed segment may be sent (Madeleine's `send_mode`).
+///
+/// The mode is a *constraint given by the caller*, letting the library pick
+/// the cheapest correct strategy — this is the "explicit semantics" that
+/// allow zero-copy and on-the-fly packet reordering.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SendMode {
+    /// The buffer may be reused by the caller immediately: the library must
+    /// copy it (or send it synchronously).
+    Safer,
+    /// The buffer stays valid until `end_packing`: the library may delay
+    /// and aggregate it, and send straight from user memory (zero-copy).
+    Cheaper,
+    /// The buffer stays valid and the data is only needed by the receiver
+    /// at `end_unpacking`: maximal freedom to aggregate.
+    Later,
+}
+
+impl SendMode {
+    fn to_byte(self) -> u8 {
+        match self {
+            SendMode::Safer => 0,
+            SendMode::Cheaper => 1,
+            SendMode::Later => 2,
+        }
+    }
+
+    fn from_byte(b: u8) -> Option<SendMode> {
+        match b {
+            0 => Some(SendMode::Safer),
+            1 => Some(SendMode::Cheaper),
+            2 => Some(SendMode::Later),
+            _ => None,
+        }
+    }
+}
+
+/// How a segment is received (Madeleine's `receive_mode`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RecvMode {
+    /// The data is needed immediately after the matching `unpack` call
+    /// (e.g. a header that decides how to unpack the rest).
+    Express,
+    /// The data is only needed after `end_unpacking`.
+    Cheaper,
+}
+
+/// One packed segment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Segment {
+    /// Payload bytes.
+    pub data: Bytes,
+    /// Send semantics requested by the packer.
+    pub send_mode: SendMode,
+}
+
+/// A complete Madeleine message: the ordered list of segments produced by
+/// one `begin_packing` … `end_packing` sequence.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MadMessage {
+    /// Rank of the sender within the channel's group.
+    pub src_rank: usize,
+    /// Packed segments, in packing order.
+    pub segments: Vec<Segment>,
+}
+
+impl MadMessage {
+    /// Total payload bytes across all segments.
+    pub fn payload_len(&self) -> usize {
+        self.segments.iter().map(|s| s.data.len()).sum()
+    }
+
+    /// Concatenates all segments (convenience for callers that packed a
+    /// single logical buffer).
+    pub fn concat(&self) -> Vec<u8> {
+        let mut v = Vec::with_capacity(self.payload_len());
+        for s in &self.segments {
+            v.extend_from_slice(&s.data);
+        }
+        v
+    }
+}
+
+/// Kinds of frames exchanged on the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum FrameKind {
+    /// A self-contained message (all segments aggregated).
+    Eager,
+    /// Rendezvous request announcing a large message.
+    RendezvousRequest,
+    /// Rendezvous grant from the receiver.
+    RendezvousGrant,
+    /// The data of a granted rendezvous.
+    RendezvousData,
+}
+
+impl FrameKind {
+    fn to_byte(self) -> u8 {
+        match self {
+            FrameKind::Eager => 0,
+            FrameKind::RendezvousRequest => 1,
+            FrameKind::RendezvousGrant => 2,
+            FrameKind::RendezvousData => 3,
+        }
+    }
+
+    fn from_byte(b: u8) -> Option<FrameKind> {
+        match b {
+            0 => Some(FrameKind::Eager),
+            1 => Some(FrameKind::RendezvousRequest),
+            2 => Some(FrameKind::RendezvousGrant),
+            3 => Some(FrameKind::RendezvousData),
+            _ => None,
+        }
+    }
+}
+
+/// On-wire representation of a Madeleine exchange.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct WireMessage {
+    pub channel: u16,
+    pub kind: FrameKind,
+    pub src_rank: u32,
+    /// Identifier used to match rendezvous request/grant/data.
+    pub rendezvous_id: u32,
+    pub segments: Vec<Segment>,
+}
+
+impl WireMessage {
+    /// Bytes of header added per message by Madeleine itself.
+    pub const HEADER_BYTES: usize = 11;
+    /// Bytes of header added per segment.
+    pub const PER_SEGMENT_BYTES: usize = 5;
+
+    pub fn encode(&self) -> Bytes {
+        let payload: usize = self.segments.iter().map(|s| s.data.len()).sum();
+        let mut buf = BytesMut::with_capacity(
+            Self::HEADER_BYTES + self.segments.len() * Self::PER_SEGMENT_BYTES + payload,
+        );
+        buf.put_u16(self.channel);
+        buf.put_u8(self.kind.to_byte());
+        buf.put_u32(self.src_rank);
+        buf.put_u32(self.rendezvous_id);
+        // Segment count is implicit: read until the buffer is exhausted.
+        for seg in &self.segments {
+            buf.put_u8(seg.send_mode.to_byte());
+            buf.put_u32(seg.data.len() as u32);
+            buf.extend_from_slice(&seg.data);
+        }
+        buf.freeze()
+    }
+
+    pub fn decode(mut payload: Bytes) -> Option<WireMessage> {
+        if payload.len() < Self::HEADER_BYTES {
+            return None;
+        }
+        let channel = payload.get_u16();
+        let kind = FrameKind::from_byte(payload.get_u8())?;
+        let src_rank = payload.get_u32();
+        let rendezvous_id = payload.get_u32();
+        let mut segments = Vec::new();
+        while payload.has_remaining() {
+            if payload.remaining() < Self::PER_SEGMENT_BYTES {
+                return None;
+            }
+            let mode = SendMode::from_byte(payload.get_u8())?;
+            let len = payload.get_u32() as usize;
+            if payload.remaining() < len {
+                return None;
+            }
+            let data = payload.split_to(len);
+            segments.push(Segment {
+                data,
+                send_mode: mode,
+            });
+        }
+        Some(WireMessage {
+            channel,
+            kind,
+            src_rank,
+            rendezvous_id,
+            segments,
+        })
+    }
+
+    /// Total payload bytes.
+    #[allow(dead_code)]
+    pub fn payload_len(&self) -> usize {
+        self.segments.iter().map(|s| s.data.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn send_mode_bytes_roundtrip() {
+        for m in [SendMode::Safer, SendMode::Cheaper, SendMode::Later] {
+            assert_eq!(SendMode::from_byte(m.to_byte()), Some(m));
+        }
+        assert_eq!(SendMode::from_byte(9), None);
+    }
+
+    #[test]
+    fn wire_roundtrip_multi_segment() {
+        let wm = WireMessage {
+            channel: 3,
+            kind: FrameKind::Eager,
+            src_rank: 7,
+            rendezvous_id: 0,
+            segments: vec![
+                Segment {
+                    data: Bytes::from_static(b"header"),
+                    send_mode: SendMode::Safer,
+                },
+                Segment {
+                    data: Bytes::from_static(b"body body body"),
+                    send_mode: SendMode::Cheaper,
+                },
+                Segment {
+                    data: Bytes::new(),
+                    send_mode: SendMode::Later,
+                },
+            ],
+        };
+        let decoded = WireMessage::decode(wm.encode()).unwrap();
+        assert_eq!(decoded, wm);
+        assert_eq!(decoded.payload_len(), 20);
+    }
+
+    #[test]
+    fn wire_roundtrip_all_kinds() {
+        for kind in [
+            FrameKind::Eager,
+            FrameKind::RendezvousRequest,
+            FrameKind::RendezvousGrant,
+            FrameKind::RendezvousData,
+        ] {
+            let wm = WireMessage {
+                channel: 1,
+                kind,
+                src_rank: 0,
+                rendezvous_id: 42,
+                segments: vec![],
+            };
+            assert_eq!(WireMessage::decode(wm.encode()).unwrap().kind, kind);
+        }
+    }
+
+    #[test]
+    fn decode_rejects_truncation() {
+        let wm = WireMessage {
+            channel: 1,
+            kind: FrameKind::Eager,
+            src_rank: 0,
+            rendezvous_id: 0,
+            segments: vec![Segment {
+                data: Bytes::from_static(b"0123456789"),
+                send_mode: SendMode::Cheaper,
+            }],
+        };
+        let enc = wm.encode();
+        assert!(WireMessage::decode(enc.slice(..5)).is_none());
+        assert!(WireMessage::decode(enc.slice(..enc.len() - 3)).is_none());
+    }
+
+    #[test]
+    fn message_concat_preserves_order() {
+        let msg = MadMessage {
+            src_rank: 1,
+            segments: vec![
+                Segment {
+                    data: Bytes::from_static(b"abc"),
+                    send_mode: SendMode::Cheaper,
+                },
+                Segment {
+                    data: Bytes::from_static(b"def"),
+                    send_mode: SendMode::Cheaper,
+                },
+            ],
+        };
+        assert_eq!(msg.concat(), b"abcdef");
+        assert_eq!(msg.payload_len(), 6);
+    }
+}

@@ -1,0 +1,34 @@
+//! # middleware — the middleware systems ported onto PadicoTM-RS
+//!
+//! The paper's point is that the framework supports *existing* middleware
+//! of both paradigms, several at a time. This crate provides behavioural
+//! re-implementations of the systems used in the evaluation:
+//!
+//! * [`mpi`] — an MPI-like message-passing library over Circuit (the role
+//!   of MPICH/Madeleine): tagged point-to-point messages and collectives.
+//! * [`corba`] — a CORBA-like ORB over VLink with CDR marshalling and
+//!   per-implementation cost profiles (omniORB 3/4 zero-copy, Mico and
+//!   ORBacus copying engines).
+//! * [`javasock`] — Java-style sockets (the Kaffe JVM port).
+//! * [`soap`] — a gSOAP-like XML RPC endpoint (monitoring/steering role).
+//! * [`hla`] — a minimal HLA-RTI (Certi role): federation management,
+//!   publish/subscribe, conservative time advance.
+//! * [`cost`] — the calibrated per-middleware cost profiles behind Table 1
+//!   and Figure 3.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod corba;
+pub mod cost;
+pub mod hla;
+pub mod javasock;
+pub mod mpi;
+pub mod soap;
+
+pub use corba::{cdr_decode, cdr_encode, IdlValue, ObjRef, Orb, OrbImpl};
+pub use cost::MiddlewareCost;
+pub use hla::{Federate, RtiGateway};
+pub use javasock::{JavaServerSocket, JavaSocket};
+pub use mpi::{MpiComm, MpiMessage, ANY_SOURCE, ANY_TAG};
+pub use soap::{SoapCall, SoapEndpoint};

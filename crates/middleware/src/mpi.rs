@@ -1,0 +1,537 @@
+//! An MPI-like message-passing middleware over the Circuit interface.
+//!
+//! This plays the role of MPICH/Madeleine in the paper: the parallel
+//! middleware used both standalone and inside parallel components. It
+//! provides tagged point-to-point messages with posted receives and the
+//! usual collectives, and charges the calibrated MPICH software costs so
+//! that Table 1's 12 µs / 238 MB/s point is reproduced on the simulated
+//! Myrinet.
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::rc::Rc;
+
+use bytes::Bytes;
+use padico_core::Circuit;
+use simnet::SimWorld;
+
+use crate::cost::MiddlewareCost;
+
+/// Wildcard source for [`MpiComm::recv`].
+pub const ANY_SOURCE: Option<usize> = None;
+/// Wildcard tag for [`MpiComm::recv`].
+pub const ANY_TAG: Option<i32> = None;
+
+/// Tag space reserved for collective operations.
+const COLL_TAG_BASE: i32 = i32::MIN / 2;
+
+/// A received message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MpiMessage {
+    /// Rank of the sender.
+    pub src: usize,
+    /// Message tag.
+    pub tag: i32,
+    /// Payload.
+    pub data: Vec<u8>,
+}
+
+type RecvCallback = Box<dyn FnOnce(&mut SimWorld, MpiMessage)>;
+
+struct PostedRecv {
+    src: Option<usize>,
+    tag: Option<i32>,
+    callback: RecvCallback,
+}
+
+struct Inner {
+    circuit: Circuit,
+    cost: MiddlewareCost,
+    unexpected: VecDeque<MpiMessage>,
+    posted: VecDeque<PostedRecv>,
+    coll_seq: i32,
+    messages_sent: u64,
+    bytes_sent: u64,
+}
+
+/// An MPI communicator bound to one Circuit.
+#[derive(Clone)]
+pub struct MpiComm {
+    inner: Rc<RefCell<Inner>>,
+}
+
+impl MpiComm {
+    /// Creates the communicator over `circuit` with the standard MPICH cost
+    /// profile.
+    pub fn new(world: &mut SimWorld, circuit: Circuit) -> MpiComm {
+        Self::with_cost(world, circuit, MiddlewareCost::mpich())
+    }
+
+    /// Creates the communicator with an explicit cost profile.
+    pub fn with_cost(world: &mut SimWorld, circuit: Circuit, cost: MiddlewareCost) -> MpiComm {
+        let comm = MpiComm {
+            inner: Rc::new(RefCell::new(Inner {
+                circuit: circuit.clone(),
+                cost,
+                unexpected: VecDeque::new(),
+                posted: VecDeque::new(),
+                coll_seq: 0,
+                messages_sent: 0,
+                bytes_sent: 0,
+            })),
+        };
+        let c = comm.clone();
+        circuit.set_message_callback(move |world, msg| {
+            if msg.segments.is_empty() || msg.segments[0].len() < 4 {
+                return;
+            }
+            let tag = i32::from_be_bytes(msg.segments[0][0..4].try_into().unwrap());
+            let data = if msg.segments.len() > 1 {
+                msg.segments[1].to_vec()
+            } else {
+                Vec::new()
+            };
+            let mpi_msg = MpiMessage {
+                src: msg.src_rank,
+                tag,
+                data,
+            };
+            // Charge the receive-side software cost before delivery.
+            let cost = c.inner.borrow().cost.recv_cost(mpi_msg.data.len());
+            let c2 = c.clone();
+            world.schedule_after(cost, move |world| c2.deliver(world, mpi_msg));
+        });
+        let _ = world;
+        comm
+    }
+
+    /// This process's rank.
+    pub fn rank(&self) -> usize {
+        self.inner.borrow().circuit.my_rank()
+    }
+
+    /// Number of processes in the communicator.
+    pub fn size(&self) -> usize {
+        self.inner.borrow().circuit.size()
+    }
+
+    /// (messages sent, payload bytes sent).
+    pub fn stats(&self) -> (u64, u64) {
+        let st = self.inner.borrow();
+        (st.messages_sent, st.bytes_sent)
+    }
+
+    /// Sends `data` to `dst` with `tag` (buffered/eager semantics: the call
+    /// returns immediately).
+    pub fn send(&self, world: &mut SimWorld, dst: usize, tag: i32, data: &[u8]) {
+        let (circuit, cost) = {
+            let mut st = self.inner.borrow_mut();
+            st.messages_sent += 1;
+            st.bytes_sent += data.len() as u64;
+            (st.circuit.clone(), st.cost.send_cost(data.len()))
+        };
+        let header = Bytes::copy_from_slice(&tag.to_be_bytes());
+        let payload = Bytes::copy_from_slice(data);
+        world.schedule_after(cost, move |world| {
+            circuit.send(world, dst, vec![header, payload]);
+        });
+    }
+
+    /// Posts a receive. `callback` runs once a matching message arrives
+    /// (wildcards via `None`). Matching is FIFO per (source, tag) pair.
+    pub fn recv(
+        &self,
+        world: &mut SimWorld,
+        src: Option<usize>,
+        tag: Option<i32>,
+        callback: impl FnOnce(&mut SimWorld, MpiMessage) + 'static,
+    ) {
+        // Check the unexpected-message queue first.
+        let mut st = self.inner.borrow_mut();
+        let pos = st
+            .unexpected
+            .iter()
+            .position(|m| src.is_none_or(|s| s == m.src) && tag.is_none_or(|t| t == m.tag));
+        match pos {
+            Some(i) => {
+                let msg = st.unexpected.remove(i).expect("index valid");
+                drop(st);
+                callback(world, msg);
+            }
+            None => {
+                st.posted.push_back(PostedRecv {
+                    src,
+                    tag,
+                    callback: Box::new(callback),
+                });
+            }
+        }
+    }
+
+    fn deliver(&self, world: &mut SimWorld, msg: MpiMessage) {
+        let callback = {
+            let mut st = self.inner.borrow_mut();
+            let pos = st.posted.iter().position(|p| {
+                p.src.is_none_or(|s| s == msg.src) && p.tag.is_none_or(|t| t == msg.tag)
+            });
+            match pos {
+                Some(i) => Some(st.posted.remove(i).expect("index valid").callback),
+                None => {
+                    st.unexpected.push_back(msg.clone());
+                    None
+                }
+            }
+        };
+        if let Some(cb) = callback {
+            cb(world, msg);
+        }
+    }
+
+    fn next_coll_tag(&self) -> i32 {
+        let mut st = self.inner.borrow_mut();
+        st.coll_seq += 1;
+        COLL_TAG_BASE + st.coll_seq
+    }
+
+    // ------------------------------------------------------------------ //
+    // Collectives (every member must call them in the same order)
+    // ------------------------------------------------------------------ //
+
+    /// Barrier: `done` runs once every rank has entered the barrier.
+    pub fn barrier(&self, world: &mut SimWorld, done: impl FnOnce(&mut SimWorld) + 'static) {
+        let tag = self.next_coll_tag();
+        let size = self.size();
+        let rank = self.rank();
+        if size == 1 {
+            done(world);
+            return;
+        }
+        if rank == 0 {
+            // Gather empty messages from everyone, then release them.
+            let remaining = Rc::new(RefCell::new(size - 1));
+            let comm = self.clone();
+            let done = Rc::new(RefCell::new(Some(Box::new(done) as Box<dyn FnOnce(&mut SimWorld)>)));
+            for _ in 1..size {
+                let remaining = remaining.clone();
+                let comm2 = comm.clone();
+                let done = done.clone();
+                self.recv(world, ANY_SOURCE, Some(tag), move |world, _msg| {
+                    *remaining.borrow_mut() -= 1;
+                    if *remaining.borrow() == 0 {
+                        for dst in 1..comm2.size() {
+                            comm2.send(world, dst, tag, &[]);
+                        }
+                        if let Some(done) = done.borrow_mut().take() {
+                            done(world);
+                        }
+                    }
+                });
+            }
+        } else {
+            self.send(world, 0, tag, &[]);
+            self.recv(world, Some(0), Some(tag), move |world, _msg| done(world));
+        }
+    }
+
+    /// Broadcast from `root`: the root passes `Some(data)`, the others
+    /// `None`; every rank's `done` receives the broadcast buffer.
+    pub fn bcast(
+        &self,
+        world: &mut SimWorld,
+        root: usize,
+        data: Option<Vec<u8>>,
+        done: impl FnOnce(&mut SimWorld, Vec<u8>) + 'static,
+    ) {
+        let tag = self.next_coll_tag();
+        let size = self.size();
+        let rank = self.rank();
+        if rank == root {
+            let data = data.expect("root must provide the broadcast buffer");
+            for dst in 0..size {
+                if dst != root {
+                    self.send(world, dst, tag, &data);
+                }
+            }
+            done(world, data);
+        } else {
+            self.recv(world, Some(root), Some(tag), move |world, msg| {
+                done(world, msg.data)
+            });
+        }
+    }
+
+    /// Sum-reduction of one `f64` to `root`; the root's `done` receives
+    /// `Some(total)`, the others `None`.
+    pub fn reduce_sum(
+        &self,
+        world: &mut SimWorld,
+        root: usize,
+        value: f64,
+        done: impl FnOnce(&mut SimWorld, Option<f64>) + 'static,
+    ) {
+        let tag = self.next_coll_tag();
+        let size = self.size();
+        let rank = self.rank();
+        if rank == root {
+            let total = Rc::new(RefCell::new(value));
+            let remaining = Rc::new(RefCell::new(size - 1));
+            let done = Rc::new(RefCell::new(Some(
+                Box::new(done) as Box<dyn FnOnce(&mut SimWorld, Option<f64>)>
+            )));
+            if size == 1 {
+                if let Some(done) = done.borrow_mut().take() {
+                    done(world, Some(value));
+                }
+                return;
+            }
+            for _ in 0..size - 1 {
+                let total = total.clone();
+                let remaining = remaining.clone();
+                let done = done.clone();
+                self.recv(world, ANY_SOURCE, Some(tag), move |world, msg| {
+                    let v = f64::from_be_bytes(msg.data[0..8].try_into().unwrap());
+                    *total.borrow_mut() += v;
+                    *remaining.borrow_mut() -= 1;
+                    if *remaining.borrow() == 0 {
+                        if let Some(done) = done.borrow_mut().take() {
+                            let t = *total.borrow();
+                            done(world, Some(t));
+                        }
+                    }
+                });
+            }
+        } else {
+            self.send(world, root, tag, &value.to_be_bytes());
+            done(world, None);
+        }
+    }
+
+    /// All-reduce (sum of one `f64`): every rank's `done` receives the total.
+    pub fn allreduce_sum(
+        &self,
+        world: &mut SimWorld,
+        value: f64,
+        done: impl FnOnce(&mut SimWorld, f64) + 'static,
+    ) {
+        let comm = self.clone();
+        self.reduce_sum(world, 0, value, move |world, total| {
+            // Root broadcasts the result; everyone completes on reception.
+            comm.bcast(
+                world,
+                0,
+                total.map(|t| t.to_be_bytes().to_vec()),
+                move |world, buf| {
+                    let t = f64::from_be_bytes(buf[0..8].try_into().unwrap());
+                    done(world, t);
+                },
+            );
+        });
+    }
+
+    /// Gather: every rank contributes `data`; the root's `done` receives
+    /// the contributions indexed by rank, the others `None`.
+    pub fn gather(
+        &self,
+        world: &mut SimWorld,
+        root: usize,
+        data: Vec<u8>,
+        done: impl FnOnce(&mut SimWorld, Option<Vec<Vec<u8>>>) + 'static,
+    ) {
+        let tag = self.next_coll_tag();
+        let size = self.size();
+        let rank = self.rank();
+        if rank == root {
+            let slots: Rc<RefCell<Vec<Option<Vec<u8>>>>> =
+                Rc::new(RefCell::new(vec![None; size]));
+            slots.borrow_mut()[root] = Some(data);
+            let remaining = Rc::new(RefCell::new(size - 1));
+            let done = Rc::new(RefCell::new(Some(
+                Box::new(done) as Box<dyn FnOnce(&mut SimWorld, Option<Vec<Vec<u8>>>)>
+            )));
+            if size == 1 {
+                let all = slots.borrow_mut().drain(..).map(|s| s.unwrap()).collect();
+                if let Some(done) = done.borrow_mut().take() {
+                    done(world, Some(all));
+                }
+                return;
+            }
+            for _ in 0..size - 1 {
+                let slots = slots.clone();
+                let remaining = remaining.clone();
+                let done = done.clone();
+                self.recv(world, ANY_SOURCE, Some(tag), move |world, msg| {
+                    slots.borrow_mut()[msg.src] = Some(msg.data);
+                    *remaining.borrow_mut() -= 1;
+                    if *remaining.borrow() == 0 {
+                        let all = slots.borrow_mut().drain(..).map(|s| s.unwrap()).collect();
+                        if let Some(done) = done.borrow_mut().take() {
+                            done(world, Some(all));
+                        }
+                    }
+                });
+            }
+        } else {
+            self.send(world, root, tag, &data);
+            done(world, None);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use padico_core::{runtimes_for_cluster, SelectorPreferences};
+    use simnet::topology;
+    use std::cell::Cell;
+
+    /// Builds an MPI "world" of `n` processes on a Myrinet cluster.
+    fn mpi_world(n: usize) -> (SimWorld, Vec<MpiComm>) {
+        let mut world = SimWorld::new(83);
+        let cluster =
+            topology::build_san_cluster(&mut world, "n", n, simnet::NetworkSpec::myrinet_2000());
+        let rts = runtimes_for_cluster(
+            &mut world,
+            cluster.san.unwrap(),
+            &cluster.nodes,
+            SelectorPreferences::default(),
+        );
+        let comms: Vec<MpiComm> = rts
+            .iter()
+            .map(|rt| {
+                let circuit = rt.circuit_create(&mut world, cluster.nodes.clone(), 900);
+                MpiComm::new(&mut world, circuit)
+            })
+            .collect();
+        (world, comms)
+    }
+
+    #[test]
+    fn point_to_point_with_tags() {
+        let (mut world, comms) = mpi_world(2);
+        assert_eq!(comms[0].rank(), 0);
+        assert_eq!(comms[1].size(), 2);
+        let got = Rc::new(RefCell::new(Vec::new()));
+        let g = got.clone();
+        comms[1].recv(&mut world, Some(0), Some(7), move |_w, msg| {
+            g.borrow_mut().push((msg.tag, msg.data));
+        });
+        comms[0].send(&mut world, 1, 7, b"tagged payload");
+        world.run();
+        assert_eq!(*got.borrow(), vec![(7, b"tagged payload".to_vec())]);
+    }
+
+    #[test]
+    fn unexpected_messages_are_buffered_until_recv() {
+        let (mut world, comms) = mpi_world(2);
+        comms[0].send(&mut world, 1, 3, b"early bird");
+        world.run();
+        let got = Rc::new(Cell::new(false));
+        let g = got.clone();
+        comms[1].recv(&mut world, ANY_SOURCE, Some(3), move |_w, msg| {
+            assert_eq!(msg.data, b"early bird");
+            assert_eq!(msg.src, 0);
+            g.set(true);
+        });
+        world.run();
+        assert!(got.get());
+    }
+
+    #[test]
+    fn wildcard_receive_matches_any_tag_and_source() {
+        let (mut world, comms) = mpi_world(3);
+        let count = Rc::new(Cell::new(0));
+        for _ in 0..2 {
+            let c = count.clone();
+            comms[0].recv(&mut world, ANY_SOURCE, ANY_TAG, move |_w, _m| c.set(c.get() + 1));
+        }
+        comms[1].send(&mut world, 0, 11, b"from 1");
+        comms[2].send(&mut world, 0, 22, b"from 2");
+        world.run();
+        assert_eq!(count.get(), 2);
+    }
+
+    #[test]
+    fn ping_pong_latency_matches_table1() {
+        let (mut world, comms) = mpi_world(2);
+        // One-way latency of a 4-byte message, measured as half the
+        // round-trip (as the paper does).
+        let done_at = Rc::new(Cell::new(0.0f64));
+        let d = done_at.clone();
+        let c1 = comms[1].clone();
+        comms[1].recv(&mut world, Some(0), Some(1), move |world, msg| {
+            c1.send(world, 0, 2, &msg.data);
+        });
+        comms[0].recv(&mut world, Some(1), Some(2), move |world, _msg| {
+            d.set(world.now().as_micros_f64());
+        });
+        comms[0].send(&mut world, 1, 1, &[0u8; 4]);
+        world.run();
+        let one_way = done_at.get() / 2.0;
+        assert!(
+            one_way > 10.0 && one_way < 14.5,
+            "MPI one-way latency {one_way:.2} µs, expected ≈12 µs"
+        );
+    }
+
+    #[test]
+    fn barrier_releases_all_ranks() {
+        let (mut world, comms) = mpi_world(4);
+        let released = Rc::new(Cell::new(0));
+        for comm in &comms {
+            let r = released.clone();
+            comm.barrier(&mut world, move |_w| r.set(r.get() + 1));
+        }
+        world.run();
+        assert_eq!(released.get(), 4);
+    }
+
+    #[test]
+    fn bcast_reaches_every_rank() {
+        let (mut world, comms) = mpi_world(3);
+        let results = Rc::new(RefCell::new(vec![Vec::new(); 3]));
+        for (i, comm) in comms.iter().enumerate() {
+            let r = results.clone();
+            let data = if i == 1 { Some(b"broadcast!".to_vec()) } else { None };
+            comm.bcast(&mut world, 1, data, move |_w, buf| {
+                r.borrow_mut()[i] = buf;
+            });
+        }
+        world.run();
+        for i in 0..3 {
+            assert_eq!(results.borrow()[i], b"broadcast!");
+        }
+    }
+
+    #[test]
+    fn allreduce_sums_across_ranks() {
+        let (mut world, comms) = mpi_world(4);
+        let results = Rc::new(RefCell::new(vec![0.0f64; 4]));
+        for (i, comm) in comms.iter().enumerate() {
+            let r = results.clone();
+            comm.allreduce_sum(&mut world, (i + 1) as f64, move |_w, total| {
+                r.borrow_mut()[i] = total;
+            });
+        }
+        world.run();
+        for i in 0..4 {
+            assert_eq!(results.borrow()[i], 10.0, "rank {i}");
+        }
+    }
+
+    #[test]
+    fn gather_collects_rank_data_in_order() {
+        let (mut world, comms) = mpi_world(3);
+        let out: Rc<RefCell<Option<Vec<Vec<u8>>>>> = Rc::new(RefCell::new(None));
+        for (i, comm) in comms.iter().enumerate() {
+            let o = out.clone();
+            comm.gather(&mut world, 0, vec![i as u8; i + 1], move |_w, res| {
+                if let Some(res) = res {
+                    *o.borrow_mut() = Some(res);
+                }
+            });
+        }
+        world.run();
+        let res = out.borrow().clone().unwrap();
+        assert_eq!(res, vec![vec![0u8; 1], vec![1u8; 2], vec![2u8; 3]]);
+    }
+}

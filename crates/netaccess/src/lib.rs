@@ -1,0 +1,31 @@
+//! # netaccess — the PadicoTM arbitration layer
+//!
+//! `NetAccess` is the lowest layer of the PadicoTM model: the *only* client
+//! of the raw networking resources of a node. It provides consistent,
+//! reentrant, multiplexed, callback-based access to:
+//!
+//! * **MadIO** — parallel-oriented hardware reached through the Madeleine
+//!   library, with logical multiplexing and *header combining* so that
+//!   sharing the SAN between several middleware systems costs < 0.1 µs;
+//! * **SysIO** — system sockets, watched by a single cooperative receipt
+//!   loop (no signal-driven I/O, no competing busy-pollers);
+//! * a **core dispatch loop** that interleaves the two with a
+//!   user-tunable fairness policy.
+//!
+//! Everything above (the Circuit and VLink abstract interfaces, the
+//! personalities, the middleware systems) only ever touches the network
+//! through this crate.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod core;
+pub mod madio;
+#[allow(clippy::module_inception)]
+mod netaccess;
+pub mod sysio;
+
+pub use crate::core::{NetAccessConfig, NetAccessCore, NetAccessStats, PollPolicy, Subsystem};
+pub use crate::madio::{MadIO, MadIOMessage, MadIOTag, MADIO_HEADER_BYTES};
+pub use crate::netaccess::NetAccess;
+pub use crate::sysio::{AcceptCallback, StreamCallback, SysIO, WatchId};

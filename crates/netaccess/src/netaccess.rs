@@ -1,0 +1,184 @@
+//! The per-node NetAccess facade tying the core, MadIO and SysIO together.
+
+use madeleine::{MadConfig, Madeleine};
+use simnet::{NetworkId, NodeId, SimWorld};
+
+use crate::core::{NetAccessConfig, NetAccessCore, NetAccessStats, PollPolicy};
+use crate::madio::MadIO;
+use crate::sysio::SysIO;
+
+/// A node's NetAccess instance: the single arbitrated entry point to every
+/// networking resource of that node.
+#[derive(Clone)]
+pub struct NetAccess {
+    core: NetAccessCore,
+    madio: MadIO,
+    sysio: SysIO,
+    node: NodeId,
+}
+
+impl NetAccess {
+    /// Brings up NetAccess on `node` with default configuration. If
+    /// `san` is given, a Madeleine instance is created on it and MadIO is
+    /// attached to a channel spanning `san_group`.
+    pub fn new(
+        world: &mut SimWorld,
+        node: NodeId,
+        san: Option<(NetworkId, Vec<NodeId>)>,
+    ) -> NetAccess {
+        Self::with_config(world, node, san, NetAccessConfig::default())
+    }
+
+    /// Brings up NetAccess with an explicit configuration.
+    pub fn with_config(
+        world: &mut SimWorld,
+        node: NodeId,
+        san: Option<(NetworkId, Vec<NodeId>)>,
+        config: NetAccessConfig,
+    ) -> NetAccess {
+        let core = NetAccessCore::new(node, config);
+        let madio = MadIO::new(core.clone());
+        let sysio = SysIO::new(world, core.clone(), node);
+        if let Some((network, group)) = san {
+            let mad = Madeleine::with_config(world, node, network, MadConfig::default());
+            let channel = mad
+                .open_channel(group)
+                .expect("at least one hardware channel must be available for MadIO");
+            madio.attach_channel(world, channel);
+        }
+        NetAccess {
+            core,
+            madio,
+            sysio,
+            node,
+        }
+    }
+
+    /// The node this instance arbitrates for.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// The MadIO subsystem (parallel-oriented hardware).
+    pub fn madio(&self) -> MadIO {
+        self.madio.clone()
+    }
+
+    /// The SysIO subsystem (system sockets).
+    pub fn sysio(&self) -> SysIO {
+        self.sysio.clone()
+    }
+
+    /// Dispatch-loop statistics.
+    pub fn stats(&self) -> NetAccessStats {
+        self.core.stats()
+    }
+
+    /// Changes the MadIO/SysIO interleaving policy at runtime.
+    pub fn set_policy(&self, policy: PollPolicy) {
+        self.core.set_policy(policy);
+    }
+
+    /// Current interleaving policy.
+    pub fn policy(&self) -> PollPolicy {
+        self.core.policy()
+    }
+
+    /// Enables or disables MadIO header combining.
+    pub fn set_header_combining(&self, enabled: bool) {
+        self.core.set_header_combining(enabled);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::madio::MadIOTag;
+    use simnet::{topology, NetworkSpec};
+    use std::cell::Cell;
+    use std::rc::Rc;
+    use transport::{ByteStream, ByteStreamExt};
+
+    /// Builds the paper's test platform (2 nodes, Myrinet + Ethernet) with
+    /// NetAccess up on both nodes.
+    fn platform() -> (SimWorld, Vec<NetAccess>, simnet::NetworkId, simnet::NetworkId, Vec<NodeId>) {
+        let p = topology::san_pair(77);
+        let mut world = p.world;
+        let nodes = vec![p.a, p.b];
+        let na: Vec<NetAccess> = nodes
+            .iter()
+            .map(|&n| NetAccess::new(&mut world, n, Some((p.san, nodes.clone()))))
+            .collect();
+        (world, na, p.san, p.lan, nodes)
+    }
+
+    #[test]
+    fn madio_and_sysio_coexist_on_one_node() {
+        let (mut world, na, _san, lan, nodes) = platform();
+        // Middleware 1: message over MadIO (the SAN).
+        let got_mad = Rc::new(Cell::new(false));
+        let g = got_mad.clone();
+        na[1].madio()
+            .register(&mut world, MadIOTag::user(1), move |_w, m| {
+                assert_eq!(m.concat(), b"mpi-like traffic");
+                g.set(true);
+            });
+        na[0].madio()
+            .send_bytes(&mut world, 1, MadIOTag::user(1), &b"mpi-like traffic"[..]);
+
+        // Middleware 2: stream over SysIO (the LAN), concurrently.
+        let got_sys = Rc::new(Cell::new(false));
+        let g = got_sys.clone();
+        let sysio_b = na[1].sysio();
+        let sysio_b2 = sysio_b.clone();
+        sysio_b.listen(5555, move |_w, conn| {
+            let g = g.clone();
+            let conn_rc: Rc<dyn ByteStream> = Rc::new(conn);
+            sysio_b2.watch(conn_rc, move |world, stream| {
+                if stream.recv(world, usize::MAX) == b"corba-like traffic" {
+                    g.set(true);
+                }
+            });
+        });
+        let conn = na[0].sysio().connect(&mut world, lan, nodes[1], 5555);
+        conn.send_all(&mut world, b"corba-like traffic");
+
+        world.run();
+        assert!(got_mad.get(), "MadIO traffic must arrive");
+        assert!(got_sys.get(), "SysIO traffic must arrive");
+        let stats = na[1].stats();
+        assert!(stats.madio_events >= 1);
+        assert!(stats.sysio_events >= 1);
+    }
+
+    #[test]
+    fn policy_is_tunable_per_node() {
+        let (_world, na, _san, _lan, _nodes) = platform();
+        na[0].set_policy(PollPolicy::favour_sysio(3));
+        assert_eq!(na[0].policy().sysio_weight, 3);
+        assert_eq!(na[1].policy().sysio_weight, 1, "other nodes unaffected");
+    }
+
+    #[test]
+    fn netaccess_without_san_still_provides_sysio() {
+        let mut p = topology::pair_over(5, NetworkSpec::ethernet_100());
+        let na_a = NetAccess::new(&mut p.world, p.a, None);
+        let na_b = NetAccess::new(&mut p.world, p.b, None);
+        let got = Rc::new(Cell::new(false));
+        let g = got.clone();
+        let sys_b = na_b.sysio();
+        let sys_b2 = sys_b.clone();
+        sys_b.listen(1234, move |_w, conn| {
+            let g = g.clone();
+            let conn_rc: Rc<dyn ByteStream> = Rc::new(conn);
+            sys_b2.watch(conn_rc, move |world, stream| {
+                stream.recv(world, usize::MAX);
+                g.set(true);
+            });
+        });
+        let conn = na_a.sysio().connect(&mut p.world, p.network, p.b, 1234);
+        conn.send_all(&mut p.world, b"lan only");
+        p.world.run();
+        assert!(got.get());
+    }
+}

@@ -1,0 +1,198 @@
+//! The discrete-event queue.
+//!
+//! Events are closures scheduled at an absolute [`SimTime`]. Ties are broken
+//! by insertion order so that the simulation is fully deterministic.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::collections::HashSet;
+
+use crate::time::SimTime;
+use crate::world::SimWorld;
+
+/// Identifier of a scheduled event, usable to cancel it before it fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EventId(pub(crate) u64);
+
+/// The callback type executed when an event fires.
+pub type EventFn = Box<dyn FnOnce(&mut SimWorld)>;
+
+struct Scheduled {
+    time: SimTime,
+    seq: u64,
+    id: EventId,
+    callback: EventFn,
+}
+
+impl PartialEq for Scheduled {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for Scheduled {}
+
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Scheduled {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so that the earliest event (and,
+        // at equal times, the earliest scheduled) pops first.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// Priority queue of pending events ordered by (time, insertion sequence).
+#[derive(Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<Scheduled>,
+    next_seq: u64,
+    cancelled: HashSet<EventId>,
+    live: usize,
+}
+
+impl EventQueue {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of live (non-cancelled) pending events.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// True if no live events remain.
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Schedules `callback` to run at `time`. Returns an id for cancellation.
+    pub fn push(&mut self, time: SimTime, callback: EventFn) -> EventId {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let id = EventId(seq);
+        self.heap.push(Scheduled {
+            time,
+            seq,
+            id,
+            callback,
+        });
+        self.live += 1;
+        id
+    }
+
+    /// Cancels a pending event. Cancelling an already-fired or unknown event
+    /// is a no-op and returns `false`.
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        if id.0 >= self.next_seq {
+            return false;
+        }
+        if self.cancelled.insert(id) {
+            // The entry stays in the heap but will be skipped when popped.
+            self.live = self.live.saturating_sub(1);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Time of the next live event, if any.
+    pub fn next_time(&mut self) -> Option<SimTime> {
+        self.skip_cancelled();
+        self.heap.peek().map(|s| s.time)
+    }
+
+    /// Pops the next live event.
+    pub fn pop(&mut self) -> Option<(SimTime, EventFn)> {
+        self.skip_cancelled();
+        let s = self.heap.pop()?;
+        self.live = self.live.saturating_sub(1);
+        Some((s.time, s.callback))
+    }
+
+    fn skip_cancelled(&mut self) {
+        while let Some(top) = self.heap.peek() {
+            if self.cancelled.remove(&top.id) {
+                self.heap.pop();
+            } else {
+                break;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    fn record(log: &Rc<RefCell<Vec<u32>>>, v: u32) -> EventFn {
+        let log = log.clone();
+        Box::new(move |_w| log.borrow_mut().push(v))
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        let log = Rc::new(RefCell::new(Vec::new()));
+        q.push(SimTime::from_nanos(30), record(&log, 3));
+        q.push(SimTime::from_nanos(10), record(&log, 1));
+        q.push(SimTime::from_nanos(20), record(&log, 2));
+        let mut times = Vec::new();
+        while let Some((t, _f)) = q.pop() {
+            times.push(t.as_nanos());
+        }
+        assert_eq!(times, vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut q = EventQueue::new();
+        let log = Rc::new(RefCell::new(Vec::new()));
+        let t = SimTime::from_nanos(5);
+        let ids: Vec<_> = (0..10).map(|i| q.push(t, record(&log, i))).collect();
+        // Ids are strictly increasing.
+        assert!(ids.windows(2).all(|w| w[0] < w[1]));
+        let mut world = SimWorld::new(0);
+        while let Some((_t, f)) = q.pop() {
+            f(&mut world);
+        }
+        assert_eq!(*log.borrow(), (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn cancellation() {
+        let mut q = EventQueue::new();
+        let log = Rc::new(RefCell::new(Vec::new()));
+        let a = q.push(SimTime::from_nanos(1), record(&log, 1));
+        let b = q.push(SimTime::from_nanos(2), record(&log, 2));
+        assert_eq!(q.len(), 2);
+        assert!(q.cancel(a));
+        assert!(!q.cancel(a), "double cancel is a no-op");
+        assert!(!q.cancel(EventId(999)), "unknown id is a no-op");
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.next_time(), Some(SimTime::from_nanos(2)));
+        let mut world = SimWorld::new(0);
+        while let Some((_t, f)) = q.pop() {
+            f(&mut world);
+        }
+        assert_eq!(*log.borrow(), vec![2]);
+        let _ = b;
+    }
+
+    #[test]
+    fn empty_queue_behaviour() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        assert_eq!(q.next_time(), None);
+        assert!(q.pop().is_none());
+    }
+}

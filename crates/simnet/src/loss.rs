@@ -1,0 +1,202 @@
+//! Packet-loss models for simulated networks.
+//!
+//! The paper's WAN results hinge on loss behaviour: the VTHD WAN shows rare
+//! background loss (which caps a single TCP stream well below the access
+//! bandwidth), and the trans-continental Internet link shows a heavy 5–10 %
+//! loss rate (which TCP collapses under and VRP tolerates). Both a simple
+//! Bernoulli model and a bursty Gilbert–Elliott model are provided.
+
+use crate::rng::SimRng;
+
+/// A packet-loss model. The model is stateful (Gilbert–Elliott keeps its
+/// current channel state) and is owned by the network that applies it.
+#[derive(Debug, Clone)]
+pub enum LossModel {
+    /// No loss at all (SAN, loopback, switched LAN).
+    None,
+    /// Independent per-frame loss with the given probability.
+    Bernoulli {
+        /// Probability in `[0, 1]` that any frame is dropped.
+        p: f64,
+    },
+    /// Two-state bursty loss model. The channel alternates between a good
+    /// and a bad state with the given transition probabilities (evaluated
+    /// per frame); each state has its own loss probability.
+    GilbertElliott {
+        /// Probability of moving good → bad, per frame.
+        p_good_to_bad: f64,
+        /// Probability of moving bad → good, per frame.
+        p_bad_to_good: f64,
+        /// Loss probability while in the good state.
+        loss_good: f64,
+        /// Loss probability while in the bad state.
+        loss_bad: f64,
+        /// Current state (`true` = bad). Part of the model so the burst
+        /// structure is preserved across frames.
+        in_bad_state: bool,
+    },
+    /// Deterministic periodic loss: drops every `period`-th frame
+    /// (1-indexed). Useful for reproducible unit tests.
+    Periodic {
+        /// Drop one frame out of every `period`.
+        period: u64,
+        /// Frames seen so far.
+        count: u64,
+    },
+}
+
+impl LossModel {
+    /// Bernoulli loss with probability `p`.
+    pub fn bernoulli(p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "loss probability must be in [0,1]");
+        LossModel::Bernoulli { p }
+    }
+
+    /// A Gilbert–Elliott model with typical bursty-Internet parameters that
+    /// averages roughly `mean_loss` overall.
+    pub fn bursty(mean_loss: f64) -> Self {
+        assert!((0.0..=1.0).contains(&mean_loss));
+        // Bad state is entered rarely but loses half its frames; solve the
+        // stationary distribution so the long-run average matches.
+        let loss_bad = 0.5;
+        let loss_good = mean_loss / 10.0;
+        // pi_bad * loss_bad + (1 - pi_bad) * loss_good = mean_loss
+        let pi_bad = ((mean_loss - loss_good) / (loss_bad - loss_good)).clamp(0.0, 1.0);
+        let p_bad_to_good = 0.2;
+        let p_good_to_bad = if pi_bad >= 1.0 {
+            1.0
+        } else {
+            (pi_bad * p_bad_to_good / (1.0 - pi_bad)).min(1.0)
+        };
+        LossModel::GilbertElliott {
+            p_good_to_bad,
+            p_bad_to_good,
+            loss_good,
+            loss_bad,
+            in_bad_state: false,
+        }
+    }
+
+    /// Deterministic loss of one frame in every `period`.
+    pub fn periodic(period: u64) -> Self {
+        assert!(period >= 1);
+        LossModel::Periodic { period, count: 0 }
+    }
+
+    /// Decides whether the next frame is dropped.
+    pub fn should_drop(&mut self, rng: &mut SimRng) -> bool {
+        match self {
+            LossModel::None => false,
+            LossModel::Bernoulli { p } => *p > 0.0 && rng.gen_bool(*p),
+            LossModel::GilbertElliott {
+                p_good_to_bad,
+                p_bad_to_good,
+                loss_good,
+                loss_bad,
+                in_bad_state,
+            } => {
+                // Transition first, then draw a loss in the new state.
+                if *in_bad_state {
+                    if rng.gen_bool(*p_bad_to_good) {
+                        *in_bad_state = false;
+                    }
+                } else if rng.gen_bool(*p_good_to_bad) {
+                    *in_bad_state = true;
+                }
+                let p = if *in_bad_state { *loss_bad } else { *loss_good };
+                p > 0.0 && rng.gen_bool(p)
+            }
+            LossModel::Periodic { period, count } => {
+                *count += 1;
+                *count % *period == 0
+            }
+        }
+    }
+
+    /// The long-run average loss rate of this model (approximate for
+    /// Gilbert–Elliott).
+    pub fn mean_loss(&self) -> f64 {
+        match self {
+            LossModel::None => 0.0,
+            LossModel::Bernoulli { p } => *p,
+            LossModel::GilbertElliott {
+                p_good_to_bad,
+                p_bad_to_good,
+                loss_good,
+                loss_bad,
+                ..
+            } => {
+                let denom = p_good_to_bad + p_bad_to_good;
+                if denom <= 0.0 {
+                    return *loss_good;
+                }
+                let pi_bad = p_good_to_bad / denom;
+                pi_bad * loss_bad + (1.0 - pi_bad) * loss_good
+            }
+            LossModel::Periodic { period, .. } => 1.0 / *period as f64,
+        }
+    }
+}
+
+impl Default for LossModel {
+    fn default() -> Self {
+        LossModel::None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn measure(model: &mut LossModel, rng: &mut SimRng, n: usize) -> f64 {
+        let drops = (0..n).filter(|_| model.should_drop(rng)).count();
+        drops as f64 / n as f64
+    }
+
+    #[test]
+    fn none_never_drops() {
+        let mut rng = SimRng::seeded(1);
+        let mut m = LossModel::None;
+        assert_eq!(measure(&mut m, &mut rng, 1000), 0.0);
+        assert_eq!(m.mean_loss(), 0.0);
+    }
+
+    #[test]
+    fn bernoulli_matches_probability() {
+        let mut rng = SimRng::seeded(42);
+        let mut m = LossModel::bernoulli(0.07);
+        let rate = measure(&mut m, &mut rng, 200_000);
+        assert!((rate - 0.07).abs() < 0.005, "observed {rate}");
+        assert!((m.mean_loss() - 0.07).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bursty_long_run_rate_is_close_to_target() {
+        let mut rng = SimRng::seeded(7);
+        let mut m = LossModel::bursty(0.07);
+        let rate = measure(&mut m, &mut rng, 400_000);
+        assert!(
+            (rate - 0.07).abs() < 0.02,
+            "observed {rate}, expected about 0.07"
+        );
+        assert!((m.mean_loss() - 0.07).abs() < 0.02);
+    }
+
+    #[test]
+    fn periodic_drops_every_nth() {
+        let mut rng = SimRng::seeded(0);
+        let mut m = LossModel::periodic(4);
+        let pattern: Vec<bool> = (0..8).map(|_| m.should_drop(&mut rng)).collect();
+        assert_eq!(
+            pattern,
+            vec![false, false, false, true, false, false, false, true]
+        );
+        assert!((m.mean_loss() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic]
+    fn bernoulli_rejects_invalid_probability() {
+        let _ = LossModel::bernoulli(1.5);
+    }
+}

@@ -1,0 +1,130 @@
+//! Simulated network fabrics.
+//!
+//! A [`Network`] models a switched fabric (a Myrinet switch, an Ethernet
+//! switch, a WAN path) to which nodes attach. Each attached node has a full
+//! duplex access port; transmission occupies the sender's TX port for the
+//! serialization time, travels for the propagation latency, and then
+//! occupies the receiver's RX port, which models incast contention when
+//! several senders converge on one receiver.
+
+use std::collections::HashMap;
+
+use crate::node::NodeId;
+use crate::spec::NetworkSpec;
+use crate::stats::NetworkStats;
+use crate::time::SimTime;
+
+/// Identifier of a network fabric inside a [`crate::world::SimWorld`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NetworkId(pub u32);
+
+impl NetworkId {
+    /// Index usable for vectors keyed by network.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for NetworkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "net{}", self.0)
+    }
+}
+
+/// A network fabric and its dynamic port state.
+#[derive(Debug)]
+pub struct Network {
+    /// Identifier of this network.
+    pub id: NetworkId,
+    /// Static hardware description.
+    pub spec: NetworkSpec,
+    members: Vec<NodeId>,
+    tx_busy_until: HashMap<NodeId, SimTime>,
+    rx_busy_until: HashMap<NodeId, SimTime>,
+    /// Traffic counters.
+    pub stats: NetworkStats,
+}
+
+impl Network {
+    pub(crate) fn new(id: NetworkId, spec: NetworkSpec) -> Self {
+        Network {
+            id,
+            spec,
+            members: Vec::new(),
+            tx_busy_until: HashMap::new(),
+            rx_busy_until: HashMap::new(),
+            stats: NetworkStats::default(),
+        }
+    }
+
+    pub(crate) fn attach(&mut self, node: NodeId) {
+        if !self.members.contains(&node) {
+            self.members.push(node);
+            self.tx_busy_until.insert(node, SimTime::ZERO);
+            self.rx_busy_until.insert(node, SimTime::ZERO);
+        }
+    }
+
+    /// Nodes attached to this fabric.
+    pub fn members(&self) -> &[NodeId] {
+        &self.members
+    }
+
+    /// Whether `node` is attached.
+    pub fn is_attached(&self, node: NodeId) -> bool {
+        self.members.contains(&node)
+    }
+
+    /// Instant at which `node`'s transmit port becomes free.
+    pub fn tx_free_at(&self, node: NodeId) -> SimTime {
+        self.tx_busy_until.get(&node).copied().unwrap_or(SimTime::ZERO)
+    }
+
+    /// Instant at which `node`'s receive port becomes free.
+    pub fn rx_free_at(&self, node: NodeId) -> SimTime {
+        self.rx_busy_until.get(&node).copied().unwrap_or(SimTime::ZERO)
+    }
+
+    pub(crate) fn set_tx_busy_until(&mut self, node: NodeId, t: SimTime) {
+        self.tx_busy_until.insert(node, t);
+    }
+
+    pub(crate) fn set_rx_busy_until(&mut self, node: NodeId, t: SimTime) {
+        self.rx_busy_until.insert(node, t);
+    }
+}
+
+/// Error returned when a frame cannot be accepted for transmission.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SendError {
+    /// The source node is not attached to this network.
+    SourceNotAttached,
+    /// The destination node is not attached to this network.
+    DestinationNotAttached,
+    /// The frame payload exceeds the network MTU; the caller must segment.
+    FrameTooLarge {
+        /// Payload size of the rejected frame.
+        size: usize,
+        /// Maximum allowed payload size.
+        mtu: usize,
+    },
+    /// The network id does not exist in this world.
+    NoSuchNetwork,
+}
+
+impl std::fmt::Display for SendError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SendError::SourceNotAttached => write!(f, "source node is not attached to the network"),
+            SendError::DestinationNotAttached => {
+                write!(f, "destination node is not attached to the network")
+            }
+            SendError::FrameTooLarge { size, mtu } => {
+                write!(f, "frame payload of {size} bytes exceeds the MTU of {mtu} bytes")
+            }
+            SendError::NoSuchNetwork => write!(f, "no such network"),
+        }
+    }
+}
+
+impl std::error::Error for SendError {}

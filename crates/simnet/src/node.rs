@@ -1,0 +1,42 @@
+//! Nodes: the hosts attached to simulated networks.
+
+use crate::spec::HostProfile;
+
+/// Identifier of a simulated host.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// Index usable for vectors keyed by node.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for NodeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// A simulated host: a name, and the host performance profile that layers
+/// above use to charge CPU-side costs (memory copies, system calls).
+#[derive(Debug, Clone)]
+pub struct Node {
+    /// Identifier of this node.
+    pub id: NodeId,
+    /// Human-readable name (used in traces).
+    pub name: String,
+    /// CPU/memory performance profile of the host.
+    pub host: HostProfile,
+}
+
+impl Node {
+    pub(crate) fn new(id: NodeId, name: impl Into<String>, host: HostProfile) -> Self {
+        Node {
+            id,
+            name: name.into(),
+            host,
+        }
+    }
+}

@@ -1,0 +1,310 @@
+//! Network and host hardware profiles.
+//!
+//! These are the calibration knobs of the reproduction: they encode the
+//! 2003-era hardware the paper's evaluation ran on (dual Pentium III
+//! 1 GHz nodes, Myrinet-2000, switched Ethernet-100, the VTHD WAN and a
+//! lossy trans-continental Internet link). Changing a profile re-calibrates
+//! every experiment consistently.
+
+use crate::loss::LossModel;
+use crate::time::SimDuration;
+
+/// Broad class of a network, used by the PadicoTM selector to decide which
+/// communication paradigm/adapters are appropriate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum NetworkClass {
+    /// Intra-node loopback (shared memory copy).
+    Loopback,
+    /// System-area network: Myrinet, SCI, … Parallel-oriented hardware.
+    San,
+    /// Local-area network (switched Ethernet). Distributed-oriented.
+    Lan,
+    /// High-bandwidth wide-area network (e.g. VTHD).
+    Wan,
+    /// Commodity Internet path, possibly slow and lossy.
+    Internet,
+}
+
+impl NetworkClass {
+    /// True for networks that the paper classifies as "parallel-oriented"
+    /// hardware (a straight parallel adapter exists).
+    pub fn is_parallel_oriented(self) -> bool {
+        matches!(self, NetworkClass::San | NetworkClass::Loopback)
+    }
+
+    /// True for networks reached through the IP stack.
+    pub fn is_distributed_oriented(self) -> bool {
+        matches!(
+            self,
+            NetworkClass::Lan | NetworkClass::Wan | NetworkClass::Internet
+        )
+    }
+}
+
+/// Static description of a network fabric.
+#[derive(Debug, Clone)]
+pub struct NetworkSpec {
+    /// Human-readable name used in traces and experiment output.
+    pub name: String,
+    /// Broad class (SAN/LAN/WAN/…).
+    pub class: NetworkClass,
+    /// Usable wire bandwidth, in bytes per second, per direction and per
+    /// node access port (full duplex).
+    pub bytes_per_sec: f64,
+    /// One-way propagation + switching latency.
+    pub latency: SimDuration,
+    /// Maximum payload bytes per frame. Larger sends must be segmented by
+    /// the caller.
+    pub mtu: usize,
+    /// Physical/link-level header bytes added to every frame on the wire
+    /// (in addition to any header bytes the protocol itself accounts for).
+    pub link_header_bytes: u32,
+    /// Fixed per-frame sender-side cost (driver, DMA setup, interrupt).
+    pub per_frame_overhead: SimDuration,
+    /// Loss model applied to every frame.
+    pub loss: LossModel,
+    /// Number of hardware communication channels the NIC/driver exposes
+    /// (e.g. 2 on Myrinet with GM, 1 on SCI). `0` means "not applicable"
+    /// (IP networks multiplex in software).
+    pub hw_channels: u8,
+}
+
+impl NetworkSpec {
+    /// Serialization time of `wire_bytes` on this network's access link.
+    pub fn serialization(&self, wire_bytes: u64) -> SimDuration {
+        SimDuration::for_transfer(wire_bytes + self.link_header_bytes as u64, self.bytes_per_sec)
+    }
+
+    /// Composes this spec with a further hop, producing the end-to-end
+    /// logical path used when a route crosses several networks (e.g.
+    /// Ethernet access link into a WAN core): bandwidth is the bottleneck,
+    /// latencies add, loss combines, the MTU is the smallest.
+    pub fn compose(&self, next: &NetworkSpec, name: impl Into<String>, class: NetworkClass) -> NetworkSpec {
+        let p1 = self.loss.mean_loss();
+        let p2 = next.loss.mean_loss();
+        let combined_loss = 1.0 - (1.0 - p1) * (1.0 - p2);
+        NetworkSpec {
+            name: name.into(),
+            class,
+            bytes_per_sec: self.bytes_per_sec.min(next.bytes_per_sec),
+            latency: self.latency + next.latency,
+            mtu: self.mtu.min(next.mtu),
+            link_header_bytes: self.link_header_bytes.max(next.link_header_bytes),
+            per_frame_overhead: self.per_frame_overhead + next.per_frame_overhead,
+            loss: if combined_loss > 0.0 {
+                LossModel::bernoulli(combined_loss)
+            } else {
+                LossModel::None
+            },
+            hw_channels: 0,
+        }
+    }
+
+    /// Myrinet-2000 SAN: 2 Gbit/s links (≈250 MB/s usable), ≈7 µs one-way
+    /// hardware + driver latency, two hardware channels (as exposed by GM).
+    pub fn myrinet_2000() -> NetworkSpec {
+        NetworkSpec {
+            name: "Myrinet-2000".to_string(),
+            class: NetworkClass::San,
+            bytes_per_sec: 250.0e6,
+            latency: SimDuration::from_micros_f64(6.8),
+            mtu: 32 * 1024 * 1024,
+            link_header_bytes: 8,
+            per_frame_overhead: SimDuration::from_nanos(200),
+            loss: LossModel::None,
+            hw_channels: 2,
+        }
+    }
+
+    /// SCI (Scalable Coherent Interface) SAN: one hardware channel.
+    pub fn sci() -> NetworkSpec {
+        NetworkSpec {
+            name: "SCI".to_string(),
+            class: NetworkClass::San,
+            bytes_per_sec: 170.0e6,
+            latency: SimDuration::from_micros_f64(3.5),
+            mtu: 8 * 1024 * 1024,
+            link_header_bytes: 16,
+            per_frame_overhead: SimDuration::from_nanos(300),
+            loss: LossModel::None,
+            hw_channels: 1,
+        }
+    }
+
+    /// Switched Fast Ethernet (100 Mbit/s) with the kernel TCP/IP stack:
+    /// 12.5 MB/s wire rate, ≈60 µs one-way latency, 1500-byte MTU.
+    pub fn ethernet_100() -> NetworkSpec {
+        NetworkSpec {
+            name: "Ethernet-100".to_string(),
+            class: NetworkClass::Lan,
+            bytes_per_sec: 12.5e6,
+            latency: SimDuration::from_micros(55),
+            mtu: 1500,
+            link_header_bytes: 18,
+            per_frame_overhead: SimDuration::from_micros_f64(2.0),
+            loss: LossModel::None,
+            hw_channels: 0,
+        }
+    }
+
+    /// Gigabit Ethernet, used in extension experiments.
+    pub fn gigabit_ethernet() -> NetworkSpec {
+        NetworkSpec {
+            name: "Gigabit-Ethernet".to_string(),
+            class: NetworkClass::Lan,
+            bytes_per_sec: 125.0e6,
+            latency: SimDuration::from_micros(25),
+            mtu: 1500,
+            link_header_bytes: 18,
+            per_frame_overhead: SimDuration::from_micros_f64(1.0),
+            loss: LossModel::None,
+            hw_channels: 0,
+        }
+    }
+
+    /// The VTHD experimental high-bandwidth WAN, as seen end-to-end from a
+    /// node whose access link is Fast Ethernet: bottleneck 12.5 MB/s,
+    /// ≈8 ms latency, rare background loss.
+    pub fn vthd_wan() -> NetworkSpec {
+        NetworkSpec {
+            name: "VTHD-WAN".to_string(),
+            class: NetworkClass::Wan,
+            bytes_per_sec: 12.5e6,
+            latency: SimDuration::from_millis(8),
+            mtu: 1500,
+            link_header_bytes: 18,
+            per_frame_overhead: SimDuration::from_micros_f64(2.0),
+            loss: LossModel::bernoulli(8.0e-5),
+            hw_channels: 0,
+        }
+    }
+
+    /// A slow trans-continental Internet link with a typical 5–10 % loss
+    /// rate (the paper's VRP experiment).
+    pub fn lossy_internet() -> NetworkSpec {
+        NetworkSpec {
+            name: "Lossy-Internet".to_string(),
+            class: NetworkClass::Internet,
+            bytes_per_sec: 700.0e3,
+            latency: SimDuration::from_millis(25),
+            mtu: 1500,
+            link_header_bytes: 18,
+            per_frame_overhead: SimDuration::from_micros_f64(5.0),
+            loss: LossModel::bernoulli(0.05),
+            hw_channels: 0,
+        }
+    }
+
+    /// Intra-node loopback: a memory copy.
+    pub fn loopback() -> NetworkSpec {
+        NetworkSpec {
+            name: "Loopback".to_string(),
+            class: NetworkClass::Loopback,
+            bytes_per_sec: 800.0e6,
+            latency: SimDuration::from_nanos(500),
+            mtu: 64 * 1024 * 1024,
+            link_header_bytes: 0,
+            per_frame_overhead: SimDuration::from_nanos(100),
+            loss: LossModel::None,
+            hw_channels: 0,
+        }
+    }
+}
+
+/// CPU/memory performance profile of a host, used by upper layers to charge
+/// software costs in virtual time.
+#[derive(Debug, Clone, Copy)]
+pub struct HostProfile {
+    /// Sustained single-copy memory bandwidth (bytes/s). Marshalling engines
+    /// that copy data pay `bytes / memcpy_bytes_per_sec` per copy.
+    pub memcpy_bytes_per_sec: f64,
+    /// Cost of a system call (socket read/write entry).
+    pub syscall_overhead: SimDuration,
+    /// Cost of taking an interrupt / waking a blocked thread.
+    pub wakeup_overhead: SimDuration,
+}
+
+impl HostProfile {
+    /// A dual Pentium III 1 GHz node of the paper's testbed.
+    pub fn pentium3_1ghz() -> HostProfile {
+        HostProfile {
+            memcpy_bytes_per_sec: 150.0e6,
+            syscall_overhead: SimDuration::from_nanos(900),
+            wakeup_overhead: SimDuration::from_micros_f64(2.0),
+        }
+    }
+
+    /// A modern (2020s) server node, for extension experiments.
+    pub fn modern_server() -> HostProfile {
+        HostProfile {
+            memcpy_bytes_per_sec: 8.0e9,
+            syscall_overhead: SimDuration::from_nanos(300),
+            wakeup_overhead: SimDuration::from_nanos(800),
+        }
+    }
+
+    /// Virtual-time cost of copying `bytes` once through memory.
+    pub fn copy_cost(&self, bytes: u64) -> SimDuration {
+        SimDuration::for_transfer(bytes, self.memcpy_bytes_per_sec)
+    }
+}
+
+impl Default for HostProfile {
+    fn default() -> Self {
+        HostProfile::pentium3_1ghz()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn myrinet_is_parallel_lan_is_distributed() {
+        assert!(NetworkSpec::myrinet_2000().class.is_parallel_oriented());
+        assert!(NetworkSpec::ethernet_100().class.is_distributed_oriented());
+        assert!(NetworkClass::Loopback.is_parallel_oriented());
+        assert!(!NetworkClass::Wan.is_parallel_oriented());
+    }
+
+    #[test]
+    fn serialization_time_scales_with_size() {
+        let spec = NetworkSpec::myrinet_2000();
+        let t1 = spec.serialization(1_000_000);
+        let t2 = spec.serialization(2_000_000);
+        assert!(t2 > t1);
+        // 1 MB at 250 MB/s is 4 ms, plus the 8-byte header which is negligible.
+        assert!((t1.as_millis_f64() - 4.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn compose_takes_bottleneck_and_sums_latency() {
+        let eth = NetworkSpec::ethernet_100();
+        let wan = NetworkSpec::vthd_wan();
+        let path = eth.compose(&wan, "eth+vthd", NetworkClass::Wan);
+        assert_eq!(path.bytes_per_sec, 12.5e6);
+        assert_eq!(path.latency, eth.latency + wan.latency);
+        assert_eq!(path.mtu, 1500);
+        assert!(path.loss.mean_loss() > 0.0);
+    }
+
+    #[test]
+    fn host_copy_cost() {
+        let host = HostProfile::pentium3_1ghz();
+        // 150 MB at 150 MB/s = 1 s.
+        assert_eq!(host.copy_cost(150_000_000), SimDuration::from_secs(1));
+    }
+
+    #[test]
+    fn profile_sanity() {
+        // Myrinet must be much faster and lower latency than Ethernet-100;
+        // the lossy Internet link must be the slowest and lossiest.
+        let myri = NetworkSpec::myrinet_2000();
+        let eth = NetworkSpec::ethernet_100();
+        let inet = NetworkSpec::lossy_internet();
+        assert!(myri.bytes_per_sec > 10.0 * eth.bytes_per_sec);
+        assert!(myri.latency < eth.latency);
+        assert!(inet.bytes_per_sec < eth.bytes_per_sec);
+        assert!(inet.loss.mean_loss() > 0.01);
+    }
+}

@@ -1,0 +1,62 @@
+//! Counters collected by the simulator.
+
+/// Per-network traffic counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NetworkStats {
+    /// Frames accepted for transmission.
+    pub frames_sent: u64,
+    /// Frames dropped by the loss model.
+    pub frames_dropped: u64,
+    /// Frames that arrived at a node with no handler registered for their
+    /// protocol (delivered to the void).
+    pub frames_unclaimed: u64,
+    /// Payload bytes accepted for transmission (headers not included).
+    pub payload_bytes_sent: u64,
+    /// Total wire bytes (payload + protocol headers + link headers).
+    pub wire_bytes_sent: u64,
+}
+
+impl NetworkStats {
+    /// Fraction of frames dropped.
+    pub fn drop_rate(&self) -> f64 {
+        if self.frames_sent == 0 {
+            0.0
+        } else {
+            self.frames_dropped as f64 / self.frames_sent as f64
+        }
+    }
+
+    /// Frames actually delivered (sent minus dropped).
+    pub fn frames_delivered(&self) -> u64 {
+        self.frames_sent - self.frames_dropped
+    }
+}
+
+/// Whole-world counters.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct WorldStats {
+    /// Events executed so far.
+    pub events_executed: u64,
+    /// Events scheduled so far.
+    pub events_scheduled: u64,
+    /// Events cancelled before firing.
+    pub events_cancelled: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn drop_rate_handles_zero() {
+        let s = NetworkStats::default();
+        assert_eq!(s.drop_rate(), 0.0);
+        let s = NetworkStats {
+            frames_sent: 10,
+            frames_dropped: 3,
+            ..Default::default()
+        };
+        assert!((s.drop_rate() - 0.3).abs() < 1e-12);
+        assert_eq!(s.frames_delivered(), 7);
+    }
+}

@@ -1,0 +1,217 @@
+//! Ready-made topologies matching the deployments discussed in the paper:
+//! a PC cluster with a SAN, two clusters joined by a WAN, a pair of hosts on
+//! a lossy Internet path, …
+//!
+//! These builders are used throughout the examples, integration tests and
+//! experiment harnesses so every experiment runs on the same calibrated
+//! hardware models.
+
+use crate::network::NetworkId;
+use crate::node::NodeId;
+use crate::spec::NetworkSpec;
+use crate::world::SimWorld;
+
+/// A PC cluster: nodes attached to a high-performance SAN and to a
+/// commodity LAN (the paper's test platform has both Myrinet-2000 and
+/// switched Ethernet-100).
+#[derive(Debug, Clone)]
+pub struct Cluster {
+    /// Cluster nodes, in rank order.
+    pub nodes: Vec<NodeId>,
+    /// The system-area network (e.g. Myrinet-2000), if present.
+    pub san: Option<NetworkId>,
+    /// The local-area network (e.g. Ethernet-100).
+    pub lan: NetworkId,
+}
+
+impl Cluster {
+    /// Number of nodes in the cluster.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True if the cluster has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Node of the given rank.
+    pub fn node(&self, rank: usize) -> NodeId {
+        self.nodes[rank]
+    }
+}
+
+/// Builds a cluster of `n` nodes attached to both a SAN (given spec) and an
+/// Ethernet-100 LAN.
+pub fn build_san_cluster(world: &mut SimWorld, name: &str, n: usize, san_spec: NetworkSpec) -> Cluster {
+    let san = world.add_network(san_spec);
+    let lan = world.add_network(NetworkSpec::ethernet_100());
+    let mut nodes = Vec::with_capacity(n);
+    for i in 0..n {
+        let node = world.add_node(&format!("{name}{i}"));
+        world.attach(node, san);
+        world.attach(node, lan);
+        nodes.push(node);
+    }
+    Cluster {
+        nodes,
+        san: Some(san),
+        lan,
+    }
+}
+
+/// Builds a cluster of `n` nodes attached only to an Ethernet-100 LAN.
+pub fn build_lan_cluster(world: &mut SimWorld, name: &str, n: usize) -> Cluster {
+    let lan = world.add_network(NetworkSpec::ethernet_100());
+    let mut nodes = Vec::with_capacity(n);
+    for i in 0..n {
+        let node = world.add_node(&format!("{name}{i}"));
+        world.attach(node, lan);
+        nodes.push(node);
+    }
+    Cluster {
+        nodes,
+        san: None,
+        lan,
+    }
+}
+
+/// The paper's test platform: a pair of nodes connected by both
+/// Myrinet-2000 and switched Ethernet-100.
+pub struct SanPair {
+    /// The world holding the scenario.
+    pub world: SimWorld,
+    /// First node.
+    pub a: NodeId,
+    /// Second node.
+    pub b: NodeId,
+    /// The Myrinet-2000 network.
+    pub san: NetworkId,
+    /// The Ethernet-100 network.
+    pub lan: NetworkId,
+}
+
+/// Builds the two-node Myrinet + Ethernet test platform.
+pub fn san_pair(seed: u64) -> SanPair {
+    let mut world = SimWorld::new(seed);
+    let cluster = build_san_cluster(&mut world, "node", 2, NetworkSpec::myrinet_2000());
+    SanPair {
+        a: cluster.nodes[0],
+        b: cluster.nodes[1],
+        san: cluster.san.expect("SAN requested"),
+        lan: cluster.lan,
+        world,
+    }
+}
+
+/// A simple two-node scenario over a single network.
+pub struct Pair {
+    /// The world holding the scenario.
+    pub world: SimWorld,
+    /// First node.
+    pub a: NodeId,
+    /// Second node.
+    pub b: NodeId,
+    /// The connecting network.
+    pub network: NetworkId,
+}
+
+/// Two hosts joined by a given network spec.
+pub fn pair_over(seed: u64, spec: NetworkSpec) -> Pair {
+    let mut world = SimWorld::new(seed);
+    let a = world.add_node("a");
+    let b = world.add_node("b");
+    let network = world.add_network(spec);
+    world.attach(a, network);
+    world.attach(b, network);
+    Pair { world, a, b, network }
+}
+
+/// Two hosts at either end of the VTHD WAN (Ethernet-100 access links).
+pub fn wan_pair(seed: u64) -> Pair {
+    pair_over(seed, NetworkSpec::vthd_wan())
+}
+
+/// Two hosts at either end of a slow, lossy trans-continental link.
+pub fn lossy_internet_pair(seed: u64) -> Pair {
+    pair_over(seed, NetworkSpec::lossy_internet())
+}
+
+/// A grid deployment: two SAN clusters joined by a WAN, as in the paper's
+/// "two separate PC clusters interconnected through a high-bandwidth WAN"
+/// deployment configuration.
+pub struct Grid {
+    /// The world holding the scenario.
+    pub world: SimWorld,
+    /// First cluster.
+    pub cluster_a: Cluster,
+    /// Second cluster.
+    pub cluster_b: Cluster,
+    /// The wide-area network joining every node of both clusters.
+    pub wan: NetworkId,
+}
+
+/// Builds a two-cluster grid with `n_per_cluster` nodes per cluster.
+pub fn two_clusters_over_wan(seed: u64, n_per_cluster: usize) -> Grid {
+    let mut world = SimWorld::new(seed);
+    let cluster_a = build_san_cluster(&mut world, "a", n_per_cluster, NetworkSpec::myrinet_2000());
+    let cluster_b = build_san_cluster(&mut world, "b", n_per_cluster, NetworkSpec::myrinet_2000());
+    let wan = world.add_network(NetworkSpec::vthd_wan());
+    for &n in cluster_a.nodes.iter().chain(cluster_b.nodes.iter()) {
+        world.attach(n, wan);
+    }
+    Grid {
+        world,
+        cluster_a,
+        cluster_b,
+        wan,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::NetworkClass;
+
+    #[test]
+    fn san_pair_has_both_networks() {
+        let p = san_pair(1);
+        let between = p.world.networks_between(p.a, p.b);
+        assert_eq!(between.len(), 2);
+        assert_eq!(p.world.network(p.san).spec.class, NetworkClass::San);
+        assert_eq!(p.world.network(p.lan).spec.class, NetworkClass::Lan);
+    }
+
+    #[test]
+    fn grid_nodes_reach_each_other_only_via_wan_across_clusters() {
+        let g = two_clusters_over_wan(1, 4);
+        let a0 = g.cluster_a.node(0);
+        let a1 = g.cluster_a.node(1);
+        let b0 = g.cluster_b.node(0);
+        // Inside a cluster: SAN + LAN + WAN.
+        assert_eq!(g.world.networks_between(a0, a1).len(), 3);
+        // Across clusters: only the WAN.
+        let across = g.world.networks_between(a0, b0);
+        assert_eq!(across, vec![g.wan]);
+        assert_eq!(g.world.network(g.wan).spec.class, NetworkClass::Wan);
+    }
+
+    #[test]
+    fn lan_cluster_has_no_san() {
+        let mut world = SimWorld::new(0);
+        let c = build_lan_cluster(&mut world, "x", 3, );
+        assert!(c.san.is_none());
+        assert_eq!(c.len(), 3);
+        assert!(!c.is_empty());
+        assert_eq!(world.networks_between(c.node(0), c.node(2)), vec![c.lan]);
+    }
+
+    #[test]
+    fn lossy_pair_uses_internet_class() {
+        let p = lossy_internet_pair(0);
+        assert_eq!(
+            p.world.network(p.network).spec.class,
+            NetworkClass::Internet
+        );
+    }
+}

@@ -1,0 +1,120 @@
+//! Lightweight event tracing.
+//!
+//! Tracing is disabled by default (it allocates); experiments and tests can
+//! enable it to inspect the exact sequence of simulated events.
+
+use crate::time::SimTime;
+
+/// One trace record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceRecord {
+    /// Virtual time at which the event happened.
+    pub time: SimTime,
+    /// Short category tag, e.g. `"net"`, `"tcp"`, `"madio"`.
+    pub category: &'static str,
+    /// Free-form message.
+    pub message: String,
+}
+
+/// A bounded in-memory trace sink.
+#[derive(Debug, Default)]
+pub struct Trace {
+    enabled: bool,
+    records: Vec<TraceRecord>,
+    capacity: usize,
+}
+
+impl Trace {
+    /// Creates a disabled trace with a default capacity.
+    pub fn new() -> Self {
+        Trace {
+            enabled: false,
+            records: Vec::new(),
+            capacity: 1_000_000,
+        }
+    }
+
+    /// Enables recording.
+    pub fn enable(&mut self) {
+        self.enabled = true;
+    }
+
+    /// Disables recording (existing records are kept).
+    pub fn disable(&mut self) {
+        self.enabled = false;
+    }
+
+    /// Whether recording is currently enabled.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Sets the maximum number of records kept; older records are not
+    /// evicted, recording simply stops at the cap.
+    pub fn set_capacity(&mut self, capacity: usize) {
+        self.capacity = capacity;
+    }
+
+    /// Records a message if tracing is enabled and the cap is not reached.
+    pub fn record(&mut self, time: SimTime, category: &'static str, message: impl Into<String>) {
+        if self.enabled && self.records.len() < self.capacity {
+            self.records.push(TraceRecord {
+                time,
+                category,
+                message: message.into(),
+            });
+        }
+    }
+
+    /// All records collected so far.
+    pub fn records(&self) -> &[TraceRecord] {
+        &self.records
+    }
+
+    /// Records whose category matches.
+    pub fn by_category<'a>(&'a self, category: &'a str) -> impl Iterator<Item = &'a TraceRecord> + 'a {
+        self.records.iter().filter(move |r| r.category == category)
+    }
+
+    /// Clears all records.
+    pub fn clear(&mut self) {
+        self.records.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_trace_records_nothing() {
+        let mut t = Trace::new();
+        t.record(SimTime::ZERO, "net", "hello");
+        assert!(t.records().is_empty());
+    }
+
+    #[test]
+    fn enabled_trace_records_and_filters() {
+        let mut t = Trace::new();
+        t.enable();
+        assert!(t.is_enabled());
+        t.record(SimTime::from_nanos(1), "net", "a");
+        t.record(SimTime::from_nanos(2), "tcp", "b");
+        t.record(SimTime::from_nanos(3), "net", "c");
+        assert_eq!(t.records().len(), 3);
+        assert_eq!(t.by_category("net").count(), 2);
+        t.clear();
+        assert!(t.records().is_empty());
+    }
+
+    #[test]
+    fn capacity_caps_recording() {
+        let mut t = Trace::new();
+        t.enable();
+        t.set_capacity(2);
+        for i in 0..5 {
+            t.record(SimTime::from_nanos(i), "x", "m");
+        }
+        assert_eq!(t.records().len(), 2);
+    }
+}

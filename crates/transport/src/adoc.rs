@@ -1,0 +1,252 @@
+//! AdOC-style adaptive online compression.
+//!
+//! AdOC (Jeannot, Knutsson, Björkmann 2002) compresses stream data on the
+//! fly, but only when compression actually helps: if the network drains the
+//! send queue faster than the CPU can compress, data is sent raw. The
+//! adaptation here follows the same idea: a block is compressed when the
+//! inner stream has a backlog (the network is the bottleneck) and recent
+//! blocks actually shrank.
+
+use simnet::{SimDuration, SimWorld};
+
+use crate::compress::{self, COMPRESS_BYTES_PER_SEC, DECOMPRESS_BYTES_PER_SEC};
+use crate::framed::{BlockTransform, EncodedBlock, TransformCtx, TransformError, TransformStats, TransformStream};
+use crate::stream::ByteStream;
+
+const FLAG_RAW: u8 = 0;
+const FLAG_COMPRESSED: u8 = 1;
+
+/// Configuration of the AdOC adapter.
+#[derive(Debug, Clone)]
+pub struct AdocConfig {
+    /// Application bytes per block.
+    pub block_size: usize,
+    /// Backlog (bytes queued but unacknowledged in the inner stream) above
+    /// which the network is considered the bottleneck and compression is
+    /// worthwhile.
+    pub backlog_threshold: u64,
+    /// If `true`, always compress regardless of backlog (useful for tests
+    /// and for explicitly slow links).
+    pub force_compression: bool,
+    /// Minimum compression ratio observed recently for compression to stay
+    /// enabled; below this the data is considered incompressible.
+    pub min_useful_ratio: f64,
+}
+
+impl Default for AdocConfig {
+    fn default() -> Self {
+        AdocConfig {
+            block_size: 32 * 1024,
+            backlog_threshold: 64 * 1024,
+            force_compression: false,
+            min_useful_ratio: 1.05,
+        }
+    }
+}
+
+/// The AdOC block transform (compression + adaptation policy).
+pub struct AdocTransform {
+    config: AdocConfig,
+    /// Ratio achieved by the last compressed block; starts optimistic so
+    /// the first block is attempted.
+    last_ratio: f64,
+}
+
+impl AdocTransform {
+    fn new(config: AdocConfig) -> Self {
+        AdocTransform {
+            config,
+            last_ratio: 10.0,
+        }
+    }
+}
+
+impl BlockTransform for AdocTransform {
+    fn name(&self) -> &'static str {
+        "adoc"
+    }
+
+    fn encode(&mut self, input: &[u8], ctx: &TransformCtx) -> EncodedBlock {
+        let network_bound = ctx.inner_backlog >= self.config.backlog_threshold;
+        let data_compresses = self.last_ratio >= self.config.min_useful_ratio;
+        let try_compress = self.config.force_compression || (network_bound && data_compresses)
+            // Periodically re-probe compressibility even if it stopped helping.
+            || (network_bound && ctx.now.as_nanos() % 16 == 0);
+        if try_compress {
+            let compressed = compress::compress(input);
+            self.last_ratio = input.len() as f64 / compressed.len().max(1) as f64;
+            if compressed.len() < input.len() {
+                return EncodedBlock {
+                    flag: FLAG_COMPRESSED,
+                    data: compressed.to_vec(),
+                };
+            }
+        }
+        EncodedBlock {
+            flag: FLAG_RAW,
+            data: input.to_vec(),
+        }
+    }
+
+    fn decode(&mut self, flag: u8, data: &[u8]) -> Result<Vec<u8>, TransformError> {
+        match flag {
+            FLAG_RAW => Ok(data.to_vec()),
+            FLAG_COMPRESSED => {
+                compress::decompress(data).map_err(|_| TransformError("corrupt compressed block"))
+            }
+            _ => Err(TransformError("unknown AdOC block flag")),
+        }
+    }
+
+    fn encode_cost(&self, input_len: usize, _output_len: usize, flag: u8) -> SimDuration {
+        match flag {
+            FLAG_COMPRESSED => SimDuration::for_transfer(input_len as u64, COMPRESS_BYTES_PER_SEC),
+            // Raw blocks still pay one memcpy-ish pass.
+            _ => SimDuration::for_transfer(input_len as u64, 400.0e6),
+        }
+    }
+
+    fn decode_cost(&self, _wire_len: usize, output_len: usize, flag: u8) -> SimDuration {
+        match flag {
+            FLAG_COMPRESSED => {
+                SimDuration::for_transfer(output_len as u64, DECOMPRESS_BYTES_PER_SEC)
+            }
+            _ => SimDuration::for_transfer(output_len as u64, 400.0e6),
+        }
+    }
+}
+
+/// An AdOC adaptive-compression stream over any inner [`ByteStream`].
+pub type AdocStream = TransformStream<AdocTransform>;
+
+/// Wraps `inner` with AdOC adaptive compression.
+pub fn adoc_over(
+    world: &mut SimWorld,
+    inner: Box<dyn ByteStream>,
+    config: AdocConfig,
+) -> AdocStream {
+    let block = config.block_size;
+    TransformStream::new(world, inner, AdocTransform::new(config), block)
+}
+
+/// Statistics alias re-exported for convenience.
+pub type AdocStats = TransformStats;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compress::compressible_data;
+    use crate::loopback::loopback_pair;
+    use crate::stream::ByteStreamExt;
+    use crate::tcp::{TcpConn, TcpStack};
+    use simnet::{topology, NetworkSpec};
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    fn tcp_pair(spec: NetworkSpec) -> (simnet::SimWorld, TcpConn, TcpConn, simnet::NetworkId) {
+        let mut p = topology::pair_over(5, spec);
+        let sa = TcpStack::new(&mut p.world, p.a);
+        let sb = TcpStack::new(&mut p.world, p.b);
+        let server: Rc<RefCell<Option<TcpConn>>> = Rc::new(RefCell::new(None));
+        let s2 = server.clone();
+        sb.listen(5000, move |_w, c| *s2.borrow_mut() = Some(c));
+        let client = sa.connect(&mut p.world, p.network, p.b, 5000);
+        p.world.run();
+        let server = server.borrow().clone().unwrap();
+        (p.world, client, server, p.network)
+    }
+
+    #[test]
+    fn adoc_roundtrip_forced_compression() {
+        let mut world = SimWorld::new(0);
+        let n = world.add_node("n");
+        let (a, b) = loopback_pair(&world, n);
+        let cfg = AdocConfig {
+            force_compression: true,
+            ..Default::default()
+        };
+        let ta = adoc_over(&mut world, Box::new(a), cfg.clone());
+        let tb = adoc_over(&mut world, Box::new(b), cfg);
+        let data = compressible_data(200_000, 3);
+        ta.send_all(&mut world, &data);
+        world.run();
+        assert_eq!(tb.recv_all(&mut world), data);
+        let stats = ta.stats();
+        assert!(stats.blocks_transformed > 0, "blocks should be compressed");
+        assert!(
+            stats.effective_ratio() > 1.5,
+            "compressible data should shrink on the wire, ratio {}",
+            stats.effective_ratio()
+        );
+    }
+
+    #[test]
+    fn adoc_leaves_incompressible_data_raw() {
+        let mut world = SimWorld::new(1);
+        let n = world.add_node("n");
+        let (a, b) = loopback_pair(&world, n);
+        let cfg = AdocConfig {
+            force_compression: true,
+            ..Default::default()
+        };
+        let ta = adoc_over(&mut world, Box::new(a), cfg.clone());
+        let tb = adoc_over(&mut world, Box::new(b), cfg);
+        // Pseudo-random bytes do not compress; AdOC must fall back to raw
+        // blocks (flag 0) and still round-trip.
+        let mut x = 99u64;
+        let data: Vec<u8> = (0..100_000)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                (x & 0xff) as u8
+            })
+            .collect();
+        ta.send_all(&mut world, &data);
+        world.run();
+        assert_eq!(tb.recv_all(&mut world), data);
+        let stats = ta.stats();
+        assert!(stats.effective_ratio() <= 1.01);
+    }
+
+    #[test]
+    fn adoc_speeds_up_a_slow_link_with_compressible_data() {
+        // Reference: raw TCP transfer time on the slow link.
+        let size = 300_000usize;
+        let data = compressible_data(size, 7);
+
+        let measure = |use_adoc: bool| -> f64 {
+            let (mut world, client, server, _net) = tcp_pair(NetworkSpec::lossy_internet());
+            let received = Rc::new(RefCell::new(0usize));
+            let r = received.clone();
+            let (tx, rx): (Box<dyn ByteStream>, Box<dyn ByteStream>) = if use_adoc {
+                let cfg = AdocConfig {
+                    force_compression: true,
+                    ..Default::default()
+                };
+                (
+                    Box::new(adoc_over(&mut world, Box::new(client), cfg.clone())),
+                    Box::new(adoc_over(&mut world, Box::new(server), cfg)),
+                )
+            } else {
+                (Box::new(client), Box::new(server))
+            };
+            let rx = Rc::new(rx);
+            let rx2 = rx.clone();
+            rx.set_readable_callback(Box::new(move |world| {
+                *r.borrow_mut() += rx2.recv(world, usize::MAX).len();
+            }));
+            let start = world.now();
+            tx.send(&mut world, &data);
+            world.run_while(|| *received.borrow() < size);
+            world.now().since(start).as_secs_f64()
+        };
+
+        let raw_time = measure(false);
+        let adoc_time = measure(true);
+        assert!(
+            adoc_time < raw_time * 0.8,
+            "AdOC should speed up compressible transfers on a slow link: raw {raw_time:.3}s vs adoc {adoc_time:.3}s"
+        );
+    }
+}

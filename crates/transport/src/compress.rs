@@ -1,0 +1,244 @@
+//! A small LZSS-style codec used by the AdOC adaptive online compression
+//! method.
+//!
+//! The paper uses AdOC (Jeannot, Knutsson, Björkmann 2002), which wraps
+//! zlib. Pulling in a real compression library is outside the allowed
+//! dependency set, so this module implements a self-contained LZ77/LZSS
+//! codec: correctness (lossless round-trip) is what matters for the
+//! framework; the achieved ratio on compressible data (2–4×) is in the same
+//! ballpark as zlib's fast levels.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+const MIN_MATCH: usize = 4;
+const MAX_MATCH: usize = 0xFFFF;
+const WINDOW: usize = 0xFFFF;
+const HASH_BITS: u32 = 15;
+
+const TOKEN_LITERAL: u8 = 0;
+const TOKEN_MATCH: u8 = 1;
+
+#[inline]
+fn hash4(data: &[u8]) -> usize {
+    let v = u32::from_le_bytes([data[0], data[1], data[2], data[3]]);
+    (v.wrapping_mul(2654435761) >> (32 - HASH_BITS)) as usize
+}
+
+/// Compresses `input` with the LZSS codec. The output always round-trips
+/// through [`decompress`]; it may be larger than the input for
+/// incompressible data (the AdOC layer handles that by sending raw blocks).
+pub fn compress(input: &[u8]) -> Bytes {
+    let mut out = BytesMut::with_capacity(input.len() / 2 + 16);
+    let mut table = vec![usize::MAX; 1 << HASH_BITS];
+    let mut literal_start = 0usize;
+    let mut i = 0usize;
+
+    let flush_literals = |out: &mut BytesMut, input: &[u8], from: usize, to: usize| {
+        let mut from = from;
+        while from < to {
+            let run = (to - from).min(0xFFFF);
+            out.put_u8(TOKEN_LITERAL);
+            out.put_u16(run as u16);
+            out.extend_from_slice(&input[from..from + run]);
+            from += run;
+        }
+    };
+
+    while i + MIN_MATCH <= input.len() {
+        let h = hash4(&input[i..]);
+        let candidate = table[h];
+        table[h] = i;
+
+        let mut match_len = 0usize;
+        if candidate != usize::MAX && i - candidate <= WINDOW {
+            let max_len = (input.len() - i).min(MAX_MATCH);
+            while match_len < max_len && input[candidate + match_len] == input[i + match_len] {
+                match_len += 1;
+            }
+        }
+
+        if match_len >= MIN_MATCH {
+            flush_literals(&mut out, input, literal_start, i);
+            out.put_u8(TOKEN_MATCH);
+            out.put_u16((i - candidate) as u16);
+            out.put_u16(match_len as u16);
+            // Insert a few hash entries inside the match so later data can
+            // still find it, then skip past it.
+            let end = i + match_len;
+            let mut j = i + 1;
+            while j + MIN_MATCH <= end && j < i + 16 {
+                table[hash4(&input[j..])] = j;
+                j += 1;
+            }
+            i = end;
+            literal_start = i;
+        } else {
+            i += 1;
+        }
+    }
+    flush_literals(&mut out, input, literal_start, input.len());
+    out.freeze()
+}
+
+/// Error returned by [`decompress`] on malformed input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecompressError(&'static str);
+
+impl std::fmt::Display for DecompressError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "decompression failed: {}", self.0)
+    }
+}
+impl std::error::Error for DecompressError {}
+
+/// Decompresses data produced by [`compress`].
+pub fn decompress(input: &[u8]) -> Result<Vec<u8>, DecompressError> {
+    let mut out = Vec::with_capacity(input.len() * 2);
+    let mut buf = input;
+    while buf.has_remaining() {
+        let token = buf.get_u8();
+        match token {
+            TOKEN_LITERAL => {
+                if buf.remaining() < 2 {
+                    return Err(DecompressError("truncated literal header"));
+                }
+                let len = buf.get_u16() as usize;
+                if buf.remaining() < len {
+                    return Err(DecompressError("truncated literal run"));
+                }
+                out.extend_from_slice(&buf[..len]);
+                buf.advance(len);
+            }
+            TOKEN_MATCH => {
+                if buf.remaining() < 4 {
+                    return Err(DecompressError("truncated match token"));
+                }
+                let offset = buf.get_u16() as usize;
+                let len = buf.get_u16() as usize;
+                if offset == 0 || offset > out.len() {
+                    return Err(DecompressError("match offset out of range"));
+                }
+                let start = out.len() - offset;
+                for k in 0..len {
+                    let byte = out[start + k];
+                    out.push(byte);
+                }
+            }
+            _ => return Err(DecompressError("unknown token")),
+        }
+    }
+    Ok(out)
+}
+
+/// Compression throughput model: bytes per second a Pentium III-era CPU
+/// sustains running this kind of LZ compressor. Used by AdOC to charge
+/// virtual CPU time.
+pub const COMPRESS_BYTES_PER_SEC: f64 = 30.0e6;
+/// Decompression throughput model (decompression is much cheaper).
+pub const DECOMPRESS_BYTES_PER_SEC: f64 = 120.0e6;
+
+/// Generates synthetic "scientific output"-like data that compresses by
+/// roughly 2–4×: runs of structured text records with repeated keys and
+/// slowly-varying numeric fields.
+pub fn compressible_data(len: usize, seed: u64) -> Vec<u8> {
+    let mut out = Vec::with_capacity(len);
+    let mut x = seed | 1;
+    let mut t = 0u64;
+    while out.len() < len {
+        // A cheap xorshift for variety without pulling in `rand` here.
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        t += 1;
+        let record = format!(
+            "timestep={t} temperature={:.3} pressure={:.3} velocity=({:.2},{:.2},{:.2}) status=OK\n",
+            300.0 + (t % 17) as f64 * 0.125,
+            101.3 + (x % 7) as f64 * 0.001,
+            (x % 13) as f64 * 0.01,
+            (x % 11) as f64 * 0.01,
+            (x % 5) as f64 * 0.01,
+        );
+        out.extend_from_slice(record.as_bytes());
+    }
+    out.truncate(len);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_empty_and_small() {
+        for input in [&b""[..], b"a", b"ab", b"abc", b"abcd", b"hello world"] {
+            let c = compress(input);
+            assert_eq!(decompress(&c).unwrap(), input);
+        }
+    }
+
+    #[test]
+    fn roundtrip_repetitive_and_ratio() {
+        let input: Vec<u8> = b"the quick brown fox jumps over the lazy dog. "
+            .iter()
+            .copied()
+            .cycle()
+            .take(100_000)
+            .collect();
+        let c = compress(&input);
+        assert_eq!(decompress(&c).unwrap(), input);
+        let ratio = input.len() as f64 / c.len() as f64;
+        assert!(ratio > 5.0, "highly repetitive data should compress well, got {ratio}");
+    }
+
+    #[test]
+    fn roundtrip_compressible_generator() {
+        let input = compressible_data(64 * 1024, 42);
+        let c = compress(&input);
+        assert_eq!(decompress(&c).unwrap(), input);
+        let ratio = input.len() as f64 / c.len() as f64;
+        assert!(ratio > 1.8, "synthetic data should compress ≥1.8x, got {ratio}");
+        assert!(ratio < 20.0);
+    }
+
+    #[test]
+    fn incompressible_data_still_roundtrips() {
+        // Pseudo-random bytes: the codec may expand them, but must not corrupt.
+        let mut x = 0x12345678u64;
+        let input: Vec<u8> = (0..50_000)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                (x & 0xff) as u8
+            })
+            .collect();
+        let c = compress(&input);
+        assert_eq!(decompress(&c).unwrap(), input);
+    }
+
+    #[test]
+    fn overlapping_match_copy() {
+        // "aaaa..." forces matches whose source overlaps the destination.
+        let input = vec![b'a'; 10_000];
+        let c = compress(&input);
+        assert!(c.len() < 200);
+        assert_eq!(decompress(&c).unwrap(), input);
+    }
+
+    #[test]
+    fn decompress_rejects_garbage() {
+        assert!(decompress(&[7, 1, 2, 3]).is_err());
+        assert!(decompress(&[TOKEN_MATCH, 0, 5, 0, 4]).is_err());
+        assert!(decompress(&[TOKEN_LITERAL, 0]).is_err());
+        assert!(decompress(&[TOKEN_LITERAL, 0, 10, b'x']).is_err());
+    }
+
+    #[test]
+    fn generator_is_deterministic_and_sized() {
+        let a = compressible_data(1000, 7);
+        let b = compressible_data(1000, 7);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 1000);
+        assert_ne!(a, compressible_data(1000, 8));
+    }
+}

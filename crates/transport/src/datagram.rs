@@ -1,0 +1,365 @@
+//! Unreliable datagram service (UDP-like) over the simulated network.
+//!
+//! Datagrams are the substrate of VRP and of a few personalities; they are
+//! also handy in tests to observe raw loss behaviour.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::collections::VecDeque;
+use std::rc::Rc;
+
+use bytes::Bytes;
+use simnet::{Frame, NetworkId, NodeId, ProtoId, SimWorld};
+
+use crate::wire::{SegFlags, Segment, EXTRA_HEADER_BYTES};
+
+/// A datagram received by an endpoint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Datagram {
+    /// Sending node.
+    pub src_node: NodeId,
+    /// Sending port.
+    pub src_port: u16,
+    /// Payload.
+    pub data: Bytes,
+}
+
+type RecvCallback = Box<dyn FnMut(&mut SimWorld, Datagram)>;
+
+struct Endpoint {
+    queue: VecDeque<Datagram>,
+    callback: Option<RecvCallback>,
+}
+
+struct UdpHostInner {
+    node: NodeId,
+    endpoints: HashMap<u16, Endpoint>,
+    next_ephemeral: u16,
+}
+
+/// The per-node datagram stack. One instance per node handles every bound
+/// port, mirroring a host's single UDP implementation.
+#[derive(Clone)]
+pub struct UdpHost {
+    inner: Rc<RefCell<UdpHostInner>>,
+}
+
+/// Errors returned by [`UdpHost::send_to`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum UdpError {
+    /// The payload does not fit in one network frame.
+    DatagramTooLarge {
+        /// Requested payload size.
+        size: usize,
+        /// Maximum payload for the network.
+        max: usize,
+    },
+    /// The local port is not bound.
+    PortNotBound(u16),
+    /// The underlying network refused the frame.
+    Network(simnet::SendError),
+}
+
+impl std::fmt::Display for UdpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            UdpError::DatagramTooLarge { size, max } => {
+                write!(f, "datagram of {size} bytes exceeds the maximum of {max}")
+            }
+            UdpError::PortNotBound(p) => write!(f, "port {p} is not bound"),
+            UdpError::Network(e) => write!(f, "network error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for UdpError {}
+
+impl UdpHost {
+    /// Creates the datagram stack for `node` and registers its frame
+    /// handler with the world.
+    pub fn new(world: &mut SimWorld, node: NodeId) -> UdpHost {
+        let inner = Rc::new(RefCell::new(UdpHostInner {
+            node,
+            endpoints: HashMap::new(),
+            next_ephemeral: 49_152,
+        }));
+        let host = UdpHost { inner };
+        let handler_host = host.clone();
+        world.register_handler(node, ProtoId::DATAGRAM, move |world, _net, frame| {
+            handler_host.on_frame(world, frame);
+        });
+        host
+    }
+
+    /// Node this stack belongs to.
+    pub fn node(&self) -> NodeId {
+        self.inner.borrow().node
+    }
+
+    /// Binds a port. Returns `false` if the port was already bound.
+    pub fn bind(&self, port: u16) -> bool {
+        let mut inner = self.inner.borrow_mut();
+        if inner.endpoints.contains_key(&port) {
+            return false;
+        }
+        inner.endpoints.insert(
+            port,
+            Endpoint {
+                queue: VecDeque::new(),
+                callback: None,
+            },
+        );
+        true
+    }
+
+    /// Binds an ephemeral port and returns it.
+    pub fn bind_ephemeral(&self) -> u16 {
+        loop {
+            let port = {
+                let mut inner = self.inner.borrow_mut();
+                let p = inner.next_ephemeral;
+                inner.next_ephemeral = inner.next_ephemeral.wrapping_add(1).max(49_152);
+                p
+            };
+            if self.bind(port) {
+                return port;
+            }
+        }
+    }
+
+    /// Registers a callback invoked for every datagram arriving on `port`.
+    /// Datagrams received before the callback was set stay in the queue.
+    pub fn set_recv_callback(
+        &self,
+        port: u16,
+        cb: impl FnMut(&mut SimWorld, Datagram) + 'static,
+    ) -> Result<(), UdpError> {
+        let mut inner = self.inner.borrow_mut();
+        match inner.endpoints.get_mut(&port) {
+            Some(ep) => {
+                ep.callback = Some(Box::new(cb));
+                Ok(())
+            }
+            None => Err(UdpError::PortNotBound(port)),
+        }
+    }
+
+    /// Pops a queued datagram from `port`, if any.
+    pub fn recv_from(&self, port: u16) -> Option<Datagram> {
+        self.inner
+            .borrow_mut()
+            .endpoints
+            .get_mut(&port)?
+            .queue
+            .pop_front()
+    }
+
+    /// Number of datagrams queued on `port`.
+    pub fn pending(&self, port: u16) -> usize {
+        self.inner
+            .borrow()
+            .endpoints
+            .get(&port)
+            .map_or(0, |e| e.queue.len())
+    }
+
+    /// Maximum datagram payload on `network` (MTU minus transport header).
+    pub fn max_payload(world: &SimWorld, network: NetworkId) -> usize {
+        world
+            .network(network)
+            .spec
+            .mtu
+            .saturating_sub(crate::wire::SEGMENT_HEADER_BYTES)
+    }
+
+    /// Sends one datagram. The payload must fit in a single frame.
+    pub fn send_to(
+        &self,
+        world: &mut SimWorld,
+        network: NetworkId,
+        src_port: u16,
+        dst_node: NodeId,
+        dst_port: u16,
+        data: impl Into<Bytes>,
+    ) -> Result<(), UdpError> {
+        let node = self.inner.borrow().node;
+        if !self.inner.borrow().endpoints.contains_key(&src_port) {
+            return Err(UdpError::PortNotBound(src_port));
+        }
+        let data = data.into();
+        let max = Self::max_payload(world, network);
+        if data.len() > max {
+            return Err(UdpError::DatagramTooLarge {
+                size: data.len(),
+                max,
+            });
+        }
+        let seg = Segment {
+            src_port,
+            dst_port,
+            seq: 0,
+            ack: 0,
+            flags: SegFlags::default(),
+            window: 0,
+            data,
+        };
+        let frame = Frame::new(node, dst_node, ProtoId::DATAGRAM, seg.encode())
+            .with_header_bytes(EXTRA_HEADER_BYTES);
+        world.send_frame(network, frame).map_err(UdpError::Network)
+    }
+
+    fn on_frame(&self, world: &mut SimWorld, frame: Frame) {
+        let Some(seg) = Segment::decode(frame.payload) else {
+            return;
+        };
+        let dgram = Datagram {
+            src_node: frame.src,
+            src_port: seg.src_port,
+            data: seg.data,
+        };
+        // Take the callback out while we run it so the callback itself may
+        // re-enter this host (e.g. to send a reply).
+        let cb = {
+            let mut inner = self.inner.borrow_mut();
+            match inner.endpoints.get_mut(&seg.dst_port) {
+                Some(ep) => match ep.callback.take() {
+                    Some(cb) => Some(cb),
+                    None => {
+                        ep.queue.push_back(dgram.clone());
+                        None
+                    }
+                },
+                None => None, // port unreachable: silently dropped
+            }
+        };
+        if let Some(mut cb) = cb {
+            cb(world, dgram);
+            let mut inner = self.inner.borrow_mut();
+            if let Some(ep) = inner.endpoints.get_mut(&seg.dst_port) {
+                // Only restore if the user did not install a new callback
+                // from inside the old one.
+                if ep.callback.is_none() {
+                    ep.callback = Some(cb);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simnet::topology;
+    use simnet::NetworkSpec;
+    use std::cell::Cell;
+
+    #[test]
+    fn bind_and_ephemeral_ports() {
+        let mut p = topology::pair_over(1, NetworkSpec::ethernet_100());
+        let host = UdpHost::new(&mut p.world, p.a);
+        assert!(host.bind(5000));
+        assert!(!host.bind(5000), "double bind must fail");
+        let e1 = host.bind_ephemeral();
+        let e2 = host.bind_ephemeral();
+        assert_ne!(e1, e2);
+        assert!(e1 >= 49_152);
+    }
+
+    #[test]
+    fn datagram_roundtrip_with_queue_and_callback() {
+        let mut p = topology::pair_over(1, NetworkSpec::ethernet_100());
+        let a = UdpHost::new(&mut p.world, p.a);
+        let b = UdpHost::new(&mut p.world, p.b);
+        a.bind(1000);
+        b.bind(2000);
+
+        // First datagram is queued (no callback yet).
+        a.send_to(&mut p.world, p.network, 1000, p.b, 2000, &b"queued"[..])
+            .unwrap();
+        p.world.run();
+        assert_eq!(b.pending(2000), 1);
+        let d = b.recv_from(2000).unwrap();
+        assert_eq!(&d.data[..], b"queued");
+        assert_eq!(d.src_port, 1000);
+        assert_eq!(d.src_node, p.a);
+
+        // Second datagram goes through the callback.
+        let got = Rc::new(Cell::new(false));
+        let g = got.clone();
+        b.set_recv_callback(2000, move |_w, d| {
+            assert_eq!(&d.data[..], b"called back");
+            g.set(true);
+        })
+        .unwrap();
+        a.send_to(&mut p.world, p.network, 1000, p.b, 2000, &b"called back"[..])
+            .unwrap();
+        p.world.run();
+        assert!(got.get());
+        assert_eq!(b.pending(2000), 0);
+    }
+
+    #[test]
+    fn oversized_datagrams_are_rejected() {
+        let mut p = topology::pair_over(1, NetworkSpec::ethernet_100());
+        let a = UdpHost::new(&mut p.world, p.a);
+        a.bind(1);
+        let max = UdpHost::max_payload(&p.world, p.network);
+        let err = a
+            .send_to(&mut p.world, p.network, 1, p.b, 2, vec![0u8; max + 1])
+            .unwrap_err();
+        assert!(matches!(err, UdpError::DatagramTooLarge { .. }));
+        // Exactly the maximum is fine.
+        a.send_to(&mut p.world, p.network, 1, p.b, 2, vec![0u8; max])
+            .unwrap();
+    }
+
+    #[test]
+    fn sending_from_unbound_port_fails() {
+        let mut p = topology::pair_over(1, NetworkSpec::ethernet_100());
+        let a = UdpHost::new(&mut p.world, p.a);
+        let err = a
+            .send_to(&mut p.world, p.network, 77, p.b, 2, &b"x"[..])
+            .unwrap_err();
+        assert_eq!(err, UdpError::PortNotBound(77));
+    }
+
+    #[test]
+    fn unbound_destination_port_drops_silently() {
+        let mut p = topology::pair_over(1, NetworkSpec::ethernet_100());
+        let a = UdpHost::new(&mut p.world, p.a);
+        let b = UdpHost::new(&mut p.world, p.b);
+        a.bind(1);
+        a.send_to(&mut p.world, p.network, 1, p.b, 9999, &b"void"[..])
+            .unwrap();
+        p.world.run();
+        assert_eq!(b.pending(9999), 0);
+    }
+
+    #[test]
+    fn callback_can_reply_from_within() {
+        // Ping/pong implemented inside the receive callbacks.
+        let mut p = topology::pair_over(1, NetworkSpec::ethernet_100());
+        let a = UdpHost::new(&mut p.world, p.a);
+        let b = UdpHost::new(&mut p.world, p.b);
+        a.bind(10);
+        b.bind(20);
+        let (node_a, net) = (p.a, p.network);
+        let b2 = b.clone();
+        b.set_recv_callback(20, move |world, d| {
+            b2.send_to(world, net, 20, node_a, d.src_port, d.data.clone())
+                .unwrap();
+        })
+        .unwrap();
+        let pong = Rc::new(Cell::new(false));
+        let pg = pong.clone();
+        a.set_recv_callback(10, move |_w, d| {
+            assert_eq!(&d.data[..], b"ping");
+            pg.set(true);
+        })
+        .unwrap();
+        a.send_to(&mut p.world, p.network, 10, p.b, 20, &b"ping"[..])
+            .unwrap();
+        p.world.run();
+        assert!(pong.get());
+    }
+}

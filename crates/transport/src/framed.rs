@@ -1,0 +1,466 @@
+//! A generic "transform stream": blocks of application data are encoded
+//! (compressed, ciphered, …), framed, sent over an inner [`ByteStream`],
+//! and decoded on the other side, with the CPU cost of the transform
+//! charged in virtual time.
+//!
+//! Both the AdOC compression adapter and the security adapter are
+//! instances of this engine with different [`BlockTransform`]s.
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::rc::Rc;
+
+use simnet::{SimDuration, SimTime, SimWorld};
+
+use crate::stream::{ByteStream, ReadableCallback};
+
+/// Size of the per-block frame header: 1 flag byte + 4-byte encoded length
+/// + 4-byte original length.
+pub const BLOCK_HEADER_BYTES: usize = 9;
+
+/// Result of encoding one block.
+#[derive(Debug, Clone)]
+pub struct EncodedBlock {
+    /// Transform-specific flag stored in the frame header (e.g.
+    /// "compressed" vs "raw").
+    pub flag: u8,
+    /// Encoded bytes.
+    pub data: Vec<u8>,
+}
+
+/// Context available to the encoder when it decides how to encode a block.
+#[derive(Debug, Clone, Copy)]
+pub struct TransformCtx {
+    /// Bytes already queued in the inner stream but not yet acknowledged:
+    /// a large backlog means the network is the bottleneck.
+    pub inner_backlog: u64,
+    /// Current virtual time.
+    pub now: SimTime,
+}
+
+/// Error produced when decoding a block fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TransformError(pub &'static str);
+
+impl std::fmt::Display for TransformError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "transform error: {}", self.0)
+    }
+}
+impl std::error::Error for TransformError {}
+
+/// A per-block data transform with an associated CPU cost model.
+pub trait BlockTransform {
+    /// Short name used in traces and errors.
+    fn name(&self) -> &'static str;
+    /// Encodes one block of application data.
+    fn encode(&mut self, input: &[u8], ctx: &TransformCtx) -> EncodedBlock;
+    /// Decodes one block given the flag stored at encode time.
+    fn decode(&mut self, flag: u8, data: &[u8]) -> Result<Vec<u8>, TransformError>;
+    /// Virtual CPU time needed to encode a block.
+    fn encode_cost(&self, input_len: usize, output_len: usize, flag: u8) -> SimDuration;
+    /// Virtual CPU time needed to decode a block.
+    fn decode_cost(&self, wire_len: usize, output_len: usize, flag: u8) -> SimDuration;
+}
+
+/// Counters exposed by a transform stream.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TransformStats {
+    /// Application bytes accepted for sending.
+    pub app_bytes_sent: u64,
+    /// Encoded bytes pushed into the inner stream (header bytes included).
+    pub wire_bytes_sent: u64,
+    /// Application bytes delivered to the receiver.
+    pub app_bytes_received: u64,
+    /// Blocks encoded.
+    pub blocks_encoded: u64,
+    /// Blocks whose flag was non-zero (e.g. actually compressed/ciphered).
+    pub blocks_transformed: u64,
+}
+
+impl TransformStats {
+    /// Ratio of application bytes to wire bytes (>1 means the transform
+    /// saved bandwidth).
+    pub fn effective_ratio(&self) -> f64 {
+        if self.wire_bytes_sent == 0 {
+            1.0
+        } else {
+            self.app_bytes_sent as f64 / self.wire_bytes_sent as f64
+        }
+    }
+}
+
+struct Inner<T: BlockTransform> {
+    transform: T,
+    inner: Box<dyn ByteStream>,
+    block_size: usize,
+    // Send side.
+    pending_send: VecDeque<u8>,
+    send_cpu_free: SimTime,
+    flush_on_empty: bool,
+    encode_scheduled: bool,
+    // Receive side.
+    rx_partial: Vec<u8>,
+    recv_buf: VecDeque<u8>,
+    recv_cpu_free: SimTime,
+    readable_cb: Option<ReadableCallback>,
+    notify_pending: bool,
+    stats: TransformStats,
+}
+
+/// A [`ByteStream`] that applies a [`BlockTransform`] to data flowing over
+/// an inner stream.
+pub struct TransformStream<T: BlockTransform + 'static> {
+    inner: Rc<RefCell<Inner<T>>>,
+}
+
+impl<T: BlockTransform + 'static> Clone for TransformStream<T> {
+    fn clone(&self) -> Self {
+        TransformStream {
+            inner: self.inner.clone(),
+        }
+    }
+}
+
+impl<T: BlockTransform + 'static> TransformStream<T> {
+    /// Wraps `inner` with the given transform. `block_size` is the amount
+    /// of application data encoded per block.
+    pub fn new(
+        #[allow(unused_variables)] world: &mut SimWorld,
+        inner: Box<dyn ByteStream>,
+        transform: T,
+        block_size: usize,
+    ) -> TransformStream<T> {
+        assert!(block_size > 0);
+        let ts = TransformStream {
+            inner: Rc::new(RefCell::new(Inner {
+                transform,
+                inner,
+                block_size,
+                pending_send: VecDeque::new(),
+                send_cpu_free: SimTime::ZERO,
+                flush_on_empty: false,
+                encode_scheduled: false,
+                rx_partial: Vec::new(),
+                recv_buf: VecDeque::new(),
+                recv_cpu_free: SimTime::ZERO,
+                readable_cb: None,
+                notify_pending: false,
+                stats: TransformStats::default(),
+            })),
+        };
+        // Hook the inner stream's readability into our decoder.
+        let weak = Rc::downgrade(&ts.inner);
+        ts.inner
+            .borrow()
+            .inner
+            .set_readable_callback(Box::new(move |world| {
+                if let Some(rc) = weak.upgrade() {
+                    TransformStream { inner: rc }.on_inner_readable(world);
+                }
+            }));
+        ts
+    }
+
+    /// Current statistics.
+    pub fn stats(&self) -> TransformStats {
+        self.inner.borrow().stats
+    }
+
+    // -------------------------------------------------------------- //
+    // Send path
+    // -------------------------------------------------------------- //
+
+    fn schedule_encode(&self, world: &mut SimWorld) {
+        let (should, at) = {
+            let mut st = self.inner.borrow_mut();
+            let have_block = st.pending_send.len() >= st.block_size
+                || (st.flush_on_empty && !st.pending_send.is_empty());
+            if have_block && !st.encode_scheduled {
+                st.encode_scheduled = true;
+                (true, st.send_cpu_free.max(world.now()))
+            } else {
+                (false, SimTime::ZERO)
+            }
+        };
+        if should {
+            let this = self.clone();
+            world.schedule_at(at, move |world| this.encode_one(world));
+        }
+    }
+
+    fn encode_one(&self, world: &mut SimWorld) {
+        let frame = {
+            let mut st = self.inner.borrow_mut();
+            st.encode_scheduled = false;
+            let take = st.block_size.min(st.pending_send.len());
+            if take == 0 {
+                return;
+            }
+            let block: Vec<u8> = st.pending_send.drain(..take).collect();
+            let ctx = TransformCtx {
+                inner_backlog: st.inner.bytes_unacked(),
+                now: world.now(),
+            };
+            let encoded = st.transform.encode(&block, &ctx);
+            let cost = st
+                .transform
+                .encode_cost(block.len(), encoded.data.len(), encoded.flag);
+            st.send_cpu_free = world.now().max(st.send_cpu_free) + cost;
+            st.stats.blocks_encoded += 1;
+            if encoded.flag != 0 {
+                st.stats.blocks_transformed += 1;
+            }
+            st.stats.wire_bytes_sent += (encoded.data.len() + BLOCK_HEADER_BYTES) as u64;
+            let mut frame = Vec::with_capacity(BLOCK_HEADER_BYTES + encoded.data.len());
+            frame.push(encoded.flag);
+            frame.extend_from_slice(&(encoded.data.len() as u32).to_be_bytes());
+            frame.extend_from_slice(&(block.len() as u32).to_be_bytes());
+            frame.extend_from_slice(&encoded.data);
+            frame
+        };
+        // Push after the CPU cost has elapsed so the wire sees the block
+        // only once it has actually been produced.
+        let this = self.clone();
+        let at = self.inner.borrow().send_cpu_free;
+        world.schedule_at(at, move |world| {
+            {
+                let mut st = this.inner.borrow_mut();
+                let pushed = st.inner.send(world, &frame);
+                debug_assert_eq!(pushed, frame.len(), "inner stream refused framed data");
+            }
+            this.schedule_encode(world);
+        });
+        // If more than one block is already waiting, keep the pipeline full.
+        self.schedule_encode(world);
+    }
+
+    // -------------------------------------------------------------- //
+    // Receive path
+    // -------------------------------------------------------------- //
+
+    fn on_inner_readable(&self, world: &mut SimWorld) {
+        // Pull everything the inner stream has and decode complete blocks.
+        let chunks = {
+            let mut st = self.inner.borrow_mut();
+            let data = st.inner.recv(world, usize::MAX);
+            st.rx_partial.extend_from_slice(&data);
+            let mut ready = Vec::new();
+            loop {
+                if st.rx_partial.len() < BLOCK_HEADER_BYTES {
+                    break;
+                }
+                let flag = st.rx_partial[0];
+                let enc_len = u32::from_be_bytes(st.rx_partial[1..5].try_into().unwrap()) as usize;
+                let orig_len = u32::from_be_bytes(st.rx_partial[5..9].try_into().unwrap()) as usize;
+                if st.rx_partial.len() < BLOCK_HEADER_BYTES + enc_len {
+                    break;
+                }
+                let body: Vec<u8> = st
+                    .rx_partial
+                    .drain(..BLOCK_HEADER_BYTES + enc_len)
+                    .skip(BLOCK_HEADER_BYTES)
+                    .collect();
+                ready.push((flag, orig_len, body));
+            }
+            ready
+        };
+        for (flag, orig_len, body) in chunks {
+            let (decoded, deliver_at) = {
+                let mut st = self.inner.borrow_mut();
+                let decoded = st
+                    .transform
+                    .decode(flag, &body)
+                    .unwrap_or_else(|e| panic!("{} decode failed: {e}", st.transform.name()));
+                debug_assert_eq!(decoded.len(), orig_len, "length header mismatch");
+                let cost = st.transform.decode_cost(body.len(), decoded.len(), flag);
+                let at = world.now().max(st.recv_cpu_free) + cost;
+                st.recv_cpu_free = at;
+                (decoded, at)
+            };
+            let this = self.clone();
+            world.schedule_at(deliver_at, move |world| {
+                {
+                    let mut st = this.inner.borrow_mut();
+                    st.stats.app_bytes_received += decoded.len() as u64;
+                    st.recv_buf.extend(decoded.iter().copied());
+                }
+                this.schedule_notify(world);
+            });
+        }
+    }
+
+    fn schedule_notify(&self, world: &mut SimWorld) {
+        let should = {
+            let mut st = self.inner.borrow_mut();
+            if st.readable_cb.is_some() && !st.notify_pending {
+                st.notify_pending = true;
+                true
+            } else {
+                false
+            }
+        };
+        if should {
+            let this = self.clone();
+            world.schedule_after(SimDuration::ZERO, move |world| {
+                let cb = {
+                    let mut st = this.inner.borrow_mut();
+                    st.notify_pending = false;
+                    st.readable_cb.take()
+                };
+                if let Some(mut cb) = cb {
+                    cb(world);
+                    let mut st = this.inner.borrow_mut();
+                    if st.readable_cb.is_none() {
+                        st.readable_cb = Some(cb);
+                    }
+                }
+            });
+        }
+    }
+}
+
+impl<T: BlockTransform + 'static> ByteStream for TransformStream<T> {
+    fn send(&self, world: &mut SimWorld, data: &[u8]) -> usize {
+        {
+            let mut st = self.inner.borrow_mut();
+            st.pending_send.extend(data.iter().copied());
+            st.stats.app_bytes_sent += data.len() as u64;
+            // Transform streams buffer full blocks; partial trailing data is
+            // flushed on close or as soon as a full block accumulates. To
+            // keep latency bounded for small writes we always flush what we
+            // have.
+            st.flush_on_empty = true;
+        }
+        self.schedule_encode(world);
+        data.len()
+    }
+
+    fn available(&self) -> usize {
+        self.inner.borrow().recv_buf.len()
+    }
+
+    fn recv(&self, _world: &mut SimWorld, max: usize) -> Vec<u8> {
+        let mut st = self.inner.borrow_mut();
+        let n = max.min(st.recv_buf.len());
+        st.recv_buf.drain(..n).collect()
+    }
+
+    fn is_established(&self) -> bool {
+        self.inner.borrow().inner.is_established()
+    }
+
+    fn is_finished(&self) -> bool {
+        let st = self.inner.borrow();
+        st.inner.is_finished() && st.recv_buf.is_empty() && st.rx_partial.is_empty()
+    }
+
+    fn close(&self, world: &mut SimWorld) {
+        self.schedule_encode(world);
+        // Close the inner stream only after every pending block has been
+        // pushed; the push events are ordered, so schedule the close after
+        // the current CPU-free horizon.
+        let this = self.clone();
+        let at = self.inner.borrow().send_cpu_free;
+        world.schedule_at(at, move |world| {
+            let pending = this.inner.borrow().pending_send.len();
+            if pending == 0 {
+                this.inner.borrow().inner.close(world);
+            } else {
+                // Data still being encoded: try again shortly.
+                let retry = this.clone();
+                world.schedule_after(SimDuration::from_micros(50), move |world| {
+                    retry.close(world);
+                });
+            }
+        });
+    }
+
+    fn set_readable_callback(&self, cb: ReadableCallback) {
+        self.inner.borrow_mut().readable_cb = Some(cb);
+    }
+
+    fn bytes_acked(&self) -> u64 {
+        self.inner.borrow().inner.bytes_acked()
+    }
+
+    fn bytes_unacked(&self) -> u64 {
+        let st = self.inner.borrow();
+        st.inner.bytes_unacked() + st.pending_send.len() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loopback::loopback_pair;
+    use crate::stream::ByteStreamExt;
+
+    /// A transform that reverses each block and charges a fixed cost.
+    struct ReverseTransform;
+
+    impl BlockTransform for ReverseTransform {
+        fn name(&self) -> &'static str {
+            "reverse"
+        }
+        fn encode(&mut self, input: &[u8], _ctx: &TransformCtx) -> EncodedBlock {
+            EncodedBlock {
+                flag: 1,
+                data: input.iter().rev().copied().collect(),
+            }
+        }
+        fn decode(&mut self, flag: u8, data: &[u8]) -> Result<Vec<u8>, TransformError> {
+            if flag != 1 {
+                return Err(TransformError("bad flag"));
+            }
+            Ok(data.iter().rev().copied().collect())
+        }
+        fn encode_cost(&self, _i: usize, _o: usize, _f: u8) -> SimDuration {
+            SimDuration::from_micros(10)
+        }
+        fn decode_cost(&self, _w: usize, _o: usize, _f: u8) -> SimDuration {
+            SimDuration::from_micros(5)
+        }
+    }
+
+    #[test]
+    fn transform_roundtrip_over_loopback() {
+        let mut world = SimWorld::new(0);
+        let n = world.add_node("n");
+        let (a, b) = loopback_pair(&world, n);
+        let ta = TransformStream::new(&mut world, Box::new(a), ReverseTransform, 1024);
+        let tb = TransformStream::new(&mut world, Box::new(b), ReverseTransform, 1024);
+        let payload: Vec<u8> = (0..10_000u32).map(|i| (i % 256) as u8).collect();
+        ta.send_all(&mut world, &payload);
+        world.run();
+        assert_eq!(tb.recv_all(&mut world), payload);
+        let stats = ta.stats();
+        assert!(stats.blocks_encoded >= 10);
+        assert_eq!(stats.app_bytes_sent, 10_000);
+    }
+
+    #[test]
+    fn transform_charges_cpu_time() {
+        let mut world = SimWorld::new(0);
+        let n = world.add_node("n");
+        let (a, b) = loopback_pair(&world, n);
+        let ta = TransformStream::new(&mut world, Box::new(a), ReverseTransform, 100);
+        let _tb = TransformStream::new(&mut world, Box::new(b), ReverseTransform, 100);
+        ta.send_all(&mut world, &vec![0u8; 1000]);
+        world.run();
+        // 10 blocks at 10 us encode each = at least 100 us of virtual time.
+        assert!(world.now().as_micros_f64() >= 100.0);
+    }
+
+    #[test]
+    fn small_writes_are_flushed() {
+        let mut world = SimWorld::new(0);
+        let n = world.add_node("n");
+        let (a, b) = loopback_pair(&world, n);
+        let ta = TransformStream::new(&mut world, Box::new(a), ReverseTransform, 64 * 1024);
+        let tb = TransformStream::new(&mut world, Box::new(b), ReverseTransform, 64 * 1024);
+        ta.send_all(&mut world, b"tiny");
+        world.run();
+        assert_eq!(tb.recv_all(&mut world), b"tiny", "partial blocks must not be stuck");
+    }
+}

@@ -1,0 +1,47 @@
+//! # transport — distributed-oriented protocols over the simulated network
+//!
+//! This crate provides the "system level" of the distributed world in
+//! PadicoTM-RS terms: the protocols a grid node reaches through its IP
+//! stack, plus the alternate communication methods the paper layers on top
+//! of them.
+//!
+//! * [`tcp`] — simulated TCP (reliable stream, Reno-style congestion
+//!   control). The baseline for every distributed middleware system.
+//! * [`datagram`] — unreliable datagrams (UDP-like).
+//! * [`vrp`] — the Variable Reliability Protocol: a tunable loss-tolerant
+//!   transport for lossy WANs.
+//! * [`parallel`] — Parallel Streams: stripes one logical stream over
+//!   several TCP connections to ride out isolated WAN losses (à la
+//!   GridFTP).
+//! * [`adoc`] — AdOC-style adaptive online compression over a stream.
+//! * [`secure`] — an authentication/encryption wrapper modelling a
+//!   GSI/IPsec-like adapter (cost model only, not real cryptography).
+//! * [`compress`] — the LZSS codec used by AdOC.
+//! * [`framed`] — the generic block-transform engine behind AdOC/secure.
+//! * [`loopback`] — an in-memory stream pair for intra-node links.
+//! * [`stream`] — the [`stream::ByteStream`] trait all of these implement.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod adoc;
+pub mod compress;
+pub mod datagram;
+pub mod framed;
+pub mod loopback;
+pub mod parallel;
+pub mod secure;
+pub mod stream;
+pub mod tcp;
+pub mod vrp;
+pub mod wire;
+
+pub use adoc::{adoc_over, AdocConfig, AdocStream};
+pub use datagram::{Datagram, UdpError, UdpHost};
+pub use framed::{BlockTransform, TransformStats, TransformStream};
+pub use loopback::{loopback_pair, LoopbackStream};
+pub use parallel::{ParallelStream, ParallelStreamConfig};
+pub use secure::{secure_over, SecureConfig, SecureStream};
+pub use stream::{ByteStream, ByteStreamExt, ReadableCallback};
+pub use tcp::{TcpConfig, TcpConn, TcpConnStats, TcpStack};
+pub use vrp::{VrpConfig, VrpMessage, VrpReceiver, VrpSender, VrpTransferStats};

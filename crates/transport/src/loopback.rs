@@ -1,0 +1,249 @@
+//! In-memory loopback streams.
+//!
+//! PadicoTM provides a loopback VLink driver so that two middleware
+//! systems co-located on the same node talk through a memory copy instead
+//! of the network. The pair created here models exactly that: data crosses
+//! after one memcpy-rate delay on the node.
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::rc::Rc;
+
+use simnet::{NodeId, SimDuration, SimWorld};
+
+use crate::stream::{ByteStream, ReadableCallback};
+
+struct Side {
+    recv_buf: VecDeque<u8>,
+    readable_cb: Option<ReadableCallback>,
+    notify_pending: bool,
+    closed_by_peer: bool,
+    closed_by_self: bool,
+    bytes_acked: u64,
+}
+
+impl Side {
+    fn new() -> Side {
+        Side {
+            recv_buf: VecDeque::new(),
+            readable_cb: None,
+            notify_pending: false,
+            closed_by_peer: false,
+            closed_by_self: false,
+            bytes_acked: 0,
+        }
+    }
+}
+
+struct Shared {
+    node: NodeId,
+    sides: [Side; 2],
+    /// Next instant the (single) copy engine is free; back-to-back sends
+    /// serialize at memcpy rate.
+    copy_free_at: simnet::SimTime,
+}
+
+/// One end of a loopback stream pair.
+#[derive(Clone)]
+pub struct LoopbackStream {
+    shared: Rc<RefCell<Shared>>,
+    /// Which side this handle is (0 or 1).
+    side: usize,
+}
+
+/// Creates a connected pair of loopback streams on `node`.
+pub fn loopback_pair(world: &SimWorld, node: NodeId) -> (LoopbackStream, LoopbackStream) {
+    let _ = world; // only the node's profile is needed; kept for symmetry with other constructors
+    let shared = Rc::new(RefCell::new(Shared {
+        node,
+        sides: [Side::new(), Side::new()],
+        copy_free_at: simnet::SimTime::ZERO,
+    }));
+    (
+        LoopbackStream {
+            shared: shared.clone(),
+            side: 0,
+        },
+        LoopbackStream { shared, side: 1 },
+    )
+}
+
+impl LoopbackStream {
+    fn peer(&self) -> usize {
+        1 - self.side
+    }
+
+    fn schedule_notify(&self, world: &mut SimWorld, side: usize) {
+        let should = {
+            let mut sh = self.shared.borrow_mut();
+            let s = &mut sh.sides[side];
+            if s.readable_cb.is_some() && !s.notify_pending {
+                s.notify_pending = true;
+                true
+            } else {
+                false
+            }
+        };
+        if should {
+            let shared = self.shared.clone();
+            world.schedule_after(SimDuration::ZERO, move |world| {
+                let cb = {
+                    let mut sh = shared.borrow_mut();
+                    sh.sides[side].notify_pending = false;
+                    sh.sides[side].readable_cb.take()
+                };
+                if let Some(mut cb) = cb {
+                    cb(world);
+                    let mut sh = shared.borrow_mut();
+                    if sh.sides[side].readable_cb.is_none() {
+                        sh.sides[side].readable_cb = Some(cb);
+                    }
+                }
+            });
+        }
+    }
+}
+
+impl ByteStream for LoopbackStream {
+    fn send(&self, world: &mut SimWorld, data: &[u8]) -> usize {
+        let peer = self.peer();
+        let delay = {
+            let mut sh = self.shared.borrow_mut();
+            if sh.sides[self.side].closed_by_self || sh.sides[self.side].closed_by_peer {
+                // Either we closed, or the peer closed (nobody is left to
+                // read what we would send).
+                return 0;
+            }
+            let cost = world.copy_cost(sh.node, data.len() as u64);
+            let start = world.now().max(sh.copy_free_at);
+            let done = start + cost;
+            sh.copy_free_at = done;
+            done - world.now()
+        };
+        let shared = self.shared.clone();
+        let payload = data.to_vec();
+        let this = self.clone();
+        let side = self.side;
+        world.schedule_after(delay, move |world| {
+            {
+                let mut sh = shared.borrow_mut();
+                sh.sides[peer].recv_buf.extend(payload.iter().copied());
+                sh.sides[side].bytes_acked += payload.len() as u64;
+            }
+            this.schedule_notify(world, peer);
+        });
+        data.len()
+    }
+
+    fn available(&self) -> usize {
+        self.shared.borrow().sides[self.side].recv_buf.len()
+    }
+
+    fn recv(&self, _world: &mut SimWorld, max: usize) -> Vec<u8> {
+        let mut sh = self.shared.borrow_mut();
+        let buf = &mut sh.sides[self.side].recv_buf;
+        let n = max.min(buf.len());
+        buf.drain(..n).collect()
+    }
+
+    fn is_established(&self) -> bool {
+        true
+    }
+
+    fn is_finished(&self) -> bool {
+        let sh = self.shared.borrow();
+        sh.sides[self.side].closed_by_peer && sh.sides[self.side].recv_buf.is_empty()
+    }
+
+    fn close(&self, world: &mut SimWorld) {
+        let peer = self.peer();
+        // The close takes effect only after every in-flight copy has been
+        // delivered, like a FIN ordered behind the data.
+        let delay = {
+            let mut sh = self.shared.borrow_mut();
+            sh.sides[self.side].closed_by_self = true;
+            sh.copy_free_at.max(world.now()) - world.now()
+        };
+        let shared = self.shared.clone();
+        let this = self.clone();
+        world.schedule_after(delay, move |world| {
+            shared.borrow_mut().sides[peer].closed_by_peer = true;
+            this.schedule_notify(world, peer);
+        });
+    }
+
+    fn set_readable_callback(&self, cb: ReadableCallback) {
+        self.shared.borrow_mut().sides[self.side].readable_cb = Some(cb);
+    }
+
+    fn bytes_acked(&self) -> u64 {
+        self.shared.borrow().sides[self.side].bytes_acked
+    }
+
+    fn bytes_unacked(&self) -> u64 {
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stream::ByteStreamExt;
+
+    #[test]
+    fn loopback_roundtrip() {
+        let mut world = SimWorld::new(0);
+        let n = world.add_node("n");
+        let (a, b) = loopback_pair(&world, n);
+        a.send_all(&mut world, b"ping");
+        b.send_all(&mut world, b"pong");
+        world.run();
+        assert_eq!(b.recv_all(&mut world), b"ping");
+        assert_eq!(a.recv_all(&mut world), b"pong");
+        assert_eq!(a.bytes_acked(), 4);
+    }
+
+    #[test]
+    fn loopback_charges_memcpy_time() {
+        let mut world = SimWorld::new(0);
+        let n = world.add_node("n");
+        let (a, b) = loopback_pair(&world, n);
+        let one_mb = vec![0u8; 1_000_000];
+        a.send_all(&mut world, &one_mb);
+        world.run();
+        assert_eq!(b.available(), 1_000_000);
+        // 1 MB at the Pentium III memcpy rate (150 MB/s) is ~6.7 ms.
+        let elapsed = world.now().as_millis_f64();
+        assert!(elapsed > 6.0 && elapsed < 7.5, "elapsed {elapsed} ms");
+    }
+
+    #[test]
+    fn close_is_seen_by_peer() {
+        let mut world = SimWorld::new(0);
+        let n = world.add_node("n");
+        let (a, b) = loopback_pair(&world, n);
+        a.send_all(&mut world, b"bye");
+        a.close(&mut world);
+        world.run();
+        assert!(!b.is_finished(), "data still unread");
+        assert_eq!(b.recv_all(&mut world), b"bye");
+        assert!(b.is_finished());
+        assert_eq!(b.send(&mut world, b"x"), 0, "peer closed");
+    }
+
+    #[test]
+    fn readable_callback_fires() {
+        let mut world = SimWorld::new(0);
+        let n = world.add_node("n");
+        let (a, b) = loopback_pair(&world, n);
+        let got = Rc::new(RefCell::new(Vec::new()));
+        let g = got.clone();
+        let b2 = b.clone();
+        b.set_readable_callback(Box::new(move |world| {
+            g.borrow_mut().extend(b2.recv_all(world));
+        }));
+        a.send_all(&mut world, b"callback data");
+        world.run();
+        assert_eq!(*got.borrow(), b"callback data");
+    }
+}

@@ -1,0 +1,67 @@
+//! The byte-stream abstraction shared by every distributed-oriented
+//! transport in this crate.
+//!
+//! `ByteStream` is what the PadicoTM `SysIO` arbitration layer and the
+//! `VLink` abstraction consume: a connected, ordered (unless the protocol
+//! says otherwise, like VRP) flow of bytes with non-blocking send/receive
+//! and a readability callback — the virtualized equivalent of a socket.
+
+use simnet::SimWorld;
+
+/// Callback invoked when a stream becomes readable (new data or EOF) or
+/// when its connection state changes.
+pub type ReadableCallback = Box<dyn FnMut(&mut SimWorld)>;
+
+/// A connected byte stream over the simulated network.
+///
+/// All methods are non-blocking: `send` queues data (possibly accepting
+/// only part of it when buffers are full) and `recv` returns whatever has
+/// already arrived. Completion is driven by running the simulation world.
+pub trait ByteStream {
+    /// Queues bytes for transmission. Returns how many bytes were accepted.
+    fn send(&self, world: &mut SimWorld, data: &[u8]) -> usize;
+
+    /// Number of bytes currently available to read.
+    fn available(&self) -> usize;
+
+    /// Reads up to `max` bytes of already-received data.
+    fn recv(&self, world: &mut SimWorld, max: usize) -> Vec<u8>;
+
+    /// True once the connection is established end-to-end.
+    fn is_established(&self) -> bool;
+
+    /// True once the peer has closed and all data has been read.
+    fn is_finished(&self) -> bool;
+
+    /// Starts an orderly close (pending data is still delivered).
+    fn close(&self, world: &mut SimWorld);
+
+    /// Registers a callback run (as a simulation event) whenever new data
+    /// becomes readable or the stream finishes. Replaces any previous
+    /// callback.
+    fn set_readable_callback(&self, cb: ReadableCallback);
+
+    /// Total payload bytes successfully acknowledged end-to-end so far
+    /// (used by experiments to compute goodput).
+    fn bytes_acked(&self) -> u64;
+
+    /// Bytes queued for sending but not yet acknowledged.
+    fn bytes_unacked(&self) -> u64;
+}
+
+/// Convenience helpers for driving a stream from tests and experiments.
+pub trait ByteStreamExt: ByteStream {
+    /// Reads everything currently available.
+    fn recv_all(&self, world: &mut SimWorld) -> Vec<u8> {
+        self.recv(world, usize::MAX)
+    }
+
+    /// Queues the whole buffer, asserting it was fully accepted (only valid
+    /// for streams with unbounded send buffers).
+    fn send_all(&self, world: &mut SimWorld, data: &[u8]) {
+        let n = self.send(world, data);
+        assert_eq!(n, data.len(), "send buffer refused {} bytes", data.len() - n);
+    }
+}
+
+impl<T: ByteStream + ?Sized> ByteStreamExt for T {}

@@ -1,0 +1,123 @@
+//! Code coupling across a grid: an MPI "ocean" code on one cluster and an
+//! MPI "atmosphere" code on another cluster exchange boundary data through
+//! CORBA, while a SOAP monitor watches progress — the parallel-component
+//! scenario that motivates the paper.
+//!
+//! Run with: `cargo run --example coupled_simulation`
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use padicotm::prelude::*;
+
+fn main() {
+    // Two Myrinet clusters of 4 nodes joined by the VTHD WAN.
+    let grid = simnet::topology::two_clusters_over_wan(7, 4);
+    let mut world = grid.world;
+    let ocean_nodes = grid.cluster_a.nodes.clone();
+    let atmos_nodes = grid.cluster_b.nodes.clone();
+
+    let ocean_rts = runtimes_for_cluster(
+        &mut world,
+        grid.cluster_a.san.unwrap(),
+        &ocean_nodes,
+        SelectorPreferences::default(),
+    );
+    let atmos_rts = runtimes_for_cluster(
+        &mut world,
+        grid.cluster_b.san.unwrap(),
+        &atmos_nodes,
+        SelectorPreferences::default(),
+    );
+
+    // Each code runs MPI internally (intra-component communication).
+    let ocean_mpi: Vec<MpiComm> = ocean_rts
+        .iter()
+        .map(|rt| {
+            let c = rt.circuit_create(&mut world, ocean_nodes.clone(), 300);
+            MpiComm::new(&mut world, c)
+        })
+        .collect();
+    let atmos_mpi: Vec<MpiComm> = atmos_rts
+        .iter()
+        .map(|rt| {
+            let c = rt.circuit_create(&mut world, atmos_nodes.clone(), 301);
+            MpiComm::new(&mut world, c)
+        })
+        .collect();
+
+    // The atmosphere component exposes a CORBA object for boundary exchange
+    // (inter-component communication crosses the WAN with Parallel Streams,
+    // chosen automatically by the selector).
+    let boundary_server = Orb::new(atmos_rts[0].clone(), OrbImpl::OmniOrb4);
+    let received_boundaries = Rc::new(RefCell::new(0u32));
+    let rb = received_boundaries.clone();
+    boundary_server.register_servant("boundary", move |_w, _op, arg| {
+        if let IdlValue::Octets(data) = arg {
+            *rb.borrow_mut() += 1;
+            IdlValue::Long(data.len() as i32)
+        } else {
+            IdlValue::Void
+        }
+    });
+    boundary_server.activate(&mut world, 400);
+
+    // A SOAP monitoring endpoint on the ocean side answers progress queries.
+    let monitor = SoapEndpoint::new(ocean_rts[0].clone());
+    let steps_done = Rc::new(RefCell::new(0u32));
+    let sd = steps_done.clone();
+    monitor.serve(&mut world, 500, "progress", move |_w, _call| {
+        SoapCall::new("progressResponse").param("steps", *sd.borrow())
+    });
+
+    println!(
+        "inter-component link (ocean rank0 -> atmos rank0): {:?}",
+        ocean_rts[0].vlink_decision(&world, atmos_nodes[0])
+    );
+
+    // --- three coupling iterations --------------------------------------
+    let orb_client = Orb::new(ocean_rts[0].clone(), OrbImpl::OmniOrb4);
+    let boundary_ref = orb_client.object_ref(atmos_nodes[0], 400, "boundary");
+    for step in 0..3u32 {
+        // Ocean: internal halo exchange (all ranks average their field).
+        let field_value = 20.0 + step as f64;
+        for comm in &ocean_mpi {
+            comm.allreduce_sum(&mut world, field_value, |_w, _sum| {});
+        }
+        // Atmosphere: same internally.
+        for comm in &atmos_mpi {
+            comm.allreduce_sum(&mut world, 1.0, |_w, _sum| {});
+        }
+        // Ocean rank 0 ships the boundary field to the atmosphere component.
+        let boundary = vec![step as u8; 256 * 1024];
+        let steps_done2 = steps_done.clone();
+        orb_client.invoke(
+            &mut world,
+            &boundary_ref,
+            "exchange",
+            IdlValue::Octets(boundary.into()),
+            move |_w, reply| {
+                println!("coupling step {step}: atmosphere acknowledged {reply:?} bytes");
+                *steps_done2.borrow_mut() += 1;
+            },
+        );
+        world.run();
+    }
+
+    // The user connects "from outside" over SOAP to check progress.
+    let user = SoapEndpoint::new(ocean_rts[1].clone());
+    user.call(
+        &mut world,
+        ocean_nodes[0],
+        500,
+        SoapCall::new("progress"),
+        |_w, resp| println!("monitor says: {} coupling steps done", resp.get("steps").unwrap_or("?")),
+    );
+    world.run();
+
+    println!(
+        "boundary exchanges received by the atmosphere component: {}",
+        received_boundaries.borrow()
+    );
+    println!("virtual time elapsed: {}", world.now());
+}

@@ -1,0 +1,62 @@
+//! Quickstart: bring up PadicoTM-RS on the paper's two-node testbed and
+//! exchange traffic with two different middleware systems at once.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use padicotm::prelude::*;
+
+fn main() {
+    // The paper's test platform: two dual-PIII nodes with Myrinet-2000 and
+    // switched Ethernet-100, simulated.
+    let p = simnet::topology::san_pair(2024);
+    let mut world = p.world;
+    let nodes = vec![p.a, p.b];
+
+    // One PadicoTM runtime per node.
+    let rts = runtimes_for_cluster(&mut world, p.san, &nodes, SelectorPreferences::default());
+
+    // Middleware #1 (parallel paradigm): MPI over a Circuit.
+    let c0 = rts[0].circuit_create(&mut world, nodes.clone(), 100);
+    let c1 = rts[1].circuit_create(&mut world, nodes.clone(), 100);
+    let mpi0 = MpiComm::new(&mut world, c0);
+    let mpi1 = MpiComm::new(&mut world, c1);
+    mpi1.recv(&mut world, Some(0), Some(1), |_world, msg| {
+        println!("[mpi  ] rank 1 received {} bytes from rank {}", msg.data.len(), msg.src);
+    });
+    mpi0.send(&mut world, 1, 1, b"hello from the parallel world");
+
+    // Middleware #2 (distributed paradigm): a CORBA-like ORB over VLink.
+    // The selector transparently routes it over the Myrinet SAN too.
+    let server = Orb::new(rts[1].clone(), OrbImpl::OmniOrb4);
+    server.register_servant("greeter", |_world, _op, arg| {
+        if let IdlValue::Str(name) = arg {
+            IdlValue::Str(format!("hello, {name}, from the distributed world"))
+        } else {
+            IdlValue::Void
+        }
+    });
+    server.activate(&mut world, 200);
+    let client = Orb::new(rts[0].clone(), OrbImpl::OmniOrb4);
+    let objref = client.object_ref(nodes[1], 200, "greeter");
+    let reply = Rc::new(RefCell::new(None));
+    let r = reply.clone();
+    client.invoke(
+        &mut world,
+        &objref,
+        "greet",
+        IdlValue::Str("grid user".to_string()),
+        move |_world, result| *r.borrow_mut() = Some(result),
+    );
+
+    // Run the simulation to completion.
+    world.run();
+    println!("[corba] reply: {:?}", reply.borrow());
+    println!(
+        "[info ] link method chosen by the selector for node0 -> node1: {:?}",
+        rts[0].vlink_decision(&world, nodes[1])
+    );
+    println!("[info ] virtual time elapsed: {}", world.now());
+}

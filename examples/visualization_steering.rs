@@ -1,0 +1,78 @@
+//! Dynamic connection/disconnection for visualization and steering: an MPI
+//! computation runs on a cluster while a user's workstation connects over
+//! the WAN, watches the simulation through CORBA, and later disconnects —
+//! the third usage scenario of §2.1.
+//!
+//! Run with: `cargo run --example visualization_steering`
+
+use padicotm::prelude::*;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+fn main() {
+    // A 4-node Myrinet cluster plus one remote workstation over the WAN.
+    let mut world = SimWorld::new(4242);
+    let cluster = simnet::topology::build_san_cluster(
+        &mut world,
+        "compute",
+        4,
+        NetworkSpec::myrinet_2000(),
+    );
+    let workstation = world.add_node("workstation");
+    let wan = world.add_network(NetworkSpec::vthd_wan());
+    for &n in cluster.nodes.iter().chain([workstation].iter()) {
+        world.attach(n, wan);
+    }
+
+    let compute_rts = runtimes_for_cluster(
+        &mut world,
+        cluster.san.unwrap(),
+        &cluster.nodes,
+        SelectorPreferences::default(),
+    );
+    let user_rt = PadicoRuntime::new(&mut world, workstation, None, SelectorPreferences::default());
+
+    // The computation: iterative MPI stencil that keeps a "current field".
+    let comms: Vec<MpiComm> = compute_rts
+        .iter()
+        .map(|rt| {
+            let c = rt.circuit_create(&mut world, cluster.nodes.clone(), 600);
+            MpiComm::new(&mut world, c)
+        })
+        .collect();
+    let field = Rc::new(RefCell::new(vec![0.0f64; 4]));
+
+    // Rank 0 also exposes the field through a CORBA object for visualization.
+    let viz = Orb::new(compute_rts[0].clone(), OrbImpl::OmniOrb4);
+    let f2 = field.clone();
+    viz.register_servant("field", move |_w, _op, _arg| {
+        IdlValue::Sequence(f2.borrow().iter().map(|v| IdlValue::Double(*v)).collect())
+    });
+    viz.activate(&mut world, 700);
+
+    // Run 5 compute iterations.
+    for step in 0..5 {
+        for (rank, comm) in comms.iter().enumerate() {
+            let field = field.clone();
+            comm.allreduce_sum(&mut world, (rank + 1) as f64, move |_w, sum| {
+                field.borrow_mut()[rank] = sum * (step + 1) as f64;
+            });
+        }
+        world.run();
+    }
+
+    // The user connects dynamically from the workstation (the selector
+    // picks a WAN method since only the WAN is shared) and reads the field.
+    println!(
+        "workstation -> cluster link: {:?}",
+        user_rt.vlink_decision(&world, cluster.nodes[0])
+    );
+    let user_orb = Orb::new(user_rt, OrbImpl::OmniOrb4);
+    let field_ref = user_orb.object_ref(cluster.nodes[0], 700, "field");
+    user_orb.invoke(&mut world, &field_ref, "snapshot", IdlValue::Void, |_w, reply| {
+        println!("visualization snapshot received: {reply:?}");
+    });
+    world.run();
+    println!("computation kept running; user may disconnect at any time.");
+    println!("virtual time elapsed: {}", world.now());
+}

@@ -1,0 +1,215 @@
+//! Integration tests spanning every crate: full PadicoTM-RS stacks running
+//! realistic multi-middleware scenarios end to end.
+
+use std::cell::{Cell, RefCell};
+use std::rc::Rc;
+
+use padicotm::prelude::*;
+use padicotm::middleware::{Federate, JavaServerSocket, JavaSocket, RtiGateway};
+
+fn testbed(seed: u64) -> (SimWorld, Vec<PadicoRuntime>, Vec<NodeId>) {
+    let p = simnet::topology::san_pair(seed);
+    let mut world = p.world;
+    let nodes = vec![p.a, p.b];
+    let rts = runtimes_for_cluster(&mut world, p.san, &nodes, SelectorPreferences::default());
+    (world, rts, nodes)
+}
+
+#[test]
+fn four_middleware_systems_coexist_on_one_pair_of_nodes() {
+    let (mut world, rts, nodes) = testbed(1);
+
+    // 1. MPI over Circuit.
+    let c0 = rts[0].circuit_create(&mut world, nodes.clone(), 100);
+    let c1 = rts[1].circuit_create(&mut world, nodes.clone(), 100);
+    let m0 = MpiComm::new(&mut world, c0);
+    let m1 = MpiComm::new(&mut world, c1);
+    let mpi_ok = Rc::new(Cell::new(false));
+    let ok = mpi_ok.clone();
+    m1.recv(&mut world, Some(0), Some(9), move |_w, msg| {
+        assert_eq!(msg.data, b"mpi data");
+        ok.set(true);
+    });
+    m0.send(&mut world, 1, 9, b"mpi data");
+
+    // 2. CORBA over VLink.
+    let orb_server = Orb::new(rts[1].clone(), OrbImpl::OmniOrb4);
+    orb_server.register_servant("echo", |_w, _op, arg| arg);
+    orb_server.activate(&mut world, 200);
+    let orb_client = Orb::new(rts[0].clone(), OrbImpl::OmniOrb4);
+    let objref = orb_client.object_ref(nodes[1], 200, "echo");
+    let corba_ok = Rc::new(Cell::new(false));
+    let ok = corba_ok.clone();
+    orb_client.invoke(&mut world, &objref, "id", IdlValue::Long(7), move |_w, r| {
+        assert_eq!(r, IdlValue::Long(7));
+        ok.set(true);
+    });
+
+    // 3. SOAP monitoring.
+    let soap_server = SoapEndpoint::new(rts[1].clone());
+    soap_server.serve(&mut world, 300, "status", |_w, _c| {
+        SoapCall::new("statusResponse").param("state", "running")
+    });
+    let soap_client = SoapEndpoint::new(rts[0].clone());
+    let soap_ok = Rc::new(Cell::new(false));
+    let ok = soap_ok.clone();
+    soap_client.call(&mut world, nodes[1], 300, SoapCall::new("status"), move |_w, r| {
+        assert_eq!(r.get("state"), Some("running"));
+        ok.set(true);
+    });
+
+    // 4. Java sockets.
+    JavaServerSocket::bind(&mut world, &rts[1], 400, |_w, sock| {
+        let s = sock.clone();
+        sock.on_data(move |world, data| {
+            s.write(world, &data); // echo
+        });
+    });
+    let jsock = JavaSocket::connect(&mut world, &rts[0], nodes[1], 400);
+    let java_ok = Rc::new(Cell::new(false));
+    let ok = java_ok.clone();
+    jsock.on_data(move |_w, data| {
+        assert_eq!(data, b"from the JVM");
+        ok.set(true);
+    });
+    jsock.write(&mut world, b"from the JVM");
+
+    world.run();
+    assert!(mpi_ok.get(), "MPI exchange completed");
+    assert!(corba_ok.get(), "CORBA invocation completed");
+    assert!(soap_ok.get(), "SOAP call completed");
+    assert!(java_ok.get(), "Java socket echo completed");
+
+    // The arbitration layer on the server node served both subsystems.
+    let stats = rts[1].netaccess().stats();
+    assert!(stats.madio_events > 0, "SAN traffic flowed through MadIO");
+}
+
+#[test]
+fn mpi_collectives_across_a_two_cluster_grid() {
+    // 3 + 3 nodes over a WAN: the same Circuit (and MPI communicator) spans
+    // both clusters with mixed adapters.
+    let grid = simnet::topology::two_clusters_over_wan(3, 3);
+    let mut world = grid.world;
+    let all: Vec<NodeId> = grid
+        .cluster_a
+        .nodes
+        .iter()
+        .chain(grid.cluster_b.nodes.iter())
+        .copied()
+        .collect();
+    let mut rts = Vec::new();
+    for &n in &grid.cluster_a.nodes {
+        rts.push(PadicoRuntime::new(
+            &mut world,
+            n,
+            Some((grid.cluster_a.san.unwrap(), grid.cluster_a.nodes.clone())),
+            SelectorPreferences::default(),
+        ));
+    }
+    for &n in &grid.cluster_b.nodes {
+        rts.push(PadicoRuntime::new(
+            &mut world,
+            n,
+            Some((grid.cluster_b.san.unwrap(), grid.cluster_b.nodes.clone())),
+            SelectorPreferences::default(),
+        ));
+    }
+    let comms: Vec<MpiComm> = rts
+        .iter()
+        .map(|rt| {
+            let c = rt.circuit_create(&mut world, all.clone(), 500);
+            MpiComm::new(&mut world, c)
+        })
+        .collect();
+
+    let results = Rc::new(RefCell::new(vec![0.0; comms.len()]));
+    for (i, comm) in comms.iter().enumerate() {
+        let r = results.clone();
+        comm.allreduce_sum(&mut world, 1.0, move |_w, total| r.borrow_mut()[i] = total);
+    }
+    world.run();
+    for (i, v) in results.borrow().iter().enumerate() {
+        assert_eq!(*v, 6.0, "rank {i} must see the grid-wide sum");
+    }
+}
+
+#[test]
+fn corba_between_clusters_uses_wan_methods_transparently() {
+    let grid = simnet::topology::two_clusters_over_wan(5, 2);
+    let mut world = grid.world;
+    let a0 = grid.cluster_a.node(0);
+    let b0 = grid.cluster_b.node(0);
+    let rt_a = PadicoRuntime::new(
+        &mut world,
+        a0,
+        Some((grid.cluster_a.san.unwrap(), grid.cluster_a.nodes.clone())),
+        SelectorPreferences::default(),
+    );
+    let rt_b = PadicoRuntime::new(
+        &mut world,
+        b0,
+        Some((grid.cluster_b.san.unwrap(), grid.cluster_b.nodes.clone())),
+        SelectorPreferences::default(),
+    );
+    // The selector must pick a WAN method for the inter-cluster link.
+    assert!(matches!(
+        rt_a.vlink_decision(&world, b0),
+        LinkDecision::ParallelStreams(_, _)
+    ));
+    let server = Orb::new(rt_b, OrbImpl::OmniOrb3);
+    server.register_servant("store", |_w, _op, arg| match arg {
+        IdlValue::Octets(b) => IdlValue::Long(b.len() as i32),
+        _ => IdlValue::Void,
+    });
+    server.activate(&mut world, 800);
+    let client = Orb::new(rt_a, OrbImpl::OmniOrb3);
+    let objref = client.object_ref(b0, 800, "store");
+    let got = Rc::new(Cell::new(0i32));
+    let g = got.clone();
+    client.invoke(
+        &mut world,
+        &objref,
+        "put",
+        IdlValue::Octets(vec![3u8; 500_000].into()),
+        move |_w, r| {
+            if let IdlValue::Long(n) = r {
+                g.set(n);
+            }
+        },
+    );
+    world.run();
+    assert_eq!(got.get(), 500_000);
+}
+
+#[test]
+fn hla_federation_with_mpi_compute_nodes() {
+    let (mut world, rts, nodes) = testbed(3);
+    let gw = RtiGateway::new(&mut world, &rts[0], 900);
+    let fed = Federate::join(&mut world, &rts[1], nodes[0], 900, "simulator");
+    world.run();
+    assert_eq!(gw.federate_count(), 1);
+    fed.enable_time_regulation(&mut world);
+    let granted = Rc::new(Cell::new(0.0));
+    let g = granted.clone();
+    fed.on_grant(move |_w, t| g.set(t));
+    fed.request_time_advance(&mut world, 42.0);
+    world.run();
+    assert_eq!(granted.get(), 42.0);
+}
+
+#[test]
+fn fairness_policy_affects_dispatch_mix() {
+    let (mut world, rts, nodes) = testbed(4);
+    rts[1].netaccess().set_policy(PollPolicy::favour_sysio(4));
+    assert_eq!(rts[1].netaccess().policy().sysio_weight, 4);
+    // Traffic on both subsystems still flows correctly after the change.
+    let c0 = rts[0].circuit_create(&mut world, nodes.clone(), 110);
+    let c1 = rts[1].circuit_create(&mut world, nodes.clone(), 110);
+    let got = Rc::new(Cell::new(false));
+    let g = got.clone();
+    c1.set_message_callback(move |_w, _m| g.set(true));
+    c0.send_bytes(&mut world, 1, &b"after policy change"[..]);
+    world.run();
+    assert!(got.get());
+}

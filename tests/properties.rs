@@ -1,0 +1,141 @@
+//! Property-based tests (proptest) on the core data structures and
+//! protocol invariants of PadicoTM-RS.
+
+use bytes::Bytes;
+use bytes::BytesMut;
+use proptest::prelude::*;
+
+use padicotm::middleware::{cdr_decode, cdr_encode, IdlValue};
+use padicotm::simnet::{LossModel, SimDuration, SimRng, SimTime};
+use padicotm::transport::compress::{compress, decompress};
+
+// ---------------------------------------------------------------------- //
+// Virtual time arithmetic
+// ---------------------------------------------------------------------- //
+
+proptest! {
+    #[test]
+    fn time_addition_is_monotonic(base in 0u64..u64::MAX / 4, d in 0u64..u64::MAX / 4) {
+        let t = SimTime::from_nanos(base);
+        let dur = SimDuration::from_nanos(d);
+        prop_assert!(t + dur >= t);
+        prop_assert_eq!((t + dur) - t, dur);
+    }
+
+    #[test]
+    fn duration_sum_never_underflows(a in 0u64..1_000_000_000u64, b in 0u64..1_000_000_000u64) {
+        let da = SimDuration::from_nanos(a);
+        let db = SimDuration::from_nanos(b);
+        // Saturating semantics: subtraction never panics, ordering holds.
+        let diff = da - db;
+        if a >= b {
+            prop_assert_eq!(diff.as_nanos(), a - b);
+        } else {
+            prop_assert_eq!(diff, SimDuration::ZERO);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------- //
+// LZSS codec: lossless round-trip for arbitrary data
+// ---------------------------------------------------------------------- //
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+    #[test]
+    fn compression_roundtrips_arbitrary_bytes(data in proptest::collection::vec(any::<u8>(), 0..20_000)) {
+        let compressed = compress(&data);
+        prop_assert_eq!(decompress(&compressed).unwrap(), data);
+    }
+
+    #[test]
+    fn compression_roundtrips_repetitive_data(byte in any::<u8>(), len in 0usize..50_000, period in 1usize..64) {
+        let data: Vec<u8> = (0..len).map(|i| byte.wrapping_add((i % period) as u8)).collect();
+        let compressed = compress(&data);
+        prop_assert_eq!(decompress(&compressed).unwrap(), data);
+    }
+}
+
+// ---------------------------------------------------------------------- //
+// CDR marshalling round-trip for arbitrary IDL values
+// ---------------------------------------------------------------------- //
+
+fn idl_value_strategy() -> impl Strategy<Value = IdlValue> {
+    let leaf = prop_oneof![
+        Just(IdlValue::Void),
+        any::<bool>().prop_map(IdlValue::Bool),
+        any::<i32>().prop_map(IdlValue::Long),
+        any::<i64>().prop_map(IdlValue::LongLong),
+        any::<f64>().prop_filter("NaN compares unequal", |f| !f.is_nan()).prop_map(IdlValue::Double),
+        "[a-zA-Z0-9 ]{0,40}".prop_map(IdlValue::Str),
+        proptest::collection::vec(any::<u8>(), 0..200).prop_map(|v| IdlValue::Octets(Bytes::from(v))),
+    ];
+    leaf.prop_recursive(3, 24, 6, |inner| {
+        proptest::collection::vec(inner, 0..6).prop_map(IdlValue::Sequence)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+    #[test]
+    fn cdr_roundtrips_arbitrary_idl_values(value in idl_value_strategy()) {
+        let mut buf = BytesMut::new();
+        cdr_encode(&value, &mut buf);
+        let mut bytes = buf.freeze();
+        let mut consumed = 0;
+        let decoded = cdr_decode(&mut bytes, &mut consumed).expect("decode");
+        prop_assert_eq!(decoded, value);
+    }
+}
+
+// ---------------------------------------------------------------------- //
+// Loss models: observed rate matches the configured mean
+// ---------------------------------------------------------------------- //
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+    #[test]
+    fn bernoulli_loss_rate_is_close_to_p(p in 0.0f64..0.5, seed in any::<u64>()) {
+        let mut model = LossModel::bernoulli(p);
+        let mut rng = SimRng::seeded(seed);
+        let n = 20_000;
+        let drops = (0..n).filter(|_| model.should_drop(&mut rng)).count();
+        let observed = drops as f64 / n as f64;
+        prop_assert!((observed - p).abs() < 0.03, "p={p} observed={observed}");
+    }
+}
+
+// ---------------------------------------------------------------------- //
+// End-to-end invariant: TCP delivers arbitrary data intact over a lossy
+// network (exactly-once, in order).
+// ---------------------------------------------------------------------- //
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+    #[test]
+    fn tcp_delivers_data_intact_under_loss(
+        payload in proptest::collection::vec(any::<u8>(), 1..30_000),
+        loss in 0.0f64..0.08,
+        seed in any::<u64>(),
+    ) {
+        use padicotm::transport::{ByteStream, ByteStreamExt, TcpStack, TcpConn};
+        use std::cell::RefCell;
+        use std::rc::Rc;
+
+        let mut spec = padicotm::simnet::NetworkSpec::ethernet_100();
+        spec.loss = LossModel::bernoulli(loss);
+        let mut p = padicotm::simnet::topology::pair_over(seed, spec);
+        let sa = TcpStack::new(&mut p.world, p.a);
+        let sb = TcpStack::new(&mut p.world, p.b);
+        let server: Rc<RefCell<Option<TcpConn>>> = Rc::new(RefCell::new(None));
+        let s2 = server.clone();
+        sb.listen(1, move |_w, c| *s2.borrow_mut() = Some(c));
+        let client = sa.connect(&mut p.world, p.network, p.b, 1);
+        client.send_all(&mut p.world, &payload);
+        client.close(&mut p.world);
+        p.world.run();
+        let server = server.borrow().clone().expect("accepted");
+        let received = server.recv_all(&mut p.world);
+        prop_assert_eq!(received, payload);
+    }
+}
