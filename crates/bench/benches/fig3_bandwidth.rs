@@ -1,14 +1,19 @@
 //! Criterion bench regenerating the Figure 3 measurement (bandwidth sweep).
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use padico_bench::{profile_stack, Stack};
 use middleware::OrbImpl;
+use padico_bench::{profile_stack, Stack};
 
 fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig3_bandwidth");
     g.sample_size(10);
     let sizes = vec![32, 32 * 1024, 1024 * 1024];
-    for stack in [Stack::Mpi, Stack::Corba(OrbImpl::OmniOrb4), Stack::Corba(OrbImpl::Mico), Stack::TcpEthernet] {
+    for stack in [
+        Stack::Mpi,
+        Stack::Corba(OrbImpl::OmniOrb4),
+        Stack::Corba(OrbImpl::Mico),
+        Stack::TcpEthernet,
+    ] {
         g.bench_function(stack.name(), |b| {
             b.iter(|| {
                 let p = profile_stack(stack, &sizes);

@@ -5,6 +5,9 @@ use padico_bench::adapter_selection;
 fn main() {
     println!("# Selector decisions per deployment configuration");
     for obs in adapter_selection() {
-        println!("{:<32} VLink: {:<40} Circuit: {}", obs.pair, obs.vlink_decision, obs.circuit_decision);
+        println!(
+            "{:<32} VLink: {:<40} Circuit: {}",
+            obs.pair, obs.vlink_decision, obs.circuit_decision
+        );
     }
 }

@@ -40,21 +40,28 @@ fn main() {
     let v = vrp_lossy_link(2_000_000, 0.10);
     println!(
         "TCP {:.0} KB/s | VRP {:.0} KB/s | speedup {:.2}x | delivered {:.3}",
-        v.tcp_kb_s, v.vrp_kb_s, v.speedup(), v.delivered_fraction
+        v.tcp_kb_s,
+        v.vrp_kb_s,
+        v.speedup(),
+        v.delivered_fraction
     );
     println!();
     println!("==================== MadIO overhead ====================");
     let m = madio_overhead();
     println!(
         "madeleine {:.3} us | madio {:.3} us | overhead {:.3} us",
-        m.baseline_us, m.layered_us, m.overhead_us()
+        m.baseline_us,
+        m.layered_us,
+        m.overhead_us()
     );
     println!();
     println!("==================== MPICH overhead ====================");
     let m = mpich_overhead();
     println!(
         "standalone {:.2} us | inside PadicoTM {:.2} us | overhead {:.2} us",
-        m.baseline_us, m.layered_us, m.overhead_us()
+        m.baseline_us,
+        m.layered_us,
+        m.overhead_us()
     );
     println!();
     println!("==================== Coexistence ====================");
@@ -66,6 +73,33 @@ fn main() {
     println!();
     println!("==================== Adapter selection ====================");
     for obs in adapter_selection() {
-        println!("{:<32} VLink: {:<44} Circuit: {}", obs.pair, obs.vlink_decision, obs.circuit_decision);
+        println!(
+            "{:<32} VLink: {:<44} Circuit: {}",
+            obs.pair, obs.vlink_decision, obs.circuit_decision
+        );
+    }
+    println!();
+    println!("==================== Multi-site grid ====================");
+    let results = multi_site_sweep();
+    for r in &results {
+        println!(
+            "{} sites ({}) over {:<16} hops {} | frames {}/{} (relayed {}, dropped {}) | first {} ms | stream {:.2} MB/s",
+            r.sites,
+            r.layout.label(),
+            r.backbone,
+            r.hops,
+            r.frames_delivered,
+            r.frames_sent,
+            r.frames_relayed,
+            r.frames_dropped,
+            r.first_frame_ms
+                .map(|v| format!("{v:.2}"))
+                .unwrap_or_else(|| "n/a".to_string()),
+            r.stream_goodput_mb_s,
+        );
+    }
+    match write_multi_site_json(&results) {
+        Ok(path) => println!("wrote {path}"),
+        Err(e) => eprintln!("failed to write BENCH_multi_site.json: {e}"),
     }
 }

@@ -7,5 +7,8 @@ fn main() {
     println!("# MadIO overhead over plain Madeleine (16-byte message, Myrinet-2000)");
     println!("plain Madeleine latency  : {:.3} us", r.baseline_us);
     println!("MadIO latency            : {:.3} us", r.layered_us);
-    println!("overhead                 : {:.3} us (paper: < 0.1 us)", r.overhead_us());
+    println!(
+        "overhead                 : {:.3} us (paper: < 0.1 us)",
+        r.overhead_us()
+    );
 }

@@ -8,5 +8,8 @@ fn main() {
     println!("# MPI latency: standalone vs inside PadicoTM (sharing the node with CORBA)");
     println!("standalone MPI          : {:.2} us one-way", r.baseline_us);
     println!("MPI inside PadicoTM     : {:.2} us one-way", r.layered_us);
-    println!("overhead                : {:.2} us (paper: negligible)", r.overhead_us());
+    println!(
+        "overhead                : {:.2} us (paper: negligible)",
+        r.overhead_us()
+    );
 }

@@ -1,0 +1,42 @@
+//! Runs the multi-site grid experiment (site count × backbone class) and
+//! writes the machine-readable `BENCH_multi_site.json` artifact.
+
+use padico_bench::{multi_site_sweep, write_multi_site_json};
+
+fn main() {
+    let results = multi_site_sweep();
+    println!(
+        "{:>5} {:>6} {:>16} {:>5} {:>9} {:>10} {:>8} {:>8} {:>12} {:>14}",
+        "sites",
+        "layout",
+        "backbone",
+        "hops",
+        "frames",
+        "delivered",
+        "relayed",
+        "dropped",
+        "1st-frame",
+        "goodput"
+    );
+    for r in &results {
+        println!(
+            "{:>5} {:>6} {:>16} {:>5} {:>9} {:>10} {:>8} {:>8} {:>9} ms {:>9.2} MB/s",
+            r.sites,
+            r.layout.label(),
+            r.backbone,
+            r.hops,
+            r.frames_sent,
+            r.frames_delivered,
+            r.frames_relayed,
+            r.frames_dropped,
+            r.first_frame_ms
+                .map(|v| format!("{v:.2}"))
+                .unwrap_or_else(|| "n/a".to_string()),
+            r.stream_goodput_mb_s,
+        );
+    }
+    match write_multi_site_json(&results) {
+        Ok(path) => println!("\nwrote {path}"),
+        Err(e) => eprintln!("\nfailed to write BENCH_multi_site.json: {e}"),
+    }
+}

@@ -5,8 +5,13 @@ use padico_bench::table1;
 
 fn main() {
     let profiles = table1();
-    println!("# Table 1 — Performance of various middleware systems with PadicoTM over Myrinet-2000");
-    println!("{:<28}{:>22}{:>26}", "API or middleware", "One-way latency (us)", "Max bandwidth (MB/s)");
+    println!(
+        "# Table 1 — Performance of various middleware systems with PadicoTM over Myrinet-2000"
+    );
+    println!(
+        "{:<28}{:>22}{:>26}",
+        "API or middleware", "One-way latency (us)", "Max bandwidth (MB/s)"
+    );
     for p in &profiles {
         println!(
             "{:<28}{:>22.2}{:>26.1}",

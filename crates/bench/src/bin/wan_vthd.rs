@@ -6,8 +6,14 @@ fn main() {
     let r = wan_vthd(16_000_000, 4);
     println!("# VTHD WAN experiment (high-bandwidth WAN, Ethernet-100 access links)");
     println!("one-way latency          : {:.1} ms", r.latency_ms);
-    println!("single TCP stream        : {:.1} MB/s", r.single_stream_mb_s);
-    println!("parallel streams (n={})   : {:.1} MB/s", r.streams, r.parallel_streams_mb_s);
+    println!(
+        "single TCP stream        : {:.1} MB/s",
+        r.single_stream_mb_s
+    );
+    println!(
+        "parallel streams (n={})   : {:.1} MB/s",
+        r.streams, r.parallel_streams_mb_s
+    );
     println!(
         "gain                     : {:.2}x",
         r.parallel_streams_mb_s / r.single_stream_mb_s

@@ -12,7 +12,9 @@ use bytes::Bytes;
 use middleware::{IdlValue, JavaServerSocket, JavaSocket, MpiComm, Orb, OrbImpl};
 use padico_core::{runtimes_for_cluster, PadicoRuntime, SelectorPreferences, VLink};
 use simnet::{topology, NetworkSpec, NodeId, SimWorld};
-use transport::{ByteStream, ByteStreamExt, ParallelStream, ParallelStreamConfig, TcpConn, TcpStack};
+use transport::{
+    ByteStream, ByteStreamExt, ParallelStream, ParallelStreamConfig, TcpConn, TcpStack,
+};
 use transport::{UdpHost, VrpConfig, VrpReceiver, VrpSender};
 
 /// The middleware/interface stacks measured by Figure 3 and Table 1.
@@ -152,6 +154,7 @@ pub fn figure3_sizes() -> Vec<usize> {
 
 struct StreamFixture {
     world: SimWorld,
+    #[allow(clippy::type_complexity)]
     send: Box<dyn Fn(&mut SimWorld, &[u8])>,
     /// Bytes echoed back so far (the responder sends a 1-byte ack per
     /// completed message).
@@ -579,7 +582,14 @@ fn lossy_vrp_goodput(bytes: usize, tolerance: f64) -> (f64, f64) {
         ..Default::default()
     };
     let done: Rc<RefCell<Option<transport::VrpTransferStats>>> = Rc::new(RefCell::new(None));
-    VrpReceiver::bind(&mut p.world, &udp_b, p.network, 7000, config.clone(), |_w, _msg| {});
+    VrpReceiver::bind(
+        &mut p.world,
+        &udp_b,
+        p.network,
+        7000,
+        config.clone(),
+        |_w, _msg| {},
+    );
     let d = done.clone();
     VrpSender::send(
         &mut p.world,
@@ -799,12 +809,24 @@ pub fn coexistence(mpi_messages: u64, corba_requests: u64) -> CoexistenceResult 
         }
         let c = client.clone();
         let o = objref.clone();
-        client.invoke(world, &objref, "ping", IdlValue::Long(7), move |world, _r| {
-            done.set(done.get() + 1);
-            pump_corba(world, c.clone(), o.clone(), left - 1, done.clone());
-        });
+        client.invoke(
+            world,
+            &objref,
+            "ping",
+            IdlValue::Long(7),
+            move |world, _r| {
+                done.set(done.get() + 1);
+                pump_corba(world, c.clone(), o.clone(), left - 1, done.clone());
+            },
+        );
     }
-    pump_corba(&mut world, client, objref, corba_requests, corba_done.clone());
+    pump_corba(
+        &mut world,
+        client,
+        objref,
+        corba_requests,
+        corba_done.clone(),
+    );
 
     world.run();
     let stats = rts[1].netaccess().stats();

@@ -8,8 +8,12 @@
 #![warn(rust_2018_idioms)]
 
 pub mod experiments;
+pub mod multi_site;
 
 pub use experiments::*;
+pub use multi_site::{
+    multi_site_json, multi_site_run, multi_site_sweep, write_multi_site_json, MultiSiteResult,
+};
 
 /// Formats a byte size the way the paper's axes do.
 pub fn human_size(bytes: usize) -> String {

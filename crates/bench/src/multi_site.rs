@@ -1,0 +1,299 @@
+//! The multi-site grid experiment: hierarchical topologies with gateway
+//! relaying, swept over site count × backbone class.
+//!
+//! This goes beyond the paper's two-cluster deployment: sites are isolated
+//! behind gateways (only the gateway touches the backbone), so every
+//! cross-site exchange is store-and-forwarded. The experiment measures
+//! both levels of the new `gridtopo` subsystem:
+//!
+//! * frame relaying through the bounded-queue [`RelayFabric`] (delivery,
+//!   drops, one-way latency across the gateway chain);
+//! * stream relaying through the gateway proxies (goodput of a relayed
+//!   VLink transfer).
+
+use std::cell::Cell;
+use std::rc::Rc;
+
+use gridtopo::{GridTopology, RelayConfig, RelayFabric, SiteSpec};
+use padico_core::{runtimes_for_grid, SelectorPreferences, VLink, VLinkEvent};
+use simnet::{NetworkSpec, SimWorld};
+
+/// Backbone layout of a multi-site run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Layout {
+    /// One shared backbone network joining every gateway.
+    Star,
+    /// Point-to-point backbone segments forming a ring of gateways
+    /// (cross-site routes grow with site count).
+    Ring,
+}
+
+impl Layout {
+    /// Lowercase label used in reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            Layout::Star => "star",
+            Layout::Ring => "ring",
+        }
+    }
+}
+
+/// Result of one multi-site run.
+#[derive(Debug, Clone)]
+pub struct MultiSiteResult {
+    /// Number of sites.
+    pub sites: usize,
+    /// Backbone layout.
+    pub layout: Layout,
+    /// Backbone label ("vthd-wan", "lossy-internet").
+    pub backbone: String,
+    /// Networks crossed by the measured cross-site route.
+    pub hops: u32,
+    /// Frames submitted in the frame-relay phase.
+    pub frames_sent: u64,
+    /// Frames delivered end to end.
+    pub frames_delivered: u64,
+    /// Total frames forwarded by gateways.
+    pub frames_relayed: u64,
+    /// Frames dropped at gateways (queue, TTL, routing).
+    pub frames_dropped: u64,
+    /// One-way latency of the first relayed frame, in milliseconds.
+    /// `None` when no frame survived to the destination.
+    pub first_frame_ms: Option<f64>,
+    /// Goodput of the relayed stream transfer, MB/s.
+    pub stream_goodput_mb_s: f64,
+    /// Bytes moved in the stream phase.
+    pub stream_bytes: usize,
+}
+
+/// Frames sent in the frame-relay phase.
+const RELAY_FRAMES: usize = 100;
+/// Payload of each relayed frame (fits the backbone MTU with headers).
+const RELAY_FRAME_BYTES: usize = 1024;
+/// Bytes pushed through the relayed VLink in the stream phase.
+const STREAM_BYTES: usize = 128 * 1024;
+
+/// Runs one multi-site measurement: `sites` SAN clusters joined by the
+/// given backbone in the given layout, traffic between site 0 and the most
+/// distant site.
+pub fn multi_site_run(
+    sites: usize,
+    layout: Layout,
+    backbone_label: &str,
+    backbone: NetworkSpec,
+) -> MultiSiteResult {
+    assert!(sites >= 2);
+    assert!(
+        layout == Layout::Star || sites >= 3,
+        "a ring needs 3+ sites"
+    );
+    let mut world = SimWorld::new(2024);
+    let specs: Vec<SiteSpec> = (0..sites)
+        .map(|i| SiteSpec::san_cluster(format!("s{i}"), 3))
+        .collect();
+    let grid = match layout {
+        Layout::Star => GridTopology::star(&mut world, &specs, backbone),
+        Layout::Ring => GridTopology::ring(&mut world, &specs, backbone),
+    };
+    let (rts, _proxies) = runtimes_for_grid(&mut world, &grid, SelectorPreferences::default());
+
+    // In a ring the most distant site is halfway round; in a star every
+    // non-local site is equally far.
+    let far_site = match layout {
+        Layout::Star => sites - 1,
+        Layout::Ring => sites / 2,
+    };
+    let src = grid.site(0).node(1);
+    let dst = grid.site(far_site).node(1);
+    let hops = grid.routes.path_info(&world, src, dst).unwrap().hop_count as u32;
+
+    // ---- Frame-relay phase -------------------------------------------- //
+    let fabric = RelayFabric::new(grid.routes.clone(), RelayConfig::default());
+    for node in grid.all_nodes() {
+        fabric.attach(&mut world, node);
+    }
+    let first_at = Rc::new(Cell::new(None::<simnet::SimTime>));
+    let delivered = Rc::new(Cell::new(0u64));
+    let (f2, d2) = (first_at.clone(), delivered.clone());
+    fabric.bind(&mut world, dst, 7, move |world, _msg| {
+        if f2.get().is_none() {
+            f2.set(Some(world.now()));
+        }
+        d2.set(d2.get() + 1);
+    });
+    let start = world.now();
+    for _ in 0..RELAY_FRAMES {
+        fabric
+            .send(&mut world, src, dst, 7, vec![0u8; RELAY_FRAME_BYTES])
+            .expect("relay send");
+    }
+    world.run();
+    let first_frame_ms = first_at.get().map(|t| t.since(start).as_millis_f64());
+
+    // ---- Stream phase (relayed VLink through gateway proxies) --------- //
+    // Runtimes are in all_nodes() order: rank 1 of site 0, and rank 1 of
+    // the last site.
+    let src_rt = rts[1].clone();
+    let dst_index: usize = grid.sites[..far_site]
+        .iter()
+        .map(|s| s.len())
+        .sum::<usize>()
+        + 1;
+    let dst_rt = rts[dst_index].clone();
+    assert_eq!(src_rt.node(), src);
+    assert_eq!(dst_rt.node(), dst);
+
+    let received = Rc::new(Cell::new(0usize));
+    let r2 = received.clone();
+    dst_rt.vlink_listen(&mut world, 700, move |_w, v: VLink| {
+        let v2 = v.clone();
+        let r = r2.clone();
+        v.set_handler(move |world, ev| {
+            if ev == VLinkEvent::Readable {
+                r.set(r.get() + v2.read_now(world, usize::MAX).len());
+            }
+        });
+    });
+    let client = src_rt.vlink_connect(&mut world, dst, 700);
+    let start = world.now();
+    client.post_write(&mut world, &vec![0xABu8; STREAM_BYTES]);
+    let rr = received.clone();
+    world.run_while(|| rr.get() < STREAM_BYTES);
+    // run_while also exits when the event queue drains; a partial transfer
+    // must fail loudly rather than inflate the tracked goodput number.
+    assert_eq!(
+        received.get(),
+        STREAM_BYTES,
+        "relayed stream transfer stalled short"
+    );
+    let secs = world.now().since(start).as_secs_f64();
+    let stream_goodput_mb_s = STREAM_BYTES as f64 / secs / 1e6;
+
+    MultiSiteResult {
+        sites,
+        layout,
+        backbone: backbone_label.to_string(),
+        hops,
+        frames_sent: RELAY_FRAMES as u64,
+        frames_delivered: delivered.get(),
+        frames_relayed: fabric.total_relayed(),
+        frames_dropped: fabric.total_dropped(),
+        first_frame_ms,
+        stream_goodput_mb_s,
+        stream_bytes: STREAM_BYTES,
+    }
+}
+
+/// The default sweep: site count × layout × backbone class.
+pub fn multi_site_sweep() -> Vec<MultiSiteResult> {
+    let mut out = Vec::new();
+    for sites in [2usize, 3, 4, 6] {
+        for layout in [Layout::Star, Layout::Ring] {
+            if layout == Layout::Ring && sites < 3 {
+                continue;
+            }
+            out.push(multi_site_run(
+                sites,
+                layout,
+                "vthd-wan",
+                NetworkSpec::vthd_wan(),
+            ));
+            out.push(multi_site_run(
+                sites,
+                layout,
+                "lossy-internet",
+                NetworkSpec::lossy_internet(),
+            ));
+        }
+    }
+    out
+}
+
+/// Renders the results as a machine-readable JSON document.
+pub fn multi_site_json(results: &[MultiSiteResult]) -> String {
+    let mut s = String::from("{\n  \"experiment\": \"multi_site\",\n  \"results\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        s.push_str(&format!(
+            concat!(
+                "    {{\"sites\": {}, \"layout\": \"{}\", \"backbone\": \"{}\", \"hops\": {}, ",
+                "\"frames_sent\": {}, \"frames_delivered\": {}, ",
+                "\"frames_relayed\": {}, \"frames_dropped\": {}, ",
+                "\"first_frame_ms\": {}, \"stream_goodput_mb_s\": {:.4}, ",
+                "\"stream_bytes\": {}}}{}\n"
+            ),
+            r.sites,
+            r.layout.label(),
+            r.backbone,
+            r.hops,
+            r.frames_sent,
+            r.frames_delivered,
+            r.frames_relayed,
+            r.frames_dropped,
+            r.first_frame_ms
+                .map(|v| format!("{v:.4}"))
+                .unwrap_or_else(|| "null".to_string()),
+            r.stream_goodput_mb_s,
+            r.stream_bytes,
+            if i + 1 == results.len() { "" } else { "," },
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+/// Writes `BENCH_multi_site.json` (the perf-trajectory artifact tracked
+/// across PRs) into the current directory and returns its path.
+pub fn write_multi_site_json(results: &[MultiSiteResult]) -> std::io::Result<String> {
+    let path = "BENCH_multi_site.json".to_string();
+    std::fs::write(&path, multi_site_json(results))?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_site_wan_run_relays_and_streams() {
+        let r = multi_site_run(2, Layout::Star, "vthd-wan", NetworkSpec::vthd_wan());
+        assert_eq!(r.hops, 3);
+        assert_eq!(r.frames_delivered, r.frames_sent - r.frames_dropped);
+        assert!(r.frames_relayed > 0, "{r:?}");
+        // The WAN adds ≥ 8 ms one way.
+        assert!(r.first_frame_ms.unwrap() >= 8.0, "{r:?}");
+        assert!(r.stream_goodput_mb_s > 0.0, "{r:?}");
+    }
+
+    #[test]
+    fn ring_routes_grow_with_site_count() {
+        let r4 = multi_site_run(4, Layout::Ring, "vthd-wan", NetworkSpec::vthd_wan());
+        let r6 = multi_site_run(6, Layout::Ring, "vthd-wan", NetworkSpec::vthd_wan());
+        assert!(r4.hops >= 4, "{r4:?}");
+        assert!(r6.hops > r4.hops, "{r6:?} vs {r4:?}");
+        // Each extra backbone segment adds ≥ 8 ms of one-way latency.
+        assert!(
+            r6.first_frame_ms.unwrap() > r4.first_frame_ms.unwrap(),
+            "{r6:?} vs {r4:?}"
+        );
+        assert!(r6.frames_relayed > r4.frames_relayed);
+    }
+
+    #[test]
+    fn json_is_well_formed_enough() {
+        let r = multi_site_run(2, Layout::Star, "vthd-wan", NetworkSpec::vthd_wan());
+        let json = multi_site_json(&[r]);
+        assert!(json.contains("\"experiment\": \"multi_site\""));
+        assert!(json.contains("\"sites\": 2"));
+        assert!(json.contains("\"layout\": \"star\""));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let a = multi_site_run(3, Layout::Star, "vthd-wan", NetworkSpec::vthd_wan());
+        let b = multi_site_run(3, Layout::Star, "vthd-wan", NetworkSpec::vthd_wan());
+        assert_eq!(a.frames_delivered, b.frames_delivered);
+        assert_eq!(a.first_frame_ms, b.first_frame_ms);
+        assert_eq!(a.stream_goodput_mb_s, b.stream_goodput_mb_s);
+    }
+}

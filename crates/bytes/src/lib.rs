@@ -1,0 +1,560 @@
+//! Offline stand-in for the `bytes` crate.
+//!
+//! The build container has no access to crates.io, so this workspace crate
+//! provides the (small) subset of the `bytes` 1.x API that PadicoTM-RS
+//! uses: cheaply-cloneable immutable [`Bytes`], growable [`BytesMut`], and
+//! the big-endian [`Buf`]/[`BufMut`] cursor traits. Semantics match the
+//! upstream crate for the implemented surface; swapping the real crate back
+//! in requires only a manifest change.
+
+#![warn(rust_2018_idioms)]
+
+use std::borrow::Borrow;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::ops::{Bound, Deref, RangeBounds};
+use std::sync::Arc;
+
+/// A cheaply cloneable, contiguous, immutable slice of memory.
+#[derive(Clone, Default)]
+pub struct Bytes {
+    buf: Arc<[u8]>,
+    start: usize,
+    end: usize,
+}
+
+impl Bytes {
+    /// Creates an empty `Bytes`.
+    pub fn new() -> Bytes {
+        Bytes::from_vec(Vec::new())
+    }
+
+    /// Creates `Bytes` from a static slice.
+    ///
+    /// The upstream crate borrows the static data; this stand-in copies it
+    /// once, which is equivalent for the small headers it is used with.
+    pub fn from_static(data: &'static [u8]) -> Bytes {
+        Bytes::copy_from_slice(data)
+    }
+
+    /// Copies `data` into a new `Bytes`.
+    pub fn copy_from_slice(data: &[u8]) -> Bytes {
+        Bytes::from_vec(data.to_vec())
+    }
+
+    fn from_vec(v: Vec<u8>) -> Bytes {
+        let end = v.len();
+        Bytes {
+            buf: Arc::from(v.into_boxed_slice()),
+            start: 0,
+            end,
+        }
+    }
+
+    /// Number of bytes.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    fn as_slice(&self) -> &[u8] {
+        &self.buf[self.start..self.end]
+    }
+
+    /// Returns a slice of self for the provided range, sharing the
+    /// underlying storage.
+    pub fn slice(&self, range: impl RangeBounds<usize>) -> Bytes {
+        let len = self.len();
+        let begin = match range.start_bound() {
+            Bound::Included(&n) => n,
+            Bound::Excluded(&n) => n + 1,
+            Bound::Unbounded => 0,
+        };
+        let end = match range.end_bound() {
+            Bound::Included(&n) => n + 1,
+            Bound::Excluded(&n) => n,
+            Bound::Unbounded => len,
+        };
+        assert!(begin <= end && end <= len, "slice out of bounds");
+        Bytes {
+            buf: self.buf.clone(),
+            start: self.start + begin,
+            end: self.start + end,
+        }
+    }
+
+    /// Splits the bytes into two at the given index: `self` keeps
+    /// `[at, len)` and the returned value holds `[0, at)`.
+    pub fn split_to(&mut self, at: usize) -> Bytes {
+        assert!(at <= self.len(), "split_to out of bounds");
+        let head = Bytes {
+            buf: self.buf.clone(),
+            start: self.start,
+            end: self.start + at,
+        };
+        self.start += at;
+        head
+    }
+
+    /// Splits the bytes into two at the given index: `self` keeps
+    /// `[0, at)` and the returned value holds `[at, len)`.
+    pub fn split_off(&mut self, at: usize) -> Bytes {
+        assert!(at <= self.len(), "split_off out of bounds");
+        let tail = Bytes {
+            buf: self.buf.clone(),
+            start: self.start + at,
+            end: self.end,
+        };
+        self.end = self.start + at;
+        tail
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl Borrow<[u8]> for Bytes {
+    fn borrow(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Bytes {
+        Bytes::from_vec(v)
+    }
+}
+
+impl From<&'static [u8]> for Bytes {
+    fn from(v: &'static [u8]) -> Bytes {
+        Bytes::copy_from_slice(v)
+    }
+}
+
+impl From<&'static str> for Bytes {
+    fn from(v: &'static str) -> Bytes {
+        Bytes::copy_from_slice(v.as_bytes())
+    }
+}
+
+impl From<Box<[u8]>> for Bytes {
+    fn from(v: Box<[u8]>) -> Bytes {
+        Bytes::from_vec(v.into_vec())
+    }
+}
+
+impl From<BytesMut> for Bytes {
+    fn from(v: BytesMut) -> Bytes {
+        v.freeze()
+    }
+}
+
+impl FromIterator<u8> for Bytes {
+    fn from_iter<T: IntoIterator<Item = u8>>(iter: T) -> Bytes {
+        Bytes::from_vec(iter.into_iter().collect())
+    }
+}
+
+impl fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "b\"")?;
+        for &b in self.as_slice() {
+            if (0x20..0x7f).contains(&b) && b != b'"' && b != b'\\' {
+                write!(f, "{}", b as char)?;
+            } else {
+                write!(f, "\\x{b:02x}")?;
+            }
+        }
+        write!(f, "\"")
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Bytes) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+impl Eq for Bytes {}
+
+impl PartialOrd for Bytes {
+    fn partial_cmp(&self, other: &Bytes) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Bytes {
+    fn cmp(&self, other: &Bytes) -> std::cmp::Ordering {
+        self.as_slice().cmp(other.as_slice())
+    }
+}
+
+impl Hash for Bytes {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.as_slice().hash(state);
+    }
+}
+
+impl PartialEq<[u8]> for Bytes {
+    fn eq(&self, other: &[u8]) -> bool {
+        self.as_slice() == other
+    }
+}
+impl PartialEq<&[u8]> for Bytes {
+    fn eq(&self, other: &&[u8]) -> bool {
+        self.as_slice() == *other
+    }
+}
+impl PartialEq<Vec<u8>> for Bytes {
+    fn eq(&self, other: &Vec<u8>) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+impl PartialEq<Bytes> for Vec<u8> {
+    fn eq(&self, other: &Bytes) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+impl<const N: usize> PartialEq<[u8; N]> for Bytes {
+    fn eq(&self, other: &[u8; N]) -> bool {
+        self.as_slice() == other
+    }
+}
+impl<const N: usize> PartialEq<&[u8; N]> for Bytes {
+    fn eq(&self, other: &&[u8; N]) -> bool {
+        self.as_slice() == *other
+    }
+}
+impl PartialEq<Bytes> for [u8] {
+    fn eq(&self, other: &Bytes) -> bool {
+        self == other.as_slice()
+    }
+}
+
+impl<'a> IntoIterator for &'a Bytes {
+    type Item = &'a u8;
+    type IntoIter = std::slice::Iter<'a, u8>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().iter()
+    }
+}
+
+/// A growable byte buffer, frozen into [`Bytes`] once filled.
+#[derive(Clone, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    inner: Vec<u8>,
+}
+
+impl BytesMut {
+    /// Creates an empty buffer.
+    pub fn new() -> BytesMut {
+        BytesMut { inner: Vec::new() }
+    }
+
+    /// Creates an empty buffer with the given capacity.
+    pub fn with_capacity(cap: usize) -> BytesMut {
+        BytesMut {
+            inner: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Number of bytes in the buffer.
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+
+    /// Appends a slice.
+    pub fn extend_from_slice(&mut self, data: &[u8]) {
+        self.inner.extend_from_slice(data);
+    }
+
+    /// Converts into an immutable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes::from_vec(self.inner)
+    }
+
+    /// Clears the buffer.
+    pub fn clear(&mut self) {
+        self.inner.clear();
+    }
+
+    /// Reserves capacity for at least `additional` more bytes.
+    pub fn reserve(&mut self, additional: usize) {
+        self.inner.reserve(additional);
+    }
+
+    /// Splits off and returns the first `at` bytes.
+    pub fn split_to(&mut self, at: usize) -> BytesMut {
+        let tail = self.inner.split_off(at);
+        let head = std::mem::replace(&mut self.inner, tail);
+        BytesMut { inner: head }
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.inner
+    }
+}
+
+impl std::ops::DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.inner
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        &self.inner
+    }
+}
+
+impl fmt::Debug for BytesMut {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        Bytes::copy_from_slice(&self.inner).fmt(f)
+    }
+}
+
+/// Read access to a buffer of bytes, cursor style (big-endian getters).
+pub trait Buf {
+    /// Bytes remaining between the cursor and the end of the buffer.
+    fn remaining(&self) -> usize;
+
+    /// The current contiguous chunk starting at the cursor.
+    fn chunk(&self) -> &[u8];
+
+    /// Advances the cursor by `cnt` bytes.
+    fn advance(&mut self, cnt: usize);
+
+    /// True when at least one byte remains.
+    fn has_remaining(&self) -> bool {
+        self.remaining() > 0
+    }
+
+    /// Copies bytes from the cursor into `dst`, advancing.
+    fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        assert!(self.remaining() >= dst.len(), "buffer underflow");
+        dst.copy_from_slice(&self.chunk()[..dst.len()]);
+        self.advance(dst.len());
+    }
+
+    /// Reads one byte.
+    fn get_u8(&mut self) -> u8 {
+        let mut b = [0u8; 1];
+        self.copy_to_slice(&mut b);
+        b[0]
+    }
+
+    /// Reads one signed byte.
+    fn get_i8(&mut self) -> i8 {
+        self.get_u8() as i8
+    }
+
+    /// Reads a big-endian u16.
+    fn get_u16(&mut self) -> u16 {
+        let mut b = [0u8; 2];
+        self.copy_to_slice(&mut b);
+        u16::from_be_bytes(b)
+    }
+
+    /// Reads a big-endian u32.
+    fn get_u32(&mut self) -> u32 {
+        let mut b = [0u8; 4];
+        self.copy_to_slice(&mut b);
+        u32::from_be_bytes(b)
+    }
+
+    /// Reads a big-endian u64.
+    fn get_u64(&mut self) -> u64 {
+        let mut b = [0u8; 8];
+        self.copy_to_slice(&mut b);
+        u64::from_be_bytes(b)
+    }
+
+    /// Reads a big-endian i16.
+    fn get_i16(&mut self) -> i16 {
+        self.get_u16() as i16
+    }
+
+    /// Reads a big-endian i32.
+    fn get_i32(&mut self) -> i32 {
+        self.get_u32() as i32
+    }
+
+    /// Reads a big-endian i64.
+    fn get_i64(&mut self) -> i64 {
+        self.get_u64() as i64
+    }
+
+    /// Reads a big-endian f64.
+    fn get_f64(&mut self) -> f64 {
+        f64::from_bits(self.get_u64())
+    }
+
+    /// Reads a big-endian f32.
+    fn get_f32(&mut self) -> f32 {
+        f32::from_bits(self.get_u32())
+    }
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+    fn chunk(&self) -> &[u8] {
+        self.as_slice()
+    }
+    fn advance(&mut self, cnt: usize) {
+        assert!(cnt <= self.len(), "advance past end");
+        self.start += cnt;
+    }
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+    fn chunk(&self) -> &[u8] {
+        self
+    }
+    fn advance(&mut self, cnt: usize) {
+        *self = &self[cnt..];
+    }
+}
+
+/// Write access to a growable buffer (big-endian putters).
+pub trait BufMut {
+    /// Appends a slice.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Writes one byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    /// Writes one signed byte.
+    fn put_i8(&mut self, v: i8) {
+        self.put_u8(v as u8);
+    }
+
+    /// Writes a big-endian u16.
+    fn put_u16(&mut self, v: u16) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    /// Writes a big-endian u32.
+    fn put_u32(&mut self, v: u32) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    /// Writes a big-endian u64.
+    fn put_u64(&mut self, v: u64) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    /// Writes a big-endian i16.
+    fn put_i16(&mut self, v: i16) {
+        self.put_u16(v as u16);
+    }
+
+    /// Writes a big-endian i32.
+    fn put_i32(&mut self, v: i32) {
+        self.put_u32(v as u32);
+    }
+
+    /// Writes a big-endian i64.
+    fn put_i64(&mut self, v: i64) {
+        self.put_u64(v as u64);
+    }
+
+    /// Writes a big-endian f64.
+    fn put_f64(&mut self, v: f64) {
+        self.put_u64(v.to_bits());
+    }
+
+    /// Writes a big-endian f32.
+    fn put_f32(&mut self, v: f32) {
+        self.put_u32(v.to_bits());
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bytes_roundtrip_and_slicing() {
+        let b = Bytes::from(vec![1u8, 2, 3, 4, 5]);
+        assert_eq!(b.len(), 5);
+        let s = b.slice(1..4);
+        assert_eq!(&s[..], &[2, 3, 4]);
+        let mut m = b.clone();
+        let head = m.split_to(2);
+        assert_eq!(&head[..], &[1, 2]);
+        assert_eq!(&m[..], &[3, 4, 5]);
+    }
+
+    #[test]
+    fn buf_getters_match_be_layout() {
+        let mut bm = BytesMut::new();
+        bm.put_u8(7);
+        bm.put_u16(0x0102);
+        bm.put_u32(0x01020304);
+        bm.put_u64(0x0102030405060708);
+        bm.put_i32(-5);
+        bm.put_f64(1.5);
+        let mut b = bm.freeze();
+        assert_eq!(b.get_u8(), 7);
+        assert_eq!(b.get_u16(), 0x0102);
+        assert_eq!(b.get_u32(), 0x01020304);
+        assert_eq!(b.get_u64(), 0x0102030405060708);
+        assert_eq!(b.get_i32(), -5);
+        assert_eq!(b.get_f64(), 1.5);
+        assert_eq!(b.remaining(), 0);
+    }
+
+    #[test]
+    fn equality_with_arrays_and_vecs() {
+        let b = Bytes::copy_from_slice(b"abc");
+        assert_eq!(b, b"abc");
+        assert_eq!(b, *b"abc");
+        assert_eq!(b, vec![b'a', b'b', b'c']);
+        assert_eq!(b, Bytes::from_static(b"abc"));
+    }
+
+    #[test]
+    fn concat_works_via_borrow() {
+        let v = [Bytes::from_static(b"ab"), Bytes::from_static(b"cd")];
+        assert_eq!(v.concat(), b"abcd");
+    }
+}

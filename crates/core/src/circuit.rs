@@ -140,7 +140,9 @@ impl Circuit {
 
     /// The adapter kind used towards `dst_rank` (None if not wired).
     pub fn link_kind(&self, dst_rank: usize) -> Option<CircuitLinkKind> {
-        self.inner.borrow().links[dst_rank].as_ref().map(|l| l.kind())
+        self.inner.borrow().links[dst_rank]
+            .as_ref()
+            .map(|l| l.kind())
     }
 
     /// Sends a message (list of segments) to `dst_rank`.
@@ -280,14 +282,9 @@ impl Circuit {
             let data = stream2.recv(world, usize::MAX);
             let mut buf = partial.borrow_mut();
             buf.extend_from_slice(&data);
-            loop {
-                match decode_frame(&buf) {
-                    Some((msg, consumed)) => {
-                        buf.drain(..consumed);
-                        circuit.deliver(world, msg);
-                    }
-                    None => break,
-                }
+            while let Some((msg, consumed)) = decode_frame(&buf) {
+                buf.drain(..consumed);
+                circuit.deliver(world, msg);
             }
         }));
         let _ = world;
@@ -376,7 +373,8 @@ impl CircuitLink for MadIoCircuitLink {
         for s in segments {
             mad_segments.push((s, madeleine::SendMode::Cheaper));
         }
-        self.madio.send(world, self.dst_madio_rank, self.tag, mad_segments);
+        self.madio
+            .send(world, self.dst_madio_rank, self.tag, mad_segments);
     }
 
     fn kind(&self) -> CircuitLinkKind {
@@ -495,7 +493,13 @@ mod tests {
         let (sa, sb): (Rc<dyn ByteStream>, Rc<dyn ByteStream>) = (Rc::new(sa), Rc::new(sb));
         let c0 = Circuit::new(vec![n, n], 0);
         let c1 = Circuit::new(vec![n, n], 1);
-        c0.set_link(1, Box::new(StreamCircuitLink::new(sa.clone(), CircuitLinkKind::SysIoStream)));
+        c0.set_link(
+            1,
+            Box::new(StreamCircuitLink::new(
+                sa.clone(),
+                CircuitLinkKind::SysIoStream,
+            )),
+        );
         c1.attach_incoming_stream(&mut world, sb.clone());
         assert_eq!(c0.link_kind(1), Some(CircuitLinkKind::SysIoStream));
 

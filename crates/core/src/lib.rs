@@ -11,9 +11,9 @@
 //!      dynamic connections, streaming, asynchronous operations);
 //!    * [`circuit::Circuit`] for the parallel paradigm (groups, incremental
 //!      packing, per-link adapters);
-//!    plus the [`selector`] that picks the adapter for each link from the
-//!    topology knowledge base and user preferences, and the
-//!    [`madio_stream`] cross-paradigm driver (streams over a SAN).
+//!      plus the [`selector`] that picks the adapter for each link from the
+//!      topology knowledge base and user preferences, and the
+//!      [`madio_stream`] cross-paradigm driver (streams over a SAN).
 //! 3. **Personalities** — thin syntax adapters in [`personality`]: Vio,
 //!    SysWrap, Aio, FastMessage and a virtual Madeleine API.
 //!
@@ -27,12 +27,16 @@
 pub mod circuit;
 pub mod madio_stream;
 pub mod personality;
+pub mod relay;
 pub mod runtime;
 pub mod selector;
 pub mod vlink;
 
-pub use circuit::{Circuit, CircuitLink, CircuitLinkKind, CircuitMessage, MadIoCircuitLink, StreamCircuitLink};
+pub use circuit::{
+    Circuit, CircuitLink, CircuitLinkKind, CircuitMessage, MadIoCircuitLink, StreamCircuitLink,
+};
 pub use madio_stream::{MadStream, MadStreamDriver};
-pub use runtime::{runtimes_for_cluster, runtimes_for_lan, PadicoRuntime};
+pub use relay::{install_gateway_proxy, GatewayProxy, GatewayProxyStats, GATEWAY_PROXY_SERVICE};
+pub use runtime::{runtimes_for_cluster, runtimes_for_grid, runtimes_for_lan, PadicoRuntime};
 pub use selector::{LinkDecision, SelectorPreferences, TopologyKb};
 pub use vlink::{ReadOp, VLink, VLinkEvent, VLinkMethod};

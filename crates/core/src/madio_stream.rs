@@ -287,7 +287,11 @@ impl ByteStream for MadStream {
         };
         let (remote_rank, stream_id, closed) = {
             let st = self.state.borrow();
-            (st.remote_rank, st.stream_id, st.self_closed || st.peer_closed)
+            (
+                st.remote_rank,
+                st.stream_id,
+                st.self_closed || st.peer_closed,
+            )
         };
         if closed {
             return 0;

@@ -101,7 +101,9 @@ impl Aio {
     /// `aio_suspend`-style helper for tests: true when every listed
     /// operation has completed.
     pub fn all_complete(&self, handles: &[AioHandle]) -> bool {
-        handles.iter().all(|h| self.aio_error(*h) != AioState::InProgress)
+        handles
+            .iter()
+            .all(|h| self.aio_error(*h) != AioState::InProgress)
     }
 }
 

@@ -35,7 +35,9 @@ impl FastMessage {
             if msg.segments.is_empty() || msg.segments[0].len() < 2 {
                 return;
             }
-            let id = HandlerId(u16::from_be_bytes(msg.segments[0][0..2].try_into().unwrap()));
+            let id = HandlerId(u16::from_be_bytes(
+                msg.segments[0][0..2].try_into().unwrap(),
+            ));
             let payload = if msg.segments.len() > 1 {
                 msg.segments[1].to_vec()
             } else {
@@ -98,7 +100,12 @@ mod tests {
         });
         fm.send_4(&mut world, 0, HandlerId(7), 40);
         fm.send_4(&mut world, 0, HandlerId(7), 2);
-        fm.send(&mut world, 0, HandlerId(99), b"no handler, silently dropped");
+        fm.send(
+            &mut world,
+            0,
+            HandlerId(99),
+            b"no handler, silently dropped",
+        );
         world.run();
         assert_eq!(sum.get(), 42);
     }

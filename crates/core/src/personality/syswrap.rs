@@ -71,10 +71,9 @@ impl SysWrap {
             Some(state @ SocketState::Fresh) => {
                 let backlog: Rc<RefCell<VecDeque<VLink>>> = Rc::new(RefCell::new(VecDeque::new()));
                 let b = backlog.clone();
-                self.runtime
-                    .vlink_listen(world, service, move |_w, vlink| {
-                        b.borrow_mut().push_back(vlink);
-                    });
+                self.runtime.vlink_listen(world, service, move |_w, vlink| {
+                    b.borrow_mut().push_back(vlink);
+                });
                 *state = SocketState::Listening { backlog };
                 Ok(())
             }
@@ -88,9 +87,10 @@ impl SysWrap {
         let vlink = {
             let sockets = self.sockets.borrow();
             match sockets.get(&fd) {
-                Some(SocketState::Listening { backlog }) => {
-                    backlog.borrow_mut().pop_front().ok_or(SockErr::WouldBlock)?
-                }
+                Some(SocketState::Listening { backlog }) => backlog
+                    .borrow_mut()
+                    .pop_front()
+                    .ok_or(SockErr::WouldBlock)?,
                 Some(_) => return Err(SockErr::InvalidState),
                 None => return Err(SockErr::BadFd),
             }

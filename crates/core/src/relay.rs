@@ -1,0 +1,265 @@
+//! Stream-level gateway relaying: SOCKS-style proxies on gateway nodes.
+//!
+//! The frame-level [`gridtopo::RelayFabric`] relays individual frames; this
+//! module relays whole *byte streams*, which is what VLinks and Circuit
+//! links need. Every gateway node runs a proxy service: a connecting node
+//! sends a small header naming the final destination node and service, the
+//! gateway opens the onward leg — chosen by its own selector, so the leg
+//! may itself be a SAN stream, plain TCP, Parallel Streams, or another
+//! relayed hop towards the next gateway — and then splices the two streams
+//! together, store-and-forwarding bytes in both directions.
+//!
+//! Each leg runs its own transport (TCP on the site LAN, Parallel Streams
+//! on the backbone, a MadIO stream on the destination SAN…), so
+//! reliability and congestion control are per-hop, exactly like a real
+//! application-level gateway.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use simnet::{NodeId, SimWorld};
+use transport::{ByteStream, ByteStreamExt};
+
+use crate::runtime::PadicoRuntime;
+use crate::vlink::{VLink, VLinkEvent};
+
+/// The well-known service port gateway proxies listen on.
+pub const GATEWAY_PROXY_SERVICE: u16 = 45_000;
+
+/// Magic tag opening every proxy header.
+const PROXY_MAGIC: u16 = 0x9D1C;
+
+/// Header: magic(2) + flags(1) + ttl(1) + dst(4) + service(2).
+const PROXY_HEADER_BYTES: usize = 10;
+
+/// Flag bit: the onward leg must be a plain byte stream on Circuit port
+/// conventions (never a MadIO VLink stream) — set for relayed Circuit
+/// links.
+const FLAG_CIRCUIT_STREAM: u8 = 0b0000_0001;
+
+/// Initial time-to-live of a proxied connection (gateway hops).
+pub(crate) const PROXY_TTL: u8 = 8;
+
+/// Accounting for one gateway's stream proxy.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GatewayProxyStats {
+    /// Connections accepted and spliced onwards.
+    pub connections_relayed: u64,
+    /// Connections refused (bad header or TTL exhausted).
+    pub connections_refused: u64,
+    /// Bytes forwarded from the connecting side towards the destination.
+    pub bytes_forward: u64,
+    /// Bytes forwarded from the destination back to the connecting side.
+    pub bytes_backward: u64,
+}
+
+/// Handle to a gateway's proxy accounting.
+#[derive(Clone)]
+pub struct GatewayProxy {
+    node: NodeId,
+    stats: Rc<RefCell<GatewayProxyStats>>,
+}
+
+impl GatewayProxy {
+    /// The gateway node this proxy runs on.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// A snapshot of the proxy's accounting.
+    pub fn stats(&self) -> GatewayProxyStats {
+        *self.stats.borrow()
+    }
+}
+
+/// Encodes the proxy header for a connection towards `(dst, service)`.
+fn encode_header(dst: NodeId, service: u16, flags: u8, ttl: u8) -> [u8; PROXY_HEADER_BYTES] {
+    let mut h = [0u8; PROXY_HEADER_BYTES];
+    h[0..2].copy_from_slice(&PROXY_MAGIC.to_be_bytes());
+    h[2] = flags;
+    h[3] = ttl;
+    h[4..8].copy_from_slice(&dst.0.to_be_bytes());
+    h[8..10].copy_from_slice(&service.to_be_bytes());
+    h
+}
+
+fn decode_header(h: &[u8]) -> Option<(u8, u8, NodeId, u16)> {
+    if h.len() < PROXY_HEADER_BYTES {
+        return None;
+    }
+    let magic = u16::from_be_bytes([h[0], h[1]]);
+    if magic != PROXY_MAGIC {
+        return None;
+    }
+    let flags = h[2];
+    let ttl = h[3];
+    let dst = NodeId(u32::from_be_bytes([h[4], h[5], h[6], h[7]]));
+    let service = u16::from_be_bytes([h[8], h[9]]);
+    Some((flags, ttl, dst, service))
+}
+
+/// Opens a relayed connection from `rt`'s node towards `(dst, service)`
+/// through the gateway `via` on `network`, returning the raw stream with
+/// the proxy header already sent. `circuit_stream` selects Circuit port
+/// conventions for the final leg. Fresh connections start at
+/// [`PROXY_TTL`]; gateways pass the decremented remainder.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn connect_through_gateway_with_ttl(
+    world: &mut SimWorld,
+    rt: &PadicoRuntime,
+    network: simnet::NetworkId,
+    via: NodeId,
+    dst: NodeId,
+    service: u16,
+    circuit_stream: bool,
+    ttl: u8,
+) -> Rc<dyn ByteStream> {
+    let conn = rt
+        .netaccess()
+        .sysio()
+        .connect(world, network, via, GATEWAY_PROXY_SERVICE);
+    let flags = if circuit_stream {
+        FLAG_CIRCUIT_STREAM
+    } else {
+        0
+    };
+    let header = encode_header(dst, service, flags, ttl);
+    conn.send_all(world, &header);
+    Rc::new(conn)
+}
+
+/// Installs the stream proxy on `rt`'s node, making it a gateway for
+/// relayed VLinks and Circuit links. Returns the accounting handle.
+///
+/// The runtime must have a route table installed (see
+/// [`PadicoRuntime::set_route_table`]) for multi-gateway chains to
+/// resolve.
+pub fn install_gateway_proxy(_world: &mut SimWorld, rt: &PadicoRuntime) -> GatewayProxy {
+    let proxy = GatewayProxy {
+        node: rt.node(),
+        stats: Rc::new(RefCell::new(GatewayProxyStats::default())),
+    };
+    let rt = rt.clone();
+    let stats = proxy.stats.clone();
+    let registered =
+        rt.clone()
+            .netaccess()
+            .sysio()
+            .listen(GATEWAY_PROXY_SERVICE, move |_world, conn| {
+                let conn = Rc::new(conn);
+                let rt = rt.clone();
+                let stats = stats.clone();
+                // Per-connection state: buffer the header, then splice.
+                let pending: Rc<RefCell<Vec<u8>>> = Rc::new(RefCell::new(Vec::new()));
+                let onward: Rc<RefCell<Option<VLink>>> = Rc::new(RefCell::new(None));
+                let refused = Rc::new(std::cell::Cell::new(false));
+                let conn2 = conn.clone();
+                let pump = move |world: &mut SimWorld| {
+                    if refused.get() {
+                        return;
+                    }
+                    let data = conn2.recv(world, usize::MAX);
+                    if let Some(link) = onward.borrow().clone() {
+                        // Established splice: forward payload onwards.
+                        if !data.is_empty() {
+                            stats.borrow_mut().bytes_forward += data.len() as u64;
+                            link.post_write(world, &data);
+                        }
+                        if conn2.is_finished() {
+                            link.close(world);
+                        }
+                        return;
+                    }
+                    let refuse = |world: &mut SimWorld| {
+                        refused.set(true);
+                        stats.borrow_mut().connections_refused += 1;
+                        conn2.close(world);
+                    };
+                    pending.borrow_mut().extend_from_slice(&data);
+                    let header = {
+                        let buf = pending.borrow();
+                        if buf.len() < PROXY_HEADER_BYTES {
+                            // A peer that closes before completing the header is
+                            // refused, not left dangling.
+                            if conn2.is_finished() {
+                                drop(buf);
+                                refuse(world);
+                            }
+                            return;
+                        }
+                        decode_header(&buf)
+                    };
+                    let Some((flags, ttl, dst, service)) = header else {
+                        refuse(world);
+                        return;
+                    };
+                    if ttl == 0 {
+                        refuse(world);
+                        return;
+                    }
+                    let circuit_stream = flags & FLAG_CIRCUIT_STREAM != 0;
+                    let link = rt.open_onward_leg(world, dst, service, circuit_stream, ttl - 1);
+                    stats.borrow_mut().connections_relayed += 1;
+                    // Reverse pump: destination -> connecting side.
+                    let back = conn2.clone();
+                    let link2 = link.clone();
+                    let stats2 = stats.clone();
+                    link.set_handler(move |world, event| match event {
+                        VLinkEvent::Readable => {
+                            let data = link2.read_now(world, usize::MAX);
+                            if !data.is_empty() {
+                                stats2.borrow_mut().bytes_backward += data.len() as u64;
+                                back.send_all(world, &data);
+                            }
+                        }
+                        VLinkEvent::Finished => back.close(world),
+                        VLinkEvent::Connected => {}
+                    });
+                    // Forward any payload that followed the header.
+                    let rest: Vec<u8> = pending.borrow_mut().split_off(PROXY_HEADER_BYTES);
+                    if !rest.is_empty() {
+                        stats.borrow_mut().bytes_forward += rest.len() as u64;
+                        link.post_write(world, &rest);
+                    }
+                    pending.borrow_mut().clear();
+                    *onward.borrow_mut() = Some(link);
+                    if conn2.is_finished() {
+                        if let Some(link) = onward.borrow().clone() {
+                            link.close(world);
+                        }
+                    }
+                };
+                // Data buffered before this callback is installed (the header
+                // can race the handshake) is re-announced by the SysIO accept
+                // dispatch, so installing the callback is all that is needed.
+                conn.set_readable_callback(Box::new(pump));
+            });
+    assert!(
+        registered,
+        "gateway proxy port {GATEWAY_PROXY_SERVICE} is already taken on this node"
+    );
+    proxy
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn header_roundtrip() {
+        let h = encode_header(NodeId(300), 1234, FLAG_CIRCUIT_STREAM, 5);
+        let (flags, ttl, dst, service) = decode_header(&h).unwrap();
+        assert_eq!(flags, FLAG_CIRCUIT_STREAM);
+        assert_eq!(ttl, 5);
+        assert_eq!(dst, NodeId(300));
+        assert_eq!(service, 1234);
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let mut h = encode_header(NodeId(1), 2, 0, 3);
+        h[0] = 0;
+        assert!(decode_header(&h).is_none());
+        assert!(decode_header(&h[..4]).is_none());
+    }
+}

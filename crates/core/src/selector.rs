@@ -6,7 +6,15 @@
 //! given two nodes, the networks they share, and the user's preferences, it
 //! decides which adapter/method carries the link — straight adapters where
 //! possible, cross-paradigm or WAN-specific methods where required.
+//!
+//! With a [`gridtopo::RouteTable`] installed, the knowledge base is
+//! *route-aware*: endpoints that share no network no longer fail — the
+//! selector resolves them to a [`LinkDecision::Relayed`] through the first
+//! gateway of the multi-hop route.
 
+use std::rc::Rc;
+
+use gridtopo::RouteTable;
 use simnet::{NetworkClass, NetworkId, NodeId, SimWorld};
 
 /// User-defined preferences consulted by the selector.
@@ -54,10 +62,21 @@ pub enum LinkDecision {
     Adoc(NetworkId),
     /// Authenticated/encrypted TCP over the given inter-site link.
     Secure(NetworkId),
+    /// The endpoints share no network: the link is carried hop by hop
+    /// through gateway relays along the routed path.
+    Relayed {
+        /// The first-hop gateway to connect through.
+        via: NodeId,
+        /// The network shared with that gateway.
+        network: NetworkId,
+        /// Total number of networks the full route crosses.
+        hops: u32,
+    },
 }
 
 impl LinkDecision {
-    /// The network the decision uses, if any.
+    /// The network the decision uses, if any. For a relayed decision this
+    /// is the *first-hop* network.
     pub fn network(&self) -> Option<NetworkId> {
         match self {
             LinkDecision::Loopback => None,
@@ -65,7 +84,8 @@ impl LinkDecision {
             | LinkDecision::Tcp(n)
             | LinkDecision::ParallelStreams(n, _)
             | LinkDecision::Adoc(n)
-            | LinkDecision::Secure(n) => Some(*n),
+            | LinkDecision::Secure(n)
+            | LinkDecision::Relayed { network: n, .. } => Some(*n),
         }
     }
 
@@ -74,20 +94,79 @@ impl LinkDecision {
     pub fn is_straight_for_parallel(&self) -> bool {
         matches!(self, LinkDecision::Loopback | LinkDecision::San(_))
     }
+
+    /// Whether the decision crosses at least one gateway relay.
+    pub fn is_relayed(&self) -> bool {
+        matches!(self, LinkDecision::Relayed { .. })
+    }
 }
 
 /// The topology knowledge base: what the runtime knows about reachable
-/// networks, plus the user preferences.
+/// networks and multi-hop routes, plus the user preferences.
 #[derive(Debug, Clone, Default)]
 pub struct TopologyKb {
     /// User preferences applied by the selector.
     pub prefs: SelectorPreferences,
+    /// Multi-hop routes, when a grid topology has been registered. Without
+    /// routes the selector only resolves direct (shared-network) links.
+    routes: Option<Rc<RouteTable>>,
 }
 
 impl TopologyKb {
     /// Creates a knowledge base with the given preferences.
     pub fn new(prefs: SelectorPreferences) -> TopologyKb {
-        TopologyKb { prefs }
+        TopologyKb {
+            prefs,
+            routes: None,
+        }
+    }
+
+    /// Creates a route-aware knowledge base.
+    pub fn with_routes(prefs: SelectorPreferences, routes: Rc<RouteTable>) -> TopologyKb {
+        TopologyKb {
+            prefs,
+            routes: Some(routes),
+        }
+    }
+
+    /// Installs (or replaces) the multi-hop route table.
+    pub fn set_routes(&mut self, routes: Rc<RouteTable>) {
+        self.routes = Some(routes);
+    }
+
+    /// The installed route table, if any.
+    pub fn routes(&self) -> Option<Rc<RouteTable>> {
+        self.routes.clone()
+    }
+
+    /// Resolves a no-shared-network pair through the route table.
+    ///
+    /// `forbid_san` is honoured for the leg this node opens itself: if the
+    /// route's first hop rides a SAN the user forbade, another network
+    /// shared with the same gateway is substituted when one exists. Other
+    /// preferences (notably `secure_inter_site`) do **not** yet propagate
+    /// to the gateway-to-gateway legs, which are opened by the gateways'
+    /// own runtimes — see the ROADMAP open item before relying on relayed
+    /// links for ciphered inter-site traffic.
+    fn relayed(&self, world: &SimWorld, a: NodeId, b: NodeId) -> Option<LinkDecision> {
+        let routes = self.routes.as_ref()?;
+        let route = routes.route(a, b)?;
+        let first = route.first_hop()?;
+        let mut network = first.network;
+        if self.prefs.forbid_san && world.network(network).spec.class == NetworkClass::San {
+            if let Some(alt) = world
+                .networks_between(a, first.node)
+                .into_iter()
+                .find(|&n| world.network(n).spec.class != NetworkClass::San)
+            {
+                network = alt;
+            }
+        }
+        Some(LinkDecision::Relayed {
+            via: first.node,
+            network,
+            hops: route.hop_count() as u32,
+        })
     }
 
     /// Classifies the best network of each class shared by `a` and `b`.
@@ -115,7 +194,10 @@ impl TopologyKb {
         shared: &[(NetworkClass, NetworkId, f64)],
         class: NetworkClass,
     ) -> Option<NetworkId> {
-        shared.iter().find(|(c, _, _)| *c == class).map(|(_, id, _)| *id)
+        shared
+            .iter()
+            .find(|(c, _, _)| *c == class)
+            .map(|(_, id, _)| *id)
     }
 
     /// Selects the method for a link used by a *distributed-oriented*
@@ -125,7 +207,11 @@ impl TopologyKb {
             return LinkDecision::Loopback;
         }
         let shared = self.shared(world, a, b);
-        assert!(!shared.is_empty(), "no network between {a} and {b}");
+        if shared.is_empty() {
+            return self.relayed(world, a, b).unwrap_or_else(|| {
+                panic!("no network between {a} and {b}, and no route to relay through")
+            });
+        }
         if !self.prefs.forbid_san {
             if let Some(san) = self.best_of(&shared, NetworkClass::San) {
                 // Cross-paradigm adapter: the distributed middleware rides
@@ -165,7 +251,13 @@ impl TopologyKb {
             return LinkDecision::Loopback;
         }
         let shared = self.shared(world, a, b);
-        assert!(!shared.is_empty(), "no network between {a} and {b}");
+        if shared.is_empty() {
+            // No shared network: the parallel middleware crosses the grid
+            // through gateway relays (maximally cross-paradigm).
+            return self.relayed(world, a, b).unwrap_or_else(|| {
+                panic!("no network between {a} and {b}, and no route to relay through")
+            });
+        }
         if !self.prefs.forbid_san {
             if let Some(san) = self.best_of(&shared, NetworkClass::San) {
                 // Straight adapter: parallel middleware on parallel hardware.
@@ -193,16 +285,27 @@ mod tests {
         let p = topology::san_pair(1);
         let kb = TopologyKb::default();
         assert_eq!(kb.select_vlink(&p.world, p.a, p.a), LinkDecision::Loopback);
-        assert_eq!(kb.select_circuit(&p.world, p.b, p.b), LinkDecision::Loopback);
+        assert_eq!(
+            kb.select_circuit(&p.world, p.b, p.b),
+            LinkDecision::Loopback
+        );
     }
 
     #[test]
     fn san_preferred_for_both_paradigms_when_available() {
         let p = topology::san_pair(1);
         let kb = TopologyKb::default();
-        assert_eq!(kb.select_vlink(&p.world, p.a, p.b), LinkDecision::San(p.san));
-        assert_eq!(kb.select_circuit(&p.world, p.a, p.b), LinkDecision::San(p.san));
-        assert!(kb.select_circuit(&p.world, p.a, p.b).is_straight_for_parallel());
+        assert_eq!(
+            kb.select_vlink(&p.world, p.a, p.b),
+            LinkDecision::San(p.san)
+        );
+        assert_eq!(
+            kb.select_circuit(&p.world, p.a, p.b),
+            LinkDecision::San(p.san)
+        );
+        assert!(kb
+            .select_circuit(&p.world, p.a, p.b)
+            .is_straight_for_parallel());
     }
 
     #[test]
@@ -212,7 +315,10 @@ mod tests {
             forbid_san: true,
             ..Default::default()
         });
-        assert_eq!(kb.select_vlink(&p.world, p.a, p.b), LinkDecision::Tcp(p.lan));
+        assert_eq!(
+            kb.select_vlink(&p.world, p.a, p.b),
+            LinkDecision::Tcp(p.lan)
+        );
     }
 
     #[test]
@@ -260,7 +366,9 @@ mod tests {
         assert_eq!(d, LinkDecision::ParallelStreams(g.wan, 4));
         // Within a cluster the straight SAN adapter is used.
         let a1 = g.cluster_a.node(1);
-        assert!(kb.select_circuit(&g.world, a0, a1).is_straight_for_parallel());
+        assert!(kb
+            .select_circuit(&g.world, a0, a1)
+            .is_straight_for_parallel());
     }
 
     #[test]
@@ -270,5 +378,53 @@ mod tests {
         let d = kb.select_vlink(&p.world, p.a, p.b);
         assert_eq!(d.network(), Some(p.san));
         assert_eq!(LinkDecision::Loopback.network(), None);
+    }
+
+    #[test]
+    fn no_shared_network_resolves_to_relayed_with_routes() {
+        let mut world = simnet::SimWorld::new(4);
+        let grid = gridtopo::GridTopology::two_sites(&mut world, 3);
+        let routes = Rc::new(grid.routes.clone());
+        let kb = TopologyKb::with_routes(SelectorPreferences::default(), routes);
+        let a1 = grid.site(0).node(1);
+        let b1 = grid.site(1).node(1);
+        assert!(world.networks_between(a1, b1).is_empty());
+        let d = kb.select_vlink(&world, a1, b1);
+        assert_eq!(
+            d,
+            LinkDecision::Relayed {
+                via: grid.site(0).gateway,
+                network: grid.site(0).san.unwrap(),
+                hops: 3,
+            }
+        );
+        assert!(d.is_relayed());
+        assert!(!d.is_straight_for_parallel());
+        assert_eq!(d.network(), grid.site(0).san);
+        // The parallel paradigm relays the same way.
+        assert_eq!(kb.select_circuit(&world, a1, b1), d);
+        // Direct pairs are still resolved directly, never relayed.
+        let a2 = grid.site(0).node(2);
+        assert!(!kb.select_vlink(&world, a1, a2).is_relayed());
+    }
+
+    #[test]
+    #[should_panic(expected = "no route to relay through")]
+    fn no_shared_network_without_routes_panics() {
+        let mut world = simnet::SimWorld::new(4);
+        let grid = gridtopo::GridTopology::two_sites(&mut world, 2);
+        let kb = TopologyKb::default();
+        let _ = kb.select_vlink(&world, grid.site(0).node(1), grid.site(1).node(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "no route to relay through")]
+    fn unreachable_node_panics_even_with_routes() {
+        let mut world = simnet::SimWorld::new(4);
+        let grid = gridtopo::GridTopology::two_sites(&mut world, 2);
+        let island = world.add_node("island");
+        let routes = Rc::new(gridtopo::RouteTable::compute(&world));
+        let kb = TopologyKb::with_routes(SelectorPreferences::default(), routes);
+        let _ = kb.select_vlink(&world, grid.site(0).node(1), island);
     }
 }

@@ -37,6 +37,12 @@ pub enum VLinkMethod {
     Secure,
     /// Intra-node loopback.
     Loopback,
+    /// Stream relayed through one or more gateway proxies because the
+    /// endpoints share no network (see `relay::install_gateway_proxy`).
+    Relayed {
+        /// Number of networks the routed path crosses.
+        hops: u32,
+    },
 }
 
 /// Identifier of a posted (asynchronous) read operation.
@@ -216,6 +222,7 @@ impl VLink {
         let mut completed_any = false;
         {
             let mut st = self.state.borrow_mut();
+            #[allow(clippy::while_let_loop)]
             loop {
                 let Some(&(id, len)) = st.pending_reads.front() else {
                     break;
@@ -254,10 +261,7 @@ impl VLink {
             if !st.buffer.is_empty() || !st.completed_reads.is_empty() {
                 events.push(VLinkEvent::Readable);
             }
-            if !st.announced_finished
-                && self.stream.is_finished()
-                && st.buffer.is_empty()
-            {
+            if !st.announced_finished && self.stream.is_finished() && st.buffer.is_empty() {
                 st.announced_finished = true;
                 events.push(VLinkEvent::Finished);
             }
@@ -301,7 +305,10 @@ mod tests {
         assert!(vb.test(op1));
         assert_eq!(vb.complete_read(op1).unwrap(), b"0123");
         assert_eq!(vb.complete_read(op2).unwrap(), b"456789");
-        assert!(vb.complete_read(op2).is_none(), "completion is consumed once");
+        assert!(
+            vb.complete_read(op2).is_none(),
+            "completion is consumed once"
+        );
         assert_eq!(va.io_counters().0, 10);
         assert_eq!(vb.io_counters().1, 10);
     }

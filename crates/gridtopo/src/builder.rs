@@ -1,0 +1,340 @@
+//! Builders for hierarchical grid topologies: federations of SAN+LAN
+//! cluster *sites* joined by WAN/Internet backbones through dedicated
+//! gateway nodes.
+//!
+//! Unlike the flat [`simnet::topology`] helpers (where every node attaches
+//! straight to the WAN), only each site's *gateway* touches the backbone
+//! here — exactly the multi-site virtual-organization shape of real grids.
+//! Cross-site traffic therefore shares no network end-to-end and must be
+//! relayed, which is what the [`crate::route`] and [`crate::gateway`]
+//! layers provide.
+
+use simnet::{NetworkId, NetworkSpec, NodeId, SimWorld};
+
+use crate::route::RouteTable;
+
+/// Description of one site to build.
+#[derive(Debug, Clone)]
+pub struct SiteSpec {
+    /// Site name, used as the node-name prefix.
+    pub name: String,
+    /// Number of nodes, including the gateway.
+    pub nodes: usize,
+    /// SAN fabric for the site, if it has one.
+    pub san: Option<NetworkSpec>,
+    /// LAN fabric for the site.
+    pub lan: NetworkSpec,
+}
+
+impl SiteSpec {
+    /// A SAN-equipped PC cluster (Myrinet-2000 + Ethernet-100), the
+    /// paper's standard site.
+    pub fn san_cluster(name: impl Into<String>, nodes: usize) -> SiteSpec {
+        SiteSpec {
+            name: name.into(),
+            nodes,
+            san: Some(NetworkSpec::myrinet_2000()),
+            lan: NetworkSpec::ethernet_100(),
+        }
+    }
+
+    /// A commodity site with only switched Ethernet.
+    pub fn lan_cluster(name: impl Into<String>, nodes: usize) -> SiteSpec {
+        SiteSpec {
+            name: name.into(),
+            nodes,
+            san: None,
+            lan: NetworkSpec::ethernet_100(),
+        }
+    }
+}
+
+/// One built site.
+#[derive(Debug, Clone)]
+pub struct Site {
+    /// Site name.
+    pub name: String,
+    /// The site's nodes, gateway first.
+    pub nodes: Vec<NodeId>,
+    /// The site SAN, if any.
+    pub san: Option<NetworkId>,
+    /// The site LAN.
+    pub lan: NetworkId,
+    /// The gateway node (== `nodes[0]`), the only node also attached to
+    /// the backbone.
+    pub gateway: NodeId,
+}
+
+impl Site {
+    /// Node of the given rank within the site.
+    pub fn node(&self, rank: usize) -> NodeId {
+        self.nodes[rank]
+    }
+
+    /// Number of nodes in the site.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when the site has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+}
+
+/// A built hierarchical grid: sites, backbone networks and the routing
+/// table over the whole attachment graph.
+#[derive(Debug, Clone)]
+pub struct GridTopology {
+    /// The sites, in build order.
+    pub sites: Vec<Site>,
+    /// The backbone (inter-site) networks, in build order.
+    pub backbones: Vec<NetworkId>,
+    /// Routes between every pair of nodes of the grid.
+    pub routes: RouteTable,
+}
+
+impl GridTopology {
+    /// Builds a star-of-sites: one shared backbone network to which every
+    /// site's gateway attaches.
+    pub fn star(world: &mut SimWorld, specs: &[SiteSpec], backbone: NetworkSpec) -> GridTopology {
+        let sites: Vec<Site> = specs.iter().map(|s| build_site(world, s)).collect();
+        let bb = world.add_network(backbone);
+        for site in &sites {
+            world.attach(site.gateway, bb);
+        }
+        finish(world, sites, vec![bb])
+    }
+
+    /// Builds a backbone ring: site `i`'s gateway is joined to site
+    /// `i + 1 (mod n)`'s gateway by a dedicated point-to-point backbone
+    /// network. Needs at least three sites for a genuine ring (two sites
+    /// would create a redundant pair of links; use [`GridTopology::star`]).
+    pub fn ring(world: &mut SimWorld, specs: &[SiteSpec], link: NetworkSpec) -> GridTopology {
+        assert!(specs.len() >= 3, "a backbone ring needs at least 3 sites");
+        let sites: Vec<Site> = specs.iter().map(|s| build_site(world, s)).collect();
+        let mut backbones = Vec::with_capacity(sites.len());
+        for i in 0..sites.len() {
+            let j = (i + 1) % sites.len();
+            let seg = world.add_network(link.clone());
+            world.attach(sites[i].gateway, seg);
+            world.attach(sites[j].gateway, seg);
+            backbones.push(seg);
+        }
+        finish(world, sites, backbones)
+    }
+
+    /// Builds a cluster-of-clusters: sites are grouped into regions; the
+    /// gateways of each region share a regional network, and the first
+    /// gateway of each region (the regional head) additionally attaches to
+    /// a global backbone. Traffic between regions crosses up to three
+    /// backbone-level hops (site gateway → regional head → remote head →
+    /// remote gateway).
+    pub fn cluster_of_clusters(
+        world: &mut SimWorld,
+        regions: &[Vec<SiteSpec>],
+        regional: NetworkSpec,
+        backbone: NetworkSpec,
+    ) -> GridTopology {
+        assert!(!regions.is_empty(), "need at least one region");
+        let mut sites = Vec::new();
+        let mut backbones = Vec::new();
+        let mut heads = Vec::new();
+        for region in regions {
+            assert!(!region.is_empty(), "regions must have at least one site");
+            let first_site = sites.len();
+            for spec in region {
+                sites.push(build_site(world, spec));
+            }
+            let regional_net = world.add_network(regional.clone());
+            for site in &sites[first_site..] {
+                world.attach(site.gateway, regional_net);
+            }
+            backbones.push(regional_net);
+            heads.push(sites[first_site].gateway);
+        }
+        if heads.len() > 1 {
+            let global = world.add_network(backbone);
+            for head in heads {
+                world.attach(head, global);
+            }
+            backbones.push(global);
+        }
+        finish(world, sites, backbones)
+    }
+
+    /// Convenience: the canonical two-site grid of the paper's deployment
+    /// discussion — two Myrinet clusters whose gateways meet on a VTHD-like
+    /// WAN.
+    pub fn two_sites(world: &mut SimWorld, nodes_per_site: usize) -> GridTopology {
+        GridTopology::star(
+            world,
+            &[
+                SiteSpec::san_cluster("a", nodes_per_site),
+                SiteSpec::san_cluster("b", nodes_per_site),
+            ],
+            NetworkSpec::vthd_wan(),
+        )
+    }
+
+    /// The site at `index`.
+    pub fn site(&self, index: usize) -> &Site {
+        &self.sites[index]
+    }
+
+    /// Every node of every site, in build order.
+    pub fn all_nodes(&self) -> Vec<NodeId> {
+        self.sites
+            .iter()
+            .flat_map(|s| s.nodes.iter().copied())
+            .collect()
+    }
+
+    /// Every gateway, in site order.
+    pub fn gateways(&self) -> Vec<NodeId> {
+        self.sites.iter().map(|s| s.gateway).collect()
+    }
+
+    /// Recomputes the routing table (after manual topology edits).
+    pub fn recompute_routes(&mut self, world: &SimWorld) {
+        self.routes = RouteTable::compute(world);
+    }
+}
+
+fn build_site(world: &mut SimWorld, spec: &SiteSpec) -> Site {
+    assert!(spec.nodes >= 1, "a site needs at least its gateway node");
+    let san = spec.san.as_ref().map(|s| world.add_network(s.clone()));
+    let lan = world.add_network(spec.lan.clone());
+    let mut nodes = Vec::with_capacity(spec.nodes);
+    for i in 0..spec.nodes {
+        let name = if i == 0 {
+            format!("{}-gw", spec.name)
+        } else {
+            format!("{}{}", spec.name, i)
+        };
+        let node = world.add_node(&name);
+        if let Some(san) = san {
+            world.attach(node, san);
+        }
+        world.attach(node, lan);
+        nodes.push(node);
+    }
+    Site {
+        name: spec.name.clone(),
+        gateway: nodes[0],
+        nodes,
+        san,
+        lan,
+    }
+}
+
+fn finish(world: &SimWorld, sites: Vec<Site>, backbones: Vec<NetworkId>) -> GridTopology {
+    GridTopology {
+        sites,
+        backbones,
+        routes: RouteTable::compute(world),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simnet::NetworkClass;
+
+    #[test]
+    fn star_isolates_sites_behind_gateways() {
+        let mut w = SimWorld::new(1);
+        let g = GridTopology::two_sites(&mut w, 4);
+        let a1 = g.site(0).node(1);
+        let b1 = g.site(1).node(1);
+        // Non-gateway nodes across sites share no network…
+        assert!(w.networks_between(a1, b1).is_empty());
+        // …but a route exists, through both gateways.
+        let route = g.routes.route(a1, b1).unwrap();
+        assert_eq!(route.relays(), vec![g.site(0).gateway, g.site(1).gateway]);
+        assert_eq!(route.hop_count(), 3);
+        // Intra-site pairs still reach each other directly over the SAN.
+        let a2 = g.site(0).node(2);
+        let intra = g.routes.route(a1, a2).unwrap();
+        assert!(!intra.is_relayed());
+        assert_eq!(
+            w.network(intra.hops[0].network).spec.class,
+            NetworkClass::San
+        );
+    }
+
+    #[test]
+    fn gateways_reach_backbone_directly() {
+        let mut w = SimWorld::new(1);
+        let g = GridTopology::two_sites(&mut w, 2);
+        let gw_a = g.site(0).gateway;
+        let gw_b = g.site(1).gateway;
+        let r = g.routes.route(gw_a, gw_b).unwrap();
+        assert_eq!(r.hop_count(), 1);
+        assert_eq!(r.hops[0].network, g.backbones[0]);
+    }
+
+    #[test]
+    fn ring_routes_take_the_short_way_round() {
+        let mut w = SimWorld::new(1);
+        let specs: Vec<SiteSpec> = (0..4)
+            .map(|i| SiteSpec::lan_cluster(format!("s{i}"), 2))
+            .collect();
+        let g = GridTopology::ring(&mut w, &specs, NetworkSpec::vthd_wan());
+        assert_eq!(g.backbones.len(), 4);
+        // Adjacent sites: one backbone segment between the gateways.
+        let r = g
+            .routes
+            .route(g.site(0).gateway, g.site(1).gateway)
+            .unwrap();
+        assert_eq!(r.hop_count(), 1);
+        // Opposite sites: two segments, through one intermediate gateway.
+        let r = g
+            .routes
+            .route(g.site(0).gateway, g.site(2).gateway)
+            .unwrap();
+        assert_eq!(r.hop_count(), 2);
+        assert_eq!(r.relays().len(), 1);
+    }
+
+    #[test]
+    fn cluster_of_clusters_spans_three_backbone_levels() {
+        let mut w = SimWorld::new(1);
+        let regions = vec![
+            vec![
+                SiteSpec::san_cluster("eu-a", 2),
+                SiteSpec::san_cluster("eu-b", 2),
+            ],
+            vec![
+                SiteSpec::san_cluster("us-a", 2),
+                SiteSpec::san_cluster("us-b", 2),
+            ],
+        ];
+        let g = GridTopology::cluster_of_clusters(
+            &mut w,
+            &regions,
+            NetworkSpec::vthd_wan(),
+            NetworkSpec::lossy_internet(),
+        );
+        // 2 regional networks + 1 global backbone.
+        assert_eq!(g.backbones.len(), 3);
+        // A worker in eu-b to a worker in us-b crosses: eu-b LAN, the EU
+        // regional net, the global backbone, the US regional net, us-b LAN.
+        let src = g.site(1).node(1);
+        let dst = g.site(3).node(1);
+        let info = g.routes.path_info(&w, src, dst).unwrap();
+        assert_eq!(info.hop_count, 5);
+        assert_eq!(info.worst_class, NetworkClass::Internet);
+        assert_eq!(info.relays.len(), 4);
+    }
+
+    #[test]
+    fn same_build_sequence_yields_identical_routes() {
+        let build = || {
+            let mut w = SimWorld::new(99);
+            let g = GridTopology::two_sites(&mut w, 3);
+            g.routes
+        };
+        assert_eq!(build(), build());
+    }
+}

@@ -1,0 +1,565 @@
+//! Gateway store-and-forward relaying of frames along multi-hop routes.
+//!
+//! A [`RelayFabric`] attaches a relay agent to every participating node.
+//! Frames addressed to a node with which the sender shares no network are
+//! encapsulated (final destination, origin, port, TTL) and sent hop by hop
+//! along the [`RouteTable`] route: each gateway receives the frame, pays a
+//! per-hop relay latency (the store-and-forward cost of the gateway's CPU
+//! and memory), and retransmits it on the next network — unless its
+//! bounded relay queue is full, in which case the frame is dropped and
+//! accounted, the grid equivalent of router backpressure.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use simnet::{Frame, NodeId, ProtoId, SimDuration, SimWorld};
+
+use crate::route::RouteTable;
+
+/// Encapsulation header: dst(4) + src(4) + port(2) + ttl(1).
+const RELAY_HEADER_BYTES: usize = 11;
+
+/// Configuration of the relay agents.
+#[derive(Debug, Clone)]
+pub struct RelayConfig {
+    /// Store-and-forward latency paid by a gateway per relayed frame.
+    pub per_hop_latency: SimDuration,
+    /// Maximum frames a gateway may hold queued; arrivals beyond this are
+    /// dropped (and counted).
+    pub queue_capacity: usize,
+    /// Initial time-to-live: a frame traversing more than this many relay
+    /// hops is discarded (routing-loop guard).
+    pub ttl: u8,
+}
+
+impl Default for RelayConfig {
+    fn default() -> Self {
+        RelayConfig {
+            per_hop_latency: SimDuration::from_micros(10),
+            queue_capacity: 64,
+            ttl: 16,
+        }
+    }
+}
+
+/// Per-gateway relay accounting.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GatewayStats {
+    /// Frames this node forwarded onwards.
+    pub frames_relayed: u64,
+    /// Payload bytes forwarded onwards.
+    pub bytes_relayed: u64,
+    /// Frames dropped because the relay queue was full.
+    pub frames_dropped_queue_full: u64,
+    /// Frames dropped because the TTL expired.
+    pub frames_dropped_ttl: u64,
+    /// Frames dropped because no onward route existed.
+    pub frames_dropped_no_route: u64,
+    /// High-water mark of the relay queue depth.
+    pub max_queue_depth: usize,
+}
+
+impl GatewayStats {
+    /// Total frames dropped at this gateway for any reason.
+    pub fn frames_dropped(&self) -> u64 {
+        self.frames_dropped_queue_full + self.frames_dropped_ttl + self.frames_dropped_no_route
+    }
+}
+
+/// A message delivered by the relay fabric to a bound endpoint.
+#[derive(Debug, Clone)]
+pub struct RelayedMessage {
+    /// The origin node.
+    pub src: NodeId,
+    /// The endpoint port it was addressed to.
+    pub port: u16,
+    /// The payload.
+    pub payload: Bytes,
+    /// Relay hops the frame had left when it arrived (ttl at origin minus
+    /// gateways traversed).
+    pub ttl_remaining: u8,
+}
+
+/// Errors surfaced when submitting a frame for routed delivery.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RelayError {
+    /// No route exists between the endpoints.
+    NoRoute,
+    /// The payload (plus relay header) exceeds the smallest MTU on the
+    /// route; the caller must segment.
+    TooLarge {
+        /// Bytes submitted.
+        size: usize,
+        /// Largest payload the route can carry.
+        max: usize,
+    },
+    /// The underlying network refused the frame.
+    Send(simnet::SendError),
+}
+
+impl std::fmt::Display for RelayError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RelayError::NoRoute => write!(f, "no route between the endpoints"),
+            RelayError::TooLarge { size, max } => {
+                write!(
+                    f,
+                    "payload of {size} bytes exceeds the route maximum of {max}"
+                )
+            }
+            RelayError::Send(e) => write!(f, "network send failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RelayError {}
+
+type EndpointCallback = Rc<RefCell<dyn FnMut(&mut SimWorld, RelayedMessage)>>;
+
+#[derive(Default)]
+struct GatewayState {
+    queue_depth: usize,
+    stats: GatewayStats,
+}
+
+struct FabricInner {
+    routes: RouteTable,
+    config: RelayConfig,
+    gateways: HashMap<NodeId, GatewayState>,
+    endpoints: HashMap<(NodeId, u16), EndpointCallback>,
+    delivered_frames: u64,
+    delivered_bytes: u64,
+    unclaimed_frames: u64,
+}
+
+/// The relay fabric: shared routing state plus the per-node relay agents.
+#[derive(Clone)]
+pub struct RelayFabric {
+    inner: Rc<RefCell<FabricInner>>,
+}
+
+impl RelayFabric {
+    /// Creates a relay fabric over the given routing table.
+    pub fn new(routes: RouteTable, config: RelayConfig) -> RelayFabric {
+        RelayFabric {
+            inner: Rc::new(RefCell::new(FabricInner {
+                routes,
+                config,
+                gateways: HashMap::new(),
+                endpoints: HashMap::new(),
+                delivered_frames: 0,
+                delivered_bytes: 0,
+                unclaimed_frames: 0,
+            })),
+        }
+    }
+
+    /// Replaces the routing table (after a topology change).
+    pub fn set_routes(&self, routes: RouteTable) {
+        self.inner.borrow_mut().routes = routes;
+    }
+
+    /// Runs `f` with a borrow of the routing table.
+    pub fn with_routes<R>(&self, f: impl FnOnce(&RouteTable) -> R) -> R {
+        f(&self.inner.borrow().routes)
+    }
+
+    /// Attaches the relay agent to `node`: the node can now receive
+    /// relayed frames, and will store-and-forward frames in transit that
+    /// are routed through it. Must be called once for every gateway and
+    /// every endpoint node participating in relayed traffic.
+    pub fn attach(&self, world: &mut SimWorld, node: NodeId) {
+        self.inner.borrow_mut().gateways.entry(node).or_default();
+        let fabric = self.clone();
+        world.register_handler(node, ProtoId::RELAY, move |world, _net, frame| {
+            fabric.on_relay_frame(world, frame);
+        });
+    }
+
+    /// Binds an endpoint callback for `(node, port)`; the node is attached
+    /// if it was not already.
+    pub fn bind(
+        &self,
+        world: &mut SimWorld,
+        node: NodeId,
+        port: u16,
+        callback: impl FnMut(&mut SimWorld, RelayedMessage) + 'static,
+    ) {
+        self.attach(world, node);
+        self.inner
+            .borrow_mut()
+            .endpoints
+            .insert((node, port), Rc::new(RefCell::new(callback)));
+    }
+
+    /// Largest payload deliverable from `src` to `dst` (smallest MTU along
+    /// the route minus the relay header), if a route exists.
+    pub fn max_payload(&self, world: &SimWorld, src: NodeId, dst: NodeId) -> Option<usize> {
+        let inner = self.inner.borrow();
+        let info = inner.routes.path_info(world, src, dst)?;
+        Some(info.min_mtu.saturating_sub(RELAY_HEADER_BYTES))
+    }
+
+    /// Sends `payload` from `src` to `(dst, port)` along the routed path,
+    /// relaying through gateways as needed.
+    pub fn send(
+        &self,
+        world: &mut SimWorld,
+        src: NodeId,
+        dst: NodeId,
+        port: u16,
+        payload: impl Into<Bytes>,
+    ) -> Result<(), RelayError> {
+        let payload = payload.into();
+        let (first_hop, ttl) = {
+            let inner = self.inner.borrow();
+            if !inner.routes.reachable(src, dst) {
+                return Err(RelayError::NoRoute);
+            }
+            let info = inner
+                .routes
+                .path_info(world, src, dst)
+                .ok_or(RelayError::NoRoute)?;
+            let max = info.min_mtu.saturating_sub(RELAY_HEADER_BYTES);
+            if payload.len() > max {
+                return Err(RelayError::TooLarge {
+                    size: payload.len(),
+                    max,
+                });
+            }
+            (inner.routes.next_hop(src, dst), inner.config.ttl)
+        };
+
+        match first_hop {
+            None => {
+                // src == dst: local delivery through the event queue.
+                let fabric = self.clone();
+                let msg = RelayedMessage {
+                    src,
+                    port,
+                    payload,
+                    ttl_remaining: ttl,
+                };
+                world.schedule_after(SimDuration::ZERO, move |world| {
+                    fabric.deliver(world, dst, msg);
+                });
+                Ok(())
+            }
+            Some(hop) => {
+                let wire = encode(dst, src, port, ttl, &payload);
+                world
+                    .send_frame(hop.network, Frame::new(src, hop.node, ProtoId::RELAY, wire))
+                    .map_err(RelayError::Send)
+            }
+        }
+    }
+
+    /// Relay agent: a `ProtoId::RELAY` frame arrived at `frame.dst`.
+    fn on_relay_frame(&self, world: &mut SimWorld, frame: Frame) {
+        let here = frame.dst;
+        let Some((final_dst, orig_src, port, ttl)) = decode(&frame.payload) else {
+            return; // malformed; drop silently
+        };
+
+        if final_dst == here {
+            let msg = RelayedMessage {
+                src: orig_src,
+                port,
+                payload: frame.payload.slice(RELAY_HEADER_BYTES..),
+                ttl_remaining: ttl,
+            };
+            self.deliver(world, here, msg);
+            return;
+        }
+
+        // In transit: store-and-forward towards the destination.
+        let (forward, per_hop_latency) = {
+            let mut inner = self.inner.borrow_mut();
+            let config_latency = inner.config.per_hop_latency;
+            let capacity = inner.config.queue_capacity;
+            let next = inner.routes.next_hop(here, final_dst);
+            let state = inner.gateways.entry(here).or_default();
+            if ttl == 0 {
+                state.stats.frames_dropped_ttl += 1;
+                (None, config_latency)
+            } else if next.is_none() {
+                state.stats.frames_dropped_no_route += 1;
+                (None, config_latency)
+            } else if state.queue_depth >= capacity {
+                state.stats.frames_dropped_queue_full += 1;
+                (None, config_latency)
+            } else {
+                state.queue_depth += 1;
+                state.stats.max_queue_depth = state.stats.max_queue_depth.max(state.queue_depth);
+                (next, config_latency)
+            }
+        };
+
+        let Some(hop) = forward else { return };
+        let fabric = self.clone();
+        let payload = frame.payload.slice(RELAY_HEADER_BYTES..);
+        world.schedule_after(per_hop_latency, move |world| {
+            {
+                let mut inner = fabric.inner.borrow_mut();
+                let state = inner.gateways.entry(here).or_default();
+                state.queue_depth = state.queue_depth.saturating_sub(1);
+                state.stats.frames_relayed += 1;
+                state.stats.bytes_relayed += payload.len() as u64;
+            }
+            let wire = encode(final_dst, orig_src, port, ttl - 1, &payload);
+            // A send failure here means the topology changed under the
+            // fabric; account it as a no-route drop.
+            if world
+                .send_frame(
+                    hop.network,
+                    Frame::new(here, hop.node, ProtoId::RELAY, wire),
+                )
+                .is_err()
+            {
+                let mut inner = fabric.inner.borrow_mut();
+                let state = inner.gateways.entry(here).or_default();
+                state.stats.frames_relayed -= 1;
+                state.stats.bytes_relayed -= payload.len() as u64;
+                state.stats.frames_dropped_no_route += 1;
+            }
+        });
+    }
+
+    fn deliver(&self, world: &mut SimWorld, node: NodeId, msg: RelayedMessage) {
+        let callback = {
+            let mut inner = self.inner.borrow_mut();
+            match inner.endpoints.get(&(node, msg.port)).cloned() {
+                Some(cb) => {
+                    inner.delivered_frames += 1;
+                    inner.delivered_bytes += msg.payload.len() as u64;
+                    Some(cb)
+                }
+                None => {
+                    inner.unclaimed_frames += 1;
+                    None
+                }
+            }
+        };
+        if let Some(cb) = callback {
+            cb.borrow_mut()(world, msg);
+        }
+    }
+
+    /// Relay accounting for one gateway node.
+    pub fn gateway_stats(&self, node: NodeId) -> GatewayStats {
+        self.inner
+            .borrow()
+            .gateways
+            .get(&node)
+            .map(|g| g.stats)
+            .unwrap_or_default()
+    }
+
+    /// Total frames delivered to bound endpoints.
+    pub fn delivered_frames(&self) -> u64 {
+        self.inner.borrow().delivered_frames
+    }
+
+    /// Total payload bytes delivered to bound endpoints.
+    pub fn delivered_bytes(&self) -> u64 {
+        self.inner.borrow().delivered_bytes
+    }
+
+    /// Frames that reached a node with no endpoint bound on the port.
+    pub fn unclaimed_frames(&self) -> u64 {
+        self.inner.borrow().unclaimed_frames
+    }
+
+    /// Sum of `frames_relayed` across every gateway.
+    pub fn total_relayed(&self) -> u64 {
+        self.inner
+            .borrow()
+            .gateways
+            .values()
+            .map(|g| g.stats.frames_relayed)
+            .sum()
+    }
+
+    /// Sum of dropped frames across every gateway.
+    pub fn total_dropped(&self) -> u64 {
+        self.inner
+            .borrow()
+            .gateways
+            .values()
+            .map(|g| g.stats.frames_dropped())
+            .sum()
+    }
+}
+
+fn encode(dst: NodeId, src: NodeId, port: u16, ttl: u8, payload: &[u8]) -> Bytes {
+    let mut buf = BytesMut::with_capacity(RELAY_HEADER_BYTES + payload.len());
+    buf.put_u32(dst.0);
+    buf.put_u32(src.0);
+    buf.put_u16(port);
+    buf.put_u8(ttl);
+    buf.extend_from_slice(payload);
+    buf.freeze()
+}
+
+fn decode(wire: &Bytes) -> Option<(NodeId, NodeId, u16, u8)> {
+    if wire.len() < RELAY_HEADER_BYTES {
+        return None;
+    }
+    let mut head = wire.slice(..RELAY_HEADER_BYTES);
+    let dst = NodeId(head.get_u32());
+    let src = NodeId(head.get_u32());
+    let port = head.get_u16();
+    let ttl = head.get_u8();
+    Some((dst, src, port, ttl))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simnet::NetworkSpec;
+    use std::cell::Cell;
+
+    /// a —eth— g —wan— h —eth— b with relay agents everywhere.
+    fn relay_world(config: RelayConfig) -> (SimWorld, RelayFabric, [NodeId; 4]) {
+        let mut w = SimWorld::new(3);
+        let a = w.add_node("a");
+        let g = w.add_node("g");
+        let h = w.add_node("h");
+        let b = w.add_node("b");
+        let lan1 = w.add_network(NetworkSpec::ethernet_100());
+        let wan = w.add_network(NetworkSpec::vthd_wan());
+        let lan2 = w.add_network(NetworkSpec::ethernet_100());
+        w.attach(a, lan1);
+        w.attach(g, lan1);
+        w.attach(g, wan);
+        w.attach(h, wan);
+        w.attach(h, lan2);
+        w.attach(b, lan2);
+        let routes = RouteTable::compute(&w);
+        let fabric = RelayFabric::new(routes, config);
+        for n in [a, g, h, b] {
+            fabric.attach(&mut w, n);
+        }
+        (w, fabric, [a, g, h, b])
+    }
+
+    #[test]
+    fn frame_crosses_two_gateways_and_is_accounted() {
+        let (mut w, fabric, [a, g, h, b]) = relay_world(RelayConfig::default());
+        let got: Rc<RefCell<Option<RelayedMessage>>> = Rc::new(RefCell::new(None));
+        let g2 = got.clone();
+        fabric.bind(&mut w, b, 9, move |_w, m| *g2.borrow_mut() = Some(m));
+        fabric.send(&mut w, a, b, 9, vec![7u8; 600]).unwrap();
+        w.run();
+        let msg = got.borrow().clone().expect("delivered");
+        assert_eq!(msg.src, a);
+        assert_eq!(msg.payload, vec![7u8; 600]);
+        assert_eq!(fabric.gateway_stats(g).frames_relayed, 1);
+        assert_eq!(fabric.gateway_stats(h).frames_relayed, 1);
+        assert_eq!(fabric.gateway_stats(g).bytes_relayed, 600);
+        assert_eq!(fabric.delivered_frames(), 1);
+        assert_eq!(fabric.total_dropped(), 0);
+        // TTL decremented once per gateway.
+        assert_eq!(msg.ttl_remaining, RelayConfig::default().ttl - 2);
+    }
+
+    #[test]
+    fn relay_latency_is_charged_per_hop() {
+        let (mut w, fabric, [a, _, _, b]) = relay_world(RelayConfig {
+            per_hop_latency: SimDuration::from_millis(5),
+            ..Default::default()
+        });
+        let at = Rc::new(Cell::new(simnet::SimTime::ZERO));
+        let a2 = at.clone();
+        fabric.bind(&mut w, b, 1, move |world, _m| a2.set(world.now()));
+        fabric.send(&mut w, a, b, 1, vec![0u8; 100]).unwrap();
+        w.run();
+        // Two gateways, 5 ms each, plus the 8 ms WAN latency at minimum.
+        assert!(
+            at.get() >= simnet::SimTime::from_millis(18),
+            "at {:?}",
+            at.get()
+        );
+    }
+
+    #[test]
+    fn bounded_queue_drops_overload() {
+        // Hold each frame for 1 ms at the gateway while arrivals are spaced
+        // ~18 µs apart on the access LAN, so the bounded queue overflows.
+        let (mut w, fabric, [a, g, _, b]) = relay_world(RelayConfig {
+            per_hop_latency: SimDuration::from_millis(1),
+            queue_capacity: 4,
+            ..Default::default()
+        });
+        let received = Rc::new(Cell::new(0u32));
+        let r = received.clone();
+        fabric.bind(&mut w, b, 2, move |_w, _m| r.set(r.get() + 1));
+        for _ in 0..32 {
+            fabric.send(&mut w, a, b, 2, vec![0u8; 200]).unwrap();
+        }
+        w.run();
+        let gs = fabric.gateway_stats(g);
+        assert!(
+            gs.frames_dropped_queue_full > 0,
+            "expected queue drops: {gs:?}"
+        );
+        assert_eq!(
+            gs.frames_relayed + gs.frames_dropped_queue_full,
+            32,
+            "every frame either relayed or dropped: {gs:?}"
+        );
+        assert_eq!(received.get() as u64, fabric.delivered_frames());
+        assert!(gs.max_queue_depth <= 4);
+    }
+
+    #[test]
+    fn no_route_is_reported() {
+        let mut w = SimWorld::new(0);
+        let a = w.add_node("a");
+        let b = w.add_node("b");
+        let lan = w.add_network(NetworkSpec::ethernet_100());
+        w.attach(a, lan);
+        let routes = RouteTable::compute(&w);
+        let fabric = RelayFabric::new(routes, RelayConfig::default());
+        fabric.attach(&mut w, a);
+        assert_eq!(
+            fabric.send(&mut w, a, b, 1, vec![1u8]),
+            Err(RelayError::NoRoute)
+        );
+    }
+
+    #[test]
+    fn oversized_payload_is_rejected_with_route_mtu() {
+        let (mut w, fabric, [a, _, _, b]) = relay_world(RelayConfig::default());
+        let max = fabric.max_payload(&w, a, b).unwrap();
+        assert_eq!(max, 1500 - RELAY_HEADER_BYTES);
+        let err = fabric
+            .send(&mut w, a, b, 1, vec![0u8; max + 1])
+            .unwrap_err();
+        assert_eq!(err, RelayError::TooLarge { size: max + 1, max });
+        // At the limit it goes through.
+        fabric.send(&mut w, a, b, 1, vec![0u8; max]).unwrap();
+    }
+
+    #[test]
+    fn local_send_delivers_without_networks() {
+        let (mut w, fabric, [a, ..]) = relay_world(RelayConfig::default());
+        let hits = Rc::new(Cell::new(0u32));
+        let h2 = hits.clone();
+        fabric.bind(&mut w, a, 5, move |_w, _m| h2.set(h2.get() + 1));
+        fabric.send(&mut w, a, a, 5, vec![0u8; 10]).unwrap();
+        w.run();
+        assert_eq!(hits.get(), 1);
+    }
+
+    #[test]
+    fn unbound_port_counts_unclaimed() {
+        let (mut w, fabric, [a, _, _, b]) = relay_world(RelayConfig::default());
+        fabric.send(&mut w, a, b, 42, vec![0u8; 10]).unwrap();
+        w.run();
+        assert_eq!(fabric.unclaimed_frames(), 1);
+        assert_eq!(fabric.delivered_frames(), 0);
+    }
+}

@@ -1,0 +1,447 @@
+//! Multi-hop route computation over the attachment graph of a
+//! [`SimWorld`].
+//!
+//! The seed simulator could only connect nodes that share a network
+//! fabric. Real grids are federations of clusters joined by WAN backbones,
+//! where most node pairs share *no* network and traffic must be relayed by
+//! gateway nodes that straddle several fabrics. This module computes, for
+//! every ordered node pair, the cheapest multi-hop route by Dijkstra over
+//! per-link costs, with fully deterministic tie-breaking so a given
+//! topology always yields bit-identical routing tables.
+
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashMap};
+
+use simnet::{NetworkClass, NetworkId, NodeId, SimDuration, SimWorld};
+
+/// Reference transfer size used to fold bandwidth into the link cost: the
+/// cost of a link is its latency plus the serialization time of this many
+/// bytes, plus a fixed per-hop relay penalty.
+const REFERENCE_BYTES: u64 = 1024;
+
+/// Fixed per-hop penalty (nanoseconds) so that, all else equal, routes
+/// with fewer store-and-forward hops win.
+const HOP_PENALTY_NS: u64 = 1_000;
+
+/// One step of a route: cross `network` to reach `node`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Hop {
+    /// The network fabric this step crosses.
+    pub network: NetworkId,
+    /// The node reached by this step (a gateway, or the final
+    /// destination on the last hop).
+    pub node: NodeId,
+}
+
+/// A complete route between two nodes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Route {
+    /// Source node.
+    pub src: NodeId,
+    /// Destination node.
+    pub dst: NodeId,
+    /// The hops, in order; the last hop's node is `dst`. Empty only when
+    /// `src == dst`.
+    pub hops: Vec<Hop>,
+}
+
+impl Route {
+    /// Number of networks the route crosses.
+    pub fn hop_count(&self) -> usize {
+        self.hops.len()
+    }
+
+    /// Whether the route needs at least one store-and-forward relay.
+    pub fn is_relayed(&self) -> bool {
+        self.hops.len() > 1
+    }
+
+    /// The first hop, if any.
+    pub fn first_hop(&self) -> Option<Hop> {
+        self.hops.first().copied()
+    }
+
+    /// The intermediate relay (gateway) nodes, excluding the endpoints.
+    pub fn relays(&self) -> Vec<NodeId> {
+        if self.hops.len() <= 1 {
+            return Vec::new();
+        }
+        self.hops[..self.hops.len() - 1]
+            .iter()
+            .map(|h| h.node)
+            .collect()
+    }
+}
+
+/// Aggregate characteristics of a route, for route-aware adapter
+/// selection.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PathInfo {
+    /// Number of networks crossed.
+    pub hop_count: usize,
+    /// Gateway nodes that store-and-forward along the way.
+    pub relays: Vec<NodeId>,
+    /// The networks crossed, in order.
+    pub networks: Vec<NetworkId>,
+    /// Sum of one-way link latencies along the path.
+    pub total_latency: SimDuration,
+    /// The narrowest link bandwidth along the path, bytes/second.
+    pub bottleneck_bytes_per_sec: f64,
+    /// The smallest MTU along the path.
+    pub min_mtu: usize,
+    /// The "most distributed" network class crossed (SAN < LAN < WAN <
+    /// Internet); selector policies for the whole path key off this.
+    pub worst_class: NetworkClass,
+    /// The additive route cost used by Dijkstra (nanosecond scale).
+    pub cost: u64,
+}
+
+/// Per-source shortest-path state used for deterministic tie-breaking:
+/// lower cost wins, then fewer hops, then the smaller (network, node)
+/// pair discovered the entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Entry {
+    cost: u64,
+    hops: u32,
+    network: u32,
+    node: u32,
+}
+
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the smallest entry pops
+        // first.
+        (other.cost, other.hops, other.network, other.node).cmp(&(
+            self.cost,
+            self.hops,
+            self.network,
+            self.node,
+        ))
+    }
+}
+
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// All-pairs next-hop routing tables for a world, computed by Dijkstra
+/// over per-link costs.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RouteTable {
+    /// `(src, dst) -> next hop` for every reachable ordered pair with
+    /// `src != dst`.
+    next: HashMap<(NodeId, NodeId), Hop>,
+    /// Total path cost per ordered pair.
+    cost: HashMap<(NodeId, NodeId), u64>,
+}
+
+/// Cost of crossing one network fabric, in nanoseconds.
+pub fn link_cost(world: &SimWorld, network: NetworkId) -> u64 {
+    let spec = &world.network(network).spec;
+    let latency_ns = spec.latency.as_nanos();
+    let ser_ns = spec.serialization(REFERENCE_BYTES).as_nanos();
+    latency_ns + ser_ns + HOP_PENALTY_NS
+}
+
+impl RouteTable {
+    /// Computes routes between every pair of nodes in `world`.
+    ///
+    /// Deterministic: the same topology (same creation order of nodes and
+    /// networks) always produces the same table, regardless of seed.
+    pub fn compute(world: &SimWorld) -> RouteTable {
+        let nodes = world.node_ids();
+        // Adjacency: node -> [(neighbour, network, link cost)], in
+        // (network, neighbour) order for determinism.
+        let mut adj: HashMap<NodeId, Vec<(NodeId, NetworkId, u64)>> = HashMap::new();
+        for net in world.network_ids() {
+            let cost = link_cost(world, net);
+            let members = world.network(net).members();
+            for &u in members {
+                for &v in members {
+                    if u != v {
+                        adj.entry(u).or_default().push((v, net, cost));
+                    }
+                }
+            }
+        }
+
+        let mut table = RouteTable::default();
+        for &src in &nodes {
+            let mut best: HashMap<NodeId, Entry> = HashMap::new();
+            // Predecessor hop on the best path: node -> (prev node, hop).
+            let mut prev: HashMap<NodeId, (NodeId, Hop)> = HashMap::new();
+            let mut heap: BinaryHeap<(Entry, NodeId)> = BinaryHeap::new();
+            let start = Entry {
+                cost: 0,
+                hops: 0,
+                network: 0,
+                node: src.0,
+            };
+            best.insert(src, start);
+            heap.push((start, src));
+
+            while let Some((entry, u)) = heap.pop() {
+                if best.get(&u) != Some(&entry) {
+                    continue; // stale heap entry
+                }
+                let Some(edges) = adj.get(&u) else { continue };
+                for &(v, net, link) in edges {
+                    let cand = Entry {
+                        cost: entry.cost + link,
+                        hops: entry.hops + 1,
+                        network: net.0,
+                        node: u.0,
+                    };
+                    let better = match best.get(&v) {
+                        None => true,
+                        Some(cur) => {
+                            (cand.cost, cand.hops, cand.network, cand.node)
+                                < (cur.cost, cur.hops, cur.network, cur.node)
+                        }
+                    };
+                    if better {
+                        best.insert(v, cand);
+                        prev.insert(
+                            v,
+                            (
+                                u,
+                                Hop {
+                                    network: net,
+                                    node: v,
+                                },
+                            ),
+                        );
+                        heap.push((cand, v));
+                    }
+                }
+            }
+
+            for (&dst, entry) in &best {
+                if dst == src {
+                    continue;
+                }
+                table.cost.insert((src, dst), entry.cost);
+                // Walk predecessors back to the first hop out of `src`.
+                let mut at = dst;
+                let mut first = None;
+                while at != src {
+                    let (p, hop) = prev[&at];
+                    first = Some(hop);
+                    at = p;
+                }
+                table
+                    .next
+                    .insert((src, dst), first.expect("non-src node has a predecessor"));
+            }
+        }
+        table
+    }
+
+    /// The next hop from `src` towards `dst`, if a route exists.
+    pub fn next_hop(&self, src: NodeId, dst: NodeId) -> Option<Hop> {
+        if src == dst {
+            return None;
+        }
+        self.next.get(&(src, dst)).copied()
+    }
+
+    /// Whether any route (direct or relayed) exists from `src` to `dst`.
+    pub fn reachable(&self, src: NodeId, dst: NodeId) -> bool {
+        src == dst || self.next.contains_key(&(src, dst))
+    }
+
+    /// The full route from `src` to `dst`, if reachable.
+    pub fn route(&self, src: NodeId, dst: NodeId) -> Option<Route> {
+        if src == dst {
+            return Some(Route {
+                src,
+                dst,
+                hops: Vec::new(),
+            });
+        }
+        let mut hops = Vec::new();
+        let mut at = src;
+        while at != dst {
+            let hop = self.next.get(&(at, dst)).copied()?;
+            hops.push(hop);
+            at = hop.node;
+            assert!(
+                hops.len() <= self.next.len() + 1,
+                "routing loop from {src} to {dst}"
+            );
+        }
+        Some(Route { src, dst, hops })
+    }
+
+    /// Aggregate path characteristics for the route from `src` to `dst`.
+    pub fn path_info(&self, world: &SimWorld, src: NodeId, dst: NodeId) -> Option<PathInfo> {
+        let route = self.route(src, dst)?;
+        let mut total_latency = SimDuration::ZERO;
+        let mut bottleneck = f64::INFINITY;
+        let mut min_mtu = usize::MAX;
+        let mut worst = NetworkClass::Loopback;
+        let mut networks = Vec::with_capacity(route.hops.len());
+        for hop in &route.hops {
+            let spec = &world.network(hop.network).spec;
+            total_latency += spec.latency;
+            bottleneck = bottleneck.min(spec.bytes_per_sec);
+            min_mtu = min_mtu.min(spec.mtu);
+            worst = worst.max(spec.class);
+            networks.push(hop.network);
+        }
+        if route.hops.is_empty() {
+            bottleneck = f64::INFINITY;
+            min_mtu = usize::MAX;
+        }
+        Some(PathInfo {
+            hop_count: route.hop_count(),
+            relays: route.relays(),
+            networks,
+            total_latency,
+            bottleneck_bytes_per_sec: bottleneck,
+            min_mtu,
+            worst_class: worst,
+            cost: self.cost.get(&(src, dst)).copied().unwrap_or(0),
+        })
+    }
+
+    /// Number of ordered, distinct reachable pairs in the table.
+    pub fn reachable_pairs(&self) -> usize {
+        self.next.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simnet::NetworkSpec;
+
+    /// a —eth— g —wan— h —eth— b : classic two-gateway chain.
+    fn chain_world() -> (SimWorld, [NodeId; 4], [NetworkId; 3]) {
+        let mut w = SimWorld::new(1);
+        let a = w.add_node("a");
+        let g = w.add_node("g");
+        let h = w.add_node("h");
+        let b = w.add_node("b");
+        let lan1 = w.add_network(NetworkSpec::ethernet_100());
+        let wan = w.add_network(NetworkSpec::vthd_wan());
+        let lan2 = w.add_network(NetworkSpec::ethernet_100());
+        w.attach(a, lan1);
+        w.attach(g, lan1);
+        w.attach(g, wan);
+        w.attach(h, wan);
+        w.attach(h, lan2);
+        w.attach(b, lan2);
+        (w, [a, g, h, b], [lan1, wan, lan2])
+    }
+
+    #[test]
+    fn direct_pair_routes_in_one_hop() {
+        let (w, [a, g, ..], [lan1, ..]) = chain_world();
+        let t = RouteTable::compute(&w);
+        let r = t.route(a, g).unwrap();
+        assert_eq!(
+            r.hops,
+            vec![Hop {
+                network: lan1,
+                node: g
+            }]
+        );
+        assert!(!r.is_relayed());
+    }
+
+    #[test]
+    fn disjoint_endpoints_route_through_both_gateways() {
+        let (w, [a, g, h, b], [lan1, wan, lan2]) = chain_world();
+        let t = RouteTable::compute(&w);
+        let r = t.route(a, b).unwrap();
+        assert_eq!(
+            r.hops,
+            vec![
+                Hop {
+                    network: lan1,
+                    node: g
+                },
+                Hop {
+                    network: wan,
+                    node: h
+                },
+                Hop {
+                    network: lan2,
+                    node: b
+                },
+            ]
+        );
+        assert!(r.is_relayed());
+        assert_eq!(r.relays(), vec![g, h]);
+        let info = t.path_info(&w, a, b).unwrap();
+        assert_eq!(info.hop_count, 3);
+        assert_eq!(info.worst_class, NetworkClass::Wan);
+        assert_eq!(info.min_mtu, 1500);
+        assert_eq!(info.bottleneck_bytes_per_sec, 12.5e6);
+    }
+
+    #[test]
+    fn self_route_is_empty() {
+        let (w, [a, ..], _) = chain_world();
+        let t = RouteTable::compute(&w);
+        let r = t.route(a, a).unwrap();
+        assert!(r.hops.is_empty());
+        assert!(t.reachable(a, a));
+    }
+
+    #[test]
+    fn unreachable_island_has_no_route() {
+        let mut w = SimWorld::new(0);
+        let a = w.add_node("a");
+        let b = w.add_node("b");
+        let lan = w.add_network(NetworkSpec::ethernet_100());
+        w.attach(a, lan);
+        // b attached nowhere.
+        let t = RouteTable::compute(&w);
+        assert!(t.route(a, b).is_none());
+        assert!(!t.reachable(a, b));
+    }
+
+    #[test]
+    fn faster_network_wins_between_parallel_links() {
+        let mut w = SimWorld::new(0);
+        let a = w.add_node("a");
+        let b = w.add_node("b");
+        let san = w.add_network(NetworkSpec::myrinet_2000());
+        let lan = w.add_network(NetworkSpec::ethernet_100());
+        for n in [a, b] {
+            w.attach(n, san);
+            w.attach(n, lan);
+        }
+        let t = RouteTable::compute(&w);
+        assert_eq!(t.route(a, b).unwrap().hops[0].network, san);
+    }
+
+    #[test]
+    fn equal_cost_ties_break_on_lower_network_id() {
+        let mut w = SimWorld::new(0);
+        let a = w.add_node("a");
+        let b = w.add_node("b");
+        let n1 = w.add_network(NetworkSpec::ethernet_100());
+        let n2 = w.add_network(NetworkSpec::ethernet_100());
+        for n in [a, b] {
+            w.attach(n, n1);
+            w.attach(n, n2);
+        }
+        let t = RouteTable::compute(&w);
+        assert_eq!(t.route(a, b).unwrap().hops[0].network, n1);
+    }
+
+    #[test]
+    fn recomputation_is_deterministic() {
+        let (w, _, _) = chain_world();
+        let t1 = RouteTable::compute(&w);
+        let t2 = RouteTable::compute(&w);
+        assert_eq!(t1, t2);
+        let (w2, _, _) = chain_world();
+        assert_eq!(t1, RouteTable::compute(&w2));
+    }
+}

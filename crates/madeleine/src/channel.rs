@@ -149,7 +149,11 @@ impl Madeleine {
                 node,
                 network,
                 config,
-                hw_channels: if hw_channels == 0 { u8::MAX } else { hw_channels },
+                hw_channels: if hw_channels == 0 {
+                    u8::MAX
+                } else {
+                    hw_channels
+                },
                 channels: HashMap::new(),
                 next_channel_id: 0,
                 send_cpu_free: simnet::SimTime::ZERO,
@@ -358,7 +362,8 @@ impl MadChannel {
 
     /// Starts unpacking the next received message, if any.
     pub fn begin_unpacking(&self) -> Option<UnpackHandle> {
-        self.poll_message().map(|message| UnpackHandle { message, next: 0 })
+        self.poll_message()
+            .map(|message| UnpackHandle { message, next: 0 })
     }
 
     /// Number of messages waiting to be unpacked.
@@ -492,13 +497,8 @@ impl PackHandle<'_> {
                 let mut st = channel.state.borrow_mut();
                 let id = st.next_rendezvous_id;
                 st.next_rendezvous_id += 1;
-                st.pending_rendezvous.insert(
-                    id,
-                    PendingRendezvous {
-                        dst_rank,
-                        segments,
-                    },
-                );
+                st.pending_rendezvous
+                    .insert(id, PendingRendezvous { dst_rank, segments });
                 id
             };
             let request = WireMessage {
@@ -601,7 +601,10 @@ mod tests {
         assert_eq!(up.src_rank(), 0);
         assert_eq!(up.remaining(), 2);
         assert_eq!(&up.unpack(RecvMode::Express).unwrap()[..], b"hdr");
-        assert_eq!(&up.unpack(RecvMode::Cheaper).unwrap()[..], b"payload-payload");
+        assert_eq!(
+            &up.unpack(RecvMode::Cheaper).unwrap()[..],
+            b"payload-payload"
+        );
         assert!(up.unpack(RecvMode::Cheaper).is_none());
     }
 

@@ -60,13 +60,13 @@ impl IdlValue {
 }
 
 fn align(buf: &mut BytesMut, to: usize) {
-    while buf.len() % to != 0 {
+    while !buf.len().is_multiple_of(to) {
         buf.put_u8(0);
     }
 }
 
 fn skip_align(buf: &mut Bytes, consumed: &mut usize, to: usize) {
-    while *consumed % to != 0 && buf.has_remaining() {
+    while !(*consumed).is_multiple_of(to) && buf.has_remaining() {
         buf.advance(1);
         *consumed += 1;
     }
@@ -234,7 +234,12 @@ impl OrbImpl {
 
     /// All modelled implementations (used by the Figure 3 sweep).
     pub fn all() -> [OrbImpl; 4] {
-        [OrbImpl::OmniOrb3, OrbImpl::OmniOrb4, OrbImpl::Mico, OrbImpl::Orbacus]
+        [
+            OrbImpl::OmniOrb3,
+            OrbImpl::OmniOrb4,
+            OrbImpl::Mico,
+            OrbImpl::Orbacus,
+        ]
     }
 
     /// Display name.
@@ -447,7 +452,12 @@ impl Orb {
     }
 
     fn connection_to(&self, world: &mut SimWorld, node: NodeId, service: u16) -> Rc<OrbConnection> {
-        let existing = self.inner.borrow().connections.get(&(node, service)).cloned();
+        let existing = self
+            .inner
+            .borrow()
+            .connections
+            .get(&(node, service))
+            .cloned();
         if let Some(c) = existing {
             return c;
         }
@@ -505,7 +515,14 @@ impl Orb {
                     let orb = self.clone();
                     let conn = conn.clone();
                     world.schedule_after(cost, move |world| {
-                        orb.serve(world, &conn, msg.request_id, &msg.object_key, &msg.operation, msg.body);
+                        orb.serve(
+                            world,
+                            &conn,
+                            msg.request_id,
+                            &msg.object_key,
+                            &msg.operation,
+                            msg.body,
+                        );
                     });
                 }
                 MSG_REPLY => {
@@ -650,13 +667,19 @@ mod tests {
         let objref = client.object_ref(nodes[1], 1060, "ghost");
         let got = Rc::new(Cell::new(false));
         let g = got.clone();
-        client.invoke(&mut world, &objref, "poke", IdlValue::Void, move |_w, reply| {
-            match reply {
-                IdlValue::Str(s) => assert!(s.contains("OBJECT_NOT_EXIST")),
-                other => panic!("unexpected reply {other:?}"),
-            }
-            g.set(true);
-        });
+        client.invoke(
+            &mut world,
+            &objref,
+            "poke",
+            IdlValue::Void,
+            move |_w, reply| {
+                match reply {
+                    IdlValue::Str(s) => assert!(s.contains("OBJECT_NOT_EXIST")),
+                    other => panic!("unexpected reply {other:?}"),
+                }
+                g.set(true);
+            },
+        );
         world.run();
         assert!(got.get());
     }
@@ -706,10 +729,16 @@ mod tests {
         for (service, key) in [(1080u16, "echo"), (1081u16, "echo2")] {
             let objref = client.object_ref(nodes[1], service, key);
             let h = hits.clone();
-            client.invoke(&mut world, &objref, "ping", IdlValue::Long(1), move |_w, reply| {
-                assert_eq!(reply, IdlValue::Long(1));
-                h.set(h.get() + 1);
-            });
+            client.invoke(
+                &mut world,
+                &objref,
+                "ping",
+                IdlValue::Long(1),
+                move |_w, reply| {
+                    assert_eq!(reply, IdlValue::Long(1));
+                    h.set(h.get() + 1);
+                },
+            );
         }
         world.run();
         assert_eq!(hits.get(), 2);

@@ -152,7 +152,11 @@ mod tests {
 
     #[test]
     fn zero_copy_engines_have_negligible_per_byte_cost() {
-        for c in [MiddlewareCost::mpich(), MiddlewareCost::omniorb4(), MiddlewareCost::java_sockets()] {
+        for c in [
+            MiddlewareCost::mpich(),
+            MiddlewareCost::omniorb4(),
+            MiddlewareCost::java_sockets(),
+        ] {
             let per_mb = c.send_cost(1_000_000) - c.send_overhead;
             assert!(per_mb.as_millis_f64() < 0.1, "{} copies too much", c.name);
         }
@@ -160,9 +164,10 @@ mod tests {
 
     #[test]
     fn copying_orbs_are_ranked_mico_slowest() {
-        let mico = MiddlewareCost::mico().send_cost(100_000) + MiddlewareCost::mico().recv_cost(100_000);
-        let orbacus =
-            MiddlewareCost::orbacus().send_cost(100_000) + MiddlewareCost::orbacus().recv_cost(100_000);
+        let mico =
+            MiddlewareCost::mico().send_cost(100_000) + MiddlewareCost::mico().recv_cost(100_000);
+        let orbacus = MiddlewareCost::orbacus().send_cost(100_000)
+            + MiddlewareCost::orbacus().recv_cost(100_000);
         let omni = MiddlewareCost::omniorb4().send_cost(100_000)
             + MiddlewareCost::omniorb4().recv_cost(100_000);
         assert!(mico > orbacus);

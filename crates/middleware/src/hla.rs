@@ -160,7 +160,9 @@ impl RtiGateway {
             .filter(|f| f.borrow().regulating)
             .map(|f| {
                 let f = f.borrow();
-                f.pending_request.unwrap_or(f.current_time).max(f.current_time)
+                f.pending_request
+                    .unwrap_or(f.current_time)
+                    .max(f.current_time)
             })
             .fold(f64::INFINITY, f64::min);
         for fed in &feds {
@@ -263,7 +265,8 @@ impl Federate {
 
     /// Requests a time advance to `t`.
     pub fn request_time_advance(&self, world: &mut SimWorld, t: f64) {
-        self.vlink.post_write(world, &frame(&["ADVANCE", &t.to_string()]));
+        self.vlink
+            .post_write(world, &frame(&["ADVANCE", &t.to_string()]));
     }
 
     /// Registers the callback for reflected attribute updates.
@@ -338,12 +341,8 @@ mod tests {
 
     fn federation() -> (SimWorld, RtiGateway, Federate, Federate) {
         let mut world = SimWorld::new(111);
-        let cluster = topology::build_san_cluster(
-            &mut world,
-            "n",
-            3,
-            simnet::NetworkSpec::myrinet_2000(),
-        );
+        let cluster =
+            topology::build_san_cluster(&mut world, "n", 3, simnet::NetworkSpec::myrinet_2000());
         let rts = runtimes_for_cluster(
             &mut world,
             cluster.san.unwrap(),
@@ -397,7 +396,11 @@ mod tests {
         // f1 asks for 5.0 but f2 (regulating) has not advanced yet: no grant.
         f1.request_time_advance(&mut world, 5.0);
         world.run();
-        assert_eq!(granted1.get(), -1.0, "grant must wait for the other regulating federate");
+        assert_eq!(
+            granted1.get(),
+            -1.0,
+            "grant must wait for the other regulating federate"
+        );
         // Once f2 requests a greater-or-equal time, both can be granted.
         f2.request_time_advance(&mut world, 5.0);
         world.run();

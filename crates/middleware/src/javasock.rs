@@ -88,6 +88,7 @@ impl JavaSocket {
         use std::cell::RefCell;
         let vlink = self.vlink.clone();
         let recv_overhead = self.cost.recv_overhead;
+        #[allow(clippy::type_complexity)]
         let cb: Rc<RefCell<Box<dyn FnMut(&mut SimWorld, Vec<u8>)>>> =
             Rc::new(RefCell::new(Box::new(cb)));
         self.vlink.set_handler(move |world, event| {

@@ -210,7 +210,9 @@ impl MpiComm {
             // Gather empty messages from everyone, then release them.
             let remaining = Rc::new(RefCell::new(size - 1));
             let comm = self.clone();
-            let done = Rc::new(RefCell::new(Some(Box::new(done) as Box<dyn FnOnce(&mut SimWorld)>)));
+            let done = Rc::new(RefCell::new(Some(
+                Box::new(done) as Box<dyn FnOnce(&mut SimWorld)>
+            )));
             for _ in 1..size {
                 let remaining = remaining.clone();
                 let comm2 = comm.clone();
@@ -341,8 +343,7 @@ impl MpiComm {
         let size = self.size();
         let rank = self.rank();
         if rank == root {
-            let slots: Rc<RefCell<Vec<Option<Vec<u8>>>>> =
-                Rc::new(RefCell::new(vec![None; size]));
+            let slots: Rc<RefCell<Vec<Option<Vec<u8>>>>> = Rc::new(RefCell::new(vec![None; size]));
             slots.borrow_mut()[root] = Some(data);
             let remaining = Rc::new(RefCell::new(size - 1));
             let done = Rc::new(RefCell::new(Some(
@@ -442,7 +443,9 @@ mod tests {
         let count = Rc::new(Cell::new(0));
         for _ in 0..2 {
             let c = count.clone();
-            comms[0].recv(&mut world, ANY_SOURCE, ANY_TAG, move |_w, _m| c.set(c.get() + 1));
+            comms[0].recv(&mut world, ANY_SOURCE, ANY_TAG, move |_w, _m| {
+                c.set(c.get() + 1)
+            });
         }
         comms[1].send(&mut world, 0, 11, b"from 1");
         comms[2].send(&mut world, 0, 22, b"from 2");
@@ -491,7 +494,11 @@ mod tests {
         let results = Rc::new(RefCell::new(vec![Vec::new(); 3]));
         for (i, comm) in comms.iter().enumerate() {
             let r = results.clone();
-            let data = if i == 1 { Some(b"broadcast!".to_vec()) } else { None };
+            let data = if i == 1 {
+                Some(b"broadcast!".to_vec())
+            } else {
+                None
+            };
             comm.bcast(&mut world, 1, data, move |_w, buf| {
                 r.borrow_mut()[i] = buf;
             });

@@ -50,20 +50,34 @@ impl SoapCall {
 }
 
 fn xml_escape(s: &str) -> String {
-    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
 }
 
 fn xml_unescape(s: &str) -> String {
-    s.replace("&lt;", "<").replace("&gt;", ">").replace("&amp;", "&")
+    s.replace("&lt;", "<")
+        .replace("&gt;", ">")
+        .replace("&amp;", "&")
 }
 
 /// Serializes a call (or response) into an envelope.
 pub fn encode_envelope(kind: &str, id: u64, call: &SoapCall) -> String {
     let mut body = String::new();
     body.push_str("<?xml version=\"1.0\"?>\n<Envelope><Body>");
-    body.push_str(&format!("<{} id=\"{}\" method=\"{}\">", kind, id, xml_escape(&call.method)));
+    body.push_str(&format!(
+        "<{} id=\"{}\" method=\"{}\">",
+        kind,
+        id,
+        xml_escape(&call.method)
+    ));
     for (name, value) in &call.params {
-        body.push_str(&format!("<{}>{}</{}>", xml_escape(name), xml_escape(value), xml_escape(name)));
+        body.push_str(&format!(
+            "<{}>{}</{}>",
+            xml_escape(name),
+            xml_escape(value),
+            xml_escape(name)
+        ));
     }
     body.push_str(&format!("</{kind}></Body></Envelope>"));
     body
@@ -188,7 +202,13 @@ impl SoapEndpoint {
     }
 
     fn connection_to(&self, world: &mut SimWorld, node: NodeId, service: u16) -> Rc<Conn> {
-        if let Some(c) = self.inner.borrow().connections.get(&(node, service)).cloned() {
+        if let Some(c) = self
+            .inner
+            .borrow()
+            .connections
+            .get(&(node, service))
+            .cloned()
+        {
             return c;
         }
         let runtime = self.inner.borrow().runtime.clone();

@@ -189,12 +189,7 @@ impl NetAccessCore {
     }
 
     /// Enqueues a dispatch for `subsystem` and makes sure the loop runs.
-    pub(crate) fn enqueue(
-        &self,
-        world: &mut SimWorld,
-        subsystem: Subsystem,
-        event: PendingEvent,
-    ) {
+    pub(crate) fn enqueue(&self, world: &mut SimWorld, subsystem: Subsystem, event: PendingEvent) {
         {
             let mut inner = self.inner.borrow_mut();
             match subsystem {
@@ -244,10 +239,8 @@ impl NetAccessCore {
                 false
             } else if sysio_empty {
                 true
-            } else if inner.round_budget.0 > 0 {
-                true
             } else {
-                false
+                inner.round_budget.0 > 0
             };
             if pick_madio {
                 inner.round_budget.0 = inner.round_budget.0.saturating_sub(1);
@@ -309,9 +302,17 @@ mod tests {
         let log = Rc::new(StdRefCell::new(Vec::new()));
         for _ in 0..10 {
             let l = log.clone();
-            core.enqueue(&mut world, Subsystem::MadIO, Box::new(move |_w| l.borrow_mut().push('m')));
+            core.enqueue(
+                &mut world,
+                Subsystem::MadIO,
+                Box::new(move |_w| l.borrow_mut().push('m')),
+            );
             let l = log.clone();
-            core.enqueue(&mut world, Subsystem::SysIO, Box::new(move |_w| l.borrow_mut().push('s')));
+            core.enqueue(
+                &mut world,
+                Subsystem::SysIO,
+                Box::new(move |_w| l.borrow_mut().push('s')),
+            );
         }
         world.run();
         let log = log.borrow();
@@ -337,9 +338,17 @@ mod tests {
         let log = Rc::new(StdRefCell::new(Vec::new()));
         for _ in 0..8 {
             let l = log.clone();
-            core.enqueue(&mut world, Subsystem::MadIO, Box::new(move |_w| l.borrow_mut().push('m')));
+            core.enqueue(
+                &mut world,
+                Subsystem::MadIO,
+                Box::new(move |_w| l.borrow_mut().push('m')),
+            );
             let l = log.clone();
-            core.enqueue(&mut world, Subsystem::SysIO, Box::new(move |_w| l.borrow_mut().push('s')));
+            core.enqueue(
+                &mut world,
+                Subsystem::SysIO,
+                Box::new(move |_w| l.borrow_mut().push('s')),
+            );
         }
         world.run();
         let log = log.borrow();
@@ -377,12 +386,20 @@ mod tests {
         let (mut world, core) = make_core();
         let hits = Rc::new(StdRefCell::new(0));
         let h = hits.clone();
-        core.enqueue(&mut world, Subsystem::SysIO, Box::new(move |_w| *h.borrow_mut() += 1));
+        core.enqueue(
+            &mut world,
+            Subsystem::SysIO,
+            Box::new(move |_w| *h.borrow_mut() += 1),
+        );
         world.run();
         assert_eq!(*hits.borrow(), 1);
         assert!(core.stats().idle_transitions >= 1);
         let h = hits.clone();
-        core.enqueue(&mut world, Subsystem::SysIO, Box::new(move |_w| *h.borrow_mut() += 1));
+        core.enqueue(
+            &mut world,
+            Subsystem::SysIO,
+            Box::new(move |_w| *h.borrow_mut() += 1),
+        );
         world.run();
         assert_eq!(*hits.borrow(), 2);
     }

@@ -101,7 +101,13 @@ mod tests {
 
     /// Builds the paper's test platform (2 nodes, Myrinet + Ethernet) with
     /// NetAccess up on both nodes.
-    fn platform() -> (SimWorld, Vec<NetAccess>, simnet::NetworkId, simnet::NetworkId, Vec<NodeId>) {
+    fn platform() -> (
+        SimWorld,
+        Vec<NetAccess>,
+        simnet::NetworkId,
+        simnet::NetworkId,
+        Vec<NodeId>,
+    ) {
         let p = topology::san_pair(77);
         let mut world = p.world;
         let nodes = vec![p.a, p.b];
@@ -118,12 +124,14 @@ mod tests {
         // Middleware 1: message over MadIO (the SAN).
         let got_mad = Rc::new(Cell::new(false));
         let g = got_mad.clone();
-        na[1].madio()
+        na[1]
+            .madio()
             .register(&mut world, MadIOTag::user(1), move |_w, m| {
                 assert_eq!(m.concat(), b"mpi-like traffic");
                 g.set(true);
             });
-        na[0].madio()
+        na[0]
+            .madio()
             .send_bytes(&mut world, 1, MadIOTag::user(1), &b"mpi-like traffic"[..]);
 
         // Middleware 2: stream over SysIO (the LAN), concurrently.

@@ -108,7 +108,11 @@ impl SysIO {
                 world,
                 Subsystem::SysIO,
                 Box::new(move |world| {
-                    (on_accept.borrow_mut())(world, conn);
+                    (on_accept.borrow_mut())(world, conn.clone());
+                    // Data that arrived between the TCP-level accept and
+                    // this deferred dispatch predates the readable callback
+                    // the application just installed; re-announce it.
+                    conn.announce_readable(world);
                 }),
             );
         })

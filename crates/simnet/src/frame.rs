@@ -26,6 +26,9 @@ impl ProtoId {
     pub const MADELEINE: ProtoId = ProtoId(3);
     /// VRP (Variable Reliability Protocol) frames.
     pub const VRP: ProtoId = ProtoId(4);
+    /// Encapsulated multi-hop relay frames (gateway store-and-forward,
+    /// see the `gridtopo` crate).
+    pub const RELAY: ProtoId = ProtoId(5);
     /// First tag available for user/test protocols.
     pub const USER_BASE: ProtoId = ProtoId(1000);
 
@@ -86,7 +89,8 @@ mod tests {
 
     #[test]
     fn wire_bytes_accounts_headers() {
-        let f = Frame::new(NodeId(0), NodeId(1), ProtoId::TCP, vec![0u8; 100]).with_header_bytes(40);
+        let f =
+            Frame::new(NodeId(0), NodeId(1), ProtoId::TCP, vec![0u8; 100]).with_header_bytes(40);
         assert_eq!(f.payload_len(), 100);
         assert_eq!(f.wire_bytes(), 140);
     }

@@ -10,9 +10,10 @@ use crate::rng::SimRng;
 
 /// A packet-loss model. The model is stateful (Gilbert–Elliott keeps its
 /// current channel state) and is owned by the network that applies it.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub enum LossModel {
     /// No loss at all (SAN, loopback, switched LAN).
+    #[default]
     None,
     /// Independent per-frame loss with the given probability.
     Bernoulli {
@@ -48,7 +49,10 @@ pub enum LossModel {
 impl LossModel {
     /// Bernoulli loss with probability `p`.
     pub fn bernoulli(p: f64) -> Self {
-        assert!((0.0..=1.0).contains(&p), "loss probability must be in [0,1]");
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "loss probability must be in [0,1]"
+        );
         LossModel::Bernoulli { p }
     }
 
@@ -135,12 +139,6 @@ impl LossModel {
             }
             LossModel::Periodic { period, .. } => 1.0 / *period as f64,
         }
-    }
-}
-
-impl Default for LossModel {
-    fn default() -> Self {
-        LossModel::None
     }
 }
 

@@ -77,12 +77,18 @@ impl Network {
 
     /// Instant at which `node`'s transmit port becomes free.
     pub fn tx_free_at(&self, node: NodeId) -> SimTime {
-        self.tx_busy_until.get(&node).copied().unwrap_or(SimTime::ZERO)
+        self.tx_busy_until
+            .get(&node)
+            .copied()
+            .unwrap_or(SimTime::ZERO)
     }
 
     /// Instant at which `node`'s receive port becomes free.
     pub fn rx_free_at(&self, node: NodeId) -> SimTime {
-        self.rx_busy_until.get(&node).copied().unwrap_or(SimTime::ZERO)
+        self.rx_busy_until
+            .get(&node)
+            .copied()
+            .unwrap_or(SimTime::ZERO)
     }
 
     pub(crate) fn set_tx_busy_until(&mut self, node: NodeId, t: SimTime) {
@@ -120,7 +126,10 @@ impl std::fmt::Display for SendError {
                 write!(f, "destination node is not attached to the network")
             }
             SendError::FrameTooLarge { size, mtu } => {
-                write!(f, "frame payload of {size} bytes exceeds the MTU of {mtu} bytes")
+                write!(
+                    f,
+                    "frame payload of {size} bytes exceeds the MTU of {mtu} bytes"
+                )
             }
             SendError::NoSuchNetwork => write!(f, "no such network"),
         }

@@ -3,32 +3,70 @@
 //! Every source of randomness in a simulation comes from one seeded
 //! generator owned by the [`crate::world::SimWorld`], so a given seed always
 //! reproduces the exact same run.
+//!
+//! The generator is a self-contained xoshiro256++ (seeded through
+//! SplitMix64), so the simulator has no external dependencies and the
+//! stream is stable across toolchain upgrades — bit-for-bit reproducibility
+//! is part of the crate's contract.
 
-use rand::rngs::StdRng;
-use rand::{Rng, RngCore, SeedableRng};
-
-/// The simulator's random number generator (a seeded `StdRng`).
+/// The simulator's random number generator (xoshiro256++, seeded via
+/// SplitMix64).
 #[derive(Debug, Clone)]
 pub struct SimRng {
-    inner: StdRng,
+    state: [u64; 4],
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 impl SimRng {
     /// Creates a generator from a 64-bit seed.
     pub fn seeded(seed: u64) -> Self {
+        let mut sm = seed;
         SimRng {
-            inner: StdRng::seed_from_u64(seed),
+            state: [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ],
         }
+    }
+
+    /// Next raw 64-bit output (xoshiro256++).
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.state;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
     }
 
     /// Returns `true` with probability `p`.
     pub fn gen_bool(&mut self, p: f64) -> bool {
-        self.inner.gen_bool(p.clamp(0.0, 1.0))
+        let p = p.clamp(0.0, 1.0);
+        if p <= 0.0 {
+            // Keep the stream position consistent with the p > 0 path.
+            let _ = self.next_u64();
+            return false;
+        }
+        self.gen_unit() < p
     }
 
     /// Uniform value in `[0, 1)`.
     pub fn gen_unit(&mut self) -> f64 {
-        self.inner.gen::<f64>()
+        // 53 random mantissa bits.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// Uniform integer in `[lo, hi)`.
@@ -36,13 +74,17 @@ impl SimRng {
         if hi <= lo {
             return lo;
         }
-        self.inner.gen_range(lo..hi)
+        let span = hi - lo;
+        // Lemire's multiply-shift; the modulo bias over a u64 draw is
+        // negligible for simulation purposes.
+        let hi128 = (self.next_u64() as u128 * span as u128) >> 64;
+        lo + hi128 as u64
     }
 
     /// Derives an independent generator from this one (for components that
     /// need their own stream without perturbing the world's).
     pub fn fork(&mut self) -> SimRng {
-        SimRng::seeded(self.inner.next_u64())
+        SimRng::seeded(self.next_u64())
     }
 }
 
@@ -83,5 +125,22 @@ mod tests {
         let mut fa = a.fork();
         let mut fb = b.fork();
         assert_eq!(fa.gen_range(0, 1000), fb.gen_range(0, 1000));
+    }
+
+    #[test]
+    fn unit_draws_are_roughly_uniform() {
+        let mut rng = SimRng::seeded(4242);
+        let n = 100_000;
+        let mean = (0..n).map(|_| rng.gen_unit()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean was {mean}");
+    }
+
+    #[test]
+    fn gen_bool_matches_probability() {
+        let mut rng = SimRng::seeded(7);
+        let n = 50_000;
+        let hits = (0..n).filter(|_| rng.gen_bool(0.3)).count();
+        let rate = hits as f64 / n as f64;
+        assert!((rate - 0.3).abs() < 0.02, "rate was {rate}");
     }
 }

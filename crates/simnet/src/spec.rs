@@ -72,14 +72,22 @@ pub struct NetworkSpec {
 impl NetworkSpec {
     /// Serialization time of `wire_bytes` on this network's access link.
     pub fn serialization(&self, wire_bytes: u64) -> SimDuration {
-        SimDuration::for_transfer(wire_bytes + self.link_header_bytes as u64, self.bytes_per_sec)
+        SimDuration::for_transfer(
+            wire_bytes + self.link_header_bytes as u64,
+            self.bytes_per_sec,
+        )
     }
 
     /// Composes this spec with a further hop, producing the end-to-end
     /// logical path used when a route crosses several networks (e.g.
     /// Ethernet access link into a WAN core): bandwidth is the bottleneck,
     /// latencies add, loss combines, the MTU is the smallest.
-    pub fn compose(&self, next: &NetworkSpec, name: impl Into<String>, class: NetworkClass) -> NetworkSpec {
+    pub fn compose(
+        &self,
+        next: &NetworkSpec,
+        name: impl Into<String>,
+        class: NetworkClass,
+    ) -> NetworkSpec {
         let p1 = self.loss.mean_loss();
         let p2 = next.loss.mean_loss();
         let combined_loss = 1.0 - (1.0 - p1) * (1.0 - p2);

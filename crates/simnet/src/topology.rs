@@ -43,7 +43,12 @@ impl Cluster {
 
 /// Builds a cluster of `n` nodes attached to both a SAN (given spec) and an
 /// Ethernet-100 LAN.
-pub fn build_san_cluster(world: &mut SimWorld, name: &str, n: usize, san_spec: NetworkSpec) -> Cluster {
+pub fn build_san_cluster(
+    world: &mut SimWorld,
+    name: &str,
+    n: usize,
+    san_spec: NetworkSpec,
+) -> Cluster {
     let san = world.add_network(san_spec);
     let lan = world.add_network(NetworkSpec::ethernet_100());
     let mut nodes = Vec::with_capacity(n);
@@ -124,7 +129,12 @@ pub fn pair_over(seed: u64, spec: NetworkSpec) -> Pair {
     let network = world.add_network(spec);
     world.attach(a, network);
     world.attach(b, network);
-    Pair { world, a, b, network }
+    Pair {
+        world,
+        a,
+        b,
+        network,
+    }
 }
 
 /// Two hosts at either end of the VTHD WAN (Ethernet-100 access links).
@@ -199,7 +209,7 @@ mod tests {
     #[test]
     fn lan_cluster_has_no_san() {
         let mut world = SimWorld::new(0);
-        let c = build_lan_cluster(&mut world, "x", 3, );
+        let c = build_lan_cluster(&mut world, "x", 3);
         assert!(c.san.is_none());
         assert_eq!(c.len(), 3);
         assert!(!c.is_empty());

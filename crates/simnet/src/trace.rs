@@ -72,7 +72,10 @@ impl Trace {
     }
 
     /// Records whose category matches.
-    pub fn by_category<'a>(&'a self, category: &'a str) -> impl Iterator<Item = &'a TraceRecord> + 'a {
+    pub fn by_category<'a>(
+        &'a self,
+        category: &'a str,
+    ) -> impl Iterator<Item = &'a TraceRecord> + 'a {
         self.records.iter().filter(move |r| r.category == category)
     }
 

@@ -240,6 +240,11 @@ impl SimWorld {
         self.networks.len()
     }
 
+    /// All network ids, in creation order.
+    pub fn network_ids(&self) -> Vec<NetworkId> {
+        self.networks.iter().map(|n| n.id).collect()
+    }
+
     /// All networks to which both `a` and `b` are attached, in creation
     /// order. This is what the PadicoTM selector inspects to choose an
     /// adapter for a link.
@@ -247,6 +252,18 @@ impl SimWorld {
         self.networks
             .iter()
             .filter(|n| n.is_attached(a) && n.is_attached(b))
+            .map(|n| n.id)
+            .collect()
+    }
+
+    /// All networks `node` is attached to, in creation order. Together with
+    /// [`Network::members`] this exposes the full attachment graph, which
+    /// is what the `gridtopo` routing layer walks to compute multi-hop
+    /// routes.
+    pub fn networks_of(&self, node: NodeId) -> Vec<NetworkId> {
+        self.networks
+            .iter()
+            .filter(|n| n.is_attached(node))
             .map(|n| n.id)
             .collect()
     }
@@ -372,10 +389,7 @@ impl SimWorld {
             None => {
                 self.networks[network.index()].stats.frames_unclaimed += 1;
                 if self.trace.is_enabled() {
-                    let msg = format!(
-                        "unclaimed frame at {} proto={}",
-                        frame.dst, frame.proto.0
-                    );
+                    let msg = format!("unclaimed frame at {} proto={}", frame.dst, frame.proto.0);
                     self.trace.record(self.clock, "net", msg);
                 }
             }
@@ -468,10 +482,8 @@ mod tests {
         w.send_frame(net, frame).unwrap();
         w.run();
         let spec = NetworkSpec::myrinet_2000();
-        let expected = SimTime::ZERO
-            + spec.per_frame_overhead
-            + spec.serialization(1000)
-            + spec.latency;
+        let expected =
+            SimTime::ZERO + spec.per_frame_overhead + spec.serialization(1000) + spec.latency;
         assert_eq!(delivered_at.get(), expected);
     }
 
@@ -612,7 +624,12 @@ mod tests {
         let pong_at = Rc::new(Cell::new(SimTime::ZERO));
         let p = pong_at.clone();
         w.register_handler(b, ProtoId::user(0), move |world, netid, frame| {
-            let reply = Frame::new(frame.dst, frame.src, ProtoId::user(1), frame.payload.clone());
+            let reply = Frame::new(
+                frame.dst,
+                frame.src,
+                ProtoId::user(1),
+                frame.payload.clone(),
+            );
             world.send_frame(netid, reply).unwrap();
         });
         w.register_handler(a, ProtoId::user(1), move |world, _netid, _frame| {

@@ -10,7 +10,9 @@
 use simnet::{SimDuration, SimWorld};
 
 use crate::compress::{self, COMPRESS_BYTES_PER_SEC, DECOMPRESS_BYTES_PER_SEC};
-use crate::framed::{BlockTransform, EncodedBlock, TransformCtx, TransformError, TransformStats, TransformStream};
+use crate::framed::{
+    BlockTransform, EncodedBlock, TransformCtx, TransformError, TransformStats, TransformStream,
+};
 use crate::stream::ByteStream;
 
 const FLAG_RAW: u8 = 0;
@@ -71,7 +73,7 @@ impl BlockTransform for AdocTransform {
         let data_compresses = self.last_ratio >= self.config.min_useful_ratio;
         let try_compress = self.config.force_compression || (network_bound && data_compresses)
             // Periodically re-probe compressibility even if it stopped helping.
-            || (network_bound && ctx.now.as_nanos() % 16 == 0);
+            || (network_bound && ctx.now.as_nanos().is_multiple_of(16));
         if try_compress {
             let compressed = compress::compress(input);
             self.last_ratio = input.len() as f64 / compressed.len().max(1) as f64;

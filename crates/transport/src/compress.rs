@@ -187,7 +187,10 @@ mod tests {
         let c = compress(&input);
         assert_eq!(decompress(&c).unwrap(), input);
         let ratio = input.len() as f64 / c.len() as f64;
-        assert!(ratio > 5.0, "highly repetitive data should compress well, got {ratio}");
+        assert!(
+            ratio > 5.0,
+            "highly repetitive data should compress well, got {ratio}"
+        );
     }
 
     #[test]
@@ -196,7 +199,10 @@ mod tests {
         let c = compress(&input);
         assert_eq!(decompress(&c).unwrap(), input);
         let ratio = input.len() as f64 / c.len() as f64;
-        assert!(ratio > 1.8, "synthetic data should compress ≥1.8x, got {ratio}");
+        assert!(
+            ratio > 1.8,
+            "synthetic data should compress ≥1.8x, got {ratio}"
+        );
         assert!(ratio < 20.0);
     }
 

@@ -291,8 +291,15 @@ mod tests {
             g.set(true);
         })
         .unwrap();
-        a.send_to(&mut p.world, p.network, 1000, p.b, 2000, &b"called back"[..])
-            .unwrap();
+        a.send_to(
+            &mut p.world,
+            p.network,
+            1000,
+            p.b,
+            2000,
+            &b"called back"[..],
+        )
+        .unwrap();
         p.world.run();
         assert!(got.get());
         assert_eq!(b.pending(2000), 0);

@@ -225,7 +225,7 @@ impl<T: BlockTransform + 'static> TransformStream<T> {
         let at = self.inner.borrow().send_cpu_free;
         world.schedule_at(at, move |world| {
             {
-                let mut st = this.inner.borrow_mut();
+                let st = this.inner.borrow_mut();
                 let pushed = st.inner.send(world, &frame);
                 debug_assert_eq!(pushed, frame.len(), "inner stream refused framed data");
             }
@@ -461,6 +461,10 @@ mod tests {
         let tb = TransformStream::new(&mut world, Box::new(b), ReverseTransform, 64 * 1024);
         ta.send_all(&mut world, b"tiny");
         world.run();
-        assert_eq!(tb.recv_all(&mut world), b"tiny", "partial blocks must not be stuck");
+        assert_eq!(
+            tb.recv_all(&mut world),
+            b"tiny",
+            "partial blocks must not be stuck"
+        );
     }
 }

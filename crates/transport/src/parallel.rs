@@ -103,6 +103,7 @@ impl ParallelStream {
         struct PendingBundle {
             config: ParallelStreamConfig,
             slots: Vec<Option<TcpConn>>,
+            #[allow(clippy::type_complexity)]
             on_accept: Box<dyn FnMut(&mut SimWorld, ParallelStream)>,
         }
         let pending = Rc::new(RefCell::new(PendingBundle {
@@ -323,9 +324,7 @@ impl ByteStream for ParallelStream {
 
     fn is_finished(&self) -> bool {
         let st = self.inner.borrow();
-        st.conns.iter().all(|c| c.is_finished())
-            && st.recv_buf.is_empty()
-            && st.chunks.is_empty()
+        st.conns.iter().all(|c| c.is_finished()) && st.recv_buf.is_empty() && st.chunks.is_empty()
     }
 
     fn close(&self, world: &mut SimWorld) {
@@ -345,7 +344,12 @@ impl ByteStream for ParallelStream {
     }
 
     fn bytes_acked(&self) -> u64 {
-        self.inner.borrow().conns.iter().map(|c| c.bytes_acked()).sum()
+        self.inner
+            .borrow()
+            .conns
+            .iter()
+            .map(|c| c.bytes_acked())
+            .sum()
     }
 
     fn bytes_unacked(&self) -> u64 {
@@ -363,7 +367,11 @@ mod tests {
     fn ps_pair(
         spec: NetworkSpec,
         config: ParallelStreamConfig,
-    ) -> (SimWorld, ParallelStream, Rc<RefCell<Option<ParallelStream>>>) {
+    ) -> (
+        SimWorld,
+        ParallelStream,
+        Rc<RefCell<Option<ParallelStream>>>,
+    ) {
         let mut p = topology::pair_over(17, spec);
         let sa = TcpStack::new(&mut p.world, p.a);
         let sb = TcpStack::new(&mut p.world, p.b);
@@ -445,7 +453,10 @@ mod tests {
             parallel > single * 1.15,
             "4 parallel streams ({parallel:.2} MB/s) should beat one stream ({single:.2} MB/s)"
         );
-        assert!(parallel <= 12.6, "cannot exceed the access link: {parallel:.2} MB/s");
+        assert!(
+            parallel <= 12.6,
+            "cannot exceed the access link: {parallel:.2} MB/s"
+        );
     }
 
     #[test]

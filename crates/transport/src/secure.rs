@@ -35,7 +35,7 @@ pub struct SecureConfig {
 impl Default for SecureConfig {
     fn default() -> Self {
         SecureConfig {
-            key: 0x5AD1C0_7A_DEAD_BEEF,
+            key: 0x5AD1_C07A_DEAD_BEEF,
             block_size: 16 * 1024,
             cipher_bytes_per_sec: 45.0e6,
         }
@@ -51,7 +51,9 @@ pub struct SecureTransform {
 
 fn keystream_byte(key: u64, counter: u64, index: usize) -> u8 {
     // A splitmix-style mixer: deterministic, fast, obviously not secure.
-    let mut z = key ^ counter.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ (index as u64).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    let mut z = key
+        ^ counter.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        ^ (index as u64).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
     (z ^ (z >> 31)) as u8

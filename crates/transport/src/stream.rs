@@ -60,7 +60,12 @@ pub trait ByteStreamExt: ByteStream {
     /// for streams with unbounded send buffers).
     fn send_all(&self, world: &mut SimWorld, data: &[u8]) {
         let n = self.send(world, data);
-        assert_eq!(n, data.len(), "send buffer refused {} bytes", data.len() - n);
+        assert_eq!(
+            n,
+            data.len(),
+            "send buffer refused {} bytes",
+            data.len() - n
+        );
     }
 }
 

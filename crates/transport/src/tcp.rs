@@ -124,6 +124,7 @@ struct ConnInner {
     // Application interface.
     readable_cb: Option<ReadableCallback>,
     notify_pending: bool,
+    #[allow(clippy::type_complexity)]
     established_cb: Option<Box<dyn FnMut(&mut SimWorld)>>,
 
     stats: TcpConnStats,
@@ -131,7 +132,9 @@ struct ConnInner {
 
 impl ConnInner {
     fn effective_window(&self) -> u64 {
-        (self.cwnd as u64).min(self.peer_window as u64).max(self.mss as u64)
+        (self.cwnd as u64)
+            .min(self.peer_window as u64)
+            .max(self.mss as u64)
     }
 
     fn in_flight(&self) -> u64 {
@@ -142,7 +145,6 @@ impl ConnInner {
         let used = self.recv_buf.len() + self.ooo.values().map(|b| b.len()).sum::<usize>();
         self.config.recv_window.saturating_sub(used as u32)
     }
-
 }
 
 /// Handle to a TCP connection. Cloning the handle refers to the same
@@ -321,6 +323,11 @@ impl TcpStack {
                         let mut inner = stack.inner.borrow_mut();
                         inner.listeners.entry(port).or_insert(cb);
                     }
+                    // Data may already have been buffered before the accept
+                    // callback installed its readable callback (the first
+                    // data segment can race the handshake completion);
+                    // re-announce it so it is not lost.
+                    conn_for_cb.announce_readable(world);
                 });
             }
         }
@@ -487,8 +494,7 @@ impl TcpConn {
                     return;
                 }
                 let budget = (window - in_flight) as usize;
-                let fin_pending =
-                    c.fin_queued && c.send_buf.is_empty() && c.fin_seq.is_none();
+                let fin_pending = c.fin_queued && c.send_buf.is_empty() && c.fin_seq.is_none();
                 if c.send_buf.is_empty() && !fin_pending {
                     return;
                 }
@@ -660,14 +666,12 @@ impl TcpConn {
 
             // --- Handshake handling -------------------------------------
             match c.state {
-                TcpState::SynSent => {
-                    if seg.flags.syn && seg.flags.ack {
-                        c.state = TcpState::Established;
-                        c.peer_window = seg.window;
-                        became_established = true;
-                        should_ack = true;
-                        should_pump = true;
-                    }
+                TcpState::SynSent if seg.flags.syn && seg.flags.ack => {
+                    c.state = TcpState::Established;
+                    c.peer_window = seg.window;
+                    became_established = true;
+                    should_ack = true;
+                    should_pump = true;
                 }
                 TcpState::SynReceived => {
                     if seg.flags.ack && !seg.flags.syn {
@@ -774,6 +778,7 @@ impl TcpConn {
                         notify_app = true;
                     }
                     // Drain any out-of-order segments that are now in order.
+                    #[allow(clippy::while_let_loop)]
                     loop {
                         let Some((&oseq, _)) = c.ooo.iter().next() else {
                             break;
@@ -838,13 +843,24 @@ impl TcpConn {
         {
             let idle = {
                 let c = self.inner.borrow();
-                c.snd_nxt == c.snd_una && !matches!(c.state, TcpState::SynSent | TcpState::SynReceived)
+                c.snd_nxt == c.snd_una
+                    && !matches!(c.state, TcpState::SynSent | TcpState::SynReceived)
             };
             if idle {
                 self.cancel_rto(world);
             }
         }
         if notify_app {
+            self.schedule_readable_notification(world);
+        }
+    }
+
+    /// Re-announces already-buffered data (or EOF) to the readable
+    /// callback. Accept paths that install the callback asynchronously —
+    /// after data may already have arrived — call this to avoid losing the
+    /// only readability event.
+    pub fn announce_readable(&self, world: &mut SimWorld) {
+        if self.available() > 0 || self.is_finished() {
             self.schedule_readable_notification(world);
         }
     }
@@ -972,14 +988,24 @@ mod tests {
     /// (world, client conn, server conn handle holder, network).
     fn connected_pair(
         spec: NetworkSpec,
-    ) -> (SimWorld, TcpConn, Rc<StdRefCell<Option<TcpConn>>>, NetworkId) {
+    ) -> (
+        SimWorld,
+        TcpConn,
+        Rc<StdRefCell<Option<TcpConn>>>,
+        NetworkId,
+    ) {
         connected_pair_with_config(spec, TcpConfig::default())
     }
 
     fn connected_pair_with_config(
         spec: NetworkSpec,
         config: TcpConfig,
-    ) -> (SimWorld, TcpConn, Rc<StdRefCell<Option<TcpConn>>>, NetworkId) {
+    ) -> (
+        SimWorld,
+        TcpConn,
+        Rc<StdRefCell<Option<TcpConn>>>,
+        NetworkId,
+    ) {
         let mut p = topology::pair_over(11, spec);
         let stack_a = TcpStack::with_config(&mut p.world, p.a, config.clone());
         let stack_b = TcpStack::with_config(&mut p.world, p.b, config);
@@ -1137,7 +1163,10 @@ mod tests {
         let server = server.borrow();
         let server = server.as_ref().unwrap();
         assert_eq!(server.recv_all(&mut world), b"bye");
-        assert!(server.is_finished(), "peer FIN should mark the stream finished");
+        assert!(
+            server.is_finished(),
+            "peer FIN should mark the stream finished"
+        );
     }
 
     #[test]
@@ -1180,7 +1209,10 @@ mod tests {
         let goodput = size as f64 / elapsed / 1e6;
         // The paper reports ≈9 MB/s for a single stream on VTHD, clearly
         // below the 12.5 MB/s access link.
-        assert!(goodput < 11.5, "single stream should not saturate the WAN, got {goodput}");
+        assert!(
+            goodput < 11.5,
+            "single stream should not saturate the WAN, got {goodput}"
+        );
         assert!(goodput > 4.0, "goodput collapsed unexpectedly: {goodput}");
     }
 }

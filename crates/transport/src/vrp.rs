@@ -167,6 +167,7 @@ struct ReceiverInner {
     since_feedback: u64,
     peer: Option<(NodeId, u16)>,
     complete: bool,
+    #[allow(clippy::type_complexity)]
     on_complete: Option<Box<dyn FnMut(&mut SimWorld, VrpMessage)>>,
 }
 
@@ -180,7 +181,7 @@ impl VrpReceiver {
     /// Binds a VRP receiver on `port`. `on_complete` is invoked once per
     /// transfer with the reassembled (possibly gappy) message.
     pub fn bind(
-        world: &mut SimWorld,
+        _world: &mut SimWorld,
         udp: &UdpHost,
         network: NetworkId,
         port: u16,
@@ -260,7 +261,7 @@ impl VrpReceiver {
                     Some(b) => data.extend_from_slice(b),
                     None => {
                         missing.push(i as u64);
-                        data.extend(std::iter::repeat(0u8).take(st.payload_size));
+                        data.extend(std::iter::repeat_n(0u8, st.payload_size));
                     }
                 }
             }
@@ -359,6 +360,7 @@ struct SenderInner {
     started_at: SimTime,
     probes_outstanding: u32,
     finished: bool,
+    #[allow(clippy::type_complexity)]
     on_complete: Option<Box<dyn FnMut(&mut SimWorld, VrpTransferStats)>>,
 }
 
@@ -386,7 +388,9 @@ impl VrpSender {
     ) -> VrpSender {
         let data = data.into();
         let local_port = udp.bind_ephemeral();
-        let total = (data.len() as u64).div_ceil(config.packet_payload as u64).max(1);
+        let total = (data.len() as u64)
+            .div_ceil(config.packet_payload as u64)
+            .max(1);
         let sender = VrpSender {
             inner: Rc::new(RefCell::new(SenderInner {
                 udp: udp.clone(),
@@ -470,7 +474,14 @@ impl VrpSender {
                 st.total,
             )
         };
-        let _ = udp.send_to(world, network, port, dst_node, dst_port, encode_simple(kind, total));
+        let _ = udp.send_to(
+            world,
+            network,
+            port,
+            dst_node,
+            dst_port,
+            encode_simple(kind, total),
+        );
     }
 
     /// Pacing tick: sends the next packet (new data first, then repairs) and
@@ -528,7 +539,8 @@ impl VrpSender {
         for i in 0..n_missing {
             let off = 19 + i * 4;
             if dgram.data.len() >= off + 4 {
-                missing.push(u32::from_be_bytes(dgram.data[off..off + 4].try_into().unwrap()) as u64);
+                missing
+                    .push(u32::from_be_bytes(dgram.data[off..off + 4].try_into().unwrap()) as u64);
             }
         }
 
@@ -609,9 +621,16 @@ mod tests {
         let udp_b = UdpHost::new(&mut p.world, p.b);
         let delivered: Rc<RefCell<Option<VrpMessage>>> = Rc::new(RefCell::new(None));
         let d2 = delivered.clone();
-        VrpReceiver::bind(&mut p.world, &udp_b, p.network, 7000, config.clone(), move |_w, msg| {
-            *d2.borrow_mut() = Some(msg);
-        });
+        VrpReceiver::bind(
+            &mut p.world,
+            &udp_b,
+            p.network,
+            7000,
+            config.clone(),
+            move |_w, msg| {
+                *d2.borrow_mut() = Some(msg);
+            },
+        );
         let stats: Rc<RefCell<Option<VrpTransferStats>>> = Rc::new(RefCell::new(None));
         let s2 = stats.clone();
         let data: Vec<u8> = (0..size).map(|i| (i % 255) as u8).collect();
@@ -627,7 +646,8 @@ mod tests {
                 *s2.borrow_mut() = Some(st);
             },
         );
-        p.world.run_while(|| delivered.borrow().is_none() || stats.borrow().is_none());
+        p.world
+            .run_while(|| delivered.borrow().is_none() || stats.borrow().is_none());
         let stats = stats.borrow().expect("sender finished");
         let msg = delivered.borrow().clone().expect("receiver delivered");
         (stats, msg)
@@ -647,8 +667,11 @@ mod tests {
         assert!(stats.completed);
         assert_eq!(stats.packets_delivered, stats.total_packets);
         assert!(msg.missing_packets.is_empty());
-        assert_eq!(msg.data.len() >= 200_000, true);
-        assert_eq!(&msg.data[..200_000], &(0..200_000).map(|i| (i % 255) as u8).collect::<Vec<u8>>()[..]);
+        assert!(msg.data.len() >= 200_000);
+        assert_eq!(
+            &msg.data[..200_000],
+            &(0..200_000).map(|i| (i % 255) as u8).collect::<Vec<u8>>()[..]
+        );
     }
 
     #[test]

@@ -111,7 +111,12 @@ fn main() {
         ocean_nodes[0],
         500,
         SoapCall::new("progress"),
-        |_w, resp| println!("monitor says: {} coupling steps done", resp.get("steps").unwrap_or("?")),
+        |_w, resp| {
+            println!(
+                "monitor says: {} coupling steps done",
+                resp.get("steps").unwrap_or("?")
+            )
+        },
     );
     world.run();
 

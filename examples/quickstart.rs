@@ -24,7 +24,11 @@ fn main() {
     let mpi0 = MpiComm::new(&mut world, c0);
     let mpi1 = MpiComm::new(&mut world, c1);
     mpi1.recv(&mut world, Some(0), Some(1), |_world, msg| {
-        println!("[mpi  ] rank 1 received {} bytes from rank {}", msg.data.len(), msg.src);
+        println!(
+            "[mpi  ] rank 1 received {} bytes from rank {}",
+            msg.data.len(),
+            msg.src
+        );
     });
     mpi0.send(&mut world, 1, 1, b"hello from the parallel world");
 

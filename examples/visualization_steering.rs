@@ -12,12 +12,8 @@ use std::rc::Rc;
 fn main() {
     // A 4-node Myrinet cluster plus one remote workstation over the WAN.
     let mut world = SimWorld::new(4242);
-    let cluster = simnet::topology::build_san_cluster(
-        &mut world,
-        "compute",
-        4,
-        NetworkSpec::myrinet_2000(),
-    );
+    let cluster =
+        simnet::topology::build_san_cluster(&mut world, "compute", 4, NetworkSpec::myrinet_2000());
     let workstation = world.add_node("workstation");
     let wan = world.add_network(NetworkSpec::vthd_wan());
     for &n in cluster.nodes.iter().chain([workstation].iter()) {
@@ -30,7 +26,12 @@ fn main() {
         &cluster.nodes,
         SelectorPreferences::default(),
     );
-    let user_rt = PadicoRuntime::new(&mut world, workstation, None, SelectorPreferences::default());
+    let user_rt = PadicoRuntime::new(
+        &mut world,
+        workstation,
+        None,
+        SelectorPreferences::default(),
+    );
 
     // The computation: iterative MPI stencil that keeps a "current field".
     let comms: Vec<MpiComm> = compute_rts
@@ -69,9 +70,15 @@ fn main() {
     );
     let user_orb = Orb::new(user_rt, OrbImpl::OmniOrb4);
     let field_ref = user_orb.object_ref(cluster.nodes[0], 700, "field");
-    user_orb.invoke(&mut world, &field_ref, "snapshot", IdlValue::Void, |_w, reply| {
-        println!("visualization snapshot received: {reply:?}");
-    });
+    user_orb.invoke(
+        &mut world,
+        &field_ref,
+        "snapshot",
+        IdlValue::Void,
+        |_w, reply| {
+            println!("visualization snapshot received: {reply:?}");
+        },
+    );
     world.run();
     println!("computation kept running; user may disconnect at any time.");
     println!("virtual time elapsed: {}", world.now());

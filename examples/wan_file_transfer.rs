@@ -8,17 +8,24 @@ use padicotm::prelude::*;
 use std::cell::Cell;
 use std::cell::RefCell;
 use std::rc::Rc;
-use transport::{ParallelStream, ParallelStreamConfig, TcpStack, UdpHost, VrpConfig, VrpReceiver, VrpSender};
+use transport::{
+    ParallelStream, ParallelStreamConfig, TcpStack, UdpHost, VrpConfig, VrpReceiver, VrpSender,
+};
 
 fn wan_transfer(streams: usize, bytes: usize) -> f64 {
     let mut p = simnet::topology::wan_pair(99);
     let sa = TcpStack::new(&mut p.world, p.a);
     let sb = TcpStack::new(&mut p.world, p.b);
-    let cfg = ParallelStreamConfig { n_streams: streams, chunk_size: 64 * 1024 };
+    let cfg = ParallelStreamConfig {
+        n_streams: streams,
+        chunk_size: 64 * 1024,
+    };
     let received = Rc::new(Cell::new(0usize));
     let server: Rc<RefCell<Option<ParallelStream>>> = Rc::new(RefCell::new(None));
     let s2 = server.clone();
-    ParallelStream::listen(&mut p.world, &sb, 2811, cfg.clone(), move |_w, ps| *s2.borrow_mut() = Some(ps));
+    ParallelStream::listen(&mut p.world, &sb, 2811, cfg.clone(), move |_w, ps| {
+        *s2.borrow_mut() = Some(ps)
+    });
     let client = ParallelStream::connect(&mut p.world, &sa, p.network, p.b, 2811, cfg);
     p.world.run();
     let srv = server.borrow().clone().unwrap();
@@ -39,20 +46,33 @@ fn main() {
     let single = wan_transfer(1, size);
     let parallel = wan_transfer(4, size);
     println!("  single TCP stream   : {single:.1} MB/s");
-    println!("  4 parallel streams  : {parallel:.1} MB/s ({:.2}x)", parallel / single);
+    println!(
+        "  4 parallel streams  : {parallel:.1} MB/s ({:.2}x)",
+        parallel / single
+    );
 
     println!("== Lossy trans-continental link: 1 MB dataset ==");
     let mut p = simnet::topology::lossy_internet_pair(17);
     let udp_a = UdpHost::new(&mut p.world, p.a);
     let udp_b = UdpHost::new(&mut p.world, p.b);
-    let cfg = VrpConfig { tolerance: 0.10, ..Default::default() };
-    VrpReceiver::bind(&mut p.world, &udp_b, p.network, 7000, cfg.clone(), |_w, msg| {
-        println!(
-            "  VRP delivered {:.1}% of the dataset ({} packets missing)",
-            msg.delivered_fraction() * 100.0,
-            msg.missing_packets.len()
-        );
-    });
+    let cfg = VrpConfig {
+        tolerance: 0.10,
+        ..Default::default()
+    };
+    VrpReceiver::bind(
+        &mut p.world,
+        &udp_b,
+        p.network,
+        7000,
+        cfg.clone(),
+        |_w, msg| {
+            println!(
+                "  VRP delivered {:.1}% of the dataset ({} packets missing)",
+                msg.delivered_fraction() * 100.0,
+                msg.missing_packets.len()
+            );
+        },
+    );
     let done = Rc::new(RefCell::new(None));
     let d = done.clone();
     VrpSender::send(

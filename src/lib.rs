@@ -6,6 +6,8 @@
 //! * [`simnet`] — the deterministic network simulator standing in for the
 //!   paper's hardware testbed (Myrinet-2000, Ethernet-100, VTHD WAN, lossy
 //!   Internet links);
+//! * [`gridtopo`] — multi-hop routing and gateways for hierarchical,
+//!   multi-site grid topologies (sites behind gateways, WAN backbones);
 //! * [`transport`] — TCP, UDP, VRP, Parallel Streams, AdOC compression and
 //!   secure streams over the simulated networks;
 //! * [`madeleine`] — the Madeleine-style SAN message library;
@@ -18,6 +20,7 @@
 //! See `examples/` for runnable scenarios and the `padico-bench` crate for
 //! the experiment harness that regenerates the paper's tables and figures.
 
+pub use gridtopo;
 pub use madeleine;
 pub use middleware;
 pub use netaccess;
@@ -27,12 +30,13 @@ pub use transport;
 
 /// Commonly used types for applications built on PadicoTM-RS.
 pub mod prelude {
+    pub use gridtopo::{GridTopology, RelayConfig, RelayFabric, RouteTable, SiteSpec};
     pub use madeleine::{RecvMode, SendMode};
     pub use middleware::{IdlValue, MpiComm, Orb, OrbImpl, SoapCall, SoapEndpoint};
     pub use netaccess::{NetAccess, PollPolicy};
     pub use padico_core::{
-        runtimes_for_cluster, runtimes_for_lan, Circuit, LinkDecision, PadicoRuntime,
-        SelectorPreferences, VLink, VLinkMethod,
+        runtimes_for_cluster, runtimes_for_grid, runtimes_for_lan, Circuit, LinkDecision,
+        PadicoRuntime, SelectorPreferences, VLink, VLinkMethod,
     };
     pub use simnet::{topology, NetworkSpec, NodeId, SimDuration, SimTime, SimWorld};
     pub use transport::{ByteStream, ByteStreamExt};

@@ -4,8 +4,8 @@
 use std::cell::{Cell, RefCell};
 use std::rc::Rc;
 
-use padicotm::prelude::*;
 use padicotm::middleware::{Federate, JavaServerSocket, JavaSocket, RtiGateway};
+use padicotm::prelude::*;
 
 fn testbed(seed: u64) -> (SimWorld, Vec<PadicoRuntime>, Vec<NodeId>) {
     let p = simnet::topology::san_pair(seed);
@@ -40,10 +40,16 @@ fn four_middleware_systems_coexist_on_one_pair_of_nodes() {
     let objref = orb_client.object_ref(nodes[1], 200, "echo");
     let corba_ok = Rc::new(Cell::new(false));
     let ok = corba_ok.clone();
-    orb_client.invoke(&mut world, &objref, "id", IdlValue::Long(7), move |_w, r| {
-        assert_eq!(r, IdlValue::Long(7));
-        ok.set(true);
-    });
+    orb_client.invoke(
+        &mut world,
+        &objref,
+        "id",
+        IdlValue::Long(7),
+        move |_w, r| {
+            assert_eq!(r, IdlValue::Long(7));
+            ok.set(true);
+        },
+    );
 
     // 3. SOAP monitoring.
     let soap_server = SoapEndpoint::new(rts[1].clone());
@@ -53,10 +59,16 @@ fn four_middleware_systems_coexist_on_one_pair_of_nodes() {
     let soap_client = SoapEndpoint::new(rts[0].clone());
     let soap_ok = Rc::new(Cell::new(false));
     let ok = soap_ok.clone();
-    soap_client.call(&mut world, nodes[1], 300, SoapCall::new("status"), move |_w, r| {
-        assert_eq!(r.get("state"), Some("running"));
-        ok.set(true);
-    });
+    soap_client.call(
+        &mut world,
+        nodes[1],
+        300,
+        SoapCall::new("status"),
+        move |_w, r| {
+            assert_eq!(r.get("state"), Some("running"));
+            ok.set(true);
+        },
+    );
 
     // 4. Java sockets.
     JavaServerSocket::bind(&mut world, &rts[1], 400, |_w, sock| {

@@ -1,108 +1,171 @@
-//! Property-based tests (proptest) on the core data structures and
-//! protocol invariants of PadicoTM-RS.
+//! Randomized property tests on the core data structures and protocol
+//! invariants of PadicoTM-RS.
+//!
+//! The build environment has no crates.io access, so instead of `proptest`
+//! these use a small self-contained harness: each property draws many
+//! random cases from the simulator's own deterministic [`SimRng`], so
+//! failures are reproducible from the printed seed.
 
 use bytes::Bytes;
 use bytes::BytesMut;
-use proptest::prelude::*;
 
 use padicotm::middleware::{cdr_decode, cdr_encode, IdlValue};
 use padicotm::simnet::{LossModel, SimDuration, SimRng, SimTime};
 use padicotm::transport::compress::{compress, decompress};
 
+/// Runs `check` on `cases` random cases drawn from a seeded generator.
+fn for_random_cases(seed: u64, cases: usize, mut check: impl FnMut(&mut SimRng)) {
+    let mut rng = SimRng::seeded(seed);
+    for case in 0..cases {
+        let mut case_rng = rng.fork();
+        let result =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| check(&mut case_rng)));
+        if let Err(e) = result {
+            // Recover the assertion text from the panic payload so the
+            // summary names the actual failure, not `Any { .. }`.
+            let msg = e
+                .downcast_ref::<String>()
+                .map(String::as_str)
+                .or_else(|| e.downcast_ref::<&str>().copied())
+                .unwrap_or("non-string panic payload");
+            panic!("property failed at seed {seed} case {case}: {msg}");
+        }
+    }
+}
+
+fn random_bytes(rng: &mut SimRng, max_len: usize) -> Vec<u8> {
+    let len = rng.gen_range(0, max_len as u64 + 1) as usize;
+    (0..len).map(|_| rng.gen_range(0, 256) as u8).collect()
+}
+
 // ---------------------------------------------------------------------- //
 // Virtual time arithmetic
 // ---------------------------------------------------------------------- //
 
-proptest! {
-    #[test]
-    fn time_addition_is_monotonic(base in 0u64..u64::MAX / 4, d in 0u64..u64::MAX / 4) {
+#[test]
+fn time_addition_is_monotonic() {
+    for_random_cases(101, 500, |rng| {
+        let base = rng.gen_range(0, u64::MAX / 4);
+        let d = rng.gen_range(0, u64::MAX / 4);
         let t = SimTime::from_nanos(base);
         let dur = SimDuration::from_nanos(d);
-        prop_assert!(t + dur >= t);
-        prop_assert_eq!((t + dur) - t, dur);
-    }
+        assert!(t + dur >= t);
+        assert_eq!((t + dur) - t, dur);
+    });
+}
 
-    #[test]
-    fn duration_sum_never_underflows(a in 0u64..1_000_000_000u64, b in 0u64..1_000_000_000u64) {
+#[test]
+fn duration_sum_never_underflows() {
+    for_random_cases(102, 500, |rng| {
+        let a = rng.gen_range(0, 1_000_000_000);
+        let b = rng.gen_range(0, 1_000_000_000);
         let da = SimDuration::from_nanos(a);
         let db = SimDuration::from_nanos(b);
         // Saturating semantics: subtraction never panics, ordering holds.
         let diff = da - db;
         if a >= b {
-            prop_assert_eq!(diff.as_nanos(), a - b);
+            assert_eq!(diff.as_nanos(), a - b);
         } else {
-            prop_assert_eq!(diff, SimDuration::ZERO);
+            assert_eq!(diff, SimDuration::ZERO);
         }
-    }
+    });
 }
 
 // ---------------------------------------------------------------------- //
 // LZSS codec: lossless round-trip for arbitrary data
 // ---------------------------------------------------------------------- //
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-    #[test]
-    fn compression_roundtrips_arbitrary_bytes(data in proptest::collection::vec(any::<u8>(), 0..20_000)) {
+#[test]
+fn compression_roundtrips_arbitrary_bytes() {
+    for_random_cases(103, 64, |rng| {
+        let data = random_bytes(rng, 20_000);
         let compressed = compress(&data);
-        prop_assert_eq!(decompress(&compressed).unwrap(), data);
-    }
+        assert_eq!(decompress(&compressed).unwrap(), data);
+    });
+}
 
-    #[test]
-    fn compression_roundtrips_repetitive_data(byte in any::<u8>(), len in 0usize..50_000, period in 1usize..64) {
-        let data: Vec<u8> = (0..len).map(|i| byte.wrapping_add((i % period) as u8)).collect();
+#[test]
+fn compression_roundtrips_repetitive_data() {
+    for_random_cases(104, 64, |rng| {
+        let byte = rng.gen_range(0, 256) as u8;
+        let len = rng.gen_range(0, 50_000) as usize;
+        let period = rng.gen_range(1, 64) as usize;
+        let data: Vec<u8> = (0..len)
+            .map(|i| byte.wrapping_add((i % period) as u8))
+            .collect();
         let compressed = compress(&data);
-        prop_assert_eq!(decompress(&compressed).unwrap(), data);
-    }
+        assert_eq!(decompress(&compressed).unwrap(), data);
+    });
 }
 
 // ---------------------------------------------------------------------- //
 // CDR marshalling round-trip for arbitrary IDL values
 // ---------------------------------------------------------------------- //
 
-fn idl_value_strategy() -> impl Strategy<Value = IdlValue> {
-    let leaf = prop_oneof![
-        Just(IdlValue::Void),
-        any::<bool>().prop_map(IdlValue::Bool),
-        any::<i32>().prop_map(IdlValue::Long),
-        any::<i64>().prop_map(IdlValue::LongLong),
-        any::<f64>().prop_filter("NaN compares unequal", |f| !f.is_nan()).prop_map(IdlValue::Double),
-        "[a-zA-Z0-9 ]{0,40}".prop_map(IdlValue::Str),
-        proptest::collection::vec(any::<u8>(), 0..200).prop_map(|v| IdlValue::Octets(Bytes::from(v))),
-    ];
-    leaf.prop_recursive(3, 24, 6, |inner| {
-        proptest::collection::vec(inner, 0..6).prop_map(IdlValue::Sequence)
-    })
+fn random_idl_value(rng: &mut SimRng, depth: usize) -> IdlValue {
+    let pick = if depth == 0 {
+        rng.gen_range(0, 7)
+    } else {
+        rng.gen_range(0, 8)
+    };
+    match pick {
+        0 => IdlValue::Void,
+        1 => IdlValue::Bool(rng.gen_bool(0.5)),
+        2 => IdlValue::Long(rng.gen_range(0, u32::MAX as u64 + 1) as u32 as i32),
+        3 => IdlValue::LongLong(rng.next_u64() as i64),
+        4 => {
+            // Any finite double (NaN compares unequal, so avoid it).
+            let mut f = f64::from_bits(rng.next_u64());
+            if !f.is_finite() {
+                f = rng.gen_unit() * 1e12 - 5e11;
+            }
+            IdlValue::Double(f)
+        }
+        5 => {
+            const ALPHABET: &[u8] =
+                b"abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789 ";
+            let len = rng.gen_range(0, 41) as usize;
+            let s: String = (0..len)
+                .map(|_| ALPHABET[rng.gen_range(0, ALPHABET.len() as u64) as usize] as char)
+                .collect();
+            IdlValue::Str(s)
+        }
+        6 => IdlValue::Octets(Bytes::from(random_bytes(rng, 200))),
+        _ => {
+            let n = rng.gen_range(0, 6) as usize;
+            IdlValue::Sequence((0..n).map(|_| random_idl_value(rng, depth - 1)).collect())
+        }
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-    #[test]
-    fn cdr_roundtrips_arbitrary_idl_values(value in idl_value_strategy()) {
+#[test]
+fn cdr_roundtrips_arbitrary_idl_values() {
+    for_random_cases(105, 128, |rng| {
+        let value = random_idl_value(rng, 3);
         let mut buf = BytesMut::new();
         cdr_encode(&value, &mut buf);
         let mut bytes = buf.freeze();
         let mut consumed = 0;
         let decoded = cdr_decode(&mut bytes, &mut consumed).expect("decode");
-        prop_assert_eq!(decoded, value);
-    }
+        assert_eq!(decoded, value);
+    });
 }
 
 // ---------------------------------------------------------------------- //
 // Loss models: observed rate matches the configured mean
 // ---------------------------------------------------------------------- //
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
-    #[test]
-    fn bernoulli_loss_rate_is_close_to_p(p in 0.0f64..0.5, seed in any::<u64>()) {
+#[test]
+fn bernoulli_loss_rate_is_close_to_p() {
+    for_random_cases(106, 16, |rng| {
+        let p = rng.gen_unit() * 0.5;
         let mut model = LossModel::bernoulli(p);
-        let mut rng = SimRng::seeded(seed);
+        let mut draw_rng = rng.fork();
         let n = 20_000;
-        let drops = (0..n).filter(|_| model.should_drop(&mut rng)).count();
+        let drops = (0..n).filter(|_| model.should_drop(&mut draw_rng)).count();
         let observed = drops as f64 / n as f64;
-        prop_assert!((observed - p).abs() < 0.03, "p={p} observed={observed}");
-    }
+        assert!((observed - p).abs() < 0.03, "p={p} observed={observed}");
+    });
 }
 
 // ---------------------------------------------------------------------- //
@@ -110,17 +173,22 @@ proptest! {
 // network (exactly-once, in order).
 // ---------------------------------------------------------------------- //
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(12))]
-    #[test]
-    fn tcp_delivers_data_intact_under_loss(
-        payload in proptest::collection::vec(any::<u8>(), 1..30_000),
-        loss in 0.0f64..0.08,
-        seed in any::<u64>(),
-    ) {
-        use padicotm::transport::{ByteStream, ByteStreamExt, TcpStack, TcpConn};
+#[test]
+fn tcp_delivers_data_intact_under_loss() {
+    for_random_cases(107, 12, |rng| {
+        use padicotm::transport::{ByteStream, ByteStreamExt, TcpConn, TcpStack};
         use std::cell::RefCell;
         use std::rc::Rc;
+
+        let payload = {
+            let mut p = random_bytes(rng, 30_000);
+            if p.is_empty() {
+                p.push(rng.gen_range(0, 256) as u8);
+            }
+            p
+        };
+        let loss = rng.gen_unit() * 0.08;
+        let seed = rng.next_u64();
 
         let mut spec = padicotm::simnet::NetworkSpec::ethernet_100();
         spec.loss = LossModel::bernoulli(loss);
@@ -136,6 +204,6 @@ proptest! {
         p.world.run();
         let server = server.borrow().clone().expect("accepted");
         let received = server.recv_all(&mut p.world);
-        prop_assert_eq!(received, payload);
-    }
+        assert_eq!(received, payload);
+    });
 }
