@@ -1,0 +1,46 @@
+//! Datapath throughput microbench: wall-clock MB/s of every stream
+//! datapath, written to `BENCH_datapath.json`.
+//!
+//! Usage: `datapath [--smoke]` — `--smoke` runs tiny payloads once (CI
+//! bitrot guard) and does not overwrite the tracked JSON artifact.
+
+use padico_bench::datapath::{datapath_json, datapath_sweep, write_datapath_json};
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let (bytes, runs) = if smoke {
+        (64 * 1024, 1)
+    } else {
+        (1024 * 1024, 3)
+    };
+    eprintln!(
+        "datapath sweep: {} KiB per path, best of {runs} run(s)…",
+        bytes / 1024
+    );
+    let results = datapath_sweep(bytes, runs);
+    println!(
+        "{:<14} {:>10} {:>10} {:>12} {:>12}",
+        "path", "wall_ms", "wall MB/s", "virt MB/s", "base MB/s"
+    );
+    for r in &results {
+        println!(
+            "{:<14} {:>10.3} {:>10.2} {:>12.4} {:>12}",
+            r.path,
+            r.wall_ms,
+            r.wall_mb_s,
+            r.virtual_mb_s,
+            padico_bench::datapath::baseline_wall_mb_s(r.path)
+                .map(|b| format!("{b:.2}"))
+                .unwrap_or_else(|| "-".into()),
+        );
+    }
+    if smoke {
+        // Exercise the JSON path without clobbering the tracked artifact.
+        let json = datapath_json(&results);
+        assert!(json.contains("\"experiment\": \"datapath\""));
+        eprintln!("smoke run: artifact not written");
+    } else {
+        let path = write_datapath_json(&results).expect("write BENCH_datapath.json");
+        eprintln!("wrote {path}");
+    }
+}

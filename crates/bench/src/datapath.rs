@@ -1,0 +1,375 @@
+//! The datapath throughput microbench: how fast the *simulator host* moves
+//! stream payload through each datapath, in wall-clock MB/s.
+//!
+//! The paper's stream emulation must itself be cheap for grid middleware to
+//! reach hardware speed; in this reproduction the analogous property is
+//! that the simulated datapaths move payload bytes through the host with as
+//! few copies as possible. This bench pushes a fixed payload through every
+//! stream datapath (loopback, framed transform, parallel streams, a 3-hop
+//! relayed grid path, a stream over MadIO) and reports:
+//!
+//! * `wall_mb_s` — payload bytes per *host* second (the zero-copy metric);
+//! * `virtual_mb_s` — payload bytes per *simulated* second (the protocol
+//!   metric, unchanged by host-side copy elimination except on the relayed
+//!   path, where gateway trunks also change the protocol behaviour).
+//!
+//! `BENCH_datapath.json` records both next to the baseline wall-clock
+//! numbers measured on the pre-SegBuf tree (commit `8378637`), so the win
+//! is machine-readable.
+
+use std::cell::Cell;
+use std::rc::Rc;
+use std::time::Instant;
+
+use gridtopo::{GridTopology, SiteSpec};
+use padico_core::{runtimes_for_grid, SelectorPreferences, VLink, VLinkEvent};
+use simnet::{topology, NetworkSpec, SimWorld};
+use transport::{
+    adoc_over, loopback_pair, AdocConfig, ByteStream, ByteStreamExt, ParallelStream,
+    ParallelStreamConfig, TcpStack,
+};
+
+/// One datapath measurement.
+#[derive(Debug, Clone)]
+pub struct DatapathResult {
+    /// Scenario label.
+    pub path: &'static str,
+    /// Payload bytes pushed end to end.
+    pub bytes: usize,
+    /// Host milliseconds for the whole simulated transfer (best of runs).
+    pub wall_ms: f64,
+    /// Payload bytes per host second, in MB/s.
+    pub wall_mb_s: f64,
+    /// Payload bytes per simulated second, in MB/s.
+    pub virtual_mb_s: f64,
+}
+
+/// Baseline wall-clock MB/s of each scenario measured on the pre-SegBuf
+/// tree (per-byte `VecDeque<u8>` buffering, per-stream gateway legs),
+/// with the same payload sizes as [`datapath_sweep`]. `None` when the
+/// scenario had no baseline equivalent.
+pub fn baseline_wall_mb_s(path: &str) -> Option<f64> {
+    match path {
+        "loopback" => Some(574.7),
+        "framed-adoc" => Some(252.7),
+        "tcp-lan" => Some(207.8),
+        "parallel-x4" => Some(113.0),
+        "madio-stream" => Some(195.3),
+        "relayed-3hop" => Some(57.3),
+        _ => None,
+    }
+}
+
+fn run_best_of<F: FnMut() -> (f64, f64)>(mut f: F, runs: usize) -> (f64, f64) {
+    let mut best = (f64::INFINITY, 0.0);
+    for _ in 0..runs {
+        let (wall_ms, virt) = f();
+        if wall_ms < best.0 {
+            best = (wall_ms, virt);
+        }
+    }
+    best
+}
+
+fn payload(bytes: usize) -> Vec<u8> {
+    // Mildly structured but incompressible-ish payload so AdOC's raw path
+    // is representative.
+    (0..bytes).map(|i| (i * 131 + i / 7) as u8).collect()
+}
+
+/// Drives `tx` -> `rx` until `bytes` have been read on `rx`, returning
+/// (host ms, virtual MB/s).
+fn drive(
+    world: &mut SimWorld,
+    tx: &dyn ByteStream,
+    rx: Rc<dyn ByteStream>,
+    data: &[u8],
+) -> (f64, f64) {
+    let received = Rc::new(Cell::new(0usize));
+    let r = received.clone();
+    let rx2 = rx.clone();
+    rx.set_readable_callback(Box::new(move |world| loop {
+        let chunk = rx2.recv_bytes(world, usize::MAX);
+        if chunk.is_empty() {
+            break;
+        }
+        r.set(r.get() + chunk.len());
+    }));
+    let bytes = data.len();
+    let vstart = world.now();
+    let hstart = Instant::now();
+    tx.send_all(world, data);
+    let rr = received.clone();
+    world.run_while(|| rr.get() < bytes);
+    let wall_ms = hstart.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(received.get(), bytes, "transfer stalled short");
+    let vsecs = world.now().since(vstart).as_secs_f64();
+    (wall_ms, bytes as f64 / vsecs / 1e6)
+}
+
+/// 1 MiB through an intra-node loopback pair.
+pub fn bench_loopback(bytes: usize, runs: usize) -> DatapathResult {
+    let data = payload(bytes);
+    let (wall_ms, virt) = run_best_of(
+        || {
+            let mut world = SimWorld::new(7);
+            let n = world.add_node("n");
+            let (a, b) = loopback_pair(&world, n);
+            drive(&mut world, &a, Rc::new(b), &data)
+        },
+        runs,
+    );
+    result("loopback", bytes, wall_ms, virt)
+}
+
+/// 1 MiB through the block-transform (framed) engine over loopback.
+pub fn bench_framed(bytes: usize, runs: usize) -> DatapathResult {
+    let data = payload(bytes);
+    let (wall_ms, virt) = run_best_of(
+        || {
+            let mut world = SimWorld::new(7);
+            let n = world.add_node("n");
+            let (a, b) = loopback_pair(&world, n);
+            let ta = adoc_over(&mut world, Box::new(a), AdocConfig::default());
+            let tb = adoc_over(&mut world, Box::new(b), AdocConfig::default());
+            drive(&mut world, &ta, Rc::new(tb), &data)
+        },
+        runs,
+    );
+    result("framed-adoc", bytes, wall_ms, virt)
+}
+
+/// 1 MiB through plain TCP on a 100 Mb/s LAN.
+pub fn bench_tcp(bytes: usize, runs: usize) -> DatapathResult {
+    let data = payload(bytes);
+    let (wall_ms, virt) = run_best_of(
+        || {
+            let mut p = topology::pair_over(7, NetworkSpec::ethernet_100());
+            let sa = TcpStack::new(&mut p.world, p.a);
+            let sb = TcpStack::new(&mut p.world, p.b);
+            let server: Rc<std::cell::RefCell<Option<transport::TcpConn>>> =
+                Rc::new(std::cell::RefCell::new(None));
+            let s2 = server.clone();
+            sb.listen(80, move |_w, c| *s2.borrow_mut() = Some(c));
+            let client = sa.connect(&mut p.world, p.network, p.b, 80);
+            p.world.run();
+            let server = server.borrow().clone().unwrap();
+            drive(&mut p.world, &client, Rc::new(server), &data)
+        },
+        runs,
+    );
+    result("tcp-lan", bytes, wall_ms, virt)
+}
+
+/// 1 MiB through a 4-wide Parallel Streams bundle on a 100 Mb/s LAN.
+pub fn bench_parallel(bytes: usize, runs: usize) -> DatapathResult {
+    let data = payload(bytes);
+    let (wall_ms, virt) = run_best_of(
+        || {
+            let cfg = ParallelStreamConfig {
+                n_streams: 4,
+                chunk_size: 16 * 1024,
+            };
+            let mut p = topology::pair_over(7, NetworkSpec::ethernet_100());
+            let sa = TcpStack::new(&mut p.world, p.a);
+            let sb = TcpStack::new(&mut p.world, p.b);
+            let server: Rc<std::cell::RefCell<Option<ParallelStream>>> =
+                Rc::new(std::cell::RefCell::new(None));
+            let s2 = server.clone();
+            ParallelStream::listen(&mut p.world, &sb, 2811, cfg.clone(), move |_w, ps| {
+                *s2.borrow_mut() = Some(ps);
+            });
+            let client = ParallelStream::connect(&mut p.world, &sa, p.network, p.b, 2811, cfg);
+            p.world.run();
+            let server = server.borrow().clone().unwrap();
+            drive(&mut p.world, &client, Rc::new(server), &data)
+        },
+        runs,
+    );
+    result("parallel-x4", bytes, wall_ms, virt)
+}
+
+/// 1 MiB through a stream over MadIO messages on a Myrinet SAN.
+pub fn bench_madio_stream(bytes: usize, runs: usize) -> DatapathResult {
+    let data = payload(bytes);
+    let (wall_ms, virt) = run_best_of(
+        || {
+            let p = topology::san_pair(7);
+            let mut world = p.world;
+            let nodes = vec![p.a, p.b];
+            let rts = padico_core::runtimes_for_cluster(
+                &mut world,
+                p.san,
+                &nodes,
+                SelectorPreferences::default(),
+            );
+            let server: Rc<std::cell::RefCell<Option<VLink>>> =
+                Rc::new(std::cell::RefCell::new(None));
+            let s2 = server.clone();
+            rts[1].vlink_listen(&mut world, 100, move |_w, v| *s2.borrow_mut() = Some(v));
+            let client = rts[0].vlink_connect(&mut world, nodes[1], 100);
+            world.run();
+            let server = server.borrow().clone().unwrap();
+            drive_vlinks(&mut world, &client, &server, &data)
+        },
+        runs,
+    );
+    result("madio-stream", bytes, wall_ms, virt)
+}
+
+/// 1 MiB through a relayed VLink across a 3-hop gateway path (two
+/// gateway-isolated SAN sites over a VTHD-class backbone).
+pub fn bench_relayed(bytes: usize, runs: usize) -> DatapathResult {
+    let data = payload(bytes);
+    let (wall_ms, virt) = run_best_of(
+        || {
+            let mut world = SimWorld::new(2024);
+            let specs = [
+                SiteSpec::san_cluster("s0", 3),
+                SiteSpec::san_cluster("s1", 3),
+            ];
+            let grid = GridTopology::star(&mut world, &specs, NetworkSpec::vthd_wan());
+            let (rts, _proxies) =
+                runtimes_for_grid(&mut world, &grid, SelectorPreferences::default());
+            let dst = grid.site(1).node(1);
+            let src_rt = rts[1].clone();
+            let dst_rt = rts[grid.site(0).len() + 1].clone();
+            // Let the grid (gateway trunks, listeners) come up first.
+            world.run();
+            let server: Rc<std::cell::RefCell<Option<VLink>>> =
+                Rc::new(std::cell::RefCell::new(None));
+            let s2 = server.clone();
+            dst_rt.vlink_listen(&mut world, 700, move |_w, v| *s2.borrow_mut() = Some(v));
+            let client = src_rt.vlink_connect(&mut world, dst, 700);
+            let received = Rc::new(Cell::new(0usize));
+            let r = received.clone();
+            let srv = server.clone();
+            let installed = Rc::new(Cell::new(false));
+            let inst = installed.clone();
+            let vstart = world.now();
+            let hstart = Instant::now();
+            client.post_write(&mut world, &data);
+            let bytes = data.len();
+            let rr = received.clone();
+            world.run_while(|| {
+                if !inst.get() {
+                    if let Some(v) = srv.borrow().clone() {
+                        inst.set(true);
+                        let v2 = v.clone();
+                        let r2 = r.clone();
+                        v.set_handler(move |world, ev| {
+                            if ev == VLinkEvent::Readable {
+                                r2.set(r2.get() + v2.read_now(world, usize::MAX).len());
+                            }
+                        });
+                    }
+                }
+                rr.get() < bytes
+            });
+            let wall_ms = hstart.elapsed().as_secs_f64() * 1e3;
+            assert_eq!(received.get(), bytes, "relayed transfer stalled short");
+            let vsecs = world.now().since(vstart).as_secs_f64();
+            (wall_ms, bytes as f64 / vsecs / 1e6)
+        },
+        runs,
+    );
+    result("relayed-3hop", bytes, wall_ms, virt)
+}
+
+fn drive_vlinks(world: &mut SimWorld, tx: &VLink, rx: &VLink, data: &[u8]) -> (f64, f64) {
+    let received = Rc::new(Cell::new(0usize));
+    let r = received.clone();
+    let rx2 = rx.clone();
+    rx.set_handler(move |world, ev| {
+        if ev == VLinkEvent::Readable {
+            r.set(r.get() + rx2.read_now(world, usize::MAX).len());
+        }
+    });
+    let bytes = data.len();
+    let vstart = world.now();
+    let hstart = Instant::now();
+    tx.post_write(world, data);
+    let rr = received.clone();
+    world.run_while(|| rr.get() < bytes);
+    let wall_ms = hstart.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(received.get(), bytes, "transfer stalled short");
+    let vsecs = world.now().since(vstart).as_secs_f64();
+    (wall_ms, bytes as f64 / vsecs / 1e6)
+}
+
+fn result(path: &'static str, bytes: usize, wall_ms: f64, virtual_mb_s: f64) -> DatapathResult {
+    DatapathResult {
+        path,
+        bytes,
+        wall_ms,
+        wall_mb_s: bytes as f64 / (wall_ms / 1e3) / 1e6,
+        virtual_mb_s,
+    }
+}
+
+/// The default sweep: every datapath at `bytes` payload, best of `runs`.
+pub fn datapath_sweep(bytes: usize, runs: usize) -> Vec<DatapathResult> {
+    vec![
+        bench_loopback(bytes, runs),
+        bench_framed(bytes, runs),
+        bench_tcp(bytes, runs),
+        bench_parallel(bytes, runs),
+        bench_madio_stream(bytes, runs),
+        bench_relayed(bytes, runs),
+    ]
+}
+
+/// Renders the results as a machine-readable JSON document.
+pub fn datapath_json(results: &[DatapathResult]) -> String {
+    let mut s = String::from("{\n  \"experiment\": \"datapath\",\n  \"results\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        let baseline = baseline_wall_mb_s(r.path);
+        s.push_str(&format!(
+            concat!(
+                "    {{\"path\": \"{}\", \"bytes\": {}, \"wall_ms\": {:.3}, ",
+                "\"wall_mb_s\": {:.2}, \"baseline_wall_mb_s\": {}, \"speedup\": {}, ",
+                "\"virtual_mb_s\": {:.4}}}{}\n"
+            ),
+            r.path,
+            r.bytes,
+            r.wall_ms,
+            r.wall_mb_s,
+            baseline
+                .map(|b| format!("{b:.2}"))
+                .unwrap_or_else(|| "null".to_string()),
+            baseline
+                .map(|b| format!("{:.2}", r.wall_mb_s / b))
+                .unwrap_or_else(|| "null".to_string()),
+            r.virtual_mb_s,
+            if i + 1 == results.len() { "" } else { "," },
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+/// Writes `BENCH_datapath.json` into the current directory.
+pub fn write_datapath_json(results: &[DatapathResult]) -> std::io::Result<String> {
+    let path = "BENCH_datapath.json".to_string();
+    std::fs::write(&path, datapath_json(results))?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_sweep_covers_every_path() {
+        let results = datapath_sweep(64 * 1024, 1);
+        assert_eq!(results.len(), 6);
+        for r in &results {
+            assert_eq!(r.bytes, 64 * 1024, "{r:?}");
+            assert!(r.wall_mb_s > 0.0, "{r:?}");
+            assert!(r.virtual_mb_s > 0.0, "{r:?}");
+        }
+        let json = datapath_json(&results);
+        assert!(json.contains("\"experiment\": \"datapath\""));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+}

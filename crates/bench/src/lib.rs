@@ -7,6 +7,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod datapath;
 pub mod experiments;
 pub mod multi_site;
 

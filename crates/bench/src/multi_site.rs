@@ -57,6 +57,10 @@ pub struct MultiSiteResult {
     pub frames_relayed: u64,
     /// Frames dropped at gateways (queue, TTL, routing).
     pub frames_dropped: u64,
+    /// Frames lost in flight on the networks themselves (link loss), i.e.
+    /// sent but neither delivered nor accounted as a gateway drop. The
+    /// lossy-internet rows lose frames here while `frames_dropped` stays 0.
+    pub frames_lost: u64,
     /// One-way latency of the first relayed frame, in milliseconds.
     /// `None` when no frame survived to the destination.
     pub first_frame_ms: Option<f64>,
@@ -169,6 +173,7 @@ pub fn multi_site_run(
     let secs = world.now().since(start).as_secs_f64();
     let stream_goodput_mb_s = STREAM_BYTES as f64 / secs / 1e6;
 
+    let frames_dropped = fabric.total_dropped();
     MultiSiteResult {
         sites,
         layout,
@@ -177,7 +182,10 @@ pub fn multi_site_run(
         frames_sent: RELAY_FRAMES as u64,
         frames_delivered: delivered.get(),
         frames_relayed: fabric.total_relayed(),
-        frames_dropped: fabric.total_dropped(),
+        frames_dropped,
+        frames_lost: (RELAY_FRAMES as u64)
+            .saturating_sub(delivered.get())
+            .saturating_sub(frames_dropped),
         first_frame_ms,
         stream_goodput_mb_s,
         stream_bytes: STREAM_BYTES,
@@ -217,7 +225,7 @@ pub fn multi_site_json(results: &[MultiSiteResult]) -> String {
             concat!(
                 "    {{\"sites\": {}, \"layout\": \"{}\", \"backbone\": \"{}\", \"hops\": {}, ",
                 "\"frames_sent\": {}, \"frames_delivered\": {}, ",
-                "\"frames_relayed\": {}, \"frames_dropped\": {}, ",
+                "\"frames_relayed\": {}, \"frames_dropped\": {}, \"frames_lost\": {}, ",
                 "\"first_frame_ms\": {}, \"stream_goodput_mb_s\": {:.4}, ",
                 "\"stream_bytes\": {}}}{}\n"
             ),
@@ -229,6 +237,7 @@ pub fn multi_site_json(results: &[MultiSiteResult]) -> String {
             r.frames_delivered,
             r.frames_relayed,
             r.frames_dropped,
+            r.frames_lost,
             r.first_frame_ms
                 .map(|v| format!("{v:.4}"))
                 .unwrap_or_else(|| "null".to_string()),
@@ -257,7 +266,13 @@ mod tests {
     fn two_site_wan_run_relays_and_streams() {
         let r = multi_site_run(2, Layout::Star, "vthd-wan", NetworkSpec::vthd_wan());
         assert_eq!(r.hops, 3);
-        assert_eq!(r.frames_delivered, r.frames_sent - r.frames_dropped);
+        // Every frame is accounted exactly once: delivered, dropped at a
+        // gateway, or lost on a lossy link.
+        assert_eq!(
+            r.frames_delivered + r.frames_dropped + r.frames_lost,
+            r.frames_sent,
+            "{r:?}"
+        );
         assert!(r.frames_relayed > 0, "{r:?}");
         // The WAN adds ≥ 8 ms one way.
         assert!(r.first_frame_ms.unwrap() >= 8.0, "{r:?}");
@@ -285,7 +300,27 @@ mod tests {
         assert!(json.contains("\"experiment\": \"multi_site\""));
         assert!(json.contains("\"sites\": 2"));
         assert!(json.contains("\"layout\": \"star\""));
+        assert!(json.contains("\"frames_lost\""));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn lossy_backbone_loss_is_accounted_as_lost_not_dropped() {
+        let r = multi_site_run(
+            2,
+            Layout::Star,
+            "lossy-internet",
+            NetworkSpec::lossy_internet(),
+        );
+        assert_eq!(
+            r.frames_delivered + r.frames_dropped + r.frames_lost,
+            r.frames_sent,
+            "{r:?}"
+        );
+        assert!(
+            r.frames_lost > 0,
+            "a 2% lossy backbone must lose frames: {r:?}"
+        );
     }
 
     #[test]

@@ -16,7 +16,7 @@ use std::rc::Rc;
 use bytes::{Bytes, BytesMut};
 use netaccess::{MadIO, MadIOTag};
 use simnet::{NodeId, SimDuration, SimWorld};
-use transport::ByteStream;
+use transport::{ByteStream, SegBuf};
 
 /// A message received on a Circuit.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -276,14 +276,18 @@ impl Circuit {
     /// …): frames parsed from it are delivered into this Circuit.
     pub fn attach_incoming_stream(&self, world: &mut SimWorld, stream: Rc<dyn ByteStream>) {
         let circuit = self.clone();
-        let partial = Rc::new(RefCell::new(Vec::<u8>::new()));
+        let partial = Rc::new(RefCell::new(SegBuf::new()));
         let stream2 = stream.clone();
         stream.set_readable_callback(Box::new(move |world| {
-            let data = stream2.recv(world, usize::MAX);
             let mut buf = partial.borrow_mut();
-            buf.extend_from_slice(&data);
-            while let Some((msg, consumed)) = decode_frame(&buf) {
-                buf.drain(..consumed);
+            loop {
+                let data = stream2.recv_bytes(world, usize::MAX);
+                if data.is_empty() {
+                    break;
+                }
+                buf.push_bytes(data);
+            }
+            while let Some(msg) = decode_frame(&mut buf) {
                 circuit.deliver(world, msg);
             }
         }));
@@ -295,26 +299,30 @@ impl Circuit {
 // Stream framing shared by the SysIO and VLink adapters
 // --------------------------------------------------------------------- //
 
-fn encode_frame(src_rank: usize, segments: &[Bytes]) -> Vec<u8> {
-    let payload: usize = segments.iter().map(|s| s.len()).sum();
-    let mut out = Vec::with_capacity(12 + segments.len() * 4 + payload);
+/// Builds the frame header for a segmented Circuit message. The segment
+/// payloads are not copied into the header: [`StreamCircuitLink::send`]
+/// pushes the header and then each segment by refcount, so the message
+/// stays segment-preserving all the way onto the carrying stream.
+fn encode_frame_header(src_rank: usize, segments: &[Bytes]) -> Bytes {
+    let mut out = BytesMut::with_capacity(8 + segments.len() * 4);
     out.extend_from_slice(&(src_rank as u32).to_be_bytes());
     out.extend_from_slice(&(segments.len() as u32).to_be_bytes());
     for s in segments {
         out.extend_from_slice(&(s.len() as u32).to_be_bytes());
     }
-    for s in segments {
-        out.extend_from_slice(s);
-    }
-    out
+    out.freeze()
 }
 
-fn decode_frame(buf: &[u8]) -> Option<(CircuitMessage, usize)> {
-    if buf.len() < 8 {
+/// Decodes one complete frame from the reassembly buffer, consuming it.
+/// Segment payloads are zero-copy slices of the buffered chunks whenever a
+/// segment arrived contiguously.
+fn decode_frame(buf: &mut SegBuf) -> Option<CircuitMessage> {
+    let mut fixed = [0u8; 8];
+    if buf.copy_peek(&mut fixed) < 8 {
         return None;
     }
-    let src_rank = u32::from_be_bytes(buf[0..4].try_into().unwrap()) as usize;
-    let n_segs = u32::from_be_bytes(buf[4..8].try_into().unwrap()) as usize;
+    let src_rank = u32::from_be_bytes(fixed[0..4].try_into().unwrap()) as usize;
+    let n_segs = u32::from_be_bytes(fixed[4..8].try_into().unwrap()) as usize;
     if n_segs > 1_000_000 {
         return None; // corrupt
     }
@@ -322,21 +330,21 @@ fn decode_frame(buf: &[u8]) -> Option<(CircuitMessage, usize)> {
     if buf.len() < header {
         return None;
     }
+    let mut len_bytes = vec![0u8; header];
+    buf.copy_peek(&mut len_bytes);
     let mut lens = Vec::with_capacity(n_segs);
     for i in 0..n_segs {
-        lens.push(u32::from_be_bytes(buf[8 + i * 4..12 + i * 4].try_into().unwrap()) as usize);
+        lens.push(
+            u32::from_be_bytes(len_bytes[8 + i * 4..12 + i * 4].try_into().unwrap()) as usize,
+        );
     }
     let total: usize = lens.iter().sum();
     if buf.len() < header + total {
         return None;
     }
-    let mut segments = Vec::with_capacity(n_segs);
-    let mut off = header;
-    for len in lens {
-        segments.push(Bytes::copy_from_slice(&buf[off..off + len]));
-        off += len;
-    }
-    Some((CircuitMessage { src_rank, segments }, off))
+    buf.consume(header);
+    let segments = lens.into_iter().map(|len| buf.read_bytes(len)).collect();
+    Some(CircuitMessage { src_rank, segments })
 }
 
 // --------------------------------------------------------------------- //
@@ -398,9 +406,13 @@ impl StreamCircuitLink {
 
 impl CircuitLink for StreamCircuitLink {
     fn send(&self, world: &mut SimWorld, src_rank: usize, segments: Vec<Bytes>) {
-        let frame = encode_frame(src_rank, &segments);
-        let sent = self.stream.send(world, &frame);
-        debug_assert_eq!(sent, frame.len(), "stream refused Circuit frame");
+        let header = encode_frame_header(src_rank, &segments);
+        let expected = header.len() + segments.iter().map(|s| s.len()).sum::<usize>();
+        let mut parts = Vec::with_capacity(1 + segments.len());
+        parts.push(header);
+        parts.extend(segments);
+        let sent = self.stream.send_bytes_vectored(world, parts);
+        debug_assert_eq!(sent, expected, "stream refused Circuit frame");
     }
 
     fn kind(&self) -> CircuitLinkKind {
@@ -422,14 +434,47 @@ mod tests {
             Bytes::from_static(b""),
             Bytes::from_static(b"payload data"),
         ];
-        let wire = encode_frame(3, &segments);
-        let (msg, consumed) = decode_frame(&wire).unwrap();
-        assert_eq!(consumed, wire.len());
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&encode_frame_header(3, &segments));
+        for s in &segments {
+            wire.extend_from_slice(s);
+        }
+        let mut buf = SegBuf::new();
+        buf.push_slice(&wire);
+        let msg = decode_frame(&mut buf).unwrap();
+        assert!(buf.is_empty(), "whole frame must be consumed");
         assert_eq!(msg.src_rank, 3);
         assert_eq!(msg.segments, segments);
-        // Partial frames are not decoded.
-        assert!(decode_frame(&wire[..wire.len() - 1]).is_none());
-        assert!(decode_frame(&wire[..4]).is_none());
+        // Partial frames are not decoded (and nothing is consumed).
+        let mut partial = SegBuf::new();
+        partial.push_slice(&wire[..wire.len() - 1]);
+        assert!(decode_frame(&mut partial).is_none());
+        assert_eq!(partial.len(), wire.len() - 1);
+        let mut tiny = SegBuf::new();
+        tiny.push_slice(&wire[..4]);
+        assert!(decode_frame(&mut tiny).is_none());
+    }
+
+    #[test]
+    fn frame_decode_across_chunk_boundaries() {
+        let segments = vec![Bytes::from(vec![9u8; 10]), Bytes::from(vec![7u8; 3])];
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&encode_frame_header(1, &segments));
+        for s in &segments {
+            wire.extend_from_slice(s);
+        }
+        // Feed the wire one byte at a time: decode only fires once whole.
+        let mut buf = SegBuf::new();
+        let mut decoded = None;
+        for (i, b) in wire.iter().enumerate() {
+            buf.push_slice(&[*b]);
+            if let Some(msg) = decode_frame(&mut buf) {
+                assert_eq!(i, wire.len() - 1, "decoded before the frame was whole");
+                decoded = Some(msg);
+            }
+        }
+        let msg = decoded.expect("frame decodes at the last byte");
+        assert_eq!(msg.segments, segments);
     }
 
     #[test]

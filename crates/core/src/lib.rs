@@ -30,6 +30,7 @@ pub mod personality;
 pub mod relay;
 pub mod runtime;
 pub mod selector;
+pub(crate) mod trunk;
 pub mod vlink;
 
 pub use circuit::{

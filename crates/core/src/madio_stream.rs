@@ -7,13 +7,13 @@
 //! on one MadIO tag so any number of logical streams share the SAN.
 
 use std::cell::RefCell;
-use std::collections::{HashMap, VecDeque};
+use std::collections::HashMap;
 use std::rc::Rc;
 
 use bytes::{Bytes, BytesMut};
 use netaccess::{MadIO, MadIOMessage, MadIOTag};
 use simnet::{SimDuration, SimWorld};
-use transport::{ByteStream, ReadableCallback};
+use transport::{ByteStream, ReadableCallback, SegBuf};
 
 const KIND_CONNECT: u8 = 0;
 const KIND_ACCEPT: u8 = 1;
@@ -39,7 +39,7 @@ struct StreamState {
     refused: bool,
     peer_closed: bool,
     self_closed: bool,
-    recv_buf: VecDeque<u8>,
+    recv_buf: SegBuf,
     readable_cb: Option<ReadableCallback>,
     notify_pending: bool,
     bytes_sent: u64,
@@ -122,7 +122,7 @@ impl MadStreamDriver {
             refused: false,
             peer_closed: false,
             self_closed: false,
-            recv_buf: VecDeque::new(),
+            recv_buf: SegBuf::new(),
             readable_cb: None,
             notify_pending: false,
             bytes_sent: 0,
@@ -177,7 +177,7 @@ impl MadStreamDriver {
                     refused: false,
                     peer_closed: false,
                     self_closed: false,
-                    recv_buf: VecDeque::new(),
+                    recv_buf: SegBuf::new(),
                     readable_cb: None,
                     notify_pending: false,
                     bytes_sent: 0,
@@ -227,8 +227,10 @@ impl MadStreamDriver {
                     }
                     KIND_DATA => {
                         let mut st = state.borrow_mut();
+                        // The arriving MadIO segments are queued by
+                        // refcount; the SAN payload is never copied again.
                         for seg in &msg.segments[1..] {
-                            st.recv_buf.extend(seg.iter().copied());
+                            st.recv_buf.push_bytes(seg.clone());
                         }
                     }
                     KIND_CLOSE => state.borrow_mut().peer_closed = true,
@@ -279,8 +281,11 @@ impl MadStream {
     }
 }
 
-impl ByteStream for MadStream {
-    fn send(&self, world: &mut SimWorld, data: &[u8]) -> usize {
+impl MadStream {
+    /// Queues one DATA message carrying `payload` (already refcounted; the
+    /// emulation adds its header as a combined segment, so the payload is
+    /// never copied by the stream layer).
+    fn queue_send(&self, world: &mut SimWorld, payload: Bytes) -> usize {
         let (madio, overhead) = {
             let inner = self.driver.inner.borrow();
             (inner.madio.clone(), inner.per_message_overhead)
@@ -296,9 +301,9 @@ impl ByteStream for MadStream {
         if closed {
             return 0;
         }
-        self.state.borrow_mut().bytes_sent += data.len() as u64;
+        let len = payload.len();
+        self.state.borrow_mut().bytes_sent += len as u64;
         let header = encode_header(KIND_DATA, stream_id, 0);
-        let payload = Bytes::copy_from_slice(data);
         // The stream emulation charges its per-message cost before handing
         // the message to MadIO.
         world.schedule_after(overhead, move |world| {
@@ -312,7 +317,17 @@ impl ByteStream for MadStream {
                 ],
             );
         });
-        data.len()
+        len
+    }
+}
+
+impl ByteStream for MadStream {
+    fn send(&self, world: &mut SimWorld, data: &[u8]) -> usize {
+        self.queue_send(world, Bytes::copy_from_slice(data))
+    }
+
+    fn send_bytes(&self, world: &mut SimWorld, data: Bytes) -> usize {
+        self.queue_send(world, data)
     }
 
     fn available(&self) -> usize {
@@ -320,9 +335,16 @@ impl ByteStream for MadStream {
     }
 
     fn recv(&self, _world: &mut SimWorld, max: usize) -> Vec<u8> {
-        let mut st = self.state.borrow_mut();
-        let n = max.min(st.recv_buf.len());
-        st.recv_buf.drain(..n).collect()
+        // Early out before touching the state when there is nothing to do
+        // (`max == 0` reads and spurious wakeups on an empty buffer).
+        if max == 0 || self.available() == 0 {
+            return Vec::new();
+        }
+        self.state.borrow_mut().recv_buf.read_into(max)
+    }
+
+    fn recv_bytes(&self, _world: &mut SimWorld, max: usize) -> Bytes {
+        self.state.borrow_mut().recv_buf.pop_chunk(max)
     }
 
     fn is_established(&self) -> bool {

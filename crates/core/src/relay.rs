@@ -17,14 +17,29 @@
 use std::cell::RefCell;
 use std::rc::Rc;
 
-use simnet::{NodeId, SimWorld};
-use transport::{ByteStream, ByteStreamExt};
+use simnet::{NetworkClass, NodeId, SimWorld};
+use transport::{ByteStream, ByteStreamExt, ParallelStream, ParallelStreamConfig, SegBuf};
 
 use crate::runtime::PadicoRuntime;
+use crate::trunk::TrunkMux;
 use crate::vlink::{VLink, VLinkEvent};
 
 /// The well-known service port gateway proxies listen on.
 pub const GATEWAY_PROXY_SERVICE: u16 = 45_000;
+
+/// The port the proxy's persistent trunk carrier (a Parallel Streams
+/// bundle multiplexing every relayed stream between a gateway pair)
+/// listens on.
+pub const GATEWAY_PROXY_TRUNK_SERVICE: u16 = GATEWAY_PROXY_SERVICE + 10_000;
+
+/// Striping chunk of trunk carriers: small enough that modest relayed
+/// transfers spread over every member connection of the bundle.
+pub(crate) const TRUNK_STRIPE_CHUNK: usize = 4096;
+
+/// Warm-up padding pushed through a trunk once at establishment —
+/// roughly one bandwidth-delay product of the reference WAN (12.5 MB/s ×
+/// 16 ms ≈ 200 kB), enough to take the carrier out of slow start.
+pub(crate) const TRUNK_WARMUP_BYTES: usize = 256 * 1024;
 
 /// Magic tag opening every proxy header.
 const PROXY_MAGIC: u16 = 0x9D1C;
@@ -114,10 +129,23 @@ pub(crate) fn connect_through_gateway_with_ttl(
     circuit_stream: bool,
     ttl: u8,
 ) -> Rc<dyn ByteStream> {
-    let conn = rt
-        .netaccess()
-        .sysio()
-        .connect(world, network, via, GATEWAY_PROXY_SERVICE);
+    let wan_class = matches!(
+        world.network(network).spec.class,
+        NetworkClass::Wan | NetworkClass::Internet
+    );
+    let conn: Rc<dyn ByteStream> = if wan_class {
+        // WAN-class leg: ride the persistent trunk towards the gateway —
+        // no per-stream WAN handshake, warm congestion state shared with
+        // every other relayed stream crossing this gateway pair.
+        Rc::new(rt.trunk_stream(world, network, via))
+    } else {
+        // Intra-site leg (SAN/LAN): a per-stream connection is cheap.
+        Rc::new(
+            rt.netaccess()
+                .sysio()
+                .connect(world, network, via, GATEWAY_PROXY_SERVICE),
+        )
+    };
     let flags = if circuit_stream {
         FLAG_CIRCUIT_STREAM
     } else {
@@ -125,7 +153,7 @@ pub(crate) fn connect_through_gateway_with_ttl(
     };
     let header = encode_header(dst, service, flags, ttl);
     conn.send_all(world, &header);
-    Rc::new(conn)
+    conn
 }
 
 /// Installs the stream proxy on `rt`'s node, making it a gateway for
@@ -134,111 +162,192 @@ pub(crate) fn connect_through_gateway_with_ttl(
 /// The runtime must have a route table installed (see
 /// [`PadicoRuntime::set_route_table`]) for multi-gateway chains to
 /// resolve.
-pub fn install_gateway_proxy(_world: &mut SimWorld, rt: &PadicoRuntime) -> GatewayProxy {
+pub fn install_gateway_proxy(world: &mut SimWorld, rt: &PadicoRuntime) -> GatewayProxy {
     let proxy = GatewayProxy {
         node: rt.node(),
         stats: Rc::new(RefCell::new(GatewayProxyStats::default())),
     };
-    let rt = rt.clone();
     let stats = proxy.stats.clone();
+    let rt2 = rt.clone();
+    let stats2 = stats.clone();
     let registered =
         rt.clone()
             .netaccess()
             .sysio()
             .listen(GATEWAY_PROXY_SERVICE, move |_world, conn| {
-                let conn = Rc::new(conn);
-                let rt = rt.clone();
-                let stats = stats.clone();
-                // Per-connection state: buffer the header, then splice.
-                let pending: Rc<RefCell<Vec<u8>>> = Rc::new(RefCell::new(Vec::new()));
-                let onward: Rc<RefCell<Option<VLink>>> = Rc::new(RefCell::new(None));
-                let refused = Rc::new(std::cell::Cell::new(false));
-                let conn2 = conn.clone();
-                let pump = move |world: &mut SimWorld| {
-                    if refused.get() {
-                        return;
-                    }
-                    let data = conn2.recv(world, usize::MAX);
-                    if let Some(link) = onward.borrow().clone() {
-                        // Established splice: forward payload onwards.
-                        if !data.is_empty() {
-                            stats.borrow_mut().bytes_forward += data.len() as u64;
-                            link.post_write(world, &data);
-                        }
-                        if conn2.is_finished() {
-                            link.close(world);
-                        }
-                        return;
-                    }
-                    let refuse = |world: &mut SimWorld| {
-                        refused.set(true);
-                        stats.borrow_mut().connections_refused += 1;
-                        conn2.close(world);
-                    };
-                    pending.borrow_mut().extend_from_slice(&data);
-                    let header = {
-                        let buf = pending.borrow();
-                        if buf.len() < PROXY_HEADER_BYTES {
-                            // A peer that closes before completing the header is
-                            // refused, not left dangling.
-                            if conn2.is_finished() {
-                                drop(buf);
-                                refuse(world);
-                            }
-                            return;
-                        }
-                        decode_header(&buf)
-                    };
-                    let Some((flags, ttl, dst, service)) = header else {
-                        refuse(world);
-                        return;
-                    };
-                    if ttl == 0 {
-                        refuse(world);
-                        return;
-                    }
-                    let circuit_stream = flags & FLAG_CIRCUIT_STREAM != 0;
-                    let link = rt.open_onward_leg(world, dst, service, circuit_stream, ttl - 1);
-                    stats.borrow_mut().connections_relayed += 1;
-                    // Reverse pump: destination -> connecting side.
-                    let back = conn2.clone();
-                    let link2 = link.clone();
-                    let stats2 = stats.clone();
-                    link.set_handler(move |world, event| match event {
-                        VLinkEvent::Readable => {
-                            let data = link2.read_now(world, usize::MAX);
-                            if !data.is_empty() {
-                                stats2.borrow_mut().bytes_backward += data.len() as u64;
-                                back.send_all(world, &data);
-                            }
-                        }
-                        VLinkEvent::Finished => back.close(world),
-                        VLinkEvent::Connected => {}
-                    });
-                    // Forward any payload that followed the header.
-                    let rest: Vec<u8> = pending.borrow_mut().split_off(PROXY_HEADER_BYTES);
-                    if !rest.is_empty() {
-                        stats.borrow_mut().bytes_forward += rest.len() as u64;
-                        link.post_write(world, &rest);
-                    }
-                    pending.borrow_mut().clear();
-                    *onward.borrow_mut() = Some(link);
-                    if conn2.is_finished() {
-                        if let Some(link) = onward.borrow().clone() {
-                            link.close(world);
-                        }
-                    }
-                };
-                // Data buffered before this callback is installed (the header
-                // can race the handshake) is re-announced by the SysIO accept
-                // dispatch, so installing the callback is all that is needed.
-                conn.set_readable_callback(Box::new(pump));
+                splice_incoming(&rt2, &stats2, Rc::new(conn));
             });
     assert!(
         registered,
         "gateway proxy port {GATEWAY_PROXY_SERVICE} is already taken on this node"
     );
+    // Trunk carriers arrive as Parallel Streams bundles on the offset
+    // port; each carries a multiplexed stream per relayed connection, and
+    // every demultiplexed stream is spliced exactly like a plain one.
+    let rt2 = rt.clone();
+    let width = rt.preferences().trunk_width();
+    ParallelStream::listen(
+        world,
+        &rt.netaccess().sysio().tcp(),
+        GATEWAY_PROXY_TRUNK_SERVICE,
+        ParallelStreamConfig {
+            n_streams: width,
+            chunk_size: TRUNK_STRIPE_CHUNK,
+        },
+        move |_world, carrier| {
+            let rt3 = rt2.clone();
+            let stats3 = stats.clone();
+            let mux = TrunkMux::acceptor(Rc::new(carrier), move |_world, stream| {
+                splice_incoming(&rt3, &stats3, Rc::new(stream));
+            });
+            rt2.register_accepted_trunk(mux);
+        },
+    );
     proxy
+}
+
+/// Eagerly establishes this gateway's outgoing trunks towards the given
+/// peer gateways on every WAN-class network they share, so the first
+/// relayed stream finds a warm carrier instead of paying the WAN
+/// handshake. Only nodes running a gateway proxy may be named in `peers`
+/// (nothing else listens for trunk carriers — dialing a non-gateway would
+/// retry its SYNs forever). Called by `runtimes_for_grid`, which knows
+/// the grid's gateway set; lazy establishment on first use remains the
+/// fallback for everything else.
+pub fn establish_gateway_trunks(world: &mut SimWorld, rt: &PadicoRuntime, peers: &[NodeId]) {
+    for net in world.network_ids() {
+        let spec_class = world.network(net).spec.class;
+        if !matches!(spec_class, NetworkClass::Wan | NetworkClass::Internet) {
+            continue;
+        }
+        let members = world.network(net).members().to_vec();
+        if !members.contains(&rt.node()) {
+            continue;
+        }
+        for m in members {
+            if m != rt.node() && peers.contains(&m) {
+                rt.ensure_trunk(world, net, m);
+            }
+        }
+    }
+}
+
+/// Installs the proxy splice on one accepted connection: buffer the proxy
+/// header, open the onward leg, then store-and-forward in both directions.
+fn splice_incoming(
+    rt: &PadicoRuntime,
+    stats: &Rc<RefCell<GatewayProxyStats>>,
+    conn: Rc<dyn ByteStream>,
+) {
+    let rt = rt.clone();
+    let stats = stats.clone();
+    // Per-connection state: buffer the header, then splice.
+    let pending: Rc<RefCell<SegBuf>> = Rc::new(RefCell::new(SegBuf::new()));
+    let onward: Rc<RefCell<Option<VLink>>> = Rc::new(RefCell::new(None));
+    let refused = Rc::new(std::cell::Cell::new(false));
+    let conn2 = conn.clone();
+    let pump = move |world: &mut SimWorld| {
+        if refused.get() {
+            return;
+        }
+        if let Some(link) = onward.borrow().clone() {
+            // Established splice: forward arriving chunks onwards by
+            // refcount — the store-and-forward queue never copies.
+            loop {
+                let data = conn2.recv_bytes(world, usize::MAX);
+                if data.is_empty() {
+                    break;
+                }
+                stats.borrow_mut().bytes_forward += data.len() as u64;
+                link.post_write_bytes(world, data);
+            }
+            if conn2.is_finished() {
+                link.close(world);
+            }
+            return;
+        }
+        let refuse = |world: &mut SimWorld| {
+            refused.set(true);
+            stats.borrow_mut().connections_refused += 1;
+            conn2.close(world);
+        };
+        {
+            let mut buf = pending.borrow_mut();
+            loop {
+                let data = conn2.recv_bytes(world, usize::MAX);
+                if data.is_empty() {
+                    break;
+                }
+                buf.push_bytes(data);
+            }
+        }
+        let header = {
+            let buf = pending.borrow();
+            let mut head = [0u8; PROXY_HEADER_BYTES];
+            if buf.copy_peek(&mut head) < PROXY_HEADER_BYTES {
+                // A peer that closes before completing the header is
+                // refused, not left dangling.
+                if conn2.is_finished() {
+                    drop(buf);
+                    refuse(world);
+                }
+                return;
+            }
+            decode_header(&head)
+        };
+        let Some((flags, ttl, dst, service)) = header else {
+            refuse(world);
+            return;
+        };
+        if ttl == 0 {
+            refuse(world);
+            return;
+        }
+        let circuit_stream = flags & FLAG_CIRCUIT_STREAM != 0;
+        let link = rt.open_onward_leg(world, dst, service, circuit_stream, ttl - 1);
+        stats.borrow_mut().connections_relayed += 1;
+        // Reverse pump: destination -> connecting side, chunk by chunk.
+        let back = conn2.clone();
+        let link2 = link.clone();
+        let stats2 = stats.clone();
+        link.set_handler(move |world, event| match event {
+            VLinkEvent::Readable => loop {
+                let data = link2.read_now_bytes(world, usize::MAX);
+                if data.is_empty() {
+                    break;
+                }
+                stats2.borrow_mut().bytes_backward += data.len() as u64;
+                let len = data.len();
+                let sent = back.send_bytes(world, data);
+                debug_assert_eq!(sent, len, "splice backward leg refused data");
+            },
+            VLinkEvent::Finished => back.close(world),
+            VLinkEvent::Connected => {}
+        });
+        // Forward any payload that followed the header.
+        {
+            let mut buf = pending.borrow_mut();
+            buf.consume(PROXY_HEADER_BYTES);
+            loop {
+                let rest = buf.pop_chunk(usize::MAX);
+                if rest.is_empty() {
+                    break;
+                }
+                stats.borrow_mut().bytes_forward += rest.len() as u64;
+                link.post_write_bytes(world, rest);
+            }
+        }
+        *onward.borrow_mut() = Some(link);
+        if conn2.is_finished() {
+            if let Some(link) = onward.borrow().clone() {
+                link.close(world);
+            }
+        }
+    };
+    // Data buffered before this callback is installed (the header can race
+    // the handshake) is re-announced by the SysIO accept dispatch, so
+    // installing the callback is all that is needed.
+    conn.set_readable_callback(Box::new(pump));
 }
 
 #[cfg(test)]

@@ -23,6 +23,7 @@ use crate::circuit::{Circuit, CircuitLinkKind, MadIoCircuitLink, StreamCircuitLi
 use crate::madio_stream::MadStreamDriver;
 use crate::relay::{self, GatewayProxy};
 use crate::selector::{LinkDecision, SelectorPreferences, TopologyKb};
+use crate::trunk::{TrunkMux, TrunkStream};
 use crate::vlink::{VLink, VLinkMethod};
 
 /// Port offset used for Parallel Streams bundles.
@@ -44,6 +45,13 @@ struct RuntimeInner {
     kb: TopologyKb,
     /// Accept callbacks per service, used for intra-node (loopback) connects.
     local_services: HashMap<u16, VLinkAcceptCallback>,
+    /// Persistent trunks towards gateway proxies, keyed by
+    /// (gateway, network). Established once, shared by every relayed
+    /// stream this node opens through that gateway.
+    trunks: HashMap<(NodeId, NetworkId), TrunkMux>,
+    /// Trunk demultiplexers accepted by this node's proxy listener, kept
+    /// alive here (their carrier callbacks hold only weak references).
+    accepted_trunks: Vec<TrunkMux>,
 }
 
 /// A node's PadicoTM runtime.
@@ -85,6 +93,8 @@ impl PadicoRuntime {
                 san_group,
                 kb: TopologyKb::new(prefs),
                 local_services: HashMap::new(),
+                trunks: HashMap::new(),
+                accepted_trunks: Vec::new(),
             })),
         }
     }
@@ -132,6 +142,65 @@ impl PadicoRuntime {
     pub fn circuit_decision(&self, world: &SimWorld, remote: NodeId) -> LinkDecision {
         let inner = self.inner.borrow();
         inner.kb.select_circuit(world, inner.node, remote)
+    }
+
+    // ------------------------------------------------------------------ //
+    // Gateway trunks
+    // ------------------------------------------------------------------ //
+
+    /// Returns (establishing it on first use) the persistent trunk towards
+    /// the gateway proxy on `via` over `network`. The carrier is a
+    /// Parallel Streams bundle — the selector's own answer to WAN-class
+    /// links — sized by the `gateway_trunk_width` preference.
+    pub(crate) fn ensure_trunk(
+        &self,
+        world: &mut SimWorld,
+        network: NetworkId,
+        via: NodeId,
+    ) -> TrunkMux {
+        if let Some(mux) = self.inner.borrow().trunks.get(&(via, network)).cloned() {
+            return mux;
+        }
+        let width = self.preferences().trunk_width();
+        let tcp = self.inner.borrow().netaccess.sysio().tcp();
+        let carrier = ParallelStream::connect(
+            world,
+            &tcp,
+            network,
+            via,
+            relay::GATEWAY_PROXY_TRUNK_SERVICE,
+            ParallelStreamConfig {
+                n_streams: width,
+                chunk_size: relay::TRUNK_STRIPE_CHUNK,
+            },
+        );
+        let mux = TrunkMux::connector(Rc::new(carrier));
+        // Drive the fresh carrier's congestion windows to steady state
+        // once, so every relayed stream finds a hot trunk (the simulated
+        // TCP keeps congestion state for the connection's lifetime, like a
+        // cached GridFTP data channel).
+        mux.warm_up(world, relay::TRUNK_WARMUP_BYTES);
+        self.inner
+            .borrow_mut()
+            .trunks
+            .insert((via, network), mux.clone());
+        mux
+    }
+
+    /// Opens one multiplexed stream over the trunk towards `via`.
+    pub(crate) fn trunk_stream(
+        &self,
+        world: &mut SimWorld,
+        network: NetworkId,
+        via: NodeId,
+    ) -> TrunkStream {
+        self.ensure_trunk(world, network, via).open()
+    }
+
+    /// Keeps an accepted trunk demultiplexer alive for the lifetime of
+    /// this runtime (its carrier callback only holds a weak reference).
+    pub(crate) fn register_accepted_trunk(&self, mux: TrunkMux) {
+        self.inner.borrow_mut().accepted_trunks.push(mux);
     }
 
     // ------------------------------------------------------------------ //
@@ -567,6 +636,7 @@ pub fn runtimes_for_grid(
     let routes = Rc::new(grid.routes.clone());
     let mut runtimes = Vec::new();
     let mut proxies = Vec::new();
+    let mut gateway_rts = Vec::new();
     for site in &grid.sites {
         for &node in &site.nodes {
             let san = site.san.map(|san| (san, site.nodes.clone()));
@@ -574,9 +644,16 @@ pub fn runtimes_for_grid(
             rt.set_route_table(routes.clone());
             if node == site.gateway {
                 proxies.push(relay::install_gateway_proxy(world, &rt));
+                gateway_rts.push(rt.clone());
             }
             runtimes.push(rt);
         }
+    }
+    // Pre-warm the gateway-to-gateway trunks now that every proxy
+    // listener exists: the first relayed stream then rides a hot carrier.
+    let gateways: Vec<NodeId> = gateway_rts.iter().map(|rt| rt.node()).collect();
+    for rt in &gateway_rts {
+        relay::establish_gateway_trunks(world, rt, &gateways);
     }
     (runtimes, proxies)
 }

@@ -24,6 +24,12 @@ pub struct SelectorPreferences {
     pub parallel_streams_on_wan: bool,
     /// Number of member streams for Parallel Streams.
     pub parallel_stream_width: usize,
+    /// Width of the persistent gateway-to-gateway trunk bundles that carry
+    /// relayed streams. Trunks aggregate every relayed stream crossing a
+    /// gateway pair, so they are sized wider than a single-transfer bundle
+    /// (GridFTP deployments of the era used up to 8 streams). Ignored when
+    /// `parallel_streams_on_wan` is off (trunks then use one connection).
+    pub gateway_trunk_width: usize,
     /// Use AdOC adaptive compression on slow Internet-class links.
     pub compression_on_slow_links: bool,
     /// Cipher and authenticate traffic that crosses site boundaries
@@ -35,11 +41,26 @@ pub struct SelectorPreferences {
     pub forbid_san: bool,
 }
 
+impl SelectorPreferences {
+    /// Member count of a gateway trunk carrier bundle. The connecting and
+    /// accepting ends of a trunk must agree on this, so both derive it
+    /// here: `gateway_trunk_width` when Parallel Streams are enabled on
+    /// WANs, a single connection otherwise.
+    pub fn trunk_width(&self) -> usize {
+        if self.parallel_streams_on_wan {
+            self.gateway_trunk_width.max(1)
+        } else {
+            1
+        }
+    }
+}
+
 impl Default for SelectorPreferences {
     fn default() -> Self {
         SelectorPreferences {
             parallel_streams_on_wan: true,
             parallel_stream_width: 4,
+            gateway_trunk_width: 8,
             compression_on_slow_links: true,
             secure_inter_site: false,
             forbid_san: false,

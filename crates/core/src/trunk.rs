@@ -1,0 +1,479 @@
+//! Persistent gateway trunks: one warm striped bundle per gateway pair,
+//! multiplexing every relayed stream that crosses it.
+//!
+//! The seed opened a fresh transport connection per relayed stream and per
+//! backbone leg, so every cross-site stream paid a WAN handshake and a cold
+//! congestion window on every hop. A trunk is established once (eagerly,
+//! when the gateway proxy comes up) and stays warm; relayed streams ride it
+//! as multiplexed channels framed by a 9-byte header, so opening a stream
+//! over an established trunk costs no WAN round-trip at all.
+//!
+//! Framing: `[stream id: u32][kind: u8][length: u32][payload]`, big-endian.
+//! Stream ids are allocated by the trunk's connecting side only (each
+//! direction of a gateway pair uses its own trunk), so ids never collide.
+//! A stream opens implicitly with its first frame and closes with a
+//! zero-length `CLOSE` frame in each direction.
+//!
+//! The demultiplexer is built on [`SegBuf`]: arriving carrier segments are
+//! queued by refcount and per-stream payloads are sliced out of them, so a
+//! relayed byte is never copied by the trunk layer.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use bytes::{Bytes, BytesMut};
+use simnet::{SimDuration, SimWorld};
+use transport::{ByteStream, ReadableCallback, SegBuf};
+
+const KIND_DATA: u8 = 0;
+const KIND_CLOSE: u8 = 1;
+/// Warm-up padding sent once at trunk establishment and discarded by the
+/// far end; it drives the carrier's congestion windows to steady state so
+/// the first relayed stream already finds a hot trunk (the same reason
+/// GridFTP caches its data channels).
+const KIND_WARMUP: u8 = 2;
+
+/// Size of the per-frame multiplexing header.
+pub(crate) const MUX_HEADER_BYTES: usize = 9;
+
+/// Largest payload carried by one mux frame, so concurrent streams
+/// interleave fairly on the trunk.
+const MAX_FRAME_PAYLOAD: usize = 64 * 1024;
+
+type TrunkAcceptCallback = Box<dyn FnMut(&mut SimWorld, TrunkStream)>;
+
+struct StreamState {
+    id: u32,
+    recv_buf: SegBuf,
+    readable_cb: Option<ReadableCallback>,
+    notify_pending: bool,
+    peer_closed: bool,
+    self_closed: bool,
+    bytes_sent: u64,
+}
+
+impl StreamState {
+    fn new(id: u32) -> StreamState {
+        StreamState {
+            id,
+            recv_buf: SegBuf::new(),
+            readable_cb: None,
+            notify_pending: false,
+            peer_closed: false,
+            self_closed: false,
+            bytes_sent: 0,
+        }
+    }
+}
+
+struct MuxInner {
+    carrier: Rc<dyn ByteStream>,
+    /// Reassembly buffer for mux frames arriving on the carrier.
+    rx: SegBuf,
+    streams: HashMap<u32, Rc<RefCell<StreamState>>>,
+    next_id: u32,
+    /// Present on the accepting (gateway proxy) side: invoked with each
+    /// stream a peer opens over this trunk.
+    on_accept: Option<TrunkAcceptCallback>,
+}
+
+/// One end of a gateway trunk: demultiplexes mux frames arriving on the
+/// carrier bundle into [`TrunkStream`]s.
+#[derive(Clone)]
+pub(crate) struct TrunkMux {
+    inner: Rc<RefCell<MuxInner>>,
+}
+
+impl TrunkMux {
+    /// Wraps the connecting end of a trunk carrier. Streams are opened
+    /// locally with [`TrunkMux::open`].
+    pub(crate) fn connector(carrier: Rc<dyn ByteStream>) -> TrunkMux {
+        Self::new(carrier, None)
+    }
+
+    /// Wraps the accepting end of a trunk carrier; `on_accept` runs for
+    /// every stream the remote end opens.
+    pub(crate) fn acceptor(
+        carrier: Rc<dyn ByteStream>,
+        on_accept: impl FnMut(&mut SimWorld, TrunkStream) + 'static,
+    ) -> TrunkMux {
+        Self::new(carrier, Some(Box::new(on_accept)))
+    }
+
+    fn new(carrier: Rc<dyn ByteStream>, on_accept: Option<TrunkAcceptCallback>) -> TrunkMux {
+        let mux = TrunkMux {
+            inner: Rc::new(RefCell::new(MuxInner {
+                carrier: carrier.clone(),
+                rx: SegBuf::new(),
+                streams: HashMap::new(),
+                next_id: 1,
+                on_accept,
+            })),
+        };
+        let weak = Rc::downgrade(&mux.inner);
+        carrier.set_readable_callback(Box::new(move |world| {
+            if let Some(inner) = weak.upgrade() {
+                TrunkMux { inner }.on_carrier_readable(world);
+            }
+        }));
+        mux
+    }
+
+    /// Pushes `bytes` of warm-up padding through the trunk. The far end
+    /// discards it; its only effect is growing the carrier's congestion
+    /// state to steady state before real streams ride the trunk.
+    pub(crate) fn warm_up(&self, world: &mut SimWorld, bytes: usize) {
+        let mut left = bytes;
+        while left > 0 {
+            let chunk = left.min(MAX_FRAME_PAYLOAD);
+            self.send_frame(world, 0, KIND_WARMUP, Bytes::from(vec![0u8; chunk]));
+            left -= chunk;
+        }
+    }
+
+    /// Opens a new multiplexed stream over this trunk. Costs no wire
+    /// traffic: the stream exists remotely once its first frame arrives.
+    pub(crate) fn open(&self) -> TrunkStream {
+        let state = {
+            let mut inner = self.inner.borrow_mut();
+            let id = inner.next_id;
+            inner.next_id += 1;
+            let state = Rc::new(RefCell::new(StreamState::new(id)));
+            inner.streams.insert(id, state.clone());
+            state
+        };
+        TrunkStream {
+            mux: self.clone(),
+            state,
+        }
+    }
+
+    fn on_carrier_readable(&self, world: &mut SimWorld) {
+        // Phase 1: drain the carrier and slice out complete mux frames.
+        let frames = {
+            let mut inner = self.inner.borrow_mut();
+            loop {
+                let data = inner.carrier.recv_bytes(world, usize::MAX);
+                if data.is_empty() {
+                    break;
+                }
+                inner.rx.push_bytes(data);
+            }
+            let mut frames = Vec::new();
+            loop {
+                let mut header = [0u8; MUX_HEADER_BYTES];
+                if inner.rx.copy_peek(&mut header) < MUX_HEADER_BYTES {
+                    break;
+                }
+                let id = u32::from_be_bytes(header[0..4].try_into().unwrap());
+                let kind = header[4];
+                let len = u32::from_be_bytes(header[5..9].try_into().unwrap()) as usize;
+                if inner.rx.len() < MUX_HEADER_BYTES + len {
+                    break;
+                }
+                inner.rx.consume(MUX_HEADER_BYTES);
+                // Zero-copy whenever the payload arrived in one segment.
+                let payload = inner.rx.read_bytes(len);
+                frames.push((id, kind, payload));
+            }
+            frames
+        };
+
+        // Phase 2: deliver outside the mux borrow (acceptors may open
+        // onward legs, which can touch other trunks and the runtime).
+        for (id, kind, payload) in frames {
+            if kind == KIND_WARMUP {
+                drop(payload); // padding: its work was done on the wire
+                continue;
+            }
+            let (state, fresh) = {
+                let mut inner = self.inner.borrow_mut();
+                match inner.streams.get(&id) {
+                    Some(s) => (s.clone(), false),
+                    None => {
+                        if inner.on_accept.is_none() {
+                            // A frame for an unknown stream on the
+                            // connecting side: stale after close; drop.
+                            continue;
+                        }
+                        let state = Rc::new(RefCell::new(StreamState::new(id)));
+                        inner.streams.insert(id, state.clone());
+                        (state, true)
+                    }
+                }
+            };
+            let reap = {
+                let mut st = state.borrow_mut();
+                match kind {
+                    KIND_DATA => st.recv_buf.push_bytes(payload),
+                    KIND_CLOSE => st.peer_closed = true,
+                    _ => {} // unknown kind: ignore
+                }
+                // Both directions closed: the carrier's ordering guarantees
+                // no further frame with this id, so the demux entry can go
+                // (live handles keep the state alive through their own Rc).
+                st.self_closed && st.peer_closed
+            };
+            if reap {
+                self.inner.borrow_mut().streams.remove(&id);
+            }
+            let stream = TrunkStream {
+                mux: self.clone(),
+                state: state.clone(),
+            };
+            if fresh {
+                // Hand the new stream out (taking the callback allows the
+                // acceptor to re-enter the mux).
+                let cb = self.inner.borrow_mut().on_accept.take();
+                if let Some(mut cb) = cb {
+                    cb(world, stream.clone());
+                    let mut inner = self.inner.borrow_mut();
+                    if inner.on_accept.is_none() {
+                        inner.on_accept = Some(cb);
+                    }
+                }
+            }
+            stream.schedule_notify(world);
+        }
+    }
+
+    fn send_frame(&self, world: &mut SimWorld, id: u32, kind: u8, payload: Bytes) {
+        let carrier = self.inner.borrow().carrier.clone();
+        let mut header = BytesMut::with_capacity(MUX_HEADER_BYTES);
+        header.extend_from_slice(&id.to_be_bytes());
+        header.extend_from_slice(&[kind]);
+        header.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+        let expected = MUX_HEADER_BYTES + payload.len();
+        let mut parts = vec![header.freeze()];
+        if !payload.is_empty() {
+            parts.push(payload);
+        }
+        let sent = carrier.send_bytes_vectored(world, parts);
+        debug_assert_eq!(sent, expected, "trunk carrier refused a mux frame");
+    }
+}
+
+/// One relayed stream multiplexed over a gateway trunk.
+#[derive(Clone)]
+pub(crate) struct TrunkStream {
+    mux: TrunkMux,
+    state: Rc<RefCell<StreamState>>,
+}
+
+impl TrunkStream {
+    fn schedule_notify(&self, world: &mut SimWorld) {
+        let should = {
+            let mut st = self.state.borrow_mut();
+            let has_event = !st.recv_buf.is_empty() || st.peer_closed;
+            if st.readable_cb.is_some() && !st.notify_pending && has_event {
+                st.notify_pending = true;
+                true
+            } else {
+                false
+            }
+        };
+        if should {
+            let stream = self.clone();
+            world.schedule_after(SimDuration::ZERO, move |world| {
+                let cb = {
+                    let mut st = stream.state.borrow_mut();
+                    st.notify_pending = false;
+                    st.readable_cb.take()
+                };
+                if let Some(mut cb) = cb {
+                    cb(world);
+                    let mut st = stream.state.borrow_mut();
+                    if st.readable_cb.is_none() {
+                        st.readable_cb = Some(cb);
+                    }
+                }
+            });
+        }
+    }
+
+    fn queue_send(&self, world: &mut SimWorld, mut data: Bytes) -> usize {
+        // Half-close works like TCP: only our own close stops sending.
+        // With the peer's read side gone the far end still drains data
+        // that was in flight, matching the per-stream legs this replaces.
+        let (id, closed) = {
+            let st = self.state.borrow();
+            (st.id, st.self_closed)
+        };
+        if closed {
+            return 0;
+        }
+        let len = data.len();
+        self.state.borrow_mut().bytes_sent += len as u64;
+        // Split oversized writes so concurrent streams interleave.
+        while data.len() > MAX_FRAME_PAYLOAD {
+            let chunk = data.split_to(MAX_FRAME_PAYLOAD);
+            self.mux.send_frame(world, id, KIND_DATA, chunk);
+        }
+        if !data.is_empty() {
+            self.mux.send_frame(world, id, KIND_DATA, data);
+        }
+        len
+    }
+}
+
+impl ByteStream for TrunkStream {
+    fn send(&self, world: &mut SimWorld, data: &[u8]) -> usize {
+        self.queue_send(world, Bytes::copy_from_slice(data))
+    }
+
+    fn send_bytes(&self, world: &mut SimWorld, data: Bytes) -> usize {
+        self.queue_send(world, data)
+    }
+
+    fn available(&self) -> usize {
+        self.state.borrow().recv_buf.len()
+    }
+
+    fn recv(&self, _world: &mut SimWorld, max: usize) -> Vec<u8> {
+        if max == 0 || self.available() == 0 {
+            return Vec::new();
+        }
+        self.state.borrow_mut().recv_buf.read_into(max)
+    }
+
+    fn recv_bytes(&self, _world: &mut SimWorld, max: usize) -> Bytes {
+        self.state.borrow_mut().recv_buf.pop_chunk(max)
+    }
+
+    fn is_established(&self) -> bool {
+        self.mux.inner.borrow().carrier.is_established()
+    }
+
+    fn is_finished(&self) -> bool {
+        let st = self.state.borrow();
+        st.peer_closed && st.recv_buf.is_empty()
+    }
+
+    fn close(&self, world: &mut SimWorld) {
+        let id = {
+            let mut st = self.state.borrow_mut();
+            if st.self_closed {
+                return;
+            }
+            st.self_closed = true;
+            st.id
+        };
+        self.mux.send_frame(world, id, KIND_CLOSE, Bytes::new());
+        // If the peer already closed too, the demux entry is dead (the
+        // carrier's ordering guarantees no further frame with this id).
+        if self.state.borrow().peer_closed {
+            self.mux.inner.borrow_mut().streams.remove(&id);
+        }
+    }
+
+    fn set_readable_callback(&self, cb: ReadableCallback) {
+        self.state.borrow_mut().readable_cb = Some(cb);
+    }
+
+    fn bytes_acked(&self) -> u64 {
+        // The trunk carrier is reliable: everything queued is delivered.
+        self.state.borrow().bytes_sent
+    }
+
+    fn bytes_unacked(&self) -> u64 {
+        // Trunk-wide backlog: the honest backpressure signal for a stream
+        // sharing the bundle.
+        self.mux.inner.borrow().carrier.bytes_unacked()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use transport::{loopback_pair, ByteStreamExt};
+
+    /// (connector, acceptor, accepted streams). The acceptor must stay
+    /// alive for the carrier callback's weak reference to resolve.
+    fn mux_pair(world: &SimWorld) -> (TrunkMux, TrunkMux, Rc<RefCell<Vec<TrunkStream>>>) {
+        let n = world.node_ids()[0];
+        let (a, b) = loopback_pair(world, n);
+        let connector = TrunkMux::connector(Rc::new(a));
+        let accepted: Rc<RefCell<Vec<TrunkStream>>> = Rc::new(RefCell::new(Vec::new()));
+        let acc = accepted.clone();
+        let acceptor = TrunkMux::acceptor(Rc::new(b), move |_world, stream| {
+            acc.borrow_mut().push(stream);
+        });
+        (connector, acceptor, accepted)
+    }
+
+    #[test]
+    fn streams_multiplex_over_one_carrier() {
+        let mut world = SimWorld::new(0);
+        world.add_node("n");
+        let (mux, _acceptor, accepted) = mux_pair(&world);
+        let s1 = mux.open();
+        let s2 = mux.open();
+        s1.send_all(&mut world, b"first stream");
+        s2.send_all(&mut world, b"second");
+        world.run();
+        assert_eq!(accepted.borrow().len(), 2);
+        let a1 = accepted.borrow()[0].clone();
+        let a2 = accepted.borrow()[1].clone();
+        assert_eq!(a1.recv_all(&mut world), b"first stream");
+        assert_eq!(a2.recv_all(&mut world), b"second");
+        // And back over the same trunk.
+        a1.send_all(&mut world, b"reply");
+        world.run();
+        assert_eq!(s1.recv_all(&mut world), b"reply");
+        assert_eq!(s2.available(), 0);
+    }
+
+    #[test]
+    fn close_propagates_per_stream() {
+        let mut world = SimWorld::new(0);
+        world.add_node("n");
+        let (mux, _acceptor, accepted) = mux_pair(&world);
+        let s1 = mux.open();
+        let s2 = mux.open();
+        s1.send_all(&mut world, b"bye");
+        s1.close(&mut world);
+        s2.send_all(&mut world, b"still open");
+        world.run();
+        let a1 = accepted.borrow()[0].clone();
+        let a2 = accepted.borrow()[1].clone();
+        assert_eq!(a1.recv_all(&mut world), b"bye");
+        assert!(a1.is_finished());
+        assert!(!a2.is_finished());
+        assert_eq!(a2.recv_all(&mut world), b"still open");
+        assert_eq!(s1.send(&mut world, b"x"), 0, "closed stream refuses data");
+    }
+
+    #[test]
+    fn half_close_still_delivers_the_response() {
+        let mut world = SimWorld::new(0);
+        world.add_node("n");
+        let (mux, _acceptor, accepted) = mux_pair(&world);
+        let s = mux.open();
+        s.send_all(&mut world, b"request");
+        s.close(&mut world);
+        world.run();
+        let a = accepted.borrow()[0].clone();
+        assert_eq!(a.recv_all(&mut world), b"request");
+        assert!(a.is_finished());
+        // Like TCP half-close: the responder's write side is still open.
+        a.send_all(&mut world, b"response");
+        a.close(&mut world);
+        world.run();
+        assert_eq!(s.recv_all(&mut world), b"response");
+        assert!(s.is_finished());
+    }
+
+    #[test]
+    fn large_writes_are_split_into_frames() {
+        let mut world = SimWorld::new(0);
+        world.add_node("n");
+        let (mux, _acceptor, accepted) = mux_pair(&world);
+        let s = mux.open();
+        let data: Vec<u8> = (0..200_000usize).map(|i| (i % 251) as u8).collect();
+        s.send_all(&mut world, &data);
+        world.run();
+        let a = accepted.borrow()[0].clone();
+        assert_eq!(a.recv_all(&mut world), data);
+    }
+}

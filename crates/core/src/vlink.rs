@@ -16,8 +16,9 @@ use std::cell::RefCell;
 use std::collections::{HashMap, VecDeque};
 use std::rc::Rc;
 
+use bytes::Bytes;
 use simnet::{SimDuration, SimWorld};
-use transport::ByteStream;
+use transport::{ByteStream, SegBuf};
 
 /// The communication method carrying a VLink.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -63,7 +64,7 @@ pub enum VLinkEvent {
 type EventHandler = Box<dyn FnMut(&mut SimWorld, VLinkEvent)>;
 
 struct VLinkState {
-    buffer: VecDeque<u8>,
+    buffer: SegBuf,
     pending_reads: VecDeque<(u64, usize)>,
     completed_reads: HashMap<u64, Vec<u8>>,
     next_op: u64,
@@ -93,7 +94,7 @@ impl VLink {
         let vlink = VLink {
             stream: stream.clone(),
             state: Rc::new(RefCell::new(VLinkState {
-                buffer: VecDeque::new(),
+                buffer: SegBuf::new(),
                 pending_reads: VecDeque::new(),
                 completed_reads: HashMap::new(),
                 next_op: 0,
@@ -150,14 +151,22 @@ impl VLink {
     /// Returns the number of bytes accepted (always the full buffer for
     /// unbounded drivers).
     pub fn post_write(&self, world: &mut SimWorld, data: &[u8]) -> usize {
-        self.state.borrow_mut().bytes_written += data.len() as u64;
+        self.post_write_bytes(world, Bytes::copy_from_slice(data))
+    }
+
+    /// Zero-copy variant of [`VLink::post_write`]: the chunk is handed to
+    /// the driver by refcount, never copied. This is the fast path used by
+    /// gateway relays to forward an arriving chunk onwards.
+    pub fn post_write_bytes(&self, world: &mut SimWorld, data: Bytes) -> usize {
+        let len = data.len();
+        self.state.borrow_mut().bytes_written += len as u64;
         let stream = self.stream.clone();
-        let payload = data.to_vec();
         world.schedule_after(self.op_overhead, move |world| {
-            let sent = stream.send(world, &payload);
-            debug_assert_eq!(sent, payload.len(), "driver refused VLink write");
+            let len = data.len();
+            let sent = stream.send_bytes(world, data);
+            debug_assert_eq!(sent, len, "driver refused VLink write");
         });
-        data.len()
+        len
     }
 
     /// Posts a read of exactly `len` bytes. The operation completes once
@@ -194,11 +203,28 @@ impl VLink {
     /// Reads up to `max` buffered bytes without posting an operation (used
     /// by the socket-like personalities).
     pub fn read_now(&self, world: &mut SimWorld, max: usize) -> Vec<u8> {
+        if max == 0 {
+            return Vec::new();
+        }
         self.pull_from_stream(world);
         let mut st = self.state.borrow_mut();
         let n = max.min(st.buffer.len());
         st.bytes_read += n as u64;
-        st.buffer.drain(..n).collect()
+        st.buffer.read_into(n)
+    }
+
+    /// Zero-copy variant of [`VLink::read_now`]: returns one buffered
+    /// segment of at most `max` bytes, sharing the driver's storage. May
+    /// return fewer bytes than are available; loop until empty to drain.
+    pub fn read_now_bytes(&self, world: &mut SimWorld, max: usize) -> Bytes {
+        if max == 0 {
+            return Bytes::new();
+        }
+        self.pull_from_stream(world);
+        let mut st = self.state.borrow_mut();
+        let out = st.buffer.pop_chunk(max);
+        st.bytes_read += out.len() as u64;
+        out
     }
 
     /// Closes the link (pending writes are still delivered).
@@ -210,9 +236,14 @@ impl VLink {
     }
 
     fn pull_from_stream(&self, world: &mut SimWorld) {
-        let data = self.stream.recv(world, usize::MAX);
-        if !data.is_empty() {
-            self.state.borrow_mut().buffer.extend(data);
+        // Drain the driver segment by segment; each chunk is queued by
+        // refcount, not copied.
+        loop {
+            let data = self.stream.recv_bytes(world, usize::MAX);
+            if data.is_empty() {
+                break;
+            }
+            self.state.borrow_mut().buffer.push_bytes(data);
         }
     }
 
@@ -228,14 +259,14 @@ impl VLink {
                     break;
                 };
                 if st.buffer.len() >= len {
-                    let data: Vec<u8> = st.buffer.drain(..len).collect();
+                    let data = st.buffer.read_into(len);
                     st.bytes_read += len as u64;
                     st.pending_reads.pop_front();
                     st.completed_reads.insert(id, data);
                     completed_any = true;
                 } else if finished {
                     // Short read at end of stream.
-                    let data: Vec<u8> = st.buffer.drain(..).collect();
+                    let data = st.buffer.read_into(usize::MAX);
                     st.bytes_read += data.len() as u64;
                     st.pending_reads.pop_front();
                     st.completed_reads.insert(id, data);

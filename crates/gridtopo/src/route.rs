@@ -150,10 +150,114 @@ impl RouteTable {
     ///
     /// Deterministic: the same topology (same creation order of nodes and
     /// networks) always produces the same table, regardless of seed.
+    ///
+    /// The clique-expanded adjacency list is built once, with dense node
+    /// indices, and reused across every Dijkstra source; the per-source
+    /// state lives in flat vectors instead of hash maps. On an `S`-site
+    /// grid this turns the `O(sites × nodes × edges × hash)` seed
+    /// computation into one adjacency pass plus index-addressed relaxation.
     pub fn compute(world: &SimWorld) -> RouteTable {
         let nodes = world.node_ids();
-        // Adjacency: node -> [(neighbour, network, link cost)], in
-        // (network, neighbour) order for determinism.
+        let n = nodes.len();
+        // Dense node index. NodeIds are allocated contiguously from 0 in
+        // practice, but the map keeps this correct for any id scheme.
+        let index: HashMap<NodeId, usize> =
+            nodes.iter().enumerate().map(|(i, &id)| (id, i)).collect();
+
+        // Clique expansion of every network, built once and shared by all
+        // sources: node index -> [(neighbour index, network, link cost)],
+        // in (network, neighbour) creation order for determinism.
+        let mut adj: Vec<Vec<(usize, NetworkId, u64)>> = vec![Vec::new(); n];
+        for net in world.network_ids() {
+            let cost = link_cost(world, net);
+            let members = world.network(net).members();
+            for &u in members {
+                let ui = index[&u];
+                for &v in members {
+                    if u != v {
+                        adj[ui].push((index[&v], net, cost));
+                    }
+                }
+            }
+        }
+
+        let mut table = RouteTable::default();
+        // Per-source scratch, reallocated once per source (flat vectors,
+        // no hashing on the hot relaxation path).
+        for (si, &src) in nodes.iter().enumerate() {
+            let mut best: Vec<Option<Entry>> = vec![None; n];
+            // Predecessor hop on the best path: index -> (prev index, hop).
+            let mut prev: Vec<Option<(usize, Hop)>> = vec![None; n];
+            let mut heap: BinaryHeap<(Entry, usize)> = BinaryHeap::new();
+            let start = Entry {
+                cost: 0,
+                hops: 0,
+                network: 0,
+                node: src.0,
+            };
+            best[si] = Some(start);
+            heap.push((start, si));
+
+            while let Some((entry, ui)) = heap.pop() {
+                if best[ui] != Some(entry) {
+                    continue; // stale heap entry
+                }
+                for &(vi, net, link) in &adj[ui] {
+                    let cand = Entry {
+                        cost: entry.cost + link,
+                        hops: entry.hops + 1,
+                        network: net.0,
+                        node: nodes[ui].0,
+                    };
+                    let better = match best[vi] {
+                        None => true,
+                        Some(cur) => {
+                            (cand.cost, cand.hops, cand.network, cand.node)
+                                < (cur.cost, cur.hops, cur.network, cur.node)
+                        }
+                    };
+                    if better {
+                        best[vi] = Some(cand);
+                        prev[vi] = Some((
+                            ui,
+                            Hop {
+                                network: net,
+                                node: nodes[vi],
+                            },
+                        ));
+                        heap.push((cand, vi));
+                    }
+                }
+            }
+
+            for (di, entry) in best.iter().enumerate() {
+                let Some(entry) = entry else { continue };
+                if di == si {
+                    continue;
+                }
+                let dst = nodes[di];
+                table.cost.insert((src, dst), entry.cost);
+                // Walk predecessors back to the first hop out of `src`.
+                let mut at = di;
+                let mut first = None;
+                while at != si {
+                    let (p, hop) = prev[at].expect("non-src node has a predecessor");
+                    first = Some(hop);
+                    at = p;
+                }
+                table
+                    .next
+                    .insert((src, dst), first.expect("non-src node has a predecessor"));
+            }
+        }
+        table
+    }
+
+    /// The seed's per-source hash-map implementation, kept as the
+    /// reference model: [`RouteTable::compute`] must match it bit for bit.
+    #[cfg(test)]
+    fn compute_reference(world: &SimWorld) -> RouteTable {
+        let nodes = world.node_ids();
         let mut adj: HashMap<NodeId, Vec<(NodeId, NetworkId, u64)>> = HashMap::new();
         for net in world.network_ids() {
             let cost = link_cost(world, net);
@@ -170,7 +274,6 @@ impl RouteTable {
         let mut table = RouteTable::default();
         for &src in &nodes {
             let mut best: HashMap<NodeId, Entry> = HashMap::new();
-            // Predecessor hop on the best path: node -> (prev node, hop).
             let mut prev: HashMap<NodeId, (NodeId, Hop)> = HashMap::new();
             let mut heap: BinaryHeap<(Entry, NodeId)> = BinaryHeap::new();
             let start = Entry {
@@ -223,7 +326,6 @@ impl RouteTable {
                     continue;
                 }
                 table.cost.insert((src, dst), entry.cost);
-                // Walk predecessors back to the first hop out of `src`.
                 let mut at = dst;
                 let mut first = None;
                 while at != src {
@@ -443,5 +545,38 @@ mod tests {
         assert_eq!(t1, t2);
         let (w2, _, _) = chain_world();
         assert_eq!(t1, RouteTable::compute(&w2));
+    }
+
+    /// The shared-adjacency implementation must produce tables bit-for-bit
+    /// identical to the seed's per-source reference implementation.
+    #[test]
+    fn compute_matches_reference_bit_for_bit() {
+        // The two-gateway chain.
+        let (w, _, _) = chain_world();
+        assert_eq!(RouteTable::compute(&w), RouteTable::compute_reference(&w));
+
+        // A denser topology with parallel equal-cost links and an island.
+        let mut w = SimWorld::new(9);
+        let nodes: Vec<NodeId> = (0..8).map(|i| w.add_node(&format!("n{i}"))).collect();
+        let san = w.add_network(NetworkSpec::myrinet_2000());
+        let lan1 = w.add_network(NetworkSpec::ethernet_100());
+        let lan2 = w.add_network(NetworkSpec::ethernet_100());
+        let wan = w.add_network(NetworkSpec::vthd_wan());
+        for &n in &nodes[0..3] {
+            w.attach(n, san);
+            w.attach(n, lan1);
+        }
+        for &n in &nodes[2..5] {
+            w.attach(n, lan2);
+        }
+        w.attach(nodes[4], wan);
+        w.attach(nodes[5], wan);
+        w.attach(nodes[6], lan1);
+        // nodes[7] stays an island.
+        let fast = RouteTable::compute(&w);
+        let reference = RouteTable::compute_reference(&w);
+        assert_eq!(fast, reference);
+        assert!(fast.reachable(nodes[0], nodes[5]));
+        assert!(!fast.reachable(nodes[0], nodes[7]));
     }
 }

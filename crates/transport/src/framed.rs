@@ -7,11 +7,12 @@
 //! instances of this engine with different [`BlockTransform`]s.
 
 use std::cell::RefCell;
-use std::collections::VecDeque;
 use std::rc::Rc;
 
+use bytes::Bytes;
 use simnet::{SimDuration, SimTime, SimWorld};
 
+use crate::segbuf::SegBuf;
 use crate::stream::{ByteStream, ReadableCallback};
 
 /// Size of the per-block frame header: 1 flag byte + 4-byte encoded length
@@ -95,13 +96,13 @@ struct Inner<T: BlockTransform> {
     inner: Box<dyn ByteStream>,
     block_size: usize,
     // Send side.
-    pending_send: VecDeque<u8>,
+    pending_send: SegBuf,
     send_cpu_free: SimTime,
     flush_on_empty: bool,
     encode_scheduled: bool,
     // Receive side.
-    rx_partial: Vec<u8>,
-    recv_buf: VecDeque<u8>,
+    rx_partial: SegBuf,
+    recv_buf: SegBuf,
     recv_cpu_free: SimTime,
     readable_cb: Option<ReadableCallback>,
     notify_pending: bool,
@@ -137,12 +138,12 @@ impl<T: BlockTransform + 'static> TransformStream<T> {
                 transform,
                 inner,
                 block_size,
-                pending_send: VecDeque::new(),
+                pending_send: SegBuf::new(),
                 send_cpu_free: SimTime::ZERO,
                 flush_on_empty: false,
                 encode_scheduled: false,
-                rx_partial: Vec::new(),
-                recv_buf: VecDeque::new(),
+                rx_partial: SegBuf::new(),
+                recv_buf: SegBuf::new(),
                 recv_cpu_free: SimTime::ZERO,
                 readable_cb: None,
                 notify_pending: false,
@@ -190,14 +191,14 @@ impl<T: BlockTransform + 'static> TransformStream<T> {
     }
 
     fn encode_one(&self, world: &mut SimWorld) {
-        let frame = {
+        let (header, body) = {
             let mut st = self.inner.borrow_mut();
             st.encode_scheduled = false;
             let take = st.block_size.min(st.pending_send.len());
             if take == 0 {
                 return;
             }
-            let block: Vec<u8> = st.pending_send.drain(..take).collect();
+            let block = st.pending_send.read_bytes(take);
             let ctx = TransformCtx {
                 inner_backlog: st.inner.bytes_unacked(),
                 now: world.now(),
@@ -212,12 +213,13 @@ impl<T: BlockTransform + 'static> TransformStream<T> {
                 st.stats.blocks_transformed += 1;
             }
             st.stats.wire_bytes_sent += (encoded.data.len() + BLOCK_HEADER_BYTES) as u64;
-            let mut frame = Vec::with_capacity(BLOCK_HEADER_BYTES + encoded.data.len());
-            frame.push(encoded.flag);
-            frame.extend_from_slice(&(encoded.data.len() as u32).to_be_bytes());
-            frame.extend_from_slice(&(block.len() as u32).to_be_bytes());
-            frame.extend_from_slice(&encoded.data);
-            frame
+            let mut header = Vec::with_capacity(BLOCK_HEADER_BYTES);
+            header.push(encoded.flag);
+            header.extend_from_slice(&(encoded.data.len() as u32).to_be_bytes());
+            header.extend_from_slice(&(block.len() as u32).to_be_bytes());
+            // The encoded block moves into a refcounted chunk (no copy)
+            // and is pushed separately from the header.
+            (Bytes::from(header), Bytes::from(encoded.data))
         };
         // Push after the CPU cost has elapsed so the wire sees the block
         // only once it has actually been produced.
@@ -226,8 +228,13 @@ impl<T: BlockTransform + 'static> TransformStream<T> {
         world.schedule_at(at, move |world| {
             {
                 let st = this.inner.borrow_mut();
-                let pushed = st.inner.send(world, &frame);
-                debug_assert_eq!(pushed, frame.len(), "inner stream refused framed data");
+                let body_len = body.len();
+                let pushed = st.inner.send_bytes_vectored(world, vec![header, body]);
+                debug_assert_eq!(
+                    pushed,
+                    BLOCK_HEADER_BYTES + body_len,
+                    "inner stream refused framed data"
+                );
             }
             this.schedule_encode(world);
         });
@@ -243,24 +250,28 @@ impl<T: BlockTransform + 'static> TransformStream<T> {
         // Pull everything the inner stream has and decode complete blocks.
         let chunks = {
             let mut st = self.inner.borrow_mut();
-            let data = st.inner.recv(world, usize::MAX);
-            st.rx_partial.extend_from_slice(&data);
-            let mut ready = Vec::new();
             loop {
-                if st.rx_partial.len() < BLOCK_HEADER_BYTES {
+                let data = st.inner.recv_bytes(world, usize::MAX);
+                if data.is_empty() {
                     break;
                 }
-                let flag = st.rx_partial[0];
-                let enc_len = u32::from_be_bytes(st.rx_partial[1..5].try_into().unwrap()) as usize;
-                let orig_len = u32::from_be_bytes(st.rx_partial[5..9].try_into().unwrap()) as usize;
+                st.rx_partial.push_bytes(data);
+            }
+            let mut ready = Vec::new();
+            loop {
+                let mut header = [0u8; BLOCK_HEADER_BYTES];
+                if st.rx_partial.copy_peek(&mut header) < BLOCK_HEADER_BYTES {
+                    break;
+                }
+                let flag = header[0];
+                let enc_len = u32::from_be_bytes(header[1..5].try_into().unwrap()) as usize;
+                let orig_len = u32::from_be_bytes(header[5..9].try_into().unwrap()) as usize;
                 if st.rx_partial.len() < BLOCK_HEADER_BYTES + enc_len {
                     break;
                 }
-                let body: Vec<u8> = st
-                    .rx_partial
-                    .drain(..BLOCK_HEADER_BYTES + enc_len)
-                    .skip(BLOCK_HEADER_BYTES)
-                    .collect();
+                st.rx_partial.consume(BLOCK_HEADER_BYTES);
+                // Zero-copy when the whole block arrived in one segment.
+                let body = st.rx_partial.read_bytes(enc_len);
                 ready.push((flag, orig_len, body));
             }
             ready
@@ -283,7 +294,8 @@ impl<T: BlockTransform + 'static> TransformStream<T> {
                 {
                     let mut st = this.inner.borrow_mut();
                     st.stats.app_bytes_received += decoded.len() as u64;
-                    st.recv_buf.extend(decoded.iter().copied());
+                    // The decoded block moves in as one chunk (no copy).
+                    st.recv_buf.push_bytes(Bytes::from(decoded));
                 }
                 this.schedule_notify(world);
             });
@@ -320,12 +332,13 @@ impl<T: BlockTransform + 'static> TransformStream<T> {
     }
 }
 
-impl<T: BlockTransform + 'static> ByteStream for TransformStream<T> {
-    fn send(&self, world: &mut SimWorld, data: &[u8]) -> usize {
+impl<T: BlockTransform + 'static> TransformStream<T> {
+    fn queue_send(&self, world: &mut SimWorld, data: Bytes) -> usize {
+        let len = data.len();
         {
             let mut st = self.inner.borrow_mut();
-            st.pending_send.extend(data.iter().copied());
-            st.stats.app_bytes_sent += data.len() as u64;
+            st.pending_send.push_bytes(data);
+            st.stats.app_bytes_sent += len as u64;
             // Transform streams buffer full blocks; partial trailing data is
             // flushed on close or as soon as a full block accumulates. To
             // keep latency bounded for small writes we always flush what we
@@ -333,7 +346,17 @@ impl<T: BlockTransform + 'static> ByteStream for TransformStream<T> {
             st.flush_on_empty = true;
         }
         self.schedule_encode(world);
-        data.len()
+        len
+    }
+}
+
+impl<T: BlockTransform + 'static> ByteStream for TransformStream<T> {
+    fn send(&self, world: &mut SimWorld, data: &[u8]) -> usize {
+        self.queue_send(world, Bytes::copy_from_slice(data))
+    }
+
+    fn send_bytes(&self, world: &mut SimWorld, data: Bytes) -> usize {
+        self.queue_send(world, data)
     }
 
     fn available(&self) -> usize {
@@ -341,9 +364,14 @@ impl<T: BlockTransform + 'static> ByteStream for TransformStream<T> {
     }
 
     fn recv(&self, _world: &mut SimWorld, max: usize) -> Vec<u8> {
-        let mut st = self.inner.borrow_mut();
-        let n = max.min(st.recv_buf.len());
-        st.recv_buf.drain(..n).collect()
+        if max == 0 || self.available() == 0 {
+            return Vec::new();
+        }
+        self.inner.borrow_mut().recv_buf.read_into(max)
+    }
+
+    fn recv_bytes(&self, _world: &mut SimWorld, max: usize) -> Bytes {
+        self.inner.borrow_mut().recv_buf.pop_chunk(max)
     }
 
     fn is_established(&self) -> bool {

@@ -31,6 +31,7 @@ pub mod framed;
 pub mod loopback;
 pub mod parallel;
 pub mod secure;
+pub mod segbuf;
 pub mod stream;
 pub mod tcp;
 pub mod vrp;
@@ -42,6 +43,7 @@ pub use framed::{BlockTransform, TransformStats, TransformStream};
 pub use loopback::{loopback_pair, LoopbackStream};
 pub use parallel::{ParallelStream, ParallelStreamConfig};
 pub use secure::{secure_over, SecureConfig, SecureStream};
+pub use segbuf::SegBuf;
 pub use stream::{ByteStream, ByteStreamExt, ReadableCallback};
 pub use tcp::{TcpConfig, TcpConn, TcpConnStats, TcpStack};
 pub use vrp::{VrpConfig, VrpMessage, VrpReceiver, VrpSender, VrpTransferStats};

@@ -6,15 +6,16 @@
 //! after one memcpy-rate delay on the node.
 
 use std::cell::RefCell;
-use std::collections::VecDeque;
 use std::rc::Rc;
 
+use bytes::Bytes;
 use simnet::{NodeId, SimDuration, SimWorld};
 
+use crate::segbuf::SegBuf;
 use crate::stream::{ByteStream, ReadableCallback};
 
 struct Side {
-    recv_buf: VecDeque<u8>,
+    recv_buf: SegBuf,
     readable_cb: Option<ReadableCallback>,
     notify_pending: bool,
     closed_by_peer: bool,
@@ -25,7 +26,7 @@ struct Side {
 impl Side {
     fn new() -> Side {
         Side {
-            recv_buf: VecDeque::new(),
+            recv_buf: SegBuf::new(),
             readable_cb: None,
             notify_pending: false,
             closed_by_peer: false,
@@ -104,8 +105,9 @@ impl LoopbackStream {
     }
 }
 
-impl ByteStream for LoopbackStream {
-    fn send(&self, world: &mut SimWorld, data: &[u8]) -> usize {
+impl LoopbackStream {
+    /// Queues an owned chunk for the peer after one memcpy-rate delay.
+    fn queue_send(&self, world: &mut SimWorld, payload: Bytes) -> usize {
         let peer = self.peer();
         let delay = {
             let mut sh = self.shared.borrow_mut();
@@ -114,25 +116,37 @@ impl ByteStream for LoopbackStream {
                 // read what we would send).
                 return 0;
             }
-            let cost = world.copy_cost(sh.node, data.len() as u64);
+            let cost = world.copy_cost(sh.node, payload.len() as u64);
             let start = world.now().max(sh.copy_free_at);
             let done = start + cost;
             sh.copy_free_at = done;
             done - world.now()
         };
         let shared = self.shared.clone();
-        let payload = data.to_vec();
         let this = self.clone();
         let side = self.side;
+        let len = payload.len();
         world.schedule_after(delay, move |world| {
             {
                 let mut sh = shared.borrow_mut();
-                sh.sides[peer].recv_buf.extend(payload.iter().copied());
                 sh.sides[side].bytes_acked += payload.len() as u64;
+                // The chunk crosses by refcount bump; the memcpy *time* was
+                // charged above, the host does not copy again.
+                sh.sides[peer].recv_buf.push_bytes(payload);
             }
             this.schedule_notify(world, peer);
         });
-        data.len()
+        len
+    }
+}
+
+impl ByteStream for LoopbackStream {
+    fn send(&self, world: &mut SimWorld, data: &[u8]) -> usize {
+        self.queue_send(world, Bytes::copy_from_slice(data))
+    }
+
+    fn send_bytes(&self, world: &mut SimWorld, data: Bytes) -> usize {
+        self.queue_send(world, data)
     }
 
     fn available(&self) -> usize {
@@ -140,10 +154,18 @@ impl ByteStream for LoopbackStream {
     }
 
     fn recv(&self, _world: &mut SimWorld, max: usize) -> Vec<u8> {
-        let mut sh = self.shared.borrow_mut();
-        let buf = &mut sh.sides[self.side].recv_buf;
-        let n = max.min(buf.len());
-        buf.drain(..n).collect()
+        if max == 0 || self.available() == 0 {
+            return Vec::new();
+        }
+        self.shared.borrow_mut().sides[self.side]
+            .recv_buf
+            .read_into(max)
+    }
+
+    fn recv_bytes(&self, _world: &mut SimWorld, max: usize) -> Bytes {
+        self.shared.borrow_mut().sides[self.side]
+            .recv_buf
+            .pop_chunk(max)
     }
 
     fn is_established(&self) -> bool {

@@ -9,11 +9,13 @@
 //! 12 MB/s (the Ethernet-100 access limit) with Parallel Streams.
 
 use std::cell::RefCell;
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::{BTreeMap, HashMap};
 use std::rc::Rc;
 
+use bytes::Bytes;
 use simnet::{NetworkId, NodeId, SimDuration, SimWorld};
 
+use crate::segbuf::SegBuf;
 use crate::stream::{ByteStream, ReadableCallback};
 use crate::tcp::{TcpConn, TcpStack};
 
@@ -36,7 +38,12 @@ impl Default for ParallelStreamConfig {
 }
 
 const PREAMBLE_MAGIC: u32 = 0x5053_5452; // "PSTR"
-const PREAMBLE_BYTES: usize = 8;
+/// Preamble: magic(4) + member index(2) + width(2) + bundle id(2).
+/// The bundle id (the first member's ephemeral port, unique per source
+/// stack) lets an acceptor assemble several bundles arriving concurrently
+/// from different peers — or from the same peer — without mixing their
+/// member connections.
+const PREAMBLE_BYTES: usize = 10;
 const CHUNK_HEADER_BYTES: usize = 12;
 
 struct Inner {
@@ -44,14 +51,14 @@ struct Inner {
     conns: Vec<TcpConn>,
     // Send side.
     next_send_chunk: u64,
-    pending_send: VecDeque<u8>,
+    pending_send: SegBuf,
     closed: bool,
     // Receive side: per-connection partial frame buffers, then global
-    // reassembly by chunk id.
-    rx_partial: Vec<Vec<u8>>,
-    chunks: BTreeMap<u64, Vec<u8>>,
+    // reassembly by chunk id. Chunk bodies stay refcounted end to end.
+    rx_partial: Vec<SegBuf>,
+    chunks: BTreeMap<u64, Bytes>,
     next_deliver_chunk: u64,
-    recv_buf: VecDeque<u8>,
+    recv_buf: SegBuf,
     readable_cb: Option<ReadableCallback>,
     notify_pending: bool,
 }
@@ -76,15 +83,20 @@ impl ParallelStream {
     ) -> ParallelStream {
         assert!(config.n_streams >= 1);
         let mut conns = Vec::with_capacity(config.n_streams);
-        for idx in 0..config.n_streams {
-            let conn = stack.connect(world, network, remote_node, port);
-            // Preamble identifies this connection's index within the bundle.
+        for _ in 0..config.n_streams {
+            conns.push(stack.connect(world, network, remote_node, port));
+        }
+        // The first member's ephemeral port identifies the bundle.
+        let bundle_id = conns[0].local_addr().1;
+        for (idx, conn) in conns.iter().enumerate() {
+            // Preamble identifies this connection's bundle and its index
+            // within it.
             let mut preamble = Vec::with_capacity(PREAMBLE_BYTES);
             preamble.extend_from_slice(&PREAMBLE_MAGIC.to_be_bytes());
             preamble.extend_from_slice(&(idx as u16).to_be_bytes());
             preamble.extend_from_slice(&(config.n_streams as u16).to_be_bytes());
+            preamble.extend_from_slice(&bundle_id.to_be_bytes());
             conn.send(world, &preamble);
-            conns.push(conn);
         }
         Self::assemble(world, conns, config)
     }
@@ -100,21 +112,23 @@ impl ParallelStream {
         on_accept: impl FnMut(&mut SimWorld, ParallelStream) + 'static,
     ) {
         let _ = world;
-        struct PendingBundle {
+        struct Listener {
             config: ParallelStreamConfig,
-            slots: Vec<Option<TcpConn>>,
+            /// Bundles being assembled, keyed by (remote node, bundle id)
+            /// so concurrent bundles from several peers never mix.
+            pending: HashMap<(NodeId, u16), Vec<Option<TcpConn>>>,
             #[allow(clippy::type_complexity)]
             on_accept: Box<dyn FnMut(&mut SimWorld, ParallelStream)>,
         }
-        let pending = Rc::new(RefCell::new(PendingBundle {
+        let listener = Rc::new(RefCell::new(Listener {
             config,
-            slots: Vec::new(),
+            pending: HashMap::new(),
             on_accept: Box::new(on_accept),
         }));
         stack.listen(port, move |_world, conn| {
-            // Each accepted connection first announces its index via the
-            // preamble; once it arrives, slot it into the bundle.
-            let pending = pending.clone();
+            // Each accepted connection first announces its bundle and index
+            // via the preamble; once it arrives, slot it into that bundle.
+            let listener = listener.clone();
             let conn_for_cb = conn.clone();
             let preamble_buf: Rc<RefCell<Vec<u8>>> = Rc::new(RefCell::new(Vec::new()));
             conn.set_readable_callback(Box::new(move |world| {
@@ -129,27 +143,31 @@ impl ParallelStream {
                 let magic = u32::from_be_bytes(buf[0..4].try_into().unwrap());
                 let idx = u16::from_be_bytes(buf[4..6].try_into().unwrap()) as usize;
                 let n = u16::from_be_bytes(buf[6..8].try_into().unwrap()) as usize;
+                let bundle_id = u16::from_be_bytes(buf[8..10].try_into().unwrap());
                 if magic != PREAMBLE_MAGIC {
                     return; // not a parallel-stream peer; ignore
                 }
+                let key = (conn_for_cb.remote_addr().0, bundle_id);
                 let ready = {
-                    let mut p = pending.borrow_mut();
-                    if p.slots.len() < n {
-                        p.slots.resize(n, None);
+                    let mut l = listener.borrow_mut();
+                    let slots = l.pending.entry(key).or_default();
+                    if slots.len() < n {
+                        slots.resize(n, None);
                     }
-                    p.slots[idx] = Some(conn_for_cb.clone());
-                    p.slots.iter().all(|s| s.is_some())
+                    slots[idx] = Some(conn_for_cb.clone());
+                    slots.iter().all(|s| s.is_some())
                 };
                 if ready {
                     let (conns, config) = {
-                        let mut p = pending.borrow_mut();
+                        let mut l = listener.borrow_mut();
+                        let slots = l.pending.remove(&key).expect("bundle present");
                         let conns: Vec<TcpConn> =
-                            p.slots.drain(..).map(|s| s.expect("all present")).collect();
-                        (conns, p.config.clone())
+                            slots.into_iter().map(|s| s.expect("all present")).collect();
+                        (conns, l.config.clone())
                     };
                     let ps = ParallelStream::assemble(world, conns, config);
-                    let mut p = pending.borrow_mut();
-                    (p.on_accept)(world, ps);
+                    let mut l = listener.borrow_mut();
+                    (l.on_accept)(world, ps);
                 }
             }));
         });
@@ -166,12 +184,12 @@ impl ParallelStream {
                 config,
                 conns: conns.clone(),
                 next_send_chunk: 0,
-                pending_send: VecDeque::new(),
+                pending_send: SegBuf::new(),
                 closed: false,
-                rx_partial: vec![Vec::new(); n],
+                rx_partial: (0..n).map(|_| SegBuf::new()).collect(),
                 chunks: BTreeMap::new(),
                 next_deliver_chunk: 0,
-                recv_buf: VecDeque::new(),
+                recv_buf: SegBuf::new(),
                 readable_cb: None,
                 notify_pending: false,
             })),
@@ -204,7 +222,7 @@ impl ParallelStream {
 
     fn flush(&self, world: &mut SimWorld) {
         loop {
-            let (conn, frame) = {
+            let (conn, header, body) = {
                 let mut st = self.inner.borrow_mut();
                 if st.pending_send.is_empty() {
                     return;
@@ -212,42 +230,50 @@ impl ParallelStream {
                 let take = st.config.chunk_size.min(st.pending_send.len());
                 let chunk_id = st.next_send_chunk;
                 st.next_send_chunk += 1;
-                let body: Vec<u8> = st.pending_send.drain(..take).collect();
-                let mut frame = Vec::with_capacity(CHUNK_HEADER_BYTES + body.len());
-                frame.extend_from_slice(&chunk_id.to_be_bytes());
-                frame.extend_from_slice(&(body.len() as u32).to_be_bytes());
-                frame.extend_from_slice(&body);
+                // The striped body is a zero-copy slice of the queued data.
+                let body = st.pending_send.read_bytes(take);
+                let mut header = Vec::with_capacity(CHUNK_HEADER_BYTES);
+                header.extend_from_slice(&chunk_id.to_be_bytes());
+                header.extend_from_slice(&(body.len() as u32).to_be_bytes());
                 let conn = st.conns[(chunk_id % st.conns.len() as u64) as usize].clone();
-                (conn, frame)
+                (conn, Bytes::from(header), body)
             };
-            let sent = conn.send(world, &frame);
-            debug_assert_eq!(sent, frame.len());
+            let body_len = body.len();
+            let sent = conn.send_bytes_vectored(world, vec![header, body]);
+            debug_assert_eq!(sent, CHUNK_HEADER_BYTES + body_len);
         }
     }
 
     fn on_conn_readable(&self, world: &mut SimWorld, idx: usize, conn: &TcpConn) {
-        let data = conn.recv(world, usize::MAX);
-        if data.is_empty() {
-            return;
-        }
+        let mut got_any = false;
         let mut got_data = false;
         {
             let mut st = self.inner.borrow_mut();
-            st.rx_partial[idx].extend_from_slice(&data);
             loop {
-                let buf = &mut st.rx_partial[idx];
-                if buf.len() < CHUNK_HEADER_BYTES {
+                let data = conn.recv_bytes(world, usize::MAX);
+                if data.is_empty() {
                     break;
                 }
-                let chunk_id = u64::from_be_bytes(buf[0..8].try_into().unwrap());
-                let len = u32::from_be_bytes(buf[8..12].try_into().unwrap()) as usize;
+                got_any = true;
+                st.rx_partial[idx].push_bytes(data);
+            }
+            if !got_any {
+                return;
+            }
+            loop {
+                let buf = &mut st.rx_partial[idx];
+                let mut header = [0u8; CHUNK_HEADER_BYTES];
+                if buf.copy_peek(&mut header) < CHUNK_HEADER_BYTES {
+                    break;
+                }
+                let chunk_id = u64::from_be_bytes(header[0..8].try_into().unwrap());
+                let len = u32::from_be_bytes(header[8..12].try_into().unwrap()) as usize;
                 if buf.len() < CHUNK_HEADER_BYTES + len {
                     break;
                 }
-                let body: Vec<u8> = buf
-                    .drain(..CHUNK_HEADER_BYTES + len)
-                    .skip(CHUNK_HEADER_BYTES)
-                    .collect();
+                buf.consume(CHUNK_HEADER_BYTES);
+                // Zero-copy when the chunk body arrived in one segment.
+                let body = buf.read_bytes(len);
                 st.chunks.insert(chunk_id, body);
             }
             // Deliver chunks in order.
@@ -255,7 +281,7 @@ impl ParallelStream {
                 let next = st.next_deliver_chunk;
                 st.chunks.remove(&next)
             } {
-                st.recv_buf.extend(body.iter().copied());
+                st.recv_buf.push_bytes(body);
                 st.next_deliver_chunk += 1;
                 got_data = true;
             }
@@ -295,17 +321,36 @@ impl ParallelStream {
     }
 }
 
-impl ByteStream for ParallelStream {
-    fn send(&self, world: &mut SimWorld, data: &[u8]) -> usize {
-        {
+impl ParallelStream {
+    fn queue_send_parts(&self, world: &mut SimWorld, parts: Vec<Bytes>) -> usize {
+        let len = {
             let mut st = self.inner.borrow_mut();
             if st.closed {
                 return 0;
             }
-            st.pending_send.extend(data.iter().copied());
-        }
+            let mut len = 0;
+            for data in parts {
+                len += data.len();
+                st.pending_send.push_bytes(data);
+            }
+            len
+        };
         self.flush(world);
-        data.len()
+        len
+    }
+}
+
+impl ByteStream for ParallelStream {
+    fn send(&self, world: &mut SimWorld, data: &[u8]) -> usize {
+        self.queue_send_parts(world, vec![Bytes::copy_from_slice(data)])
+    }
+
+    fn send_bytes(&self, world: &mut SimWorld, data: Bytes) -> usize {
+        self.queue_send_parts(world, vec![data])
+    }
+
+    fn send_bytes_vectored(&self, world: &mut SimWorld, parts: Vec<Bytes>) -> usize {
+        self.queue_send_parts(world, parts)
     }
 
     fn available(&self) -> usize {
@@ -313,9 +358,14 @@ impl ByteStream for ParallelStream {
     }
 
     fn recv(&self, _world: &mut SimWorld, max: usize) -> Vec<u8> {
-        let mut st = self.inner.borrow_mut();
-        let n = max.min(st.recv_buf.len());
-        st.recv_buf.drain(..n).collect()
+        if max == 0 || self.available() == 0 {
+            return Vec::new();
+        }
+        self.inner.borrow_mut().recv_buf.read_into(max)
+    }
+
+    fn recv_bytes(&self, _world: &mut SimWorld, max: usize) -> Bytes {
+        self.inner.borrow_mut().recv_buf.pop_chunk(max)
     }
 
     fn is_established(&self) -> bool {

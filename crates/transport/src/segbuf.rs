@@ -1,0 +1,369 @@
+//! `SegBuf`: the shared segment-queue buffer behind every stream datapath.
+//!
+//! The seed buffered stream payload in `VecDeque<u8>`: every byte was
+//! pushed, popped and drained individually, so a payload crossing the
+//! framework paid one pass per layer per hop. `SegBuf` keeps the payload
+//! as a queue of refcounted [`Bytes`] chunks instead: pushing an arriving
+//! chunk is a refcount bump, consuming from the front adjusts the head
+//! chunk's offset, and reads that fall inside one chunk are zero-copy
+//! slices. Only reads that straddle chunk boundaries (or explicitly ask
+//! for a `Vec<u8>`) copy, exactly once.
+
+use std::collections::VecDeque;
+
+use bytes::{Buf, Bytes};
+
+/// A FIFO byte buffer stored as refcounted segments.
+///
+/// Invariants: no stored chunk is empty; `len` is the sum of chunk
+/// lengths. The head chunk's internal offset (advanced on partial
+/// consumes) plays the role of a classic ring-buffer head index.
+#[derive(Default)]
+pub struct SegBuf {
+    chunks: VecDeque<Bytes>,
+    len: usize,
+}
+
+impl SegBuf {
+    /// Creates an empty buffer.
+    pub fn new() -> SegBuf {
+        SegBuf::default()
+    }
+
+    /// Total buffered bytes.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no bytes are buffered.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of stored segments (for tests and diagnostics).
+    pub fn segments(&self) -> usize {
+        self.chunks.len()
+    }
+
+    /// Appends a chunk without copying it (a refcount bump).
+    pub fn push_bytes(&mut self, chunk: Bytes) {
+        if chunk.is_empty() {
+            return;
+        }
+        self.len += chunk.len();
+        self.chunks.push_back(chunk);
+    }
+
+    /// Appends a slice, copying it once into a fresh chunk.
+    pub fn push_slice(&mut self, data: &[u8]) {
+        if data.is_empty() {
+            return;
+        }
+        self.push_bytes(Bytes::copy_from_slice(data));
+    }
+
+    /// Iterates over the buffered segments front to back.
+    pub fn peek_chunks(&self) -> impl Iterator<Item = &Bytes> {
+        self.chunks.iter()
+    }
+
+    /// Copies up to `dst.len()` bytes into `dst` without consuming them;
+    /// returns how many were copied. Used to parse frame headers that may
+    /// straddle chunk boundaries.
+    pub fn copy_peek(&self, dst: &mut [u8]) -> usize {
+        let mut copied = 0;
+        for chunk in &self.chunks {
+            if copied == dst.len() {
+                break;
+            }
+            let n = (dst.len() - copied).min(chunk.len());
+            dst[copied..copied + n].copy_from_slice(&chunk[..n]);
+            copied += n;
+        }
+        copied
+    }
+
+    /// Returns the first `min(max, len)` bytes as one [`Bytes`] without
+    /// consuming them. Zero-copy when the head chunk covers the read (one
+    /// copy when it straddles chunks). Used by retransmission paths that
+    /// must resend data while keeping it buffered.
+    pub fn peek_bytes(&self, max: usize) -> Bytes {
+        let n = max.min(self.len);
+        if n == 0 {
+            return Bytes::new();
+        }
+        let head = self.chunks.front().expect("non-empty");
+        if head.len() >= n {
+            return head.slice(..n);
+        }
+        let mut out = Vec::with_capacity(n);
+        for chunk in &self.chunks {
+            let take = (n - out.len()).min(chunk.len());
+            out.extend_from_slice(&chunk[..take]);
+            if out.len() == n {
+                break;
+            }
+        }
+        Bytes::from(out)
+    }
+
+    /// Drops `n` bytes from the front. Panics if `n > len`.
+    pub fn consume(&mut self, n: usize) {
+        assert!(n <= self.len, "consume past end of SegBuf");
+        let mut left = n;
+        while left > 0 {
+            let head = self.chunks.front_mut().expect("len accounted");
+            if head.len() > left {
+                head.advance(left);
+                left = 0;
+            } else {
+                left -= head.len();
+                self.chunks.pop_front();
+            }
+        }
+        self.len -= n;
+    }
+
+    /// Removes and returns exactly `min(max, len)` bytes as one [`Bytes`].
+    /// Zero-copy when the head chunk covers the whole read; one copy when
+    /// the read straddles chunks.
+    pub fn read_bytes(&mut self, max: usize) -> Bytes {
+        let n = max.min(self.len);
+        if n == 0 {
+            return Bytes::new();
+        }
+        let head = self.chunks.front_mut().expect("non-empty");
+        if head.len() >= n {
+            let out = head.split_to(n);
+            if head.is_empty() {
+                self.chunks.pop_front();
+            }
+            self.len -= n;
+            return out;
+        }
+        // Straddles chunks: one gathering copy.
+        let mut out = Vec::with_capacity(n);
+        let mut left = n;
+        while left > 0 {
+            let head = self.chunks.front_mut().expect("len accounted");
+            let take = left.min(head.len());
+            out.extend_from_slice(&head[..take]);
+            if take == head.len() {
+                self.chunks.pop_front();
+            } else {
+                head.advance(take);
+            }
+            left -= take;
+        }
+        self.len -= n;
+        Bytes::from(out)
+    }
+
+    /// Removes and returns the front segment, truncated to `max` bytes
+    /// (the remainder stays buffered). Always zero-copy. Returns an empty
+    /// [`Bytes`] when the buffer is empty or `max == 0`.
+    pub fn pop_chunk(&mut self, max: usize) -> Bytes {
+        if max == 0 || self.is_empty() {
+            return Bytes::new();
+        }
+        let head = self.chunks.front_mut().expect("non-empty");
+        let n = max.min(head.len());
+        let out = head.split_to(n);
+        if head.is_empty() {
+            self.chunks.pop_front();
+        }
+        self.len -= n;
+        out
+    }
+
+    /// Removes and returns up to `max` bytes as a `Vec<u8>` (one copy).
+    pub fn read_into(&mut self, max: usize) -> Vec<u8> {
+        let n = max.min(self.len);
+        if n == 0 {
+            return Vec::new();
+        }
+        let mut out = Vec::with_capacity(n);
+        let mut left = n;
+        while left > 0 {
+            let head = self.chunks.front_mut().expect("len accounted");
+            let take = left.min(head.len());
+            out.extend_from_slice(&head[..take]);
+            if take == head.len() {
+                self.chunks.pop_front();
+            } else {
+                head.advance(take);
+            }
+            left -= take;
+        }
+        self.len -= n;
+        out
+    }
+
+    /// Drops everything.
+    pub fn clear(&mut self) {
+        self.chunks.clear();
+        self.len = 0;
+    }
+}
+
+impl std::fmt::Debug for SegBuf {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "SegBuf({} bytes in {} segments)",
+            self.len,
+            self.chunks.len()
+        )
+    }
+}
+
+impl Extend<Bytes> for SegBuf {
+    fn extend<T: IntoIterator<Item = Bytes>>(&mut self, iter: T) {
+        for chunk in iter {
+            self.push_bytes(chunk);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simnet::SimRng;
+
+    #[test]
+    fn push_read_roundtrip() {
+        let mut b = SegBuf::new();
+        b.push_bytes(Bytes::from_static(b"hello "));
+        b.push_slice(b"world");
+        assert_eq!(b.len(), 11);
+        assert_eq!(b.segments(), 2);
+        assert_eq!(b.read_into(usize::MAX), b"hello world");
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn empty_pushes_are_ignored() {
+        let mut b = SegBuf::new();
+        b.push_bytes(Bytes::new());
+        b.push_slice(&[]);
+        assert!(b.is_empty());
+        assert_eq!(b.segments(), 0);
+        assert_eq!(b.read_bytes(10), Bytes::new());
+        assert_eq!(b.pop_chunk(10), Bytes::new());
+        assert_eq!(b.read_into(10), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn read_bytes_is_zero_copy_within_a_chunk() {
+        let mut b = SegBuf::new();
+        b.push_bytes(Bytes::from(vec![1, 2, 3, 4, 5]));
+        b.push_bytes(Bytes::from(vec![6, 7]));
+        // Within the head chunk: no new allocation, chunk is split.
+        assert_eq!(b.read_bytes(3), [1, 2, 3]);
+        assert_eq!(b.len(), 4);
+        // Straddling: gathers into one chunk.
+        assert_eq!(b.read_bytes(4), [4, 5, 6, 7]);
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn pop_chunk_respects_segment_boundaries() {
+        let mut b = SegBuf::new();
+        b.push_bytes(Bytes::from(vec![1, 2, 3]));
+        b.push_bytes(Bytes::from(vec![4, 5]));
+        assert_eq!(b.pop_chunk(usize::MAX), [1, 2, 3]);
+        assert_eq!(b.pop_chunk(1), [4]);
+        assert_eq!(b.pop_chunk(usize::MAX), [5]);
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn consume_and_peek() {
+        let mut b = SegBuf::new();
+        b.push_bytes(Bytes::from(vec![1, 2, 3]));
+        b.push_bytes(Bytes::from(vec![4, 5, 6]));
+        let mut head = [0u8; 4];
+        assert_eq!(b.copy_peek(&mut head), 4);
+        assert_eq!(head, [1, 2, 3, 4]);
+        assert_eq!(b.len(), 6, "peek must not consume");
+        b.consume(4);
+        assert_eq!(b.read_into(usize::MAX), vec![5, 6]);
+    }
+
+    #[test]
+    #[should_panic(expected = "consume past end")]
+    fn consume_past_end_panics() {
+        let mut b = SegBuf::new();
+        b.push_slice(b"ab");
+        b.consume(3);
+    }
+
+    /// Property test: a random sequence of push/consume/read operations
+    /// behaves exactly like a flat `Vec<u8>` reference model.
+    #[test]
+    fn random_ops_match_reference_model() {
+        for seed in 0..8u64 {
+            let mut rng = SimRng::seeded(0xC0FFEE ^ seed);
+            let mut sb = SegBuf::new();
+            let mut model: Vec<u8> = Vec::new();
+            let mut next_byte = 0u8;
+            for _ in 0..2_000 {
+                match rng.next_u64() % 6 {
+                    0 | 1 => {
+                        // Push a random-sized chunk.
+                        let n = (rng.next_u64() % 17) as usize;
+                        let chunk: Vec<u8> = (0..n)
+                            .map(|_| {
+                                next_byte = next_byte.wrapping_add(1);
+                                next_byte
+                            })
+                            .collect();
+                        model.extend_from_slice(&chunk);
+                        if rng.next_u64().is_multiple_of(2) {
+                            sb.push_bytes(Bytes::from(chunk));
+                        } else {
+                            sb.push_slice(&chunk);
+                        }
+                    }
+                    2 => {
+                        let n = (rng.next_u64() % 24) as usize;
+                        let got = sb.read_into(n);
+                        let take = n.min(model.len());
+                        let want: Vec<u8> = model.drain(..take).collect();
+                        assert_eq!(got, want);
+                    }
+                    3 => {
+                        let n = (rng.next_u64() % 24) as usize;
+                        let got = sb.read_bytes(n);
+                        let take = n.min(model.len());
+                        let want: Vec<u8> = model.drain(..take).collect();
+                        assert_eq!(&got[..], &want[..]);
+                    }
+                    4 => {
+                        let n = (rng.next_u64() % 24) as usize;
+                        let got = sb.pop_chunk(n);
+                        assert!(got.len() <= n);
+                        let want: Vec<u8> = model.drain(..got.len()).collect();
+                        assert_eq!(&got[..], &want[..]);
+                        // pop_chunk returns something whenever data exists.
+                        assert!(got.is_empty() == (n == 0 || want.is_empty()));
+                    }
+                    _ => {
+                        let n = (rng.next_u64() as usize) % (sb.len() + 1);
+                        sb.consume(n);
+                        model.drain(..n);
+                    }
+                }
+                assert_eq!(sb.len(), model.len());
+                assert_eq!(sb.is_empty(), model.is_empty());
+                // The peek view always matches the model prefix.
+                let mut peek = vec![0u8; sb.len().min(32)];
+                let got = sb.copy_peek(&mut peek);
+                assert_eq!(got, peek.len());
+                assert_eq!(&peek[..], &model[..peek.len()]);
+            }
+            // Drain the remainder and compare.
+            assert_eq!(sb.read_into(usize::MAX), model);
+        }
+    }
+}

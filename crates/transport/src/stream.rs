@@ -6,6 +6,7 @@
 //! says otherwise, like VRP) flow of bytes with non-blocking send/receive
 //! and a readability callback — the virtualized equivalent of a socket.
 
+use bytes::Bytes;
 use simnet::SimWorld;
 
 /// Callback invoked when a stream becomes readable (new data or EOF) or
@@ -26,6 +27,36 @@ pub trait ByteStream {
 
     /// Reads up to `max` bytes of already-received data.
     fn recv(&self, world: &mut SimWorld, max: usize) -> Vec<u8>;
+
+    /// Zero-copy variant of [`ByteStream::recv`]: returns one contiguous
+    /// received segment of at most `max` bytes, sharing the underlying
+    /// storage instead of copying into a fresh `Vec`.
+    ///
+    /// Unlike `recv`, this may return *fewer* bytes than are available
+    /// (one internal segment at a time); callers that want to drain the
+    /// stream call it in a loop until it returns an empty [`Bytes`].
+    /// The default implementation falls back to `recv` (one copy).
+    fn recv_bytes(&self, world: &mut SimWorld, max: usize) -> Bytes {
+        Bytes::from(self.recv(world, max))
+    }
+
+    /// Zero-copy variant of [`ByteStream::send`]: queues an owned
+    /// refcounted chunk. Transports that buffer segments accept it with a
+    /// refcount bump; the default implementation falls back to `send`
+    /// (one copy). Returns how many bytes were accepted.
+    fn send_bytes(&self, world: &mut SimWorld, data: Bytes) -> usize {
+        self.send(world, &data)
+    }
+
+    /// Queues several chunks as one logical write. Segmenting transports
+    /// override this so all parts enter the buffer before transmission is
+    /// pumped — a framing header and its payload then pack into wire
+    /// segments exactly as if they had been one contiguous buffer, while
+    /// each part still crosses by refcount. The default queues the parts
+    /// one by one.
+    fn send_bytes_vectored(&self, world: &mut SimWorld, parts: Vec<Bytes>) -> usize {
+        parts.into_iter().map(|p| self.send_bytes(world, p)).sum()
+    }
 
     /// True once the connection is established end-to-end.
     fn is_established(&self) -> bool;

@@ -14,12 +14,13 @@
 //! delayed ACKs, no Nagle, sequence numbers count data bytes only).
 
 use std::cell::RefCell;
-use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::collections::{BTreeMap, HashMap};
 use std::rc::Rc;
 
 use bytes::Bytes;
 use simnet::{EventId, Frame, NetworkId, NodeId, ProtoId, SimDuration, SimTime, SimWorld};
 
+use crate::segbuf::SegBuf;
 use crate::stream::{ByteStream, ReadableCallback};
 use crate::wire::{SegFlags, Segment, EXTRA_HEADER_BYTES};
 
@@ -95,9 +96,10 @@ struct ConnInner {
     mss: usize,
     state: TcpState,
 
-    // Sender.
-    send_buf: VecDeque<u8>,
-    retx_buf: VecDeque<u8>,
+    // Sender. Queued and unacknowledged payload are segment queues: data
+    // enters as refcounted chunks and is sliced, never copied per byte.
+    send_buf: SegBuf,
+    retx_buf: SegBuf,
     snd_una: u64,
     snd_nxt: u64,
     cwnd: f64,
@@ -117,7 +119,7 @@ struct ConnInner {
     // Receiver.
     rcv_nxt: u64,
     ooo: BTreeMap<u64, Bytes>,
-    recv_buf: VecDeque<u8>,
+    recv_buf: SegBuf,
     peer_fin: Option<u64>,
     advertised_zero_window: bool,
 
@@ -359,8 +361,8 @@ impl TcpConn {
                 config,
                 mss,
                 state,
-                send_buf: VecDeque::new(),
-                retx_buf: VecDeque::new(),
+                send_buf: SegBuf::new(),
+                retx_buf: SegBuf::new(),
                 snd_una: 0,
                 snd_nxt: 0,
                 cwnd,
@@ -376,7 +378,7 @@ impl TcpConn {
                 rto_timer: None,
                 rcv_nxt: 0,
                 ooo: BTreeMap::new(),
-                recv_buf: VecDeque::new(),
+                recv_buf: SegBuf::new(),
                 peer_fin: None,
                 advertised_zero_window: false,
                 readable_cb: None,
@@ -499,11 +501,10 @@ impl TcpConn {
                     return;
                 }
                 let chunk = budget.min(c.mss).min(c.send_buf.len());
-                let mut data = Vec::with_capacity(chunk);
-                for _ in 0..chunk {
-                    data.push(c.send_buf.pop_front().expect("len checked"));
-                }
-                c.retx_buf.extend(data.iter().copied());
+                // Zero-copy segmentation: the MSS-sized slice shares the
+                // storage of the buffer the application queued.
+                let data = c.send_buf.read_bytes(chunk);
+                c.retx_buf.push_bytes(data.clone());
                 let seq = c.snd_nxt;
                 let mut flags = SegFlags {
                     ack: true,
@@ -530,7 +531,7 @@ impl TcpConn {
                     ack: c.rcv_nxt,
                     flags,
                     window: c.recv_window(),
-                    data: Bytes::from(data),
+                    data,
                 }
             };
             self.send_segment(world, seg);
@@ -546,13 +547,7 @@ impl TcpConn {
                 return;
             }
             let data_len = c.retx_buf.len().min(c.mss);
-            let mut data = Vec::with_capacity(data_len);
-            for (i, b) in c.retx_buf.iter().enumerate() {
-                if i >= data_len {
-                    break;
-                }
-                data.push(*b);
-            }
+            let data = c.retx_buf.peek_bytes(data_len);
             let seq = c.snd_una;
             let mut flags = SegFlags {
                 ack: true,
@@ -574,7 +569,7 @@ impl TcpConn {
                 ack: c.rcv_nxt,
                 flags,
                 window: c.recv_window(),
-                data: Bytes::from(data),
+                data,
             }
         };
         self.send_segment(world, seg);
@@ -698,9 +693,8 @@ impl TcpConn {
                             acked -= 1;
                         }
                     }
-                    for _ in 0..acked.min(c.retx_buf.len() as u64) {
-                        c.retx_buf.pop_front();
-                    }
+                    let drop = (acked as usize).min(c.retx_buf.len());
+                    c.retx_buf.consume(drop);
                     c.stats.bytes_acked += acked;
                     c.snd_una = seg.ack;
                     c.dup_acks = 0;
@@ -772,7 +766,9 @@ impl TcpConn {
                 if seq <= c.rcv_nxt {
                     if len > 0 && seq + len > c.rcv_nxt {
                         let skip = (c.rcv_nxt - seq) as usize;
-                        c.recv_buf.extend(seg.data[skip..].iter().copied());
+                        // The arriving segment's storage is shared, not
+                        // copied, all the way to the application read.
+                        c.recv_buf.push_bytes(seg.data.slice(skip..));
                         c.rcv_nxt = seq + len;
                         c.stats.bytes_delivered += (len as usize - skip) as u64;
                         notify_app = true;
@@ -790,7 +786,7 @@ impl TcpConn {
                         let olen = odata.len() as u64;
                         if oseq + olen > c.rcv_nxt {
                             let skip = (c.rcv_nxt - oseq) as usize;
-                            c.recv_buf.extend(odata[skip..].iter().copied());
+                            c.recv_buf.push_bytes(odata.slice(skip..));
                             c.stats.bytes_delivered += (olen as usize - skip) as u64;
                             c.rcv_nxt = oseq + olen;
                             notify_app = true;
@@ -895,20 +891,36 @@ impl TcpConn {
     }
 }
 
-impl ByteStream for TcpConn {
-    fn send(&self, world: &mut SimWorld, data: &[u8]) -> usize {
+impl TcpConn {
+    /// Queues owned chunks on the send side (refcount bumps, no copy),
+    /// bounded by the configured send buffer, then pumps once. Shared by
+    /// `send`, `send_bytes` and `send_bytes_vectored`: all parts enter the
+    /// buffer before segmentation, so they pack into MSS-sized segments
+    /// exactly like one contiguous write.
+    fn queue_send_parts(&self, world: &mut SimWorld, parts: Vec<Bytes>) -> usize {
         let accepted = {
             let mut c = self.inner.borrow_mut();
             if matches!(c.state, TcpState::Closed) || c.fin_queued {
                 return 0;
             }
-            let room = c
+            let mut room = c
                 .config
                 .send_buffer
                 .saturating_sub(c.send_buf.len() + c.retx_buf.len());
-            let n = room.min(data.len());
-            c.send_buf.extend(data[..n].iter().copied());
-            n
+            let mut accepted = 0;
+            for data in parts {
+                let n = room.min(data.len());
+                if n > 0 {
+                    c.send_buf.push_bytes(if n == data.len() {
+                        data
+                    } else {
+                        data.slice(..n)
+                    });
+                }
+                room -= n;
+                accepted += n;
+            }
+            accepted
         };
         if accepted > 0 {
             self.pump(world);
@@ -916,25 +928,58 @@ impl ByteStream for TcpConn {
         accepted
     }
 
+    /// Sends a window update if the receive window just reopened.
+    fn maybe_reopen_window(&self, world: &mut SimWorld) {
+        let opened = {
+            let mut c = self.inner.borrow_mut();
+            let opened = c.advertised_zero_window && c.recv_window() >= c.mss as u32;
+            if opened {
+                c.advertised_zero_window = false;
+            }
+            opened
+        };
+        if opened {
+            // Window update so a stalled sender can resume.
+            self.send_ack(world);
+        }
+    }
+}
+
+impl ByteStream for TcpConn {
+    fn send(&self, world: &mut SimWorld, data: &[u8]) -> usize {
+        if data.is_empty() {
+            return 0;
+        }
+        self.queue_send_parts(world, vec![Bytes::copy_from_slice(data)])
+    }
+
+    fn send_bytes(&self, world: &mut SimWorld, data: Bytes) -> usize {
+        self.queue_send_parts(world, vec![data])
+    }
+
+    fn send_bytes_vectored(&self, world: &mut SimWorld, parts: Vec<Bytes>) -> usize {
+        self.queue_send_parts(world, parts)
+    }
+
     fn available(&self) -> usize {
         self.inner.borrow().recv_buf.len()
     }
 
     fn recv(&self, world: &mut SimWorld, max: usize) -> Vec<u8> {
-        let (data, window_opened) = {
-            let mut c = self.inner.borrow_mut();
-            let n = max.min(c.recv_buf.len());
-            let data: Vec<u8> = c.recv_buf.drain(..n).collect();
-            let opened = c.advertised_zero_window && c.recv_window() >= c.mss as u32;
-            if opened {
-                c.advertised_zero_window = false;
-            }
-            (data, opened)
-        };
-        if window_opened {
-            // Window update so a stalled sender can resume.
-            self.send_ack(world);
+        if max == 0 || self.available() == 0 {
+            return Vec::new();
         }
+        let data = self.inner.borrow_mut().recv_buf.read_into(max);
+        self.maybe_reopen_window(world);
+        data
+    }
+
+    fn recv_bytes(&self, world: &mut SimWorld, max: usize) -> Bytes {
+        if max == 0 || self.available() == 0 {
+            return Bytes::new();
+        }
+        let data = self.inner.borrow_mut().recv_buf.pop_chunk(max);
+        self.maybe_reopen_window(world);
         data
     }
 

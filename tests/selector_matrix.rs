@@ -26,6 +26,7 @@ fn all_preferences() -> Vec<SelectorPreferences> {
                     out.push(SelectorPreferences {
                         parallel_streams_on_wan: parallel,
                         parallel_stream_width: 4,
+                        gateway_trunk_width: 8,
                         compression_on_slow_links: compression,
                         secure_inter_site: secure,
                         forbid_san,
