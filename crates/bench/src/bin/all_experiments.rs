@@ -98,7 +98,24 @@ fn main() {
             r.stream_goodput_mb_s,
         );
     }
-    match write_multi_site_json(&results) {
+    println!();
+    println!("==================== Incast backpressure ====================");
+    let incast = incast_sweep();
+    for r in &incast {
+        println!(
+            "{:>2} senders [{:<6}] {}/{} frames | dropped {} retx {} rounds {} | {:.2} MB/s | stall {:.2} ms/sender",
+            r.senders,
+            r.mode.label(),
+            r.frames_delivered,
+            r.frames_total,
+            r.frames_dropped,
+            r.retransmissions,
+            r.rounds,
+            r.goodput_mb_s,
+            r.sender_stall_ms,
+        );
+    }
+    match write_multi_site_json(&results, &incast) {
         Ok(path) => println!("wrote {path}"),
         Err(e) => eprintln!("failed to write BENCH_multi_site.json: {e}"),
     }

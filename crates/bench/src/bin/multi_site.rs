@@ -1,9 +1,51 @@
 //! Runs the multi-site grid experiment (site count × backbone class) and
-//! writes the machine-readable `BENCH_multi_site.json` artifact.
+//! the incast backpressure sweep, writing the machine-readable
+//! `BENCH_multi_site.json` artifact.
+//!
+//! `--incast-smoke drop|credit` runs a single quick incast in the given
+//! mode and exits non-zero if reliable delivery failed — or, in credit
+//! mode, if any gateway frame was dropped (credit mode must be lossless).
+//! Used by CI as a bitrot guard.
 
-use padico_bench::{multi_site_sweep, write_multi_site_json};
+use gridtopo::BackpressureMode;
+use padico_bench::{incast_run, incast_sweep, multi_site_sweep, write_multi_site_json};
 
 fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if let Some(i) = args.iter().position(|a| a == "--incast-smoke") {
+        let mode = match args.get(i + 1).map(String::as_str) {
+            Some("drop") => BackpressureMode::Drop,
+            Some("credit") => BackpressureMode::Credit,
+            other => {
+                eprintln!("--incast-smoke needs 'drop' or 'credit', got {other:?}");
+                std::process::exit(2);
+            }
+        };
+        let r = incast_run(8, 32, mode);
+        println!(
+            "incast smoke [{}]: {}/{} frames, {} dropped, {} retransmitted, \
+             {} rounds, {:.2} MB/s, stall {:.2} ms/sender",
+            r.mode.label(),
+            r.frames_delivered,
+            r.frames_total,
+            r.frames_dropped,
+            r.retransmissions,
+            r.rounds,
+            r.goodput_mb_s,
+            r.sender_stall_ms,
+        );
+        let mut failed = false;
+        if r.frames_delivered != r.frames_total {
+            eprintln!("FAIL: reliable delivery incomplete");
+            failed = true;
+        }
+        if mode == BackpressureMode::Credit && r.frames_dropped > 0 {
+            eprintln!("FAIL: credit mode dropped {} frames", r.frames_dropped);
+            failed = true;
+        }
+        std::process::exit(if failed { 1 } else { 0 });
+    }
+
     let results = multi_site_sweep();
     println!(
         "{:>5} {:>6} {:>16} {:>5} {:>9} {:>10} {:>8} {:>8} {:>12} {:>14}",
@@ -35,7 +77,38 @@ fn main() {
             r.stream_goodput_mb_s,
         );
     }
-    match write_multi_site_json(&results) {
+
+    let incast = incast_sweep();
+    println!(
+        "\n{:>7} {:>6} {:>7} {:>9} {:>8} {:>7} {:>7} {:>11} {:>13} {:>12}",
+        "senders",
+        "mode",
+        "frames",
+        "delivered",
+        "dropped",
+        "retx",
+        "rounds",
+        "elapsed",
+        "goodput",
+        "stall/sender"
+    );
+    for r in &incast {
+        println!(
+            "{:>7} {:>6} {:>7} {:>9} {:>8} {:>7} {:>7} {:>8.2} ms {:>8.2} MB/s {:>9.2} ms",
+            r.senders,
+            r.mode.label(),
+            r.frames_total,
+            r.frames_delivered,
+            r.frames_dropped,
+            r.retransmissions,
+            r.rounds,
+            r.elapsed_ms,
+            r.goodput_mb_s,
+            r.sender_stall_ms,
+        );
+    }
+
+    match write_multi_site_json(&results, &incast) {
         Ok(path) => println!("\nwrote {path}"),
         Err(e) => eprintln!("\nfailed to write BENCH_multi_site.json: {e}"),
     }

@@ -13,7 +13,8 @@ pub mod multi_site;
 
 pub use experiments::*;
 pub use multi_site::{
-    multi_site_json, multi_site_run, multi_site_sweep, write_multi_site_json, MultiSiteResult,
+    incast_run, incast_sweep, multi_site_json, multi_site_run, multi_site_sweep,
+    write_multi_site_json, IncastResult, MultiSiteResult,
 };
 
 /// Formats a byte size the way the paper's axes do.

@@ -11,12 +11,12 @@
 //! * stream relaying through the gateway proxies (goodput of a relayed
 //!   VLink transfer).
 
-use std::cell::Cell;
+use std::cell::{Cell, RefCell};
 use std::rc::Rc;
 
-use gridtopo::{GridTopology, RelayConfig, RelayFabric, SiteSpec};
+use gridtopo::{BackpressureMode, GridTopology, RelayConfig, RelayFabric, SiteSpec};
 use padico_core::{runtimes_for_grid, SelectorPreferences, VLink, VLinkEvent};
-use simnet::{NetworkSpec, SimWorld};
+use simnet::{NetworkSpec, SimDuration, SimWorld};
 
 /// Backbone layout of a multi-site run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -192,6 +192,177 @@ pub fn multi_site_run(
     }
 }
 
+// --------------------------------------------------------------------- //
+// Incast: N senders fan into one gateway towards one receiver
+// --------------------------------------------------------------------- //
+
+/// Result of one incast run (N senders in one site, one receiver behind
+/// the far gateway, reliable delivery with end-to-end retransmission).
+#[derive(Debug, Clone)]
+pub struct IncastResult {
+    /// Number of senders fanning into the gateway.
+    pub senders: usize,
+    /// Relay backpressure mode swept ("drop" / "credit").
+    pub mode: BackpressureMode,
+    /// Unique application frames per sender.
+    pub frames_per_sender: u64,
+    /// Unique application frames overall (`senders × frames_per_sender`).
+    pub frames_total: u64,
+    /// Unique frames delivered to the receiver.
+    pub frames_delivered: u64,
+    /// Transmissions dropped at gateway queues, across all rounds.
+    pub frames_dropped: u64,
+    /// Transmissions lost on the wire (link loss), across all rounds.
+    pub frames_lost: u64,
+    /// Retransmissions the senders had to issue to complete delivery.
+    pub retransmissions: u64,
+    /// Send rounds until every frame arrived (1 == lossless first pass).
+    pub rounds: u64,
+    /// Virtual time from the first send to the last delivery.
+    pub elapsed_ms: f64,
+    /// Goodput of *completed reliable delivery*: unique payload bytes over
+    /// the full elapsed time (retransmission rounds count against it).
+    pub goodput_mb_s: f64,
+    /// Cumulative credit-stall *frame-time* per sender, in milliseconds:
+    /// the parked durations of all of a sender's frames summed (frames
+    /// park concurrently, so — like CPU-seconds — this can exceed the
+    /// run's elapsed wall-clock). Zero in drop mode.
+    pub sender_stall_ms: f64,
+}
+
+/// Payload bytes of each incast frame (sender id + sequence + padding).
+const INCAST_FRAME_BYTES: usize = 1024;
+/// Ceiling on retransmission rounds (never reached in practice: every
+/// round delivers at least the gateway's service capacity).
+const INCAST_MAX_ROUNDS: u64 = 64;
+
+/// Runs one incast measurement: `senders` nodes of one site all send
+/// `frames_per_sender` frames to a single receiver behind the far
+/// gateway, with application-level reliable delivery (missing frames are
+/// retransmitted in rounds). In `drop` mode the shared gateway queue
+/// discards the overload and the senders pay retransmission rounds; in
+/// `credit` mode the senders park on gateway credits and everything
+/// arrives in one pass.
+pub fn incast_run(senders: usize, frames_per_sender: u64, mode: BackpressureMode) -> IncastResult {
+    assert!(senders >= 1 && frames_per_sender >= 1);
+    let mut world = SimWorld::new(4242);
+    let grid = GridTopology::star(
+        &mut world,
+        &[
+            SiteSpec::san_cluster("send", senders + 1),
+            SiteSpec::san_cluster("recv", 2),
+        ],
+        NetworkSpec::vthd_wan(),
+    );
+    // Each frame occupies the gateway's bounded memory for its 1 ms
+    // store-and-forward hold while SAN arrivals land every few µs: the
+    // entry gateway queue is the incast bottleneck (drops in `drop` mode,
+    // credit stalls in `credit` mode). The capacity covers the WAN
+    // bandwidth-delay product (~110 frames), so a credit window of the
+    // same size can keep the backbone full.
+    let config = RelayConfig {
+        per_hop_latency: SimDuration::from_millis(1),
+        queue_capacity: 128,
+        backpressure: mode,
+        ..Default::default()
+    };
+    let fabric = RelayFabric::new(grid.routes.clone(), config);
+    for node in grid.all_nodes() {
+        fabric.attach(&mut world, node);
+    }
+    let sender_nodes: Vec<_> = (1..=senders).map(|i| grid.site(0).node(i)).collect();
+    let receiver = grid.site(1).node(1);
+
+    // Receiver: dedup by (sender, seq), remember the last arrival time.
+    let received: Rc<RefCell<Vec<Vec<bool>>>> =
+        Rc::new(RefCell::new(vec![
+            vec![false; frames_per_sender as usize];
+            senders
+        ]));
+    let unique = Rc::new(Cell::new(0u64));
+    let last_at = Rc::new(Cell::new(simnet::SimTime::ZERO));
+    let (r2, u2, l2) = (received.clone(), unique.clone(), last_at.clone());
+    fabric.bind(&mut world, receiver, 9, move |world, msg| {
+        if msg.payload.len() < 6 {
+            return;
+        }
+        let sender = u16::from_be_bytes([msg.payload[0], msg.payload[1]]) as usize;
+        let seq = u32::from_be_bytes([
+            msg.payload[2],
+            msg.payload[3],
+            msg.payload[4],
+            msg.payload[5],
+        ]) as usize;
+        let mut seen = r2.borrow_mut();
+        if !seen[sender][seq] {
+            seen[sender][seq] = true;
+            u2.set(u2.get() + 1);
+            l2.set(world.now());
+        }
+    });
+
+    let frames_total = senders as u64 * frames_per_sender;
+    let start = world.now();
+    let mut rounds = 0u64;
+    let mut transmissions = 0u64;
+    while unique.get() < frames_total && rounds < INCAST_MAX_ROUNDS {
+        rounds += 1;
+        for (si, &node) in sender_nodes.iter().enumerate() {
+            for seq in 0..frames_per_sender as usize {
+                if received.borrow()[si][seq] {
+                    continue;
+                }
+                let mut payload = vec![0u8; INCAST_FRAME_BYTES];
+                payload[0..2].copy_from_slice(&(si as u16).to_be_bytes());
+                payload[2..6].copy_from_slice(&(seq as u32).to_be_bytes());
+                fabric
+                    .send(&mut world, node, receiver, 9, payload)
+                    .expect("incast send");
+                transmissions += 1;
+            }
+        }
+        // One round = the burst plus everything it triggers (deliveries,
+        // credit returns, parked resumes) draining.
+        world.run();
+    }
+    let elapsed = last_at.get().since(start);
+    let elapsed_ms = elapsed.as_millis_f64();
+    let frames_delivered = unique.get();
+    let frames_dropped = fabric.total_dropped();
+    let goodput_mb_s = if elapsed_ms > 0.0 {
+        (frames_delivered * INCAST_FRAME_BYTES as u64) as f64 / elapsed.as_secs_f64() / 1e6
+    } else {
+        0.0
+    };
+    IncastResult {
+        senders,
+        mode,
+        frames_per_sender,
+        frames_total,
+        frames_delivered,
+        frames_dropped,
+        frames_lost: transmissions
+            .saturating_sub(fabric.delivered_frames())
+            .saturating_sub(frames_dropped),
+        retransmissions: transmissions - frames_total,
+        rounds,
+        elapsed_ms,
+        goodput_mb_s,
+        sender_stall_ms: fabric.credit_stall_ns() as f64 / 1e6 / senders as f64,
+    }
+}
+
+/// The incast sweep: sender fan-in × backpressure mode.
+pub fn incast_sweep() -> Vec<IncastResult> {
+    let mut out = Vec::new();
+    for senders in [2usize, 4, 8, 16] {
+        for mode in [BackpressureMode::Drop, BackpressureMode::Credit] {
+            out.push(incast_run(senders, 64, mode));
+        }
+    }
+    out
+}
+
 /// The default sweep: site count × layout × backbone class.
 pub fn multi_site_sweep() -> Vec<MultiSiteResult> {
     let mut out = Vec::new();
@@ -217,8 +388,9 @@ pub fn multi_site_sweep() -> Vec<MultiSiteResult> {
     out
 }
 
-/// Renders the results as a machine-readable JSON document.
-pub fn multi_site_json(results: &[MultiSiteResult]) -> String {
+/// Renders the multi-site and incast results as one machine-readable JSON
+/// document.
+pub fn multi_site_json(results: &[MultiSiteResult], incast: &[IncastResult]) -> String {
     let mut s = String::from("{\n  \"experiment\": \"multi_site\",\n  \"results\": [\n");
     for (i, r) in results.iter().enumerate() {
         s.push_str(&format!(
@@ -246,15 +418,43 @@ pub fn multi_site_json(results: &[MultiSiteResult]) -> String {
             if i + 1 == results.len() { "" } else { "," },
         ));
     }
+    s.push_str("  ],\n  \"incast\": [\n");
+    for (i, r) in incast.iter().enumerate() {
+        s.push_str(&format!(
+            concat!(
+                "    {{\"senders\": {}, \"mode\": \"{}\", \"frames_per_sender\": {}, ",
+                "\"frames_total\": {}, \"frames_delivered\": {}, \"frames_dropped\": {}, ",
+                "\"frames_lost\": {}, \"retransmissions\": {}, \"rounds\": {}, ",
+                "\"elapsed_ms\": {:.4}, \"goodput_mb_s\": {:.4}, ",
+                "\"sender_stall_ms\": {:.4}}}{}\n"
+            ),
+            r.senders,
+            r.mode.label(),
+            r.frames_per_sender,
+            r.frames_total,
+            r.frames_delivered,
+            r.frames_dropped,
+            r.frames_lost,
+            r.retransmissions,
+            r.rounds,
+            r.elapsed_ms,
+            r.goodput_mb_s,
+            r.sender_stall_ms,
+            if i + 1 == incast.len() { "" } else { "," },
+        ));
+    }
     s.push_str("  ]\n}\n");
     s
 }
 
 /// Writes `BENCH_multi_site.json` (the perf-trajectory artifact tracked
 /// across PRs) into the current directory and returns its path.
-pub fn write_multi_site_json(results: &[MultiSiteResult]) -> std::io::Result<String> {
+pub fn write_multi_site_json(
+    results: &[MultiSiteResult],
+    incast: &[IncastResult],
+) -> std::io::Result<String> {
     let path = "BENCH_multi_site.json".to_string();
-    std::fs::write(&path, multi_site_json(results))?;
+    std::fs::write(&path, multi_site_json(results, incast))?;
     Ok(path)
 }
 
@@ -296,12 +496,52 @@ mod tests {
     #[test]
     fn json_is_well_formed_enough() {
         let r = multi_site_run(2, Layout::Star, "vthd-wan", NetworkSpec::vthd_wan());
-        let json = multi_site_json(&[r]);
+        let inc = incast_run(2, 8, BackpressureMode::Credit);
+        let json = multi_site_json(&[r], &[inc]);
         assert!(json.contains("\"experiment\": \"multi_site\""));
         assert!(json.contains("\"sites\": 2"));
         assert!(json.contains("\"layout\": \"star\""));
         assert!(json.contains("\"frames_lost\""));
+        assert!(json.contains("\"incast\""));
+        assert!(json.contains("\"mode\": \"credit\""));
+        assert!(json.contains("\"sender_stall_ms\""));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn incast_credit_mode_is_lossless_and_beats_drop_mode() {
+        for senders in [4usize, 8] {
+            let drop = incast_run(senders, 64, BackpressureMode::Drop);
+            let credit = incast_run(senders, 64, BackpressureMode::Credit);
+            // Both complete reliable delivery.
+            assert_eq!(drop.frames_delivered, drop.frames_total, "{drop:?}");
+            assert_eq!(credit.frames_delivered, credit.frames_total, "{credit:?}");
+            // Drop mode pays for the overload with drops and retransmission
+            // rounds; credit mode is lossless in one pass, stalling instead.
+            assert!(drop.frames_dropped > 0, "{drop:?}");
+            assert!(drop.rounds > 1, "{drop:?}");
+            assert_eq!(credit.frames_dropped, 0, "{credit:?}");
+            assert_eq!(credit.retransmissions, 0, "{credit:?}");
+            assert_eq!(credit.rounds, 1, "{credit:?}");
+            assert!(credit.sender_stall_ms > 0.0, "{credit:?}");
+            assert!(
+                credit.goodput_mb_s >= drop.goodput_mb_s,
+                "credit goodput must not trail drop at {senders} senders: \
+                 {credit:?} vs {drop:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn incast_runs_are_deterministic() {
+        let a = incast_run(4, 32, BackpressureMode::Credit);
+        let b = incast_run(4, 32, BackpressureMode::Credit);
+        assert_eq!(a.elapsed_ms, b.elapsed_ms);
+        assert_eq!(a.sender_stall_ms, b.sender_stall_ms);
+        let a = incast_run(4, 32, BackpressureMode::Drop);
+        let b = incast_run(4, 32, BackpressureMode::Drop);
+        assert_eq!(a.frames_dropped, b.frames_dropped);
+        assert_eq!(a.rounds, b.rounds);
     }
 
     #[test]

@@ -30,7 +30,7 @@ pub mod personality;
 pub mod relay;
 pub mod runtime;
 pub mod selector;
-pub(crate) mod trunk;
+pub mod trunk;
 pub mod vlink;
 
 pub use circuit::{
@@ -39,5 +39,6 @@ pub use circuit::{
 pub use madio_stream::{MadStream, MadStreamDriver};
 pub use relay::{install_gateway_proxy, GatewayProxy, GatewayProxyStats, GATEWAY_PROXY_SERVICE};
 pub use runtime::{runtimes_for_cluster, runtimes_for_grid, runtimes_for_lan, PadicoRuntime};
-pub use selector::{LinkDecision, SelectorPreferences, TopologyKb};
+pub use selector::{BackpressureMode, LinkDecision, SelectorPreferences, TopologyKb};
+pub use trunk::{TrunkCreditStats, TrunkFlowConfig, TrunkMux, TrunkStream};
 pub use vlink::{ReadOp, VLink, VLinkEvent, VLinkMethod};

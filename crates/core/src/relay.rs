@@ -14,14 +14,15 @@
 //! reliability and congestion control are per-hop, exactly like a real
 //! application-level gateway.
 
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::rc::Rc;
 
-use simnet::{NetworkClass, NodeId, SimWorld};
+use simnet::{NetworkClass, NodeId, SimDuration, SimWorld};
 use transport::{ByteStream, ByteStreamExt, ParallelStream, ParallelStreamConfig, SegBuf};
 
 use crate::runtime::PadicoRuntime;
-use crate::trunk::TrunkMux;
+use crate::selector::{BackpressureMode, SelectorPreferences};
+use crate::trunk::{TrunkFlowConfig, TrunkMux};
 use crate::vlink::{VLink, VLinkEvent};
 
 /// The well-known service port gateway proxies listen on.
@@ -55,6 +56,26 @@ const FLAG_CIRCUIT_STREAM: u8 = 0b0000_0001;
 /// Initial time-to-live of a proxied connection (gateway hops).
 pub(crate) const PROXY_TTL: u8 = 8;
 
+/// Onward-driver backlog (unacknowledged plus credit-parked bytes) above
+/// which a splice stops pulling off its incoming leg and polls instead:
+/// the gateway's store-and-forward memory for one relayed stream is
+/// bounded instead of ballooning when the downstream leg is the
+/// bottleneck.
+const SPLICE_HIGH_WATER: u64 = 1024 * 1024;
+
+/// Poll interval of a paused splice.
+const SPLICE_RETRY: SimDuration = SimDuration::from_micros(200);
+
+/// The trunk flow-control configuration implied by the user preferences:
+/// credit windows when `relay_backpressure` is `Credit`, none otherwise.
+/// Both trunk ends derive it from the same preference, so they agree.
+pub(crate) fn trunk_flow(prefs: &SelectorPreferences) -> Option<TrunkFlowConfig> {
+    match prefs.relay_backpressure {
+        BackpressureMode::Credit => Some(TrunkFlowConfig::default()),
+        BackpressureMode::Drop => None,
+    }
+}
+
 /// Accounting for one gateway's stream proxy.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct GatewayProxyStats {
@@ -66,6 +87,9 @@ pub struct GatewayProxyStats {
     pub bytes_forward: u64,
     /// Bytes forwarded from the destination back to the connecting side.
     pub bytes_backward: u64,
+    /// Bytes a splice leg refused (the carrying stream died underneath);
+    /// they are lost and accounted, never silently retried.
+    pub bytes_refused: u64,
 }
 
 /// Handle to a gateway's proxy accounting.
@@ -197,7 +221,8 @@ pub fn install_gateway_proxy(world: &mut SimWorld, rt: &PadicoRuntime) -> Gatewa
         move |_world, carrier| {
             let rt3 = rt2.clone();
             let stats3 = stats.clone();
-            let mux = TrunkMux::acceptor(Rc::new(carrier), move |_world, stream| {
+            let flow = trunk_flow(&rt2.preferences());
+            let mux = TrunkMux::acceptor(Rc::new(carrier), flow, move |_world, stream| {
                 splice_incoming(&rt3, &stats3, Rc::new(stream));
             });
             rt2.register_accepted_trunk(mux);
@@ -234,6 +259,13 @@ pub fn establish_gateway_trunks(world: &mut SimWorld, rt: &PadicoRuntime, peers:
 
 /// Installs the proxy splice on one accepted connection: buffer the proxy
 /// header, open the onward leg, then store-and-forward in both directions.
+///
+/// The forward pump is *occupancy-aware*: while the onward driver's
+/// backlog (unacknowledged bytes plus anything a flow-controlled trunk has
+/// parked for want of credits) exceeds [`SPLICE_HIGH_WATER`], the pump
+/// leaves arriving data on the incoming leg and polls instead of buffering
+/// without bound — backpressure from a congested downstream leg reaches
+/// back through the gateway rather than turning into gateway memory.
 fn splice_incoming(
     rt: &PadicoRuntime,
     stats: &Rc<RefCell<GatewayProxyStats>>,
@@ -244,7 +276,15 @@ fn splice_incoming(
     // Per-connection state: buffer the header, then splice.
     let pending: Rc<RefCell<SegBuf>> = Rc::new(RefCell::new(SegBuf::new()));
     let onward: Rc<RefCell<Option<VLink>>> = Rc::new(RefCell::new(None));
-    let refused = Rc::new(std::cell::Cell::new(false));
+    let refused = Rc::new(Cell::new(false));
+    let retry_pending = Rc::new(Cell::new(false));
+    // The pump re-invokes itself from poll events, so it lives in a slot
+    // it can reach through. The closure only holds the slot weakly (the
+    // readable callback keeps it alive), so the slot and the closure never
+    // form their own reference cycle.
+    type Pump = Rc<dyn Fn(&mut SimWorld)>;
+    let pump_slot: Rc<RefCell<Option<Pump>>> = Rc::new(RefCell::new(None));
+    let slot_for_pump = Rc::downgrade(&pump_slot);
     let conn2 = conn.clone();
     let pump = move |world: &mut SimWorld| {
         if refused.get() {
@@ -254,6 +294,23 @@ fn splice_incoming(
             // Established splice: forward arriving chunks onwards by
             // refcount — the store-and-forward queue never copies.
             loop {
+                if link.driver_backlog() > SPLICE_HIGH_WATER {
+                    // Pause: the incoming leg keeps the data until the
+                    // onward leg drains below the high-water mark.
+                    if conn2.available() > 0 && !retry_pending.get() {
+                        retry_pending.set(true);
+                        let slot = slot_for_pump.clone();
+                        let again = retry_pending.clone();
+                        world.schedule_after(SPLICE_RETRY, move |world| {
+                            again.set(false);
+                            let p = slot.upgrade().and_then(|s| s.borrow().clone());
+                            if let Some(p) = p {
+                                p(world);
+                            }
+                        });
+                    }
+                    break;
+                }
                 let data = conn2.recv_bytes(world, usize::MAX);
                 if data.is_empty() {
                     break;
@@ -261,6 +318,8 @@ fn splice_incoming(
                 stats.borrow_mut().bytes_forward += data.len() as u64;
                 link.post_write_bytes(world, data);
             }
+            // `is_finished` only turns true once every byte has been
+            // read, so a paused pump can never close early.
             if conn2.is_finished() {
                 link.close(world);
             }
@@ -306,12 +365,35 @@ fn splice_incoming(
         let circuit_stream = flags & FLAG_CIRCUIT_STREAM != 0;
         let link = rt.open_onward_leg(world, dst, service, circuit_stream, ttl - 1);
         stats.borrow_mut().connections_relayed += 1;
-        // Reverse pump: destination -> connecting side, chunk by chunk.
+        // Reverse pump: destination -> connecting side, chunk by chunk,
+        // with the same occupancy pause as the forward direction: while
+        // the connecting leg's backlog is above the high-water mark, the
+        // response bytes stay buffered on the onward VLink (whose trunk
+        // window bounds them) instead of ballooning this gateway's send
+        // queue.
         let back = conn2.clone();
         let link2 = link.clone();
         let stats2 = stats.clone();
-        link.set_handler(move |world, event| match event {
-            VLinkEvent::Readable => loop {
+        let back_retry = Rc::new(Cell::new(false));
+        let drain_slot: Rc<RefCell<Option<Pump>>> = Rc::new(RefCell::new(None));
+        let slot_for_drain = Rc::downgrade(&drain_slot);
+        let drain: Pump = Rc::new(move |world: &mut SimWorld| {
+            loop {
+                if back.bytes_unacked() > SPLICE_HIGH_WATER {
+                    if link2.available() > 0 && !back_retry.get() {
+                        back_retry.set(true);
+                        let slot = slot_for_drain.clone();
+                        let again = back_retry.clone();
+                        world.schedule_after(SPLICE_RETRY, move |world| {
+                            again.set(false);
+                            let d = slot.upgrade().and_then(|s| s.borrow().clone());
+                            if let Some(d) = d {
+                                d(world);
+                            }
+                        });
+                    }
+                    break;
+                }
                 let data = link2.read_now_bytes(world, usize::MAX);
                 if data.is_empty() {
                     break;
@@ -319,10 +401,30 @@ fn splice_incoming(
                 stats2.borrow_mut().bytes_backward += data.len() as u64;
                 let len = data.len();
                 let sent = back.send_bytes(world, data);
-                debug_assert_eq!(sent, len, "splice backward leg refused data");
-            },
-            VLinkEvent::Finished => back.close(world),
-            VLinkEvent::Connected => {}
+                if sent < len {
+                    // The connecting side died under the splice: the
+                    // response bytes are lost and accounted.
+                    stats2.borrow_mut().bytes_refused += (len - sent) as u64;
+                }
+            }
+            // A Finished withheld while the pump was paused (the VLink
+            // only announces events on driver activity) is caught here
+            // once the buffer drains.
+            if link2.is_finished() {
+                back.close(world);
+            }
+        });
+        *drain_slot.borrow_mut() = Some(drain.clone());
+        let back2 = conn2.clone();
+        link.set_handler(move |world, event| {
+            // The handler owns the slot: the drain stays reachable for
+            // exactly as long as the link can produce events.
+            let _keep = &drain_slot;
+            match event {
+                VLinkEvent::Readable => drain(world),
+                VLinkEvent::Finished => back2.close(world),
+                VLinkEvent::Connected => {}
+            }
         });
         // Forward any payload that followed the header.
         {
@@ -344,10 +446,12 @@ fn splice_incoming(
             }
         }
     };
+    let pump: Pump = Rc::new(pump);
+    *pump_slot.borrow_mut() = Some(pump.clone());
     // Data buffered before this callback is installed (the header can race
     // the handshake) is re-announced by the SysIO accept dispatch, so
     // installing the callback is all that is needed.
-    conn.set_readable_callback(Box::new(pump));
+    conn.set_readable_callback(Box::new(move |world| pump(world)));
 }
 
 #[cfg(test)]

@@ -114,15 +114,17 @@ impl PadicoRuntime {
         self.inner.borrow().kb.prefs.clone()
     }
 
-    /// Replaces the selector preferences (the route table, if any, is
-    /// preserved).
+    /// Replaces the selector preferences (the route table and accumulated
+    /// selector statistics are preserved).
     pub fn set_preferences(&self, prefs: SelectorPreferences) {
-        let mut inner = self.inner.borrow_mut();
-        let routes = inner.kb.routes();
-        inner.kb = match routes {
-            Some(routes) => TopologyKb::with_routes(prefs, routes),
-            None => TopologyKb::new(prefs),
-        };
+        self.inner.borrow_mut().kb.set_prefs(prefs);
+    }
+
+    /// Times this node's selector resolved a relayed decision while
+    /// `secure_inter_site` was set (see
+    /// [`TopologyKb::plaintext_relay_events`]).
+    pub fn plaintext_relay_events(&self) -> u64 {
+        self.inner.borrow().kb.plaintext_relay_events()
     }
 
     /// Installs the multi-hop route table, making the selector
@@ -174,7 +176,7 @@ impl PadicoRuntime {
                 chunk_size: relay::TRUNK_STRIPE_CHUNK,
             },
         );
-        let mux = TrunkMux::connector(Rc::new(carrier));
+        let mux = TrunkMux::connector(Rc::new(carrier), relay::trunk_flow(&self.preferences()));
         // Drive the fresh carrier's congestion windows to steady state
         // once, so every relayed stream finds a hot trunk (the simulated
         // TCP keeps congestion state for the connection's lifetime, like a
@@ -185,6 +187,25 @@ impl PadicoRuntime {
             .trunks
             .insert((via, network), mux.clone());
         mux
+    }
+
+    /// Severs every outgoing gateway trunk this runtime holds (closing the
+    /// carriers) and forgets them — the fault model for a crashed or
+    /// restarted gateway. Streams riding a severed trunk end; bytes posted
+    /// afterwards are lost and accounted (`TrunkMux::lost_bytes`,
+    /// `VLink::bytes_refused`). The next relayed stream re-establishes a
+    /// fresh trunk lazily. Returns how many trunks were severed.
+    pub fn drop_trunks(&self, world: &mut SimWorld) -> usize {
+        let mut severed: Vec<((NodeId, NetworkId), TrunkMux)> =
+            self.inner.borrow_mut().trunks.drain().collect();
+        // HashMap drain order is nondeterministic: close in key order so
+        // runs stay bit-for-bit reproducible.
+        severed.sort_by_key(|((node, net), _)| (node.0, net.0));
+        let n = severed.len();
+        for (_, mux) in severed {
+            mux.close_carrier(world);
+        }
+        n
     }
 
     /// Opens one multiplexed stream over the trunk towards `via`.
@@ -427,7 +448,8 @@ impl PadicoRuntime {
     /// Opens the plain byte stream carrying one Circuit link towards
     /// `dst`, following the Circuit port conventions (`circuit_port` for
     /// TCP, `+PSTREAM_PORT_OFFSET` for Parallel Streams,
-    /// `+ADOC_PORT_OFFSET` for AdOC/secure). Shared by `circuit_create`'s
+    /// `+ADOC_PORT_OFFSET` for AdOC, `+SECURE_PORT_OFFSET` for
+    /// secure). Shared by `circuit_create`'s
     /// outgoing links and the gateway proxy's onward circuit legs so the
     /// two can never diverge. A `San` decision rides TCP over the SAN
     /// fabric (byte-stream contexts cannot use MadIO directly).
@@ -470,7 +492,10 @@ impl PadicoRuntime {
                 )
             }
             LinkDecision::Secure(net) => {
-                let conn = sysio.connect(world, net, dst, circuit_port + ADOC_PORT_OFFSET);
+                // Secure legs get their own port family: the seed dialed
+                // the AdOC port, so one listener had to guess which
+                // transform an accepted connection carried.
+                let conn = sysio.connect(world, net, dst, circuit_port + SECURE_PORT_OFFSET);
                 (
                     Rc::new(secure_over(world, Box::new(conn), SecureConfig::default())),
                     VLinkMethod::Secure,
@@ -518,40 +543,48 @@ impl PadicoRuntime {
         let circuit = Circuit::new(group.clone(), my_rank);
         let tag = MadIOTag(CIRCUIT_TAG_BASE + circuit_port);
 
-        // Incoming: MadIO tag and framed streams on the circuit port family.
+        // Incoming: MadIO tag and framed streams on the circuit port
+        // family. Each listener mirrors the outgoing transform of
+        // `open_circuit_stream` exactly: plain TCP attaches raw, the AdOC
+        // and secure ports wrap the accepted connection in the matching
+        // transform stream before the Circuit framing is parsed (the seed
+        // attached them raw, which silently broke Circuit links whose
+        // selector decision was AdOC or Secure — the transform block
+        // framing is not Circuit framing).
         let has_san = self.inner.borrow().madstream.is_some();
         if has_san {
             let madio = self.inner.borrow().netaccess.madio();
             circuit.attach_madio_incoming(world, &madio, tag);
         }
         let sysio = self.inner.borrow().netaccess.sysio();
-        for port in [
-            circuit_port,
+        let c = circuit.clone();
+        sysio.listen(circuit_port, move |world, conn| {
+            c.attach_incoming_stream(world, Rc::new(conn));
+        });
+        let c = circuit.clone();
+        let width = self.preferences().parallel_stream_width;
+        ParallelStream::listen(
+            world,
+            &sysio.tcp(),
             circuit_port + PSTREAM_PORT_OFFSET,
-            circuit_port + ADOC_PORT_OFFSET,
-        ] {
-            let c = circuit.clone();
-            if port == circuit_port + PSTREAM_PORT_OFFSET {
-                let width = self.preferences().parallel_stream_width;
-                let c2 = c.clone();
-                ParallelStream::listen(
-                    world,
-                    &sysio.tcp(),
-                    port,
-                    ParallelStreamConfig {
-                        n_streams: width,
-                        ..Default::default()
-                    },
-                    move |world, ps| {
-                        c2.attach_incoming_stream(world, Rc::new(ps));
-                    },
-                );
-            } else {
-                sysio.listen(port, move |world, conn| {
-                    c.attach_incoming_stream(world, Rc::new(conn));
-                });
-            }
-        }
+            ParallelStreamConfig {
+                n_streams: width,
+                ..Default::default()
+            },
+            move |world, ps| {
+                c.attach_incoming_stream(world, Rc::new(ps));
+            },
+        );
+        let c = circuit.clone();
+        sysio.listen(circuit_port + ADOC_PORT_OFFSET, move |world, conn| {
+            let adoc = adoc_over(world, Box::new(conn), AdocConfig::default());
+            c.attach_incoming_stream(world, Rc::new(adoc));
+        });
+        let c = circuit.clone();
+        sysio.listen(circuit_port + SECURE_PORT_OFFSET, move |world, conn| {
+            let sec = secure_over(world, Box::new(conn), SecureConfig::default());
+            c.attach_incoming_stream(world, Rc::new(sec));
+        });
 
         // Outgoing links, one per remote rank, chosen by the selector.
         for (rank, &dst) in group.iter().enumerate() {
@@ -814,6 +847,63 @@ mod tests {
         assert_eq!(circuits[2].poll_message().unwrap().concat(), b"inter");
     }
 
+    #[test]
+    fn circuit_over_adoc_link_roundtrips() {
+        // An Internet-class pair resolves Circuit links to AdOC; the seed
+        // attached the incoming side raw (transform framing fed straight
+        // to the Circuit parser), so this exchange silently never arrived.
+        let p = topology::lossy_internet_pair(9);
+        let mut world = p.world;
+        let rts = runtimes_for_lan(&mut world, &[p.a, p.b], SelectorPreferences::default());
+        assert_eq!(
+            rts[0].circuit_decision(&world, p.b),
+            LinkDecision::Adoc(p.network)
+        );
+        let c0 = rts[0].circuit_create(&mut world, vec![p.a, p.b], 70);
+        let c1 = rts[1].circuit_create(&mut world, vec![p.a, p.b], 70);
+        assert_eq!(
+            c0.link_kind(1),
+            Some(crate::circuit::CircuitLinkKind::VLinkStream)
+        );
+        let payload: Vec<u8> = (0..40_000usize).map(|i| (i % 13) as u8).collect();
+        c0.send_bytes(&mut world, 1, payload.clone());
+        c1.send_bytes(&mut world, 0, &b"compressed reply"[..]);
+        world.run();
+        assert_eq!(
+            c1.poll_message().expect("AdOC circuit delivers").concat(),
+            payload
+        );
+        assert_eq!(c0.poll_message().unwrap().concat(), b"compressed reply");
+    }
+
+    #[test]
+    fn circuit_over_secure_link_roundtrips() {
+        // With secure_inter_site, WAN Circuit links ride the secure
+        // transform; the listener must unwrap it symmetrically (the seed
+        // also collided secure onto the AdOC port).
+        let wanp = topology::wan_pair(10);
+        let mut world = wanp.world;
+        let prefs = SelectorPreferences {
+            secure_inter_site: true,
+            ..Default::default()
+        };
+        let rts = runtimes_for_lan(&mut world, &[wanp.a, wanp.b], prefs);
+        assert_eq!(
+            rts[0].circuit_decision(&world, wanp.b),
+            LinkDecision::Secure(wanp.network)
+        );
+        let c0 = rts[0].circuit_create(&mut world, vec![wanp.a, wanp.b], 71);
+        let c1 = rts[1].circuit_create(&mut world, vec![wanp.a, wanp.b], 71);
+        c0.send_bytes(&mut world, 1, &b"ciphered hello"[..]);
+        c1.send_bytes(&mut world, 0, &b"ciphered back"[..]);
+        world.run();
+        assert_eq!(
+            c1.poll_message().expect("secure circuit delivers").concat(),
+            b"ciphered hello"
+        );
+        assert_eq!(c0.poll_message().unwrap().concat(), b"ciphered back");
+    }
+
     /// Two gateway-isolated sites: only the gateways touch the backbone.
     fn grid_world(
         seed: u64,
@@ -919,6 +1009,42 @@ mod tests {
         // is a plain site node, so its stream to rank 3 must be spliced.)
         let relayed: u64 = proxies.iter().map(|p| p.stats().connections_relayed).sum();
         assert!(relayed >= 1, "no proxy saw the circuit stream");
+    }
+
+    #[test]
+    fn relayed_vlink_works_with_credit_backpressure() {
+        // Same relayed exchange as above, but with relay_backpressure =
+        // Credit: both trunk ends window every multiplexed stream.
+        let mut world = SimWorld::new(74);
+        let grid = gridtopo::GridTopology::two_sites(&mut world, 3);
+        let prefs = SelectorPreferences {
+            relay_backpressure: crate::selector::BackpressureMode::Credit,
+            ..Default::default()
+        };
+        let (rts, proxies) = runtimes_for_grid(&mut world, &grid, prefs);
+        let dst = grid.site(1).node(2);
+        let dst_rt = rts[grid.site(0).len() + 2].clone();
+        let got: Rc<RefCell<Vec<u8>>> = Rc::new(RefCell::new(Vec::new()));
+        let g = got.clone();
+        dst_rt.vlink_listen(&mut world, 620, move |_world, v| {
+            let v2 = v.clone();
+            let g = g.clone();
+            v.set_handler(move |world, ev| {
+                if ev == crate::vlink::VLinkEvent::Readable {
+                    g.borrow_mut().extend(v2.read_now(world, usize::MAX));
+                }
+            });
+        });
+        let client = rts[1].vlink_connect(&mut world, dst, 620);
+        // Push well past the trunk window so credits must cycle.
+        let payload: Vec<u8> = (0..600_000usize).map(|i| (i % 251) as u8).collect();
+        client.post_write(&mut world, &payload);
+        world.run();
+        assert_eq!(got.borrow().len(), payload.len(), "lossless under credits");
+        assert_eq!(*got.borrow(), payload, "no corruption under credits");
+        assert_eq!(client.bytes_refused(), 0);
+        let relayed: u64 = proxies.iter().map(|p| p.stats().connections_relayed).sum();
+        assert!(relayed >= 2);
     }
 
     #[test]

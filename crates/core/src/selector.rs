@@ -12,10 +12,13 @@
 //! selector resolves them to a [`LinkDecision::Relayed`] through the first
 //! gateway of the multi-hop route.
 
+use std::cell::Cell;
 use std::rc::Rc;
 
 use gridtopo::RouteTable;
 use simnet::{NetworkClass, NetworkId, NodeId, SimWorld};
+
+pub use gridtopo::BackpressureMode;
 
 /// User-defined preferences consulted by the selector.
 #[derive(Debug, Clone)]
@@ -36,7 +39,24 @@ pub struct SelectorPreferences {
     /// (WAN/Internet). Intra-site networks are considered secure, so this
     /// never applies to SAN/LAN/loopback ("if the network is secure, it is
     /// useless to cipher data").
+    ///
+    /// **Caveat:** this does not yet cover *relayed* paths — the
+    /// gateway-to-gateway legs are opened by the gateways' own runtimes
+    /// and stay plaintext. The selector warns loudly and counts every
+    /// such decision in [`TopologyKb::plaintext_relay_events`]; set
+    /// [`SelectorPreferences::refuse_plaintext_relay`] to refuse instead.
     pub secure_inter_site: bool,
+    /// With `secure_inter_site` set, refuse (panic on) relayed link
+    /// decisions instead of warning: no plaintext ever leaves the site,
+    /// at the price of cross-site connectivity through gateways.
+    pub refuse_plaintext_relay: bool,
+    /// How relay-layer congestion is resolved: `Drop` (bounded gateway
+    /// queues discard overload, the seed behaviour) or `Credit`
+    /// (credit-based backpressure — senders park instead, gateway trunks
+    /// run per-stream credit windows, nothing is dropped). Must be set
+    /// uniformly across a grid: the two ends of a gateway trunk have to
+    /// agree on windowing.
+    pub relay_backpressure: BackpressureMode,
     /// Never use the SAN even when available (ablation / debugging knob).
     pub forbid_san: bool,
 }
@@ -63,6 +83,8 @@ impl Default for SelectorPreferences {
             gateway_trunk_width: 8,
             compression_on_slow_links: true,
             secure_inter_site: false,
+            refuse_plaintext_relay: false,
+            relay_backpressure: BackpressureMode::Drop,
             forbid_san: false,
         }
     }
@@ -131,6 +153,12 @@ pub struct TopologyKb {
     /// Multi-hop routes, when a grid topology has been registered. Without
     /// routes the selector only resolves direct (shared-network) links.
     routes: Option<Rc<RouteTable>>,
+    /// Times the selector resolved a pair to a relayed decision while
+    /// `secure_inter_site` was set: that traffic crosses the WAN legs in
+    /// plaintext (shared across clones of this knowledge base).
+    plaintext_relay_events: Rc<Cell<u64>>,
+    /// The loud warning is printed once per knowledge base.
+    plaintext_relay_warned: Rc<Cell<bool>>,
 }
 
 impl TopologyKb {
@@ -138,7 +166,7 @@ impl TopologyKb {
     pub fn new(prefs: SelectorPreferences) -> TopologyKb {
         TopologyKb {
             prefs,
-            routes: None,
+            ..Default::default()
         }
     }
 
@@ -147,6 +175,7 @@ impl TopologyKb {
         TopologyKb {
             prefs,
             routes: Some(routes),
+            ..Default::default()
         }
     }
 
@@ -155,9 +184,22 @@ impl TopologyKb {
         self.routes = Some(routes);
     }
 
+    /// Replaces the preferences in place, preserving the route table and
+    /// the accumulated statistics.
+    pub fn set_prefs(&mut self, prefs: SelectorPreferences) {
+        self.prefs = prefs;
+    }
+
     /// The installed route table, if any.
     pub fn routes(&self) -> Option<Rc<RouteTable>> {
         self.routes.clone()
+    }
+
+    /// Times the selector resolved a relayed decision while
+    /// `secure_inter_site` was set (plaintext crossed — or would have
+    /// crossed — the WAN legs).
+    pub fn plaintext_relay_events(&self) -> u64 {
+        self.plaintext_relay_events.get()
     }
 
     /// Resolves a no-shared-network pair through the route table.
@@ -167,12 +209,32 @@ impl TopologyKb {
     /// shared with the same gateway is substituted when one exists. Other
     /// preferences (notably `secure_inter_site`) do **not** yet propagate
     /// to the gateway-to-gateway legs, which are opened by the gateways'
-    /// own runtimes — see the ROADMAP open item before relying on relayed
-    /// links for ciphered inter-site traffic.
+    /// own runtimes — so a relayed decision under `secure_inter_site`
+    /// means plaintext on the WAN: it is never silent (a loud warning plus
+    /// [`TopologyKb::plaintext_relay_events`]) and is refused outright
+    /// under `refuse_plaintext_relay`. Full secure trunks are the ROADMAP
+    /// follow-up.
     fn relayed(&self, world: &SimWorld, a: NodeId, b: NodeId) -> Option<LinkDecision> {
         let routes = self.routes.as_ref()?;
         let route = routes.route(a, b)?;
         let first = route.first_hop()?;
+        if self.prefs.secure_inter_site {
+            self.plaintext_relay_events
+                .set(self.plaintext_relay_events.get() + 1);
+            assert!(
+                !self.prefs.refuse_plaintext_relay,
+                "secure_inter_site is set and refuse_plaintext_relay refuses the relayed link \
+                 {a} -> {b}: gateway-to-gateway legs are not yet ciphered"
+            );
+            if !self.plaintext_relay_warned.replace(true) {
+                eprintln!(
+                    "warning: secure_inter_site is set but the link {a} -> {b} is relayed \
+                     through gateways whose WAN legs are plaintext; occurrences are counted \
+                     in TopologyKb::plaintext_relay_events() \
+                     (set refuse_plaintext_relay to refuse instead)"
+                );
+            }
+        }
         let mut network = first.network;
         if self.prefs.forbid_san && world.network(network).spec.class == NetworkClass::San {
             if let Some(alt) = world
@@ -427,6 +489,55 @@ mod tests {
         // Direct pairs are still resolved directly, never relayed.
         let a2 = grid.site(0).node(2);
         assert!(!kb.select_vlink(&world, a1, a2).is_relayed());
+    }
+
+    #[test]
+    fn secure_relayed_pair_is_counted_and_still_resolves() {
+        let mut world = simnet::SimWorld::new(4);
+        let grid = gridtopo::GridTopology::two_sites(&mut world, 2);
+        let routes = Rc::new(grid.routes.clone());
+        let kb = TopologyKb::with_routes(
+            SelectorPreferences {
+                secure_inter_site: true,
+                ..Default::default()
+            },
+            routes,
+        );
+        let a1 = grid.site(0).node(1);
+        let b1 = grid.site(1).node(1);
+        assert_eq!(kb.plaintext_relay_events(), 0);
+        let d = kb.select_vlink(&world, a1, b1);
+        assert!(d.is_relayed(), "the link still resolves, loudly: {d:?}");
+        assert_eq!(kb.plaintext_relay_events(), 1);
+        let _ = kb.select_circuit(&world, a1, b1);
+        assert_eq!(kb.plaintext_relay_events(), 2);
+        // Direct secure pairs do not count.
+        let _ = kb.select_vlink(&world, grid.site(0).gateway, grid.site(1).gateway);
+        assert_eq!(kb.plaintext_relay_events(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "refuse_plaintext_relay refuses the relayed link")]
+    fn strict_secure_refuses_relayed_pairs() {
+        let mut world = simnet::SimWorld::new(4);
+        let grid = gridtopo::GridTopology::two_sites(&mut world, 2);
+        let routes = Rc::new(grid.routes.clone());
+        let kb = TopologyKb::with_routes(
+            SelectorPreferences {
+                secure_inter_site: true,
+                refuse_plaintext_relay: true,
+                ..Default::default()
+            },
+            routes,
+        );
+        let _ = kb.select_vlink(&world, grid.site(0).node(1), grid.site(1).node(1));
+    }
+
+    #[test]
+    fn backpressure_preference_defaults_to_drop() {
+        let prefs = SelectorPreferences::default();
+        assert_eq!(prefs.relay_backpressure, BackpressureMode::Drop);
+        assert!(!prefs.refuse_plaintext_relay);
     }
 
     #[test]

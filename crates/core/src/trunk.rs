@@ -17,13 +17,30 @@
 //! The demultiplexer is built on [`SegBuf`]: arriving carrier segments are
 //! queued by refcount and per-stream payloads are sliced out of them, so a
 //! relayed byte is never copied by the trunk layer.
+//!
+//! ## Credit-based flow control
+//!
+//! With a [`TrunkFlowConfig`] installed (the `relay_backpressure = credit`
+//! preference), every multiplexed stream carries its own byte-granular
+//! credit window: a sender may only put `send_window` bytes on the carrier;
+//! anything beyond *parks* in a sender-side [`SegBuf`] instead of flooding
+//! the receiving gateway. The consumer's reads return credits as `CREDIT`
+//! frames piggybacked on the same mux (batched by
+//! [`TrunkFlowConfig::credit_grant_threshold`] to keep control traffic
+//! cheap), which re-open the window and flush the parked bytes in order.
+//! The receive buffer of a flow-controlled stream is therefore bounded by
+//! `initial_window` — observable through [`SegBuf::high_water`] — and a
+//! stalled relayed stream holds its bytes at the *sending* gateway rather
+//! than ballooning the receiving one. Credits keep flowing across
+//! half-close (a receiver that closed its own write side still grants for
+//! what it consumes), so accounting is conserved until both sides close.
 
 use std::cell::RefCell;
 use std::collections::HashMap;
 use std::rc::Rc;
 
 use bytes::{Bytes, BytesMut};
-use simnet::{SimDuration, SimWorld};
+use simnet::{SimDuration, SimTime, SimWorld};
 use transport::{ByteStream, ReadableCallback, SegBuf};
 
 const KIND_DATA: u8 = 0;
@@ -33,6 +50,9 @@ const KIND_CLOSE: u8 = 1;
 /// the first relayed stream already finds a hot trunk (the same reason
 /// GridFTP caches its data channels).
 const KIND_WARMUP: u8 = 2;
+/// Credit return: the payload is a 4-byte big-endian count of consumed
+/// bytes the receiver hands back to the sender's window.
+const KIND_CREDIT: u8 = 3;
 
 /// Size of the per-frame multiplexing header.
 pub(crate) const MUX_HEADER_BYTES: usize = 9;
@@ -40,6 +60,54 @@ pub(crate) const MUX_HEADER_BYTES: usize = 9;
 /// Largest payload carried by one mux frame, so concurrent streams
 /// interleave fairly on the trunk.
 const MAX_FRAME_PAYLOAD: usize = 64 * 1024;
+
+/// Per-stream credit-window configuration of a flow-controlled trunk.
+/// Both ends of a trunk must agree on it (the runtime derives it from the
+/// same `relay_backpressure` preference on every node).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TrunkFlowConfig {
+    /// Bytes a sender may have in flight (unconsumed by the receiving
+    /// application) per stream before it parks. Bounds the receiver-side
+    /// buffer occupancy of each relayed stream.
+    pub initial_window: usize,
+    /// Consumed bytes the receiver batches before returning a `CREDIT`
+    /// frame. Must be well below `initial_window` or the window starves.
+    pub credit_grant_threshold: usize,
+}
+
+impl Default for TrunkFlowConfig {
+    fn default() -> Self {
+        TrunkFlowConfig {
+            initial_window: 256 * 1024,
+            credit_grant_threshold: 32 * 1024,
+        }
+    }
+}
+
+/// Credit accounting of one flow-controlled trunk stream (all zero when
+/// the trunk runs without flow control).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TrunkCreditStats {
+    /// Credit bytes received from the peer (window refills).
+    pub credits_received: u64,
+    /// Credit bytes granted to the peer for consumed data.
+    pub credits_granted: u64,
+    /// Payload bytes the local consumer has read off this stream.
+    pub bytes_consumed: u64,
+    /// Consumed bytes not yet returned as credits (below the grant
+    /// threshold).
+    pub unreturned_bytes: usize,
+    /// Total virtual time this stream's sender spent parked with an
+    /// exhausted window, in nanoseconds.
+    pub stalled_ns: u64,
+    /// Bytes currently parked sender-side waiting for credits.
+    pub parked_bytes: usize,
+    /// Current send window, in bytes.
+    pub send_window: usize,
+    /// Peak occupancy of the receive buffer (the occupancy bound the
+    /// window is supposed to enforce).
+    pub recv_high_water: usize,
+}
 
 type TrunkAcceptCallback = Box<dyn FnMut(&mut SimWorld, TrunkStream)>;
 
@@ -50,11 +118,25 @@ struct StreamState {
     notify_pending: bool,
     peer_closed: bool,
     self_closed: bool,
+    /// The `CLOSE` frame has actually been emitted (it is deferred while
+    /// parked bytes remain to flush).
+    close_sent: bool,
+    close_after_flush: bool,
     bytes_sent: u64,
+    /// Flow control (None: unwindowed, the historical behaviour).
+    flow: Option<TrunkFlowConfig>,
+    send_window: usize,
+    pending_tx: SegBuf,
+    consumed_unreturned: usize,
+    stall_started: Option<SimTime>,
+    stalled_ns: u64,
+    credits_received: u64,
+    credits_granted: u64,
+    bytes_consumed: u64,
 }
 
 impl StreamState {
-    fn new(id: u32) -> StreamState {
+    fn new(id: u32, flow: Option<TrunkFlowConfig>) -> StreamState {
         StreamState {
             id,
             recv_buf: SegBuf::new(),
@@ -62,7 +144,18 @@ impl StreamState {
             notify_pending: false,
             peer_closed: false,
             self_closed: false,
+            close_sent: false,
+            close_after_flush: false,
             bytes_sent: 0,
+            send_window: flow.map_or(usize::MAX, |f| f.initial_window),
+            flow,
+            pending_tx: SegBuf::new(),
+            consumed_unreturned: 0,
+            stall_started: None,
+            stalled_ns: 0,
+            credits_received: 0,
+            credits_granted: 0,
+            bytes_consumed: 0,
         }
     }
 }
@@ -73,6 +166,10 @@ struct MuxInner {
     rx: SegBuf,
     streams: HashMap<u32, Rc<RefCell<StreamState>>>,
     next_id: u32,
+    flow: Option<TrunkFlowConfig>,
+    /// Bytes the carrier refused (it died or was closed under us); data
+    /// already handed to a dead carrier is lost, not silently retried.
+    lost_bytes: u64,
     /// Present on the accepting (gateway proxy) side: invoked with each
     /// stream a peer opens over this trunk.
     on_accept: Option<TrunkAcceptCallback>,
@@ -81,33 +178,47 @@ struct MuxInner {
 /// One end of a gateway trunk: demultiplexes mux frames arriving on the
 /// carrier bundle into [`TrunkStream`]s.
 #[derive(Clone)]
-pub(crate) struct TrunkMux {
+pub struct TrunkMux {
     inner: Rc<RefCell<MuxInner>>,
 }
 
 impl TrunkMux {
     /// Wraps the connecting end of a trunk carrier. Streams are opened
-    /// locally with [`TrunkMux::open`].
-    pub(crate) fn connector(carrier: Rc<dyn ByteStream>) -> TrunkMux {
-        Self::new(carrier, None)
+    /// locally with [`TrunkMux::open`]. Pass a [`TrunkFlowConfig`] to run
+    /// the trunk with credit-based flow control (both ends must agree).
+    pub fn connector(carrier: Rc<dyn ByteStream>, flow: Option<TrunkFlowConfig>) -> TrunkMux {
+        Self::new(carrier, flow, None)
     }
 
     /// Wraps the accepting end of a trunk carrier; `on_accept` runs for
     /// every stream the remote end opens.
-    pub(crate) fn acceptor(
+    pub fn acceptor(
         carrier: Rc<dyn ByteStream>,
+        flow: Option<TrunkFlowConfig>,
         on_accept: impl FnMut(&mut SimWorld, TrunkStream) + 'static,
     ) -> TrunkMux {
-        Self::new(carrier, Some(Box::new(on_accept)))
+        Self::new(carrier, flow, Some(Box::new(on_accept)))
     }
 
-    fn new(carrier: Rc<dyn ByteStream>, on_accept: Option<TrunkAcceptCallback>) -> TrunkMux {
+    fn new(
+        carrier: Rc<dyn ByteStream>,
+        flow: Option<TrunkFlowConfig>,
+        on_accept: Option<TrunkAcceptCallback>,
+    ) -> TrunkMux {
+        if let Some(f) = flow {
+            assert!(
+                f.credit_grant_threshold <= f.initial_window && f.initial_window > 0,
+                "credit grant threshold must not exceed the window"
+            );
+        }
         let mux = TrunkMux {
             inner: Rc::new(RefCell::new(MuxInner {
                 carrier: carrier.clone(),
                 rx: SegBuf::new(),
                 streams: HashMap::new(),
                 next_id: 1,
+                flow,
+                lost_bytes: 0,
                 on_accept,
             })),
         };
@@ -123,7 +234,7 @@ impl TrunkMux {
     /// Pushes `bytes` of warm-up padding through the trunk. The far end
     /// discards it; its only effect is growing the carrier's congestion
     /// state to steady state before real streams ride the trunk.
-    pub(crate) fn warm_up(&self, world: &mut SimWorld, bytes: usize) {
+    pub fn warm_up(&self, world: &mut SimWorld, bytes: usize) {
         let mut left = bytes;
         while left > 0 {
             let chunk = left.min(MAX_FRAME_PAYLOAD);
@@ -134,12 +245,12 @@ impl TrunkMux {
 
     /// Opens a new multiplexed stream over this trunk. Costs no wire
     /// traffic: the stream exists remotely once its first frame arrives.
-    pub(crate) fn open(&self) -> TrunkStream {
+    pub fn open(&self) -> TrunkStream {
         let state = {
             let mut inner = self.inner.borrow_mut();
             let id = inner.next_id;
             inner.next_id += 1;
-            let state = Rc::new(RefCell::new(StreamState::new(id)));
+            let state = Rc::new(RefCell::new(StreamState::new(id, inner.flow)));
             inner.streams.insert(id, state.clone());
             state
         };
@@ -147,6 +258,26 @@ impl TrunkMux {
             mux: self.clone(),
             state,
         }
+    }
+
+    /// Bytes the carrier refused because it died or was closed; they are
+    /// lost, exactly as bytes on a severed wire would be.
+    pub fn lost_bytes(&self) -> u64 {
+        self.inner.borrow().lost_bytes
+    }
+
+    /// True once the underlying carrier is finished (the far end closed or
+    /// the bundle died); no further frame can arrive.
+    pub fn carrier_finished(&self) -> bool {
+        self.inner.borrow().carrier.is_finished()
+    }
+
+    /// Closes the underlying carrier, killing the trunk: every stream
+    /// riding it ends once in-flight data drains, and bytes sent
+    /// afterwards are lost (accounted in [`TrunkMux::lost_bytes`]).
+    pub fn close_carrier(&self, world: &mut SimWorld) {
+        let carrier = self.inner.borrow().carrier.clone();
+        carrier.close(world);
     }
 
     fn on_carrier_readable(&self, world: &mut SimWorld) {
@@ -187,6 +318,26 @@ impl TrunkMux {
                 drop(payload); // padding: its work was done on the wire
                 continue;
             }
+            if kind == KIND_CREDIT {
+                // Window refill for a stream this side sends on. A credit
+                // for an id we no longer track is stale (the stream was
+                // reaped after both closes) and is ignored — it must never
+                // fabricate a fresh stream through the accept path.
+                if payload.len() != 4 {
+                    continue;
+                }
+                let amount =
+                    u32::from_be_bytes([payload[0], payload[1], payload[2], payload[3]]) as usize;
+                let state = self.inner.borrow().streams.get(&id).cloned();
+                if let Some(state) = state {
+                    let stream = TrunkStream {
+                        mux: self.clone(),
+                        state,
+                    };
+                    stream.on_credit(world, amount);
+                }
+                continue;
+            }
             let (state, fresh) = {
                 let mut inner = self.inner.borrow_mut();
                 match inner.streams.get(&id) {
@@ -197,31 +348,29 @@ impl TrunkMux {
                             // connecting side: stale after close; drop.
                             continue;
                         }
-                        let state = Rc::new(RefCell::new(StreamState::new(id)));
+                        let state = Rc::new(RefCell::new(StreamState::new(id, inner.flow)));
                         inner.streams.insert(id, state.clone());
                         (state, true)
                     }
                 }
             };
-            let reap = {
+            {
                 let mut st = state.borrow_mut();
                 match kind {
                     KIND_DATA => st.recv_buf.push_bytes(payload),
                     KIND_CLOSE => st.peer_closed = true,
                     _ => {} // unknown kind: ignore
                 }
-                // Both directions closed: the carrier's ordering guarantees
-                // no further frame with this id, so the demux entry can go
-                // (live handles keep the state alive through their own Rc).
-                st.self_closed && st.peer_closed
-            };
-            if reap {
-                self.inner.borrow_mut().streams.remove(&id);
             }
             let stream = TrunkStream {
                 mux: self.clone(),
                 state: state.clone(),
             };
+            // Both directions closed (and our own CLOSE actually sent):
+            // the carrier's ordering guarantees no further frame with this
+            // id, so the demux entry can go (live handles keep the state
+            // alive through their own Rc).
+            stream.maybe_reap();
             if fresh {
                 // Hand the new stream out (taking the callback allows the
                 // acceptor to re-enter the mux).
@@ -235,6 +384,20 @@ impl TrunkMux {
                 }
             }
             stream.schedule_notify(world);
+        }
+
+        // A finished carrier means no stream on this trunk will ever see
+        // another frame: wake every stream so blocked readers observe the
+        // end of stream instead of waiting forever.
+        if self.inner.borrow().carrier.is_finished() {
+            let states: Vec<_> = self.inner.borrow().streams.values().cloned().collect();
+            for state in states {
+                TrunkStream {
+                    mux: self.clone(),
+                    state,
+                }
+                .schedule_notify(world);
+            }
         }
     }
 
@@ -250,22 +413,42 @@ impl TrunkMux {
             parts.push(payload);
         }
         let sent = carrier.send_bytes_vectored(world, parts);
-        debug_assert_eq!(sent, expected, "trunk carrier refused a mux frame");
+        if sent != expected {
+            // The carrier died under us (a killed trunk): the frame is
+            // lost on the severed wire and accounted, never retried.
+            self.inner.borrow_mut().lost_bytes += (expected - sent) as u64;
+        }
     }
 }
 
 /// One relayed stream multiplexed over a gateway trunk.
 #[derive(Clone)]
-pub(crate) struct TrunkStream {
+pub struct TrunkStream {
     mux: TrunkMux,
     state: Rc<RefCell<StreamState>>,
 }
 
 impl TrunkStream {
+    /// Credit accounting snapshot of this stream.
+    pub fn credit_stats(&self) -> TrunkCreditStats {
+        let st = self.state.borrow();
+        TrunkCreditStats {
+            credits_received: st.credits_received,
+            credits_granted: st.credits_granted,
+            bytes_consumed: st.bytes_consumed,
+            unreturned_bytes: st.consumed_unreturned,
+            stalled_ns: st.stalled_ns,
+            parked_bytes: st.pending_tx.len(),
+            send_window: st.send_window,
+            recv_high_water: st.recv_buf.high_water(),
+        }
+    }
+
     fn schedule_notify(&self, world: &mut SimWorld) {
         let should = {
             let mut st = self.state.borrow_mut();
-            let has_event = !st.recv_buf.is_empty() || st.peer_closed;
+            let has_event =
+                !st.recv_buf.is_empty() || st.peer_closed || self.mux.carrier_finished();
             if st.readable_cb.is_some() && !st.notify_pending && has_event {
                 st.notify_pending = true;
                 true
@@ -292,29 +475,152 @@ impl TrunkStream {
         }
     }
 
-    fn queue_send(&self, world: &mut SimWorld, mut data: Bytes) -> usize {
+    fn queue_send(&self, world: &mut SimWorld, data: Bytes) -> usize {
         // Half-close works like TCP: only our own close stops sending.
         // With the peer's read side gone the far end still drains data
         // that was in flight, matching the per-stream legs this replaces.
-        let (id, closed) = {
-            let st = self.state.borrow();
-            (st.id, st.self_closed)
-        };
-        if closed {
-            return 0;
-        }
         let len = data.len();
-        self.state.borrow_mut().bytes_sent += len as u64;
-        // Split oversized writes so concurrent streams interleave.
-        while data.len() > MAX_FRAME_PAYLOAD {
-            let chunk = data.split_to(MAX_FRAME_PAYLOAD);
+        let (id, chunks) = {
+            let mut st = self.state.borrow_mut();
+            if st.self_closed {
+                return 0;
+            }
+            st.bytes_sent += len as u64;
+            if !st.pending_tx.is_empty() {
+                // Already parked: preserve FIFO order behind the backlog.
+                st.pending_tx.push_bytes(data);
+                return len;
+            }
+            let mut head = data;
+            if st.flow.is_some() && head.len() > st.send_window {
+                let tail = head.split_off(st.send_window);
+                st.pending_tx.push_bytes(tail);
+                if st.stall_started.is_none() {
+                    st.stall_started = Some(world.now());
+                }
+            }
+            if st.flow.is_some() {
+                st.send_window -= head.len();
+            }
+            (st.id, split_frames(head))
+        };
+        for chunk in chunks {
             self.mux.send_frame(world, id, KIND_DATA, chunk);
-        }
-        if !data.is_empty() {
-            self.mux.send_frame(world, id, KIND_DATA, data);
         }
         len
     }
+
+    /// A `CREDIT` frame refilled the window: flush parked bytes in order.
+    fn on_credit(&self, world: &mut SimWorld, amount: usize) {
+        {
+            let mut st = self.state.borrow_mut();
+            st.credits_received += amount as u64;
+            st.send_window = st.send_window.saturating_add(amount);
+        }
+        self.flush_pending(world);
+    }
+
+    fn flush_pending(&self, world: &mut SimWorld) {
+        loop {
+            let next = {
+                let mut st = self.state.borrow_mut();
+                if st.pending_tx.is_empty() || st.send_window == 0 {
+                    None
+                } else {
+                    let n = st.send_window.min(MAX_FRAME_PAYLOAD);
+                    let chunk = st.pending_tx.pop_chunk(n);
+                    st.send_window -= chunk.len();
+                    Some((st.id, chunk))
+                }
+            };
+            match next {
+                Some((id, chunk)) => self.mux.send_frame(world, id, KIND_DATA, chunk),
+                None => break,
+            }
+        }
+        let deferred_close = {
+            let mut st = self.state.borrow_mut();
+            if st.pending_tx.is_empty() {
+                if let Some(t0) = st.stall_started.take() {
+                    st.stalled_ns += world.now().since(t0).as_nanos();
+                }
+                if st.close_after_flush {
+                    st.close_after_flush = false;
+                    st.close_sent = true;
+                    Some(st.id)
+                } else {
+                    None
+                }
+            } else {
+                None
+            }
+        };
+        if let Some(id) = deferred_close {
+            self.mux.send_frame(world, id, KIND_CLOSE, Bytes::new());
+            self.maybe_reap();
+        }
+    }
+
+    /// The local consumer read `n` bytes: grant credits back to the peer
+    /// once the batch threshold is reached. Runs regardless of our own
+    /// write-side close, so credits stay conserved across half-close.
+    fn note_consumed(&self, world: &mut SimWorld, n: usize) {
+        if n == 0 {
+            return;
+        }
+        let grant = {
+            let mut st = self.state.borrow_mut();
+            st.bytes_consumed += n as u64;
+            let Some(flow) = st.flow else { return };
+            st.consumed_unreturned += n;
+            if st.consumed_unreturned >= flow.credit_grant_threshold {
+                let g = st.consumed_unreturned;
+                st.consumed_unreturned = 0;
+                st.credits_granted += g as u64;
+                Some((st.id, g))
+            } else {
+                None
+            }
+        };
+        if let Some((id, granted)) = grant {
+            // Large consumes may exceed u32: return in frame-sized slices.
+            let mut left = granted;
+            while left > 0 {
+                let part = left.min(u32::MAX as usize);
+                self.mux
+                    .send_frame(world, id, KIND_CREDIT, credit_payload(part));
+                left -= part;
+            }
+        }
+    }
+
+    /// Drops the demux entry once both directions are closed on the wire.
+    fn maybe_reap(&self) {
+        let (id, dead) = {
+            let st = self.state.borrow();
+            (st.id, st.peer_closed && st.close_sent)
+        };
+        if dead {
+            self.mux.inner.borrow_mut().streams.remove(&id);
+        }
+    }
+}
+
+/// Splits a chunk into `MAX_FRAME_PAYLOAD`-sized frames so concurrent
+/// streams interleave on the carrier.
+fn split_frames(mut data: Bytes) -> Vec<Bytes> {
+    let mut out = Vec::with_capacity(data.len() / MAX_FRAME_PAYLOAD + 1);
+    while data.len() > MAX_FRAME_PAYLOAD {
+        out.push(data.split_to(MAX_FRAME_PAYLOAD));
+    }
+    if !data.is_empty() {
+        out.push(data);
+    }
+    out
+}
+
+fn credit_payload(amount: usize) -> Bytes {
+    Bytes::copy_from_slice(&(amount as u32).to_be_bytes())
 }
 
 impl ByteStream for TrunkStream {
@@ -330,15 +636,19 @@ impl ByteStream for TrunkStream {
         self.state.borrow().recv_buf.len()
     }
 
-    fn recv(&self, _world: &mut SimWorld, max: usize) -> Vec<u8> {
+    fn recv(&self, world: &mut SimWorld, max: usize) -> Vec<u8> {
         if max == 0 || self.available() == 0 {
             return Vec::new();
         }
-        self.state.borrow_mut().recv_buf.read_into(max)
+        let out = self.state.borrow_mut().recv_buf.read_into(max);
+        self.note_consumed(world, out.len());
+        out
     }
 
-    fn recv_bytes(&self, _world: &mut SimWorld, max: usize) -> Bytes {
-        self.state.borrow_mut().recv_buf.pop_chunk(max)
+    fn recv_bytes(&self, world: &mut SimWorld, max: usize) -> Bytes {
+        let out = self.state.borrow_mut().recv_buf.pop_chunk(max);
+        self.note_consumed(world, out.len());
+        out
     }
 
     fn is_established(&self) -> bool {
@@ -347,23 +657,31 @@ impl ByteStream for TrunkStream {
 
     fn is_finished(&self) -> bool {
         let st = self.state.borrow();
-        st.peer_closed && st.recv_buf.is_empty()
+        // A dead carrier ends every stream riding it: no further frame
+        // can arrive, so an empty receive buffer means end of stream.
+        (st.peer_closed || self.mux.carrier_finished()) && st.recv_buf.is_empty()
     }
 
     fn close(&self, world: &mut SimWorld) {
-        let id = {
+        let action = {
             let mut st = self.state.borrow_mut();
             if st.self_closed {
                 return;
             }
             st.self_closed = true;
-            st.id
+            if st.pending_tx.is_empty() {
+                st.close_sent = true;
+                Some(st.id)
+            } else {
+                // Parked bytes still wait for credits: defer the CLOSE so
+                // the peer receives everything we accepted before EOF.
+                st.close_after_flush = true;
+                None
+            }
         };
-        self.mux.send_frame(world, id, KIND_CLOSE, Bytes::new());
-        // If the peer already closed too, the demux entry is dead (the
-        // carrier's ordering guarantees no further frame with this id).
-        if self.state.borrow().peer_closed {
-            self.mux.inner.borrow_mut().streams.remove(&id);
+        if let Some(id) = action {
+            self.mux.send_frame(world, id, KIND_CLOSE, Bytes::new());
+            self.maybe_reap();
         }
     }
 
@@ -372,14 +690,17 @@ impl ByteStream for TrunkStream {
     }
 
     fn bytes_acked(&self) -> u64 {
-        // The trunk carrier is reliable: everything queued is delivered.
+        // The trunk carrier is reliable while alive: everything queued is
+        // delivered (minus what a severed carrier lost, accounted at the
+        // mux level).
         self.state.borrow().bytes_sent
     }
 
     fn bytes_unacked(&self) -> u64 {
-        // Trunk-wide backlog: the honest backpressure signal for a stream
-        // sharing the bundle.
-        self.mux.inner.borrow().carrier.bytes_unacked()
+        // Trunk-wide backlog plus this stream's parked bytes: the honest
+        // backpressure signal for a stream sharing the bundle.
+        let parked = self.state.borrow().pending_tx.len() as u64;
+        self.mux.inner.borrow().carrier.bytes_unacked() + parked
     }
 }
 
@@ -390,16 +711,23 @@ mod tests {
 
     /// (connector, acceptor, accepted streams). The acceptor must stay
     /// alive for the carrier callback's weak reference to resolve.
-    fn mux_pair(world: &SimWorld) -> (TrunkMux, TrunkMux, Rc<RefCell<Vec<TrunkStream>>>) {
+    fn mux_pair_flow(
+        world: &SimWorld,
+        flow: Option<TrunkFlowConfig>,
+    ) -> (TrunkMux, TrunkMux, Rc<RefCell<Vec<TrunkStream>>>) {
         let n = world.node_ids()[0];
         let (a, b) = loopback_pair(world, n);
-        let connector = TrunkMux::connector(Rc::new(a));
+        let connector = TrunkMux::connector(Rc::new(a), flow);
         let accepted: Rc<RefCell<Vec<TrunkStream>>> = Rc::new(RefCell::new(Vec::new()));
         let acc = accepted.clone();
-        let acceptor = TrunkMux::acceptor(Rc::new(b), move |_world, stream| {
+        let acceptor = TrunkMux::acceptor(Rc::new(b), flow, move |_world, stream| {
             acc.borrow_mut().push(stream);
         });
         (connector, acceptor, accepted)
+    }
+
+    fn mux_pair(world: &SimWorld) -> (TrunkMux, TrunkMux, Rc<RefCell<Vec<TrunkStream>>>) {
+        mux_pair_flow(world, None)
     }
 
     #[test]
@@ -475,5 +803,137 @@ mod tests {
         world.run();
         let a = accepted.borrow()[0].clone();
         assert_eq!(a.recv_all(&mut world), data);
+    }
+
+    // ------------------------------------------------------------------ //
+    // Credit-based flow control
+    // ------------------------------------------------------------------ //
+
+    const SMALL_FLOW: TrunkFlowConfig = TrunkFlowConfig {
+        initial_window: 4 * 1024,
+        credit_grant_threshold: 1024,
+    };
+
+    #[test]
+    fn window_parks_excess_and_credits_release_it() {
+        let mut world = SimWorld::new(0);
+        world.add_node("n");
+        let (mux, _acceptor, accepted) = mux_pair_flow(&world, Some(SMALL_FLOW));
+        let s = mux.open();
+        let data: Vec<u8> = (0..20_000usize).map(|i| (i % 241) as u8).collect();
+        assert_eq!(s.send(&mut world, &data), data.len(), "send accepts all");
+        // Only one window's worth is on the wire; the rest is parked.
+        let st = s.credit_stats();
+        assert_eq!(st.parked_bytes, data.len() - SMALL_FLOW.initial_window);
+        assert_eq!(st.send_window, 0);
+        world.run();
+        let a = accepted.borrow()[0].clone();
+        // The receiver holds at most one window before the test drains it.
+        assert!(a.available() <= SMALL_FLOW.initial_window);
+        assert!(a.credit_stats().recv_high_water <= SMALL_FLOW.initial_window);
+        // Draining grants credits, which un-park the remainder, in order.
+        let mut got = Vec::new();
+        while got.len() < data.len() {
+            let before = got.len();
+            got.extend(a.recv(&mut world, usize::MAX));
+            world.run();
+            assert!(got.len() > before, "transfer stalled at {before}");
+        }
+        assert_eq!(got, data, "no corruption across park/flush");
+        let st = s.credit_stats();
+        assert_eq!(st.parked_bytes, 0);
+        assert!(st.stalled_ns > 0, "the stall must be accounted");
+        assert!(st.credits_received > 0);
+        let at = a.credit_stats();
+        assert_eq!(at.bytes_consumed, data.len() as u64);
+        assert_eq!(
+            at.credits_granted + at.unreturned_bytes as u64,
+            at.bytes_consumed,
+            "granted credits + unreturned batch == consumed"
+        );
+    }
+
+    #[test]
+    fn close_is_deferred_until_parked_bytes_flush() {
+        let mut world = SimWorld::new(0);
+        world.add_node("n");
+        let (mux, _acceptor, accepted) = mux_pair_flow(&world, Some(SMALL_FLOW));
+        let s = mux.open();
+        let data: Vec<u8> = (0..10_000usize).map(|i| (i % 239) as u8).collect();
+        s.send_all(&mut world, &data);
+        s.close(&mut world);
+        world.run();
+        let a = accepted.borrow()[0].clone();
+        assert!(
+            !a.is_finished(),
+            "CLOSE must not overtake parked data (close is deferred)"
+        );
+        let mut got = Vec::new();
+        loop {
+            got.extend(a.recv(&mut world, usize::MAX));
+            world.run();
+            if a.is_finished() {
+                got.extend(a.recv(&mut world, usize::MAX));
+                break;
+            }
+        }
+        assert_eq!(got, data, "everything accepted before close is delivered");
+        assert!(a.is_finished());
+    }
+
+    #[test]
+    fn credits_keep_flowing_across_half_close() {
+        let mut world = SimWorld::new(0);
+        world.add_node("n");
+        let (mux, _acceptor, accepted) = mux_pair_flow(&world, Some(SMALL_FLOW));
+        let s = mux.open();
+        s.send_all(&mut world, &[1u8; 6 * 1024]);
+        world.run();
+        let a = accepted.borrow()[0].clone();
+        // The acceptor closes its own write side, then keeps consuming.
+        a.close(&mut world);
+        let mut got = 0;
+        while got < 6 * 1024 {
+            got += a.recv(&mut world, usize::MAX).len();
+            world.run();
+        }
+        let at = a.credit_stats();
+        assert_eq!(
+            at.credits_granted + at.unreturned_bytes as u64,
+            at.bytes_consumed,
+            "conservation holds across half-close: {at:?}"
+        );
+        // The sender's window recovered to (almost) full.
+        let st = s.credit_stats();
+        assert_eq!(st.parked_bytes, 0);
+        assert_eq!(
+            st.send_window + at.unreturned_bytes,
+            SMALL_FLOW.initial_window,
+            "window + in-flight batch == initial window"
+        );
+    }
+
+    #[test]
+    fn killed_carrier_ends_streams_and_accounts_lost_bytes() {
+        let mut world = SimWorld::new(0);
+        world.add_node("n");
+        let (mux, acceptor, accepted) = mux_pair_flow(&world, Some(SMALL_FLOW));
+        let s = mux.open();
+        s.send_all(&mut world, b"delivered before the kill");
+        world.run();
+        let a = accepted.borrow()[0].clone();
+        assert_eq!(a.recv_all(&mut world), b"delivered before the kill");
+        // Sever the carrier from both ends (a crashed gateway), then keep
+        // writing into the void.
+        mux.inner.borrow().carrier.close(&mut world);
+        acceptor.inner.borrow().carrier.close(&mut world);
+        world.run();
+        let sent = s.send(&mut world, &[7u8; 1000]);
+        assert_eq!(sent, 1000, "the stream still accepts (and accounts) it");
+        world.run();
+        assert!(mux.lost_bytes() > 0, "bytes to a dead carrier are lost");
+        assert!(a.is_finished(), "a dead carrier finishes its streams");
+        assert!(s.is_finished());
+        assert_eq!(a.recv_all(&mut world), b"", "no corrupt trailing data");
     }
 }

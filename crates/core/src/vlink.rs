@@ -73,6 +73,7 @@ struct VLinkState {
     announced_finished: bool,
     bytes_written: u64,
     bytes_read: u64,
+    bytes_refused: u64,
 }
 
 /// A VLink descriptor.
@@ -103,6 +104,7 @@ impl VLink {
                 announced_finished: false,
                 bytes_written: 0,
                 bytes_read: 0,
+                bytes_refused: 0,
             })),
             method,
             op_overhead: Self::DEFAULT_OP_OVERHEAD,
@@ -140,6 +142,22 @@ impl VLink {
         (st.bytes_written, st.bytes_read)
     }
 
+    /// Bytes a posted write lost because the driver refused them (the
+    /// carrying stream died or was closed underneath). Flow-controlled
+    /// drivers park instead of refusing, so this stays zero except across
+    /// genuine faults.
+    pub fn bytes_refused(&self) -> u64 {
+        self.state.borrow().bytes_refused
+    }
+
+    /// Bytes the driver below has accepted but not yet delivered
+    /// end-to-end (including bytes a flow-controlled trunk has parked
+    /// waiting for credits): the occupancy signal store-and-forward
+    /// splices use to pace themselves.
+    pub fn driver_backlog(&self) -> u64 {
+        self.stream.bytes_unacked()
+    }
+
     /// Registers the completion handler. Events already due (connection,
     /// pending data) are re-announced on the next completion.
     pub fn set_handler(&self, handler: impl FnMut(&mut SimWorld, VLinkEvent) + 'static) {
@@ -161,10 +179,15 @@ impl VLink {
         let len = data.len();
         self.state.borrow_mut().bytes_written += len as u64;
         let stream = self.stream.clone();
+        let state = self.state.clone();
         world.schedule_after(self.op_overhead, move |world| {
             let len = data.len();
             let sent = stream.send_bytes(world, data);
-            debug_assert_eq!(sent, len, "driver refused VLink write");
+            if sent < len {
+                // The driver died or closed under the posted write: the
+                // bytes are lost and accounted, never silently retried.
+                state.borrow_mut().bytes_refused += (len - sent) as u64;
+            }
         });
         len
     }

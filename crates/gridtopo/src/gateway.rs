@@ -5,33 +5,82 @@
 //! encapsulated (final destination, origin, port, TTL) and sent hop by hop
 //! along the [`RouteTable`] route: each gateway receives the frame, pays a
 //! per-hop relay latency (the store-and-forward cost of the gateway's CPU
-//! and memory), and retransmits it on the next network — unless its
-//! bounded relay queue is full, in which case the frame is dropped and
-//! accounted, the grid equivalent of router backpressure.
+//! and memory), and retransmits it on the next network.
+//!
+//! Congestion at a gateway is resolved by one of two [`BackpressureMode`]s:
+//!
+//! * [`BackpressureMode::Drop`] — the distributed-world answer: arrivals
+//!   beyond the bounded relay queue are dropped and accounted, like a
+//!   best-effort router.
+//! * [`BackpressureMode::Credit`] — the parallel-world answer: each
+//!   gateway's queue capacity is advertised upstream as a pool of credits.
+//!   A sender (the origin, or an upstream gateway forwarding towards the
+//!   next hop) must hold a credit before transmitting; with the pool
+//!   exhausted the frame *parks* instead of being dropped, and resumes in
+//!   FIFO order when the gateway forwards a queued frame and the freed
+//!   credit travels back upstream ([`RelayConfig::credit_return_latency`]).
+//!   Backpressure cascades: a parked frame inside a gateway keeps occupying
+//!   that gateway's queue, which withholds *its* upstream credits, until
+//!   the stall reaches the origins — lossless, exactly-once relaying.
+//!
+//! The fabric also supports deterministic *fault injection* (see
+//! [`RelayFabric::inject_gateway_faults`]): a seeded fraction of in-transit
+//! frames is discarded at the gateways, with exact accounting, so recovery
+//! logic can be tested reproducibly.
 
 use std::cell::RefCell;
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::rc::Rc;
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
-use simnet::{Frame, NodeId, ProtoId, SimDuration, SimWorld};
+use simnet::{Frame, NodeId, ProtoId, SimDuration, SimRng, SimTime, SimWorld};
 
-use crate::route::RouteTable;
+use crate::route::{Hop, RouteTable};
 
 /// Encapsulation header: dst(4) + src(4) + port(2) + ttl(1).
 const RELAY_HEADER_BYTES: usize = 11;
+
+/// How a gateway resolves relay-queue congestion.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum BackpressureMode {
+    /// Arrivals beyond the bounded queue are dropped and accounted.
+    #[default]
+    Drop,
+    /// Senders hold per-gateway credits and park (stall) instead of
+    /// dropping when the pool is exhausted; no frame is ever lost to a
+    /// full queue.
+    Credit,
+}
+
+impl BackpressureMode {
+    /// Lowercase label used in reports ("drop" / "credit").
+    pub fn label(self) -> &'static str {
+        match self {
+            BackpressureMode::Drop => "drop",
+            BackpressureMode::Credit => "credit",
+        }
+    }
+}
 
 /// Configuration of the relay agents.
 #[derive(Debug, Clone)]
 pub struct RelayConfig {
     /// Store-and-forward latency paid by a gateway per relayed frame.
     pub per_hop_latency: SimDuration,
-    /// Maximum frames a gateway may hold queued; arrivals beyond this are
-    /// dropped (and counted).
+    /// Maximum frames a gateway may hold queued. In [`BackpressureMode::Drop`]
+    /// arrivals beyond this are dropped (and counted); in
+    /// [`BackpressureMode::Credit`] it is the size of the credit pool the
+    /// gateway advertises upstream.
     pub queue_capacity: usize,
     /// Initial time-to-live: a frame traversing more than this many relay
     /// hops is discarded (routing-loop guard).
     pub ttl: u8,
+    /// How congestion is resolved at the gateways.
+    pub backpressure: BackpressureMode,
+    /// Time for a freed credit to travel back upstream and re-enter the
+    /// pool (the credit-advertisement latency). Only meaningful in
+    /// [`BackpressureMode::Credit`].
+    pub credit_return_latency: SimDuration,
 }
 
 impl Default for RelayConfig {
@@ -40,6 +89,8 @@ impl Default for RelayConfig {
             per_hop_latency: SimDuration::from_micros(10),
             queue_capacity: 64,
             ttl: 16,
+            backpressure: BackpressureMode::Drop,
+            credit_return_latency: SimDuration::from_micros(10),
         }
     }
 }
@@ -51,20 +102,33 @@ pub struct GatewayStats {
     pub frames_relayed: u64,
     /// Payload bytes forwarded onwards.
     pub bytes_relayed: u64,
-    /// Frames dropped because the relay queue was full.
+    /// Frames dropped because the relay queue was full (never in credit
+    /// mode).
     pub frames_dropped_queue_full: u64,
     /// Frames dropped because the TTL expired.
     pub frames_dropped_ttl: u64,
     /// Frames dropped because no onward route existed.
     pub frames_dropped_no_route: u64,
+    /// Frames discarded by the fault injector (see
+    /// [`RelayFabric::inject_gateway_faults`]).
+    pub frames_dropped_fault: u64,
     /// High-water mark of the relay queue depth.
     pub max_queue_depth: usize,
+    /// Credits consumed towards this gateway (frames admitted into its
+    /// queue space), credit mode only.
+    pub credits_consumed: u64,
+    /// Credits returned to this gateway's pool, credit mode only. At
+    /// quiescence `credits_consumed == credits_returned`.
+    pub credits_returned: u64,
 }
 
 impl GatewayStats {
     /// Total frames dropped at this gateway for any reason.
     pub fn frames_dropped(&self) -> u64 {
-        self.frames_dropped_queue_full + self.frames_dropped_ttl + self.frames_dropped_no_route
+        self.frames_dropped_queue_full
+            + self.frames_dropped_ttl
+            + self.frames_dropped_no_route
+            + self.frames_dropped_fault
     }
 }
 
@@ -121,7 +185,33 @@ type EndpointCallback = Rc<RefCell<dyn FnMut(&mut SimWorld, RelayedMessage)>>;
 #[derive(Default)]
 struct GatewayState {
     queue_depth: usize,
+    /// Credits currently held by senders towards this gateway (credit
+    /// mode). Invariant: `credits_outstanding <= config.queue_capacity`.
+    credits_outstanding: usize,
     stats: GatewayStats,
+}
+
+/// A frame waiting for a credit of the gateway it is keyed under.
+struct ParkedFrame {
+    /// `None`: an origin send not yet transmitted. `Some(gw)`: a frame
+    /// occupying gateway `gw`'s queue, waiting for the *next* hop's credit.
+    from: Option<NodeId>,
+    /// The hop to transmit on once a credit frees.
+    hop: Hop,
+    final_dst: NodeId,
+    orig_src: NodeId,
+    port: u16,
+    /// TTL to encode: the origin value for origin frames, the arriving
+    /// (pre-decrement) value for in-transit frames.
+    ttl: u8,
+    payload: Bytes,
+    parked_at: SimTime,
+}
+
+/// Deterministic in-transit frame discarder (crash/corruption model).
+struct FaultInjector {
+    drop_fraction: f64,
+    rng: SimRng,
 }
 
 struct FabricInner {
@@ -132,6 +222,41 @@ struct FabricInner {
     delivered_frames: u64,
     delivered_bytes: u64,
     unclaimed_frames: u64,
+    /// Frames waiting for a credit, keyed by the gateway whose pool is
+    /// exhausted. FIFO per gateway, so resumption is deterministic.
+    parked: HashMap<NodeId, VecDeque<ParkedFrame>>,
+    /// Times a send had to park for want of a credit.
+    credit_stalls: u64,
+    /// Total virtual time frames spent parked, in nanoseconds.
+    credit_stall_ns: u64,
+    /// Parked frames whose transmission failed once unparked (topology
+    /// changed under the fabric).
+    parked_send_failures: u64,
+    fault: Option<FaultInjector>,
+}
+
+impl FabricInner {
+    /// Takes one credit towards `gw` if the pool allows it.
+    fn try_consume_credit(&mut self, gw: NodeId) -> bool {
+        let capacity = self.config.queue_capacity;
+        let state = self.gateways.entry(gw).or_default();
+        if state.credits_outstanding >= capacity {
+            false
+        } else {
+            state.credits_outstanding += 1;
+            state.stats.credits_consumed += 1;
+            true
+        }
+    }
+
+    /// Returns one credit to `gw`'s pool immediately (no travel latency);
+    /// used when a consumed credit is undone in the same instant.
+    fn release_credit_now(&mut self, gw: NodeId) {
+        let state = self.gateways.entry(gw).or_default();
+        debug_assert!(state.credits_outstanding > 0, "credit pool underflow");
+        state.credits_outstanding = state.credits_outstanding.saturating_sub(1);
+        state.stats.credits_returned += 1;
+    }
 }
 
 /// The relay fabric: shared routing state plus the per-node relay agents.
@@ -152,6 +277,11 @@ impl RelayFabric {
                 delivered_frames: 0,
                 delivered_bytes: 0,
                 unclaimed_frames: 0,
+                parked: HashMap::new(),
+                credit_stalls: 0,
+                credit_stall_ns: 0,
+                parked_send_failures: 0,
+                fault: None,
             })),
         }
     }
@@ -164,6 +294,24 @@ impl RelayFabric {
     /// Runs `f` with a borrow of the routing table.
     pub fn with_routes<R>(&self, f: impl FnOnce(&RouteTable) -> R) -> R {
         f(&self.inner.borrow().routes)
+    }
+
+    /// Arms the deterministic fault injector: from now on each in-transit
+    /// frame arriving at a gateway is discarded with probability
+    /// `drop_fraction`, drawn from a [`SimRng`] seeded with `seed` (so the
+    /// exact drop pattern reproduces run to run). Discards are accounted in
+    /// [`GatewayStats::frames_dropped_fault`]; in credit mode the upstream
+    /// credit is still returned, so faults never leak credits.
+    pub fn inject_gateway_faults(&self, drop_fraction: f64, seed: u64) {
+        self.inner.borrow_mut().fault = Some(FaultInjector {
+            drop_fraction: drop_fraction.clamp(0.0, 1.0),
+            rng: SimRng::seeded(seed),
+        });
+    }
+
+    /// Disarms the fault injector.
+    pub fn clear_gateway_faults(&self) {
+        self.inner.borrow_mut().fault = None;
     }
 
     /// Attaches the relay agent to `node`: the node can now receive
@@ -204,6 +352,12 @@ impl RelayFabric {
 
     /// Sends `payload` from `src` to `(dst, port)` along the routed path,
     /// relaying through gateways as needed.
+    ///
+    /// In [`BackpressureMode::Credit`], a send towards a gateway whose
+    /// credit pool is exhausted *parks* (the frame is accepted and
+    /// transmitted later, when a credit returns) instead of risking a
+    /// queue-full drop downstream; parking time is accounted in
+    /// [`RelayFabric::credit_stall_ns`].
     pub fn send(
         &self,
         world: &mut SimWorld,
@@ -248,10 +402,42 @@ impl RelayFabric {
                 Ok(())
             }
             Some(hop) => {
+                // A first hop that is not the destination is a gateway
+                // that will queue the frame: in credit mode its queue
+                // space must be reserved before transmitting.
+                let mut consumed = false;
+                if hop.node != dst {
+                    let mut inner = self.inner.borrow_mut();
+                    if inner.config.backpressure == BackpressureMode::Credit {
+                        if !inner.try_consume_credit(hop.node) {
+                            inner
+                                .parked
+                                .entry(hop.node)
+                                .or_default()
+                                .push_back(ParkedFrame {
+                                    from: None,
+                                    hop,
+                                    final_dst: dst,
+                                    orig_src: src,
+                                    port,
+                                    ttl,
+                                    payload,
+                                    parked_at: world.now(),
+                                });
+                            inner.credit_stalls += 1;
+                            return Ok(());
+                        }
+                        consumed = true;
+                    }
+                }
                 let wire = encode(dst, src, port, ttl, &payload);
-                world
+                let sent = world
                     .send_frame(hop.network, Frame::new(src, hop.node, ProtoId::RELAY, wire))
-                    .map_err(RelayError::Send)
+                    .map_err(RelayError::Send);
+                if sent.is_err() && consumed {
+                    self.inner.borrow_mut().release_credit_now(hop.node);
+                }
+                sent
             }
         }
     }
@@ -274,57 +460,212 @@ impl RelayFabric {
             return;
         }
 
-        // In transit: store-and-forward towards the destination.
-        let (forward, per_hop_latency) = {
+        // In transit: store-and-forward towards the destination. The
+        // upstream sender held one of our credits (credit mode), which we
+        // return once the frame leaves our queue — or right away if it is
+        // discarded on arrival.
+        let (enqueued, credit_mode, per_hop_latency) = {
             let mut inner = self.inner.borrow_mut();
+            let credit_mode = inner.config.backpressure == BackpressureMode::Credit;
             let config_latency = inner.config.per_hop_latency;
             let capacity = inner.config.queue_capacity;
+            let fault_drop = match inner.fault.as_mut() {
+                Some(f) => f.rng.gen_bool(f.drop_fraction),
+                None => false,
+            };
             let next = inner.routes.next_hop(here, final_dst);
             let state = inner.gateways.entry(here).or_default();
-            if ttl == 0 {
+            let enqueued = if fault_drop {
+                state.stats.frames_dropped_fault += 1;
+                None
+            } else if ttl == 0 {
                 state.stats.frames_dropped_ttl += 1;
-                (None, config_latency)
+                None
             } else if next.is_none() {
                 state.stats.frames_dropped_no_route += 1;
-                (None, config_latency)
-            } else if state.queue_depth >= capacity {
+                None
+            } else if !credit_mode && state.queue_depth >= capacity {
                 state.stats.frames_dropped_queue_full += 1;
-                (None, config_latency)
+                None
             } else {
+                // In credit mode the upstream credit guarantees space.
+                debug_assert!(
+                    !credit_mode || state.queue_depth < capacity,
+                    "credit-mode queue overflow at {here}"
+                );
                 state.queue_depth += 1;
                 state.stats.max_queue_depth = state.stats.max_queue_depth.max(state.queue_depth);
-                (next, config_latency)
-            }
+                next
+            };
+            (enqueued, credit_mode, config_latency)
         };
 
-        let Some(hop) = forward else { return };
+        let Some(hop) = enqueued else {
+            // Discarded on arrival: the credit the upstream consumed for
+            // this gateway travels straight back (faults must not leak
+            // credits, or the fabric would deadlock).
+            if credit_mode {
+                self.schedule_credit_return(world, here);
+            }
+            return;
+        };
         let fabric = self.clone();
         let payload = frame.payload.slice(RELAY_HEADER_BYTES..);
         world.schedule_after(per_hop_latency, move |world| {
-            {
-                let mut inner = fabric.inner.borrow_mut();
-                let state = inner.gateways.entry(here).or_default();
-                state.queue_depth = state.queue_depth.saturating_sub(1);
-                state.stats.frames_relayed += 1;
-                state.stats.bytes_relayed += payload.len() as u64;
-            }
-            let wire = encode(final_dst, orig_src, port, ttl - 1, &payload);
-            // A send failure here means the topology changed under the
-            // fabric; account it as a no-route drop.
-            if world
-                .send_frame(
-                    hop.network,
-                    Frame::new(here, hop.node, ProtoId::RELAY, wire),
-                )
-                .is_err()
-            {
-                let mut inner = fabric.inner.borrow_mut();
-                let state = inner.gateways.entry(here).or_default();
-                state.stats.frames_relayed -= 1;
-                state.stats.bytes_relayed -= payload.len() as u64;
-                state.stats.frames_dropped_no_route += 1;
-            }
+            fabric.forward_from_gateway(world, here, hop, final_dst, orig_src, port, ttl, payload);
         });
+    }
+
+    /// The store-and-forward hold of a queued frame elapsed: acquire the
+    /// next hop's credit if one is needed, then transmit — or park inside
+    /// this gateway's queue until the downstream pool frees.
+    #[allow(clippy::too_many_arguments)]
+    fn forward_from_gateway(
+        &self,
+        world: &mut SimWorld,
+        here: NodeId,
+        hop: Hop,
+        final_dst: NodeId,
+        orig_src: NodeId,
+        port: u16,
+        ttl: u8,
+        payload: Bytes,
+    ) {
+        {
+            let mut inner = self.inner.borrow_mut();
+            let needs_credit =
+                inner.config.backpressure == BackpressureMode::Credit && hop.node != final_dst;
+            if needs_credit && !inner.try_consume_credit(hop.node) {
+                inner
+                    .parked
+                    .entry(hop.node)
+                    .or_default()
+                    .push_back(ParkedFrame {
+                        from: Some(here),
+                        hop,
+                        final_dst,
+                        orig_src,
+                        port,
+                        ttl,
+                        payload,
+                        parked_at: world.now(),
+                    });
+                inner.credit_stalls += 1;
+                // The frame stays in `here`'s queue, so `here`'s own
+                // upstream credit stays withheld: the stall cascades.
+                return;
+            }
+        }
+        self.complete_forward(world, here, hop, final_dst, orig_src, port, ttl, payload);
+    }
+
+    /// Dequeues the frame at `here` and transmits it on `hop` (the next
+    /// hop's credit, when one was needed, is already held). Returns
+    /// `here`'s own credit to its pool after the advertisement latency.
+    #[allow(clippy::too_many_arguments)]
+    fn complete_forward(
+        &self,
+        world: &mut SimWorld,
+        here: NodeId,
+        hop: Hop,
+        final_dst: NodeId,
+        orig_src: NodeId,
+        port: u16,
+        ttl: u8,
+        payload: Bytes,
+    ) {
+        let credit_mode = {
+            let mut inner = self.inner.borrow_mut();
+            let state = inner.gateways.entry(here).or_default();
+            state.queue_depth = state.queue_depth.saturating_sub(1);
+            state.stats.frames_relayed += 1;
+            state.stats.bytes_relayed += payload.len() as u64;
+            inner.config.backpressure == BackpressureMode::Credit
+        };
+        let wire = encode(final_dst, orig_src, port, ttl - 1, &payload);
+        // A send failure here means the topology changed under the
+        // fabric; account it as a no-route drop.
+        if world
+            .send_frame(
+                hop.network,
+                Frame::new(here, hop.node, ProtoId::RELAY, wire),
+            )
+            .is_err()
+        {
+            let mut inner = self.inner.borrow_mut();
+            let state = inner.gateways.entry(here).or_default();
+            state.stats.frames_relayed -= 1;
+            state.stats.bytes_relayed -= payload.len() as u64;
+            state.stats.frames_dropped_no_route += 1;
+            if credit_mode && hop.node != final_dst {
+                // The next hop's reserved space will never be used.
+                inner.release_credit_now(hop.node);
+            }
+        }
+        if credit_mode {
+            self.schedule_credit_return(world, here);
+        }
+    }
+
+    /// Schedules the return of one of `gw`'s credits after the
+    /// advertisement latency; on arrival the freed credit immediately
+    /// un-parks the oldest frame waiting on `gw`, if any.
+    fn schedule_credit_return(&self, world: &mut SimWorld, gw: NodeId) {
+        let delay = self.inner.borrow().config.credit_return_latency;
+        let fabric = self.clone();
+        world.schedule_after(delay, move |world| {
+            fabric.on_credit_returned(world, gw);
+        });
+    }
+
+    fn on_credit_returned(&self, world: &mut SimWorld, gw: NodeId) {
+        let unparked = {
+            let mut inner = self.inner.borrow_mut();
+            inner.release_credit_now(gw);
+            match inner.parked.get_mut(&gw).and_then(|q| q.pop_front()) {
+                Some(pf) => {
+                    // Hand the freed credit straight to the oldest waiter.
+                    let took = inner.try_consume_credit(gw);
+                    debug_assert!(took, "freed credit must be consumable");
+                    inner.credit_stall_ns += world.now().since(pf.parked_at).as_nanos();
+                    Some(pf)
+                }
+                None => None,
+            }
+        };
+        let Some(pf) = unparked else { return };
+        match pf.from {
+            None => {
+                // A parked origin send: transmit it now.
+                let wire = encode(pf.final_dst, pf.orig_src, pf.port, pf.ttl, &pf.payload);
+                if world
+                    .send_frame(
+                        pf.hop.network,
+                        Frame::new(pf.orig_src, pf.hop.node, ProtoId::RELAY, wire),
+                    )
+                    .is_err()
+                {
+                    let mut inner = self.inner.borrow_mut();
+                    inner.parked_send_failures += 1;
+                    inner.release_credit_now(pf.hop.node);
+                }
+            }
+            Some(from_gw) => {
+                // A frame held inside `from_gw`'s queue: forward it (this
+                // in turn frees one of `from_gw`'s credits — the cascade
+                // unwinds upstream hop by hop).
+                self.complete_forward(
+                    world,
+                    from_gw,
+                    pf.hop,
+                    pf.final_dst,
+                    pf.orig_src,
+                    pf.port,
+                    pf.ttl,
+                    pf.payload,
+                );
+            }
+        }
     }
 
     fn deliver(&self, world: &mut SimWorld, node: NodeId, msg: RelayedMessage) {
@@ -355,6 +696,49 @@ impl RelayFabric {
             .get(&node)
             .map(|g| g.stats)
             .unwrap_or_default()
+    }
+
+    /// Credits currently held by senders towards `node` (credit mode).
+    pub fn outstanding_credits(&self, node: NodeId) -> usize {
+        self.inner
+            .borrow()
+            .gateways
+            .get(&node)
+            .map(|g| g.credits_outstanding)
+            .unwrap_or(0)
+    }
+
+    /// Credits available in `node`'s pool (credit mode): the queue
+    /// capacity minus the outstanding credits.
+    pub fn available_credits(&self, node: NodeId) -> usize {
+        let inner = self.inner.borrow();
+        let outstanding = inner
+            .gateways
+            .get(&node)
+            .map(|g| g.credits_outstanding)
+            .unwrap_or(0);
+        inner.config.queue_capacity.saturating_sub(outstanding)
+    }
+
+    /// Frames currently parked waiting for any gateway's credits.
+    pub fn parked_frames(&self) -> usize {
+        self.inner.borrow().parked.values().map(|q| q.len()).sum()
+    }
+
+    /// Times a send had to park for want of a credit.
+    pub fn credit_stalls(&self) -> u64 {
+        self.inner.borrow().credit_stalls
+    }
+
+    /// Total virtual time frames spent parked waiting for credits, in
+    /// nanoseconds.
+    pub fn credit_stall_ns(&self) -> u64 {
+        self.inner.borrow().credit_stall_ns
+    }
+
+    /// Parked frames whose transmission failed once unparked.
+    pub fn parked_send_failures(&self) -> u64 {
+        self.inner.borrow().parked_send_failures
     }
 
     /// Total frames delivered to bound endpoints.
@@ -512,6 +896,100 @@ mod tests {
         );
         assert_eq!(received.get() as u64, fabric.delivered_frames());
         assert!(gs.max_queue_depth <= 4);
+    }
+
+    #[test]
+    fn credit_mode_parks_instead_of_dropping() {
+        // Same overload as `bounded_queue_drops_overload`, but with the
+        // credit pool: every frame must arrive, with stalls accounted.
+        let (mut w, fabric, [a, g, h, b]) = relay_world(RelayConfig {
+            per_hop_latency: SimDuration::from_millis(1),
+            queue_capacity: 4,
+            backpressure: BackpressureMode::Credit,
+            ..Default::default()
+        });
+        let received = Rc::new(Cell::new(0u32));
+        let r = received.clone();
+        fabric.bind(&mut w, b, 2, move |_w, _m| r.set(r.get() + 1));
+        for _ in 0..32 {
+            fabric.send(&mut w, a, b, 2, vec![0u8; 200]).unwrap();
+        }
+        w.run();
+        let gs = fabric.gateway_stats(g);
+        assert_eq!(received.get(), 32, "credit mode must be lossless: {gs:?}");
+        assert_eq!(fabric.total_dropped(), 0, "{gs:?}");
+        assert_eq!(gs.frames_relayed, 32);
+        assert!(gs.max_queue_depth <= 4, "{gs:?}");
+        assert!(fabric.credit_stalls() > 0, "overload must stall senders");
+        assert!(fabric.credit_stall_ns() > 0);
+        assert_eq!(fabric.parked_frames(), 0, "nothing left parked");
+        // Every consumed credit came back, for both gateways.
+        for gw in [g, h] {
+            let s = fabric.gateway_stats(gw);
+            assert_eq!(s.credits_consumed, s.credits_returned, "{s:?}");
+            assert_eq!(fabric.outstanding_credits(gw), 0);
+            assert_eq!(fabric.available_credits(gw), 4);
+        }
+    }
+
+    #[test]
+    fn credit_mode_is_deterministic() {
+        let run = || {
+            let (mut w, fabric, [a, _, _, b]) = relay_world(RelayConfig {
+                per_hop_latency: SimDuration::from_millis(1),
+                queue_capacity: 4,
+                backpressure: BackpressureMode::Credit,
+                ..Default::default()
+            });
+            let received = Rc::new(Cell::new(0u32));
+            let r = received.clone();
+            fabric.bind(&mut w, b, 2, move |_w, _m| r.set(r.get() + 1));
+            for _ in 0..24 {
+                fabric.send(&mut w, a, b, 2, vec![0u8; 200]).unwrap();
+            }
+            w.run();
+            (received.get(), fabric.credit_stall_ns(), w.now().as_nanos())
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn fault_injection_is_exactly_accounted_and_returns_credits() {
+        let run = |mode: BackpressureMode| {
+            let (mut w, fabric, [a, g, h, b]) = relay_world(RelayConfig {
+                backpressure: mode,
+                ..Default::default()
+            });
+            fabric.inject_gateway_faults(0.4, 0xFA11);
+            let received = Rc::new(Cell::new(0u64));
+            let r = received.clone();
+            fabric.bind(&mut w, b, 2, move |_w, _m| r.set(r.get() + 1));
+            let sent = 60u64;
+            for _ in 0..sent {
+                fabric.send(&mut w, a, b, 2, vec![0u8; 200]).unwrap();
+            }
+            w.run();
+            let (sg, sh) = (fabric.gateway_stats(g), fabric.gateway_stats(h));
+            // Exact conservation at each gateway: everything that arrived
+            // was forwarded or fault-dropped.
+            assert_eq!(sg.frames_relayed + sg.frames_dropped(), sent);
+            assert_eq!(sh.frames_relayed + sh.frames_dropped(), sg.frames_relayed);
+            assert_eq!(received.get(), sh.frames_relayed);
+            assert!(sg.frames_dropped_fault + sh.frames_dropped_fault > 0);
+            if mode == BackpressureMode::Credit {
+                assert_eq!(sg.frames_dropped_queue_full, 0);
+                for gw in [g, h] {
+                    let s = fabric.gateway_stats(gw);
+                    assert_eq!(s.credits_consumed, s.credits_returned, "{s:?}");
+                    assert_eq!(fabric.outstanding_credits(gw), 0);
+                }
+            }
+            received.get()
+        };
+        // Deterministic in both modes, and the seeded drop pattern is
+        // identical run to run.
+        assert_eq!(run(BackpressureMode::Drop), run(BackpressureMode::Drop));
+        assert_eq!(run(BackpressureMode::Credit), run(BackpressureMode::Credit));
     }
 
     #[test]

@@ -48,5 +48,7 @@ pub mod gateway;
 pub mod route;
 
 pub use builder::{GridTopology, Site, SiteSpec};
-pub use gateway::{GatewayStats, RelayConfig, RelayError, RelayFabric, RelayedMessage};
+pub use gateway::{
+    BackpressureMode, GatewayStats, RelayConfig, RelayError, RelayFabric, RelayedMessage,
+};
 pub use route::{link_cost, Hop, PathInfo, Route, RouteTable};

@@ -2,7 +2,7 @@
 //! messages over a SAN.
 
 use std::cell::RefCell;
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::rc::Rc;
 
 use bytes::Bytes;
@@ -68,6 +68,9 @@ type MessageCallback = Box<dyn FnMut(&mut SimWorld, MadMessage)>;
 
 struct PendingRendezvous {
     dst_rank: usize,
+    /// The message's FIFO sequence number, assigned at `end_packing` and
+    /// carried onto the eventual `RendezvousData` frame.
+    seq: u64,
     segments: Vec<Segment>,
 }
 
@@ -81,6 +84,15 @@ struct ChannelState {
     // Sender-side rendezvous bookkeeping.
     next_rendezvous_id: u32,
     pending_rendezvous: HashMap<u32, PendingRendezvous>,
+    // Per-pair FIFO sequencing (Madeleine channels never reorder messages
+    // between one sender and one receiver — MPI's non-overtaking rule).
+    // A small eager message would otherwise overtake the rendezvous
+    // round-trip of a large one sent just before it.
+    next_send_seq: HashMap<usize, u64>,
+    next_recv_seq: HashMap<u32, u64>,
+    /// Data frames that arrived ahead of a predecessor, held per sender
+    /// until the gap fills.
+    reorder: HashMap<u32, BTreeMap<u64, WireMessage>>,
     // Stats.
     messages_sent: u64,
     messages_received: u64,
@@ -208,6 +220,9 @@ impl Madeleine {
             notify_pending: false,
             next_rendezvous_id: 0,
             pending_rendezvous: HashMap::new(),
+            next_send_seq: HashMap::new(),
+            next_recv_seq: HashMap::new(),
+            reorder: HashMap::new(),
             messages_sent: 0,
             messages_received: 0,
             bytes_sent: 0,
@@ -255,32 +270,58 @@ impl Madeleine {
         let Some(state) = channel_state else { return };
         match wire.kind {
             FrameKind::Eager | FrameKind::RendezvousData => {
-                // Charge the receiver-side software overhead before the
-                // message becomes visible; receive processing of successive
-                // messages serializes on the host CPU.
-                let mad = self.clone();
-                let deliver_at = {
-                    let mut inner = self.inner.borrow_mut();
-                    let ready = world.now().max(inner.recv_cpu_free) + config.recv_overhead;
-                    inner.recv_cpu_free = ready;
-                    ready
+                // Per-pair FIFO: a frame arriving ahead of a predecessor
+                // (an eager message that beat a rendezvous round-trip) is
+                // held until the gap fills. The SAN is lossless, so the
+                // predecessor always arrives.
+                let ready = {
+                    let mut st = state.borrow_mut();
+                    let src = wire.src_rank;
+                    let expected = *st.next_recv_seq.get(&src).unwrap_or(&0);
+                    if wire.seq > expected {
+                        st.reorder.entry(src).or_default().insert(wire.seq, wire);
+                        Vec::new()
+                    } else {
+                        debug_assert_eq!(wire.seq, expected, "duplicate Madeleine message");
+                        let mut out = vec![wire];
+                        let mut next = expected + 1;
+                        while let Some(w) = st.reorder.get_mut(&src).and_then(|m| m.remove(&next)) {
+                            out.push(w);
+                            next += 1;
+                        }
+                        st.next_recv_seq.insert(src, next);
+                        out
+                    }
                 };
-                world.schedule_at(deliver_at, move |world| {
-                    let msg = MadMessage {
-                        src_rank: wire.src_rank as usize,
-                        segments: wire.segments.clone(),
+                for wire in ready {
+                    // Charge the receiver-side software overhead before the
+                    // message becomes visible; receive processing of
+                    // successive messages serializes on the host CPU.
+                    let mad = self.clone();
+                    let state = state.clone();
+                    let deliver_at = {
+                        let mut inner = self.inner.borrow_mut();
+                        let ready = world.now().max(inner.recv_cpu_free) + config.recv_overhead;
+                        inner.recv_cpu_free = ready;
+                        ready
                     };
-                    {
-                        let mut st = state.borrow_mut();
-                        st.messages_received += 1;
-                        st.incoming.push_back(msg);
-                    }
-                    MadChannel {
-                        mad: mad.clone(),
-                        state: state.clone(),
-                    }
-                    .schedule_notify(world);
-                });
+                    world.schedule_at(deliver_at, move |world| {
+                        let msg = MadMessage {
+                            src_rank: wire.src_rank as usize,
+                            segments: wire.segments.clone(),
+                        };
+                        {
+                            let mut st = state.borrow_mut();
+                            st.messages_received += 1;
+                            st.incoming.push_back(msg);
+                        }
+                        MadChannel {
+                            mad: mad.clone(),
+                            state: state.clone(),
+                        }
+                        .schedule_notify(world);
+                    });
+                }
             }
             FrameKind::RendezvousRequest => {
                 // Grant immediately (the receiver in this model always has
@@ -290,6 +331,7 @@ impl Madeleine {
                     kind: FrameKind::RendezvousGrant,
                     src_rank: state.borrow().my_rank as u32,
                     rendezvous_id: wire.rendezvous_id,
+                    seq: 0,
                     segments: vec![],
                 };
                 let dst = state.borrow().group[wire.src_rank as usize];
@@ -310,6 +352,7 @@ impl Madeleine {
                         kind: FrameKind::RendezvousData,
                         src_rank: my_rank as u32,
                         rendezvous_id: wire.rendezvous_id,
+                        seq: p.seq,
                         segments: p.segments,
                     };
                     self.send_wire(world, dst, data, config.rendezvous_overhead);
@@ -491,14 +534,30 @@ impl PackHandle<'_> {
             return payload;
         }
 
+        // FIFO sequence number towards this destination; the receiver
+        // delivers strictly in this order even when an eager message beats
+        // a rendezvous round-trip.
+        let seq = {
+            let mut st = channel.state.borrow_mut();
+            let next = st.next_send_seq.entry(dst_rank).or_insert(0);
+            let s = *next;
+            *next += 1;
+            s
+        };
         if payload > config.rendezvous_threshold {
             // Rendezvous: announce, wait for the grant, then send the data.
             let rendezvous_id = {
                 let mut st = channel.state.borrow_mut();
                 let id = st.next_rendezvous_id;
                 st.next_rendezvous_id += 1;
-                st.pending_rendezvous
-                    .insert(id, PendingRendezvous { dst_rank, segments });
+                st.pending_rendezvous.insert(
+                    id,
+                    PendingRendezvous {
+                        dst_rank,
+                        seq,
+                        segments,
+                    },
+                );
                 id
             };
             let request = WireMessage {
@@ -506,6 +565,7 @@ impl PackHandle<'_> {
                 kind: FrameKind::RendezvousRequest,
                 src_rank: my_rank as u32,
                 rendezvous_id,
+                seq: 0,
                 segments: vec![],
             };
             channel.mad.send_wire(world, dst, request, delay);
@@ -515,6 +575,7 @@ impl PackHandle<'_> {
                 kind: FrameKind::Eager,
                 src_rank: my_rank as u32,
                 rendezvous_id: 0,
+                seq,
                 segments,
             };
             channel.mad.send_wire(world, dst, wire, delay);
@@ -572,6 +633,33 @@ mod tests {
         let _c2 = mad.open_channel(nodes.clone()).unwrap();
         let err = mad.open_channel(nodes.clone()).err().unwrap();
         assert_eq!(err, MadError::NoHardwareChannelLeft { max: 2 });
+    }
+
+    #[test]
+    fn small_eager_message_does_not_overtake_large_rendezvous() {
+        // A message above the rendezvous threshold pays a request/grant
+        // round-trip; a tiny eager message sent right behind it lands on
+        // the wire first. Per-pair FIFO sequencing must still deliver
+        // them in sending order (MPI's non-overtaking rule; the stream
+        // emulation depends on it for correctness).
+        let (mut world, nodes, san) = san_world(2);
+        let mad0 = Madeleine::new(&mut world, nodes[0], san);
+        let mad1 = Madeleine::new(&mut world, nodes[1], san);
+        let c0 = mad0.open_channel(nodes.clone()).unwrap();
+        let c1 = mad1.open_channel(nodes.clone()).unwrap();
+        let big = vec![7u8; 100 * 1024]; // > rendezvous_threshold
+        let mut pk = c0.begin_packing(1).unwrap();
+        pk.pack(big.clone(), SendMode::Cheaper);
+        pk.end_packing(&mut world);
+        let mut pk = c0.begin_packing(1).unwrap();
+        pk.pack(&b"tiny"[..], SendMode::Cheaper);
+        pk.end_packing(&mut world);
+        world.run();
+        assert_eq!(c1.pending_messages(), 2);
+        let first = c1.poll_message().unwrap();
+        assert_eq!(first.payload_len(), big.len(), "big message first");
+        let second = c1.poll_message().unwrap();
+        assert_eq!(second.concat(), b"tiny");
     }
 
     #[test]

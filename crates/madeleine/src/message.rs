@@ -128,12 +128,19 @@ pub(crate) struct WireMessage {
     pub src_rank: u32,
     /// Identifier used to match rendezvous request/grant/data.
     pub rendezvous_id: u32,
+    /// Per-(channel, sender→receiver) message sequence number, assigned at
+    /// `end_packing`. Madeleine channels are FIFO per pair (MPI's
+    /// non-overtaking rule); without it a small eager message racing the
+    /// rendezvous round-trip of a large one overtakes it on delivery.
+    /// Meaningful on data-bearing frames (`Eager`, `RendezvousData`);
+    /// zero on control frames.
+    pub seq: u64,
     pub segments: Vec<Segment>,
 }
 
 impl WireMessage {
     /// Bytes of header added per message by Madeleine itself.
-    pub const HEADER_BYTES: usize = 11;
+    pub const HEADER_BYTES: usize = 19;
     /// Bytes of header added per segment.
     pub const PER_SEGMENT_BYTES: usize = 5;
 
@@ -146,6 +153,7 @@ impl WireMessage {
         buf.put_u8(self.kind.to_byte());
         buf.put_u32(self.src_rank);
         buf.put_u32(self.rendezvous_id);
+        buf.put_u64(self.seq);
         // Segment count is implicit: read until the buffer is exhausted.
         for seg in &self.segments {
             buf.put_u8(seg.send_mode.to_byte());
@@ -163,6 +171,7 @@ impl WireMessage {
         let kind = FrameKind::from_byte(payload.get_u8())?;
         let src_rank = payload.get_u32();
         let rendezvous_id = payload.get_u32();
+        let seq = payload.get_u64();
         let mut segments = Vec::new();
         while payload.has_remaining() {
             if payload.remaining() < Self::PER_SEGMENT_BYTES {
@@ -184,6 +193,7 @@ impl WireMessage {
             kind,
             src_rank,
             rendezvous_id,
+            seq,
             segments,
         })
     }
@@ -214,6 +224,7 @@ mod tests {
             kind: FrameKind::Eager,
             src_rank: 7,
             rendezvous_id: 0,
+            seq: 99,
             segments: vec![
                 Segment {
                     data: Bytes::from_static(b"header"),
@@ -247,6 +258,7 @@ mod tests {
                 kind,
                 src_rank: 0,
                 rendezvous_id: 42,
+                seq: 7,
                 segments: vec![],
             };
             assert_eq!(WireMessage::decode(wm.encode()).unwrap().kind, kind);
@@ -260,6 +272,7 @@ mod tests {
             kind: FrameKind::Eager,
             src_rank: 0,
             rendezvous_id: 0,
+            seq: 0,
             segments: vec![Segment {
                 data: Bytes::from_static(b"0123456789"),
                 send_mode: SendMode::Cheaper,

@@ -22,6 +22,7 @@ use bytes::{Buf, Bytes};
 pub struct SegBuf {
     chunks: VecDeque<Bytes>,
     len: usize,
+    high_water: usize,
 }
 
 impl SegBuf {
@@ -45,12 +46,20 @@ impl SegBuf {
         self.chunks.len()
     }
 
+    /// Peak occupancy ever reached, in bytes. The occupancy hook used by
+    /// flow-controlled layers (gateway trunks) to assert that credit
+    /// windows actually bound buffer memory; survives `clear`.
+    pub fn high_water(&self) -> usize {
+        self.high_water
+    }
+
     /// Appends a chunk without copying it (a refcount bump).
     pub fn push_bytes(&mut self, chunk: Bytes) {
         if chunk.is_empty() {
             return;
         }
         self.len += chunk.len();
+        self.high_water = self.high_water.max(self.len);
         self.chunks.push_back(chunk);
     }
 
@@ -275,6 +284,23 @@ mod tests {
         assert_eq!(b.pop_chunk(1), [4]);
         assert_eq!(b.pop_chunk(usize::MAX), [5]);
         assert!(b.is_empty());
+    }
+
+    #[test]
+    fn high_water_tracks_peak_occupancy() {
+        let mut b = SegBuf::new();
+        assert_eq!(b.high_water(), 0);
+        b.push_slice(&[0u8; 10]);
+        b.push_slice(&[0u8; 5]);
+        assert_eq!(b.high_water(), 15);
+        b.consume(12);
+        assert_eq!(b.high_water(), 15, "peak survives consumption");
+        b.push_slice(&[0u8; 4]);
+        assert_eq!(b.high_water(), 15, "below the old peak");
+        b.push_slice(&[0u8; 20]);
+        assert_eq!(b.high_water(), 27);
+        b.clear();
+        assert_eq!(b.high_water(), 27, "peak survives clear");
     }
 
     #[test]

@@ -2,7 +2,7 @@
 //! every `SelectorPreferences` combination, for both paradigms (VLink and
 //! Circuit), against an explicitly-written expectation table.
 
-use padicotm::core::{LinkDecision, SelectorPreferences, TopologyKb};
+use padicotm::core::{BackpressureMode, LinkDecision, SelectorPreferences, TopologyKb};
 use padicotm::simnet::{topology, NetworkClass, NetworkSpec};
 
 /// The network spec used to exercise each class.
@@ -16,21 +16,28 @@ fn spec_for(class: NetworkClass) -> NetworkSpec {
     }
 }
 
-/// Every combination of the four boolean preference knobs.
+/// Every combination of the boolean preference knobs and both relay
+/// backpressure modes. (`refuse_plaintext_relay` stays off: the strict
+/// refusal is covered by its own `#[should_panic]` test in the selector;
+/// here every combination must still *resolve*.)
 fn all_preferences() -> Vec<SelectorPreferences> {
     let mut out = Vec::new();
     for parallel in [false, true] {
         for compression in [false, true] {
             for secure in [false, true] {
                 for forbid_san in [false, true] {
-                    out.push(SelectorPreferences {
-                        parallel_streams_on_wan: parallel,
-                        parallel_stream_width: 4,
-                        gateway_trunk_width: 8,
-                        compression_on_slow_links: compression,
-                        secure_inter_site: secure,
-                        forbid_san,
-                    });
+                    for backpressure in [BackpressureMode::Drop, BackpressureMode::Credit] {
+                        out.push(SelectorPreferences {
+                            parallel_streams_on_wan: parallel,
+                            parallel_stream_width: 4,
+                            gateway_trunk_width: 8,
+                            compression_on_slow_links: compression,
+                            secure_inter_site: secure,
+                            refuse_plaintext_relay: false,
+                            relay_backpressure: backpressure,
+                            forbid_san,
+                        });
+                    }
                 }
             }
         }
@@ -157,6 +164,12 @@ fn relayed_resolution_covers_every_preference_combination() {
         let a1 = grid.site(0).node(1);
         let b1 = grid.site(1).node(1);
         let d = kb.select_vlink(&world, a1, b1);
+        // A relayed decision under secure_inter_site is plaintext on the
+        // WAN legs: it must be counted, never silent.
+        assert_eq!(
+            kb.plaintext_relay_events(),
+            u64::from(prefs.secure_inter_site)
+        );
         let LinkDecision::Relayed { via, network, hops } = d else {
             panic!("expected a relay for {prefs:?}, got {d:?}");
         };
