@@ -1,0 +1,99 @@
+//! Routing-scalability bench: flat all-pairs Dijkstra vs hierarchical
+//! two-level routing, written to `BENCH_routing.json`.
+//!
+//! Usage: `routing [--smoke]` — `--smoke` runs small sizes once (the CI
+//! guard) and does not overwrite the tracked JSON artifact. In both modes
+//! the process exits non-zero if any hierarchical/flat cost-equivalence
+//! check reports a mismatch, or if the hierarchical allreduce fails to
+//! send strictly fewer inter-site messages than the linear one.
+
+use padico_bench::routing::{
+    allreduce_comparison, routing_json, routing_sweep, write_routing_json,
+};
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let sizes: &[usize] = if smoke {
+        &[100, 320]
+    } else {
+        &[100, 1000, 10_000]
+    };
+    let cases = routing_sweep(sizes);
+    println!(
+        "{:<8} {:>6} {:>6} {:>12} {:>12} {:>9} {:>12} {:>12} {:>9} {:>9} {:>9}",
+        "shape",
+        "nodes",
+        "sites",
+        "flat ms",
+        "hier ms",
+        "build x",
+        "flat bytes",
+        "hier bytes",
+        "bytes x",
+        "hier ns",
+        "cache ns"
+    );
+    for c in &cases {
+        println!(
+            "{:<8} {:>6} {:>6} {:>11.1}{} {:>12.1} {:>9.1} {:>11}{} {:>12} {:>9.1} {:>9.0} {:>9.0}",
+            c.shape,
+            c.nodes,
+            c.sites,
+            c.flat_build_ms,
+            if c.flat_measured { " " } else { "*" },
+            c.hier_build_ms,
+            c.build_speedup(),
+            c.flat_table_bytes,
+            if c.flat_measured { " " } else { "*" },
+            c.hier_table_bytes,
+            c.bytes_ratio(),
+            c.hier_lookup_ns,
+            c.hier_cached_lookup_ns,
+        );
+    }
+    println!("(* = flat numbers extrapolated from sampled Dijkstra sources)");
+
+    let allreduce = allreduce_comparison(3, 6);
+    println!(
+        "allreduce over {} sites x {}: inter-site msgs linear={} hier={}, \
+         completion linear={:.1}us hier={:.1}us",
+        allreduce.sites,
+        allreduce.nodes_per_site,
+        allreduce.linear_inter_site_msgs,
+        allreduce.hier_inter_site_msgs,
+        allreduce.linear_us,
+        allreduce.hier_us,
+    );
+
+    let mut failed = false;
+    for c in &cases {
+        if c.cost_mismatches > 0 || c.reachability_mismatches > 0 {
+            eprintln!(
+                "FAIL: {} @ {} nodes disagrees with the flat oracle \
+                 ({} cost, {} reachability mismatches over {} pairs)",
+                c.shape, c.nodes, c.cost_mismatches, c.reachability_mismatches, c.pairs_checked
+            );
+            failed = true;
+        }
+    }
+    if allreduce.hier_inter_site_msgs >= allreduce.linear_inter_site_msgs {
+        eprintln!(
+            "FAIL: hierarchical allreduce sent {} inter-site messages, \
+             linear sent {}",
+            allreduce.hier_inter_site_msgs, allreduce.linear_inter_site_msgs
+        );
+        failed = true;
+    }
+
+    if smoke {
+        let json = routing_json(&cases, &allreduce);
+        assert!(json.contains("\"experiment\": \"routing\""));
+        eprintln!("smoke run: artifact not written");
+    } else {
+        let path = write_routing_json(&cases, &allreduce).expect("write BENCH_routing.json");
+        eprintln!("wrote {path}");
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

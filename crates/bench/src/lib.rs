@@ -10,6 +10,7 @@
 pub mod datapath;
 pub mod experiments;
 pub mod multi_site;
+pub mod routing;
 
 pub use experiments::*;
 pub use multi_site::{

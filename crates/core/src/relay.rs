@@ -39,8 +39,23 @@ pub(crate) const TRUNK_STRIPE_CHUNK: usize = 4096;
 
 /// Warm-up padding pushed through a trunk once at establishment —
 /// roughly one bandwidth-delay product of the reference WAN (12.5 MB/s ×
-/// 16 ms ≈ 200 kB), enough to take the carrier out of slow start.
+/// 16 ms ≈ 200 kB), enough to take the carrier out of slow start. Used
+/// as the fallback when no [`gridtopo::PathInfo`] towards the gateway is
+/// available; see [`warmup_bytes_for`].
 pub(crate) const TRUNK_WARMUP_BYTES: usize = 256 * 1024;
+
+/// Sizes a trunk's warm-up padding from the cached [`gridtopo::PathInfo`]
+/// of the path towards the gateway: two bandwidth-delay products of the
+/// actual route (bottleneck rate × one-way latency), clamped so degenerate
+/// paths neither skip slow start (floor) nor flood the first carrier
+/// (ceiling).
+pub(crate) fn warmup_bytes_for(info: &gridtopo::PathInfo) -> usize {
+    if !info.bottleneck_bytes_per_sec.is_finite() {
+        return TRUNK_WARMUP_BYTES;
+    }
+    let bdp = info.bottleneck_bytes_per_sec * info.total_latency.as_secs_f64();
+    ((2.0 * bdp) as usize).clamp(64 * 1024, 512 * 1024)
+}
 
 /// Magic tag opening every proxy header.
 const PROXY_MAGIC: u16 = 0x9D1C;
@@ -71,7 +86,10 @@ const SPLICE_RETRY: SimDuration = SimDuration::from_micros(200);
 /// Both trunk ends derive it from the same preference, so they agree.
 pub(crate) fn trunk_flow(prefs: &SelectorPreferences) -> Option<TrunkFlowConfig> {
     match prefs.relay_backpressure {
-        BackpressureMode::Credit => Some(TrunkFlowConfig::default()),
+        BackpressureMode::Credit => Some(TrunkFlowConfig {
+            trunk_budget: prefs.gateway_trunk_budget,
+            ..Default::default()
+        }),
         BackpressureMode::Drop => None,
     }
 }

@@ -11,7 +11,7 @@ use std::cell::RefCell;
 use std::collections::HashMap;
 use std::rc::Rc;
 
-use gridtopo::{GridTopology, RouteTable};
+use gridtopo::{GridRoutes, GridTopology};
 use netaccess::{MadIOTag, NetAccess, NetAccessConfig};
 use simnet::{NetworkId, NodeId, SimDuration, SimWorld};
 use transport::{
@@ -127,11 +127,29 @@ impl PadicoRuntime {
         self.inner.borrow().kb.plaintext_relay_events()
     }
 
-    /// Installs the multi-hop route table, making the selector
-    /// route-aware: links towards nodes with which this node shares no
-    /// network resolve to [`LinkDecision::Relayed`] instead of failing.
-    pub fn set_route_table(&self, routes: Rc<RouteTable>) {
+    /// Installs the multi-hop route table (hierarchical or flat), making
+    /// the selector route-aware: links towards nodes with which this node
+    /// shares no network resolve to [`LinkDecision::Relayed`] instead of
+    /// failing. Any previously cached resolved route is invalidated.
+    pub fn set_route_table(&self, routes: Rc<GridRoutes>) {
         self.inner.borrow_mut().kb.set_routes(routes);
+    }
+
+    /// The memoized route and [`gridtopo::PathInfo`] towards `remote`, if
+    /// a route table is installed and a route exists (see
+    /// [`crate::selector::TopologyKb::resolve_route`]).
+    pub fn resolved_route(
+        &self,
+        world: &SimWorld,
+        remote: NodeId,
+    ) -> Option<Rc<crate::selector::ResolvedRoute>> {
+        let inner = self.inner.borrow();
+        inner.kb.resolve_route(world, inner.node, remote)
+    }
+
+    /// This node's route-cache counters.
+    pub fn route_cache_stats(&self) -> crate::selector::RouteCacheStats {
+        self.inner.borrow().kb.route_cache_stats()
     }
 
     /// The method the selector would pick for a VLink towards `remote`.
@@ -180,8 +198,15 @@ impl PadicoRuntime {
         // Drive the fresh carrier's congestion windows to steady state
         // once, so every relayed stream finds a hot trunk (the simulated
         // TCP keeps congestion state for the connection's lifetime, like a
-        // cached GridFTP data channel).
-        mux.warm_up(world, relay::TRUNK_WARMUP_BYTES);
+        // cached GridFTP data channel). The padding is sized from the
+        // cached PathInfo towards the gateway — two bandwidth-delay
+        // products of the actual path — instead of one hard-wired constant
+        // for every WAN class.
+        let warmup = self
+            .resolved_route(world, via)
+            .map(|r| relay::warmup_bytes_for(&r.info))
+            .unwrap_or(relay::TRUNK_WARMUP_BYTES);
+        mux.warm_up(world, warmup);
         self.inner
             .borrow_mut()
             .trunks
@@ -222,6 +247,22 @@ impl PadicoRuntime {
     /// this runtime (its carrier callback only holds a weak reference).
     pub(crate) fn register_accepted_trunk(&self, mux: TrunkMux) {
         self.inner.borrow_mut().accepted_trunks.push(mux);
+    }
+
+    /// Memory accounting of every trunk this runtime holds — outgoing
+    /// trunks first (in deterministic `(gateway, network)` key order),
+    /// then accepted ones (in accept order). The trunk-wide budget bound
+    /// (`gateway_trunk_budget`) is observable here: with the budget set,
+    /// no entry's `recv_high_water` ever exceeds it.
+    pub fn trunk_memory_stats(&self) -> Vec<crate::trunk::TrunkMemoryStats> {
+        let inner = self.inner.borrow();
+        let mut keyed: Vec<(&(NodeId, NetworkId), &TrunkMux)> = inner.trunks.iter().collect();
+        keyed.sort_by_key(|((node, net), _)| (node.0, net.0));
+        keyed
+            .into_iter()
+            .map(|(_, mux)| mux.memory_stats())
+            .chain(inner.accepted_trunks.iter().map(|m| m.memory_stats()))
+            .collect()
     }
 
     // ------------------------------------------------------------------ //

@@ -7,15 +7,18 @@
 //! decides which adapter/method carries the link — straight adapters where
 //! possible, cross-paradigm or WAN-specific methods where required.
 //!
-//! With a [`gridtopo::RouteTable`] installed, the knowledge base is
-//! *route-aware*: endpoints that share no network no longer fail — the
-//! selector resolves them to a [`LinkDecision::Relayed`] through the first
-//! gateway of the multi-hop route.
+//! With a [`gridtopo::GridRoutes`] table installed (hierarchical by
+//! default, flat as the oracle), the knowledge base is *route-aware*:
+//! endpoints that share no network no longer fail — the selector resolves
+//! them to a [`LinkDecision::Relayed`] through the first gateway of the
+//! multi-hop route, memoizing the resolved [`Route`]/[`PathInfo`] in a
+//! bounded cache so the hot path never re-derives hop vectors.
 
-use std::cell::Cell;
+use std::cell::{Cell, RefCell};
+use std::collections::{HashMap, VecDeque};
 use std::rc::Rc;
 
-use gridtopo::RouteTable;
+use gridtopo::{GridRoutes, PathInfo, Route};
 use simnet::{NetworkClass, NetworkId, NodeId, SimWorld};
 
 pub use gridtopo::BackpressureMode;
@@ -57,6 +60,19 @@ pub struct SelectorPreferences {
     /// uniformly across a grid: the two ends of a gateway trunk have to
     /// agree on windowing.
     pub relay_backpressure: BackpressureMode,
+    /// Aggregate byte budget shared by *all* multiplexed streams of one
+    /// gateway trunk, layered on the per-stream credit windows: the sum of
+    /// unconsumed bytes in flight across the trunk never exceeds it, so
+    /// one gateway pair's total store-and-forward memory is bounded — not
+    /// just each stream's. `0` disables the shared budget (per-stream
+    /// windows only). Only effective with `relay_backpressure = Credit`,
+    /// which the budget rides on.
+    pub gateway_trunk_budget: usize,
+    /// Entries kept in the selector's route cache (resolved
+    /// [`Route`]/[`PathInfo`] pairs, memoized on the link-decision hot
+    /// path; evicted FIFO beyond this bound and invalidated whenever a
+    /// route table is installed).
+    pub route_cache_capacity: usize,
     /// Never use the SAN even when available (ablation / debugging knob).
     pub forbid_san: bool,
 }
@@ -85,6 +101,8 @@ impl Default for SelectorPreferences {
             secure_inter_site: false,
             refuse_plaintext_relay: false,
             relay_backpressure: BackpressureMode::Drop,
+            gateway_trunk_budget: 0,
+            route_cache_capacity: 4096,
             forbid_san: false,
         }
     }
@@ -144,6 +162,62 @@ impl LinkDecision {
     }
 }
 
+/// A fully resolved route with its aggregate path characteristics — what
+/// the route cache memoizes, behind an `Rc` so hot-path consumers share
+/// one materialization instead of re-deriving hop vectors per lookup.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResolvedRoute {
+    /// The materialized multi-hop route.
+    pub route: Route,
+    /// Aggregate characteristics of the route.
+    pub info: PathInfo,
+}
+
+/// Cache statistics, for tests and the routing bench.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RouteCacheStats {
+    /// Lookups served from the cache.
+    pub hits: u64,
+    /// Lookups that resolved and inserted a fresh entry.
+    pub misses: u64,
+    /// Entries evicted by the FIFO bound.
+    pub evictions: u64,
+    /// Whole-cache invalidations (route-table installs).
+    pub invalidations: u64,
+    /// Entries currently resident.
+    pub len: usize,
+}
+
+/// Bounded FIFO memo of resolved routes, keyed by ordered node pair.
+/// Hierarchical tables materialize `Route`/`PathInfo` lazily, so the cache
+/// is what keeps repeated link decisions (and the relay fabric's
+/// per-stream lookups) allocation-free.
+#[derive(Debug, Default)]
+struct RouteCache {
+    entries: HashMap<(NodeId, NodeId), Rc<ResolvedRoute>>,
+    order: VecDeque<(NodeId, NodeId)>,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+    invalidations: u64,
+}
+
+impl RouteCache {
+    fn insert(&mut self, key: (NodeId, NodeId), value: Rc<ResolvedRoute>, capacity: usize) {
+        let capacity = capacity.max(1);
+        while self.entries.len() >= capacity {
+            let Some(oldest) = self.order.pop_front() else {
+                break;
+            };
+            self.entries.remove(&oldest);
+            self.evictions += 1;
+        }
+        if self.entries.insert(key, value).is_none() {
+            self.order.push_back(key);
+        }
+    }
+}
+
 /// The topology knowledge base: what the runtime knows about reachable
 /// networks and multi-hop routes, plus the user preferences.
 #[derive(Debug, Clone, Default)]
@@ -152,7 +226,10 @@ pub struct TopologyKb {
     pub prefs: SelectorPreferences,
     /// Multi-hop routes, when a grid topology has been registered. Without
     /// routes the selector only resolves direct (shared-network) links.
-    routes: Option<Rc<RouteTable>>,
+    routes: Option<Rc<GridRoutes>>,
+    /// Memoized resolved routes (shared across clones of this knowledge
+    /// base, invalidated whenever `routes` is replaced).
+    cache: Rc<RefCell<RouteCache>>,
     /// Times the selector resolved a pair to a relayed decision while
     /// `secure_inter_site` was set: that traffic crosses the WAN legs in
     /// plaintext (shared across clones of this knowledge base).
@@ -171,7 +248,7 @@ impl TopologyKb {
     }
 
     /// Creates a route-aware knowledge base.
-    pub fn with_routes(prefs: SelectorPreferences, routes: Rc<RouteTable>) -> TopologyKb {
+    pub fn with_routes(prefs: SelectorPreferences, routes: Rc<GridRoutes>) -> TopologyKb {
         TopologyKb {
             prefs,
             routes: Some(routes),
@@ -179,9 +256,26 @@ impl TopologyKb {
         }
     }
 
-    /// Installs (or replaces) the multi-hop route table.
-    pub fn set_routes(&mut self, routes: Rc<RouteTable>) {
+    /// Installs (or replaces) the multi-hop route table. Every cached
+    /// resolved route is invalidated: entries derived from the previous
+    /// table must never serve lookups against the new one. This instance
+    /// gets a *fresh* cache rather than clearing the shared one: clones
+    /// of this knowledge base still hold the previous table, and through
+    /// a shared cleared cache they would repopulate old-table routes
+    /// right back into this instance's lookups. Counters carry over so
+    /// the statistics stay monotonic.
+    pub fn set_routes(&mut self, routes: Rc<GridRoutes>) {
         self.routes = Some(routes);
+        let prev = self.cache.borrow();
+        let fresh = RouteCache {
+            hits: prev.hits,
+            misses: prev.misses,
+            evictions: prev.evictions,
+            invalidations: prev.invalidations + 1,
+            ..Default::default()
+        };
+        drop(prev);
+        self.cache = Rc::new(RefCell::new(fresh));
     }
 
     /// Replaces the preferences in place, preserving the route table and
@@ -191,8 +285,49 @@ impl TopologyKb {
     }
 
     /// The installed route table, if any.
-    pub fn routes(&self) -> Option<Rc<RouteTable>> {
+    pub fn routes(&self) -> Option<Rc<GridRoutes>> {
         self.routes.clone()
+    }
+
+    /// Resolves (and memoizes) the full route and its [`PathInfo`] from
+    /// `a` to `b`. This is the selector hot path: a hit costs one hash
+    /// lookup and an `Rc` clone; a miss materializes the route lazily
+    /// from the installed table — for a hierarchical table that is the
+    /// only time hop vectors are ever built.
+    pub fn resolve_route(
+        &self,
+        world: &SimWorld,
+        a: NodeId,
+        b: NodeId,
+    ) -> Option<Rc<ResolvedRoute>> {
+        let routes = self.routes.as_ref()?;
+        {
+            let mut cache = self.cache.borrow_mut();
+            if let Some(hit) = cache.entries.get(&(a, b)).cloned() {
+                cache.hits += 1;
+                return Some(hit);
+            }
+        }
+        let route = routes.route(a, b)?;
+        let cost = routes.cost(a, b).unwrap_or(0);
+        let info = PathInfo::for_route(world, &route, cost);
+        let resolved = Rc::new(ResolvedRoute { route, info });
+        let mut cache = self.cache.borrow_mut();
+        cache.misses += 1;
+        cache.insert((a, b), resolved.clone(), self.prefs.route_cache_capacity);
+        Some(resolved)
+    }
+
+    /// A snapshot of the route-cache counters.
+    pub fn route_cache_stats(&self) -> RouteCacheStats {
+        let c = self.cache.borrow();
+        RouteCacheStats {
+            hits: c.hits,
+            misses: c.misses,
+            evictions: c.evictions,
+            invalidations: c.invalidations,
+            len: c.entries.len(),
+        }
     }
 
     /// Times the selector resolved a relayed decision while
@@ -215,9 +350,8 @@ impl TopologyKb {
     /// under `refuse_plaintext_relay`. Full secure trunks are the ROADMAP
     /// follow-up.
     fn relayed(&self, world: &SimWorld, a: NodeId, b: NodeId) -> Option<LinkDecision> {
-        let routes = self.routes.as_ref()?;
-        let route = routes.route(a, b)?;
-        let first = route.first_hop()?;
+        let resolved = self.resolve_route(world, a, b)?;
+        let first = resolved.route.first_hop()?;
         if self.prefs.secure_inter_site {
             self.plaintext_relay_events
                 .set(self.plaintext_relay_events.get() + 1);
@@ -248,7 +382,7 @@ impl TopologyKb {
         Some(LinkDecision::Relayed {
             via: first.node,
             network,
-            hops: route.hop_count() as u32,
+            hops: resolved.info.hop_count as u32,
         })
     }
 
@@ -534,6 +668,110 @@ mod tests {
     }
 
     #[test]
+    fn route_cache_hits_after_first_resolution() {
+        let mut world = simnet::SimWorld::new(4);
+        let grid = gridtopo::GridTopology::two_sites(&mut world, 3);
+        let kb =
+            TopologyKb::with_routes(SelectorPreferences::default(), Rc::new(grid.routes.clone()));
+        let a1 = grid.site(0).node(1);
+        let b1 = grid.site(1).node(1);
+        let first = kb.resolve_route(&world, a1, b1).unwrap();
+        let stats = kb.route_cache_stats();
+        assert_eq!((stats.hits, stats.misses, stats.len), (0, 1, 1));
+        let second = kb.resolve_route(&world, a1, b1).unwrap();
+        assert!(
+            Rc::ptr_eq(&first, &second),
+            "hit shares the materialization"
+        );
+        assert_eq!(kb.route_cache_stats().hits, 1);
+        // The selector's relayed decisions ride the same cache.
+        let _ = kb.select_vlink(&world, a1, b1);
+        assert_eq!(kb.route_cache_stats().hits, 2);
+        assert_eq!(first.info.hop_count, 3);
+        assert_eq!(first.route.relays().count(), 2);
+    }
+
+    #[test]
+    fn route_cache_evicts_fifo_beyond_capacity() {
+        let mut world = simnet::SimWorld::new(4);
+        let grid = gridtopo::GridTopology::two_sites(&mut world, 4);
+        let kb = TopologyKb::with_routes(
+            SelectorPreferences {
+                route_cache_capacity: 2,
+                ..Default::default()
+            },
+            Rc::new(grid.routes.clone()),
+        );
+        let targets: Vec<_> = (1..4).map(|i| grid.site(1).node(i)).collect();
+        let src = grid.site(0).node(1);
+        for &t in &targets {
+            kb.resolve_route(&world, src, t).unwrap();
+        }
+        let stats = kb.route_cache_stats();
+        assert_eq!(stats.len, 2, "bounded at the configured capacity");
+        assert_eq!(stats.evictions, 1, "the oldest entry left FIFO");
+        // The evicted (oldest) pair resolves again as a miss.
+        kb.resolve_route(&world, src, targets[0]).unwrap();
+        assert_eq!(kb.route_cache_stats().misses, 4);
+    }
+
+    #[test]
+    fn stale_cache_is_invalidated_when_routes_are_recomputed() {
+        let mut world = simnet::SimWorld::new(4);
+        let grid = gridtopo::GridTopology::two_sites(&mut world, 3);
+        let mut kb =
+            TopologyKb::with_routes(SelectorPreferences::default(), Rc::new(grid.routes.clone()));
+        let a1 = grid.site(0).node(1);
+        let b1 = grid.site(1).node(1);
+        // Cached while the pair is gateway-relayed: 3 hops.
+        assert_eq!(kb.resolve_route(&world, a1, b1).unwrap().info.hop_count, 3);
+        assert!(kb.select_vlink(&world, a1, b1).is_relayed());
+        // The topology changes: a new LAN joins the two nodes directly.
+        let lan = world.add_network(simnet::NetworkSpec::ethernet_100());
+        world.attach(a1, lan);
+        world.attach(b1, lan);
+        // (The shortcut breaks gateway isolation, so the recomputed table
+        // is the flat oracle.) Installing it must invalidate the cache:
+        // a stale 3-hop entry would keep relaying a now-direct pair.
+        kb.set_routes(Rc::new(gridtopo::GridRoutes::Flat(
+            gridtopo::RouteTable::compute(&world),
+        )));
+        let stats = kb.route_cache_stats();
+        assert_eq!(stats.len, 0, "installation clears every entry");
+        assert_eq!(stats.invalidations, 1);
+        let fresh = kb.resolve_route(&world, a1, b1).unwrap();
+        assert_eq!(fresh.info.hop_count, 1, "resolved against the new table");
+        // And the link decision is now direct, not relayed.
+        assert_eq!(kb.select_vlink(&world, a1, b1), LinkDecision::Tcp(lan));
+    }
+
+    #[test]
+    fn clones_with_the_old_table_cannot_repopulate_a_new_tables_cache() {
+        let mut world = simnet::SimWorld::new(4);
+        let grid = gridtopo::GridTopology::two_sites(&mut world, 3);
+        let mut kb =
+            TopologyKb::with_routes(SelectorPreferences::default(), Rc::new(grid.routes.clone()));
+        let old_kb = kb.clone();
+        let a1 = grid.site(0).node(1);
+        let b1 = grid.site(1).node(1);
+        assert_eq!(kb.resolve_route(&world, a1, b1).unwrap().info.hop_count, 3);
+        // New direct LAN; the original installs a recomputed table.
+        let lan = world.add_network(simnet::NetworkSpec::ethernet_100());
+        world.attach(a1, lan);
+        world.attach(b1, lan);
+        kb.set_routes(Rc::new(gridtopo::GridRoutes::Flat(
+            gridtopo::RouteTable::compute(&world),
+        )));
+        // The clone still resolves against the old table (its own cache)…
+        assert_eq!(
+            old_kb.resolve_route(&world, a1, b1).unwrap().info.hop_count,
+            3
+        );
+        // …but must not leak that stale entry into the updated instance.
+        assert_eq!(kb.resolve_route(&world, a1, b1).unwrap().info.hop_count, 1);
+    }
+
+    #[test]
     fn backpressure_preference_defaults_to_drop() {
         let prefs = SelectorPreferences::default();
         assert_eq!(prefs.relay_backpressure, BackpressureMode::Drop);
@@ -555,7 +793,7 @@ mod tests {
         let mut world = simnet::SimWorld::new(4);
         let grid = gridtopo::GridTopology::two_sites(&mut world, 2);
         let island = world.add_node("island");
-        let routes = Rc::new(gridtopo::RouteTable::compute(&world));
+        let routes = Rc::new(GridRoutes::from(gridtopo::RouteTable::compute(&world)));
         let kb = TopologyKb::with_routes(SelectorPreferences::default(), routes);
         let _ = kb.select_vlink(&world, grid.site(0).node(1), island);
     }

@@ -36,7 +36,7 @@
 //! what it consumes), so accounting is conserved until both sides close.
 
 use std::cell::RefCell;
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::rc::Rc;
 
 use bytes::{Bytes, BytesMut};
@@ -73,6 +73,14 @@ pub struct TrunkFlowConfig {
     /// Consumed bytes the receiver batches before returning a `CREDIT`
     /// frame. Must be well below `initial_window` or the window starves.
     pub credit_grant_threshold: usize,
+    /// Aggregate byte budget shared by **all** streams of the trunk,
+    /// layered on the per-stream windows (`gateway_trunk_budget`
+    /// preference): the sum of unconsumed bytes in flight across the
+    /// whole trunk never exceeds it, so one gateway pair's total
+    /// store-and-forward memory is bounded — not just each stream's.
+    /// Senders that would exceed it park and resume in FIFO park order as
+    /// credits return. `0` disables the shared budget.
+    pub trunk_budget: usize,
 }
 
 impl Default for TrunkFlowConfig {
@@ -80,6 +88,7 @@ impl Default for TrunkFlowConfig {
         TrunkFlowConfig {
             initial_window: 256 * 1024,
             credit_grant_threshold: 32 * 1024,
+            trunk_budget: 0,
         }
     }
 }
@@ -107,6 +116,30 @@ pub struct TrunkCreditStats {
     /// Peak occupancy of the receive buffer (the occupancy bound the
     /// window is supposed to enforce).
     pub recv_high_water: usize,
+}
+
+/// Memory accounting of one trunk end: the shared-budget state on the
+/// sending side and the aggregate receive-buffer occupancy on the
+/// receiving side. With `trunk_budget` set on the peer, `recv_high_water`
+/// never exceeds the budget — the bound a gateway's total
+/// store-and-forward memory rests on.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TrunkMemoryStats {
+    /// The configured shared budget (0 when unbounded).
+    pub budget: usize,
+    /// Budget bytes currently unspent (equals `budget` when idle).
+    pub budget_available: usize,
+    /// Unconsumed bytes currently sitting in this trunk's per-stream
+    /// receive buffers.
+    pub recv_occupancy: usize,
+    /// Peak of `recv_occupancy` over the trunk's lifetime.
+    pub recv_high_water: usize,
+    /// Streams currently parked for want of window or budget.
+    pub parked_streams: usize,
+    /// Peak receive-buffer occupancy of any single live stream
+    /// ([`transport::SegBuf::high_water`] of its buffer): bounded by the
+    /// per-stream `initial_window`.
+    pub max_stream_high_water: usize,
 }
 
 type TrunkAcceptCallback = Box<dyn FnMut(&mut SimWorld, TrunkStream)>;
@@ -160,6 +193,16 @@ impl StreamState {
     }
 }
 
+/// Sender-side shared-budget state of one trunk (present only when
+/// [`TrunkFlowConfig::trunk_budget`] is non-zero).
+#[derive(Debug, Clone, Copy)]
+struct BudgetState {
+    /// The configured budget (the cap `left` recovers towards).
+    cap: usize,
+    /// Bytes of budget currently unspent.
+    left: usize,
+}
+
 struct MuxInner {
     carrier: Rc<dyn ByteStream>,
     /// Reassembly buffer for mux frames arriving on the carrier.
@@ -167,6 +210,16 @@ struct MuxInner {
     streams: HashMap<u32, Rc<RefCell<StreamState>>>,
     next_id: u32,
     flow: Option<TrunkFlowConfig>,
+    /// Shared send budget across every stream of this trunk, if bounded.
+    budget: Option<BudgetState>,
+    /// Streams with parked bytes, in the order they first parked: budget
+    /// returned by credits is re-offered in this (deterministic) order.
+    parked_order: VecDeque<u32>,
+    /// Receiver side of the budget bound: total unconsumed bytes sitting
+    /// in this trunk's per-stream receive buffers, and its peak. With the
+    /// peer enforcing a `trunk_budget`, the peak never exceeds it.
+    recv_occupancy: usize,
+    recv_high_water: usize,
     /// Bytes the carrier refused (it died or was closed under us); data
     /// already handed to a dead carrier is lost, not silently retried.
     lost_bytes: u64,
@@ -210,7 +263,17 @@ impl TrunkMux {
                 f.credit_grant_threshold <= f.initial_window && f.initial_window > 0,
                 "credit grant threshold must not exceed the window"
             );
+            assert!(
+                f.trunk_budget == 0 || f.trunk_budget >= f.credit_grant_threshold,
+                "a trunk budget below the credit grant threshold can never be refilled"
+            );
         }
+        let budget = flow.and_then(|f| {
+            (f.trunk_budget > 0).then_some(BudgetState {
+                cap: f.trunk_budget,
+                left: f.trunk_budget,
+            })
+        });
         let mux = TrunkMux {
             inner: Rc::new(RefCell::new(MuxInner {
                 carrier: carrier.clone(),
@@ -218,6 +281,10 @@ impl TrunkMux {
                 streams: HashMap::new(),
                 next_id: 1,
                 flow,
+                budget,
+                parked_order: VecDeque::new(),
+                recv_occupancy: 0,
+                recv_high_water: 0,
                 lost_bytes: 0,
                 on_accept,
             })),
@@ -264,6 +331,66 @@ impl TrunkMux {
     /// lost, exactly as bytes on a severed wire would be.
     pub fn lost_bytes(&self) -> u64 {
         self.inner.borrow().lost_bytes
+    }
+
+    /// Memory accounting of this trunk end (see [`TrunkMemoryStats`]).
+    pub fn memory_stats(&self) -> TrunkMemoryStats {
+        let inner = self.inner.borrow();
+        let mut parked = 0;
+        let mut max_stream_hw = 0;
+        for state in inner.streams.values() {
+            let st = state.borrow();
+            if !st.pending_tx.is_empty() {
+                parked += 1;
+            }
+            max_stream_hw = max_stream_hw.max(st.recv_buf.high_water());
+        }
+        TrunkMemoryStats {
+            budget: inner.budget.map_or(0, |b| b.cap),
+            budget_available: inner.budget.map_or(0, |b| b.left),
+            recv_occupancy: inner.recv_occupancy,
+            recv_high_water: inner.recv_high_water,
+            parked_streams: parked,
+            max_stream_high_water: max_stream_hw,
+        }
+    }
+
+    /// Remembers that `id` parked (has pending bytes), preserving
+    /// first-park FIFO order for deterministic resumption.
+    fn register_parked(&self, id: u32) {
+        let mut inner = self.inner.borrow_mut();
+        if !inner.parked_order.contains(&id) {
+            inner.parked_order.push_back(id);
+        }
+    }
+
+    /// Offers newly returned budget/window to every parked stream, in the
+    /// order they first parked. Each stream flushes what its own window
+    /// and the shared budget allow; streams that drained completely leave
+    /// the park queue.
+    fn replenish_parked(&self, world: &mut SimWorld) {
+        let ids: Vec<u32> = self.inner.borrow().parked_order.iter().copied().collect();
+        for id in ids {
+            let state = self.inner.borrow().streams.get(&id).cloned();
+            if let Some(state) = state {
+                TrunkStream {
+                    mux: self.clone(),
+                    state,
+                }
+                .flush_pending(world);
+            }
+        }
+        let mut inner = self.inner.borrow_mut();
+        let MuxInner {
+            parked_order,
+            streams,
+            ..
+        } = &mut *inner;
+        parked_order.retain(|id| {
+            streams
+                .get(id)
+                .is_some_and(|s| !s.borrow().pending_tx.is_empty())
+        });
     }
 
     /// True once the underlying carrier is finished (the far end closed or
@@ -321,20 +448,46 @@ impl TrunkMux {
             if kind == KIND_CREDIT {
                 // Window refill for a stream this side sends on. A credit
                 // for an id we no longer track is stale (the stream was
-                // reaped after both closes) and is ignored — it must never
-                // fabricate a fresh stream through the accept path.
+                // reaped after both closes) and only refills the shared
+                // budget below — it must never fabricate a fresh stream
+                // through the accept path.
                 if payload.len() != 4 {
                     continue;
                 }
                 let amount =
                     u32::from_be_bytes([payload[0], payload[1], payload[2], payload[3]]) as usize;
+                // The shared trunk budget is returned at the mux level,
+                // regardless of whether the stream still exists: every
+                // credited byte was budget-deducted when it went out, so
+                // dropping returns for reaped streams would leak the
+                // budget away across stream lifetimes.
+                {
+                    let mut inner = self.inner.borrow_mut();
+                    if let Some(b) = inner.budget.as_mut() {
+                        b.left = (b.left + amount).min(b.cap);
+                    }
+                }
                 let state = self.inner.borrow().streams.get(&id).cloned();
-                if let Some(state) = state {
-                    let stream = TrunkStream {
+                if let Some(state) = &state {
+                    let mut st = state.borrow_mut();
+                    st.credits_received += amount as u64;
+                    st.send_window = st.send_window.saturating_add(amount);
+                }
+                if self.inner.borrow().budget.is_some() {
+                    // Shared budget freed: offer it strictly in the order
+                    // streams first parked — the credited stream flushes
+                    // at its own FIFO position, never ahead of older
+                    // parked streams.
+                    self.replenish_parked(world);
+                } else if let Some(state) = state {
+                    // Per-stream windows only: no shared resource was
+                    // freed, so only the credited stream can have gained
+                    // sendable allowance.
+                    TrunkStream {
                         mux: self.clone(),
                         state,
-                    };
-                    stream.on_credit(world, amount);
+                    }
+                    .flush_pending(world);
                 }
                 continue;
             }
@@ -357,7 +510,12 @@ impl TrunkMux {
             {
                 let mut st = state.borrow_mut();
                 match kind {
-                    KIND_DATA => st.recv_buf.push_bytes(payload),
+                    KIND_DATA => {
+                        let mut inner = self.inner.borrow_mut();
+                        inner.recv_occupancy += payload.len();
+                        inner.recv_high_water = inner.recv_high_water.max(inner.recv_occupancy);
+                        st.recv_buf.push_bytes(payload);
+                    }
                     KIND_CLOSE => st.peer_closed = true,
                     _ => {} // unknown kind: ignore
                 }
@@ -366,6 +524,13 @@ impl TrunkMux {
                 mux: self.clone(),
                 state: state.clone(),
             };
+            if kind == KIND_CLOSE {
+                // If the consumer already drained everything, the final
+                // sub-threshold credit batch flushes now — a shared trunk
+                // budget must recover those bytes even though the stream
+                // is ending.
+                stream.flush_final_credits(world);
+            }
             // Both directions closed (and our own CLOSE actually sent):
             // the carrier's ordering guarantees no further frame with this
             // id, so the demux entry can go (live handles keep the state
@@ -492,15 +657,28 @@ impl TrunkStream {
                 return len;
             }
             let mut head = data;
-            if st.flow.is_some() && head.len() > st.send_window {
-                let tail = head.split_off(st.send_window);
-                st.pending_tx.push_bytes(tail);
-                if st.stall_started.is_none() {
-                    st.stall_started = Some(world.now());
-                }
-            }
             if st.flow.is_some() {
+                // The window and the shared trunk budget both gate what
+                // goes on the carrier; the stricter one wins and the
+                // excess parks.
+                let allowance = {
+                    let inner = self.mux.inner.borrow();
+                    inner
+                        .budget
+                        .map_or(st.send_window, |b| st.send_window.min(b.left))
+                };
+                if head.len() > allowance {
+                    let tail = head.split_off(allowance);
+                    st.pending_tx.push_bytes(tail);
+                    self.mux.register_parked(st.id);
+                    if st.stall_started.is_none() {
+                        st.stall_started = Some(world.now());
+                    }
+                }
                 st.send_window -= head.len();
+                if let Some(b) = self.mux.inner.borrow_mut().budget.as_mut() {
+                    b.left -= head.len();
+                }
             }
             (st.id, split_frames(head))
         };
@@ -510,26 +688,23 @@ impl TrunkStream {
         len
     }
 
-    /// A `CREDIT` frame refilled the window: flush parked bytes in order.
-    fn on_credit(&self, world: &mut SimWorld, amount: usize) {
-        {
-            let mut st = self.state.borrow_mut();
-            st.credits_received += amount as u64;
-            st.send_window = st.send_window.saturating_add(amount);
-        }
-        self.flush_pending(world);
-    }
-
     fn flush_pending(&self, world: &mut SimWorld) {
         loop {
             let next = {
                 let mut st = self.state.borrow_mut();
-                if st.pending_tx.is_empty() || st.send_window == 0 {
+                let budget_left = {
+                    let inner = self.mux.inner.borrow();
+                    inner.budget.map_or(usize::MAX, |b| b.left)
+                };
+                if st.pending_tx.is_empty() || st.send_window == 0 || budget_left == 0 {
                     None
                 } else {
-                    let n = st.send_window.min(MAX_FRAME_PAYLOAD);
+                    let n = st.send_window.min(budget_left).min(MAX_FRAME_PAYLOAD);
                     let chunk = st.pending_tx.pop_chunk(n);
                     st.send_window -= chunk.len();
+                    if let Some(b) = self.mux.inner.borrow_mut().budget.as_mut() {
+                        b.left -= chunk.len();
+                    }
                     Some((st.id, chunk))
                 }
             };
@@ -568,12 +743,31 @@ impl TrunkStream {
         if n == 0 {
             return;
         }
+        {
+            let mut inner = self.mux.inner.borrow_mut();
+            inner.recv_occupancy = inner.recv_occupancy.saturating_sub(n);
+        }
         let grant = {
             let mut st = self.state.borrow_mut();
             st.bytes_consumed += n as u64;
             let Some(flow) = st.flow else { return };
             st.consumed_unreturned += n;
-            if st.consumed_unreturned >= flow.credit_grant_threshold {
+            // A stream whose peer closed and whose buffer just drained
+            // returns its final sub-threshold batch immediately: with a
+            // shared trunk budget those bytes must come back even though
+            // no further consume will ever reach the threshold. With a
+            // shared budget, *every* drain-to-empty flushes the batch:
+            // otherwise N open-but-idle streams could each pin up to
+            // (threshold - 1) consumed bytes and starve the whole trunk
+            // of budget even though all data was delivered. (This trades
+            // some CREDIT-frame batching for liveness: a keeping-up
+            // consumer grants roughly once per carrier delivery burst
+            // instead of once per threshold batch — any fixed batching
+            // floor would re-open the starvation for enough streams.)
+            let stream_done = st.peer_closed && st.recv_buf.is_empty();
+            let budget_drain = flow.trunk_budget != 0 && st.recv_buf.is_empty();
+            if st.consumed_unreturned >= flow.credit_grant_threshold || stream_done || budget_drain
+            {
                 let g = st.consumed_unreturned;
                 st.consumed_unreturned = 0;
                 st.credits_granted += g as u64;
@@ -584,6 +778,36 @@ impl TrunkStream {
         };
         if let Some((id, granted)) = grant {
             // Large consumes may exceed u32: return in frame-sized slices.
+            let mut left = granted;
+            while left > 0 {
+                let part = left.min(u32::MAX as usize);
+                self.mux
+                    .send_frame(world, id, KIND_CREDIT, credit_payload(part));
+                left -= part;
+            }
+        }
+    }
+
+    /// Flushes any unreturned credit batch of a stream whose peer closed
+    /// and whose receive buffer is already empty (the consumer drained it
+    /// before the `CLOSE` arrived).
+    fn flush_final_credits(&self, world: &mut SimWorld) {
+        let grant = {
+            let mut st = self.state.borrow_mut();
+            if st.flow.is_none()
+                || !st.peer_closed
+                || !st.recv_buf.is_empty()
+                || st.consumed_unreturned == 0
+            {
+                None
+            } else {
+                let g = st.consumed_unreturned;
+                st.consumed_unreturned = 0;
+                st.credits_granted += g as u64;
+                Some((st.id, g))
+            }
+        };
+        if let Some((id, granted)) = grant {
             let mut left = granted;
             while left > 0 {
                 let part = left.min(u32::MAX as usize);
@@ -812,6 +1036,7 @@ mod tests {
     const SMALL_FLOW: TrunkFlowConfig = TrunkFlowConfig {
         initial_window: 4 * 1024,
         credit_grant_threshold: 1024,
+        trunk_budget: 0,
     };
 
     #[test]
@@ -911,6 +1136,145 @@ mod tests {
             SMALL_FLOW.initial_window,
             "window + in-flight batch == initial window"
         );
+    }
+
+    #[test]
+    fn trunk_budget_bounds_aggregate_occupancy_across_streams() {
+        // Per-stream windows of 4 KiB would admit 16 KiB for 4 streams;
+        // the shared 6 KiB budget must cap the *sum* instead.
+        let flow = TrunkFlowConfig {
+            trunk_budget: 6 * 1024,
+            ..SMALL_FLOW
+        };
+        let mut world = SimWorld::new(0);
+        world.add_node("n");
+        let (mux, acceptor, accepted) = mux_pair_flow(&world, Some(flow));
+        let streams: Vec<TrunkStream> = (0..4).map(|_| mux.open()).collect();
+        let data: Vec<Vec<u8>> = (0..4)
+            .map(|s| (0..5_000usize).map(|i| (i + s * 31) as u8).collect())
+            .collect();
+        for (s, d) in streams.iter().zip(&data) {
+            assert_eq!(s.send(&mut world, d), d.len(), "send accepts everything");
+        }
+        // Wire-resident bytes across all four streams never exceed the
+        // budget, so the receiving side's aggregate occupancy is bounded.
+        assert_eq!(mux.memory_stats().budget_available, 0);
+        assert!(mux.memory_stats().parked_streams >= 3);
+        world.run();
+        assert!(
+            acceptor.memory_stats().recv_high_water <= flow.trunk_budget,
+            "aggregate receive occupancy must respect the trunk budget: {:?}",
+            acceptor.memory_stats()
+        );
+        // Draining the receivers cycles credits; everything arrives
+        // intact and in order, and the budget recovers fully.
+        let mut got: Vec<Vec<u8>> = vec![Vec::new(); 4];
+        loop {
+            let mut progressed = false;
+            for (i, rx) in accepted.borrow().iter().enumerate() {
+                let chunk = rx.recv(&mut world, 1500);
+                if !chunk.is_empty() {
+                    got[i].extend(chunk);
+                    progressed = true;
+                }
+            }
+            world.run();
+            if !progressed && got.iter().map(Vec::len).sum::<usize>() == 4 * 5_000 {
+                break;
+            }
+            assert!(
+                acceptor.memory_stats().recv_occupancy <= flow.trunk_budget,
+                "occupancy bound must hold throughout the drain"
+            );
+        }
+        assert_eq!(got, data, "no loss, reorder or cross-stream corruption");
+        let m = mux.memory_stats();
+        assert_eq!(m.parked_streams, 0, "{m:?}");
+        // All four streams' credits eventually restore the full budget.
+        assert!(
+            m.budget_available + 4 * SMALL_FLOW.credit_grant_threshold > flow.trunk_budget,
+            "budget recovers up to the unreturned grant batches: {m:?}"
+        );
+        // Per-stream windows still hold individually.
+        for rx in accepted.borrow().iter() {
+            assert!(rx.credit_stats().recv_high_water <= SMALL_FLOW.initial_window);
+        }
+    }
+
+    #[test]
+    fn sub_threshold_consumption_cannot_pin_the_budget() {
+        // Several open streams each consume less than the grant
+        // threshold; batched credits alone would never return, pinning
+        // the whole shared budget with every buffer empty. Drain-to-empty
+        // grants must recover it so later traffic still flows.
+        let flow = TrunkFlowConfig {
+            initial_window: 4 * 1024,
+            credit_grant_threshold: 2 * 1024,
+            trunk_budget: 4 * 1024,
+        };
+        let mut world = SimWorld::new(0);
+        world.add_node("n");
+        let (mux, _acceptor, accepted) = mux_pair_flow(&world, Some(flow));
+        let streams: Vec<TrunkStream> = (0..3).map(|_| mux.open()).collect();
+        for (i, s) in streams.iter().enumerate() {
+            // 2000 bytes: below the 2048 grant threshold.
+            s.send_all(&mut world, &[i as u8; 2000]);
+        }
+        world.run();
+        // Consume everything; streams stay open (no CLOSE to force the
+        // final grant).
+        let mut drained = 0;
+        loop {
+            let before = drained;
+            for rx in accepted.borrow().iter() {
+                drained += rx.recv(&mut world, usize::MAX).len();
+            }
+            world.run();
+            if drained == before {
+                break;
+            }
+        }
+        assert_eq!(drained, 3 * 2000, "all three transfers complete");
+        assert_eq!(
+            mux.memory_stats().budget_available,
+            flow.trunk_budget,
+            "drained streams must return their sub-threshold batches"
+        );
+        // The trunk is still usable: a fourth burst flows through.
+        streams[0].send_all(&mut world, &[9u8; 3000]);
+        world.run();
+        let a0 = accepted.borrow()[0].clone();
+        assert_eq!(a0.recv(&mut world, usize::MAX), vec![9u8; 3000]);
+    }
+
+    #[test]
+    fn trunk_budget_recovers_after_streams_close() {
+        // Sub-threshold tails and stream teardown must return their
+        // budget: otherwise successive short streams leak it to zero.
+        let flow = TrunkFlowConfig {
+            initial_window: 4 * 1024,
+            credit_grant_threshold: 1024,
+            trunk_budget: 4 * 1024,
+        };
+        let mut world = SimWorld::new(0);
+        world.add_node("n");
+        let (mux, _acceptor, accepted) = mux_pair_flow(&world, Some(flow));
+        for round in 0..8 {
+            let s = mux.open();
+            // 1.5 KiB: above the grant threshold only once, leaving a
+            // sub-threshold tail that only the final grant returns.
+            s.send_all(&mut world, &[round as u8; 1536]);
+            s.close(&mut world);
+            world.run();
+            let rx = accepted.borrow().last().cloned().unwrap();
+            assert_eq!(rx.recv_all(&mut world), vec![round as u8; 1536]);
+            world.run();
+            assert_eq!(
+                mux.memory_stats().budget_available,
+                flow.trunk_budget,
+                "round {round}: the full budget must return once the peer drains"
+            );
+        }
     }
 
     #[test]

@@ -11,7 +11,8 @@
 
 use simnet::{NetworkId, NetworkSpec, NodeId, SimWorld};
 
-use crate::route::RouteTable;
+use crate::hier::{HierRouteTable, SiteLayout};
+use crate::route::GridRoutes;
 
 /// Description of one site to build.
 #[derive(Debug, Clone)]
@@ -90,8 +91,13 @@ pub struct GridTopology {
     pub sites: Vec<Site>,
     /// The backbone (inter-site) networks, in build order.
     pub backbones: Vec<NetworkId>,
-    /// Routes between every pair of nodes of the grid.
-    pub routes: RouteTable,
+    /// Site membership metadata (node → site, gateway per site), the input
+    /// of the hierarchical route computation.
+    pub layout: SiteLayout,
+    /// Routes between every pair of nodes of the grid. Hierarchical by
+    /// default (per-site tables + a gateway backbone, cost-equal to the
+    /// flat all-pairs oracle); see [`GridRoutes`].
+    pub routes: GridRoutes,
 }
 
 impl GridTopology {
@@ -195,9 +201,20 @@ impl GridTopology {
         self.sites.iter().map(|s| s.gateway).collect()
     }
 
-    /// Recomputes the routing table (after manual topology edits).
+    /// Recomputes the routing table (after manual topology edits),
+    /// preserving the current flavour (hierarchical or flat).
     pub fn recompute_routes(&mut self, world: &SimWorld) {
-        self.routes = RouteTable::compute(world);
+        self.routes = match &self.routes {
+            GridRoutes::Hier(_) => GridRoutes::Hier(HierRouteTable::compute(world, &self.layout)),
+            GridRoutes::Flat(_) => GridRoutes::Flat(crate::route::RouteTable::compute(world)),
+        };
+    }
+
+    /// Swaps the installed routes for the flat all-pairs oracle (exact
+    /// same costs on gateway-isolated grids; O(N²) storage — ablation and
+    /// oracle checks only).
+    pub fn use_flat_routes(&mut self, world: &SimWorld) {
+        self.routes = GridRoutes::Flat(crate::route::RouteTable::compute(world));
     }
 }
 
@@ -229,10 +246,16 @@ fn build_site(world: &mut SimWorld, spec: &SiteSpec) -> Site {
 }
 
 fn finish(world: &SimWorld, sites: Vec<Site>, backbones: Vec<NetworkId>) -> GridTopology {
+    let mut layout = SiteLayout::new();
+    for site in &sites {
+        layout.add_site(site.gateway, site.nodes.iter().copied());
+    }
+    let routes = GridRoutes::Hier(HierRouteTable::compute(world, &layout));
     GridTopology {
         sites,
         backbones,
-        routes: RouteTable::compute(world),
+        layout,
+        routes,
     }
 }
 
@@ -251,7 +274,10 @@ mod tests {
         assert!(w.networks_between(a1, b1).is_empty());
         // …but a route exists, through both gateways.
         let route = g.routes.route(a1, b1).unwrap();
-        assert_eq!(route.relays(), vec![g.site(0).gateway, g.site(1).gateway]);
+        assert_eq!(
+            route.relays().collect::<Vec<_>>(),
+            vec![g.site(0).gateway, g.site(1).gateway]
+        );
         assert_eq!(route.hop_count(), 3);
         // Intra-site pairs still reach each other directly over the SAN.
         let a2 = g.site(0).node(2);
@@ -294,7 +320,7 @@ mod tests {
             .route(g.site(0).gateway, g.site(2).gateway)
             .unwrap();
         assert_eq!(r.hop_count(), 2);
-        assert_eq!(r.relays().len(), 1);
+        assert_eq!(r.relays().count(), 1);
     }
 
     #[test]

@@ -35,7 +35,7 @@ use std::rc::Rc;
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use simnet::{Frame, NodeId, ProtoId, SimDuration, SimRng, SimTime, SimWorld};
 
-use crate::route::{Hop, RouteTable};
+use crate::route::{GridRoutes, Hop};
 
 /// Encapsulation header: dst(4) + src(4) + port(2) + ttl(1).
 const RELAY_HEADER_BYTES: usize = 11;
@@ -215,7 +215,7 @@ struct FaultInjector {
 }
 
 struct FabricInner {
-    routes: RouteTable,
+    routes: GridRoutes,
     config: RelayConfig,
     gateways: HashMap<NodeId, GatewayState>,
     endpoints: HashMap<(NodeId, u16), EndpointCallback>,
@@ -266,11 +266,13 @@ pub struct RelayFabric {
 }
 
 impl RelayFabric {
-    /// Creates a relay fabric over the given routing table.
-    pub fn new(routes: RouteTable, config: RelayConfig) -> RelayFabric {
+    /// Creates a relay fabric over the given routing table (flat or
+    /// hierarchical; both [`RouteTable`] and
+    /// [`crate::hier::HierRouteTable`] convert into [`GridRoutes`]).
+    pub fn new(routes: impl Into<GridRoutes>, config: RelayConfig) -> RelayFabric {
         RelayFabric {
             inner: Rc::new(RefCell::new(FabricInner {
-                routes,
+                routes: routes.into(),
                 config,
                 gateways: HashMap::new(),
                 endpoints: HashMap::new(),
@@ -287,12 +289,12 @@ impl RelayFabric {
     }
 
     /// Replaces the routing table (after a topology change).
-    pub fn set_routes(&self, routes: RouteTable) {
-        self.inner.borrow_mut().routes = routes;
+    pub fn set_routes(&self, routes: impl Into<GridRoutes>) {
+        self.inner.borrow_mut().routes = routes.into();
     }
 
     /// Runs `f` with a borrow of the routing table.
-    pub fn with_routes<R>(&self, f: impl FnOnce(&RouteTable) -> R) -> R {
+    pub fn with_routes<R>(&self, f: impl FnOnce(&GridRoutes) -> R) -> R {
         f(&self.inner.borrow().routes)
     }
 
@@ -802,6 +804,7 @@ fn decode(wire: &Bytes) -> Option<(NodeId, NodeId, u16, u8)> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::route::RouteTable;
     use simnet::NetworkSpec;
     use std::cell::Cell;
 

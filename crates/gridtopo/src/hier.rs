@@ -1,0 +1,483 @@
+//! Two-level hierarchical routing: per-site tables + a gateway backbone.
+//!
+//! The flat [`RouteTable`](crate::route::RouteTable) runs Dijkstra from
+//! every node over the whole clique-expanded world — O(N·E log N) build
+//! time and O(N²) next-hop storage, which caps it around 10³ nodes. Real
+//! grids are not flat: fast homogeneous networks live *inside* a site,
+//! slow heterogeneous WANs *between* sites, and every cross-site path is
+//! forced through the site gateways. [`HierRouteTable`] exploits exactly
+//! that structure:
+//!
+//! 1. **intra-site tables** — all-pairs Dijkstra computed per site, over
+//!    that site's local subgraph only (its nodes, its SAN/LAN fabrics);
+//! 2. **a backbone table** — one node per gateway, edges from the
+//!    WAN/backbone networks, its own small all-pairs Dijkstra;
+//! 3. **a composed resolver** — `source → local gateway → backbone gateway
+//!    path → destination gateway → destination`, materialized lazily per
+//!    lookup (and memoized by the selector's route cache upstream).
+//!
+//! Build cost collapses from O(N·E log N) to O(Σ per-site work +
+//! G·E_wan log G) and storage from O(N²) to O(Σ site² + G²). On a
+//! gateway-isolated grid (only gateways touch inter-site networks — what
+//! every [`crate::builder::GridTopology`] builder produces) the composed
+//! routes are **cost-equal** to the flat oracle on every reachable pair:
+//! any flat path between different sites must cross both gateways, its
+//! intra-site prefix/suffix cannot beat the site-local shortest path (the
+//! only exit is the gateway itself), and its gateway-to-gateway middle
+//! visits only gateway nodes, i.e. lives entirely in the backbone graph.
+
+use std::collections::HashMap;
+use std::mem::size_of;
+
+use simnet::{NetworkId, NodeId, SimWorld};
+
+use crate::route::{dijkstra_subgraph, map_bytes, Hop, PathInfo, Route};
+
+/// Site membership metadata of a hierarchical grid: which site each node
+/// belongs to and which node is each site's gateway. Produced by the
+/// [`crate::builder::GridTopology`] builders; hand-built layouts are
+/// supported through [`SiteLayout::add_site`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SiteLayout {
+    /// Node → site index.
+    site_of: HashMap<NodeId, usize>,
+    /// Per site: the member nodes, in registration order.
+    sites: Vec<Vec<NodeId>>,
+    /// Per site: the gateway node (the only member allowed on inter-site
+    /// networks).
+    gateways: Vec<NodeId>,
+}
+
+impl SiteLayout {
+    /// An empty layout.
+    pub fn new() -> SiteLayout {
+        SiteLayout::default()
+    }
+
+    /// Registers one site from its gateway and member nodes (the gateway
+    /// must be among the members). Returns the site index.
+    pub fn add_site(&mut self, gateway: NodeId, nodes: impl IntoIterator<Item = NodeId>) -> usize {
+        let index = self.sites.len();
+        let nodes: Vec<NodeId> = nodes.into_iter().collect();
+        assert!(
+            nodes.contains(&gateway),
+            "site gateway {gateway} must be one of the site's nodes"
+        );
+        for &n in &nodes {
+            let prev = self.site_of.insert(n, index);
+            assert!(prev.is_none(), "node {n} registered in two sites");
+        }
+        self.sites.push(nodes);
+        self.gateways.push(gateway);
+        index
+    }
+
+    /// The site `node` belongs to, if registered.
+    pub fn site_of(&self, node: NodeId) -> Option<usize> {
+        self.site_of.get(&node).copied()
+    }
+
+    /// The gateway of site `site`.
+    pub fn gateway(&self, site: usize) -> NodeId {
+        self.gateways[site]
+    }
+
+    /// Every gateway, in site order.
+    pub fn gateways(&self) -> &[NodeId] {
+        &self.gateways
+    }
+
+    /// The member nodes of site `site`, in registration order.
+    pub fn site_nodes(&self, site: usize) -> &[NodeId] {
+        &self.sites[site]
+    }
+
+    /// Number of sites.
+    pub fn site_count(&self) -> usize {
+        self.sites.len()
+    }
+
+    /// Total number of registered nodes.
+    pub fn node_count(&self) -> usize {
+        self.site_of.len()
+    }
+}
+
+/// Two-level hierarchical routing tables: per-site next hops plus a
+/// gateway-level backbone, composed lazily per lookup. See the module
+/// docs for the cost model and the cost-equality argument.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct HierRouteTable {
+    layout: SiteLayout,
+    /// Next hop / cost for ordered pairs *within* one site (pairs across
+    /// sites never appear here, so one map serves every site).
+    intra_next: HashMap<(NodeId, NodeId), Hop>,
+    intra_cost: HashMap<(NodeId, NodeId), u64>,
+    /// Next hop / cost for ordered *gateway* pairs over the backbone
+    /// graph.
+    bb_next: HashMap<(NodeId, NodeId), Hop>,
+    bb_cost: HashMap<(NodeId, NodeId), u64>,
+}
+
+impl HierRouteTable {
+    /// Computes the two-level tables for `world` under `layout`.
+    ///
+    /// Networks are classified by membership: a network whose members all
+    /// belong to one site is part of that site's local subgraph; a network
+    /// spanning several sites is a backbone link and **must** touch only
+    /// gateway nodes (the gateway-isolated invariant every
+    /// [`crate::builder::GridTopology`] builder maintains — violating it
+    /// panics, because the two-level decomposition would silently return
+    /// wrong costs). Networks with members outside the layout are ignored:
+    /// the hierarchical table covers the grid's own nodes only.
+    ///
+    /// Deterministic: same creation order in, bit-identical tables out.
+    pub fn compute(world: &SimWorld, layout: &SiteLayout) -> HierRouteTable {
+        let mut site_nets: Vec<Vec<NetworkId>> = vec![Vec::new(); layout.site_count()];
+        let mut backbone_nets: Vec<NetworkId> = Vec::new();
+        'nets: for net in world.network_ids() {
+            let members = world.network(net).members();
+            let mut seen_site: Option<usize> = None;
+            let mut spans_sites = false;
+            for &m in members {
+                let Some(site) = layout.site_of(m) else {
+                    // A member outside the layout: the network is not part
+                    // of the grid; skip it entirely.
+                    continue 'nets;
+                };
+                match seen_site {
+                    None => seen_site = Some(site),
+                    Some(s) if s != site => spans_sites = true,
+                    Some(_) => {}
+                }
+            }
+            if spans_sites {
+                for &m in members {
+                    let site = layout.site_of(m).expect("checked above");
+                    assert!(
+                        layout.gateway(site) == m,
+                        "hierarchical routing requires gateway-isolated sites: network \
+                         {net} spans sites but node {m} is not its site's gateway"
+                    );
+                }
+                backbone_nets.push(net);
+            } else if let Some(site) = seen_site {
+                site_nets[site].push(net);
+            }
+        }
+
+        let mut table = HierRouteTable {
+            layout: layout.clone(),
+            ..Default::default()
+        };
+        for (site, nets) in site_nets.iter().enumerate() {
+            let nodes = layout.site_nodes(site);
+            dijkstra_subgraph(
+                world,
+                nodes,
+                nets,
+                nodes,
+                &mut table.intra_next,
+                &mut table.intra_cost,
+            );
+        }
+        dijkstra_subgraph(
+            world,
+            layout.gateways(),
+            &backbone_nets,
+            layout.gateways(),
+            &mut table.bb_next,
+            &mut table.bb_cost,
+        );
+        table
+    }
+
+    /// The site layout the table was computed under.
+    pub fn layout(&self) -> &SiteLayout {
+        &self.layout
+    }
+
+    /// Decomposes the `src → dst` lookup into its up-to-three legs:
+    /// `(intra src→gw_s, backbone gw_s→gw_d, intra gw_d→dst)`, where the
+    /// endpoints of an empty leg coincide. Returns `None` when either node
+    /// is outside the layout or any leg is unreachable.
+    #[allow(clippy::type_complexity)]
+    fn legs(
+        &self,
+        src: NodeId,
+        dst: NodeId,
+    ) -> Option<(
+        Option<(NodeId, NodeId)>,
+        Option<(NodeId, NodeId)>,
+        Option<(NodeId, NodeId)>,
+    )> {
+        let ss = self.layout.site_of(src)?;
+        let ds = self.layout.site_of(dst)?;
+        if ss == ds {
+            if src == dst {
+                return Some((None, None, None));
+            }
+            return self.intra_cost.contains_key(&(src, dst)).then_some((
+                Some((src, dst)),
+                None,
+                None,
+            ));
+        }
+        let gs = self.layout.gateway(ss);
+        let gd = self.layout.gateway(ds);
+        let up = if src == gs {
+            None
+        } else {
+            if !self.intra_cost.contains_key(&(src, gs)) {
+                return None;
+            }
+            Some((src, gs))
+        };
+        if !self.bb_cost.contains_key(&(gs, gd)) {
+            return None;
+        }
+        let down = if gd == dst {
+            None
+        } else {
+            if !self.intra_cost.contains_key(&(gd, dst)) {
+                return None;
+            }
+            Some((gd, dst))
+        };
+        Some((up, Some((gs, gd)), down))
+    }
+
+    /// Whether any route (direct or relayed) exists from `src` to `dst`.
+    pub fn reachable(&self, src: NodeId, dst: NodeId) -> bool {
+        self.legs(src, dst).is_some()
+    }
+
+    /// The additive path cost from `src` to `dst` (0 for `src == dst`),
+    /// if a route exists. Cost-equal to the flat oracle on every
+    /// reachable pair of a gateway-isolated grid.
+    pub fn cost(&self, src: NodeId, dst: NodeId) -> Option<u64> {
+        let (up, bb, down) = self.legs(src, dst)?;
+        let leg = |m: &HashMap<(NodeId, NodeId), u64>, l: Option<(NodeId, NodeId)>| {
+            l.map_or(0, |pair| m[&pair])
+        };
+        Some(leg(&self.intra_cost, up) + leg(&self.bb_cost, bb) + leg(&self.intra_cost, down))
+    }
+
+    /// The next hop from `src` towards `dst`, if a route exists. O(1):
+    /// the composed route is never materialized.
+    pub fn next_hop(&self, src: NodeId, dst: NodeId) -> Option<Hop> {
+        let (up, bb, down) = self.legs(src, dst)?;
+        if let Some(pair) = up {
+            return self.intra_next.get(&pair).copied();
+        }
+        if let Some(pair) = bb {
+            return self.bb_next.get(&pair).copied();
+        }
+        let pair = down?;
+        self.intra_next.get(&pair).copied()
+    }
+
+    /// The full route from `src` to `dst`, materialized lazily from the
+    /// three legs (the selector's route cache memoizes the result).
+    pub fn route(&self, src: NodeId, dst: NodeId) -> Option<Route> {
+        let (up, bb, down) = self.legs(src, dst)?;
+        let mut hops = Vec::new();
+        if let Some(pair) = up {
+            self.walk(&self.intra_next, pair, &mut hops)?;
+        }
+        if let Some(pair) = bb {
+            self.walk(&self.bb_next, pair, &mut hops)?;
+        }
+        if let Some(pair) = down {
+            self.walk(&self.intra_next, pair, &mut hops)?;
+        }
+        Some(Route { src, dst, hops })
+    }
+
+    /// Aggregate path characteristics for the route from `src` to `dst`.
+    pub fn path_info(&self, world: &SimWorld, src: NodeId, dst: NodeId) -> Option<PathInfo> {
+        let route = self.route(src, dst)?;
+        let cost = self.cost(src, dst)?;
+        Some(PathInfo::for_route(world, &route, cost))
+    }
+
+    /// Appends the hops of one leg by walking its next-hop map.
+    fn walk(
+        &self,
+        next: &HashMap<(NodeId, NodeId), Hop>,
+        (from, to): (NodeId, NodeId),
+        hops: &mut Vec<Hop>,
+    ) -> Option<()> {
+        let mut at = from;
+        while at != to {
+            let hop = next.get(&(at, to)).copied()?;
+            hops.push(hop);
+            at = hop.node;
+            assert!(
+                hops.len() <= next.len() + 1,
+                "routing loop from {from} to {to}"
+            );
+        }
+        Some(())
+    }
+
+    /// Number of stored table entries (intra-site pairs + backbone pairs)
+    /// — the O(Σ site² + G²) that replaces the flat table's O(N²).
+    pub fn table_entries(&self) -> usize {
+        self.intra_next.len() + self.bb_next.len()
+    }
+
+    /// Estimated resident bytes of the tables (same estimator as
+    /// [`crate::route::RouteTable::table_bytes`]).
+    pub fn table_bytes(&self) -> usize {
+        let hop_entry = size_of::<(NodeId, NodeId)>() + size_of::<Hop>();
+        let cost_entry = size_of::<(NodeId, NodeId)>() + size_of::<u64>();
+        map_bytes(self.intra_next.len() + self.bb_next.len(), hop_entry)
+            + map_bytes(self.intra_cost.len() + self.bb_cost.len(), cost_entry)
+            + self.layout.node_count() * (size_of::<NodeId>() + size_of::<usize>() + 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{GridTopology, SiteSpec};
+    use crate::route::RouteTable;
+    use simnet::NetworkSpec;
+
+    /// Flat oracle comparison over every ordered pair of the grid.
+    fn assert_cost_equal(world: &SimWorld, grid: &GridTopology) {
+        let flat = RouteTable::compute(world);
+        let hier = match &grid.routes {
+            crate::route::GridRoutes::Hier(h) => h.clone(),
+            other => panic!("builders must default to hierarchical routes, got {other:?}"),
+        };
+        let nodes = grid.all_nodes();
+        for &a in &nodes {
+            for &b in &nodes {
+                assert_eq!(
+                    flat.reachable(a, b),
+                    hier.reachable(a, b),
+                    "reachability of {a} -> {b}"
+                );
+                assert_eq!(flat.cost(a, b), hier.cost(a, b), "cost of {a} -> {b}");
+                // The composed route, when it exists, must be a valid
+                // walk whose per-hop costs sum to the claimed total.
+                if let Some(route) = hier.route(a, b) {
+                    let mut at = a;
+                    let mut sum = 0;
+                    for hop in &route.hops {
+                        assert!(world.network(hop.network).members().contains(&at));
+                        assert!(world.network(hop.network).members().contains(&hop.node));
+                        sum += crate::route::link_cost(world, hop.network);
+                        at = hop.node;
+                    }
+                    assert_eq!(at, b);
+                    assert_eq!(Some(sum), hier.cost(a, b));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn star_grid_matches_flat_oracle() {
+        let mut w = SimWorld::new(1);
+        let grid = GridTopology::star(
+            &mut w,
+            &[
+                SiteSpec::san_cluster("a", 4),
+                SiteSpec::lan_cluster("b", 3),
+                SiteSpec::san_cluster("c", 2),
+            ],
+            NetworkSpec::vthd_wan(),
+        );
+        assert_cost_equal(&w, &grid);
+    }
+
+    #[test]
+    fn ring_grid_matches_flat_oracle() {
+        let mut w = SimWorld::new(2);
+        let specs: Vec<SiteSpec> = (0..5)
+            .map(|i| SiteSpec::lan_cluster(format!("s{i}"), 1 + i % 3))
+            .collect();
+        let grid = GridTopology::ring(&mut w, &specs, NetworkSpec::vthd_wan());
+        assert_cost_equal(&w, &grid);
+    }
+
+    #[test]
+    fn cluster_of_clusters_matches_flat_oracle() {
+        let mut w = SimWorld::new(3);
+        let regions = vec![
+            vec![
+                SiteSpec::san_cluster("eu-a", 3),
+                SiteSpec::lan_cluster("eu-b", 2),
+            ],
+            vec![
+                SiteSpec::san_cluster("us-a", 2),
+                SiteSpec::san_cluster("us-b", 3),
+            ],
+        ];
+        let grid = GridTopology::cluster_of_clusters(
+            &mut w,
+            &regions,
+            NetworkSpec::vthd_wan(),
+            NetworkSpec::lossy_internet(),
+        );
+        assert_cost_equal(&w, &grid);
+    }
+
+    #[test]
+    fn next_hop_chain_reaches_the_destination() {
+        let mut w = SimWorld::new(4);
+        let grid = GridTopology::two_sites(&mut w, 3);
+        let hier = match &grid.routes {
+            crate::route::GridRoutes::Hier(h) => h.clone(),
+            _ => unreachable!(),
+        };
+        let src = grid.site(0).node(1);
+        let dst = grid.site(1).node(2);
+        // Walking next_hop hop by hop (what the relay fabric does) must
+        // converge on the destination along the composed route.
+        let route = hier.route(src, dst).unwrap();
+        let mut at = src;
+        let mut walked = Vec::new();
+        while at != dst {
+            let hop = hier.next_hop(at, dst).expect("chain stays reachable");
+            walked.push(hop);
+            at = hop.node;
+            assert!(walked.len() <= 16, "next-hop chain must terminate");
+        }
+        assert_eq!(walked, route.hops);
+    }
+
+    #[test]
+    fn nodes_outside_the_layout_are_unreachable() {
+        let mut w = SimWorld::new(5);
+        let grid = GridTopology::two_sites(&mut w, 2);
+        let island = w.add_node("island");
+        let hier = HierRouteTable::compute(&w, &grid.layout);
+        assert!(!hier.reachable(grid.site(0).node(1), island));
+        assert!(hier.cost(island, grid.site(0).gateway).is_none());
+        assert!(hier.route(island, island).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "gateway-isolated")]
+    fn non_gateway_on_a_backbone_network_is_refused() {
+        let mut w = SimWorld::new(6);
+        let grid = GridTopology::two_sites(&mut w, 3);
+        // Attach a plain worker of site 0 straight to the backbone.
+        w.attach(grid.site(0).node(1), grid.backbones[0]);
+        let _ = HierRouteTable::compute(&w, &grid.layout);
+    }
+
+    #[test]
+    fn recomputation_is_deterministic() {
+        let build = || {
+            let mut w = SimWorld::new(7);
+            let grid = GridTopology::two_sites(&mut w, 3);
+            HierRouteTable::compute(&w, &grid.layout)
+        };
+        assert_eq!(build(), build());
+    }
+}

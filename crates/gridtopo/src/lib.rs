@@ -8,16 +8,21 @@
 //! * [`builder`] — [`GridTopology`] builders for star-of-sites,
 //!   backbone-ring and cluster-of-clusters layouts, where each site is a
 //!   SAN+LAN cluster and only its *gateway* node touches the backbone;
-//! * [`route`] — all-pairs multi-hop routes ([`RouteTable`], [`Route`],
-//!   [`PathInfo`]) computed by Dijkstra over per-link costs with
-//!   deterministic tie-breaking;
+//! * [`route`] — multi-hop routes ([`Route`], [`PathInfo`]) behind the
+//!   [`GridRoutes`] enum: the flat all-pairs [`RouteTable`] (Dijkstra
+//!   over per-link costs with deterministic tie-breaking, kept as the
+//!   correctness oracle) and the scalable default,
+//! * [`hier`] — the two-level [`HierRouteTable`]: per-site tables over
+//!   each site's local subgraph plus a gateway-level backbone table,
+//!   composed lazily per lookup and *cost-equal* to the flat oracle on
+//!   gateway-isolated grids;
 //! * [`gateway`] — [`RelayFabric`], store-and-forward relay agents on
 //!   gateway nodes with per-hop latency, bounded queues and drop /
 //!   backpressure accounting.
 //!
-//! The `padico_core` selector consumes [`RouteTable`]/[`PathInfo`] so that
+//! The `padico_core` selector consumes [`GridRoutes`]/[`PathInfo`] so that
 //! endpoints sharing no network resolve to a *relayed* link decision
-//! instead of failing.
+//! instead of failing, memoizing resolved routes in its bounded cache.
 //!
 //! ## Example
 //!
@@ -45,10 +50,12 @@
 
 pub mod builder;
 pub mod gateway;
+pub mod hier;
 pub mod route;
 
 pub use builder::{GridTopology, Site, SiteSpec};
 pub use gateway::{
     BackpressureMode, GatewayStats, RelayConfig, RelayError, RelayFabric, RelayedMessage,
 };
-pub use route::{link_cost, Hop, PathInfo, Route, RouteTable};
+pub use hier::{HierRouteTable, SiteLayout};
+pub use route::{link_cost, GridRoutes, Hop, PathInfo, Route, RouteTable};

@@ -62,14 +62,14 @@ impl Route {
     }
 
     /// The intermediate relay (gateway) nodes, excluding the endpoints.
-    pub fn relays(&self) -> Vec<NodeId> {
-        if self.hops.len() <= 1 {
-            return Vec::new();
-        }
-        self.hops[..self.hops.len() - 1]
-            .iter()
-            .map(|h| h.node)
-            .collect()
+    ///
+    /// Borrows from the route instead of allocating: routing hot paths
+    /// (the selector, the relay fabric) call this per decision, so it must
+    /// not build a fresh `Vec` each time. Collect only when ownership is
+    /// actually needed.
+    pub fn relays(&self) -> impl Iterator<Item = NodeId> + '_ {
+        let end = self.hops.len().saturating_sub(1);
+        self.hops[..end].iter().map(|h| h.node)
     }
 }
 
@@ -94,6 +94,38 @@ pub struct PathInfo {
     pub worst_class: NetworkClass,
     /// The additive route cost used by Dijkstra (nanosecond scale).
     pub cost: u64,
+}
+
+impl PathInfo {
+    /// Aggregates the characteristics of `route` over `world`'s network
+    /// specs; `cost` is the route's additive Dijkstra cost. Shared by
+    /// every route-table implementation so a given route always yields the
+    /// same `PathInfo` no matter which resolver produced it.
+    pub fn for_route(world: &SimWorld, route: &Route, cost: u64) -> PathInfo {
+        let mut total_latency = SimDuration::ZERO;
+        let mut bottleneck = f64::INFINITY;
+        let mut min_mtu = usize::MAX;
+        let mut worst = NetworkClass::Loopback;
+        let mut networks = Vec::with_capacity(route.hops.len());
+        for hop in &route.hops {
+            let spec = &world.network(hop.network).spec;
+            total_latency += spec.latency;
+            bottleneck = bottleneck.min(spec.bytes_per_sec);
+            min_mtu = min_mtu.min(spec.mtu);
+            worst = worst.max(spec.class);
+            networks.push(hop.network);
+        }
+        PathInfo {
+            hop_count: route.hop_count(),
+            relays: route.relays().collect(),
+            networks,
+            total_latency,
+            bottleneck_bytes_per_sec: bottleneck,
+            min_mtu,
+            worst_class: worst,
+            cost,
+        }
+    }
 }
 
 /// Per-source shortest-path state used for deterministic tie-breaking:
@@ -145,6 +177,124 @@ pub fn link_cost(world: &SimWorld, network: NetworkId) -> u64 {
     latency_ns + ser_ns + HOP_PENALTY_NS
 }
 
+/// All-pairs Dijkstra restricted to a subgraph: only `nodes` are routable,
+/// only `networks` contribute edges (members outside `nodes` are ignored),
+/// and only `sources` are expanded. Next hops and path costs land in the
+/// two maps. This is the single Dijkstra core shared by the flat
+/// [`RouteTable`] (whole world, every source) and the hierarchical
+/// [`crate::hier::HierRouteTable`] (one call per site subgraph plus one for
+/// the gateway backbone), with identical deterministic tie-breaking.
+pub(crate) fn dijkstra_subgraph(
+    world: &SimWorld,
+    nodes: &[NodeId],
+    networks: &[NetworkId],
+    sources: &[NodeId],
+    next: &mut HashMap<(NodeId, NodeId), Hop>,
+    cost: &mut HashMap<(NodeId, NodeId), u64>,
+) {
+    let n = nodes.len();
+    // Dense node index. NodeIds are allocated contiguously from 0 in
+    // practice, but the map keeps this correct for any id scheme (and for
+    // site subgraphs, whose node ids are not contiguous).
+    let index: HashMap<NodeId, usize> = nodes.iter().enumerate().map(|(i, &id)| (id, i)).collect();
+
+    // Clique expansion of every network, built once and shared by all
+    // sources: node index -> [(neighbour index, network, link cost)],
+    // in (network, neighbour) creation order for determinism.
+    let mut adj: Vec<Vec<(usize, NetworkId, u64)>> = vec![Vec::new(); n];
+    for &net in networks {
+        let c = link_cost(world, net);
+        let members = world.network(net).members();
+        for &u in members {
+            let Some(&ui) = index.get(&u) else { continue };
+            for &v in members {
+                if u != v {
+                    if let Some(&vi) = index.get(&v) {
+                        adj[ui].push((vi, net, c));
+                    }
+                }
+            }
+        }
+    }
+
+    // Per-source scratch, reallocated once per source (flat vectors, no
+    // hashing on the hot relaxation path).
+    for &src in sources {
+        let si = index[&src];
+        let mut best: Vec<Option<Entry>> = vec![None; n];
+        // Predecessor hop on the best path: index -> (prev index, hop).
+        let mut prev: Vec<Option<(usize, Hop)>> = vec![None; n];
+        let mut heap: BinaryHeap<(Entry, usize)> = BinaryHeap::new();
+        let start = Entry {
+            cost: 0,
+            hops: 0,
+            network: 0,
+            node: src.0,
+        };
+        best[si] = Some(start);
+        heap.push((start, si));
+
+        while let Some((entry, ui)) = heap.pop() {
+            if best[ui] != Some(entry) {
+                continue; // stale heap entry
+            }
+            for &(vi, net, link) in &adj[ui] {
+                let cand = Entry {
+                    cost: entry.cost + link,
+                    hops: entry.hops + 1,
+                    network: net.0,
+                    node: nodes[ui].0,
+                };
+                let better = match best[vi] {
+                    None => true,
+                    Some(cur) => {
+                        (cand.cost, cand.hops, cand.network, cand.node)
+                            < (cur.cost, cur.hops, cur.network, cur.node)
+                    }
+                };
+                if better {
+                    best[vi] = Some(cand);
+                    prev[vi] = Some((
+                        ui,
+                        Hop {
+                            network: net,
+                            node: nodes[vi],
+                        },
+                    ));
+                    heap.push((cand, vi));
+                }
+            }
+        }
+
+        for (di, entry) in best.iter().enumerate() {
+            let Some(entry) = entry else { continue };
+            if di == si {
+                continue;
+            }
+            let dst = nodes[di];
+            cost.insert((src, dst), entry.cost);
+            // Walk predecessors back to the first hop out of `src`.
+            let mut at = di;
+            let mut first = None;
+            while at != si {
+                let (p, hop) = prev[at].expect("non-src node has a predecessor");
+                first = Some(hop);
+                at = p;
+            }
+            next.insert((src, dst), first.expect("non-src node has a predecessor"));
+        }
+    }
+}
+
+/// Estimated resident bytes of hash maps holding `entries` (key, value)
+/// pairs: payload plus one control byte per slot, over the table's maximum
+/// load factor. An estimate of the *payload* footprint, deliberately
+/// ignoring allocator slack, so flat/hierarchical comparisons are
+/// apples-to-apples.
+pub(crate) fn map_bytes(entries: usize, key_val_bytes: usize) -> usize {
+    ((entries as f64) * ((key_val_bytes + 1) as f64) / 0.875) as usize
+}
+
 impl RouteTable {
     /// Computes routes between every pair of nodes in `world`.
     ///
@@ -158,98 +308,38 @@ impl RouteTable {
     /// computation into one adjacency pass plus index-addressed relaxation.
     pub fn compute(world: &SimWorld) -> RouteTable {
         let nodes = world.node_ids();
-        let n = nodes.len();
-        // Dense node index. NodeIds are allocated contiguously from 0 in
-        // practice, but the map keeps this correct for any id scheme.
-        let index: HashMap<NodeId, usize> =
-            nodes.iter().enumerate().map(|(i, &id)| (id, i)).collect();
-
-        // Clique expansion of every network, built once and shared by all
-        // sources: node index -> [(neighbour index, network, link cost)],
-        // in (network, neighbour) creation order for determinism.
-        let mut adj: Vec<Vec<(usize, NetworkId, u64)>> = vec![Vec::new(); n];
-        for net in world.network_ids() {
-            let cost = link_cost(world, net);
-            let members = world.network(net).members();
-            for &u in members {
-                let ui = index[&u];
-                for &v in members {
-                    if u != v {
-                        adj[ui].push((index[&v], net, cost));
-                    }
-                }
-            }
-        }
-
+        let networks = world.network_ids();
         let mut table = RouteTable::default();
-        // Per-source scratch, reallocated once per source (flat vectors,
-        // no hashing on the hot relaxation path).
-        for (si, &src) in nodes.iter().enumerate() {
-            let mut best: Vec<Option<Entry>> = vec![None; n];
-            // Predecessor hop on the best path: index -> (prev index, hop).
-            let mut prev: Vec<Option<(usize, Hop)>> = vec![None; n];
-            let mut heap: BinaryHeap<(Entry, usize)> = BinaryHeap::new();
-            let start = Entry {
-                cost: 0,
-                hops: 0,
-                network: 0,
-                node: src.0,
-            };
-            best[si] = Some(start);
-            heap.push((start, si));
+        dijkstra_subgraph(
+            world,
+            &nodes,
+            &networks,
+            &nodes,
+            &mut table.next,
+            &mut table.cost,
+        );
+        table
+    }
 
-            while let Some((entry, ui)) = heap.pop() {
-                if best[ui] != Some(entry) {
-                    continue; // stale heap entry
-                }
-                for &(vi, net, link) in &adj[ui] {
-                    let cand = Entry {
-                        cost: entry.cost + link,
-                        hops: entry.hops + 1,
-                        network: net.0,
-                        node: nodes[ui].0,
-                    };
-                    let better = match best[vi] {
-                        None => true,
-                        Some(cur) => {
-                            (cand.cost, cand.hops, cand.network, cand.node)
-                                < (cur.cost, cur.hops, cur.network, cur.node)
-                        }
-                    };
-                    if better {
-                        best[vi] = Some(cand);
-                        prev[vi] = Some((
-                            ui,
-                            Hop {
-                                network: net,
-                                node: nodes[vi],
-                            },
-                        ));
-                        heap.push((cand, vi));
-                    }
-                }
-            }
-
-            for (di, entry) in best.iter().enumerate() {
-                let Some(entry) = entry else { continue };
-                if di == si {
-                    continue;
-                }
-                let dst = nodes[di];
-                table.cost.insert((src, dst), entry.cost);
-                // Walk predecessors back to the first hop out of `src`.
-                let mut at = di;
-                let mut first = None;
-                while at != si {
-                    let (p, hop) = prev[at].expect("non-src node has a predecessor");
-                    first = Some(hop);
-                    at = p;
-                }
-                table
-                    .next
-                    .insert((src, dst), first.expect("non-src node has a predecessor"));
-            }
-        }
+    /// Computes routes from the given `sources` only (to every node of the
+    /// world), with the exact same algorithm and tie-breaking as
+    /// [`RouteTable::compute`]. Restricting the source set makes the flat
+    /// table usable as a *sampled oracle* at node counts where the full
+    /// all-pairs table would not fit in memory: the per-source work is
+    /// identical, so build time extrapolates linearly and per-pair costs
+    /// are exact for every sampled source.
+    pub fn compute_from_sources(world: &SimWorld, sources: &[NodeId]) -> RouteTable {
+        let nodes = world.node_ids();
+        let networks = world.network_ids();
+        let mut table = RouteTable::default();
+        dijkstra_subgraph(
+            world,
+            &nodes,
+            &networks,
+            sources,
+            &mut table.next,
+            &mut table.cost,
+        );
         table
     }
 
@@ -380,38 +470,128 @@ impl RouteTable {
     /// Aggregate path characteristics for the route from `src` to `dst`.
     pub fn path_info(&self, world: &SimWorld, src: NodeId, dst: NodeId) -> Option<PathInfo> {
         let route = self.route(src, dst)?;
-        let mut total_latency = SimDuration::ZERO;
-        let mut bottleneck = f64::INFINITY;
-        let mut min_mtu = usize::MAX;
-        let mut worst = NetworkClass::Loopback;
-        let mut networks = Vec::with_capacity(route.hops.len());
-        for hop in &route.hops {
-            let spec = &world.network(hop.network).spec;
-            total_latency += spec.latency;
-            bottleneck = bottleneck.min(spec.bytes_per_sec);
-            min_mtu = min_mtu.min(spec.mtu);
-            worst = worst.max(spec.class);
-            networks.push(hop.network);
+        let cost = self.cost.get(&(src, dst)).copied().unwrap_or(0);
+        Some(PathInfo::for_route(world, &route, cost))
+    }
+
+    /// The additive path cost from `src` to `dst` (0 for `src == dst`),
+    /// if a route exists.
+    pub fn cost(&self, src: NodeId, dst: NodeId) -> Option<u64> {
+        if src == dst {
+            return Some(0);
         }
-        if route.hops.is_empty() {
-            bottleneck = f64::INFINITY;
-            min_mtu = usize::MAX;
-        }
-        Some(PathInfo {
-            hop_count: route.hop_count(),
-            relays: route.relays(),
-            networks,
-            total_latency,
-            bottleneck_bytes_per_sec: bottleneck,
-            min_mtu,
-            worst_class: worst,
-            cost: self.cost.get(&(src, dst)).copied().unwrap_or(0),
-        })
+        self.cost.get(&(src, dst)).copied()
     }
 
     /// Number of ordered, distinct reachable pairs in the table.
     pub fn reachable_pairs(&self) -> usize {
         self.next.len()
+    }
+
+    /// Estimated resident bytes of the table (next-hop map + cost map).
+    pub fn table_bytes(&self) -> usize {
+        use std::mem::size_of;
+        map_bytes(
+            self.next.len(),
+            size_of::<(NodeId, NodeId)>() + size_of::<Hop>(),
+        ) + map_bytes(
+            self.cost.len(),
+            size_of::<(NodeId, NodeId)>() + size_of::<u64>(),
+        )
+    }
+}
+
+/// The routing table installed on a grid: either the flat all-pairs
+/// [`RouteTable`] (the seed behaviour, kept as the correctness oracle) or
+/// the two-level [`HierRouteTable`](crate::hier::HierRouteTable). The two
+/// are *cost-equal* on every reachable pair of a gateway-isolated grid —
+/// paths may differ where ties allow, but never their additive cost — so
+/// callers can treat the enum as one resolver.
+///
+/// The equivalence covers the grid's own nodes: a hierarchical table only
+/// knows the nodes of its [`SiteLayout`](crate::hier::SiteLayout) (a node
+/// outside it is unreachable, even from itself), while a flat table
+/// computed over the same world also answers for world nodes outside the
+/// grid (and reports every node self-reachable at cost 0).
+#[derive(Debug, Clone, PartialEq)]
+pub enum GridRoutes {
+    /// Flat all-pairs Dijkstra over the clique-expanded world graph:
+    /// O(N·E log N) build, O(N²) storage. Exact oracle, infeasible at
+    /// production scale.
+    Flat(RouteTable),
+    /// Two-level hierarchy: per-site tables + a gateway backbone table,
+    /// composed lazily per lookup. O(Σ site work + G·E_wan log G) build,
+    /// O(Σ site² + G²) storage.
+    Hier(crate::hier::HierRouteTable),
+}
+
+impl GridRoutes {
+    /// Short label for logs and bench output.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            GridRoutes::Flat(_) => "flat",
+            GridRoutes::Hier(_) => "hier",
+        }
+    }
+
+    /// Whether any route (direct or relayed) exists from `src` to `dst`.
+    pub fn reachable(&self, src: NodeId, dst: NodeId) -> bool {
+        match self {
+            GridRoutes::Flat(t) => t.reachable(src, dst),
+            GridRoutes::Hier(t) => t.reachable(src, dst),
+        }
+    }
+
+    /// The next hop from `src` towards `dst`, if a route exists.
+    pub fn next_hop(&self, src: NodeId, dst: NodeId) -> Option<Hop> {
+        match self {
+            GridRoutes::Flat(t) => t.next_hop(src, dst),
+            GridRoutes::Hier(t) => t.next_hop(src, dst),
+        }
+    }
+
+    /// The full route from `src` to `dst`, if reachable.
+    pub fn route(&self, src: NodeId, dst: NodeId) -> Option<Route> {
+        match self {
+            GridRoutes::Flat(t) => t.route(src, dst),
+            GridRoutes::Hier(t) => t.route(src, dst),
+        }
+    }
+
+    /// The additive path cost from `src` to `dst`, if reachable.
+    pub fn cost(&self, src: NodeId, dst: NodeId) -> Option<u64> {
+        match self {
+            GridRoutes::Flat(t) => t.cost(src, dst),
+            GridRoutes::Hier(t) => t.cost(src, dst),
+        }
+    }
+
+    /// Aggregate path characteristics for the route from `src` to `dst`.
+    pub fn path_info(&self, world: &SimWorld, src: NodeId, dst: NodeId) -> Option<PathInfo> {
+        match self {
+            GridRoutes::Flat(t) => t.path_info(world, src, dst),
+            GridRoutes::Hier(t) => t.path_info(world, src, dst),
+        }
+    }
+
+    /// Estimated resident bytes of the installed tables.
+    pub fn table_bytes(&self) -> usize {
+        match self {
+            GridRoutes::Flat(t) => t.table_bytes(),
+            GridRoutes::Hier(t) => t.table_bytes(),
+        }
+    }
+}
+
+impl From<RouteTable> for GridRoutes {
+    fn from(t: RouteTable) -> GridRoutes {
+        GridRoutes::Flat(t)
+    }
+}
+
+impl From<crate::hier::HierRouteTable> for GridRoutes {
+    fn from(t: crate::hier::HierRouteTable) -> GridRoutes {
+        GridRoutes::Hier(t)
     }
 }
 
@@ -477,7 +657,7 @@ mod tests {
             ]
         );
         assert!(r.is_relayed());
-        assert_eq!(r.relays(), vec![g, h]);
+        assert_eq!(r.relays().collect::<Vec<_>>(), vec![g, h]);
         let info = t.path_info(&w, a, b).unwrap();
         assert_eq!(info.hop_count, 3);
         assert_eq!(info.worst_class, NetworkClass::Wan);

@@ -30,5 +30,5 @@ pub use corba::{cdr_decode, cdr_encode, IdlValue, ObjRef, Orb, OrbImpl};
 pub use cost::MiddlewareCost;
 pub use hla::{Federate, RtiGateway};
 pub use javasock::{JavaServerSocket, JavaSocket};
-pub use mpi::{MpiComm, MpiMessage, ANY_SOURCE, ANY_TAG};
+pub use mpi::{CommTopology, MpiComm, MpiMessage, ANY_SOURCE, ANY_TAG};
 pub use soap::{SoapCall, SoapEndpoint};

@@ -12,8 +12,9 @@ use std::collections::VecDeque;
 use std::rc::Rc;
 
 use bytes::Bytes;
+use gridtopo::GridRoutes;
 use padico_core::Circuit;
-use simnet::SimWorld;
+use simnet::{NodeId, SimWorld};
 
 use crate::cost::MiddlewareCost;
 
@@ -38,6 +39,115 @@ pub struct MpiMessage {
 
 type RecvCallback = Box<dyn FnOnce(&mut SimWorld, MpiMessage)>;
 
+/// Site decomposition of a communicator, derived from the grid's routing
+/// tables: two ranks share a site iff the [`PathInfo`] between their
+/// nodes never leaves intra-site network classes (SAN/LAN — gateways of
+/// *different* sites reach each other directly, but over a WAN), and each
+/// site's *leader* is also chosen from [`PathInfo`] — the member rank
+/// closest (by route cost) to the site's gateway, i.e. to the first relay
+/// of any cross-site path. Topology-aware collectives reduce within sites
+/// first and cross the WAN only between leaders.
+///
+/// [`PathInfo`]: gridtopo::PathInfo
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CommTopology {
+    /// Rank → site index.
+    site_of: Vec<usize>,
+    /// Site → leader rank.
+    leaders: Vec<usize>,
+    /// Site → member ranks, in rank order.
+    sites: Vec<Vec<usize>>,
+}
+
+impl CommTopology {
+    /// Derives the decomposition for the given group nodes over `routes`.
+    ///
+    /// Site membership is transitive on a grid (every pair within a site
+    /// shares its SAN/LAN), so each rank is compared against **one
+    /// representative per known site** — O(ranks × sites) `PathInfo`
+    /// materializations, not O(ranks²) — and the gateway of a site is
+    /// read off a single cross-site `PathInfo`.
+    pub fn from_routes(world: &SimWorld, nodes: &[NodeId], routes: &GridRoutes) -> CommTopology {
+        let n = nodes.len();
+        let mut site_of = vec![usize::MAX; n];
+        let mut sites: Vec<Vec<usize>> = Vec::new();
+        for i in 0..n {
+            let found = sites.iter().position(|members| {
+                let rep = nodes[members[0]];
+                nodes[i] == rep
+                    || routes
+                        .path_info(world, rep, nodes[i])
+                        .is_some_and(|info| info.worst_class <= simnet::NetworkClass::Lan)
+            });
+            match found {
+                Some(s) => {
+                    site_of[i] = s;
+                    sites[s].push(i);
+                }
+                None => {
+                    site_of[i] = sites.len();
+                    sites.push(vec![i]);
+                }
+            }
+        }
+        // Leader per site: the gateway is the first relay on any
+        // cross-site PathInfo from this site (one representative pair
+        // suffices); the leader is the member with the cheapest route
+        // towards it (the gateway itself, if it is a member), ties
+        // broken by rank.
+        let mut leaders = Vec::with_capacity(sites.len());
+        for (s, members) in sites.iter().enumerate() {
+            let gateway = sites.iter().enumerate().find_map(|(other, peer)| {
+                if other == s {
+                    return None;
+                }
+                routes
+                    .path_info(world, nodes[members[0]], nodes[peer[0]])
+                    .and_then(|info| info.relays.first().copied())
+            });
+            let leader = match gateway {
+                Some(gw) => members
+                    .iter()
+                    .copied()
+                    .min_by_key(|&m| (routes.cost(nodes[m], gw).unwrap_or(u64::MAX), m))
+                    .expect("sites are never empty"),
+                None => members[0],
+            };
+            leaders.push(leader);
+        }
+        CommTopology {
+            site_of,
+            leaders,
+            sites,
+        }
+    }
+
+    /// Number of sites spanned by the communicator.
+    pub fn site_count(&self) -> usize {
+        self.sites.len()
+    }
+
+    /// The site `rank` belongs to.
+    pub fn site_of(&self, rank: usize) -> usize {
+        self.site_of[rank]
+    }
+
+    /// The leader rank of `site`.
+    pub fn leader(&self, site: usize) -> usize {
+        self.leaders[site]
+    }
+
+    /// The member ranks of `site`.
+    pub fn site_ranks(&self, site: usize) -> &[usize] {
+        &self.sites[site]
+    }
+
+    /// Whether a message between the two ranks crosses a site boundary.
+    pub fn is_inter_site(&self, a: usize, b: usize) -> bool {
+        self.site_of[a] != self.site_of[b]
+    }
+}
+
 struct PostedRecv {
     src: Option<usize>,
     tag: Option<i32>,
@@ -52,6 +162,10 @@ struct Inner {
     coll_seq: i32,
     messages_sent: u64,
     bytes_sent: u64,
+    /// Site decomposition, when installed: collectives become
+    /// topology-aware and inter-site messages are counted.
+    topology: Option<Rc<CommTopology>>,
+    inter_site_msgs: u64,
 }
 
 /// An MPI communicator bound to one Circuit.
@@ -78,6 +192,8 @@ impl MpiComm {
                 coll_seq: 0,
                 messages_sent: 0,
                 bytes_sent: 0,
+                topology: None,
+                inter_site_msgs: 0,
             })),
         };
         let c = comm.clone();
@@ -121,6 +237,30 @@ impl MpiComm {
         (st.messages_sent, st.bytes_sent)
     }
 
+    /// Installs the site decomposition derived from the grid's routing
+    /// tables. From here on [`MpiComm::allreduce_sum`] runs the
+    /// topology-aware hierarchical algorithm when the communicator spans
+    /// several sites, and every sent message crossing a site boundary is
+    /// counted in [`MpiComm::inter_site_messages`]. Must be installed on
+    /// every rank's communicator (collectives mix the two algorithms
+    /// otherwise).
+    pub fn install_topology(&self, world: &SimWorld, routes: &GridRoutes) {
+        let group = self.inner.borrow().circuit.group();
+        let topo = Rc::new(CommTopology::from_routes(world, &group, routes));
+        self.inner.borrow_mut().topology = Some(topo);
+    }
+
+    /// The installed site decomposition, if any.
+    pub fn topology(&self) -> Option<Rc<CommTopology>> {
+        self.inner.borrow().topology.clone()
+    }
+
+    /// Messages this rank sent across a site boundary (0 until a
+    /// topology is installed).
+    pub fn inter_site_messages(&self) -> u64 {
+        self.inner.borrow().inter_site_msgs
+    }
+
     /// Sends `data` to `dst` with `tag` (buffered/eager semantics: the call
     /// returns immediately).
     pub fn send(&self, world: &mut SimWorld, dst: usize, tag: i32, data: &[u8]) {
@@ -128,6 +268,12 @@ impl MpiComm {
             let mut st = self.inner.borrow_mut();
             st.messages_sent += 1;
             st.bytes_sent += data.len() as u64;
+            let rank = st.circuit.my_rank();
+            if let Some(t) = &st.topology {
+                if t.is_inter_site(rank, dst) {
+                    st.inter_site_msgs += 1;
+                }
+            }
             (st.circuit.clone(), st.cost.send_cost(data.len()))
         };
         let header = Bytes::copy_from_slice(&tag.to_be_bytes());
@@ -308,8 +454,34 @@ impl MpiComm {
         }
     }
 
-    /// All-reduce (sum of one `f64`): every rank's `done` receives the total.
+    /// All-reduce (sum of one `f64`): every rank's `done` receives the
+    /// total.
+    ///
+    /// With a [`CommTopology`] installed (see
+    /// [`MpiComm::install_topology`]) and the communicator spanning
+    /// several sites, this runs the **topology-aware hierarchical**
+    /// algorithm — intra-site reduction to each site leader, one
+    /// gateway-level exchange among leaders, intra-site broadcast — which
+    /// sends `2·(S-1)` inter-site messages instead of the linear
+    /// reduce+broadcast's `2·(N - |root site|)`. Without a topology it
+    /// falls back to [`MpiComm::allreduce_sum_linear`].
     pub fn allreduce_sum(
+        &self,
+        world: &mut SimWorld,
+        value: f64,
+        done: impl FnOnce(&mut SimWorld, f64) + 'static,
+    ) {
+        let topo = self.inner.borrow().topology.clone();
+        match topo {
+            Some(t) if t.site_count() > 1 => self.allreduce_sum_hier(world, &t, value, done),
+            _ => self.allreduce_sum_linear(world, value, done),
+        }
+    }
+
+    /// The naive linear all-reduce (reduce to rank 0, then broadcast) —
+    /// the seed behaviour, kept as the flat baseline the routing bench
+    /// compares the hierarchical algorithm against.
+    pub fn allreduce_sum_linear(
         &self,
         world: &mut SimWorld,
         value: f64,
@@ -328,6 +500,145 @@ impl MpiComm {
                 },
             );
         });
+    }
+
+    /// Hierarchical all-reduce over the installed site decomposition:
+    ///
+    /// 1. non-leaders send their value to their site leader, which sums;
+    /// 2. non-root leaders send the site partial to the *root leader*
+    ///    (the leader of rank 0's site), which sums and returns the grand
+    ///    total to each leader — the only messages that cross the WAN;
+    /// 3. leaders broadcast the total within their site.
+    ///
+    /// Every rank must call the collective in the same order (three
+    /// collective tags are consumed on every rank, whatever its role).
+    fn allreduce_sum_hier(
+        &self,
+        world: &mut SimWorld,
+        topo: &Rc<CommTopology>,
+        value: f64,
+        done: impl FnOnce(&mut SimWorld, f64) + 'static,
+    ) {
+        let tag_reduce = self.next_coll_tag();
+        let tag_inter = self.next_coll_tag();
+        let tag_bcast = self.next_coll_tag();
+        let rank = self.rank();
+        let my_site = topo.site_of(rank);
+        let my_leader = topo.leader(my_site);
+        let root_leader = topo.leader(topo.site_of(0));
+
+        if rank != my_leader {
+            // Worker: contribute, then wait for the site broadcast.
+            self.send(world, my_leader, tag_reduce, &value.to_be_bytes());
+            self.recv(
+                world,
+                Some(my_leader),
+                Some(tag_bcast),
+                move |world, msg| {
+                    let t = f64::from_be_bytes(msg.data[0..8].try_into().unwrap());
+                    done(world, t);
+                },
+            );
+            return;
+        }
+
+        // Leader: sum the site's contributions, run the inter-site
+        // exchange, broadcast the total back into the site.
+        let comm = self.clone();
+        let topo2 = topo.clone();
+        let done = Rc::new(RefCell::new(Some(
+            Box::new(done) as Box<dyn FnOnce(&mut SimWorld, f64)>
+        )));
+        let finish = move |world: &mut SimWorld, total: f64| {
+            for &member in topo2.site_ranks(topo2.site_of(comm.rank())) {
+                if member != comm.rank() {
+                    comm.send(world, member, tag_bcast, &total.to_be_bytes());
+                }
+            }
+            if let Some(done) = done.borrow_mut().take() {
+                done(world, total);
+            }
+        };
+
+        let comm = self.clone();
+        let topo2 = topo.clone();
+        let inter = move |world: &mut SimWorld, partial: f64| {
+            if rank == root_leader {
+                // Collect the other sites' partials, then fan the grand
+                // total back out to their leaders.
+                let other_leaders: Vec<usize> = (0..topo2.site_count())
+                    .map(|s| topo2.leader(s))
+                    .filter(|&l| l != root_leader)
+                    .collect();
+                let total = Rc::new(RefCell::new(partial));
+                let remaining = Rc::new(RefCell::new(other_leaders.len()));
+                let finish = Rc::new(RefCell::new(Some(
+                    Box::new(finish) as Box<dyn FnOnce(&mut SimWorld, f64)>
+                )));
+                for &leader in &other_leaders {
+                    let total = total.clone();
+                    let remaining = remaining.clone();
+                    let finish = finish.clone();
+                    let comm2 = comm.clone();
+                    let leaders = other_leaders.clone();
+                    comm.recv(world, Some(leader), Some(tag_inter), move |world, msg| {
+                        let v = f64::from_be_bytes(msg.data[0..8].try_into().unwrap());
+                        *total.borrow_mut() += v;
+                        *remaining.borrow_mut() -= 1;
+                        if *remaining.borrow() == 0 {
+                            let t = *total.borrow();
+                            for &l in &leaders {
+                                comm2.send(world, l, tag_inter, &t.to_be_bytes());
+                            }
+                            if let Some(finish) = finish.borrow_mut().take() {
+                                finish(world, t);
+                            }
+                        }
+                    });
+                }
+            } else {
+                comm.send(world, root_leader, tag_inter, &partial.to_be_bytes());
+                let finish = RefCell::new(Some(finish));
+                comm.recv(
+                    world,
+                    Some(root_leader),
+                    Some(tag_inter),
+                    move |world, msg| {
+                        let t = f64::from_be_bytes(msg.data[0..8].try_into().unwrap());
+                        if let Some(finish) = finish.borrow_mut().take() {
+                            finish(world, t);
+                        }
+                    },
+                );
+            }
+        };
+
+        let workers = topo.site_ranks(my_site).len() - 1;
+        if workers == 0 {
+            inter(world, value);
+            return;
+        }
+        let partial = Rc::new(RefCell::new(value));
+        let remaining = Rc::new(RefCell::new(workers));
+        let inter = Rc::new(RefCell::new(Some(
+            Box::new(inter) as Box<dyn FnOnce(&mut SimWorld, f64)>
+        )));
+        for _ in 0..workers {
+            let partial = partial.clone();
+            let remaining = remaining.clone();
+            let inter = inter.clone();
+            self.recv(world, ANY_SOURCE, Some(tag_reduce), move |world, msg| {
+                let v = f64::from_be_bytes(msg.data[0..8].try_into().unwrap());
+                *partial.borrow_mut() += v;
+                *remaining.borrow_mut() -= 1;
+                if *remaining.borrow() == 0 {
+                    if let Some(inter) = inter.borrow_mut().take() {
+                        let p = *partial.borrow();
+                        inter(world, p);
+                    }
+                }
+            });
+        }
     }
 
     /// Gather: every rank contributes `data`; the root's `done` receives
@@ -522,6 +833,124 @@ mod tests {
         world.run();
         for i in 0..4 {
             assert_eq!(results.borrow()[i], 10.0, "rank {i}");
+        }
+    }
+
+    /// An MPI world over a multi-site grid: one comm per node of every
+    /// site, with the grid's (hierarchical) routes installed as topology.
+    fn grid_mpi_world(
+        sites: usize,
+        nodes_per_site: usize,
+        install: bool,
+    ) -> (SimWorld, Vec<MpiComm>) {
+        use gridtopo::{GridTopology, SiteSpec};
+        use padico_core::runtimes_for_grid;
+
+        let mut world = SimWorld::new(97);
+        let specs: Vec<SiteSpec> = (0..sites)
+            .map(|i| SiteSpec::san_cluster(format!("s{i}"), nodes_per_site))
+            .collect();
+        let grid = GridTopology::star(&mut world, &specs, simnet::NetworkSpec::vthd_wan());
+        let (rts, _proxies) = runtimes_for_grid(&mut world, &grid, SelectorPreferences::default());
+        let all = grid.all_nodes();
+        let comms: Vec<MpiComm> = rts
+            .iter()
+            .map(|rt| {
+                let circuit = rt.circuit_create(&mut world, all.clone(), 901);
+                let comm = MpiComm::new(&mut world, circuit);
+                if install {
+                    comm.install_topology(&world, &grid.routes);
+                }
+                comm
+            })
+            .collect();
+        (world, comms)
+    }
+
+    #[test]
+    fn comm_topology_groups_ranks_by_site_and_elects_gateways() {
+        let (_world, comms) = grid_mpi_world(2, 3, true);
+        let topo = comms[0].topology().unwrap();
+        assert_eq!(topo.site_count(), 2);
+        // all_nodes order is [gw0, s0-1, s0-2, gw1, s1-1, s1-2].
+        assert_eq!(topo.site_ranks(0), &[0, 1, 2]);
+        assert_eq!(topo.site_ranks(1), &[3, 4, 5]);
+        // The gateway is a member rank, so it is closest to itself and
+        // wins the leadership.
+        assert_eq!(topo.leader(0), 0);
+        assert_eq!(topo.leader(1), 3);
+        assert!(topo.is_inter_site(1, 4));
+        assert!(!topo.is_inter_site(4, 5));
+    }
+
+    #[test]
+    fn hierarchical_allreduce_matches_linear_total() {
+        let (mut world, comms) = grid_mpi_world(3, 3, true);
+        let n = comms.len();
+        let results = Rc::new(RefCell::new(vec![f64::NAN; n]));
+        for (i, comm) in comms.iter().enumerate() {
+            let r = results.clone();
+            comm.allreduce_sum(&mut world, (i + 1) as f64, move |_w, total| {
+                r.borrow_mut()[i] = total;
+            });
+        }
+        world.run();
+        let expected = (n * (n + 1) / 2) as f64;
+        for i in 0..n {
+            assert_eq!(results.borrow()[i], expected, "rank {i}");
+        }
+    }
+
+    #[test]
+    fn hierarchical_allreduce_sends_fewer_inter_site_messages() {
+        let run = |hier: bool| -> (u64, u64) {
+            let (mut world, comms) = grid_mpi_world(2, 4, true);
+            let done = Rc::new(Cell::new(0usize));
+            for (i, comm) in comms.iter().enumerate() {
+                let d = done.clone();
+                let value = (i + 1) as f64;
+                let cb = move |_w: &mut SimWorld, total: f64| {
+                    assert_eq!(total, 36.0);
+                    d.set(d.get() + 1);
+                };
+                if hier {
+                    comm.allreduce_sum(&mut world, value, cb);
+                } else {
+                    comm.allreduce_sum_linear(&mut world, value, cb);
+                }
+            }
+            world.run();
+            assert_eq!(done.get(), comms.len(), "every rank completes");
+            let inter: u64 = comms.iter().map(|c| c.inter_site_messages()).sum();
+            (inter, world.now().as_nanos())
+        };
+        let (linear_inter, _) = run(false);
+        let (hier_inter, _) = run(true);
+        // Linear: every site-1 rank crosses twice (reduce up, bcast
+        // down) = 2·4 = 8. Hierarchical: one leader exchange = 2·(S-1).
+        assert_eq!(linear_inter, 8);
+        assert_eq!(hier_inter, 2);
+        assert!(
+            hier_inter < linear_inter,
+            "hierarchy must cross the WAN strictly less"
+        );
+    }
+
+    #[test]
+    fn allreduce_without_topology_stays_linear() {
+        let (mut world, comms) = grid_mpi_world(2, 2, false);
+        let results = Rc::new(RefCell::new(vec![0.0f64; 4]));
+        for (i, comm) in comms.iter().enumerate() {
+            assert!(comm.topology().is_none());
+            assert_eq!(comm.inter_site_messages(), 0);
+            let r = results.clone();
+            comm.allreduce_sum(&mut world, 1.0, move |_w, total| {
+                r.borrow_mut()[i] = total;
+            });
+        }
+        world.run();
+        for i in 0..4 {
+            assert_eq!(results.borrow()[i], 4.0);
         }
     }
 

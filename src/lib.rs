@@ -30,7 +30,10 @@ pub use transport;
 
 /// Commonly used types for applications built on PadicoTM-RS.
 pub mod prelude {
-    pub use gridtopo::{GridTopology, RelayConfig, RelayFabric, RouteTable, SiteSpec};
+    pub use gridtopo::{
+        GridRoutes, GridTopology, HierRouteTable, RelayConfig, RelayFabric, RouteTable, SiteLayout,
+        SiteSpec,
+    };
     pub use madeleine::{RecvMode, SendMode};
     pub use middleware::{IdlValue, MpiComm, Orb, OrbImpl, SoapCall, SoapEndpoint};
     pub use netaccess::{NetAccess, PollPolicy};

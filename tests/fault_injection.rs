@@ -151,6 +151,108 @@ fn trunk_kill_is_deterministic() {
     assert_eq!(run(), run(), "kill timing and outcome reproduce exactly");
 }
 
+/// Incast through one gateway pair with a trunk-wide aggregate credit
+/// budget (`gateway_trunk_budget`): the *sum* of unconsumed bytes across
+/// every multiplexed stream of the trunk must stay under the budget (the
+/// per-stream windows alone would admit senders × window), each stream's
+/// own receive buffer must stay under its window — both observed through
+/// `SegBuf::high_water` — and the transfer must still complete losslessly
+/// with the budget recovering once consumers drain.
+#[test]
+fn trunk_budget_bounds_gateway_memory_under_incast() {
+    const BUDGET: usize = 128 * 1024;
+    const SENDERS: usize = 4;
+    const PAYLOAD: usize = 200_000;
+
+    let mut world = SimWorld::new(0xB0D6E7);
+    let grid = GridTopology::two_sites(&mut world, SENDERS + 1);
+    let prefs = SelectorPreferences {
+        relay_backpressure: BackpressureMode::Credit,
+        gateway_trunk_budget: BUDGET,
+        ..Default::default()
+    };
+    let (rts, _proxies) = runtimes_for_grid(&mut world, &grid, prefs);
+    let gw_b_rt = rts[grid.site(0).len()].clone();
+    assert_eq!(gw_b_rt.node(), grid.site(1).gateway);
+    let dst_rt = rts[grid.site(0).len() + 1].clone();
+    let dst = dst_rt.node();
+
+    // One listener per incast stream, draining continuously.
+    let got: Rc<RefCell<Vec<Vec<u8>>>> = Rc::new(RefCell::new(Vec::new()));
+    let g = got.clone();
+    dst_rt.vlink_listen(&mut world, 930, move |_w, v| {
+        let slot = {
+            let mut all = g.borrow_mut();
+            all.push(Vec::new());
+            all.len() - 1
+        };
+        let v2 = v.clone();
+        let g2 = g.clone();
+        v.set_handler(move |world, ev| {
+            if ev == VLinkEvent::Readable {
+                g2.borrow_mut()[slot].extend(v2.read_now(world, usize::MAX));
+            }
+        });
+    });
+
+    // Every non-gateway node of site 0 blasts at once: 4 × 200 kB
+    // through one trunk whose shared budget is 128 kB (per-stream windows
+    // alone would admit 4 × 256 kB).
+    let payloads: Vec<Vec<u8>> = (0..SENDERS)
+        .map(|s| (0..PAYLOAD).map(|i| (i * 7 + s * 13) as u8).collect())
+        .collect();
+    for (s, payload) in payloads.iter().enumerate() {
+        let client = rts[1 + s].vlink_connect(&mut world, dst, 930);
+        client.post_write(&mut world, payload);
+    }
+    world.run();
+
+    // Lossless delivery despite the tight shared budget.
+    let mut delivered: Vec<Vec<u8>> = got.borrow().clone();
+    delivered.sort();
+    let mut expected = payloads.clone();
+    expected.sort();
+    assert_eq!(delivered, expected, "incast must deliver intact");
+
+    // The budget bound, observed at the receiving gateway's accepted
+    // trunk: aggregate occupancy (the sum over per-stream SegBufs) never
+    // exceeded the budget, and each stream alone stayed under its window.
+    let stats = gw_b_rt.trunk_memory_stats();
+    let accepted: Vec<_> = stats.iter().filter(|m| m.recv_high_water > 0).collect();
+    assert!(
+        !accepted.is_empty(),
+        "the incast trunk saw traffic: {stats:?}"
+    );
+    for m in &accepted {
+        assert!(
+            m.recv_high_water <= BUDGET,
+            "aggregate trunk occupancy must respect gateway_trunk_budget: {m:?}"
+        );
+        assert!(
+            m.max_stream_high_water <= 256 * 1024,
+            "per-stream SegBuf::high_water must respect the stream window: {m:?}"
+        );
+        assert!(
+            m.recv_high_water >= BUDGET / 2,
+            "the budget must actually have been exercised: {m:?}"
+        );
+    }
+    // The sending gateway's budget recovers as consumers drain (streams
+    // are still open, so up to one sub-threshold grant batch per stream
+    // may remain unreturned).
+    let gw_a_stats = rts[0].trunk_memory_stats();
+    let sending: Vec<_> = gw_a_stats.iter().filter(|m| m.budget > 0).collect();
+    assert!(!sending.is_empty(), "{gw_a_stats:?}");
+    for m in sending {
+        assert_eq!(m.budget, BUDGET);
+        assert_eq!(m.parked_streams, 0, "everything flushed: {m:?}");
+        assert!(
+            m.budget_available + SENDERS * 32 * 1024 >= BUDGET,
+            "budget recovers up to unreturned grant batches: {m:?}"
+        );
+    }
+}
+
 /// A seeded fraction of in-transit frames is discarded at the gateways:
 /// accounting must balance exactly at every hop, in both modes, and in
 /// credit mode every credit consumed by a faulted frame must return

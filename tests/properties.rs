@@ -252,6 +252,7 @@ fn trunk_credits_match_consumption_across_half_close() {
         let flow = TrunkFlowConfig {
             initial_window: (1 + rng.gen_range(0, 8) as usize) * 1024,
             credit_grant_threshold: 256,
+            trunk_budget: 0,
         };
         let mut world = SimWorld::new(rng.next_u64());
         let node = world.add_node("n");
@@ -341,6 +342,74 @@ fn trunk_credits_match_consumption_across_half_close() {
             );
         } else {
             assert!(model.is_empty(), "data sent but no stream accepted");
+        }
+    });
+}
+
+// ---------------------------------------------------------------------- //
+// Hierarchical routing vs the flat oracle: for random star / ring /
+// cluster-of-clusters grids, the two-level tables must agree with flat
+// all-pairs Dijkstra on the reachability set and on every pair's additive
+// cost (paths may differ where ties allow — costs never do), and every
+// composed route must be a valid walk summing to its claimed cost.
+// ---------------------------------------------------------------------- //
+
+#[test]
+fn hierarchical_routes_are_cost_equal_to_flat_dijkstra() {
+    use padicotm::gridtopo::{link_cost, GridRoutes, GridTopology, RouteTable, SiteSpec};
+    use padicotm::simnet::{NetworkSpec, SimWorld};
+
+    for_random_cases(110, 40, |rng| {
+        let mut world = SimWorld::new(rng.next_u64());
+        let site = |rng: &mut SimRng, i: usize| {
+            let nodes = 1 + rng.gen_range(0, 5) as usize;
+            if rng.gen_bool(0.5) {
+                SiteSpec::san_cluster(format!("s{i}"), nodes)
+            } else {
+                SiteSpec::lan_cluster(format!("s{i}"), nodes)
+            }
+        };
+        let n_sites = 3 + rng.gen_range(0, 4) as usize;
+        let specs: Vec<SiteSpec> = (0..n_sites).map(|i| site(rng, i)).collect();
+        let grid = match rng.gen_range(0, 3) {
+            0 => GridTopology::star(&mut world, &specs, NetworkSpec::vthd_wan()),
+            1 => GridTopology::ring(&mut world, &specs, NetworkSpec::vthd_wan()),
+            _ => {
+                let cut = 1 + rng.gen_range(0, specs.len() as u64 - 1) as usize;
+                let regions = vec![specs[..cut].to_vec(), specs[cut..].to_vec()];
+                GridTopology::cluster_of_clusters(
+                    &mut world,
+                    &regions,
+                    NetworkSpec::vthd_wan(),
+                    NetworkSpec::lossy_internet(),
+                )
+            }
+        };
+        let hier = match &grid.routes {
+            GridRoutes::Hier(h) => h,
+            other => panic!("builders must default to hierarchical routes, got {other:?}"),
+        };
+        let flat = RouteTable::compute(&world);
+        let nodes = grid.all_nodes();
+        for &a in &nodes {
+            for &b in &nodes {
+                assert_eq!(
+                    flat.reachable(a, b),
+                    hier.reachable(a, b),
+                    "reachability of {a} -> {b}"
+                );
+                assert_eq!(flat.cost(a, b), hier.cost(a, b), "cost of {a} -> {b}");
+                if let Some(route) = hier.route(a, b) {
+                    let mut at = a;
+                    let mut sum = 0;
+                    for hop in &route.hops {
+                        sum += link_cost(&world, hop.network);
+                        at = hop.node;
+                    }
+                    assert_eq!(at, b, "composed route must end at the destination");
+                    assert_eq!(Some(sum), hier.cost(a, b), "hop costs sum to the total");
+                }
+            }
         }
     });
 }

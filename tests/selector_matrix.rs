@@ -35,6 +35,8 @@ fn all_preferences() -> Vec<SelectorPreferences> {
                             secure_inter_site: secure,
                             refuse_plaintext_relay: false,
                             relay_backpressure: backpressure,
+                            gateway_trunk_budget: 0,
+                            route_cache_capacity: 4096,
                             forbid_san,
                         });
                     }
