@@ -115,7 +115,23 @@ fn main() {
             r.sender_stall_ms,
         );
     }
-    match write_multi_site_json(&results, &incast) {
+    let failover = failover_sweep();
+    for r in &failover {
+        println!(
+            "{:>2} senders failover | killed at {} B | recovery {} | migrated {} | \
+             {:.2} MB/s vs {:.2} baseline | completed: {}",
+            r.senders,
+            r.killed_at_bytes,
+            r.recovery_ms
+                .map(|v| format!("{v:.2} ms"))
+                .unwrap_or_else(|| "n/a".to_string()),
+            r.migrated_connections,
+            r.goodput_mb_s,
+            r.baseline_goodput_mb_s,
+            r.completed,
+        );
+    }
+    match write_multi_site_json(&results, &incast, &failover) {
         Ok(path) => println!("wrote {path}"),
         Err(e) => eprintln!("failed to write BENCH_multi_site.json: {e}"),
     }

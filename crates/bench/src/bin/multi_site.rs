@@ -5,13 +5,44 @@
 //! `--incast-smoke drop|credit` runs a single quick incast in the given
 //! mode and exits non-zero if reliable delivery failed — or, in credit
 //! mode, if any gateway frame was dropped (credit mode must be lossless).
-//! Used by CI as a bitrot guard.
+//! `--failover-smoke` runs one gateway-kill failover case and exits
+//! non-zero if recovery did not complete or any acknowledged byte was
+//! lost or duplicated. Both are used by CI as bitrot guards.
 
 use gridtopo::BackpressureMode;
-use padico_bench::{incast_run, incast_sweep, multi_site_sweep, write_multi_site_json};
+use padico_bench::{
+    failover_run, failover_sweep, incast_run, incast_sweep, multi_site_sweep, write_multi_site_json,
+};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
+    if args.iter().any(|a| a == "--failover-smoke") {
+        let r = failover_run(4);
+        println!(
+            "failover smoke: {} senders, killed at {} bytes, recovery {}, \
+             {} migrated conns, {:.2} MB/s (baseline {:.2}, dip {:.1}%), completed: {}",
+            r.senders,
+            r.killed_at_bytes,
+            r.recovery_ms
+                .map(|v| format!("{v:.2} ms"))
+                .unwrap_or_else(|| "n/a".to_string()),
+            r.migrated_connections,
+            r.goodput_mb_s,
+            r.baseline_goodput_mb_s,
+            r.goodput_dip_pct,
+            r.completed,
+        );
+        let mut failed = false;
+        if !r.completed {
+            eprintln!("FAIL: an acknowledged byte was lost or duplicated across the failover");
+            failed = true;
+        }
+        if r.recovery_ms.is_none() {
+            eprintln!("FAIL: streams did not resume through the surviving gateway");
+            failed = true;
+        }
+        std::process::exit(if failed { 1 } else { 0 });
+    }
     if let Some(i) = args.iter().position(|a| a == "--incast-smoke") {
         let mode = match args.get(i + 1).map(String::as_str) {
             Some("drop") => BackpressureMode::Drop,
@@ -108,7 +139,37 @@ fn main() {
         );
     }
 
-    match write_multi_site_json(&results, &incast) {
+    let failover = failover_sweep();
+    println!(
+        "\n{:>7} {:>9} {:>11} {:>10} {:>9} {:>12} {:>12} {:>6} {:>9}",
+        "senders",
+        "payload",
+        "killed-at",
+        "recovery",
+        "migrated",
+        "goodput",
+        "baseline",
+        "dip",
+        "complete"
+    );
+    for r in &failover {
+        println!(
+            "{:>7} {:>9} {:>11} {:>7} ms {:>9} {:>7.2} MB/s {:>7.2} MB/s {:>5.1}% {:>9}",
+            r.senders,
+            r.payload_bytes,
+            r.killed_at_bytes,
+            r.recovery_ms
+                .map(|v| format!("{v:.2}"))
+                .unwrap_or_else(|| "n/a".to_string()),
+            r.migrated_connections,
+            r.goodput_mb_s,
+            r.baseline_goodput_mb_s,
+            r.goodput_dip_pct,
+            r.completed,
+        );
+    }
+
+    match write_multi_site_json(&results, &incast, &failover) {
         Ok(path) => println!("\nwrote {path}"),
         Err(e) => eprintln!("\nfailed to write BENCH_multi_site.json: {e}"),
     }

@@ -363,6 +363,204 @@ pub fn incast_sweep() -> Vec<IncastResult> {
     out
 }
 
+// --------------------------------------------------------------------- //
+// Failover: kill the primary gateway mid-transfer, measure the recovery
+// --------------------------------------------------------------------- //
+
+/// Result of one failover run: N relayed streams fan into a 2-gateway
+/// destination site of a cluster-of-clusters world; the destination-side
+/// primary gateway is fail-stopped mid-transfer and the streams must
+/// resume through the secondary automatically.
+#[derive(Debug, Clone)]
+pub struct FailoverResult {
+    /// Concurrent relayed streams (one per sender node).
+    pub senders: usize,
+    /// Payload bytes per stream.
+    pub payload_bytes: usize,
+    /// Bytes (across all streams) delivered when the primary was killed.
+    pub killed_at_bytes: usize,
+    /// Virtual ms from the kill to the first byte delivered over a
+    /// migrated (post-kill) connection. `None` when no migration was
+    /// needed (everything already acknowledged) or recovery failed.
+    pub recovery_ms: Option<f64>,
+    /// Every stream delivered its full payload byte-exactly (zero
+    /// acknowledged bytes lost, zero duplicated).
+    pub completed: bool,
+    /// Connections the receiver accepted beyond the initial N — the
+    /// streams that actually re-dialed through the secondary.
+    pub migrated_connections: usize,
+    /// End-to-end goodput of the faulted run, MB/s (aggregate unique
+    /// payload over the full elapsed time, recovery included).
+    pub goodput_mb_s: f64,
+    /// Goodput of the identical run without the kill, MB/s.
+    pub baseline_goodput_mb_s: f64,
+    /// Relative goodput dip paid for the recovery, percent.
+    pub goodput_dip_pct: f64,
+}
+
+/// Payload pushed through each relayed stream in the failover runs.
+const FAILOVER_STREAM_BYTES: usize = 192 * 1024;
+
+/// One failover measurement at the given fan-in. Builds a 2-region
+/// cluster-of-clusters whose receiving site has two ranked gateways,
+/// starts `senders` relayed streams (credit backpressure + the
+/// `gateway_failover` preference), and — unless `baseline` — fail-stops
+/// the destination-side primary gateway once a third of the bytes have
+/// arrived. Returns exact-delivery verdicts and the recovery latency.
+fn failover_case(senders: usize, baseline: bool) -> (Option<f64>, bool, usize, f64, usize) {
+    use padico_core::PadicoRuntime;
+
+    let mut world = SimWorld::new(0xFA17);
+    let regions = vec![
+        vec![SiteSpec::san_cluster("send", senders + 2).with_gateways(2)],
+        vec![SiteSpec::san_cluster("recv", 3).with_gateways(2)],
+    ];
+    let grid = GridTopology::cluster_of_clusters(
+        &mut world,
+        &regions,
+        NetworkSpec::vthd_wan(),
+        NetworkSpec::vthd_wan(),
+    );
+    let prefs = SelectorPreferences {
+        relay_backpressure: BackpressureMode::Credit,
+        gateway_failover: true,
+        ..Default::default()
+    };
+    let (rts, _proxies) = runtimes_for_grid(&mut world, &grid, prefs);
+    let recv_site = grid.site(1).clone();
+    let dst_rt = rts
+        .iter()
+        .find(|rt| rt.node() == recv_site.node(2))
+        .unwrap()
+        .clone();
+    let dst = dst_rt.node();
+    let primary_rt: PadicoRuntime = rts
+        .iter()
+        .find(|rt| rt.node() == recv_site.gateways[0])
+        .unwrap()
+        .clone();
+
+    // One service per sender; the receiver logs bytes per connection in
+    // accept order, so exactly-once reassembly is checkable per stream.
+    let logs: Vec<Rc<RefCell<Vec<Vec<u8>>>>> = (0..senders)
+        .map(|s| {
+            let log: Rc<RefCell<Vec<Vec<u8>>>> = Rc::new(RefCell::new(Vec::new()));
+            let l = log.clone();
+            dst_rt.vlink_listen(&mut world, 800 + s as u16, move |_w, v: VLink| {
+                let slot = {
+                    let mut all = l.borrow_mut();
+                    all.push(Vec::new());
+                    all.len() - 1
+                };
+                let v2 = v.clone();
+                let l2 = l.clone();
+                v.set_handler(move |world, ev| {
+                    if ev == VLinkEvent::Readable {
+                        l2.borrow_mut()[slot].extend(v2.read_now(world, usize::MAX));
+                    }
+                });
+            });
+            log
+        })
+        .collect();
+    let payloads: Vec<Vec<u8>> = (0..senders)
+        .map(|s| {
+            (0..FAILOVER_STREAM_BYTES)
+                .map(|i| ((i * 7 + s * 13) % 251) as u8)
+                .collect()
+        })
+        .collect();
+    let sender_rts: Vec<_> = (0..senders)
+        .map(|s| {
+            rts.iter()
+                .find(|rt| rt.node() == grid.site(0).node(2 + s))
+                .unwrap()
+                .clone()
+        })
+        .collect();
+    let start = world.now();
+    for (s, rt) in sender_rts.iter().enumerate() {
+        let client = rt.vlink_connect(&mut world, dst, 800 + s as u16);
+        client.post_write(&mut world, &payloads[s]);
+    }
+
+    let total_bytes = senders * FAILOVER_STREAM_BYTES;
+    let delivered = |logs: &[Rc<RefCell<Vec<Vec<u8>>>>]| -> usize {
+        logs.iter()
+            .map(|l| l.borrow().iter().map(Vec::len).sum::<usize>())
+            .sum()
+    };
+    let mut killed_at = 0;
+    let mut recovery_ms = None;
+    if !baseline {
+        let logs2 = logs.clone();
+        world.run_while(move || delivered(&logs2) < total_bytes / 3);
+        killed_at = delivered(&logs);
+        let pre_kill_conns: Vec<usize> = logs.iter().map(|l| l.borrow().len()).collect();
+        let t_kill = world.now();
+        primary_rt.kill(&mut world);
+        // Watch for the first byte on a migrated (post-kill) connection.
+        let logs2 = logs.clone();
+        let pk = pre_kill_conns.clone();
+        let resumed = move || -> bool {
+            logs2
+                .iter()
+                .zip(&pk)
+                .any(|(l, &n)| l.borrow().iter().skip(n).any(|conn| !conn.is_empty()))
+        };
+        let r2 = resumed.clone();
+        world.run_while(move || !r2());
+        if resumed() {
+            recovery_ms = Some(world.now().since(t_kill).as_millis_f64());
+        }
+    }
+    world.run();
+    let elapsed = world.now().since(start).as_secs_f64();
+    let goodput = delivered(&logs) as f64 / elapsed / 1e6;
+
+    // Exactly-once verdict: per stream, the concatenation across its
+    // connections (accept order) must equal the payload.
+    let mut completed = true;
+    let mut migrated = 0usize;
+    for (s, log) in logs.iter().enumerate() {
+        let log = log.borrow();
+        migrated += log.len().saturating_sub(1);
+        let got: Vec<u8> = log.iter().flatten().copied().collect();
+        if got != payloads[s] {
+            completed = false;
+        }
+    }
+    (recovery_ms, completed, migrated, goodput, killed_at)
+}
+
+/// Runs the failover measurement at `senders` fan-in (plus the matching
+/// no-kill baseline for the goodput-dip comparison).
+pub fn failover_run(senders: usize) -> FailoverResult {
+    let (_, _, _, baseline_goodput, _) = failover_case(senders, true);
+    let (recovery_ms, completed, migrated, goodput, killed_at) = failover_case(senders, false);
+    FailoverResult {
+        senders,
+        payload_bytes: FAILOVER_STREAM_BYTES,
+        killed_at_bytes: killed_at,
+        recovery_ms,
+        completed,
+        migrated_connections: migrated,
+        goodput_mb_s: goodput,
+        baseline_goodput_mb_s: baseline_goodput,
+        goodput_dip_pct: if baseline_goodput > 0.0 {
+            (1.0 - goodput / baseline_goodput) * 100.0
+        } else {
+            0.0
+        },
+    }
+}
+
+/// The failover sweep: kill the destination-side primary gateway
+/// mid-transfer at fan-in 1 / 4 / 8.
+pub fn failover_sweep() -> Vec<FailoverResult> {
+    [1usize, 4, 8].into_iter().map(failover_run).collect()
+}
+
 /// The default sweep: site count × layout × backbone class.
 pub fn multi_site_sweep() -> Vec<MultiSiteResult> {
     let mut out = Vec::new();
@@ -388,9 +586,13 @@ pub fn multi_site_sweep() -> Vec<MultiSiteResult> {
     out
 }
 
-/// Renders the multi-site and incast results as one machine-readable JSON
-/// document.
-pub fn multi_site_json(results: &[MultiSiteResult], incast: &[IncastResult]) -> String {
+/// Renders the multi-site, incast and failover results as one
+/// machine-readable JSON document.
+pub fn multi_site_json(
+    results: &[MultiSiteResult],
+    incast: &[IncastResult],
+    failover: &[FailoverResult],
+) -> String {
     let mut s = String::from("{\n  \"experiment\": \"multi_site\",\n  \"results\": [\n");
     for (i, r) in results.iter().enumerate() {
         s.push_str(&format!(
@@ -443,6 +645,29 @@ pub fn multi_site_json(results: &[MultiSiteResult], incast: &[IncastResult]) -> 
             if i + 1 == incast.len() { "" } else { "," },
         ));
     }
+    s.push_str("  ],\n  \"failover\": [\n");
+    for (i, r) in failover.iter().enumerate() {
+        s.push_str(&format!(
+            concat!(
+                "    {{\"senders\": {}, \"payload_bytes\": {}, \"killed_at_bytes\": {}, ",
+                "\"recovery_ms\": {}, \"completed\": {}, \"migrated_connections\": {}, ",
+                "\"goodput_mb_s\": {:.4}, \"baseline_goodput_mb_s\": {:.4}, ",
+                "\"goodput_dip_pct\": {:.2}}}{}\n"
+            ),
+            r.senders,
+            r.payload_bytes,
+            r.killed_at_bytes,
+            r.recovery_ms
+                .map(|v| format!("{v:.4}"))
+                .unwrap_or_else(|| "null".to_string()),
+            r.completed,
+            r.migrated_connections,
+            r.goodput_mb_s,
+            r.baseline_goodput_mb_s,
+            r.goodput_dip_pct,
+            if i + 1 == failover.len() { "" } else { "," },
+        ));
+    }
     s.push_str("  ]\n}\n");
     s
 }
@@ -452,9 +677,10 @@ pub fn multi_site_json(results: &[MultiSiteResult], incast: &[IncastResult]) -> 
 pub fn write_multi_site_json(
     results: &[MultiSiteResult],
     incast: &[IncastResult],
+    failover: &[FailoverResult],
 ) -> std::io::Result<String> {
     let path = "BENCH_multi_site.json".to_string();
-    std::fs::write(&path, multi_site_json(results, incast))?;
+    std::fs::write(&path, multi_site_json(results, incast, failover))?;
     Ok(path)
 }
 
@@ -497,7 +723,8 @@ mod tests {
     fn json_is_well_formed_enough() {
         let r = multi_site_run(2, Layout::Star, "vthd-wan", NetworkSpec::vthd_wan());
         let inc = incast_run(2, 8, BackpressureMode::Credit);
-        let json = multi_site_json(&[r], &[inc]);
+        let fo = failover_run(1);
+        let json = multi_site_json(&[r], &[inc], &[fo]);
         assert!(json.contains("\"experiment\": \"multi_site\""));
         assert!(json.contains("\"sites\": 2"));
         assert!(json.contains("\"layout\": \"star\""));
@@ -505,7 +732,38 @@ mod tests {
         assert!(json.contains("\"incast\""));
         assert!(json.contains("\"mode\": \"credit\""));
         assert!(json.contains("\"sender_stall_ms\""));
+        assert!(json.contains("\"failover\""));
+        assert!(json.contains("\"recovery_ms\""));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn failover_run_recovers_exactly_once() {
+        let r = failover_run(4);
+        assert!(r.completed, "byte-exact delivery after the kill: {r:?}");
+        assert!(
+            r.migrated_connections >= 1,
+            "the kill must force at least one re-dial: {r:?}"
+        );
+        let recovery = r.recovery_ms.expect("streams must resume post-kill");
+        assert!(
+            recovery > 0.0 && recovery < 1_000.0,
+            "recovery latency is measured and sane: {r:?}"
+        );
+        assert!(r.killed_at_bytes > 0, "{r:?}");
+        assert!(
+            r.goodput_mb_s <= r.baseline_goodput_mb_s,
+            "the faulted run cannot beat its baseline: {r:?}"
+        );
+    }
+
+    #[test]
+    fn failover_runs_are_deterministic() {
+        let a = failover_run(1);
+        let b = failover_run(1);
+        assert_eq!(a.recovery_ms, b.recovery_ms);
+        assert_eq!(a.killed_at_bytes, b.killed_at_bytes);
+        assert_eq!(a.goodput_mb_s, b.goodput_mb_s);
     }
 
     #[test]

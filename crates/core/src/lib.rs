@@ -42,5 +42,7 @@ pub use runtime::{runtimes_for_cluster, runtimes_for_grid, runtimes_for_lan, Pad
 pub use selector::{
     BackpressureMode, LinkDecision, ResolvedRoute, RouteCacheStats, SelectorPreferences, TopologyKb,
 };
-pub use trunk::{TrunkCreditStats, TrunkFlowConfig, TrunkMemoryStats, TrunkMux, TrunkStream};
+pub use trunk::{
+    TrunkCreditStats, TrunkFlowConfig, TrunkHealthConfig, TrunkMemoryStats, TrunkMux, TrunkStream,
+};
 pub use vlink::{ReadOp, VLink, VLinkEvent, VLinkMethod};

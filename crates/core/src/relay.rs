@@ -17,12 +17,15 @@
 use std::cell::{Cell, RefCell};
 use std::rc::Rc;
 
+use bytes::Bytes;
 use simnet::{NetworkClass, NodeId, SimDuration, SimWorld};
-use transport::{ByteStream, ByteStreamExt, ParallelStream, ParallelStreamConfig, SegBuf};
+use transport::{
+    ByteStream, ByteStreamExt, ParallelStream, ParallelStreamConfig, ReadableCallback, SegBuf,
+};
 
 use crate::runtime::PadicoRuntime;
 use crate::selector::{BackpressureMode, SelectorPreferences};
-use crate::trunk::{TrunkFlowConfig, TrunkMux};
+use crate::trunk::{TrunkFlowConfig, TrunkMux, TrunkStream};
 use crate::vlink::{VLink, VLinkEvent};
 
 /// The well-known service port gateway proxies listen on.
@@ -93,6 +96,11 @@ pub(crate) fn trunk_flow(prefs: &SelectorPreferences) -> Option<TrunkFlowConfig>
         BackpressureMode::Drop => None,
     }
 }
+
+/// Ceiling on re-dials per relayed stream, so cascading gateway deaths
+/// cannot loop a stream forever (each migration marks another gateway
+/// down, and sites have few gateways).
+const MAX_MIGRATIONS: u32 = 4;
 
 /// Accounting for one gateway's stream proxy.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -171,6 +179,19 @@ pub(crate) fn connect_through_gateway_with_ttl(
     circuit_stream: bool,
     ttl: u8,
 ) -> Rc<dyn ByteStream> {
+    let flags = if circuit_stream {
+        FLAG_CIRCUIT_STREAM
+    } else {
+        0
+    };
+    if rt.preferences().gateway_failover {
+        // Failover mode: every relayed leg — intra-site ones included —
+        // rides a liveness-monitored trunk, wrapped so a dead gateway
+        // triggers automatic re-dial through a surviving one.
+        return Rc::new(FailoverStream::connect(
+            world, rt, network, via, dst, service, flags, ttl,
+        ));
+    }
     let wan_class = matches!(
         world.network(network).spec.class,
         NetworkClass::Wan | NetworkClass::Internet
@@ -188,14 +209,366 @@ pub(crate) fn connect_through_gateway_with_ttl(
                 .connect(world, network, via, GATEWAY_PROXY_SERVICE),
         )
     };
-    let flags = if circuit_stream {
-        FLAG_CIRCUIT_STREAM
-    } else {
-        0
-    };
     let header = encode_header(dst, service, flags, ttl);
     conn.send_all(world, &header);
     conn
+}
+
+// --------------------------------------------------------------------- //
+// Gateway failover: migratable relayed streams
+// --------------------------------------------------------------------- //
+
+struct FoInner {
+    rt: PadicoRuntime,
+    dst: NodeId,
+    service: u16,
+    flags: u8,
+    ttl: u8,
+    /// Credit mode: acknowledged == consumed by the far splice, so resume
+    /// offsets are exact. Without flow control there is no honest ack —
+    /// migration re-dials but bytes in flight at the kill are lost
+    /// (accounted), matching drop-mode philosophy.
+    flow: bool,
+    /// The trunk stream currently carrying this connection.
+    current: TrunkStream,
+    /// App-byte offset (excluding the proxy header) where the current
+    /// incarnation's data starts.
+    resume_base: u64,
+    /// Refcounted copies of sent-but-unacknowledged app bytes,
+    /// `[retx_base, sent)`; trimmed as credits come back, resent on
+    /// migration. Empty in non-flow mode.
+    retx: SegBuf,
+    retx_base: u64,
+    /// App bytes accepted from the layer above.
+    sent: u64,
+    /// Receive-side leftovers salvaged from a dead incarnation, served
+    /// before the current stream's buffer.
+    pending_rx: SegBuf,
+    self_closed: bool,
+    /// Dead for good: no surviving route (or the migration cap hit).
+    failed: bool,
+    migrations: u32,
+}
+
+/// A relayed byte stream that survives gateway death: it rides one
+/// multiplexed trunk stream at a time, and when trunk liveness declares
+/// the carrier dead it *migrates* — re-resolves the route (the dead
+/// gateway is marked down by then), re-dials the trunk towards the
+/// surviving gateway, replays the proxy header and every unacknowledged
+/// byte, and carries on. The handle (and the VLink riding it) never
+/// changes.
+///
+/// In credit mode the far gateway's fail-stop sequence flushes its
+/// consumed-credit batches before the carrier closes, so "acknowledged"
+/// equals "consumed and forwarded by the splice": the resend resumes at
+/// exactly the first byte the old path did not deliver — zero
+/// acknowledged bytes lost, zero duplicated.
+#[derive(Clone)]
+pub(crate) struct FailoverStream {
+    inner: Rc<RefCell<FoInner>>,
+    /// The consumer's readable callback, stable across migrations.
+    readable: Rc<RefCell<Option<ReadableCallback>>>,
+}
+
+impl FailoverStream {
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn connect(
+        world: &mut SimWorld,
+        rt: &PadicoRuntime,
+        network: simnet::NetworkId,
+        via: NodeId,
+        dst: NodeId,
+        service: u16,
+        flags: u8,
+        ttl: u8,
+    ) -> FailoverStream {
+        let mux = rt.ensure_trunk(world, network, via);
+        let stream = mux.open();
+        let flow = trunk_flow(&rt.preferences()).is_some();
+        let fo = FailoverStream {
+            inner: Rc::new(RefCell::new(FoInner {
+                rt: rt.clone(),
+                dst,
+                service,
+                flags,
+                ttl,
+                flow,
+                current: stream.clone(),
+                resume_base: 0,
+                retx: SegBuf::new(),
+                retx_base: 0,
+                sent: 0,
+                pending_rx: SegBuf::new(),
+                self_closed: false,
+                failed: false,
+                migrations: 0,
+            })),
+            readable: Rc::new(RefCell::new(None)),
+        };
+        fo.attach_incarnation(world, &mux, &stream);
+        fo
+    }
+
+    /// Wires one incarnation: forwards its readable events to the stable
+    /// consumer callback, registers the re-dial hook on its mux, and
+    /// sends the proxy header.
+    fn attach_incarnation(&self, world: &mut SimWorld, mux: &TrunkMux, stream: &TrunkStream) {
+        let readable = self.readable.clone();
+        stream.set_readable_callback(Box::new(move |world| {
+            let cb = readable.borrow_mut().take();
+            if let Some(mut cb) = cb {
+                cb(world);
+                let mut slot = readable.borrow_mut();
+                if slot.is_none() {
+                    *slot = Some(cb);
+                }
+            }
+        }));
+        let weak = Rc::downgrade(&self.inner);
+        let readable = self.readable.clone();
+        // Migration runs whatever the cause: a peer death re-routes around
+        // the corpse, a locally severed trunk (drop_trunks) re-dials the
+        // same still-healthy gateway.
+        mux.on_dead(move |world, _locally_severed| {
+            if let Some(inner) = weak.upgrade() {
+                FailoverStream { inner, readable }.migrate(world);
+            }
+        });
+        let (dst, service, flags, ttl) = {
+            let inner = self.inner.borrow();
+            (inner.dst, inner.service, inner.flags, inner.ttl)
+        };
+        let header = encode_header(dst, service, flags, ttl);
+        stream.send_bytes(world, Bytes::copy_from_slice(&header));
+    }
+
+    /// Trims the retransmission buffer by what the peer has acknowledged
+    /// (consumed-and-credited), including across migrations.
+    fn trim(&self) {
+        let mut inner = self.inner.borrow_mut();
+        if !inner.flow {
+            return;
+        }
+        let credits = inner.current.credit_stats().credits_received;
+        let acked =
+            (inner.resume_base + credits.saturating_sub(PROXY_HEADER_BYTES as u64)).min(inner.sent);
+        if acked > inner.retx_base {
+            let n = (acked - inner.retx_base) as usize;
+            let n = n.min(inner.retx.len());
+            inner.retx.consume(n);
+            inner.retx_base = acked;
+        }
+    }
+
+    /// Schedules the consumer's readable callback (migrations and terminal
+    /// failures must wake blocked readers).
+    fn wake(&self, world: &mut SimWorld) {
+        let readable = self.readable.clone();
+        world.schedule_after(SimDuration::ZERO, move |world| {
+            let cb = readable.borrow_mut().take();
+            if let Some(mut cb) = cb {
+                cb(world);
+                let mut slot = readable.borrow_mut();
+                if slot.is_none() {
+                    *slot = Some(cb);
+                }
+            }
+        });
+    }
+
+    /// The mux under the current incarnation died: salvage, re-route,
+    /// re-dial, replay.
+    fn migrate(&self, world: &mut SimWorld) {
+        self.trim();
+        enum Action {
+            Done,
+            Fail,
+            Redial {
+                network: simnet::NetworkId,
+                via: NodeId,
+            },
+        }
+        let action = {
+            let mut inner = self.inner.borrow_mut();
+            if inner.failed || !inner.current.mux().is_dead() {
+                // Stale hook (the stream already moved on) or nothing to do.
+                return;
+            }
+            // Salvage whatever the dead incarnation had already received.
+            loop {
+                let data = inner.current.recv_bytes(world, usize::MAX);
+                if data.is_empty() {
+                    break;
+                }
+                inner.pending_rx.push_bytes(data);
+            }
+            if inner.rt.is_dead() {
+                // Our own node is the dead gateway: nothing to resume.
+                inner.failed = true;
+                Action::Fail
+            } else if inner.self_closed && inner.retx.is_empty() {
+                // The stream was closed and nothing unacknowledged
+                // remains to replay (in non-flow mode `retx` is always
+                // empty — drop-mode philosophy accepts the in-flight
+                // loss): the stream ended with the old path; re-dialing
+                // would only deliver a ghost zero-byte connection.
+                Action::Done
+            } else if inner.migrations >= MAX_MIGRATIONS {
+                inner.failed = true;
+                Action::Fail
+            } else {
+                // Re-resolve towards the destination; the runtime's own
+                // death hook (registered before ours) has already marked
+                // the dead gateway down, so this avoids it.
+                let rt = inner.rt.clone();
+                let dst = inner.dst;
+                drop(inner);
+                let resolved = rt.resolved_route(world, dst);
+                let mut inner = self.inner.borrow_mut();
+                match resolved.as_ref().and_then(|r| r.route.first_hop()) {
+                    Some(first) if first.node != dst => Action::Redial {
+                        network: first.network,
+                        via: first.node,
+                    },
+                    // No surviving relayed route (or the pair became
+                    // direct, which a proxy stream cannot carry).
+                    _ => {
+                        inner.failed = true;
+                        Action::Fail
+                    }
+                }
+            }
+        };
+        match action {
+            Action::Done => {}
+            Action::Fail => self.wake(world),
+            Action::Redial { network, via } => {
+                let (rt, chunks, self_closed) = {
+                    let inner = self.inner.borrow();
+                    let chunks: Vec<Bytes> = inner.retx.peek_chunks().cloned().collect();
+                    (inner.rt.clone(), chunks, inner.self_closed)
+                };
+                let mux = rt.ensure_trunk(world, network, via);
+                let stream = mux.open();
+                {
+                    let mut inner = self.inner.borrow_mut();
+                    inner.migrations += 1;
+                    inner.resume_base = inner.retx_base;
+                    inner.current = stream.clone();
+                }
+                self.attach_incarnation(world, &mux, &stream);
+                for chunk in chunks {
+                    stream.send_bytes(world, chunk);
+                }
+                if self_closed {
+                    stream.close(world);
+                }
+                self.wake(world);
+            }
+        }
+    }
+}
+
+impl ByteStream for FailoverStream {
+    fn send(&self, world: &mut SimWorld, data: &[u8]) -> usize {
+        self.send_bytes(world, Bytes::copy_from_slice(data))
+    }
+
+    fn send_bytes(&self, world: &mut SimWorld, data: Bytes) -> usize {
+        let stream = {
+            let mut inner = self.inner.borrow_mut();
+            if inner.failed || inner.self_closed {
+                return 0;
+            }
+            inner.sent += data.len() as u64;
+            if inner.flow {
+                inner.retx.push_bytes(data.clone());
+            }
+            inner.current.clone()
+        };
+        let n = stream.send_bytes(world, data);
+        self.trim();
+        n
+    }
+
+    fn available(&self) -> usize {
+        let inner = self.inner.borrow();
+        inner.pending_rx.len() + inner.current.available()
+    }
+
+    fn recv(&self, world: &mut SimWorld, max: usize) -> Vec<u8> {
+        let salvaged = {
+            let mut inner = self.inner.borrow_mut();
+            if inner.pending_rx.is_empty() {
+                None
+            } else {
+                Some(inner.pending_rx.read_into(max))
+            }
+        };
+        match salvaged {
+            Some(data) => data,
+            None => {
+                let stream = self.inner.borrow().current.clone();
+                stream.recv(world, max)
+            }
+        }
+    }
+
+    fn recv_bytes(&self, world: &mut SimWorld, max: usize) -> Bytes {
+        let salvaged = {
+            let mut inner = self.inner.borrow_mut();
+            if inner.pending_rx.is_empty() {
+                None
+            } else {
+                Some(inner.pending_rx.pop_chunk(max))
+            }
+        };
+        match salvaged {
+            Some(data) => data,
+            None => {
+                let stream = self.inner.borrow().current.clone();
+                stream.recv_bytes(world, max)
+            }
+        }
+    }
+
+    fn is_established(&self) -> bool {
+        self.inner.borrow().current.is_established()
+    }
+
+    fn is_finished(&self) -> bool {
+        let inner = self.inner.borrow();
+        inner.pending_rx.is_empty() && (inner.failed || inner.current.is_finished())
+    }
+
+    fn close(&self, world: &mut SimWorld) {
+        let stream = {
+            let mut inner = self.inner.borrow_mut();
+            inner.self_closed = true;
+            inner.current.clone()
+        };
+        stream.close(world);
+    }
+
+    fn set_readable_callback(&self, cb: ReadableCallback) {
+        *self.readable.borrow_mut() = Some(cb);
+    }
+
+    fn bytes_acked(&self) -> u64 {
+        let inner = self.inner.borrow();
+        if inner.flow {
+            inner.retx_base
+        } else {
+            inner.current.bytes_acked()
+        }
+    }
+
+    fn bytes_unacked(&self) -> u64 {
+        // `retx` and the trunk's parked bytes overlap, so the max (not the
+        // sum) is the honest backlog bound the splice pump paces against.
+        let inner = self.inner.borrow();
+        inner.current.bytes_unacked().max(inner.retx.len() as u64)
+    }
 }
 
 /// Installs the stream proxy on `rt`'s node, making it a gateway for
@@ -236,13 +609,18 @@ pub fn install_gateway_proxy(world: &mut SimWorld, rt: &PadicoRuntime) -> Gatewa
             n_streams: width,
             chunk_size: TRUNK_STRIPE_CHUNK,
         },
-        move |_world, carrier| {
+        move |world, carrier| {
             let rt3 = rt2.clone();
             let stats3 = stats.clone();
             let flow = trunk_flow(&rt2.preferences());
             let mux = TrunkMux::acceptor(Rc::new(carrier), flow, move |_world, stream| {
-                splice_incoming(&rt3, &stats3, Rc::new(stream));
+                let weak_mux = stream.mux().downgrade();
+                let probe: Rc<dyn Fn() -> bool> = Rc::new(move || weak_mux.is_dead());
+                splice_incoming_with_probe(&rt3, &stats3, Rc::new(stream), Some(probe));
             });
+            if rt2.preferences().gateway_failover {
+                mux.enable_health(world, crate::trunk::TrunkHealthConfig::default());
+            }
             rt2.register_accepted_trunk(mux);
         },
     );
@@ -289,6 +667,18 @@ fn splice_incoming(
     stats: &Rc<RefCell<GatewayProxyStats>>,
     conn: Rc<dyn ByteStream>,
 ) {
+    splice_incoming_with_probe(rt, stats, conn, None)
+}
+
+/// Like [`splice_incoming`], with an optional probe reporting whether the
+/// incoming leg's trunk has been declared dead (trunk-accepted splices
+/// pass one; plain TCP splices have no trunk to probe).
+fn splice_incoming_with_probe(
+    rt: &PadicoRuntime,
+    stats: &Rc<RefCell<GatewayProxyStats>>,
+    conn: Rc<dyn ByteStream>,
+    trunk_dead: Option<Rc<dyn Fn() -> bool>>,
+) {
     let rt = rt.clone();
     let stats = stats.clone();
     // Per-connection state: buffer the header, then splice.
@@ -308,7 +698,36 @@ fn splice_incoming(
         if refused.get() {
             return;
         }
+        if rt.is_dead() {
+            // Fail-stop: a killed gateway consumes nothing more. Both
+            // legs are closed in an orderly way, so everything the splice
+            // *already* forwarded still drains to its endpoint — which is
+            // exactly what the peer's credit ledger says was consumed.
+            if let Some(link) = onward.borrow().clone() {
+                link.close(world);
+            }
+            conn2.close(world);
+            return;
+        }
         if let Some(link) = onward.borrow().clone() {
+            if rt.preferences().gateway_failover && trunk_dead.as_ref().is_some_and(|p| p()) {
+                // The incoming trunk died under the splice. Whatever is
+                // still buffered was never credited back (a dead mux sends
+                // nothing), so the migrating sender resends those bytes
+                // through the surviving gateway — forwarding them here
+                // would deliver them twice. Abandon the tail; close the
+                // onward leg gracefully so everything *already* forwarded
+                // (== everything credited) still drains.
+                loop {
+                    let dropped = conn2.recv_bytes(world, usize::MAX);
+                    if dropped.is_empty() {
+                        break;
+                    }
+                    stats.borrow_mut().bytes_refused += dropped.len() as u64;
+                }
+                link.close(world);
+                return;
+            }
             // Established splice: forward arriving chunks onwards by
             // refcount — the store-and-forward queue never copies.
             loop {
@@ -393,9 +812,14 @@ fn splice_incoming(
         let link2 = link.clone();
         let stats2 = stats.clone();
         let back_retry = Rc::new(Cell::new(false));
+        let rt_back = rt.clone();
         let drain_slot: Rc<RefCell<Option<Pump>>> = Rc::new(RefCell::new(None));
         let slot_for_drain = Rc::downgrade(&drain_slot);
         let drain: Pump = Rc::new(move |world: &mut SimWorld| {
+            if rt_back.is_dead() {
+                back.close(world);
+                return;
+            }
             loop {
                 if back.bytes_unacked() > SPLICE_HIGH_WATER {
                     if link2.available() > 0 && !back_retry.get() {

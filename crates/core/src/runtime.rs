@@ -43,6 +43,9 @@ struct RuntimeInner {
     madstream: Option<MadStreamDriver>,
     san_group: Vec<NodeId>,
     kb: TopologyKb,
+    /// Fail-stopped by [`PadicoRuntime::kill`]: splices consume nothing
+    /// more, trunks are severed, nothing new is accepted.
+    dead: bool,
     /// Accept callbacks per service, used for intra-node (loopback) connects.
     local_services: HashMap<u16, VLinkAcceptCallback>,
     /// Persistent trunks towards gateway proxies, keyed by
@@ -92,6 +95,7 @@ impl PadicoRuntime {
                 madstream,
                 san_group,
                 kb: TopologyKb::new(prefs),
+                dead: false,
                 local_services: HashMap::new(),
                 trunks: HashMap::new(),
                 accepted_trunks: Vec::new(),
@@ -152,6 +156,23 @@ impl PadicoRuntime {
         self.inner.borrow().kb.route_cache_stats()
     }
 
+    /// Marks `gateway` dead in this node's knowledge base (see
+    /// [`TopologyKb::mark_gateway_down`]). Learned automatically from
+    /// trunk liveness; exposed for tests and operators.
+    pub fn mark_gateway_down(&self, gateway: NodeId) {
+        self.inner.borrow().kb.mark_gateway_down(gateway);
+    }
+
+    /// Marks a previously down gateway live again.
+    pub fn mark_gateway_up(&self, gateway: NodeId) {
+        self.inner.borrow().kb.mark_gateway_up(gateway);
+    }
+
+    /// The gateways this node currently believes dead.
+    pub fn down_gateways(&self) -> Vec<NodeId> {
+        self.inner.borrow().kb.down_gateways()
+    }
+
     /// The method the selector would pick for a VLink towards `remote`.
     pub fn vlink_decision(&self, world: &SimWorld, remote: NodeId) -> LinkDecision {
         let inner = self.inner.borrow();
@@ -179,9 +200,21 @@ impl PadicoRuntime {
         via: NodeId,
     ) -> TrunkMux {
         if let Some(mux) = self.inner.borrow().trunks.get(&(via, network)).cloned() {
-            return mux;
+            if !mux.is_dead() {
+                return mux;
+            }
+            // A dead trunk never serves a stream again: purge the entry
+            // and re-dial a fresh carrier below.
+            self.inner.borrow_mut().trunks.remove(&(via, network));
         }
-        let width = self.preferences().trunk_width();
+        let prefs = self.preferences();
+        let wan_class = matches!(
+            world.network(network).spec.class,
+            simnet::NetworkClass::Wan | simnet::NetworkClass::Internet
+        );
+        // WAN trunks stripe wide; intra-site trunks (SAN/LAN legs in
+        // failover mode) need no striping — one member carries them.
+        let width = if wan_class { prefs.trunk_width() } else { 1 };
         let tcp = self.inner.borrow().netaccess.sysio().tcp();
         let carrier = ParallelStream::connect(
             world,
@@ -194,24 +227,102 @@ impl PadicoRuntime {
                 chunk_size: relay::TRUNK_STRIPE_CHUNK,
             },
         );
-        let mux = TrunkMux::connector(Rc::new(carrier), relay::trunk_flow(&self.preferences()));
-        // Drive the fresh carrier's congestion windows to steady state
-        // once, so every relayed stream finds a hot trunk (the simulated
-        // TCP keeps congestion state for the connection's lifetime, like a
-        // cached GridFTP data channel). The padding is sized from the
-        // cached PathInfo towards the gateway — two bandwidth-delay
-        // products of the actual path — instead of one hard-wired constant
-        // for every WAN class.
-        let warmup = self
-            .resolved_route(world, via)
-            .map(|r| relay::warmup_bytes_for(&r.info))
-            .unwrap_or(relay::TRUNK_WARMUP_BYTES);
-        mux.warm_up(world, warmup);
+        let mux = TrunkMux::connector(Rc::new(carrier), relay::trunk_flow(&prefs));
+        if prefs.gateway_failover {
+            // Liveness: orderly closes are detected immediately, silent
+            // deaths by heartbeat timeout. When this trunk dies, purge it
+            // and mark the gateway down *before* any per-stream failover
+            // hook runs (hooks fire in registration order), so migrating
+            // streams re-resolve around the corpse.
+            mux.enable_health(world, crate::trunk::TrunkHealthConfig::default());
+            let weak_rt = Rc::downgrade(&self.inner);
+            let key = (via, network);
+            mux.on_dead(move |_world, locally_severed| {
+                let Some(rt_inner) = weak_rt.upgrade() else {
+                    return;
+                };
+                let mut inner = rt_inner.borrow_mut();
+                if inner.dead {
+                    return; // our own node died; nothing to learn
+                }
+                if inner.trunks.get(&key).is_some_and(|m| m.is_dead()) {
+                    inner.trunks.remove(&key);
+                }
+                // A carrier *we* severed (`drop_trunks`, the local-restart
+                // fault model) says nothing about the peer's health: only
+                // a death the peer caused marks its gateway down.
+                if !locally_severed {
+                    inner.kb.mark_gateway_down(key.0);
+                }
+            });
+        }
+        if wan_class {
+            // Drive the fresh carrier's congestion windows to steady state
+            // once, so every relayed stream finds a hot trunk (the
+            // simulated TCP keeps congestion state for the connection's
+            // lifetime, like a cached GridFTP data channel). The padding
+            // is sized from the cached PathInfo towards the gateway — two
+            // bandwidth-delay products of the actual path — instead of one
+            // hard-wired constant for every WAN class.
+            let warmup = self
+                .resolved_route(world, via)
+                .map(|r| relay::warmup_bytes_for(&r.info))
+                .unwrap_or(relay::TRUNK_WARMUP_BYTES);
+            mux.warm_up(world, warmup);
+        }
         self.inner
             .borrow_mut()
             .trunks
             .insert((via, network), mux.clone());
         mux
+    }
+
+    /// Whether this runtime has been fail-stopped by
+    /// [`PadicoRuntime::kill`].
+    pub fn is_dead(&self) -> bool {
+        self.inner.borrow().dead
+    }
+
+    /// Fail-stops this node — the gateway-death fault model of the
+    /// failover experiments. From this instant the node consumes nothing
+    /// more: its splices stop pulling, its trunk carriers are severed and
+    /// incoming connections are refused. Everything it had *already*
+    /// consumed keeps draining in an orderly way, and each trunk's
+    /// consumed-credit batches are flushed first — so in credit mode a
+    /// peer's "acknowledged" ledger matches exactly what this gateway
+    /// forwarded before dying, which is what makes failover resume
+    /// byte-exact. Idempotent.
+    pub fn kill(&self, world: &mut SimWorld) {
+        let (outgoing, accepted) = {
+            let mut inner = self.inner.borrow_mut();
+            if inner.dead {
+                return;
+            }
+            inner.dead = true;
+            let mut outgoing: Vec<((NodeId, NetworkId), TrunkMux)> = inner.trunks.drain().collect();
+            outgoing.sort_by_key(|((node, net), _)| (node.0, net.0));
+            let outgoing: Vec<TrunkMux> = outgoing.into_iter().map(|(_, m)| m).collect();
+            let accepted: Vec<TrunkMux> = inner.accepted_trunks.drain(..).collect();
+            (outgoing, accepted)
+        };
+        // Flush every consumed-but-unreturned credit batch while the
+        // carriers still deliver: after this instant, a peer's
+        // "acknowledged" equals exactly what this node consumed.
+        for mux in outgoing.iter().chain(accepted.iter()) {
+            mux.flush_consumed_credits(world);
+        }
+        // Sever the ingress side only. Closing an accepted carrier wakes
+        // every stream on it, and each woken splice pump — seeing the dead
+        // flag — closes its onward leg *gracefully*: bytes this node
+        // consumed (and therefore acknowledged) before dying were already
+        // posted onwards, and the graceful close drains them, including
+        // credit-parked window excess, before the CLOSE goes out. The
+        // outgoing carriers therefore stay open until that drain finishes
+        // and then simply idle; peers still detect the death immediately
+        // through their own severed ingress trunks.
+        for mux in &accepted {
+            mux.close_carrier(world);
+        }
     }
 
     /// Severs every outgoing gateway trunk this runtime holds (closing the
@@ -245,8 +356,13 @@ impl PadicoRuntime {
 
     /// Keeps an accepted trunk demultiplexer alive for the lifetime of
     /// this runtime (its carrier callback only holds a weak reference).
+    /// Dead muxes are purged as new carriers arrive, so a gateway under
+    /// peer churn (every failover re-dial lands a fresh carrier here)
+    /// holds O(live peers) trunk state, not O(history).
     pub(crate) fn register_accepted_trunk(&self, mux: TrunkMux) {
-        self.inner.borrow_mut().accepted_trunks.push(mux);
+        let mut inner = self.inner.borrow_mut();
+        inner.accepted_trunks.retain(|m| !m.is_dead());
+        inner.accepted_trunks.push(mux);
     }
 
     /// Memory accounting of every trunk this runtime holds — outgoing
@@ -716,7 +832,9 @@ pub fn runtimes_for_grid(
             let san = site.san.map(|san| (san, site.nodes.clone()));
             let rt = PadicoRuntime::new(world, node, san, prefs.clone());
             rt.set_route_table(routes.clone());
-            if node == site.gateway {
+            // Every gateway — redundant secondaries included — runs a
+            // proxy, so failover has a live ingress point to shift to.
+            if site.gateways.contains(&node) {
                 proxies.push(relay::install_gateway_proxy(world, &rt));
                 gateway_rts.push(rt.clone());
             }

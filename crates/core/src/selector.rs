@@ -15,7 +15,7 @@
 //! bounded cache so the hot path never re-derives hop vectors.
 
 use std::cell::{Cell, RefCell};
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeSet, HashMap, VecDeque};
 use std::rc::Rc;
 
 use gridtopo::{GridRoutes, PathInfo, Route};
@@ -70,9 +70,19 @@ pub struct SelectorPreferences {
     pub gateway_trunk_budget: usize,
     /// Entries kept in the selector's route cache (resolved
     /// [`Route`]/[`PathInfo`] pairs, memoized on the link-decision hot
-    /// path; evicted FIFO beyond this bound and invalidated whenever a
-    /// route table is installed).
+    /// path; evicted by LRU recency beyond this bound — a hot gateway
+    /// destination survives any number of one-shot lookups — and
+    /// invalidated whenever a route table is installed or a gateway is
+    /// marked down).
     pub route_cache_capacity: usize,
+    /// Gateway failover: relayed streams ride liveness-monitored trunks
+    /// (heartbeats + dead-carrier detection) on *every* leg, a dead trunk
+    /// marks its gateway down in the knowledge base, routes re-resolve
+    /// through any surviving gateway of the site, and in-flight relayed
+    /// streams re-dial and resume automatically — in credit mode with
+    /// zero acknowledged bytes lost. Off by default: the seed behaviour
+    /// (manual `drop_trunks` recovery) is preserved exactly.
+    pub gateway_failover: bool,
     /// Never use the SAN even when available (ablation / debugging knob).
     pub forbid_san: bool,
 }
@@ -103,6 +113,7 @@ impl Default for SelectorPreferences {
             relay_backpressure: BackpressureMode::Drop,
             gateway_trunk_budget: 0,
             route_cache_capacity: 4096,
+            gateway_failover: false,
             forbid_san: false,
         }
     }
@@ -180,22 +191,34 @@ pub struct RouteCacheStats {
     pub hits: u64,
     /// Lookups that resolved and inserted a fresh entry.
     pub misses: u64,
-    /// Entries evicted by the FIFO bound.
+    /// Entries evicted by the LRU bound.
     pub evictions: u64,
-    /// Whole-cache invalidations (route-table installs).
+    /// Whole-cache invalidations (route-table installs / gateway-state
+    /// changes).
     pub invalidations: u64,
     /// Entries currently resident.
     pub len: usize,
 }
 
-/// Bounded FIFO memo of resolved routes, keyed by ordered node pair.
+/// Bounded LRU memo of resolved routes, keyed by ordered node pair.
 /// Hierarchical tables materialize `Route`/`PathInfo` lazily, so the cache
 /// is what keeps repeated link decisions (and the relay fabric's
 /// per-stream lookups) allocation-free.
+///
+/// Eviction is by *recency*, not insertion order: each entry carries a
+/// monotonically stamped last-use tick, and the `order` queue holds
+/// (stamp, key) records — stale records (an entry re-stamped since) are
+/// skipped on pop, so a hit costs O(1) (one push, no search) and eviction
+/// is amortized O(1). A hot gateway destination therefore survives any
+/// number of one-shot lookups streaming past it, which FIFO eviction —
+/// the previous policy — did not guarantee.
 #[derive(Debug, Default)]
 struct RouteCache {
-    entries: HashMap<(NodeId, NodeId), Rc<ResolvedRoute>>,
-    order: VecDeque<(NodeId, NodeId)>,
+    entries: HashMap<(NodeId, NodeId), (Rc<ResolvedRoute>, u64)>,
+    /// (stamp, key) in stamp order; records whose stamp no longer matches
+    /// the entry's are stale and skipped.
+    order: VecDeque<(u64, (NodeId, NodeId))>,
+    tick: u64,
     hits: u64,
     misses: u64,
     evictions: u64,
@@ -203,18 +226,53 @@ struct RouteCache {
 }
 
 impl RouteCache {
+    /// Looks `key` up, refreshing its recency on a hit.
+    fn get(&mut self, key: (NodeId, NodeId)) -> Option<Rc<ResolvedRoute>> {
+        self.tick += 1;
+        let tick = self.tick;
+        let (value, stamp) = self.entries.get_mut(&key)?;
+        *stamp = tick;
+        let value = value.clone();
+        self.order.push_back((tick, key));
+        // Hits stamp a fresh record each: hit-dominated workloads must
+        // compact here too or the lazy-deletion queue grows one record
+        // per lookup forever.
+        self.compact_if_bloated();
+        Some(value)
+    }
+
+    /// Drops stale order records once they outnumber the live entries,
+    /// keeping the queue O(resident entries) amortized-O(1) per call.
+    fn compact_if_bloated(&mut self) {
+        if self.order.len() > 2 * self.entries.len().max(16) {
+            let entries = &self.entries;
+            self.order
+                .retain(|(stamp, key)| entries.get(key).is_some_and(|(_, s)| s == stamp));
+        }
+    }
+
     fn insert(&mut self, key: (NodeId, NodeId), value: Rc<ResolvedRoute>, capacity: usize) {
         let capacity = capacity.max(1);
-        while self.entries.len() >= capacity {
-            let Some(oldest) = self.order.pop_front() else {
+        while self.entries.len() >= capacity && !self.entries.contains_key(&key) {
+            let Some((stamp, oldest)) = self.order.pop_front() else {
                 break;
             };
-            self.entries.remove(&oldest);
-            self.evictions += 1;
+            match self.entries.get(&oldest) {
+                // Live record: this is genuinely the least recently used.
+                Some((_, s)) if *s == stamp => {
+                    self.entries.remove(&oldest);
+                    self.evictions += 1;
+                }
+                // Stale record (the entry was touched again later, or is
+                // already gone): skip, its newer record is further back.
+                _ => {}
+            }
         }
-        if self.entries.insert(key, value).is_none() {
-            self.order.push_back(key);
-        }
+        self.tick += 1;
+        let tick = self.tick;
+        self.entries.insert(key, (value, tick));
+        self.order.push_back((tick, key));
+        self.compact_if_bloated();
     }
 }
 
@@ -227,6 +285,10 @@ pub struct TopologyKb {
     /// Multi-hop routes, when a grid topology has been registered. Without
     /// routes the selector only resolves direct (shared-network) links.
     routes: Option<Rc<GridRoutes>>,
+    /// Gateways currently known dead (learned from trunk liveness, or
+    /// marked by hand). With `gateway_failover` set, route resolution
+    /// avoids them; shared across clones of this knowledge base.
+    down_gateways: Rc<RefCell<BTreeSet<NodeId>>>,
     /// Memoized resolved routes (shared across clones of this knowledge
     /// base, invalidated whenever `routes` is replaced).
     cache: Rc<RefCell<RouteCache>>,
@@ -303,19 +365,68 @@ impl TopologyKb {
         let routes = self.routes.as_ref()?;
         {
             let mut cache = self.cache.borrow_mut();
-            if let Some(hit) = cache.entries.get(&(a, b)).cloned() {
+            if let Some(hit) = cache.get((a, b)) {
                 cache.hits += 1;
                 return Some(hit);
             }
         }
-        let route = routes.route(a, b)?;
-        let cost = routes.cost(a, b).unwrap_or(0);
+        let down = self.down_gateways.borrow();
+        let (route, cost) = if self.prefs.gateway_failover && !down.is_empty() {
+            let route = routes.route_avoiding(a, b, &down)?;
+            // The additive cost of any materialized route is the sum of
+            // its per-hop link costs (the hier tests assert this), so sum
+            // them here instead of paying a second composition through
+            // `cost_avoiding` on the failover path.
+            let cost = route
+                .hops
+                .iter()
+                .map(|h| gridtopo::link_cost(world, h.network))
+                .sum();
+            (route, cost)
+        } else {
+            (routes.route(a, b)?, routes.cost(a, b).unwrap_or(0))
+        };
+        drop(down);
         let info = PathInfo::for_route(world, &route, cost);
         let resolved = Rc::new(ResolvedRoute { route, info });
         let mut cache = self.cache.borrow_mut();
         cache.misses += 1;
         cache.insert((a, b), resolved.clone(), self.prefs.route_cache_capacity);
         Some(resolved)
+    }
+
+    /// Marks `gateway` dead: with `gateway_failover` set, subsequent
+    /// resolutions avoid it (re-composing routes through any surviving
+    /// gateway of its site). Every cached route is invalidated — entries
+    /// resolved while the gateway was believed alive must not serve
+    /// another lookup. Learned automatically from trunk liveness by the
+    /// runtime; also available to tests and operators.
+    pub fn mark_gateway_down(&self, gateway: NodeId) {
+        if self.down_gateways.borrow_mut().insert(gateway) {
+            self.invalidate_cache();
+        }
+    }
+
+    /// Marks a previously down gateway live again (restarted process).
+    pub fn mark_gateway_up(&self, gateway: NodeId) {
+        if self.down_gateways.borrow_mut().remove(&gateway) {
+            self.invalidate_cache();
+        }
+    }
+
+    /// The gateways currently marked down.
+    pub fn down_gateways(&self) -> Vec<NodeId> {
+        self.down_gateways.borrow().iter().copied().collect()
+    }
+
+    /// Clears every cached entry in place (counters survive). Unlike
+    /// [`TopologyKb::set_routes`] this acts on the *shared* cache: clones
+    /// share the same down-set, so the staleness reaches them all alike.
+    fn invalidate_cache(&self) {
+        let mut cache = self.cache.borrow_mut();
+        cache.entries.clear();
+        cache.order.clear();
+        cache.invalidations += 1;
     }
 
     /// A snapshot of the route-cache counters.
@@ -692,7 +803,7 @@ mod tests {
     }
 
     #[test]
-    fn route_cache_evicts_fifo_beyond_capacity() {
+    fn route_cache_evicts_least_recent_beyond_capacity() {
         let mut world = simnet::SimWorld::new(4);
         let grid = gridtopo::GridTopology::two_sites(&mut world, 4);
         let kb = TopologyKb::with_routes(
@@ -709,10 +820,93 @@ mod tests {
         }
         let stats = kb.route_cache_stats();
         assert_eq!(stats.len, 2, "bounded at the configured capacity");
-        assert_eq!(stats.evictions, 1, "the oldest entry left FIFO");
-        // The evicted (oldest) pair resolves again as a miss.
+        assert_eq!(stats.evictions, 1, "the least-recent entry left");
+        // The evicted (least recently used) pair resolves again as a miss.
         kb.resolve_route(&world, src, targets[0]).unwrap();
         assert_eq!(kb.route_cache_stats().misses, 4);
+    }
+
+    #[test]
+    fn route_cache_recency_keeps_hot_entries_over_one_shot_lookups() {
+        // The FIFO policy this replaces evicted the *oldest inserted*
+        // entry — a hot gateway destination resolved early died as soon
+        // as a few one-shot lookups streamed past. LRU must keep it.
+        let mut world = simnet::SimWorld::new(4);
+        let grid = gridtopo::GridTopology::two_sites(&mut world, 6);
+        let kb = TopologyKb::with_routes(
+            SelectorPreferences {
+                route_cache_capacity: 3,
+                ..Default::default()
+            },
+            Rc::new(grid.routes.clone()),
+        );
+        let src = grid.site(0).node(1);
+        let hot = grid.site(1).node(1);
+        let one_shots: Vec<_> = (2..6).map(|i| grid.site(1).node(i)).collect();
+        kb.resolve_route(&world, src, hot).unwrap();
+        for &cold in &one_shots {
+            // Touch the hot pair between every one-shot lookup, like a
+            // gateway resolving the same destination per relayed stream.
+            assert!(kb.resolve_route(&world, src, hot).is_some());
+            kb.resolve_route(&world, src, cold).unwrap();
+        }
+        let stats = kb.route_cache_stats();
+        assert_eq!(stats.misses, 1 + one_shots.len() as u64);
+        assert_eq!(stats.hits, one_shots.len() as u64);
+        assert!(stats.evictions >= 2, "the one-shots evicted each other");
+        // The hot entry is still resident: another touch is a hit, and
+        // the hit shares the same materialization.
+        let before = kb.route_cache_stats().hits;
+        let again = kb.resolve_route(&world, src, hot).unwrap();
+        assert_eq!(kb.route_cache_stats().hits, before + 1, "hot stays hot");
+        assert_eq!(again.info.hop_count, 3);
+        // Under FIFO the hot pair (inserted first) would have been the
+        // first casualty; under LRU the evictions all hit cold pairs.
+        assert_eq!(kb.route_cache_stats().len, 3);
+    }
+
+    #[test]
+    fn marking_a_gateway_down_resolves_around_it_and_invalidates() {
+        let mut world = simnet::SimWorld::new(4);
+        let grid = gridtopo::GridTopology::star(
+            &mut world,
+            &[
+                gridtopo::SiteSpec::san_cluster("a", 3).with_gateways(2),
+                gridtopo::SiteSpec::san_cluster("b", 3).with_gateways(2),
+            ],
+            simnet::NetworkSpec::vthd_wan(),
+        );
+        let kb = TopologyKb::with_routes(
+            SelectorPreferences {
+                gateway_failover: true,
+                ..Default::default()
+            },
+            Rc::new(grid.routes.clone()),
+        );
+        let src = grid.site(0).node(2);
+        let dst = grid.site(1).node(2);
+        let healthy = kb.resolve_route(&world, src, dst).unwrap();
+        assert!(healthy.info.relays.contains(&grid.site(1).gateway));
+        // The far primary dies: the cache is invalidated and the fresh
+        // resolution rides the secondary.
+        kb.mark_gateway_down(grid.site(1).gateway);
+        assert_eq!(kb.route_cache_stats().len, 0);
+        assert_eq!(kb.route_cache_stats().invalidations, 1);
+        assert_eq!(kb.down_gateways(), vec![grid.site(1).gateway]);
+        let rerouted = kb.resolve_route(&world, src, dst).unwrap();
+        assert!(
+            rerouted.info.relays.contains(&grid.site(1).gateways[1]),
+            "the surviving secondary carries the route: {:?}",
+            rerouted.info.relays
+        );
+        assert!(!rerouted.info.relays.contains(&grid.site(1).gateway));
+        // Selector decisions follow the rerouted resolution.
+        let d = kb.select_vlink(&world, src, dst);
+        assert!(d.is_relayed());
+        // Recovery: marking it up re-invalidates and the primary returns.
+        kb.mark_gateway_up(grid.site(1).gateway);
+        let back = kb.resolve_route(&world, src, dst).unwrap();
+        assert!(back.info.relays.contains(&grid.site(1).gateway));
     }
 
     #[test]

@@ -53,6 +53,11 @@ const KIND_WARMUP: u8 = 2;
 /// Credit return: the payload is a 4-byte big-endian count of consumed
 /// bytes the receiver hands back to the sender's window.
 const KIND_CREDIT: u8 = 3;
+/// Liveness keep-alive (zero payload, stream id 0): sent while the peer
+/// is actively talking to us but we have nothing else to say, so a
+/// sender with outstanding credited data can tell a silent-but-alive
+/// peer from a dead one.
+const KIND_HEARTBEAT: u8 = 4;
 
 /// Size of the per-frame multiplexing header.
 pub(crate) const MUX_HEADER_BYTES: usize = 9;
@@ -60,6 +65,45 @@ pub(crate) const MUX_HEADER_BYTES: usize = 9;
 /// Largest payload carried by one mux frame, so concurrent streams
 /// interleave fairly on the trunk.
 const MAX_FRAME_PAYLOAD: usize = 64 * 1024;
+
+/// Liveness configuration of a trunk end (see [`TrunkMux::enable_health`]).
+///
+/// Detection is *expectation-driven*: the health timer only runs while
+/// this end has a reason to expect peer activity (parked bytes waiting
+/// for credits, or an open credit window deficit), plus a short
+/// grace window after the last real traffic. An idle trunk therefore
+/// costs no simulation events at all — and a silently dead carrier is
+/// detected on the next use, when the first unanswered send arms the
+/// timer. An orderly carrier close is detected immediately, without
+/// waiting for any timeout.
+///
+/// The expectation itself *decays* `heartbeat_interval` past
+/// `dead_after` from the last real send: a receiver that legitimately
+/// sits on sub-threshold data (owing no credits yet) must never be
+/// mistaken for a corpse, and a timer armed for the whole stall would
+/// keep the event queue alive forever. The corner this trades away: a
+/// peer that dies *silently* after a stream has already been stalled
+/// past the window goes undetected until the next wire activity —
+/// orderly deaths (the `kill` fail-stop model) are always caught
+/// immediately regardless.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TrunkHealthConfig {
+    /// How often the armed timer ticks (and, while the peer is actively
+    /// talking, how often a keep-alive heartbeat goes out).
+    pub heartbeat_interval: SimDuration,
+    /// Silence (no frame of any kind from the peer) beyond which an
+    /// *expecting* end declares the carrier dead.
+    pub dead_after: SimDuration,
+}
+
+impl Default for TrunkHealthConfig {
+    fn default() -> Self {
+        TrunkHealthConfig {
+            heartbeat_interval: SimDuration::from_millis(20),
+            dead_after: SimDuration::from_millis(80),
+        }
+    }
+}
 
 /// Per-stream credit-window configuration of a flow-controlled trunk.
 /// Both ends of a trunk must agree on it (the runtime derives it from the
@@ -143,6 +187,10 @@ pub struct TrunkMemoryStats {
 }
 
 type TrunkAcceptCallback = Box<dyn FnMut(&mut SimWorld, TrunkStream)>;
+/// Death hook; the `bool` says whether *this* end severed the carrier
+/// itself (`close_carrier` — the local-restart fault model) rather than
+/// the peer dying: a local sever says nothing about the peer's health.
+type TrunkDeadCallback = Box<dyn FnOnce(&mut SimWorld, bool)>;
 
 struct StreamState {
     id: u32,
@@ -226,6 +274,36 @@ struct MuxInner {
     /// Present on the accepting (gateway proxy) side: invoked with each
     /// stream a peer opens over this trunk.
     on_accept: Option<TrunkAcceptCallback>,
+    /// Liveness configuration, when enabled.
+    health: Option<TrunkHealthConfig>,
+    /// Whether the health timer is currently scheduled.
+    health_armed: bool,
+    /// Last time any frame arrived from the peer (heartbeats included).
+    last_rx: SimTime,
+    /// Last time any frame was sent to the peer.
+    last_tx: SimTime,
+    /// Last time a *real* (non-heartbeat) frame arrived / was sent —
+    /// heartbeats answer real traffic but never count as it, or two idle
+    /// ends would keep each other's timers alive forever.
+    last_data_rx: SimTime,
+    last_data_tx: SimTime,
+    /// The trunk has been declared dead (carrier closed or silent past
+    /// `dead_after` while expecting): every stream on it is over.
+    dead: bool,
+    /// This end severed the carrier itself ([`TrunkMux::close_carrier`] —
+    /// the `drop_trunks` / local-restart fault model). Death hooks use it
+    /// to tell a local sever from a dead *peer*: only the latter may mark
+    /// the remote gateway down.
+    locally_severed: bool,
+    /// Fault-model hook: a muted end sends nothing (its bytes are lost)
+    /// and ignores everything it receives — a silently crashed gateway.
+    muted: bool,
+    /// Run once when the trunk is declared dead (failover re-dial hooks).
+    on_dead: Vec<TrunkDeadCallback>,
+    /// Shared-budget bytes charged for warm-up padding still in flight;
+    /// returned by the far end's warm-up credits, or refunded wholesale
+    /// when the trunk dies before establishment completes.
+    warmup_charge: usize,
 }
 
 /// One end of a gateway trunk: demultiplexes mux frames arriving on the
@@ -233,6 +311,17 @@ struct MuxInner {
 #[derive(Clone)]
 pub struct TrunkMux {
     inner: Rc<RefCell<MuxInner>>,
+}
+
+/// Non-owning [`TrunkMux`] handle (see [`TrunkMux::downgrade`]).
+#[derive(Clone)]
+pub(crate) struct WeakTrunkMux(std::rc::Weak<RefCell<MuxInner>>);
+
+impl WeakTrunkMux {
+    /// Whether the trunk is dead (a dropped mux counts as dead).
+    pub(crate) fn is_dead(&self) -> bool {
+        self.0.upgrade().is_none_or(|i| i.borrow().dead)
+    }
 }
 
 impl TrunkMux {
@@ -287,6 +376,17 @@ impl TrunkMux {
                 recv_high_water: 0,
                 lost_bytes: 0,
                 on_accept,
+                health: None,
+                health_armed: false,
+                last_rx: SimTime::ZERO,
+                last_tx: SimTime::ZERO,
+                last_data_rx: SimTime::ZERO,
+                last_data_tx: SimTime::ZERO,
+                dead: false,
+                locally_severed: false,
+                muted: false,
+                on_dead: Vec::new(),
+                warmup_charge: 0,
             })),
         };
         let weak = Rc::downgrade(&mux.inner);
@@ -301,12 +401,259 @@ impl TrunkMux {
     /// Pushes `bytes` of warm-up padding through the trunk. The far end
     /// discards it; its only effect is growing the carrier's congestion
     /// state to steady state before real streams ride the trunk.
+    ///
+    /// With a shared trunk budget configured, the padding *charges* the
+    /// budget like any other in-flight bytes (it occupies the same carrier
+    /// and far-end memory) and the far end returns it as mux-level credits
+    /// on receipt — so warm-up accounting and
+    /// [`TrunkMux::memory_stats`] stay consistent. If the carrier dies
+    /// during establishment the outstanding charge is refunded when the
+    /// death is detected ([`TrunkMux::declare_dead`]), before any stream
+    /// attaches: an establishment failure can never leak the budget away.
     pub fn warm_up(&self, world: &mut SimWorld, bytes: usize) {
         let mut left = bytes;
         while left > 0 {
             let chunk = left.min(MAX_FRAME_PAYLOAD);
+            {
+                let mut inner = self.inner.borrow_mut();
+                if let Some(b) = inner.budget.as_mut() {
+                    let charge = chunk.min(b.left);
+                    b.left -= charge;
+                    inner.warmup_charge += charge;
+                }
+            }
             self.send_frame(world, 0, KIND_WARMUP, Bytes::from(vec![0u8; chunk]));
             left -= chunk;
+        }
+    }
+
+    /// Enables liveness detection on this trunk end: an orderly carrier
+    /// close is declared dead immediately; a silent carrier is declared
+    /// dead once this end has been *expecting* peer activity (parked or
+    /// window-limited bytes) for longer than
+    /// [`TrunkHealthConfig::dead_after`]. While armed, the timer also
+    /// answers an actively talking peer with keep-alive heartbeats so
+    /// that a pure sender's expectation can be met.
+    pub fn enable_health(&self, world: &mut SimWorld, config: TrunkHealthConfig) {
+        {
+            let mut inner = self.inner.borrow_mut();
+            let now = world.now();
+            inner.health = Some(config);
+            inner.last_rx = now;
+            inner.last_tx = now;
+            inner.last_data_rx = now;
+            inner.last_data_tx = now;
+        }
+        self.arm_health(world);
+    }
+
+    /// Registers a hook run once, when this trunk end is declared dead
+    /// (orderly close observed or liveness timeout). Used by the runtime
+    /// to purge its trunk table and by failover streams to re-dial. The
+    /// hook receives `locally_severed`: whether this end closed the
+    /// carrier itself (see [`TrunkMux::close_carrier`]).
+    pub fn on_dead(&self, cb: impl FnOnce(&mut SimWorld, bool) + 'static) {
+        self.inner.borrow_mut().on_dead.push(Box::new(cb));
+    }
+
+    /// Whether this trunk end has been declared dead.
+    pub fn is_dead(&self) -> bool {
+        self.inner.borrow().dead
+    }
+
+    /// True when `other` is the same trunk end.
+    pub fn same(&self, other: &TrunkMux) -> bool {
+        Rc::ptr_eq(&self.inner, &other.inner)
+    }
+
+    /// Fault-model hook: silences this end — nothing is sent any more
+    /// (bytes streams hand us are lost and accounted) and arriving frames
+    /// are discarded unread. This models a gateway process that crashed
+    /// without closing its connections; the peer can only notice through
+    /// liveness timeouts.
+    pub fn mute(&self) {
+        self.inner.borrow_mut().muted = true;
+    }
+
+    /// Declares this trunk end dead: refunds any outstanding warm-up
+    /// budget charge, closes the carrier, runs the death hooks and wakes
+    /// every stream so blocked readers observe the end of stream.
+    pub fn declare_dead(&self, world: &mut SimWorld) {
+        if self.inner.borrow().dead {
+            return;
+        }
+        // Final credit flush while our write side still delivers (the
+        // peer closing its direction does not close ours — half-close):
+        // a peer migrating its streams learns exactly what this end
+        // consumed before our FIN, which is what makes its resume offset
+        // exact. Futile when the peer is truly gone — the credits die on
+        // the severed wire, accounted — and a no-op after a fail-stop
+        // `kill`, which flushed explicitly first.
+        self.flush_consumed_credits(world);
+        let (hooks, states, locally_severed) = {
+            let mut inner = self.inner.borrow_mut();
+            if inner.dead {
+                return;
+            }
+            inner.dead = true;
+            // Warm-up padding that will never be credited back: refund it
+            // now so an establishment failure returns the budget before
+            // the first stream ever attaches.
+            let charge = std::mem::take(&mut inner.warmup_charge);
+            if let Some(b) = inner.budget.as_mut() {
+                b.left = (b.left + charge).min(b.cap);
+            }
+            let hooks = std::mem::take(&mut inner.on_dead);
+            let mut states: Vec<_> = inner.streams.values().cloned().collect();
+            states.sort_by_key(|s| s.borrow().id);
+            (hooks, states, inner.locally_severed)
+        };
+        let carrier = self.inner.borrow().carrier.clone();
+        carrier.close(world);
+        for hook in hooks {
+            hook(world, locally_severed);
+        }
+        for state in states {
+            TrunkStream {
+                mux: self.clone(),
+                state,
+            }
+            .schedule_notify(world);
+        }
+    }
+
+    /// Grants every stream's consumed-but-unreturned credit batch back to
+    /// the peer immediately (in stream-id order). Part of the orderly
+    /// fail-stop model: a gateway being killed flushes these so that the
+    /// peer's notion of *acknowledged* matches exactly what this end
+    /// consumed — and therefore what its splices already forwarded.
+    pub fn flush_consumed_credits(&self, world: &mut SimWorld) {
+        let mut states: Vec<_> = self.inner.borrow().streams.values().cloned().collect();
+        states.sort_by_key(|s| s.borrow().id);
+        for state in states {
+            let grant = {
+                let mut st = state.borrow_mut();
+                if st.flow.is_none() || st.consumed_unreturned == 0 {
+                    None
+                } else {
+                    let g = st.consumed_unreturned;
+                    st.consumed_unreturned = 0;
+                    st.credits_granted += g as u64;
+                    Some((st.id, g))
+                }
+            };
+            if let Some((id, granted)) = grant {
+                let mut left = granted;
+                while left > 0 {
+                    let part = left.min(u32::MAX as usize);
+                    self.send_frame(world, id, KIND_CREDIT, credit_payload(part));
+                    left -= part;
+                }
+            }
+        }
+    }
+
+    /// Whether any stream of this end is *expecting* peer activity: bytes
+    /// parked for want of window/budget, a partially spent credit window,
+    /// or a deferred close. Only an expecting end may declare a silent
+    /// carrier dead — a mere receiver cannot tell silence from idleness.
+    fn expecting_activity(&self) -> bool {
+        let inner = self.inner.borrow();
+        inner.streams.values().any(|s| {
+            let st = s.borrow();
+            match st.flow {
+                Some(f) => {
+                    !st.pending_tx.is_empty()
+                        || st.close_after_flush
+                        || st.send_window < f.initial_window
+                }
+                None => false,
+            }
+        }) || inner.warmup_charge > 0
+    }
+
+    /// (Re-)schedules the health timer if health is enabled and it is not
+    /// already pending.
+    fn arm_health(&self, world: &mut SimWorld) {
+        let interval = {
+            let mut inner = self.inner.borrow_mut();
+            let Some(h) = inner.health else { return };
+            if inner.health_armed || inner.dead {
+                return;
+            }
+            inner.health_armed = true;
+            h.heartbeat_interval
+        };
+        let weak = Rc::downgrade(&self.inner);
+        world.schedule_after(interval, move |world| {
+            if let Some(inner) = weak.upgrade() {
+                TrunkMux { inner }.health_tick(world);
+            }
+        });
+    }
+
+    fn health_tick(&self, world: &mut SimWorld) {
+        let now = world.now();
+        enum Verdict {
+            Dead,
+            Tick { heartbeat: bool, rearm: bool },
+        }
+        let verdict = {
+            let mut inner = self.inner.borrow_mut();
+            inner.health_armed = false;
+            let Some(h) = inner.health else { return };
+            if inner.dead {
+                return;
+            }
+            if inner.carrier.is_finished() {
+                Verdict::Dead
+            } else {
+                drop(inner);
+                let expecting = self.expecting_activity();
+                let inner = self.inner.borrow();
+                // A receiver answers recent real traffic with keep-alives
+                // for `hb_window`; a sender's expectation stays *active*
+                // for `expect_window` after its last real send. The
+                // invariant `expect_window < hb_window + dead_after`
+                // guarantees a live peer's heartbeats always land before
+                // an active expectation can time out — a receiver that
+                // merely sits on sub-threshold data (owing no credits yet)
+                // is never mistaken for a corpse.
+                let hb_window = h.heartbeat_interval + h.heartbeat_interval;
+                let expect_window = h.dead_after + h.heartbeat_interval;
+                let active_expectation =
+                    expecting && now.since(inner.last_data_tx) <= expect_window;
+                if active_expectation && now.since(inner.last_rx) > h.dead_after {
+                    Verdict::Dead
+                } else {
+                    // Heartbeat only towards a recently *talking* peer —
+                    // answering heartbeats with heartbeats would keep two
+                    // idle ends pinging forever (and the world from ever
+                    // draining).
+                    let heartbeat = !inner.muted
+                        && now.since(inner.last_data_rx) <= hb_window
+                        && now.since(inner.last_tx) >= h.heartbeat_interval;
+                    // Stay armed while the expectation is live or real
+                    // traffic is recent; otherwise let the timer lapse
+                    // (the next send or arrival re-arms it). Detection
+                    // beyond the active window is lazy-on-next-use.
+                    let rearm = active_expectation
+                        || now.since(inner.last_data_rx) <= hb_window
+                        || now.since(inner.last_data_tx) <= hb_window;
+                    Verdict::Tick { heartbeat, rearm }
+                }
+            }
+        };
+        match verdict {
+            Verdict::Dead => self.declare_dead(world),
+            Verdict::Tick { heartbeat, rearm } => {
+                if heartbeat {
+                    self.send_frame(world, 0, KIND_HEARTBEAT, Bytes::new());
+                }
+                if rearm {
+                    self.arm_health(world);
+                }
+            }
         }
     }
 
@@ -403,8 +750,24 @@ impl TrunkMux {
     /// riding it ends once in-flight data drains, and bytes sent
     /// afterwards are lost (accounted in [`TrunkMux::lost_bytes`]).
     pub fn close_carrier(&self, world: &mut SimWorld) {
-        let carrier = self.inner.borrow().carrier.clone();
+        let carrier = {
+            let mut inner = self.inner.borrow_mut();
+            inner.locally_severed = true;
+            inner.carrier.clone()
+        };
         carrier.close(world);
+    }
+
+    /// Whether this end severed the carrier itself (as opposed to the
+    /// peer dying or closing).
+    pub fn locally_severed(&self) -> bool {
+        self.inner.borrow().locally_severed
+    }
+
+    /// A non-owning handle for death probes (splices must not keep their
+    /// own mux alive through a probe, or the probe closes a leak cycle).
+    pub(crate) fn downgrade(&self) -> WeakTrunkMux {
+        WeakTrunkMux(Rc::downgrade(&self.inner))
     }
 
     fn on_carrier_readable(&self, world: &mut SimWorld) {
@@ -415,6 +778,10 @@ impl TrunkMux {
                 let data = inner.carrier.recv_bytes(world, usize::MAX);
                 if data.is_empty() {
                     break;
+                }
+                if inner.muted {
+                    // A silently crashed end reads nothing: discard.
+                    continue;
                 }
                 inner.rx.push_bytes(data);
             }
@@ -435,14 +802,39 @@ impl TrunkMux {
                 let payload = inner.rx.read_bytes(len);
                 frames.push((id, kind, payload));
             }
+            if !frames.is_empty() {
+                inner.last_rx = world.now();
+                if frames.iter().any(|(_, k, _)| *k != KIND_HEARTBEAT) {
+                    inner.last_data_rx = world.now();
+                }
+            }
             frames
         };
+        if !frames.is_empty() {
+            // Incoming traffic arms the watch so this end can heartbeat
+            // back at a peer that is waiting on us.
+            self.arm_health(world);
+        }
 
         // Phase 2: deliver outside the mux borrow (acceptors may open
         // onward legs, which can touch other trunks and the runtime).
         for (id, kind, payload) in frames {
+            if kind == KIND_HEARTBEAT {
+                continue; // keep-alive: its work was updating last_rx
+            }
             if kind == KIND_WARMUP {
-                drop(payload); // padding: its work was done on the wire
+                // Padding: its work was done on the wire. With flow
+                // control the sender charged its shared budget for these
+                // bytes; hand them back as mux-level credits.
+                let refund = self.inner.borrow().flow.is_some() && !payload.is_empty();
+                if refund {
+                    let mut left = payload.len();
+                    while left > 0 {
+                        let part = left.min(u32::MAX as usize);
+                        self.send_frame(world, 0, KIND_CREDIT, credit_payload(part));
+                        left -= part;
+                    }
+                }
                 continue;
             }
             if kind == KIND_CREDIT {
@@ -466,6 +858,9 @@ impl TrunkMux {
                     if let Some(b) = inner.budget.as_mut() {
                         b.left = (b.left + amount).min(b.cap);
                     }
+                    // Warm-up padding coming back: its budget charge is no
+                    // longer outstanding (nothing left to refund on death).
+                    inner.warmup_charge = inner.warmup_charge.saturating_sub(amount);
                 }
                 let state = self.inner.borrow().streams.get(&id).cloned();
                 if let Some(state) = &state {
@@ -552,22 +947,32 @@ impl TrunkMux {
         }
 
         // A finished carrier means no stream on this trunk will ever see
-        // another frame: wake every stream so blocked readers observe the
-        // end of stream instead of waiting forever.
+        // another frame: declare the trunk dead (idempotent), which runs
+        // any failover hooks and wakes every stream so blocked readers
+        // observe the end of stream instead of waiting forever. This is
+        // the *immediate* detection path — an orderly close never waits
+        // for the liveness timeout.
         if self.inner.borrow().carrier.is_finished() {
-            let states: Vec<_> = self.inner.borrow().streams.values().cloned().collect();
-            for state in states {
-                TrunkStream {
-                    mux: self.clone(),
-                    state,
-                }
-                .schedule_notify(world);
-            }
+            self.declare_dead(world);
         }
     }
 
     fn send_frame(&self, world: &mut SimWorld, id: u32, kind: u8, payload: Bytes) {
-        let carrier = self.inner.borrow().carrier.clone();
+        let carrier = {
+            let mut inner = self.inner.borrow_mut();
+            if inner.muted || inner.dead {
+                // A muted (silently crashed) or already-dead end: the
+                // frame disappears as if the process had died with the
+                // bytes in its buffers.
+                inner.lost_bytes += (MUX_HEADER_BYTES + payload.len()) as u64;
+                return;
+            }
+            inner.last_tx = world.now();
+            if kind != KIND_HEARTBEAT {
+                inner.last_data_tx = world.now();
+            }
+            inner.carrier.clone()
+        };
         let mut header = BytesMut::with_capacity(MUX_HEADER_BYTES);
         header.extend_from_slice(&id.to_be_bytes());
         header.extend_from_slice(&[kind]);
@@ -583,6 +988,9 @@ impl TrunkMux {
             // lost on the severed wire and accounted, never retried.
             self.inner.borrow_mut().lost_bytes += (expected - sent) as u64;
         }
+        // Sending while healthy keeps (or starts) the liveness watch: an
+        // unanswered expectation is how silent death gets detected.
+        self.arm_health(world);
     }
 }
 
@@ -594,6 +1002,11 @@ pub struct TrunkStream {
 }
 
 impl TrunkStream {
+    /// The mux carrying this stream (failover internals).
+    pub(crate) fn mux(&self) -> &TrunkMux {
+        &self.mux
+    }
+
     /// Credit accounting snapshot of this stream.
     pub fn credit_stats(&self) -> TrunkCreditStats {
         let st = self.state.borrow();
@@ -612,8 +1025,10 @@ impl TrunkStream {
     fn schedule_notify(&self, world: &mut SimWorld) {
         let should = {
             let mut st = self.state.borrow_mut();
-            let has_event =
-                !st.recv_buf.is_empty() || st.peer_closed || self.mux.carrier_finished();
+            let has_event = !st.recv_buf.is_empty()
+                || st.peer_closed
+                || self.mux.carrier_finished()
+                || self.mux.is_dead();
             if st.readable_cb.is_some() && !st.notify_pending && has_event {
                 st.notify_pending = true;
                 true
@@ -881,9 +1296,11 @@ impl ByteStream for TrunkStream {
 
     fn is_finished(&self) -> bool {
         let st = self.state.borrow();
-        // A dead carrier ends every stream riding it: no further frame
-        // can arrive, so an empty receive buffer means end of stream.
-        (st.peer_closed || self.mux.carrier_finished()) && st.recv_buf.is_empty()
+        // A dead carrier (closed, or declared dead by liveness) ends every
+        // stream riding it: no further frame can arrive, so an empty
+        // receive buffer means end of stream.
+        (st.peer_closed || self.mux.carrier_finished() || self.mux.is_dead())
+            && st.recv_buf.is_empty()
     }
 
     fn close(&self, world: &mut SimWorld) {
@@ -931,6 +1348,7 @@ impl ByteStream for TrunkStream {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::cell::Cell;
     use transport::{loopback_pair, ByteStreamExt};
 
     /// (connector, acceptor, accepted streams). The acceptor must stay
@@ -1275,6 +1693,139 @@ mod tests {
                 "round {round}: the full budget must return once the peer drains"
             );
         }
+    }
+
+    // ------------------------------------------------------------------ //
+    // Liveness detection + warm-up budget accounting
+    // ------------------------------------------------------------------ //
+
+    #[test]
+    fn muted_peer_is_declared_dead_by_liveness_timeout() {
+        let mut world = SimWorld::new(0);
+        world.add_node("n");
+        let (mux, acceptor, _accepted) = mux_pair_flow(&world, Some(SMALL_FLOW));
+        let health = TrunkHealthConfig::default();
+        mux.enable_health(&mut world, health);
+        let died_at: Rc<RefCell<Option<simnet::SimTime>>> = Rc::new(RefCell::new(None));
+        let d = died_at.clone();
+        mux.on_dead(move |world, locally| {
+            assert!(!locally, "a silent peer death is not a local sever");
+            *d.borrow_mut() = Some(world.now());
+        });
+        // The peer crashes silently: no FIN ever arrives.
+        acceptor.mute();
+        // Send more than one window so the sender is *expecting* credits.
+        let s = mux.open();
+        let t0 = world.now();
+        s.send_all(&mut world, &[7u8; 3 * 4096]);
+        assert!(!mux.is_dead());
+        world.run();
+        // The expectation went unanswered past dead_after: declared dead,
+        // the hook ran, the stream observed its end, the world drained
+        // (no immortal heartbeat timers).
+        assert!(mux.is_dead(), "liveness must declare the silent peer dead");
+        let died = died_at.borrow().expect("on_dead hook must run");
+        assert!(
+            died.since(t0) >= health.dead_after,
+            "no earlier than the timeout"
+        );
+        assert!(
+            died.since(t0)
+                <= health.dead_after + health.heartbeat_interval + health.heartbeat_interval,
+            "and not much later: died after {:?}",
+            died.since(t0)
+        );
+        assert!(s.is_finished(), "streams on a dead trunk end");
+        let st = s.credit_stats();
+        assert_eq!(st.credits_received, 0, "the corpse never acknowledged");
+        assert!(st.parked_bytes > 0, "unsent bytes stay parked, never faked");
+    }
+
+    #[test]
+    fn healthy_idle_trunk_never_false_positives_and_world_drains() {
+        let mut world = SimWorld::new(0);
+        world.add_node("n");
+        let (mux, acceptor, accepted) = mux_pair_flow(&world, Some(SMALL_FLOW));
+        mux.enable_health(&mut world, TrunkHealthConfig::default());
+        acceptor.enable_health(&mut world, TrunkHealthConfig::default());
+        let s = mux.open();
+        s.send_all(&mut world, b"window-sized exchange");
+        world.run(); // must terminate: heartbeats stop when traffic does
+        let a = accepted.borrow()[0].clone();
+        assert_eq!(a.recv_all(&mut world), b"window-sized exchange");
+        world.run();
+        assert!(!mux.is_dead(), "a drained healthy trunk stays alive");
+        assert!(!acceptor.is_dead());
+        // And it still works long after the idle period.
+        s.send_all(&mut world, b"again");
+        world.run();
+        assert_eq!(a.recv_all(&mut world), b"again");
+    }
+
+    #[test]
+    fn orderly_close_is_declared_dead_immediately() {
+        let mut world = SimWorld::new(0);
+        world.add_node("n");
+        let (mux, acceptor, _accepted) = mux_pair_flow(&world, Some(SMALL_FLOW));
+        mux.enable_health(&mut world, TrunkHealthConfig::default());
+        let dead_hook = Rc::new(Cell::new(false));
+        let d = dead_hook.clone();
+        mux.on_dead(move |_, _locally| d.set(true));
+        mux.inner.borrow().carrier.close(&mut world);
+        acceptor.inner.borrow().carrier.close(&mut world);
+        world.run();
+        assert!(mux.is_dead(), "orderly close needs no timeout");
+        assert!(dead_hook.get());
+    }
+
+    #[test]
+    fn warmup_charges_the_budget_and_the_far_end_returns_it() {
+        let flow = TrunkFlowConfig {
+            initial_window: 64 * 1024,
+            credit_grant_threshold: 1024,
+            trunk_budget: 32 * 1024,
+        };
+        let mut world = SimWorld::new(0);
+        world.add_node("n");
+        let (mux, _acceptor, _accepted) = mux_pair_flow(&world, Some(flow));
+        mux.warm_up(&mut world, 200 * 1024);
+        // The padding charged the budget the moment it left.
+        assert_eq!(mux.memory_stats().budget_available, 0);
+        world.run();
+        // The far end discarded it and returned the charge as credits.
+        assert_eq!(
+            mux.memory_stats().budget_available,
+            flow.trunk_budget,
+            "warm-up accounting must square with trunk_memory_stats"
+        );
+    }
+
+    #[test]
+    fn establishment_failure_refunds_the_warmup_charge() {
+        // A carrier killed *during* warm-up used to strand the budget
+        // bytes charged for the padding: the first stream then started
+        // against a half-empty budget on a fresh trunk's books.
+        let flow = TrunkFlowConfig {
+            initial_window: 64 * 1024,
+            credit_grant_threshold: 1024,
+            trunk_budget: 32 * 1024,
+        };
+        let mut world = SimWorld::new(0);
+        world.add_node("n");
+        let (mux, acceptor, _accepted) = mux_pair_flow(&world, Some(flow));
+        // The far end dies silently before the warm-up is answered.
+        acceptor.mute();
+        mux.warm_up(&mut world, 200 * 1024);
+        assert_eq!(mux.memory_stats().budget_available, 0);
+        mux.enable_health(&mut world, TrunkHealthConfig::default());
+        world.run();
+        assert!(mux.is_dead(), "unanswered warm-up must trip liveness");
+        assert_eq!(
+            mux.memory_stats().budget_available,
+            flow.trunk_budget,
+            "establishment failure returns the full charge before any \
+             stream attaches"
+        );
     }
 
     #[test]

@@ -11,7 +11,7 @@
 
 use simnet::{NetworkId, NetworkSpec, NodeId, SimWorld};
 
-use crate::hier::{HierRouteTable, SiteLayout};
+use crate::hier::SiteLayout;
 use crate::route::GridRoutes;
 
 /// Description of one site to build.
@@ -19,8 +19,12 @@ use crate::route::GridRoutes;
 pub struct SiteSpec {
     /// Site name, used as the node-name prefix.
     pub name: String,
-    /// Number of nodes, including the gateway.
+    /// Number of nodes, including the gateways.
     pub nodes: usize,
+    /// Number of gateway nodes (the first `gateways` nodes of the site,
+    /// attached to the backbone in rank order — the first is the primary,
+    /// the rest are redundant failover gateways).
+    pub gateways: usize,
     /// SAN fabric for the site, if it has one.
     pub san: Option<NetworkSpec>,
     /// LAN fabric for the site.
@@ -34,6 +38,7 @@ impl SiteSpec {
         SiteSpec {
             name: name.into(),
             nodes,
+            gateways: 1,
             san: Some(NetworkSpec::myrinet_2000()),
             lan: NetworkSpec::ethernet_100(),
         }
@@ -44,9 +49,18 @@ impl SiteSpec {
         SiteSpec {
             name: name.into(),
             nodes,
+            gateways: 1,
             san: None,
             lan: NetworkSpec::ethernet_100(),
         }
+    }
+
+    /// Gives the site `gateways` redundant gateways instead of one (they
+    /// are the site's first `gateways` nodes, primary first).
+    pub fn with_gateways(mut self, gateways: usize) -> SiteSpec {
+        assert!(gateways >= 1, "a site needs at least one gateway");
+        self.gateways = gateways;
+        self
     }
 }
 
@@ -55,15 +69,17 @@ impl SiteSpec {
 pub struct Site {
     /// Site name.
     pub name: String,
-    /// The site's nodes, gateway first.
+    /// The site's nodes, gateways first (in rank order).
     pub nodes: Vec<NodeId>,
     /// The site SAN, if any.
     pub san: Option<NetworkId>,
     /// The site LAN.
     pub lan: NetworkId,
-    /// The gateway node (== `nodes[0]`), the only node also attached to
-    /// the backbone.
+    /// The primary gateway node (== `nodes[0]`).
     pub gateway: NodeId,
+    /// Every gateway of the site in rank order (primary first) — the only
+    /// nodes also attached to the backbone.
+    pub gateways: Vec<NodeId>,
 }
 
 impl Site {
@@ -107,7 +123,9 @@ impl GridTopology {
         let sites: Vec<Site> = specs.iter().map(|s| build_site(world, s)).collect();
         let bb = world.add_network(backbone);
         for site in &sites {
-            world.attach(site.gateway, bb);
+            for &gw in &site.gateways {
+                world.attach(gw, bb);
+            }
         }
         finish(world, sites, vec![bb])
     }
@@ -123,8 +141,12 @@ impl GridTopology {
         for i in 0..sites.len() {
             let j = (i + 1) % sites.len();
             let seg = world.add_network(link.clone());
-            world.attach(sites[i].gateway, seg);
-            world.attach(sites[j].gateway, seg);
+            for &gw in &sites[i].gateways {
+                world.attach(gw, seg);
+            }
+            for &gw in &sites[j].gateways {
+                world.attach(gw, seg);
+            }
             backbones.push(seg);
         }
         finish(world, sites, backbones)
@@ -154,14 +176,18 @@ impl GridTopology {
             }
             let regional_net = world.add_network(regional.clone());
             for site in &sites[first_site..] {
-                world.attach(site.gateway, regional_net);
+                for &gw in &site.gateways {
+                    world.attach(gw, regional_net);
+                }
             }
             backbones.push(regional_net);
-            heads.push(sites[first_site].gateway);
+            // Every gateway of the head site joins the global backbone, so
+            // a redundant head site keeps its redundancy region-to-region.
+            heads.push(sites[first_site].gateways.clone());
         }
         if heads.len() > 1 {
             let global = world.add_network(backbone);
-            for head in heads {
+            for head in heads.into_iter().flatten() {
                 world.attach(head, global);
             }
             backbones.push(global);
@@ -196,16 +222,29 @@ impl GridTopology {
             .collect()
     }
 
-    /// Every gateway, in site order.
+    /// Every primary gateway, in site order.
     pub fn gateways(&self) -> Vec<NodeId> {
         self.sites.iter().map(|s| s.gateway).collect()
     }
 
-    /// Recomputes the routing table (after manual topology edits),
-    /// preserving the current flavour (hierarchical or flat).
+    /// Every gateway of every site (primaries and secondaries), in site
+    /// order then rank order.
+    pub fn all_gateways(&self) -> Vec<NodeId> {
+        self.sites
+            .iter()
+            .flat_map(|s| s.gateways.iter().copied())
+            .collect()
+    }
+
+    /// Recomputes the routing table (after manual topology edits). A grid
+    /// on hierarchical routes recomputes through
+    /// [`GridRoutes::compute_auto`] — if the edit broke gateway isolation,
+    /// this falls back to the flat oracle (counted in
+    /// [`crate::route::hier_fallbacks`]) instead of panicking; a grid
+    /// already on flat routes stays flat.
     pub fn recompute_routes(&mut self, world: &SimWorld) {
         self.routes = match &self.routes {
-            GridRoutes::Hier(_) => GridRoutes::Hier(HierRouteTable::compute(world, &self.layout)),
+            GridRoutes::Hier(_) => GridRoutes::compute_auto(world, &self.layout),
             GridRoutes::Flat(_) => GridRoutes::Flat(crate::route::RouteTable::compute(world)),
         };
     }
@@ -219,13 +258,18 @@ impl GridTopology {
 }
 
 fn build_site(world: &mut SimWorld, spec: &SiteSpec) -> Site {
-    assert!(spec.nodes >= 1, "a site needs at least its gateway node");
+    assert!(
+        spec.gateways >= 1 && spec.nodes >= spec.gateways,
+        "a site needs at least its gateway nodes"
+    );
     let san = spec.san.as_ref().map(|s| world.add_network(s.clone()));
     let lan = world.add_network(spec.lan.clone());
     let mut nodes = Vec::with_capacity(spec.nodes);
     for i in 0..spec.nodes {
         let name = if i == 0 {
             format!("{}-gw", spec.name)
+        } else if i < spec.gateways {
+            format!("{}-gw{}", spec.name, i + 1)
         } else {
             format!("{}{}", spec.name, i)
         };
@@ -239,6 +283,7 @@ fn build_site(world: &mut SimWorld, spec: &SiteSpec) -> Site {
     Site {
         name: spec.name.clone(),
         gateway: nodes[0],
+        gateways: nodes[..spec.gateways].to_vec(),
         nodes,
         san,
         lan,
@@ -248,9 +293,9 @@ fn build_site(world: &mut SimWorld, spec: &SiteSpec) -> Site {
 fn finish(world: &SimWorld, sites: Vec<Site>, backbones: Vec<NetworkId>) -> GridTopology {
     let mut layout = SiteLayout::new();
     for site in &sites {
-        layout.add_site(site.gateway, site.nodes.iter().copied());
+        layout.add_site_ranked(&site.gateways, site.nodes.iter().copied());
     }
-    let routes = GridRoutes::Hier(HierRouteTable::compute(world, &layout));
+    let routes = GridRoutes::compute_auto(world, &layout);
     GridTopology {
         sites,
         backbones,
@@ -352,6 +397,57 @@ mod tests {
         assert_eq!(info.hop_count, 5);
         assert_eq!(info.worst_class, NetworkClass::Internet);
         assert_eq!(info.relays.len(), 4);
+    }
+
+    #[test]
+    fn multi_gateway_site_exposes_ranked_gateways() {
+        let mut w = SimWorld::new(1);
+        let g = GridTopology::star(
+            &mut w,
+            &[
+                SiteSpec::san_cluster("a", 4).with_gateways(2),
+                SiteSpec::san_cluster("b", 3),
+            ],
+            NetworkSpec::vthd_wan(),
+        );
+        let site = g.site(0);
+        assert_eq!(site.gateways.len(), 2);
+        assert_eq!(site.gateway, site.gateways[0], "primary is rank 0");
+        assert_eq!(site.gateways, site.nodes[..2].to_vec());
+        // Both gateways touch the backbone; plain workers do not.
+        for &gw in &site.gateways {
+            assert!(w.network(g.backbones[0]).members().contains(&gw));
+        }
+        assert!(!w.network(g.backbones[0]).members().contains(&site.node(2)));
+        assert_eq!(g.all_gateways().len(), 3);
+        assert_eq!(g.gateways().len(), 2, "one primary per site");
+        assert_eq!(g.layout.site_gateways(0), &site.gateways[..]);
+        assert!(g.layout.is_gateway(site.gateways[1]));
+        assert!(!g.layout.is_gateway(site.node(3)));
+    }
+
+    /// Regression: a site-bridging direct link (gateway isolation broken)
+    /// must fall back to the flat oracle — with routes still correct —
+    /// instead of panicking as older revisions did.
+    #[test]
+    fn broken_isolation_falls_back_to_flat_without_panicking() {
+        let mut w = SimWorld::new(9);
+        let mut g = GridTopology::two_sites(&mut w, 3);
+        assert_eq!(g.routes.kind(), "hier");
+        let before = crate::route::hier_fallbacks();
+        // A direct LAN between two plain workers bridges the sites.
+        let a1 = g.site(0).node(1);
+        let b1 = g.site(1).node(1);
+        let shortcut = w.add_network(NetworkSpec::ethernet_100());
+        w.attach(a1, shortcut);
+        w.attach(b1, shortcut);
+        g.recompute_routes(&w);
+        assert_eq!(g.routes.kind(), "flat", "fallback to the oracle");
+        assert!(crate::route::hier_fallbacks() > before);
+        // The flat table knows the shortcut.
+        let r = g.routes.route(a1, b1).unwrap();
+        assert_eq!(r.hop_count(), 1);
+        assert_eq!(r.hops[0].network, shortcut);
     }
 
     #[test]

@@ -1,4 +1,5 @@
-//! Two-level hierarchical routing: per-site tables + a gateway backbone.
+//! Two-level hierarchical routing: per-site tables + a gateway backbone,
+//! with multiple (ranked) gateways per site and failover-aware lookups.
 //!
 //! The flat [`RouteTable`](crate::route::RouteTable) runs Dijkstra from
 //! every node over the whole clique-expanded world — O(N·E log N) build
@@ -11,41 +12,80 @@
 //! 1. **intra-site tables** — all-pairs Dijkstra computed per site, over
 //!    that site's local subgraph only (its nodes, its SAN/LAN fabrics);
 //! 2. **a backbone table** — one node per gateway, edges from the
-//!    WAN/backbone networks, its own small all-pairs Dijkstra;
-//! 3. **a composed resolver** — `source → local gateway → backbone gateway
-//!    path → destination gateway → destination`, materialized lazily per
-//!    lookup (and memoized by the selector's route cache upstream).
+//!    WAN/backbone networks *plus* virtual intra-site edges between the
+//!    gateways of one site (weighted by the site-local shortest path), its
+//!    own small all-pairs Dijkstra;
+//! 3. **a composed resolver** — `source → exit gateway → backbone gateway
+//!    path → entry gateway → destination`, minimized over every (exit,
+//!    entry) gateway pair of the two sites, materialized lazily per lookup
+//!    (and memoized by the selector's route cache upstream).
 //!
 //! Build cost collapses from O(N·E log N) to O(Σ per-site work +
 //! G·E_wan log G) and storage from O(N²) to O(Σ site² + G²). On a
 //! gateway-isolated grid (only gateways touch inter-site networks — what
 //! every [`crate::builder::GridTopology`] builder produces) the composed
 //! routes are **cost-equal** to the flat oracle on every reachable pair:
-//! any flat path between different sites must cross both gateways, its
-//! intra-site prefix/suffix cannot beat the site-local shortest path (the
-//! only exit is the gateway itself), and its gateway-to-gateway middle
-//! visits only gateway nodes, i.e. lives entirely in the backbone graph.
+//! any flat path decomposes into maximal within-site segments and backbone
+//! hops; every within-site segment starts and ends at a gateway of that
+//! site (the only nodes with backbone attachments) or at the endpoints, so
+//! it cannot beat the site-local shortest path, and the gateway-waypoint
+//! skeleton of the path lives entirely in the backbone graph (whose
+//! virtual intra edges cover paths that cut *through* a site between two
+//! of its gateways).
+//!
+//! With more than one gateway per site the ranking is deterministic:
+//! registration order (the builders register the primary first). Lookups
+//! can exclude a set of *down* gateways ([`HierRouteTable::route_avoiding`]
+//! and friends), which is what gateway failover uses to re-route around a
+//! fault-injected gateway through any surviving one.
 
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 use std::mem::size_of;
 
 use simnet::{NetworkId, NodeId, SimWorld};
 
 use crate::route::{dijkstra_subgraph, map_bytes, Hop, PathInfo, Route};
 
+/// A world that violates the gateway-isolation invariant: `network` spans
+/// several sites but `node` — one of its members — is not a gateway of its
+/// site. Hierarchical decomposition would silently return wrong costs on
+/// such a world, so [`HierRouteTable::try_compute`] refuses it and
+/// [`crate::route::GridRoutes::compute_auto`] falls back to the flat
+/// oracle instead.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IsolationViolation {
+    /// The inter-site network with a non-gateway member.
+    pub network: NetworkId,
+    /// The offending non-gateway member.
+    pub node: NodeId,
+}
+
+impl std::fmt::Display for IsolationViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "network {} spans sites but node {} is not one of its site's gateways",
+            self.network, self.node
+        )
+    }
+}
+
+impl std::error::Error for IsolationViolation {}
+
 /// Site membership metadata of a hierarchical grid: which site each node
-/// belongs to and which node is each site's gateway. Produced by the
-/// [`crate::builder::GridTopology`] builders; hand-built layouts are
-/// supported through [`SiteLayout::add_site`].
+/// belongs to and which nodes are each site's gateways (ranked, primary
+/// first). Produced by the [`crate::builder::GridTopology`] builders;
+/// hand-built layouts are supported through [`SiteLayout::add_site`] /
+/// [`SiteLayout::add_site_ranked`].
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct SiteLayout {
     /// Node → site index.
     site_of: HashMap<NodeId, usize>,
     /// Per site: the member nodes, in registration order.
     sites: Vec<Vec<NodeId>>,
-    /// Per site: the gateway node (the only member allowed on inter-site
-    /// networks).
-    gateways: Vec<NodeId>,
+    /// Per site: the gateway nodes in rank order (primary first) — the
+    /// only members allowed on inter-site networks.
+    gateways: Vec<Vec<NodeId>>,
 }
 
 impl SiteLayout {
@@ -54,21 +94,34 @@ impl SiteLayout {
         SiteLayout::default()
     }
 
-    /// Registers one site from its gateway and member nodes (the gateway
-    /// must be among the members). Returns the site index.
+    /// Registers one single-gateway site from its gateway and member nodes
+    /// (the gateway must be among the members). Returns the site index.
     pub fn add_site(&mut self, gateway: NodeId, nodes: impl IntoIterator<Item = NodeId>) -> usize {
+        self.add_site_ranked(&[gateway], nodes)
+    }
+
+    /// Registers one site with its ranked gateway list (primary first; all
+    /// gateways must be among the members). Returns the site index.
+    pub fn add_site_ranked(
+        &mut self,
+        gateways: &[NodeId],
+        nodes: impl IntoIterator<Item = NodeId>,
+    ) -> usize {
         let index = self.sites.len();
         let nodes: Vec<NodeId> = nodes.into_iter().collect();
-        assert!(
-            nodes.contains(&gateway),
-            "site gateway {gateway} must be one of the site's nodes"
-        );
+        assert!(!gateways.is_empty(), "a site needs at least one gateway");
+        for &gw in gateways {
+            assert!(
+                nodes.contains(&gw),
+                "site gateway {gw} must be one of the site's nodes"
+            );
+        }
         for &n in &nodes {
             let prev = self.site_of.insert(n, index);
             assert!(prev.is_none(), "node {n} registered in two sites");
         }
         self.sites.push(nodes);
-        self.gateways.push(gateway);
+        self.gateways.push(gateways.to_vec());
         index
     }
 
@@ -77,14 +130,25 @@ impl SiteLayout {
         self.site_of.get(&node).copied()
     }
 
-    /// The gateway of site `site`.
+    /// The primary gateway of site `site`.
     pub fn gateway(&self, site: usize) -> NodeId {
-        self.gateways[site]
+        self.gateways[site][0]
     }
 
-    /// Every gateway, in site order.
-    pub fn gateways(&self) -> &[NodeId] {
-        &self.gateways
+    /// The gateways of site `site`, in rank order (primary first).
+    pub fn site_gateways(&self, site: usize) -> &[NodeId] {
+        &self.gateways[site]
+    }
+
+    /// Whether `node` is a gateway of its site.
+    pub fn is_gateway(&self, node: NodeId) -> bool {
+        self.site_of(node)
+            .is_some_and(|s| self.gateways[s].contains(&node))
+    }
+
+    /// Every gateway of every site, in site order then rank order.
+    pub fn gateways(&self) -> Vec<NodeId> {
+        self.gateways.iter().flatten().copied().collect()
     }
 
     /// The member nodes of site `site`, in registration order.
@@ -103,6 +167,32 @@ impl SiteLayout {
     }
 }
 
+/// One step of a backbone-graph route: either a real hop across an
+/// inter-site network, or a virtual edge that cuts *through* a site
+/// between two of its gateways (expanded through the intra-site table
+/// when the route is materialized).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum BbHop {
+    /// Cross `0.network` to reach gateway `0.node`.
+    Net(Hop),
+    /// Traverse the site interior to the same-site gateway.
+    Intra(NodeId),
+}
+
+/// The decomposition of one lookup, chosen by gateway-pair minimization.
+enum Composed {
+    /// Same-site (or same-node) pair served by the intra table alone;
+    /// `None` when `src == dst`.
+    Local(Option<(NodeId, NodeId)>),
+    /// `src →intra→ exit →backbone→ entry →intra→ dst`; an absent leg
+    /// means its endpoints coincide.
+    Via {
+        up: Option<(NodeId, NodeId)>,
+        bb: (NodeId, NodeId),
+        down: Option<(NodeId, NodeId)>,
+    },
+}
+
 /// Two-level hierarchical routing tables: per-site next hops plus a
 /// gateway-level backbone, composed lazily per lookup. See the module
 /// docs for the cost model and the cost-equality argument.
@@ -114,25 +204,38 @@ pub struct HierRouteTable {
     intra_next: HashMap<(NodeId, NodeId), Hop>,
     intra_cost: HashMap<(NodeId, NodeId), u64>,
     /// Next hop / cost for ordered *gateway* pairs over the backbone
-    /// graph.
-    bb_next: HashMap<(NodeId, NodeId), Hop>,
+    /// graph (inter-site networks plus virtual intra-site gateway edges).
+    bb_next: HashMap<(NodeId, NodeId), BbHop>,
     bb_cost: HashMap<(NodeId, NodeId), u64>,
+    /// Every gateway in site-then-rank order, and the retained backbone
+    /// adjacency `(to index, cost, tie tag, hop)` — kept so failover
+    /// lookups can run a fresh Dijkstra that *excludes* down gateways
+    /// (the precomputed `bb_next` paths cannot avoid intermediates).
+    gw_list: Vec<NodeId>,
+    gw_index: HashMap<NodeId, usize>,
+    bb_adj: Vec<Vec<(usize, u64, u32, BbHop)>>,
 }
 
 impl HierRouteTable {
-    /// Computes the two-level tables for `world` under `layout`.
+    /// Computes the two-level tables for `world` under `layout`, refusing
+    /// worlds that violate gateway isolation (see [`IsolationViolation`]).
     ///
     /// Networks are classified by membership: a network whose members all
     /// belong to one site is part of that site's local subgraph; a network
-    /// spanning several sites is a backbone link and **must** touch only
-    /// gateway nodes (the gateway-isolated invariant every
-    /// [`crate::builder::GridTopology`] builder maintains — violating it
-    /// panics, because the two-level decomposition would silently return
-    /// wrong costs). Networks with members outside the layout are ignored:
-    /// the hierarchical table covers the grid's own nodes only.
+    /// spanning several sites is a backbone link and must touch only
+    /// gateway nodes (the invariant every
+    /// [`crate::builder::GridTopology`] builder maintains — the two-level
+    /// decomposition would silently return wrong costs otherwise, so a
+    /// violating world is returned as `Err` instead of a wrong table;
+    /// [`crate::route::GridRoutes::compute_auto`] turns that `Err` into a
+    /// flat-oracle fallback). Networks with members outside the layout are
+    /// ignored: the hierarchical table covers the grid's own nodes only.
     ///
     /// Deterministic: same creation order in, bit-identical tables out.
-    pub fn compute(world: &SimWorld, layout: &SiteLayout) -> HierRouteTable {
+    pub fn try_compute(
+        world: &SimWorld,
+        layout: &SiteLayout,
+    ) -> Result<HierRouteTable, IsolationViolation> {
         let mut site_nets: Vec<Vec<NetworkId>> = vec![Vec::new(); layout.site_count()];
         let mut backbone_nets: Vec<NetworkId> = Vec::new();
         'nets: for net in world.network_ids() {
@@ -153,12 +256,12 @@ impl HierRouteTable {
             }
             if spans_sites {
                 for &m in members {
-                    let site = layout.site_of(m).expect("checked above");
-                    assert!(
-                        layout.gateway(site) == m,
-                        "hierarchical routing requires gateway-isolated sites: network \
-                         {net} spans sites but node {m} is not its site's gateway"
-                    );
+                    if !layout.is_gateway(m) {
+                        return Err(IsolationViolation {
+                            network: net,
+                            node: m,
+                        });
+                    }
                 }
                 backbone_nets.push(net);
             } else if let Some(site) = seen_site {
@@ -181,15 +284,111 @@ impl HierRouteTable {
                 &mut table.intra_cost,
             );
         }
-        dijkstra_subgraph(
-            world,
-            layout.gateways(),
-            &backbone_nets,
-            layout.gateways(),
-            &mut table.bb_next,
-            &mut table.bb_cost,
-        );
-        table
+        table.compute_backbone(world, &backbone_nets);
+        Ok(table)
+    }
+
+    /// All-pairs Dijkstra over the backbone graph: nodes are the
+    /// gateways; edges are the clique expansion of every inter-site
+    /// network plus one virtual edge per ordered same-site gateway pair,
+    /// weighted by the site-local shortest path. Deterministic
+    /// tie-breaking mirrors the flat table's (cost, hops, edge tag,
+    /// expanding node); virtual edges tag as `u32::MAX` so they sort after
+    /// every real network on ties.
+    fn compute_backbone(&mut self, world: &SimWorld, backbone_nets: &[NetworkId]) {
+        use std::cmp::Reverse;
+        use std::collections::BinaryHeap;
+
+        let gws = self.layout.gateways();
+        let n = gws.len();
+        let index: HashMap<NodeId, usize> = gws.iter().enumerate().map(|(i, &g)| (g, i)).collect();
+
+        // (to, cost, tag, hop) per gateway, in deterministic build order.
+        let mut adj: Vec<Vec<(usize, u64, u32, BbHop)>> = vec![Vec::new(); n];
+        for &net in backbone_nets {
+            let c = crate::route::link_cost(world, net);
+            let members = world.network(net).members();
+            for &u in members {
+                let Some(&ui) = index.get(&u) else { continue };
+                for &v in members {
+                    if u != v {
+                        if let Some(&vi) = index.get(&v) {
+                            adj[ui].push((
+                                vi,
+                                c,
+                                net.0,
+                                BbHop::Net(Hop {
+                                    network: net,
+                                    node: v,
+                                }),
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+        for site in 0..self.layout.site_count() {
+            let site_gws = self.layout.site_gateways(site);
+            for &g1 in site_gws {
+                for &g2 in site_gws {
+                    if g1 != g2 {
+                        if let Some(&c) = self.intra_cost.get(&(g1, g2)) {
+                            adj[index[&g1]].push((index[&g2], c, u32::MAX, BbHop::Intra(g2)));
+                        }
+                    }
+                }
+            }
+        }
+
+        self.gw_index = index;
+        self.bb_adj = adj;
+        self.gw_list = gws;
+        let gws = &self.gw_list;
+        let adj = &self.bb_adj;
+
+        for (si, &src) in gws.iter().enumerate() {
+            // (cost, hops, tag, expanding node) with the same ordering
+            // discipline as the flat table's Entry.
+            type Key = (u64, u32, u32, u32);
+            let mut best: Vec<Option<Key>> = vec![None; n];
+            let mut prev: Vec<Option<(usize, BbHop)>> = vec![None; n];
+            let mut heap: BinaryHeap<Reverse<(Key, usize)>> = BinaryHeap::new();
+            let start: Key = (0, 0, 0, src.0);
+            best[si] = Some(start);
+            heap.push(Reverse((start, si)));
+            while let Some(Reverse((key, ui))) = heap.pop() {
+                if best[ui] != Some(key) {
+                    continue;
+                }
+                for &(vi, c, tag, hop) in &adj[ui] {
+                    let cand: Key = (key.0 + c, key.1 + 1, tag, gws[ui].0);
+                    if best[vi].is_none() || cand < best[vi].unwrap() {
+                        best[vi] = Some(cand);
+                        prev[vi] = Some((ui, hop));
+                        heap.push(Reverse((cand, vi)));
+                    }
+                }
+            }
+            for (di, key) in best.iter().enumerate() {
+                let Some(key) = key else { continue };
+                if di == si {
+                    continue;
+                }
+                let dst = gws[di];
+                self.bb_cost.insert((src, dst), key.0);
+                let mut at = di;
+                let mut first = None;
+                while at != si {
+                    let (p, hop) = prev[at].expect("non-src gateway has a predecessor");
+                    first = Some(hop);
+                    at = p;
+                }
+                self.bb_next.insert(
+                    (src, dst),
+                    first.expect("non-src gateway has a predecessor"),
+                );
+            }
+        }
     }
 
     /// The site layout the table was computed under.
@@ -197,99 +396,342 @@ impl HierRouteTable {
         &self.layout
     }
 
-    /// Decomposes the `src → dst` lookup into its up-to-three legs:
-    /// `(intra src→gw_s, backbone gw_s→gw_d, intra gw_d→dst)`, where the
-    /// endpoints of an empty leg coincide. Returns `None` when either node
-    /// is outside the layout or any leg is unreachable.
-    #[allow(clippy::type_complexity)]
-    fn legs(
-        &self,
-        src: NodeId,
-        dst: NodeId,
-    ) -> Option<(
-        Option<(NodeId, NodeId)>,
-        Option<(NodeId, NodeId)>,
-        Option<(NodeId, NodeId)>,
-    )> {
+    /// Chooses the cheapest decomposition of the `src → dst` lookup,
+    /// minimizing over every (exit, entry) gateway pair (ties break on
+    /// the lower exit then entry node id — the deterministic
+    /// primary/secondary ranking). Same-site pairs compare
+    /// the direct intra path against out-and-back gateway compositions,
+    /// so costs stay equal to the flat oracle even on worlds where the
+    /// backbone shortcuts a site's interior. Returns the decomposition
+    /// and its additive cost, or `None` when either node is outside the
+    /// layout or no surviving composition exists.
+    fn compose(&self, src: NodeId, dst: NodeId) -> Option<(Composed, u64)> {
         let ss = self.layout.site_of(src)?;
         let ds = self.layout.site_of(dst)?;
+        let up_gws = self.layout.site_gateways(ss);
+        let down_gws = self.layout.site_gateways(ds);
+
+        let mut best: Option<(u64, Composed, (u32, u32))> = None;
+        let mut offer = |cost: u64, composed: Composed, tie: (u32, u32)| match &best {
+            Some((c, _, t)) if (*c, *t) <= (cost, tie) => {}
+            _ => best = Some((cost, composed, tie)),
+        };
+
         if ss == ds {
             if src == dst {
-                return Some((None, None, None));
+                return Some((Composed::Local(None), 0));
             }
-            return self.intra_cost.contains_key(&(src, dst)).then_some((
-                Some((src, dst)),
-                None,
-                None,
-            ));
+            if let Some(&c) = self.intra_cost.get(&(src, dst)) {
+                offer(c, Composed::Local(Some((src, dst))), (0, 0));
+            }
         }
-        let gs = self.layout.gateway(ss);
-        let gd = self.layout.gateway(ds);
-        let up = if src == gs {
-            None
-        } else {
-            if !self.intra_cost.contains_key(&(src, gs)) {
-                return None;
+        for &gs in up_gws {
+            let up_cost = if src == gs {
+                Some(0)
+            } else {
+                self.intra_cost.get(&(src, gs)).copied()
+            };
+            let Some(up_cost) = up_cost else { continue };
+            for &gd in down_gws {
+                if gs == gd {
+                    continue;
+                }
+                let Some(&bb) = self.bb_cost.get(&(gs, gd)) else {
+                    continue;
+                };
+                let down_cost = if gd == dst {
+                    Some(0)
+                } else {
+                    self.intra_cost.get(&(gd, dst)).copied()
+                };
+                let Some(down_cost) = down_cost else { continue };
+                offer(
+                    up_cost + bb + down_cost,
+                    Composed::Via {
+                        up: (src != gs).then_some((src, gs)),
+                        bb: (gs, gd),
+                        down: (gd != dst).then_some((gd, dst)),
+                    },
+                    (gs.0 + 1, gd.0 + 1),
+                );
             }
-            Some((src, gs))
-        };
-        if !self.bb_cost.contains_key(&(gs, gd)) {
-            return None;
         }
-        let down = if gd == dst {
-            None
-        } else {
-            if !self.intra_cost.contains_key(&(gd, dst)) {
-                return None;
-            }
-            Some((gd, dst))
-        };
-        Some((up, Some((gs, gd)), down))
+        best.map(|(c, composed, _)| (composed, c))
     }
 
     /// Whether any route (direct or relayed) exists from `src` to `dst`.
     pub fn reachable(&self, src: NodeId, dst: NodeId) -> bool {
-        self.legs(src, dst).is_some()
+        self.compose(src, dst).is_some()
     }
 
     /// The additive path cost from `src` to `dst` (0 for `src == dst`),
     /// if a route exists. Cost-equal to the flat oracle on every
     /// reachable pair of a gateway-isolated grid.
     pub fn cost(&self, src: NodeId, dst: NodeId) -> Option<u64> {
-        let (up, bb, down) = self.legs(src, dst)?;
-        let leg = |m: &HashMap<(NodeId, NodeId), u64>, l: Option<(NodeId, NodeId)>| {
-            l.map_or(0, |pair| m[&pair])
-        };
-        Some(leg(&self.intra_cost, up) + leg(&self.bb_cost, bb) + leg(&self.intra_cost, down))
+        self.compose(src, dst).map(|(_, c)| c)
     }
 
-    /// The next hop from `src` towards `dst`, if a route exists. O(1):
-    /// the composed route is never materialized.
+    /// The next hop from `src` towards `dst`, if a route exists.
     pub fn next_hop(&self, src: NodeId, dst: NodeId) -> Option<Hop> {
-        let (up, bb, down) = self.legs(src, dst)?;
-        if let Some(pair) = up {
-            return self.intra_next.get(&pair).copied();
+        self.next_hop_of(self.compose(src, dst)?.0)
+    }
+
+    fn next_hop_of(&self, composed: Composed) -> Option<Hop> {
+        match composed {
+            Composed::Local(leg) => {
+                let pair = leg?;
+                self.intra_next.get(&pair).copied()
+            }
+            Composed::Via { up, bb, .. } => {
+                if let Some(pair) = up {
+                    return self.intra_next.get(&pair).copied();
+                }
+                // No up leg: src is the exit gateway, so the first hop is
+                // the backbone leg's (a virtual intra edge expands through
+                // the site-local table).
+                match self.bb_next.get(&bb).copied()? {
+                    BbHop::Net(h) => Some(h),
+                    BbHop::Intra(g2) => self.intra_next.get(&(bb.0, g2)).copied(),
+                }
+            }
         }
-        if let Some(pair) = bb {
-            return self.bb_next.get(&pair).copied();
-        }
-        let pair = down?;
-        self.intra_next.get(&pair).copied()
     }
 
     /// The full route from `src` to `dst`, materialized lazily from the
-    /// three legs (the selector's route cache memoizes the result).
+    /// composed legs (the selector's route cache memoizes the result).
     pub fn route(&self, src: NodeId, dst: NodeId) -> Option<Route> {
-        let (up, bb, down) = self.legs(src, dst)?;
+        let (composed, _) = self.compose(src, dst)?;
+        self.materialize(src, dst, composed)
+    }
+
+    /// Like [`HierRouteTable::route`], but excluding the `down` gateways:
+    /// no down gateway may serve as exit or entry, nor appear anywhere
+    /// along the materialized path — *including* as an intermediate of
+    /// the backbone leg, which is re-solved by a fresh Dijkstra over the
+    /// retained backbone adjacency with the down gateways removed (the
+    /// precomputed tables cannot avoid intermediates). This is the
+    /// failover lookup: with the primary gateway down, the composition
+    /// shifts to the surviving gateways, on rings and multi-level
+    /// backbones too.
+    pub fn route_avoiding(
+        &self,
+        src: NodeId,
+        dst: NodeId,
+        down: &BTreeSet<NodeId>,
+    ) -> Option<Route> {
+        self.resolve_avoiding(src, dst, down).map(|(r, _)| r)
+    }
+
+    /// The additive cost of [`HierRouteTable::route_avoiding`]'s route.
+    pub fn cost_avoiding(&self, src: NodeId, dst: NodeId, down: &BTreeSet<NodeId>) -> Option<u64> {
+        self.resolve_avoiding(src, dst, down).map(|(_, c)| c)
+    }
+
+    /// The next hop of [`HierRouteTable::route_avoiding`]'s route.
+    pub fn next_hop_avoiding(
+        &self,
+        src: NodeId,
+        dst: NodeId,
+        down: &BTreeSet<NodeId>,
+    ) -> Option<Hop> {
+        if down.is_empty() {
+            return self.next_hop(src, dst);
+        }
+        self.route_avoiding(src, dst, down)?.first_hop()
+    }
+
+    /// The cheapest route (and its cost) from `src` to `dst` that avoids
+    /// every gateway in `down`, or `None` when none survives.
+    fn resolve_avoiding(
+        &self,
+        src: NodeId,
+        dst: NodeId,
+        down: &BTreeSet<NodeId>,
+    ) -> Option<(Route, u64)> {
+        if down.is_empty() {
+            let route = self.route(src, dst)?;
+            let cost = self.cost(src, dst)?;
+            return Some((route, cost));
+        }
+        let ss = self.layout.site_of(src)?;
+        let ds = self.layout.site_of(dst)?;
+        let verify = |route: Route| -> Option<Route> {
+            let end = route.hops.len().saturating_sub(1);
+            (!route.hops[..end].iter().any(|h| down.contains(&h.node))).then_some(route)
+        };
+
+        let mut best: Option<(u64, (u32, u32), Route)> = None;
+        let mut offer = |cost: u64, tie: (u32, u32), route: Route| match &best {
+            Some((c, t, _)) if (*c, *t) <= (cost, tie) => {}
+            _ => best = Some((cost, tie, route)),
+        };
+
+        if ss == ds {
+            if src == dst {
+                return Some((
+                    Route {
+                        src,
+                        dst,
+                        hops: Vec::new(),
+                    },
+                    0,
+                ));
+            }
+            if let Some(&c) = self.intra_cost.get(&(src, dst)) {
+                let mut hops = Vec::new();
+                if self.walk_intra((src, dst), &mut hops).is_some() {
+                    if let Some(r) = verify(Route { src, dst, hops }) {
+                        offer(c, (0, 0), r);
+                    }
+                }
+            }
+        }
+        // One avoiding Dijkstra per live exit gateway of the source site
+        // (the backbone graph is tiny — one node per gateway), composed
+        // with the precomputed intra legs and verified hop by hop.
+        for &gs in self.layout.site_gateways(ss) {
+            if down.contains(&gs) {
+                continue;
+            }
+            let up_cost = if src == gs {
+                Some(0)
+            } else {
+                self.intra_cost.get(&(src, gs)).copied()
+            };
+            let Some(up_cost) = up_cost else { continue };
+            let (dist, prev) = self.bb_paths_avoiding(gs, down);
+            for &gd in self.layout.site_gateways(ds) {
+                if gs == gd || down.contains(&gd) {
+                    continue;
+                }
+                let Some(&gdi) = self.gw_index.get(&gd) else {
+                    continue;
+                };
+                let Some(bb_cost) = dist[gdi] else { continue };
+                let down_cost = if gd == dst {
+                    Some(0)
+                } else {
+                    self.intra_cost.get(&(gd, dst)).copied()
+                };
+                let Some(down_cost) = down_cost else { continue };
+                let mut hops = Vec::new();
+                if src != gs && self.walk_intra((src, gs), &mut hops).is_none() {
+                    continue;
+                }
+                if self.walk_bb_prev(gs, gd, &prev, &mut hops).is_none() {
+                    continue;
+                }
+                if gd != dst && self.walk_intra((gd, dst), &mut hops).is_none() {
+                    continue;
+                }
+                if let Some(r) = verify(Route { src, dst, hops }) {
+                    offer(up_cost + bb_cost.0 + down_cost, (gs.0 + 1, gd.0 + 1), r);
+                }
+            }
+        }
+        best.map(|(c, _, r)| (r, c))
+    }
+
+    /// Single-source Dijkstra over the retained backbone adjacency from
+    /// `gs`, skipping every edge into a `down` gateway. Same tie-breaking
+    /// discipline as [`HierRouteTable::compute_backbone`]. Returns
+    /// per-gateway-index `(cost key, predecessor)` for walk
+    /// reconstruction.
+    #[allow(clippy::type_complexity)]
+    fn bb_paths_avoiding(
+        &self,
+        gs: NodeId,
+        down: &BTreeSet<NodeId>,
+    ) -> (
+        Vec<Option<(u64, u32, u32, u32)>>,
+        Vec<Option<(usize, BbHop)>>,
+    ) {
+        use std::cmp::Reverse;
+        use std::collections::BinaryHeap;
+        type Key = (u64, u32, u32, u32);
+        let n = self.gw_list.len();
+        let mut best: Vec<Option<Key>> = vec![None; n];
+        let mut prev: Vec<Option<(usize, BbHop)>> = vec![None; n];
+        let Some(&si) = self.gw_index.get(&gs) else {
+            return (best, prev);
+        };
+        let mut heap: BinaryHeap<Reverse<(Key, usize)>> = BinaryHeap::new();
+        let start: Key = (0, 0, 0, gs.0);
+        best[si] = Some(start);
+        heap.push(Reverse((start, si)));
+        while let Some(Reverse((key, ui))) = heap.pop() {
+            if best[ui] != Some(key) {
+                continue;
+            }
+            for &(vi, c, tag, hop) in &self.bb_adj[ui] {
+                if down.contains(&self.gw_list[vi]) {
+                    continue;
+                }
+                let cand: Key = (key.0 + c, key.1 + 1, tag, self.gw_list[ui].0);
+                if best[vi].is_none() || cand < best[vi].unwrap() {
+                    best[vi] = Some(cand);
+                    prev[vi] = Some((ui, hop));
+                    heap.push(Reverse((cand, vi)));
+                }
+            }
+        }
+        (best, prev)
+    }
+
+    /// Expands the backbone walk `gs → gd` from an avoiding Dijkstra's
+    /// predecessor chain (virtual intra edges expand through the
+    /// site-local tables).
+    fn walk_bb_prev(
+        &self,
+        gs: NodeId,
+        gd: NodeId,
+        prev: &[Option<(usize, BbHop)>],
+        hops: &mut Vec<Hop>,
+    ) -> Option<()> {
+        let mut chain = Vec::new();
+        let mut at = *self.gw_index.get(&gd)?;
+        let si = *self.gw_index.get(&gs)?;
+        while at != si {
+            let (p, hop) = prev[at]?;
+            chain.push(hop);
+            at = p;
+            if chain.len() > prev.len() {
+                return None; // corrupt chain; refuse rather than loop
+            }
+        }
+        let mut from = gs;
+        for hop in chain.into_iter().rev() {
+            match hop {
+                BbHop::Net(h) => {
+                    hops.push(h);
+                    from = h.node;
+                }
+                BbHop::Intra(g2) => {
+                    self.walk_intra((from, g2), hops)?;
+                    from = g2;
+                }
+            }
+        }
+        Some(())
+    }
+
+    fn materialize(&self, src: NodeId, dst: NodeId, composed: Composed) -> Option<Route> {
         let mut hops = Vec::new();
-        if let Some(pair) = up {
-            self.walk(&self.intra_next, pair, &mut hops)?;
-        }
-        if let Some(pair) = bb {
-            self.walk(&self.bb_next, pair, &mut hops)?;
-        }
-        if let Some(pair) = down {
-            self.walk(&self.intra_next, pair, &mut hops)?;
+        match composed {
+            Composed::Local(leg) => {
+                if let Some(pair) = leg {
+                    self.walk_intra(pair, &mut hops)?;
+                }
+            }
+            Composed::Via { up, bb, down } => {
+                if let Some(pair) = up {
+                    self.walk_intra(pair, &mut hops)?;
+                }
+                self.walk_bb(bb, &mut hops)?;
+                if let Some(pair) = down {
+                    self.walk_intra(pair, &mut hops)?;
+                }
+            }
         }
         Some(Route { src, dst, hops })
     }
@@ -301,20 +743,38 @@ impl HierRouteTable {
         Some(PathInfo::for_route(world, &route, cost))
     }
 
-    /// Appends the hops of one leg by walking its next-hop map.
-    fn walk(
-        &self,
-        next: &HashMap<(NodeId, NodeId), Hop>,
-        (from, to): (NodeId, NodeId),
-        hops: &mut Vec<Hop>,
-    ) -> Option<()> {
+    /// Appends the hops of one intra-site leg by walking its next-hop map.
+    fn walk_intra(&self, (from, to): (NodeId, NodeId), hops: &mut Vec<Hop>) -> Option<()> {
         let mut at = from;
         while at != to {
-            let hop = next.get(&(at, to)).copied()?;
+            let hop = self.intra_next.get(&(at, to)).copied()?;
             hops.push(hop);
             at = hop.node;
             assert!(
-                hops.len() <= next.len() + 1,
+                hops.len() <= self.intra_next.len() + self.bb_next.len() + 1,
+                "routing loop from {from} to {to}"
+            );
+        }
+        Some(())
+    }
+
+    /// Appends the hops of one backbone leg, expanding virtual intra-site
+    /// gateway edges through the intra tables.
+    fn walk_bb(&self, (from, to): (NodeId, NodeId), hops: &mut Vec<Hop>) -> Option<()> {
+        let mut at = from;
+        while at != to {
+            match self.bb_next.get(&(at, to)).copied()? {
+                BbHop::Net(hop) => {
+                    hops.push(hop);
+                    at = hop.node;
+                }
+                BbHop::Intra(g2) => {
+                    self.walk_intra((at, g2), hops)?;
+                    at = g2;
+                }
+            }
+            assert!(
+                hops.len() <= self.intra_next.len() + self.bb_next.len() + 1,
                 "routing loop from {from} to {to}"
             );
         }
@@ -331,8 +791,10 @@ impl HierRouteTable {
     /// [`crate::route::RouteTable::table_bytes`]).
     pub fn table_bytes(&self) -> usize {
         let hop_entry = size_of::<(NodeId, NodeId)>() + size_of::<Hop>();
+        let bb_entry = size_of::<(NodeId, NodeId)>() + size_of::<BbHop>();
         let cost_entry = size_of::<(NodeId, NodeId)>() + size_of::<u64>();
-        map_bytes(self.intra_next.len() + self.bb_next.len(), hop_entry)
+        map_bytes(self.intra_next.len(), hop_entry)
+            + map_bytes(self.bb_next.len(), bb_entry)
             + map_bytes(self.intra_cost.len() + self.bb_cost.len(), cost_entry)
             + self.layout.node_count() * (size_of::<NodeId>() + size_of::<usize>() + 1)
     }
@@ -390,6 +852,40 @@ mod tests {
                 SiteSpec::san_cluster("c", 2),
             ],
             NetworkSpec::vthd_wan(),
+        );
+        assert_cost_equal(&w, &grid);
+    }
+
+    #[test]
+    fn multi_gateway_star_matches_flat_oracle() {
+        let mut w = SimWorld::new(11);
+        let grid = GridTopology::star(
+            &mut w,
+            &[
+                SiteSpec::san_cluster("a", 4).with_gateways(2),
+                SiteSpec::lan_cluster("b", 5).with_gateways(3),
+                SiteSpec::san_cluster("c", 2),
+            ],
+            NetworkSpec::vthd_wan(),
+        );
+        assert_cost_equal(&w, &grid);
+    }
+
+    #[test]
+    fn multi_gateway_cluster_of_clusters_matches_flat_oracle() {
+        let mut w = SimWorld::new(12);
+        let regions = vec![
+            vec![
+                SiteSpec::san_cluster("eu-a", 3).with_gateways(2),
+                SiteSpec::lan_cluster("eu-b", 2),
+            ],
+            vec![SiteSpec::san_cluster("us-a", 4).with_gateways(2)],
+        ];
+        let grid = GridTopology::cluster_of_clusters(
+            &mut w,
+            &regions,
+            NetworkSpec::vthd_wan(),
+            NetworkSpec::lossy_internet(),
         );
         assert_cost_equal(&w, &grid);
     }
@@ -455,20 +951,122 @@ mod tests {
         let mut w = SimWorld::new(5);
         let grid = GridTopology::two_sites(&mut w, 2);
         let island = w.add_node("island");
-        let hier = HierRouteTable::compute(&w, &grid.layout);
+        let hier = HierRouteTable::try_compute(&w, &grid.layout).unwrap();
         assert!(!hier.reachable(grid.site(0).node(1), island));
         assert!(hier.cost(island, grid.site(0).gateway).is_none());
         assert!(hier.route(island, island).is_none());
     }
 
     #[test]
-    #[should_panic(expected = "gateway-isolated")]
-    fn non_gateway_on_a_backbone_network_is_refused() {
+    fn non_gateway_on_a_backbone_network_is_refused_as_err() {
         let mut w = SimWorld::new(6);
         let grid = GridTopology::two_sites(&mut w, 3);
         // Attach a plain worker of site 0 straight to the backbone.
-        w.attach(grid.site(0).node(1), grid.backbones[0]);
-        let _ = HierRouteTable::compute(&w, &grid.layout);
+        let worker = grid.site(0).node(1);
+        w.attach(worker, grid.backbones[0]);
+        let err = HierRouteTable::try_compute(&w, &grid.layout).unwrap_err();
+        assert_eq!(err.network, grid.backbones[0]);
+        assert_eq!(err.node, worker);
+        assert!(err.to_string().contains("not one of its site's gateways"));
+    }
+
+    #[test]
+    fn avoiding_the_primary_routes_through_the_secondary() {
+        let mut w = SimWorld::new(8);
+        let grid = GridTopology::star(
+            &mut w,
+            &[
+                SiteSpec::san_cluster("a", 3).with_gateways(2),
+                SiteSpec::san_cluster("b", 3).with_gateways(2),
+            ],
+            NetworkSpec::vthd_wan(),
+        );
+        let hier = match &grid.routes {
+            crate::route::GridRoutes::Hier(h) => h.clone(),
+            _ => unreachable!(),
+        };
+        let src = grid.site(0).node(2);
+        let dst = grid.site(1).node(2);
+        // Default composition uses the primaries (deterministic ranking).
+        let route = hier.route(src, dst).unwrap();
+        let relays: Vec<NodeId> = route.relays().collect();
+        assert_eq!(
+            relays,
+            vec![grid.site(0).gateway, grid.site(1).gateway],
+            "ties resolve to the primary gateways"
+        );
+        // With both primaries down, the secondaries carry the route at
+        // the same cost (the star backbone reaches every gateway).
+        let down: BTreeSet<NodeId> = [grid.site(0).gateway, grid.site(1).gateway]
+            .into_iter()
+            .collect();
+        let alt = hier.route_avoiding(src, dst, &down).unwrap();
+        let alt_relays: Vec<NodeId> = alt.relays().collect();
+        assert_eq!(
+            alt_relays,
+            vec![grid.site(0).gateways[1], grid.site(1).gateways[1]],
+            "failover shifts to the next-ranked gateways"
+        );
+        assert_eq!(
+            hier.cost_avoiding(src, dst, &down),
+            hier.cost(src, dst),
+            "a symmetric secondary is cost-equal"
+        );
+        assert_eq!(
+            hier.next_hop_avoiding(src, dst, &down).unwrap(),
+            alt.hops[0]
+        );
+        // Downing every gateway of one site severs the pair.
+        let all_down: BTreeSet<NodeId> = grid.site(1).gateways.iter().copied().collect();
+        assert!(hier.route_avoiding(src, dst, &all_down).is_none());
+    }
+
+    #[test]
+    fn avoiding_a_down_intermediate_backbone_gateway_reroutes() {
+        // Ring of four 2-gateway sites: the route from site 0 to site 2
+        // transits an intermediate site's gateway. Downing that gateway
+        // must re-solve the backbone leg through a surviving one (the
+        // intermediate site's secondary, or the other way round the
+        // ring) — the precomputed per-pair walks alone cannot do this.
+        let mut w = SimWorld::new(13);
+        let specs: Vec<SiteSpec> = (0..4)
+            .map(|i| SiteSpec::lan_cluster(format!("s{i}"), 3).with_gateways(2))
+            .collect();
+        let grid = GridTopology::ring(&mut w, &specs, NetworkSpec::vthd_wan());
+        let hier = match &grid.routes {
+            crate::route::GridRoutes::Hier(h) => h.clone(),
+            _ => unreachable!(),
+        };
+        let src = grid.site(0).node(2);
+        let dst = grid.site(2).node(2);
+        let route = hier.route(src, dst).unwrap();
+        let endpoint_gws: Vec<NodeId> = grid
+            .site(0)
+            .gateways
+            .iter()
+            .chain(&grid.site(2).gateways)
+            .copied()
+            .collect();
+        let intermediate = route
+            .relays()
+            .find(|g| !endpoint_gws.contains(g))
+            .expect("a 4-site ring route transits an intermediate gateway");
+        let down: BTreeSet<NodeId> = [intermediate].into_iter().collect();
+        let alt = hier
+            .route_avoiding(src, dst, &down)
+            .expect("redundancy must survive a down intermediate");
+        assert!(
+            alt.relays().all(|g| g != intermediate),
+            "the re-solved route avoids the corpse"
+        );
+        assert!(
+            hier.cost_avoiding(src, dst, &down).unwrap() >= hier.cost(src, dst).unwrap(),
+            "a detour can never beat the unconstrained optimum"
+        );
+        assert_eq!(
+            hier.next_hop_avoiding(src, dst, &down).unwrap(),
+            alt.hops[0]
+        );
     }
 
     #[test]
@@ -476,7 +1074,7 @@ mod tests {
         let build = || {
             let mut w = SimWorld::new(7);
             let grid = GridTopology::two_sites(&mut w, 3);
-            HierRouteTable::compute(&w, &grid.layout)
+            HierRouteTable::try_compute(&w, &grid.layout).unwrap()
         };
         assert_eq!(build(), build());
     }

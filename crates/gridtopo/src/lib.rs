@@ -57,5 +57,5 @@ pub use builder::{GridTopology, Site, SiteSpec};
 pub use gateway::{
     BackpressureMode, GatewayStats, RelayConfig, RelayError, RelayFabric, RelayedMessage,
 };
-pub use hier::{HierRouteTable, SiteLayout};
-pub use route::{link_cost, GridRoutes, Hop, PathInfo, Route, RouteTable};
+pub use hier::{HierRouteTable, IsolationViolation, SiteLayout};
+pub use route::{hier_fallbacks, link_cost, GridRoutes, Hop, PathInfo, Route, RouteTable};

@@ -10,9 +10,12 @@
 //! topology always yields bit-identical routing tables.
 
 use std::cmp::Ordering;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::{BTreeSet, BinaryHeap, HashMap};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering as AtomicOrdering};
 
 use simnet::{NetworkClass, NetworkId, NodeId, SimDuration, SimWorld};
+
+use crate::hier::SiteLayout;
 
 /// Reference transfer size used to fold bandwidth into the link cost: the
 /// cost of a link is its latency plus the serialization time of this many
@@ -514,6 +517,9 @@ impl RouteTable {
 /// computed over the same world also answers for world nodes outside the
 /// grid (and reports every node self-reachable at cost 0).
 #[derive(Debug, Clone, PartialEq)]
+// One GridRoutes exists per grid (shared behind an Rc by every runtime);
+// boxing the larger variant would buy nothing and break every matcher.
+#[allow(clippy::large_enum_variant)]
 pub enum GridRoutes {
     /// Flat all-pairs Dijkstra over the clique-expanded world graph:
     /// O(N·E log N) build, O(N²) storage. Exact oracle, infeasible at
@@ -525,7 +531,43 @@ pub enum GridRoutes {
     Hier(crate::hier::HierRouteTable),
 }
 
+/// Times [`GridRoutes::compute_auto`] fell back to the flat oracle
+/// because the world violated gateway isolation (process-wide, monotonic).
+static HIER_FALLBACKS: AtomicU64 = AtomicU64::new(0);
+/// The fallback warning is printed once per process, not per rebuild.
+static HIER_FALLBACK_WARNED: AtomicBool = AtomicBool::new(false);
+
+/// Times the hierarchical route computation fell back to the flat oracle
+/// on a non-gateway-isolated world (see [`GridRoutes::compute_auto`]).
+pub fn hier_fallbacks() -> u64 {
+    HIER_FALLBACKS.load(AtomicOrdering::Relaxed)
+}
+
 impl GridRoutes {
+    /// Computes routes for `world` under `layout`: hierarchical two-level
+    /// tables when the world is gateway-isolated, otherwise — instead of
+    /// panicking, which older revisions did — the flat all-pairs oracle,
+    /// with a one-time warning and the process-wide [`hier_fallbacks`]
+    /// counter incremented. Every builder and recomputation path goes
+    /// through here, so a site-bridging direct link degrades routing
+    /// performance, never correctness.
+    pub fn compute_auto(world: &SimWorld, layout: &SiteLayout) -> GridRoutes {
+        match crate::hier::HierRouteTable::try_compute(world, layout) {
+            Ok(hier) => GridRoutes::Hier(hier),
+            Err(violation) => {
+                HIER_FALLBACKS.fetch_add(1, AtomicOrdering::Relaxed);
+                if !HIER_FALLBACK_WARNED.swap(true, AtomicOrdering::Relaxed) {
+                    eprintln!(
+                        "warning: world is not gateway-isolated ({violation}); falling back \
+                         to the flat O(N²) route oracle — further fallbacks are counted in \
+                         gridtopo::hier_fallbacks() without repeating this warning"
+                    );
+                }
+                GridRoutes::Flat(RouteTable::compute(world))
+            }
+        }
+    }
+
     /// Short label for logs and bench output.
     pub fn kind(&self) -> &'static str {
         match self {
@@ -571,6 +613,60 @@ impl GridRoutes {
         match self {
             GridRoutes::Flat(t) => t.path_info(world, src, dst),
             GridRoutes::Hier(t) => t.path_info(world, src, dst),
+        }
+    }
+
+    /// The full route from `src` to `dst` that avoids every gateway in
+    /// `down` — the failover lookup. A hierarchical table re-composes the
+    /// route through any surviving gateway of each site; the flat oracle
+    /// has no alternative paths precomputed, so it returns its normal
+    /// route when clean and `None` when that route crosses a down node
+    /// (honest failure instead of routing into a dead gateway).
+    pub fn route_avoiding(
+        &self,
+        src: NodeId,
+        dst: NodeId,
+        down: &BTreeSet<NodeId>,
+    ) -> Option<Route> {
+        match self {
+            GridRoutes::Hier(t) => t.route_avoiding(src, dst, down),
+            GridRoutes::Flat(t) => {
+                let route = t.route(src, dst)?;
+                let blocked = route.hops[..route.hops.len().saturating_sub(1)]
+                    .iter()
+                    .any(|h| down.contains(&h.node));
+                (!blocked).then_some(route)
+            }
+        }
+    }
+
+    /// The next hop of [`GridRoutes::route_avoiding`]'s route.
+    pub fn next_hop_avoiding(
+        &self,
+        src: NodeId,
+        dst: NodeId,
+        down: &BTreeSet<NodeId>,
+    ) -> Option<Hop> {
+        if down.is_empty() {
+            return self.next_hop(src, dst);
+        }
+        match self {
+            GridRoutes::Hier(t) => t.next_hop_avoiding(src, dst, down),
+            GridRoutes::Flat(_) => self.route_avoiding(src, dst, down)?.first_hop(),
+        }
+    }
+
+    /// The additive cost of [`GridRoutes::route_avoiding`]'s route.
+    pub fn cost_avoiding(&self, src: NodeId, dst: NodeId, down: &BTreeSet<NodeId>) -> Option<u64> {
+        if down.is_empty() {
+            return self.cost(src, dst);
+        }
+        match self {
+            GridRoutes::Hier(t) => t.cost_avoiding(src, dst, down),
+            GridRoutes::Flat(t) => {
+                let _ = self.route_avoiding(src, dst, down)?;
+                t.cost(src, dst)
+            }
         }
     }
 

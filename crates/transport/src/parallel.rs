@@ -258,6 +258,15 @@ impl ParallelStream {
                 st.rx_partial[idx].push_bytes(data);
             }
             if !got_any {
+                // A pure EOF (FIN with no payload) is still a readable
+                // event per the ByteStream contract: once the members
+                // finish, blocked readers must observe the bundle's end
+                // instead of waiting forever for a notification that
+                // carried no bytes.
+                if conn.is_finished() {
+                    drop(st);
+                    self.schedule_notify(world);
+                }
                 return;
             }
             loop {

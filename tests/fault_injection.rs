@@ -253,6 +253,218 @@ fn trunk_budget_bounds_gateway_memory_under_incast() {
     }
 }
 
+// ---------------------------------------------------------------------- //
+// Redundant-gateway failover: kill each gateway of a 2-gateway site in
+// turn under a fixed seed; streams must resume automatically through the
+// surviving gateway with zero acknowledged bytes lost and eventual
+// delivery of the whole payload, exactly once, in order.
+// ---------------------------------------------------------------------- //
+
+/// Per-connection byte sink: the receiver keeps one buffer per accepted
+/// connection (in accept order); a migrated stream resumes on a fresh
+/// connection, so the concatenation across connections must equal the
+/// payload byte for byte — any acknowledged-byte loss leaves a hole, any
+/// duplicate resend shows up as overlap.
+type ConnLog = Rc<RefCell<Vec<Vec<u8>>>>;
+
+fn listen_per_connection(world: &mut SimWorld, rt: &PadicoRuntime, service: u16) -> ConnLog {
+    let log: ConnLog = Rc::new(RefCell::new(Vec::new()));
+    let l = log.clone();
+    rt.vlink_listen(world, service, move |_w, v| {
+        let slot = {
+            let mut all = l.borrow_mut();
+            all.push(Vec::new());
+            all.len() - 1
+        };
+        let v2 = v.clone();
+        let l2 = l.clone();
+        v.set_handler(move |world, ev| {
+            if ev == VLinkEvent::Readable {
+                l2.borrow_mut()[slot].extend(v2.read_now(world, usize::MAX));
+            }
+        });
+    });
+    log
+}
+
+/// Builds the redundant star (both sites with 2 gateways), starts one
+/// relayed transfer, kills the chosen gateway once ~60 kB crossed, and
+/// checks exactly-once delivery of the full payload.
+fn gateway_kill_failover(kill_site: usize, kill_rank: usize, expect_migration: bool) {
+    const PAYLOAD: usize = 300_000;
+    let mut world = SimWorld::new(0xFA110);
+    let grid = GridTopology::star(
+        &mut world,
+        &[
+            SiteSpec::san_cluster("a", 4).with_gateways(2),
+            SiteSpec::san_cluster("b", 4).with_gateways(2),
+        ],
+        NetworkSpec::vthd_wan(),
+    );
+    let prefs = SelectorPreferences {
+        relay_backpressure: BackpressureMode::Credit,
+        gateway_failover: true,
+        ..Default::default()
+    };
+    let (rts, _proxies) = runtimes_for_grid(&mut world, &grid, prefs);
+    let src_rt = rts[2].clone(); // site 0, plain worker
+    let dst_rt = rts[grid.site(0).len() + 3].clone(); // site 1, plain worker
+    let dst = dst_rt.node();
+    let kill_node = grid.site(kill_site).gateways[kill_rank];
+    let kill_rt = rts
+        .iter()
+        .find(|rt| rt.node() == kill_node)
+        .expect("gateway runtime")
+        .clone();
+
+    let log = listen_per_connection(&mut world, &dst_rt, 940);
+    let payload: Vec<u8> = (0..PAYLOAD).map(|i| (i % 247) as u8).collect();
+    let client = src_rt.vlink_connect(&mut world, dst, 940);
+    client.post_write(&mut world, &payload);
+
+    // Kill once a prefix has crossed (and been consumed downstream).
+    let l = log.clone();
+    world.run_while(|| l.borrow().iter().map(Vec::len).sum::<usize>() < 60_000);
+    kill_rt.kill(&mut world);
+    world.run();
+
+    let log = log.borrow();
+    let delivered: Vec<u8> = log.iter().flatten().copied().collect();
+    assert_eq!(
+        delivered.len(),
+        PAYLOAD,
+        "eventual delivery, no loss and no duplication \
+         (site {kill_site} gateway rank {kill_rank}, {} connections)",
+        log.len()
+    );
+    assert_eq!(
+        delivered, payload,
+        "byte-exact across the migration seam: acknowledged bytes are \
+         never lost, unacknowledged ones are resent exactly once"
+    );
+    if expect_migration {
+        assert!(
+            log.len() >= 2,
+            "killing an on-route gateway must migrate the stream to a \
+             fresh connection through the survivor (got {} connection)",
+            log.len()
+        );
+        assert_eq!(
+            client.bytes_refused(),
+            0,
+            "the sender-side stream never refused a posted byte"
+        );
+    } else {
+        assert_eq!(
+            log.len(),
+            1,
+            "killing an off-route gateway must not disturb the stream"
+        );
+    }
+}
+
+#[test]
+fn killing_the_source_side_primary_gateway_fails_over() {
+    gateway_kill_failover(0, 0, true);
+}
+
+#[test]
+fn killing_the_destination_side_primary_gateway_fails_over() {
+    gateway_kill_failover(1, 0, true);
+}
+
+#[test]
+fn killing_the_off_route_secondary_gateway_is_harmless() {
+    // The secondaries carry nothing while the primaries are healthy:
+    // killing one in turn must leave the transfer untouched.
+    gateway_kill_failover(0, 1, false);
+    gateway_kill_failover(1, 1, false);
+}
+
+#[test]
+fn drop_trunks_under_failover_does_not_poison_healthy_gateways() {
+    // `drop_trunks` is the *local-restart* fault model: the node severs
+    // its own carriers. Under gateway_failover that must not mark the
+    // (healthy) remote gateways down — in-flight streams re-dial the same
+    // gateway and fresh connects keep resolving.
+    let mut world = SimWorld::new(0xD201);
+    let grid = GridTopology::two_sites(&mut world, 3);
+    let prefs = SelectorPreferences {
+        relay_backpressure: BackpressureMode::Credit,
+        gateway_failover: true,
+        ..Default::default()
+    };
+    let (rts, _proxies) = runtimes_for_grid(&mut world, &grid, prefs);
+    let gw_a_rt = rts[0].clone();
+    let dst_rt = rts[grid.site(0).len() + 2].clone();
+    let dst = dst_rt.node();
+    let log = listen_per_connection(&mut world, &dst_rt, 950);
+    let payload = vec![8u8; 150_000];
+    let client = rts[1].vlink_connect(&mut world, dst, 950);
+    client.post_write(&mut world, &payload);
+    let l = log.clone();
+    world.run_while(|| l.borrow().iter().map(Vec::len).sum::<usize>() < 20_000);
+    let severed = gw_a_rt.drop_trunks(&mut world);
+    assert!(severed >= 1);
+    world.run();
+    // The locally severed carrier said nothing about gw_b's health.
+    assert_eq!(
+        gw_a_rt.down_gateways(),
+        vec![],
+        "a local sever must not mark the healthy peer down"
+    );
+    // gw_a's own onward stream re-dialed gw_b and the transfer resumed
+    // through the re-established trunk: everything arrives exactly once.
+    let delivered: Vec<u8> = log.borrow().iter().flatten().copied().collect();
+    assert_eq!(delivered, payload, "byte-exact across the local restart");
+    // And a fresh relayed connect still resolves and completes.
+    let log2 = listen_per_connection(&mut world, &dst_rt, 951);
+    let client2 = rts[1].vlink_connect(&mut world, dst, 951);
+    client2.post_write(&mut world, &payload[..30_000]);
+    world.run();
+    let delivered2: Vec<u8> = log2.borrow().iter().flatten().copied().collect();
+    assert_eq!(delivered2, payload[..30_000].to_vec());
+}
+
+#[test]
+fn gateway_failover_is_deterministic() {
+    let run = || {
+        let mut world = SimWorld::new(0xFA111);
+        let grid = GridTopology::star(
+            &mut world,
+            &[
+                SiteSpec::san_cluster("a", 3).with_gateways(2),
+                SiteSpec::san_cluster("b", 3).with_gateways(2),
+            ],
+            NetworkSpec::vthd_wan(),
+        );
+        let prefs = SelectorPreferences {
+            relay_backpressure: BackpressureMode::Credit,
+            gateway_failover: true,
+            ..Default::default()
+        };
+        let (rts, _proxies) = runtimes_for_grid(&mut world, &grid, prefs);
+        let dst_rt = rts[grid.site(0).len() + 2].clone();
+        let log = listen_per_connection(&mut world, &dst_rt, 941);
+        let client = rts[2].vlink_connect(&mut world, dst_rt.node(), 941);
+        client.post_write(&mut world, &vec![3u8; 200_000]);
+        let l = log.clone();
+        world.run_while(|| l.borrow().iter().map(Vec::len).sum::<usize>() < 20_000);
+        // Kill the destination-side primary mid-transfer.
+        rts.iter()
+            .find(|rt| rt.node() == grid.site(1).gateway)
+            .unwrap()
+            .kill(&mut world);
+        world.run();
+        let total: usize = log.borrow().iter().map(Vec::len).sum();
+        let conns = log.borrow().len();
+        (total, conns, world.now().as_nanos())
+    };
+    let a = run();
+    assert_eq!(a.0, 200_000, "failover completes: {a:?}");
+    assert_eq!(run(), a, "kill timing and recovery reproduce bit-exactly");
+}
+
 /// A seeded fraction of in-transit frames is discarded at the gateways:
 /// accounting must balance exactly at every hop, in both modes, and in
 /// credit mode every credit consumed by a faulted frame must return

@@ -348,10 +348,11 @@ fn trunk_credits_match_consumption_across_half_close() {
 
 // ---------------------------------------------------------------------- //
 // Hierarchical routing vs the flat oracle: for random star / ring /
-// cluster-of-clusters grids, the two-level tables must agree with flat
-// all-pairs Dijkstra on the reachability set and on every pair's additive
-// cost (paths may differ where ties allow — costs never do), and every
-// composed route must be a valid walk summing to its claimed cost.
+// cluster-of-clusters grids — with randomly redundant (multi-gateway)
+// sites — the two-level tables must agree with flat all-pairs Dijkstra on
+// the reachability set and on every pair's additive cost (paths may
+// differ where ties allow — costs never do), and every composed route
+// must be a valid walk summing to its claimed cost.
 // ---------------------------------------------------------------------- //
 
 #[test]
@@ -362,12 +363,14 @@ fn hierarchical_routes_are_cost_equal_to_flat_dijkstra() {
     for_random_cases(110, 40, |rng| {
         let mut world = SimWorld::new(rng.next_u64());
         let site = |rng: &mut SimRng, i: usize| {
-            let nodes = 1 + rng.gen_range(0, 5) as usize;
-            if rng.gen_bool(0.5) {
+            let gateways = 1 + rng.gen_range(0, 3) as usize;
+            let nodes = gateways + rng.gen_range(0, 4) as usize;
+            let spec = if rng.gen_bool(0.5) {
                 SiteSpec::san_cluster(format!("s{i}"), nodes)
             } else {
                 SiteSpec::lan_cluster(format!("s{i}"), nodes)
-            }
+            };
+            spec.with_gateways(gateways)
         };
         let n_sites = 3 + rng.gen_range(0, 4) as usize;
         let specs: Vec<SiteSpec> = (0..n_sites).map(|i| site(rng, i)).collect();

@@ -37,6 +37,7 @@ fn all_preferences() -> Vec<SelectorPreferences> {
                             relay_backpressure: backpressure,
                             gateway_trunk_budget: 0,
                             route_cache_capacity: 4096,
+                            gateway_failover: false,
                             forbid_san,
                         });
                     }
