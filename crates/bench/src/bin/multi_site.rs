@@ -7,15 +7,69 @@
 //! mode, if any gateway frame was dropped (credit mode must be lossless).
 //! `--failover-smoke` runs one gateway-kill failover case and exits
 //! non-zero if recovery did not complete or any acknowledged byte was
-//! lost or duplicated. Both are used by CI as bitrot guards.
+//! lost or duplicated. `--metrics-smoke` runs one *instrumented* failover
+//! case (frame relay, CORBA and MPI preludes in the same world), scrapes
+//! the unified telemetry snapshot at quiescence, writes it to
+//! `BENCH_multi_site_metrics.json`, and exits non-zero on any
+//! conservation violation (credit leak, frame leak, parked leftovers) or
+//! delivery failure. All are used by CI as bitrot guards.
 
 use gridtopo::BackpressureMode;
 use padico_bench::{
-    failover_run, failover_sweep, incast_run, incast_sweep, multi_site_sweep, write_multi_site_json,
+    conservation_violations, failover_metrics, failover_run, failover_sweep, incast_run,
+    incast_sweep, multi_site_sweep, write_multi_site_json,
 };
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
+    if args.iter().any(|a| a == "--metrics-smoke") {
+        let (snapshot, completed, recovery_ms, migrated) = failover_metrics(4);
+        let path = "BENCH_multi_site_metrics.json";
+        std::fs::write(path, snapshot.to_json()).expect("write metrics artifact");
+        println!(
+            "metrics smoke: {} metrics scraped -> {path}; recovery {}, \
+             {migrated} migrated conns, completed: {completed}",
+            snapshot.len(),
+            recovery_ms
+                .map(|v| format!("{v:.2} ms"))
+                .unwrap_or_else(|| "n/a".to_string()),
+        );
+        let mut failed = false;
+        for violation in conservation_violations(&snapshot) {
+            eprintln!("FAIL: {violation}");
+            failed = true;
+        }
+        if !completed {
+            eprintln!("FAIL: an acknowledged byte was lost or duplicated across the failover");
+            failed = true;
+        }
+        if recovery_ms.is_none() {
+            eprintln!("FAIL: streams did not resume through the surviving gateway");
+            failed = true;
+        }
+        // The snapshot must actually cover every telemetry surface — an
+        // accidentally unregistered collector would pass conservation
+        // checks vacuously.
+        for prefix in [
+            "relay.fabric.",
+            "relay.gateway.",
+            "relay.proxy.",
+            "route.cache.",
+            "trunk.memory.",
+            "trunk.credit.",
+            "mw.corba.",
+            "mw.mpi.",
+            "madeleine.channel.",
+            "netaccess.madio.",
+            "sim.world.",
+        ] {
+            if snapshot.with_prefix(prefix).next().is_none() {
+                eprintln!("FAIL: no metrics under {prefix}* in the snapshot");
+                failed = true;
+            }
+        }
+        std::process::exit(if failed { 1 } else { 0 });
+    }
     if args.iter().any(|a| a == "--failover-smoke") {
         let r = failover_run(4);
         println!(

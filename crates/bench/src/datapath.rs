@@ -42,6 +42,8 @@ pub struct DatapathResult {
     pub wall_mb_s: f64,
     /// Payload bytes per simulated second, in MB/s.
     pub virtual_mb_s: f64,
+    /// Simulator events executed per *host* second in the best run.
+    pub events_per_sec: f64,
 }
 
 /// Baseline wall-clock MB/s of each scenario measured on the pre-SegBuf
@@ -60,12 +62,12 @@ pub fn baseline_wall_mb_s(path: &str) -> Option<f64> {
     }
 }
 
-fn run_best_of<F: FnMut() -> (f64, f64)>(mut f: F, runs: usize) -> (f64, f64) {
-    let mut best = (f64::INFINITY, 0.0);
+fn run_best_of<F: FnMut() -> (f64, f64, f64)>(mut f: F, runs: usize) -> (f64, f64, f64) {
+    let mut best = (f64::INFINITY, 0.0, 0.0);
     for _ in 0..runs {
-        let (wall_ms, virt) = f();
+        let (wall_ms, virt, eps) = f();
         if wall_ms < best.0 {
-            best = (wall_ms, virt);
+            best = (wall_ms, virt, eps);
         }
     }
     best
@@ -84,7 +86,7 @@ fn drive(
     tx: &dyn ByteStream,
     rx: Rc<dyn ByteStream>,
     data: &[u8],
-) -> (f64, f64) {
+) -> (f64, f64, f64) {
     let received = Rc::new(Cell::new(0usize));
     let r = received.clone();
     let rx2 = rx.clone();
@@ -97,6 +99,7 @@ fn drive(
     }));
     let bytes = data.len();
     let vstart = world.now();
+    let events0 = world.stats.events_executed;
     let hstart = Instant::now();
     tx.send_all(world, data);
     let rr = received.clone();
@@ -104,13 +107,14 @@ fn drive(
     let wall_ms = hstart.elapsed().as_secs_f64() * 1e3;
     assert_eq!(received.get(), bytes, "transfer stalled short");
     let vsecs = world.now().since(vstart).as_secs_f64();
-    (wall_ms, bytes as f64 / vsecs / 1e6)
+    let eps = (world.stats.events_executed - events0) as f64 / (wall_ms / 1e3).max(1e-9);
+    (wall_ms, bytes as f64 / vsecs / 1e6, eps)
 }
 
 /// 1 MiB through an intra-node loopback pair.
 pub fn bench_loopback(bytes: usize, runs: usize) -> DatapathResult {
     let data = payload(bytes);
-    let (wall_ms, virt) = run_best_of(
+    let (wall_ms, virt, eps) = run_best_of(
         || {
             let mut world = SimWorld::new(7);
             let n = world.add_node("n");
@@ -119,13 +123,13 @@ pub fn bench_loopback(bytes: usize, runs: usize) -> DatapathResult {
         },
         runs,
     );
-    result("loopback", bytes, wall_ms, virt)
+    result("loopback", bytes, wall_ms, virt, eps)
 }
 
 /// 1 MiB through the block-transform (framed) engine over loopback.
 pub fn bench_framed(bytes: usize, runs: usize) -> DatapathResult {
     let data = payload(bytes);
-    let (wall_ms, virt) = run_best_of(
+    let (wall_ms, virt, eps) = run_best_of(
         || {
             let mut world = SimWorld::new(7);
             let n = world.add_node("n");
@@ -136,13 +140,13 @@ pub fn bench_framed(bytes: usize, runs: usize) -> DatapathResult {
         },
         runs,
     );
-    result("framed-adoc", bytes, wall_ms, virt)
+    result("framed-adoc", bytes, wall_ms, virt, eps)
 }
 
 /// 1 MiB through plain TCP on a 100 Mb/s LAN.
 pub fn bench_tcp(bytes: usize, runs: usize) -> DatapathResult {
     let data = payload(bytes);
-    let (wall_ms, virt) = run_best_of(
+    let (wall_ms, virt, eps) = run_best_of(
         || {
             let mut p = topology::pair_over(7, NetworkSpec::ethernet_100());
             let sa = TcpStack::new(&mut p.world, p.a);
@@ -158,13 +162,13 @@ pub fn bench_tcp(bytes: usize, runs: usize) -> DatapathResult {
         },
         runs,
     );
-    result("tcp-lan", bytes, wall_ms, virt)
+    result("tcp-lan", bytes, wall_ms, virt, eps)
 }
 
 /// 1 MiB through a 4-wide Parallel Streams bundle on a 100 Mb/s LAN.
 pub fn bench_parallel(bytes: usize, runs: usize) -> DatapathResult {
     let data = payload(bytes);
-    let (wall_ms, virt) = run_best_of(
+    let (wall_ms, virt, eps) = run_best_of(
         || {
             let cfg = ParallelStreamConfig {
                 n_streams: 4,
@@ -186,13 +190,13 @@ pub fn bench_parallel(bytes: usize, runs: usize) -> DatapathResult {
         },
         runs,
     );
-    result("parallel-x4", bytes, wall_ms, virt)
+    result("parallel-x4", bytes, wall_ms, virt, eps)
 }
 
 /// 1 MiB through a stream over MadIO messages on a Myrinet SAN.
 pub fn bench_madio_stream(bytes: usize, runs: usize) -> DatapathResult {
     let data = payload(bytes);
-    let (wall_ms, virt) = run_best_of(
+    let (wall_ms, virt, eps) = run_best_of(
         || {
             let p = topology::san_pair(7);
             let mut world = p.world;
@@ -214,14 +218,14 @@ pub fn bench_madio_stream(bytes: usize, runs: usize) -> DatapathResult {
         },
         runs,
     );
-    result("madio-stream", bytes, wall_ms, virt)
+    result("madio-stream", bytes, wall_ms, virt, eps)
 }
 
 /// 1 MiB through a relayed VLink across a 3-hop gateway path (two
 /// gateway-isolated SAN sites over a VTHD-class backbone).
 pub fn bench_relayed(bytes: usize, runs: usize) -> DatapathResult {
     let data = payload(bytes);
-    let (wall_ms, virt) = run_best_of(
+    let (wall_ms, virt, eps) = run_best_of(
         || {
             let mut world = SimWorld::new(2024);
             let specs = [
@@ -247,6 +251,7 @@ pub fn bench_relayed(bytes: usize, runs: usize) -> DatapathResult {
             let installed = Rc::new(Cell::new(false));
             let inst = installed.clone();
             let vstart = world.now();
+            let events0 = world.stats.events_executed;
             let hstart = Instant::now();
             client.post_write(&mut world, &data);
             let bytes = data.len();
@@ -269,14 +274,15 @@ pub fn bench_relayed(bytes: usize, runs: usize) -> DatapathResult {
             let wall_ms = hstart.elapsed().as_secs_f64() * 1e3;
             assert_eq!(received.get(), bytes, "relayed transfer stalled short");
             let vsecs = world.now().since(vstart).as_secs_f64();
-            (wall_ms, bytes as f64 / vsecs / 1e6)
+            let eps = (world.stats.events_executed - events0) as f64 / (wall_ms / 1e3).max(1e-9);
+            (wall_ms, bytes as f64 / vsecs / 1e6, eps)
         },
         runs,
     );
-    result("relayed-3hop", bytes, wall_ms, virt)
+    result("relayed-3hop", bytes, wall_ms, virt, eps)
 }
 
-fn drive_vlinks(world: &mut SimWorld, tx: &VLink, rx: &VLink, data: &[u8]) -> (f64, f64) {
+fn drive_vlinks(world: &mut SimWorld, tx: &VLink, rx: &VLink, data: &[u8]) -> (f64, f64, f64) {
     let received = Rc::new(Cell::new(0usize));
     let r = received.clone();
     let rx2 = rx.clone();
@@ -287,6 +293,7 @@ fn drive_vlinks(world: &mut SimWorld, tx: &VLink, rx: &VLink, data: &[u8]) -> (f
     });
     let bytes = data.len();
     let vstart = world.now();
+    let events0 = world.stats.events_executed;
     let hstart = Instant::now();
     tx.post_write(world, data);
     let rr = received.clone();
@@ -294,16 +301,24 @@ fn drive_vlinks(world: &mut SimWorld, tx: &VLink, rx: &VLink, data: &[u8]) -> (f
     let wall_ms = hstart.elapsed().as_secs_f64() * 1e3;
     assert_eq!(received.get(), bytes, "transfer stalled short");
     let vsecs = world.now().since(vstart).as_secs_f64();
-    (wall_ms, bytes as f64 / vsecs / 1e6)
+    let eps = (world.stats.events_executed - events0) as f64 / (wall_ms / 1e3).max(1e-9);
+    (wall_ms, bytes as f64 / vsecs / 1e6, eps)
 }
 
-fn result(path: &'static str, bytes: usize, wall_ms: f64, virtual_mb_s: f64) -> DatapathResult {
+fn result(
+    path: &'static str,
+    bytes: usize,
+    wall_ms: f64,
+    virtual_mb_s: f64,
+    events_per_sec: f64,
+) -> DatapathResult {
     DatapathResult {
         path,
         bytes,
         wall_ms,
         wall_mb_s: bytes as f64 / (wall_ms / 1e3) / 1e6,
         virtual_mb_s,
+        events_per_sec,
     }
 }
 
@@ -328,7 +343,7 @@ pub fn datapath_json(results: &[DatapathResult]) -> String {
             concat!(
                 "    {{\"path\": \"{}\", \"bytes\": {}, \"wall_ms\": {:.3}, ",
                 "\"wall_mb_s\": {:.2}, \"baseline_wall_mb_s\": {}, \"speedup\": {}, ",
-                "\"virtual_mb_s\": {:.4}}}{}\n"
+                "\"virtual_mb_s\": {:.4}, \"events_per_sec\": {:.0}}}{}\n"
             ),
             r.path,
             r.bytes,
@@ -341,6 +356,7 @@ pub fn datapath_json(results: &[DatapathResult]) -> String {
                 .map(|b| format!("{:.2}", r.wall_mb_s / b))
                 .unwrap_or_else(|| "null".to_string()),
             r.virtual_mb_s,
+            r.events_per_sec,
             if i + 1 == results.len() { "" } else { "," },
         ));
     }

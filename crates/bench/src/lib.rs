@@ -14,8 +14,9 @@ pub mod routing;
 
 pub use experiments::*;
 pub use multi_site::{
-    failover_run, failover_sweep, incast_run, incast_sweep, multi_site_json, multi_site_run,
-    multi_site_sweep, write_multi_site_json, FailoverResult, IncastResult, MultiSiteResult,
+    conservation_violations, failover_metrics, failover_run, failover_sweep, incast_run,
+    incast_sweep, multi_site_json, multi_site_run, multi_site_sweep, write_multi_site_json,
+    FailoverResult, IncastResult, MultiSiteResult,
 };
 
 /// Formats a byte size the way the paper's axes do.

@@ -13,10 +13,11 @@
 
 use std::cell::{Cell, RefCell};
 use std::rc::Rc;
+use std::time::Instant;
 
 use gridtopo::{BackpressureMode, GridTopology, RelayConfig, RelayFabric, SiteSpec};
 use padico_core::{runtimes_for_grid, SelectorPreferences, VLink, VLinkEvent};
-use simnet::{NetworkSpec, SimDuration, SimWorld};
+use simnet::{MetricsSnapshot, NetworkSpec, SimDuration, SimWorld};
 
 /// Backbone layout of a multi-site run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -68,6 +69,9 @@ pub struct MultiSiteResult {
     pub stream_goodput_mb_s: f64,
     /// Bytes moved in the stream phase.
     pub stream_bytes: usize,
+    /// Simulator events executed per *host* second across the whole run
+    /// (the wall-clock cost of the scenario, tracked across PRs).
+    pub events_per_sec: f64,
 }
 
 /// Frames sent in the frame-relay phase.
@@ -91,6 +95,7 @@ pub fn multi_site_run(
         layout == Layout::Star || sites >= 3,
         "a ring needs 3+ sites"
     );
+    let wall = Instant::now();
     let mut world = SimWorld::new(2024);
     let specs: Vec<SiteSpec> = (0..sites)
         .map(|i| SiteSpec::san_cluster(format!("s{i}"), 3))
@@ -189,6 +194,7 @@ pub fn multi_site_run(
         first_frame_ms,
         stream_goodput_mb_s,
         stream_bytes: STREAM_BYTES,
+        events_per_sec: world.stats.events_executed as f64 / wall.elapsed().as_secs_f64().max(1e-9),
     }
 }
 
@@ -228,6 +234,8 @@ pub struct IncastResult {
     /// park concurrently, so — like CPU-seconds — this can exceed the
     /// run's elapsed wall-clock). Zero in drop mode.
     pub sender_stall_ms: f64,
+    /// Simulator events executed per *host* second across the whole run.
+    pub events_per_sec: f64,
 }
 
 /// Payload bytes of each incast frame (sender id + sequence + padding).
@@ -245,6 +253,7 @@ const INCAST_MAX_ROUNDS: u64 = 64;
 /// arrives in one pass.
 pub fn incast_run(senders: usize, frames_per_sender: u64, mode: BackpressureMode) -> IncastResult {
     assert!(senders >= 1 && frames_per_sender >= 1);
+    let wall = Instant::now();
     let mut world = SimWorld::new(4242);
     let grid = GridTopology::star(
         &mut world,
@@ -349,6 +358,7 @@ pub fn incast_run(senders: usize, frames_per_sender: u64, mode: BackpressureMode
         elapsed_ms,
         goodput_mb_s,
         sender_stall_ms: fabric.credit_stall_ns() as f64 / 1e6 / senders as f64,
+        events_per_sec: world.stats.events_executed as f64 / wall.elapsed().as_secs_f64().max(1e-9),
     }
 }
 
@@ -396,10 +406,27 @@ pub struct FailoverResult {
     pub baseline_goodput_mb_s: f64,
     /// Relative goodput dip paid for the recovery, percent.
     pub goodput_dip_pct: f64,
+    /// Simulator events executed per *host* second in the faulted run.
+    pub events_per_sec: f64,
+    /// Telemetry snapshot scraped at quiescence of the faulted run —
+    /// embedded in `BENCH_multi_site.json` so the artifact carries the
+    /// full per-gateway/per-node counter state of the failover phase.
+    pub metrics: MetricsSnapshot,
 }
 
 /// Payload pushed through each relayed stream in the failover runs.
 const FAILOVER_STREAM_BYTES: usize = 192 * 1024;
+
+/// Everything one [`failover_case`] run measures.
+struct FailoverCaseOut {
+    recovery_ms: Option<f64>,
+    completed: bool,
+    migrated: usize,
+    goodput: f64,
+    killed_at: usize,
+    events_per_sec: f64,
+    metrics: MetricsSnapshot,
+}
 
 /// One failover measurement at the given fan-in. Builds a 2-region
 /// cluster-of-clusters whose receiving site has two ranked gateways,
@@ -407,9 +434,18 @@ const FAILOVER_STREAM_BYTES: usize = 192 * 1024;
 /// `gateway_failover` preference), and — unless `baseline` — fail-stops
 /// the destination-side primary gateway once a third of the bytes have
 /// arrived. Returns exact-delivery verdicts and the recovery latency.
-fn failover_case(senders: usize, baseline: bool) -> (Option<f64>, bool, usize, f64, usize) {
+///
+/// With `instrument`, a short prelude exercises the other telemetry
+/// surfaces in the same world before the streams start — a credit-mode
+/// frame burst through a [`RelayFabric`], one CORBA invocation and one
+/// MPI exchange — so the scraped snapshot covers the relay fabric,
+/// gateway credits and both personalities on top of the trunk/route/proxy
+/// metrics the failover itself produces. The prelude fully drains before
+/// the streams start, so it never overlaps the measured recovery.
+fn failover_case(senders: usize, baseline: bool, instrument: bool) -> FailoverCaseOut {
     use padico_core::PadicoRuntime;
 
+    let wall = Instant::now();
     let mut world = SimWorld::new(0xFA17);
     let regions = vec![
         vec![SiteSpec::san_cluster("send", senders + 2).with_gateways(2)],
@@ -439,6 +475,69 @@ fn failover_case(senders: usize, baseline: bool) -> (Option<f64>, bool, usize, f
         .find(|rt| rt.node() == recv_site.gateways[0])
         .unwrap()
         .clone();
+
+    if instrument {
+        use middleware::{IdlValue, MpiComm, Orb, OrbImpl};
+
+        let probe_rt = rts
+            .iter()
+            .find(|rt| rt.node() == grid.site(0).node(2))
+            .unwrap()
+            .clone();
+
+        // Credit-mode frame burst through a relay fabric on the same grid.
+        let fabric = RelayFabric::new(
+            grid.routes.clone(),
+            RelayConfig {
+                backpressure: BackpressureMode::Credit,
+                ..Default::default()
+            },
+        );
+        for node in grid.all_nodes() {
+            fabric.attach(&mut world, node);
+        }
+        let frames = Rc::new(Cell::new(0u64));
+        let f2 = frames.clone();
+        fabric.bind(&mut world, dst, 7, move |_w, _msg| f2.set(f2.get() + 1));
+        for _ in 0..32 {
+            fabric
+                .send(&mut world, probe_rt.node(), dst, 7, vec![0u8; 1024])
+                .expect("prelude relay send");
+        }
+        world.run();
+        assert_eq!(frames.get(), 32, "prelude frame burst must drain");
+
+        // One CORBA invocation across the backbone…
+        let server = Orb::new(dst_rt.clone(), OrbImpl::OmniOrb4);
+        server.register_servant("echo", |_w, _op, arg| arg);
+        server.activate(&mut world, 910);
+        let client = Orb::new(probe_rt.clone(), OrbImpl::OmniOrb4);
+        let objref = client.object_ref(dst, 910, "echo");
+        let replied = Rc::new(Cell::new(false));
+        let r2 = replied.clone();
+        client.invoke(
+            &mut world,
+            &objref,
+            "ping",
+            IdlValue::Void,
+            move |_w, _r| r2.set(true),
+        );
+        world.run();
+        assert!(replied.get(), "prelude CORBA invoke must complete");
+
+        // …and one MPI exchange over a 2-rank circuit spanning the sites.
+        let members = vec![probe_rt.node(), dst];
+        let c0 = probe_rt.circuit_create(&mut world, members.clone(), 77);
+        let c1 = dst_rt.circuit_create(&mut world, members, 77);
+        let m0 = MpiComm::new(&mut world, c0);
+        let m1 = MpiComm::new(&mut world, c1);
+        let got = Rc::new(Cell::new(false));
+        let g2 = got.clone();
+        m1.recv(&mut world, Some(0), Some(5), move |_w, _msg| g2.set(true));
+        m0.send(&mut world, 1, 5, &[0xA5; 64]);
+        world.run();
+        assert!(got.get(), "prelude MPI exchange must complete");
+    }
 
     // One service per sender; the receiver logs bytes per connection in
     // accept order, so exactly-once reassembly is checkable per stream.
@@ -528,31 +627,143 @@ fn failover_case(senders: usize, baseline: bool) -> (Option<f64>, bool, usize, f
         let got: Vec<u8> = log.iter().flatten().copied().collect();
         if got != payloads[s] {
             completed = false;
+            if std::env::var_os("FAILOVER_DEBUG").is_some() {
+                let mismatch = got
+                    .iter()
+                    .zip(&payloads[s])
+                    .position(|(a, b)| a != b)
+                    .unwrap_or(got.len().min(payloads[s].len()));
+                eprintln!(
+                    "stream {s}: got {} bytes over {} conns (expected {}), first mismatch at {mismatch}",
+                    got.len(),
+                    log.len(),
+                    payloads[s].len(),
+                );
+            }
         }
     }
-    (recovery_ms, completed, migrated, goodput, killed_at)
+    if std::env::var_os("FAILOVER_DEBUG").is_some() && !completed {
+        for rt in &rts {
+            for dump in rt.flight_dumps() {
+                eprintln!("{dump}");
+            }
+        }
+    }
+    FailoverCaseOut {
+        recovery_ms,
+        completed,
+        migrated,
+        goodput,
+        killed_at,
+        events_per_sec: world.stats.events_executed as f64 / wall.elapsed().as_secs_f64().max(1e-9),
+        metrics: world.metrics_snapshot(),
+    }
 }
 
 /// Runs the failover measurement at `senders` fan-in (plus the matching
 /// no-kill baseline for the goodput-dip comparison).
 pub fn failover_run(senders: usize) -> FailoverResult {
-    let (_, _, _, baseline_goodput, _) = failover_case(senders, true);
-    let (recovery_ms, completed, migrated, goodput, killed_at) = failover_case(senders, false);
+    let baseline_goodput = failover_case(senders, true, false).goodput;
+    let out = failover_case(senders, false, false);
     FailoverResult {
         senders,
         payload_bytes: FAILOVER_STREAM_BYTES,
-        killed_at_bytes: killed_at,
-        recovery_ms,
-        completed,
-        migrated_connections: migrated,
-        goodput_mb_s: goodput,
+        killed_at_bytes: out.killed_at,
+        recovery_ms: out.recovery_ms,
+        completed: out.completed,
+        migrated_connections: out.migrated,
+        goodput_mb_s: out.goodput,
         baseline_goodput_mb_s: baseline_goodput,
         goodput_dip_pct: if baseline_goodput > 0.0 {
-            (1.0 - goodput / baseline_goodput) * 100.0
+            (1.0 - out.goodput / baseline_goodput) * 100.0
         } else {
             0.0
         },
+        events_per_sec: out.events_per_sec,
+        metrics: out.metrics,
     }
+}
+
+/// The telemetry smoke: one *instrumented* faulted failover run (frame
+/// burst, CORBA invocation and MPI exchange preceding the gateway-kill
+/// stream scenario), scraped into a single [`MetricsSnapshot`] at
+/// quiescence. Returns the snapshot plus the exact-delivery/recovery
+/// verdicts the caller gates on.
+pub fn failover_metrics(senders: usize) -> (MetricsSnapshot, bool, Option<f64>, usize) {
+    let out = failover_case(senders, false, true);
+    (out.metrics, out.completed, out.recovery_ms, out.migrated)
+}
+
+/// Cross-checks the conservation invariants every quiesced run must obey,
+/// returning one human-readable line per violation (empty == healthy):
+///
+/// * per gateway, relay credits consumed == credits returned;
+/// * relay-fabric frames sent == delivered + unclaimed + Σ dropped
+///   (lossless backbones — nothing vanishes without a drop counter);
+/// * no frame left parked on gateway credits;
+/// * no stream left parked on trunk memory, and no received byte left
+///   unconsumed in trunk receive buffers.
+pub fn conservation_violations(snap: &MetricsSnapshot) -> Vec<String> {
+    let mut violations = Vec::new();
+
+    // Per-gateway credit conservation at quiescence.
+    let consumed_keys: Vec<String> = snap
+        .with_prefix("relay.gateway.credits_consumed{")
+        .map(|(k, _)| k.to_string())
+        .collect();
+    for key in consumed_keys {
+        let labels = &key["relay.gateway.credits_consumed".len()..];
+        let consumed = snap.counter(&key).unwrap_or(0);
+        let returned = snap
+            .counter(&format!("relay.gateway.credits_returned{labels}"))
+            .unwrap_or(0);
+        if consumed != returned {
+            violations.push(format!(
+                "credit leak at gateway {labels}: consumed {consumed} != returned {returned}"
+            ));
+        }
+    }
+
+    // Frame conservation across the relay fabric.
+    if let Some(sent) = snap.counter("relay.fabric.frames_sent") {
+        let delivered = snap.counter("relay.fabric.frames_delivered").unwrap_or(0);
+        let unclaimed = snap.counter("relay.fabric.frames_unclaimed").unwrap_or(0);
+        let dropped: u64 = ["queue_full", "ttl", "no_route", "fault", "gateway_down"]
+            .iter()
+            .map(|cause| snap.counter_total(&format!("relay.gateway.frames_dropped_{cause}")))
+            .sum();
+        if sent != delivered + unclaimed + dropped {
+            violations.push(format!(
+                "frame leak in the relay fabric: sent {sent} != delivered {delivered} \
+                 + unclaimed {unclaimed} + dropped {dropped}"
+            ));
+        }
+    }
+    if let Some(parked) = snap.gauge("relay.fabric.parked_frames") {
+        if parked != 0 {
+            violations.push(format!("{parked} frames left parked on gateway credits"));
+        }
+    }
+
+    // Trunk memory fully drained: nothing parked, nothing buffered.
+    for (key, _) in snap.with_prefix("trunk.memory.parked_streams{") {
+        if let Some(parked) = snap.gauge(key) {
+            if parked != 0 {
+                violations.push(format!("{parked} streams left parked at {key}"));
+            }
+        }
+    }
+    for (key, _) in snap.with_prefix("trunk.memory.recv_occupancy{") {
+        if let Some(held) = snap.gauge(key) {
+            if held != 0 {
+                violations.push(format!(
+                    "{held} bytes left in trunk receive buffers at {key}"
+                ));
+            }
+        }
+    }
+
+    violations
 }
 
 /// The failover sweep: kill the destination-side primary gateway
@@ -601,7 +812,7 @@ pub fn multi_site_json(
                 "\"frames_sent\": {}, \"frames_delivered\": {}, ",
                 "\"frames_relayed\": {}, \"frames_dropped\": {}, \"frames_lost\": {}, ",
                 "\"first_frame_ms\": {}, \"stream_goodput_mb_s\": {:.4}, ",
-                "\"stream_bytes\": {}}}{}\n"
+                "\"stream_bytes\": {}, \"events_per_sec\": {:.0}}}{}\n"
             ),
             r.sites,
             r.layout.label(),
@@ -617,6 +828,7 @@ pub fn multi_site_json(
                 .unwrap_or_else(|| "null".to_string()),
             r.stream_goodput_mb_s,
             r.stream_bytes,
+            r.events_per_sec,
             if i + 1 == results.len() { "" } else { "," },
         ));
     }
@@ -628,7 +840,7 @@ pub fn multi_site_json(
                 "\"frames_total\": {}, \"frames_delivered\": {}, \"frames_dropped\": {}, ",
                 "\"frames_lost\": {}, \"retransmissions\": {}, \"rounds\": {}, ",
                 "\"elapsed_ms\": {:.4}, \"goodput_mb_s\": {:.4}, ",
-                "\"sender_stall_ms\": {:.4}}}{}\n"
+                "\"sender_stall_ms\": {:.4}, \"events_per_sec\": {:.0}}}{}\n"
             ),
             r.senders,
             r.mode.label(),
@@ -642,6 +854,7 @@ pub fn multi_site_json(
             r.elapsed_ms,
             r.goodput_mb_s,
             r.sender_stall_ms,
+            r.events_per_sec,
             if i + 1 == incast.len() { "" } else { "," },
         ));
     }
@@ -652,7 +865,7 @@ pub fn multi_site_json(
                 "    {{\"senders\": {}, \"payload_bytes\": {}, \"killed_at_bytes\": {}, ",
                 "\"recovery_ms\": {}, \"completed\": {}, \"migrated_connections\": {}, ",
                 "\"goodput_mb_s\": {:.4}, \"baseline_goodput_mb_s\": {:.4}, ",
-                "\"goodput_dip_pct\": {:.2}}}{}\n"
+                "\"goodput_dip_pct\": {:.2}, \"events_per_sec\": {:.0}}}{}\n"
             ),
             r.senders,
             r.payload_bytes,
@@ -665,10 +878,41 @@ pub fn multi_site_json(
             r.goodput_mb_s,
             r.baseline_goodput_mb_s,
             r.goodput_dip_pct,
+            r.events_per_sec,
             if i + 1 == failover.len() { "" } else { "," },
         ));
     }
-    s.push_str("  ]\n}\n");
+    // The failover-phase telemetry snapshot (widest fan-in), so the
+    // artifact carries the full counter state of the faulted run.
+    s.push_str("  ],\n  \"metrics\": ");
+    match failover.last() {
+        Some(r) => s.push_str(&snapshot_json_object(&r.metrics)),
+        None => s.push_str("{}"),
+    }
+    s.push_str("\n}\n");
+    s
+}
+
+/// Renders a [`MetricsSnapshot`] as a single-line JSON object suitable
+/// for embedding inside a larger handwritten document.
+pub(crate) fn snapshot_json_object(snap: &MetricsSnapshot) -> String {
+    use simnet::MetricValue;
+    let mut s = String::from("{");
+    for (i, (key, value)) in snap.iter().enumerate() {
+        if i > 0 {
+            s.push_str(", ");
+        }
+        match value {
+            MetricValue::Counter(v) => s.push_str(&format!("\"{key}\": {v}")),
+            MetricValue::Gauge(v) => s.push_str(&format!("\"{key}\": {v}")),
+            MetricValue::Histogram(h) => s.push_str(&format!(
+                "\"{key}\": {{\"count\": {}, \"sum\": {}}}",
+                h.count(),
+                h.sum()
+            )),
+        }
+    }
+    s.push('}');
     s
 }
 

@@ -113,6 +113,12 @@ pub struct AllreduceResult {
     pub linear_us: f64,
     /// Virtual completion time of the hierarchical algorithm.
     pub hier_us: f64,
+    /// Simulator events executed per *host* second across both runs.
+    pub events_per_sec: f64,
+    /// Telemetry snapshot scraped at quiescence of the hierarchical run
+    /// (route-cache, trunk and per-rank MPI counters), embedded in
+    /// `BENCH_routing.json`.
+    pub metrics: simnet::MetricsSnapshot,
 }
 
 fn build_grid(world: &mut SimWorld, shape: &str, nodes: usize) -> GridTopology {
@@ -297,6 +303,9 @@ pub fn routing_case(shape: &'static str, nodes: usize) -> RoutingCase {
 /// Runs both allreduce variants over a live grid and reports the
 /// inter-site message counts and virtual completion times.
 pub fn allreduce_comparison(sites: usize, nodes_per_site: usize) -> AllreduceResult {
+    let wall = Instant::now();
+    let events = std::cell::Cell::new(0u64);
+    let snapshot = std::cell::RefCell::new(simnet::MetricsSnapshot::default());
     let run = |hier: bool| -> (u64, f64) {
         let mut world = SimWorld::new(0xA11);
         let specs: Vec<SiteSpec> = (0..sites)
@@ -331,6 +340,10 @@ pub fn allreduce_comparison(sites: usize, nodes_per_site: usize) -> AllreduceRes
         world.run();
         let us = world.now().since(t0).as_micros_f64();
         let inter: u64 = comms.iter().map(|c| c.inter_site_messages()).sum();
+        events.set(events.get() + world.stats.events_executed);
+        if hier {
+            *snapshot.borrow_mut() = world.metrics_snapshot();
+        }
         (inter, us)
     };
     let (linear_inter_site_msgs, linear_us) = run(false);
@@ -342,6 +355,8 @@ pub fn allreduce_comparison(sites: usize, nodes_per_site: usize) -> AllreduceRes
         hier_inter_site_msgs,
         linear_us,
         hier_us,
+        events_per_sec: events.get() as f64 / wall.elapsed().as_secs_f64().max(1e-9),
+        metrics: snapshot.into_inner(),
     }
 }
 
@@ -397,7 +412,8 @@ pub fn routing_json(cases: &[RoutingCase], allreduce: &AllreduceResult) -> Strin
         concat!(
             "  ],\n  \"allreduce\": {{\"sites\": {}, \"nodes_per_site\": {}, ",
             "\"linear_inter_site_msgs\": {}, \"hier_inter_site_msgs\": {}, ",
-            "\"linear_us\": {:.1}, \"hier_us\": {:.1}}}\n}}\n"
+            "\"linear_us\": {:.1}, \"hier_us\": {:.1}, ",
+            "\"events_per_sec\": {:.0}}},\n  \"metrics\": {}\n}}\n"
         ),
         allreduce.sites,
         allreduce.nodes_per_site,
@@ -405,6 +421,8 @@ pub fn routing_json(cases: &[RoutingCase], allreduce: &AllreduceResult) -> Strin
         allreduce.hier_inter_site_msgs,
         allreduce.linear_us,
         allreduce.hier_us,
+        allreduce.events_per_sec,
+        crate::multi_site::snapshot_json_object(&allreduce.metrics),
     ));
     s
 }

@@ -18,7 +18,9 @@ use std::cell::{Cell, RefCell};
 use std::rc::Rc;
 
 use bytes::Bytes;
-use simnet::{NetworkClass, NodeId, SimDuration, SimWorld};
+use simnet::{
+    FlightRecorder, NetworkClass, NodeId, SimDuration, SimWorld, StreamTransition, TraceEvent,
+};
 use transport::{
     ByteStream, ByteStreamExt, ParallelStream, ParallelStreamConfig, ReadableCallback, SegBuf,
 };
@@ -248,6 +250,13 @@ struct FoInner {
     /// Dead for good: no surviving route (or the migration cap hit).
     failed: bool,
     migrations: u32,
+    /// The gateway currently carrying the stream (for forensics).
+    via: NodeId,
+    /// Connection id stamped into `StreamMigrated` trace events.
+    stream_id: u64,
+    /// Bounded per-stream forensic timeline (shared with the runtime so
+    /// fault tests can dump it after the fact).
+    recorder: Rc<RefCell<FlightRecorder>>,
 }
 
 /// A relayed byte stream that survives gateway death: it rides one
@@ -285,6 +294,15 @@ impl FailoverStream {
         let mux = rt.ensure_trunk(world, network, via);
         let stream = mux.open();
         let flow = trunk_flow(&rt.preferences()).is_some();
+        let stream_id = world.events.next_cause().0;
+        let recorder = Rc::new(RefCell::new(FlightRecorder::new(format!(
+            "stream#{stream_id} {src}->{dst}:{service}",
+            src = rt.node()
+        ))));
+        recorder
+            .borrow_mut()
+            .record(world.now(), StreamTransition::Dialed { gateway: via });
+        rt.register_flight_recorder(recorder.clone());
         let fo = FailoverStream {
             inner: Rc::new(RefCell::new(FoInner {
                 rt: rt.clone(),
@@ -302,6 +320,9 @@ impl FailoverStream {
                 self_closed: false,
                 failed: false,
                 migrations: 0,
+                via,
+                stream_id,
+                recorder,
             })),
             readable: Rc::new(RefCell::new(None)),
         };
@@ -336,6 +357,30 @@ impl FailoverStream {
         });
         let (dst, service, flags, ttl) = {
             let inner = self.inner.borrow();
+            let (recorder, via, stream_id) = (inner.recorder.clone(), inner.via, inner.stream_id);
+            stream.set_stall_hook(move |world, stalled| {
+                let transition = if stalled {
+                    StreamTransition::CreditStalled
+                } else {
+                    StreamTransition::CreditResumed
+                };
+                recorder.borrow_mut().record(world.now(), transition);
+                if world.events.is_enabled() {
+                    let now = world.now();
+                    let event = if stalled {
+                        TraceEvent::CreditStall {
+                            node: via,
+                            stream: stream_id,
+                        }
+                    } else {
+                        TraceEvent::CreditResume {
+                            node: via,
+                            stream: stream_id,
+                        }
+                    };
+                    world.events.record(now, event);
+                }
+            });
             (inner.dst, inner.service, inner.flags, inner.ttl)
         };
         let header = encode_header(dst, service, flags, ttl);
@@ -394,6 +439,11 @@ impl FailoverStream {
                 // Stale hook (the stream already moved on) or nothing to do.
                 return;
             }
+            let via = inner.via;
+            inner
+                .recorder
+                .borrow_mut()
+                .record(world.now(), StreamTransition::CarrierDead { gateway: via });
             // Salvage whatever the dead incarnation had already received.
             loop {
                 let data = inner.current.recv_bytes(world, usize::MAX);
@@ -441,7 +491,15 @@ impl FailoverStream {
         };
         match action {
             Action::Done => {}
-            Action::Fail => self.wake(world),
+            Action::Fail => {
+                let inner = self.inner.borrow();
+                inner
+                    .recorder
+                    .borrow_mut()
+                    .record(world.now(), StreamTransition::Failed);
+                drop(inner);
+                self.wake(world)
+            }
             Action::Redial { network, via } => {
                 let (rt, chunks, self_closed) = {
                     let inner = self.inner.borrow();
@@ -455,6 +513,27 @@ impl FailoverStream {
                     inner.migrations += 1;
                     inner.resume_base = inner.retx_base;
                     inner.current = stream.clone();
+                    let from = inner.via;
+                    inner.via = via;
+                    let replayed: u64 = chunks.iter().map(|c| c.len() as u64).sum();
+                    let now = world.now();
+                    let mut rec = inner.recorder.borrow_mut();
+                    rec.record(now, StreamTransition::Migrated { from, to: via });
+                    rec.record(now, StreamTransition::Redialed { gateway: via });
+                    if replayed > 0 {
+                        rec.record(now, StreamTransition::Replayed { bytes: replayed });
+                    }
+                    drop(rec);
+                    if world.events.is_enabled() {
+                        world.events.record(
+                            now,
+                            TraceEvent::StreamMigrated {
+                                stream: inner.stream_id,
+                                from,
+                                to: via,
+                            },
+                        );
+                    }
                 }
                 self.attach_incarnation(world, &mux, &stream);
                 for chunk in chunks {
@@ -545,6 +624,10 @@ impl ByteStream for FailoverStream {
         let stream = {
             let mut inner = self.inner.borrow_mut();
             inner.self_closed = true;
+            inner
+                .recorder
+                .borrow_mut()
+                .record(world.now(), StreamTransition::Closed);
             inner.current.clone()
         };
         stream.close(world);
@@ -582,6 +665,28 @@ pub fn install_gateway_proxy(world: &mut SimWorld, rt: &PadicoRuntime) -> Gatewa
         node: rt.node(),
         stats: Rc::new(RefCell::new(GatewayProxyStats::default())),
     };
+    {
+        let weak = Rc::downgrade(&proxy.stats);
+        let gw = proxy.node.0.to_string();
+        world.metrics.register_collector(move |b| {
+            let Some(stats) = weak.upgrade() else { return };
+            let s = *stats.borrow();
+            let labels: &[(&str, &str)] = &[("gw", gw.as_str())];
+            b.counter(
+                "relay.proxy.connections_relayed",
+                labels,
+                s.connections_relayed,
+            );
+            b.counter(
+                "relay.proxy.connections_refused",
+                labels,
+                s.connections_refused,
+            );
+            b.counter("relay.proxy.bytes_forward", labels, s.bytes_forward);
+            b.counter("relay.proxy.bytes_backward", labels, s.bytes_backward);
+            b.counter("relay.proxy.bytes_refused", labels, s.bytes_refused);
+        });
+    }
     let stats = proxy.stats.clone();
     let rt2 = rt.clone();
     let stats2 = stats.clone();

@@ -187,6 +187,9 @@ pub struct TrunkMemoryStats {
 }
 
 type TrunkAcceptCallback = Box<dyn FnMut(&mut SimWorld, TrunkStream)>;
+/// Stall observer: invoked with `true` when the stream's sender parks on
+/// an exhausted window/budget and `false` when the backlog fully drains.
+type StallHook = Rc<RefCell<dyn FnMut(&mut SimWorld, bool)>>;
 /// Death hook; the `bool` says whether *this* end severed the carrier
 /// itself (`close_carrier` — the local-restart fault model) rather than
 /// the peer dying: a local sever says nothing about the peer's health.
@@ -211,6 +214,7 @@ struct StreamState {
     consumed_unreturned: usize,
     stall_started: Option<SimTime>,
     stalled_ns: u64,
+    stall_hook: Option<StallHook>,
     credits_received: u64,
     credits_granted: u64,
     bytes_consumed: u64,
@@ -234,6 +238,7 @@ impl StreamState {
             consumed_unreturned: 0,
             stall_started: None,
             stalled_ns: 0,
+            stall_hook: None,
             credits_received: 0,
             credits_granted: 0,
             bytes_consumed: 0,
@@ -287,6 +292,13 @@ struct MuxInner {
     /// ends would keep each other's timers alive forever.
     last_data_rx: SimTime,
     last_data_tx: SimTime,
+    /// Start of the current *expectation epoch*: the first data send
+    /// after the previous expectation decayed (or ever). The silence
+    /// verdict measures from `max(last_rx, expect_since)` — a trunk that
+    /// falls idle (both ends legitimately silent) and then resumes must
+    /// grant the peer a full `dead_after` from the resumption, not
+    /// compare against a `last_rx` that is stale by design.
+    expect_since: SimTime,
     /// The trunk has been declared dead (carrier closed or silent past
     /// `dead_after` while expecting): every stream on it is over.
     dead: bool,
@@ -382,6 +394,7 @@ impl TrunkMux {
                 last_tx: SimTime::ZERO,
                 last_data_rx: SimTime::ZERO,
                 last_data_tx: SimTime::ZERO,
+                expect_since: SimTime::ZERO,
                 dead: false,
                 locally_severed: false,
                 muted: false,
@@ -443,6 +456,7 @@ impl TrunkMux {
             inner.last_tx = now;
             inner.last_data_rx = now;
             inner.last_data_tx = now;
+            inner.expect_since = now;
         }
         self.arm_health(world);
     }
@@ -623,7 +637,12 @@ impl TrunkMux {
                 let expect_window = h.dead_after + h.heartbeat_interval;
                 let active_expectation =
                     expecting && now.since(inner.last_data_tx) <= expect_window;
-                if active_expectation && now.since(inner.last_rx) > h.dead_after {
+                // Silence is measured from the later of the peer's last
+                // frame and the start of the current expectation epoch —
+                // a live peer answering a fresh resumption is one RTT
+                // away, not dead.
+                let silent_from = inner.last_rx.max(inner.expect_since);
+                if active_expectation && now.since(silent_from) > h.dead_after {
                     Verdict::Dead
                 } else {
                     // Heartbeat only towards a recently *talking* peer —
@@ -967,9 +986,20 @@ impl TrunkMux {
                 inner.lost_bytes += (MUX_HEADER_BYTES + payload.len()) as u64;
                 return;
             }
-            inner.last_tx = world.now();
+            let now = world.now();
+            inner.last_tx = now;
             if kind != KIND_HEARTBEAT {
-                inner.last_data_tx = world.now();
+                if let Some(h) = inner.health {
+                    // A data send after the previous expectation decayed
+                    // opens a new epoch: the peer gets a full
+                    // `dead_after` to answer from *here*, however stale
+                    // `last_rx` is after the shared idle period.
+                    let expect_window = h.dead_after + h.heartbeat_interval;
+                    if now.since(inner.last_data_tx) > expect_window {
+                        inner.expect_since = now;
+                    }
+                }
+                inner.last_data_tx = now;
             }
             inner.carrier.clone()
         };
@@ -1005,6 +1035,14 @@ impl TrunkStream {
     /// The mux carrying this stream (failover internals).
     pub(crate) fn mux(&self) -> &TrunkMux {
         &self.mux
+    }
+
+    /// Installs an observer fired when this stream's sender parks on an
+    /// exhausted window/budget (`true`) and when the backlog fully
+    /// drains (`false`); failover streams feed it into their flight
+    /// recorder. Replaces any previous hook.
+    pub fn set_stall_hook(&self, hook: impl FnMut(&mut SimWorld, bool) + 'static) {
+        self.state.borrow_mut().stall_hook = Some(Rc::new(RefCell::new(hook)));
     }
 
     /// Credit accounting snapshot of this stream.
@@ -1060,6 +1098,7 @@ impl TrunkStream {
         // With the peer's read side gone the far end still drains data
         // that was in flight, matching the per-stream legs this replaces.
         let len = data.len();
+        let mut stalled_hook: Option<StallHook> = None;
         let (id, chunks) = {
             let mut st = self.state.borrow_mut();
             if st.self_closed {
@@ -1088,6 +1127,7 @@ impl TrunkStream {
                     self.mux.register_parked(st.id);
                     if st.stall_started.is_none() {
                         st.stall_started = Some(world.now());
+                        stalled_hook = st.stall_hook.clone();
                     }
                 }
                 st.send_window -= head.len();
@@ -1097,6 +1137,9 @@ impl TrunkStream {
             }
             (st.id, split_frames(head))
         };
+        if let Some(hook) = stalled_hook {
+            (hook.borrow_mut())(world, true);
+        }
         for chunk in chunks {
             self.mux.send_frame(world, id, KIND_DATA, chunk);
         }
@@ -1128,11 +1171,13 @@ impl TrunkStream {
                 None => break,
             }
         }
+        let mut resumed_hook: Option<StallHook> = None;
         let deferred_close = {
             let mut st = self.state.borrow_mut();
             if st.pending_tx.is_empty() {
                 if let Some(t0) = st.stall_started.take() {
                     st.stalled_ns += world.now().since(t0).as_nanos();
+                    resumed_hook = st.stall_hook.clone();
                 }
                 if st.close_after_flush {
                     st.close_after_flush = false;
@@ -1145,6 +1190,9 @@ impl TrunkStream {
                 None
             }
         };
+        if let Some(hook) = resumed_hook {
+            (hook.borrow_mut())(world, false);
+        }
         if let Some(id) = deferred_close {
             self.mux.send_frame(world, id, KIND_CLOSE, Bytes::new());
             self.maybe_reap();
@@ -1760,6 +1808,61 @@ mod tests {
         s.send_all(&mut world, b"again");
         world.run();
         assert_eq!(a.recv_all(&mut world), b"again");
+    }
+
+    #[test]
+    fn resuming_a_long_idle_trunk_does_not_false_positive() {
+        // Regression: a trunk reused after a shared idle period has a
+        // stale `last_rx` (idle ends stop heartbeating by design). The
+        // first health tick after a multi-window resume used to measure
+        // silence from that stale timestamp and declare a live peer dead
+        // 20 ms into the resumed transfer. Silence must be measured from
+        // the start of the new expectation epoch instead.
+        let mut world = SimWorld::new(0);
+        world.add_node("n");
+        let (mux, acceptor, accepted) = mux_pair_flow(&world, Some(SMALL_FLOW));
+        let health = TrunkHealthConfig::default();
+        mux.enable_health(&mut world, health);
+        acceptor.enable_health(&mut world, health);
+
+        // Warm exchange, fully drained.
+        let s = mux.open();
+        s.send_all(&mut world, b"warm-up");
+        world.run();
+        let a = accepted.borrow()[0].clone();
+        assert_eq!(a.recv_all(&mut world), b"warm-up");
+        world.run();
+
+        // Idle well past the expectation window: both ends go silent and
+        // every liveness timer lapses (the world drains).
+        let idle = health.dead_after + health.dead_after + health.dead_after;
+        world.schedule_after(idle + idle, |_world| {});
+        world.run();
+        assert!(!mux.is_dead());
+
+        // Resume with a multi-window burst: the sender now *expects*
+        // credits while `last_rx` is several dead_after periods stale.
+        let data: Vec<u8> = (0..3 * SMALL_FLOW.initial_window)
+            .map(|i| (i % 233) as u8)
+            .collect();
+        s.send_all(&mut world, &data);
+        world.run();
+        assert!(
+            !mux.is_dead(),
+            "a live peer answering a resumed burst must not be declared dead"
+        );
+        // The transfer completes once the receiver drains (credits flow
+        // over the very trunk that would have been severed).
+        let mut got = Vec::new();
+        while got.len() < data.len() {
+            let before = got.len();
+            got.extend(a.recv(&mut world, usize::MAX));
+            world.run();
+            assert!(got.len() > before, "resumed transfer stalled at {before}");
+        }
+        assert_eq!(got, data, "byte-exact across the idle resume");
+        assert!(!mux.is_dead());
+        assert!(!acceptor.is_dead());
     }
 
     #[test]

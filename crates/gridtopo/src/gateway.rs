@@ -33,12 +33,16 @@ use std::collections::{BTreeSet, HashMap, VecDeque};
 use std::rc::Rc;
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
-use simnet::{Frame, NodeId, ProtoId, SimDuration, SimRng, SimTime, SimWorld};
+use simnet::{
+    CauseId, DropCause, Frame, NodeId, ProtoId, SimDuration, SimRng, SimTime, SimWorld, TraceEvent,
+};
 
 use crate::route::{GridRoutes, Hop};
 
-/// Encapsulation header: dst(4) + src(4) + port(2) + ttl(1).
-const RELAY_HEADER_BYTES: usize = 11;
+/// Encapsulation header: dst(4) + src(4) + port(2) + ttl(1) + cause(8).
+/// The cause id correlates every hop of one frame's journey in the typed
+/// event trace (`simnet::telemetry`), like a trace id on a real wire.
+const RELAY_HEADER_BYTES: usize = 19;
 
 /// How a gateway resolves relay-queue congestion.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -155,6 +159,8 @@ pub struct RelayedMessage {
     /// Relay hops the frame had left when it arrived (ttl at origin minus
     /// gateways traversed).
     pub ttl_remaining: u8,
+    /// Journey id correlating this frame's hops in the typed event trace.
+    pub cause: CauseId,
 }
 
 /// Errors surfaced when submitting a frame for routed delivery.
@@ -217,6 +223,7 @@ struct ParkedFrame {
     ttl: u8,
     payload: Bytes,
     parked_at: SimTime,
+    cause: CauseId,
 }
 
 /// Deterministic in-transit frame discarder (crash/corruption model).
@@ -230,6 +237,8 @@ struct FabricInner {
     config: RelayConfig,
     gateways: HashMap<NodeId, GatewayState>,
     endpoints: HashMap<(NodeId, u16), EndpointCallback>,
+    /// Frames accepted by [`RelayFabric::send`] (parked ones included).
+    frames_sent: u64,
     delivered_frames: u64,
     delivered_bytes: u64,
     unclaimed_frames: u64,
@@ -254,17 +263,21 @@ struct FabricInner {
     /// or the routes change.
     reroute_cache: HashMap<(NodeId, NodeId), Option<(Hop, bool)>>,
     fault: Option<FaultInjector>,
+    /// Whether this fabric already registered its metrics collector.
+    metrics_registered: bool,
 }
 
 impl FabricInner {
     /// The next hop from `src` towards `dst`, routed around the down
     /// gateways when failover is enabled. Counts a re-route whenever the
-    /// default hop would have entered a down gateway.
-    fn pick_next_hop(&mut self, src: NodeId, dst: NodeId) -> Option<Hop> {
+    /// default hop would have entered a down gateway; the returned flag
+    /// tells the caller the hop differs from the default (so it can
+    /// record a typed re-route event against the frame's cause).
+    fn pick_next_hop(&mut self, src: NodeId, dst: NodeId) -> Option<(Hop, bool)> {
         if self.down.is_empty() || !self.config.gateway_failover {
             // With failover off a failed gateway is a genuine blackhole:
             // routing keeps pointing into it and the frames die there.
-            return self.routes.next_hop(src, dst);
+            return self.routes.next_hop(src, dst).map(|hop| (hop, false));
         }
         let entry = match self.reroute_cache.get(&(src, dst)) {
             Some(&cached) => cached,
@@ -284,7 +297,7 @@ impl FabricInner {
         if rerouted {
             self.frames_rerouted += 1;
         }
-        Some(hop)
+        Some((hop, rerouted))
     }
     /// Takes one credit towards `gw` if the pool allows it.
     fn try_consume_credit(&mut self, gw: NodeId) -> bool {
@@ -307,6 +320,76 @@ impl FabricInner {
         state.credits_outstanding = state.credits_outstanding.saturating_sub(1);
         state.stats.credits_returned += 1;
     }
+
+    /// Mirrors the fabric's accounting into a metrics snapshot under
+    /// `relay.fabric.*` and `relay.gateway.*{gw=N}`. Gateways are walked
+    /// in id order so the snapshot is deterministic.
+    fn collect_metrics(&self, b: &mut simnet::SnapshotBuilder) {
+        b.counter("relay.fabric.frames_sent", &[], self.frames_sent);
+        b.counter("relay.fabric.frames_delivered", &[], self.delivered_frames);
+        b.counter("relay.fabric.delivered_bytes", &[], self.delivered_bytes);
+        b.counter("relay.fabric.frames_unclaimed", &[], self.unclaimed_frames);
+        b.counter("relay.fabric.frames_rerouted", &[], self.frames_rerouted);
+        b.counter("relay.fabric.credit_stalls", &[], self.credit_stalls);
+        b.counter("relay.fabric.credit_stall_ns", &[], self.credit_stall_ns);
+        b.counter(
+            "relay.fabric.parked_send_failures",
+            &[],
+            self.parked_send_failures,
+        );
+        let parked: usize = self.parked.values().map(|q| q.len()).sum();
+        b.gauge("relay.fabric.parked_frames", &[], parked as i64);
+        b.gauge("relay.fabric.gateways_down", &[], self.down.len() as i64);
+
+        let mut ids: Vec<NodeId> = self.gateways.keys().copied().collect();
+        ids.sort_unstable();
+        for id in ids {
+            let g = &self.gateways[&id];
+            let gw = id.0.to_string();
+            let labels: &[(&str, &str)] = &[("gw", gw.as_str())];
+            let s = &g.stats;
+            b.counter("relay.gateway.frames_relayed", labels, s.frames_relayed);
+            b.counter("relay.gateway.bytes_relayed", labels, s.bytes_relayed);
+            b.counter(
+                "relay.gateway.frames_dropped_queue_full",
+                labels,
+                s.frames_dropped_queue_full,
+            );
+            b.counter(
+                "relay.gateway.frames_dropped_ttl",
+                labels,
+                s.frames_dropped_ttl,
+            );
+            b.counter(
+                "relay.gateway.frames_dropped_no_route",
+                labels,
+                s.frames_dropped_no_route,
+            );
+            b.counter(
+                "relay.gateway.frames_dropped_fault",
+                labels,
+                s.frames_dropped_fault,
+            );
+            b.counter(
+                "relay.gateway.frames_dropped_gateway_down",
+                labels,
+                s.frames_dropped_gateway_down,
+            );
+            b.counter("relay.gateway.credits_consumed", labels, s.credits_consumed);
+            b.counter("relay.gateway.credits_returned", labels, s.credits_returned);
+            b.gauge(
+                "relay.gateway.max_queue_depth",
+                labels,
+                s.max_queue_depth as i64,
+            );
+            b.gauge("relay.gateway.queue_depth", labels, g.queue_depth as i64);
+            b.gauge(
+                "relay.gateway.credits_outstanding",
+                labels,
+                g.credits_outstanding as i64,
+            );
+        }
+    }
 }
 
 /// The relay fabric: shared routing state plus the per-node relay agents.
@@ -326,6 +409,7 @@ impl RelayFabric {
                 config,
                 gateways: HashMap::new(),
                 endpoints: HashMap::new(),
+                frames_sent: 0,
                 delivered_frames: 0,
                 delivered_bytes: 0,
                 unclaimed_frames: 0,
@@ -337,6 +421,7 @@ impl RelayFabric {
                 frames_rerouted: 0,
                 reroute_cache: HashMap::new(),
                 fault: None,
+                metrics_registered: false,
             })),
         }
     }
@@ -414,13 +499,13 @@ impl RelayFabric {
     /// Re-dispatches one frame that was parked on a now-failed gateway's
     /// credit pool along a surviving route (or accounts its loss).
     fn redispatch_parked(&self, world: &mut SimWorld, pf: ParkedFrame) {
-        let (hop, from, credit_mode) = {
+        let (hop, rerouted, from, credit_mode) = {
             let mut inner = self.inner.borrow_mut();
             inner.credit_stall_ns += world.now().since(pf.parked_at).as_nanos();
             let credit_mode = inner.config.backpressure == BackpressureMode::Credit;
             let route_src = pf.from.unwrap_or(pf.orig_src);
             match inner.pick_next_hop(route_src, pf.final_dst) {
-                Some(hop) => (hop, pf.from, credit_mode),
+                Some((hop, rerouted)) => (hop, rerouted, pf.from, credit_mode),
                 None => {
                     // No surviving route: account the loss where the frame
                     // physically was (the holding gateway, or nowhere for
@@ -432,6 +517,17 @@ impl RelayFabric {
                             state.stats.frames_dropped_no_route += 1;
                             let holder_returns = credit_mode;
                             drop(inner);
+                            if world.events.is_enabled() {
+                                let now = world.now();
+                                world.events.record(
+                                    now,
+                                    TraceEvent::RelayDropped {
+                                        gateway: holder,
+                                        cause: pf.cause,
+                                        drop_cause: DropCause::NoRoute,
+                                    },
+                                );
+                            }
                             if holder_returns {
                                 self.schedule_credit_return(world, holder);
                             }
@@ -442,6 +538,26 @@ impl RelayFabric {
                 }
             }
         };
+        if world.events.is_enabled() {
+            let now = world.now();
+            let node = from.unwrap_or(pf.orig_src);
+            world.events.record(
+                now,
+                TraceEvent::RelayResumed {
+                    node,
+                    cause: pf.cause,
+                },
+            );
+            if rerouted {
+                world.events.record(
+                    now,
+                    TraceEvent::RelayRerouted {
+                        node,
+                        cause: pf.cause,
+                    },
+                );
+            }
+        }
         // Acquire the surviving hop's credit (or re-park on it) and
         // transmit, mirroring the regular send / forward paths.
         match from {
@@ -463,7 +579,14 @@ impl RelayFabric {
                     }
                     consumed = true;
                 }
-                let wire = encode(pf.final_dst, pf.orig_src, pf.port, pf.ttl, &pf.payload);
+                let wire = encode(
+                    pf.final_dst,
+                    pf.orig_src,
+                    pf.port,
+                    pf.ttl,
+                    pf.cause,
+                    &pf.payload,
+                );
                 if world
                     .send_frame(
                         hop.network,
@@ -490,6 +613,7 @@ impl RelayFabric {
                     pf.port,
                     pf.ttl,
                     pf.payload,
+                    pf.cause,
                 );
             }
         }
@@ -500,7 +624,19 @@ impl RelayFabric {
     /// are routed through it. Must be called once for every gateway and
     /// every endpoint node participating in relayed traffic.
     pub fn attach(&self, world: &mut SimWorld, node: NodeId) {
-        self.inner.borrow_mut().gateways.entry(node).or_default();
+        let register_metrics = {
+            let mut inner = self.inner.borrow_mut();
+            inner.gateways.entry(node).or_default();
+            !std::mem::replace(&mut inner.metrics_registered, true)
+        };
+        if register_metrics {
+            let inner = Rc::downgrade(&self.inner);
+            world.metrics.register_collector(move |b| {
+                let Some(inner) = inner.upgrade() else { return };
+                let inner = inner.borrow();
+                inner.collect_metrics(b);
+            });
+        }
         let fabric = self.clone();
         world.register_handler(node, ProtoId::RELAY, move |world, _net, frame| {
             fabric.on_relay_frame(world, frame);
@@ -571,23 +707,45 @@ impl RelayFabric {
             };
             (hop, inner.config.ttl)
         };
+        // The journey id travels in the relay header; allocated whether or
+        // not the ring records, so tracing never perturbs the schedule.
+        let cause = world.events.next_cause();
 
         match first_hop {
             None => {
                 // src == dst: local delivery through the event queue.
+                self.inner.borrow_mut().frames_sent += 1;
+                if world.events.is_enabled() {
+                    let now = world.now();
+                    world
+                        .events
+                        .record(now, TraceEvent::RelayAccepted { node: src, cause });
+                }
                 let fabric = self.clone();
                 let msg = RelayedMessage {
                     src,
                     port,
                     payload,
                     ttl_remaining: ttl,
+                    cause,
                 };
                 world.schedule_after(SimDuration::ZERO, move |world| {
                     fabric.deliver(world, dst, msg);
                 });
                 Ok(())
             }
-            Some(hop) => {
+            Some((hop, rerouted)) => {
+                if world.events.is_enabled() {
+                    let now = world.now();
+                    world
+                        .events
+                        .record(now, TraceEvent::RelayAccepted { node: src, cause });
+                    if rerouted {
+                        world
+                            .events
+                            .record(now, TraceEvent::RelayRerouted { node: src, cause });
+                    }
+                }
                 // A first hop that is not the destination is a gateway
                 // that will queue the frame: in credit mode its queue
                 // space must be reserved before transmitting.
@@ -609,19 +767,30 @@ impl RelayFabric {
                                     ttl,
                                     payload,
                                     parked_at: world.now(),
+                                    cause,
                                 });
                             inner.credit_stalls += 1;
+                            inner.frames_sent += 1;
+                            drop(inner);
+                            if world.events.is_enabled() {
+                                let now = world.now();
+                                world
+                                    .events
+                                    .record(now, TraceEvent::RelayParked { node: src, cause });
+                            }
                             return Ok(());
                         }
                         consumed = true;
                     }
                 }
-                let wire = encode(dst, src, port, ttl, &payload);
+                let wire = encode(dst, src, port, ttl, cause, &payload);
                 let sent = world
                     .send_frame(hop.network, Frame::new(src, hop.node, ProtoId::RELAY, wire))
                     .map_err(RelayError::Send);
-                if sent.is_err() && consumed {
-                    self.inner.borrow_mut().release_credit_now(hop.node);
+                match sent {
+                    Ok(()) => self.inner.borrow_mut().frames_sent += 1,
+                    Err(_) if consumed => self.inner.borrow_mut().release_credit_now(hop.node),
+                    Err(_) => {}
                 }
                 sent
             }
@@ -631,7 +800,7 @@ impl RelayFabric {
     /// Relay agent: a `ProtoId::RELAY` frame arrived at `frame.dst`.
     fn on_relay_frame(&self, world: &mut SimWorld, frame: Frame) {
         let here = frame.dst;
-        let Some((final_dst, orig_src, port, ttl)) = decode(&frame.payload) else {
+        let Some((final_dst, orig_src, port, ttl, cause)) = decode(&frame.payload) else {
             return; // malformed; drop silently
         };
 
@@ -641,6 +810,18 @@ impl RelayFabric {
                 let mut inner = self.inner.borrow_mut();
                 let state = inner.gateways.entry(here).or_default();
                 state.stats.frames_dropped_gateway_down += 1;
+                drop(inner);
+                if world.events.is_enabled() {
+                    let now = world.now();
+                    world.events.record(
+                        now,
+                        TraceEvent::RelayDropped {
+                            gateway: here,
+                            cause,
+                            drop_cause: DropCause::GatewayDown,
+                        },
+                    );
+                }
                 return;
             }
             let msg = RelayedMessage {
@@ -648,6 +829,7 @@ impl RelayFabric {
                 port,
                 payload: frame.payload.slice(RELAY_HEADER_BYTES..),
                 ttl_remaining: ttl,
+                cause,
             };
             self.deliver(world, here, msg);
             return;
@@ -657,7 +839,7 @@ impl RelayFabric {
         // upstream sender held one of our credits (credit mode), which we
         // return once the frame leaves our queue — or right away if it is
         // discarded on arrival.
-        let (enqueued, credit_mode, per_hop_latency) = {
+        let (enqueued, drop_cause, credit_mode, per_hop_latency) = {
             let mut inner = self.inner.borrow_mut();
             let credit_mode = inner.config.backpressure == BackpressureMode::Credit;
             let config_latency = inner.config.per_hop_latency;
@@ -673,22 +855,22 @@ impl RelayFabric {
                 inner.pick_next_hop(here, final_dst)
             };
             let state = inner.gateways.entry(here).or_default();
-            let enqueued = if gateway_down {
+            let (enqueued, drop_cause) = if gateway_down {
                 // A frame arriving at a failed gateway vanishes with it.
                 state.stats.frames_dropped_gateway_down += 1;
-                None
+                (None, Some(DropCause::GatewayDown))
             } else if fault_drop {
                 state.stats.frames_dropped_fault += 1;
-                None
+                (None, Some(DropCause::Fault))
             } else if ttl == 0 {
                 state.stats.frames_dropped_ttl += 1;
-                None
+                (None, Some(DropCause::Ttl))
             } else if next.is_none() {
                 state.stats.frames_dropped_no_route += 1;
-                None
+                (None, Some(DropCause::NoRoute))
             } else if !credit_mode && state.queue_depth >= capacity {
                 state.stats.frames_dropped_queue_full += 1;
-                None
+                (None, Some(DropCause::QueueFull))
             } else {
                 // In credit mode the upstream credit guarantees space.
                 debug_assert!(
@@ -697,24 +879,43 @@ impl RelayFabric {
                 );
                 state.queue_depth += 1;
                 state.stats.max_queue_depth = state.stats.max_queue_depth.max(state.queue_depth);
-                next
+                (next, None)
             };
-            (enqueued, credit_mode, config_latency)
+            (enqueued, drop_cause, credit_mode, config_latency)
         };
 
-        let Some(hop) = enqueued else {
+        let Some((hop, rerouted)) = enqueued else {
             // Discarded on arrival: the credit the upstream consumed for
             // this gateway travels straight back (faults must not leak
             // credits, or the fabric would deadlock).
+            if world.events.is_enabled() {
+                let now = world.now();
+                world.events.record(
+                    now,
+                    TraceEvent::RelayDropped {
+                        gateway: here,
+                        cause,
+                        drop_cause: drop_cause.unwrap_or(DropCause::NoRoute),
+                    },
+                );
+            }
             if credit_mode {
                 self.schedule_credit_return(world, here);
             }
             return;
         };
+        if rerouted && world.events.is_enabled() {
+            let now = world.now();
+            world
+                .events
+                .record(now, TraceEvent::RelayRerouted { node: here, cause });
+        }
         let fabric = self.clone();
         let payload = frame.payload.slice(RELAY_HEADER_BYTES..);
         world.schedule_after(per_hop_latency, move |world| {
-            fabric.forward_from_gateway(world, here, hop, final_dst, orig_src, port, ttl, payload);
+            fabric.forward_from_gateway(
+                world, here, hop, final_dst, orig_src, port, ttl, payload, cause,
+            );
         });
     }
 
@@ -732,6 +933,7 @@ impl RelayFabric {
         port: u16,
         ttl: u8,
         payload: Bytes,
+        cause: CauseId,
     ) {
         let hop = {
             let mut inner = self.inner.borrow_mut();
@@ -744,6 +946,17 @@ impl RelayFabric {
                 state.queue_depth = state.queue_depth.saturating_sub(1);
                 state.stats.frames_dropped_gateway_down += 1;
                 drop(inner);
+                if world.events.is_enabled() {
+                    let now = world.now();
+                    world.events.record(
+                        now,
+                        TraceEvent::RelayDropped {
+                            gateway: here,
+                            cause,
+                            drop_cause: DropCause::GatewayDown,
+                        },
+                    );
+                }
                 if credit_mode {
                     self.schedule_credit_return(world, here);
                 }
@@ -753,12 +966,31 @@ impl RelayFabric {
             // store-and-forward hold: re-route around it now.
             let hop = if hop.node != final_dst && inner.down.contains(&hop.node) {
                 match inner.pick_next_hop(here, final_dst) {
-                    Some(h2) => h2,
+                    Some((h2, _)) => {
+                        if world.events.is_enabled() {
+                            let now = world.now();
+                            world
+                                .events
+                                .record(now, TraceEvent::RelayRerouted { node: here, cause });
+                        }
+                        h2
+                    }
                     None => {
                         let state = inner.gateways.entry(here).or_default();
                         state.queue_depth = state.queue_depth.saturating_sub(1);
                         state.stats.frames_dropped_no_route += 1;
                         drop(inner);
+                        if world.events.is_enabled() {
+                            let now = world.now();
+                            world.events.record(
+                                now,
+                                TraceEvent::RelayDropped {
+                                    gateway: here,
+                                    cause,
+                                    drop_cause: DropCause::NoRoute,
+                                },
+                            );
+                        }
                         if credit_mode {
                             self.schedule_credit_return(world, here);
                         }
@@ -783,15 +1015,25 @@ impl RelayFabric {
                         ttl,
                         payload,
                         parked_at: world.now(),
+                        cause,
                     });
                 inner.credit_stalls += 1;
+                drop(inner);
+                if world.events.is_enabled() {
+                    let now = world.now();
+                    world
+                        .events
+                        .record(now, TraceEvent::RelayParked { node: here, cause });
+                }
                 // The frame stays in `here`'s queue, so `here`'s own
                 // upstream credit stays withheld: the stall cascades.
                 return;
             }
             hop
         };
-        self.complete_forward(world, here, hop, final_dst, orig_src, port, ttl, payload);
+        self.complete_forward(
+            world, here, hop, final_dst, orig_src, port, ttl, payload, cause,
+        );
     }
 
     /// Dequeues the frame at `here` and transmits it on `hop` (the next
@@ -808,6 +1050,7 @@ impl RelayFabric {
         port: u16,
         ttl: u8,
         payload: Bytes,
+        cause: CauseId,
     ) {
         let credit_mode = {
             let mut inner = self.inner.borrow_mut();
@@ -817,24 +1060,47 @@ impl RelayFabric {
             state.stats.bytes_relayed += payload.len() as u64;
             inner.config.backpressure == BackpressureMode::Credit
         };
-        let wire = encode(final_dst, orig_src, port, ttl - 1, &payload);
+        let wire = encode(final_dst, orig_src, port, ttl - 1, cause, &payload);
         // A send failure here means the topology changed under the
         // fabric; account it as a no-route drop.
-        if world
-            .send_frame(
-                hop.network,
-                Frame::new(here, hop.node, ProtoId::RELAY, wire),
-            )
-            .is_err()
-        {
-            let mut inner = self.inner.borrow_mut();
-            let state = inner.gateways.entry(here).or_default();
-            state.stats.frames_relayed -= 1;
-            state.stats.bytes_relayed -= payload.len() as u64;
-            state.stats.frames_dropped_no_route += 1;
-            if credit_mode && hop.node != final_dst {
-                // The next hop's reserved space will never be used.
-                inner.release_credit_now(hop.node);
+        match world.send_frame(
+            hop.network,
+            Frame::new(here, hop.node, ProtoId::RELAY, wire),
+        ) {
+            Ok(()) => {
+                if world.events.is_enabled() {
+                    let now = world.now();
+                    world.events.record(
+                        now,
+                        TraceEvent::RelayForwarded {
+                            gateway: here,
+                            cause,
+                        },
+                    );
+                }
+            }
+            Err(_) => {
+                let mut inner = self.inner.borrow_mut();
+                let state = inner.gateways.entry(here).or_default();
+                state.stats.frames_relayed -= 1;
+                state.stats.bytes_relayed -= payload.len() as u64;
+                state.stats.frames_dropped_no_route += 1;
+                if credit_mode && hop.node != final_dst {
+                    // The next hop's reserved space will never be used.
+                    inner.release_credit_now(hop.node);
+                }
+                drop(inner);
+                if world.events.is_enabled() {
+                    let now = world.now();
+                    world.events.record(
+                        now,
+                        TraceEvent::RelayDropped {
+                            gateway: here,
+                            cause,
+                            drop_cause: DropCause::NoRoute,
+                        },
+                    );
+                }
             }
         }
         if credit_mode {
@@ -869,10 +1135,27 @@ impl RelayFabric {
             }
         };
         let Some(pf) = unparked else { return };
+        if world.events.is_enabled() {
+            let now = world.now();
+            world.events.record(
+                now,
+                TraceEvent::RelayResumed {
+                    node: pf.from.unwrap_or(pf.orig_src),
+                    cause: pf.cause,
+                },
+            );
+        }
         match pf.from {
             None => {
                 // A parked origin send: transmit it now.
-                let wire = encode(pf.final_dst, pf.orig_src, pf.port, pf.ttl, &pf.payload);
+                let wire = encode(
+                    pf.final_dst,
+                    pf.orig_src,
+                    pf.port,
+                    pf.ttl,
+                    pf.cause,
+                    &pf.payload,
+                );
                 if world
                     .send_frame(
                         pf.hop.network,
@@ -898,6 +1181,7 @@ impl RelayFabric {
                     pf.port,
                     pf.ttl,
                     pf.payload,
+                    pf.cause,
                 );
             }
         }
@@ -918,6 +1202,16 @@ impl RelayFabric {
                 }
             }
         };
+        if world.events.is_enabled() {
+            let now = world.now();
+            world.events.record(
+                now,
+                TraceEvent::RelayDelivered {
+                    node,
+                    cause: msg.cause,
+                },
+            );
+        }
         if let Some(cb) = callback {
             cb.borrow_mut()(world, msg);
         }
@@ -976,6 +1270,12 @@ impl RelayFabric {
         self.inner.borrow().parked_send_failures
     }
 
+    /// Frames accepted by [`RelayFabric::send`] (parked sends included;
+    /// rejected sends — no route, too large, link down — are not).
+    pub fn frames_sent(&self) -> u64 {
+        self.inner.borrow().frames_sent
+    }
+
     /// Total frames delivered to bound endpoints.
     pub fn delivered_frames(&self) -> u64 {
         self.inner.borrow().delivered_frames
@@ -1012,17 +1312,18 @@ impl RelayFabric {
     }
 }
 
-fn encode(dst: NodeId, src: NodeId, port: u16, ttl: u8, payload: &[u8]) -> Bytes {
+fn encode(dst: NodeId, src: NodeId, port: u16, ttl: u8, cause: CauseId, payload: &[u8]) -> Bytes {
     let mut buf = BytesMut::with_capacity(RELAY_HEADER_BYTES + payload.len());
     buf.put_u32(dst.0);
     buf.put_u32(src.0);
     buf.put_u16(port);
     buf.put_u8(ttl);
+    buf.put_u64(cause.0);
     buf.extend_from_slice(payload);
     buf.freeze()
 }
 
-fn decode(wire: &Bytes) -> Option<(NodeId, NodeId, u16, u8)> {
+fn decode(wire: &Bytes) -> Option<(NodeId, NodeId, u16, u8, CauseId)> {
     if wire.len() < RELAY_HEADER_BYTES {
         return None;
     }
@@ -1031,7 +1332,8 @@ fn decode(wire: &Bytes) -> Option<(NodeId, NodeId, u16, u8)> {
     let src = NodeId(head.get_u32());
     let port = head.get_u16();
     let ttl = head.get_u8();
-    Some((dst, src, port, ttl))
+    let cause = CauseId(head.get_u64());
+    Some((dst, src, port, ttl, cause))
 }
 
 #[cfg(test)]

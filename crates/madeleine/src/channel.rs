@@ -74,6 +74,17 @@ struct PendingRendezvous {
     segments: Vec<Segment>,
 }
 
+/// Accounting of one Madeleine channel.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MadChannelStats {
+    /// Messages sent on this channel.
+    pub messages_sent: u64,
+    /// Messages received on this channel.
+    pub messages_received: u64,
+    /// Payload bytes sent.
+    pub bytes_sent: u64,
+}
+
 struct ChannelState {
     id: u16,
     group: Vec<NodeId>,
@@ -175,6 +186,27 @@ impl Madeleine {
         let m2 = mad.clone();
         world.register_handler(node, ProtoId::MADELEINE, move |world, _net, frame| {
             m2.on_frame(world, frame);
+        });
+        let weak = Rc::downgrade(&mad.inner);
+        let node_label = node.0.to_string();
+        world.metrics.register_collector(move |b| {
+            let Some(inner) = weak.upgrade() else { return };
+            let inner = inner.borrow();
+            let mut ids: Vec<u16> = inner.channels.keys().copied().collect();
+            ids.sort_unstable();
+            for id in ids {
+                let st = inner.channels[&id].borrow();
+                let chan = id.to_string();
+                let labels: &[(&str, &str)] =
+                    &[("chan", chan.as_str()), ("node", node_label.as_str())];
+                b.counter("madeleine.channel.messages_sent", labels, st.messages_sent);
+                b.counter(
+                    "madeleine.channel.messages_received",
+                    labels,
+                    st.messages_received,
+                );
+                b.counter("madeleine.channel.bytes_sent", labels, st.bytes_sent);
+            }
         });
         mad
     }
@@ -378,10 +410,14 @@ impl MadChannel {
         self.state.borrow().group.len()
     }
 
-    /// (messages sent, messages received, payload bytes sent).
-    pub fn stats(&self) -> (u64, u64, u64) {
+    /// Accounting snapshot of this channel.
+    pub fn stats(&self) -> MadChannelStats {
         let st = self.state.borrow();
-        (st.messages_sent, st.messages_received, st.bytes_sent)
+        MadChannelStats {
+            messages_sent: st.messages_sent,
+            messages_received: st.messages_received,
+            bytes_sent: st.bytes_sent,
+        }
     }
 
     /// Starts packing a message for `dst_rank`.

@@ -23,5 +23,7 @@
 pub mod channel;
 pub mod message;
 
-pub use channel::{MadChannel, MadConfig, MadError, Madeleine, PackHandle, UnpackHandle};
+pub use channel::{
+    MadChannel, MadChannelStats, MadConfig, MadError, Madeleine, PackHandle, UnpackHandle,
+};
 pub use message::{MadMessage, RecvMode, Segment, SendMode};

@@ -340,6 +340,18 @@ struct OrbInner {
     connections: HashMap<(NodeId, u16), Rc<OrbConnection>>,
     requests_sent: u64,
     requests_served: u64,
+    /// Whether the metrics collector has been registered (done lazily on
+    /// the first call that carries a `SimWorld`).
+    metrics_registered: bool,
+}
+
+/// Request accounting of one ORB.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OrbStats {
+    /// Requests this ORB sent as a client.
+    pub requests_sent: u64,
+    /// Requests this ORB served as a servant side.
+    pub requests_served: u64,
 }
 
 struct OrbConnection {
@@ -378,8 +390,32 @@ impl Orb {
                 connections: HashMap::new(),
                 requests_sent: 0,
                 requests_served: 0,
+                metrics_registered: false,
             })),
         }
+    }
+
+    /// Registers the `mw.corba.*{node=N}` collector once; called from the
+    /// world-bearing entry points (`activate`, `invoke`) because
+    /// [`Orb::new`] has no access to the world.
+    fn ensure_metrics(&self, world: &mut SimWorld) {
+        let first = {
+            let mut st = self.inner.borrow_mut();
+            !std::mem::replace(&mut st.metrics_registered, true)
+        };
+        if !first {
+            return;
+        }
+        let node = self.inner.borrow().runtime.node();
+        let node_label = node.0.to_string();
+        let weak = Rc::downgrade(&self.inner);
+        world.metrics.register_collector(move |b| {
+            let Some(inner) = weak.upgrade() else { return };
+            let st = inner.borrow();
+            let labels: &[(&str, &str)] = &[("node", node_label.as_str())];
+            b.counter("mw.corba.requests_sent", labels, st.requests_sent);
+            b.counter("mw.corba.requests_served", labels, st.requests_served);
+        });
     }
 
     /// Which implementation this ORB models.
@@ -387,15 +423,19 @@ impl Orb {
         self.inner.borrow().implementation
     }
 
-    /// (requests sent, requests served).
-    pub fn stats(&self) -> (u64, u64) {
+    /// Request accounting snapshot.
+    pub fn stats(&self) -> OrbStats {
         let st = self.inner.borrow();
-        (st.requests_sent, st.requests_served)
+        OrbStats {
+            requests_sent: st.requests_sent,
+            requests_served: st.requests_served,
+        }
     }
 
     /// Activates the object adapter: listens on `service` and serves
     /// registered objects.
     pub fn activate(&self, world: &mut SimWorld, service: u16) {
+        self.ensure_metrics(world);
         let runtime = self.inner.borrow().runtime.clone();
         let orb = self.clone();
         runtime.vlink_listen(world, service, move |world, vlink| {
@@ -434,6 +474,7 @@ impl Orb {
         arg: IdlValue,
         reply: impl FnOnce(&mut SimWorld, IdlValue) + 'static,
     ) {
+        self.ensure_metrics(world);
         let request_id = {
             let mut st = self.inner.borrow_mut();
             let id = st.next_request;
@@ -656,8 +697,8 @@ mod tests {
         );
         world.run();
         assert_eq!(*result.borrow(), Some(IdlValue::Long(42)));
-        assert_eq!(client.stats().0, 1);
-        assert_eq!(server.stats().1, 1);
+        assert_eq!(client.stats().requests_sent, 1);
+        assert_eq!(server.stats().requests_served, 1);
     }
 
     #[test]

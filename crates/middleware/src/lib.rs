@@ -26,9 +26,9 @@ pub mod javasock;
 pub mod mpi;
 pub mod soap;
 
-pub use corba::{cdr_decode, cdr_encode, IdlValue, ObjRef, Orb, OrbImpl};
+pub use corba::{cdr_decode, cdr_encode, IdlValue, ObjRef, Orb, OrbImpl, OrbStats};
 pub use cost::MiddlewareCost;
 pub use hla::{Federate, RtiGateway};
 pub use javasock::{JavaServerSocket, JavaSocket};
-pub use mpi::{CommTopology, MpiComm, MpiMessage, ANY_SOURCE, ANY_TAG};
+pub use mpi::{CommTopology, MpiComm, MpiMessage, MpiStats, ANY_SOURCE, ANY_TAG};
 pub use soap::{SoapCall, SoapEndpoint};

@@ -168,6 +168,17 @@ struct Inner {
     inter_site_msgs: u64,
 }
 
+/// Send accounting of one MPI communicator rank.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MpiStats {
+    /// Point-to-point and collective messages sent by this rank.
+    pub messages_sent: u64,
+    /// Payload bytes sent.
+    pub bytes_sent: u64,
+    /// Sent messages that crossed a site boundary (topology installed).
+    pub inter_site_messages: u64,
+}
+
 /// An MPI communicator bound to one Circuit.
 #[derive(Clone)]
 pub struct MpiComm {
@@ -217,7 +228,16 @@ impl MpiComm {
             let c2 = c.clone();
             world.schedule_after(cost, move |world| c2.deliver(world, mpi_msg));
         });
-        let _ = world;
+        let rank_label = comm.inner.borrow().circuit.my_rank().to_string();
+        let weak = Rc::downgrade(&comm.inner);
+        world.metrics.register_collector(move |b| {
+            let Some(inner) = weak.upgrade() else { return };
+            let st = inner.borrow();
+            let labels: &[(&str, &str)] = &[("rank", rank_label.as_str())];
+            b.counter("mw.mpi.messages_sent", labels, st.messages_sent);
+            b.counter("mw.mpi.bytes_sent", labels, st.bytes_sent);
+            b.counter("mw.mpi.inter_site_messages", labels, st.inter_site_msgs);
+        });
         comm
     }
 
@@ -231,10 +251,14 @@ impl MpiComm {
         self.inner.borrow().circuit.size()
     }
 
-    /// (messages sent, payload bytes sent).
-    pub fn stats(&self) -> (u64, u64) {
+    /// Send accounting snapshot.
+    pub fn stats(&self) -> MpiStats {
         let st = self.inner.borrow();
-        (st.messages_sent, st.bytes_sent)
+        MpiStats {
+            messages_sent: st.messages_sent,
+            bytes_sent: st.bytes_sent,
+            inter_site_messages: st.inter_site_msgs,
+        }
     }
 
     /// Installs the site decomposition derived from the grid's routing

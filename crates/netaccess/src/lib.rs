@@ -26,6 +26,6 @@ mod netaccess;
 pub mod sysio;
 
 pub use crate::core::{NetAccessConfig, NetAccessCore, NetAccessStats, PollPolicy, Subsystem};
-pub use crate::madio::{MadIO, MadIOMessage, MadIOTag, MADIO_HEADER_BYTES};
+pub use crate::madio::{MadIO, MadIOMessage, MadIOTag, MadIoStats, MADIO_HEADER_BYTES};
 pub use crate::netaccess::NetAccess;
 pub use crate::sysio::{AcceptCallback, StreamCallback, SysIO, WatchId};

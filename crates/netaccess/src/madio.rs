@@ -82,6 +82,15 @@ struct MadIOInner {
     messages_received: u64,
 }
 
+/// Accounting of one MadIO instance.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MadIoStats {
+    /// Tagged messages sent through this instance.
+    pub messages_sent: u64,
+    /// Tagged messages received and dispatched.
+    pub messages_received: u64,
+}
+
 /// Multiplexed access to the parallel-oriented network of one node.
 #[derive(Clone)]
 pub struct MadIO {
@@ -106,11 +115,25 @@ impl MadIO {
     /// Binds MadIO to its Madeleine channel (the single hardware channel it
     /// multiplexes). All incoming messages of that channel are routed
     /// through the NetAccess dispatch loop.
-    pub fn attach_channel(&self, _world: &mut SimWorld, channel: MadChannel) {
-        {
+    pub fn attach_channel(&self, world: &mut SimWorld, channel: MadChannel) {
+        let node = {
             let mut inner = self.inner.borrow_mut();
             inner.channel = Some(channel.clone());
-        }
+            inner.core.node()
+        };
+        let weak = Rc::downgrade(&self.inner);
+        let node_label = node.0.to_string();
+        world.metrics.register_collector(move |b| {
+            let Some(inner) = weak.upgrade() else { return };
+            let inner = inner.borrow();
+            let labels: &[(&str, &str)] = &[("node", node_label.as_str())];
+            b.counter("netaccess.madio.messages_sent", labels, inner.messages_sent);
+            b.counter(
+                "netaccess.madio.messages_received",
+                labels,
+                inner.messages_received,
+            );
+        });
         let this = self.clone();
         channel.set_message_callback(move |world, msg| {
             this.on_message(world, msg);
@@ -172,10 +195,13 @@ impl MadIO {
         self.inner.borrow_mut().handlers.remove(&tag);
     }
 
-    /// (messages sent, messages received) through this MadIO instance.
-    pub fn stats(&self) -> (u64, u64) {
+    /// Accounting snapshot of this MadIO instance.
+    pub fn stats(&self) -> MadIoStats {
         let inner = self.inner.borrow();
-        (inner.messages_sent, inner.messages_received)
+        MadIoStats {
+            messages_sent: inner.messages_sent,
+            messages_received: inner.messages_received,
+        }
     }
 
     /// Sends `segments` to `dst_rank` on logical channel `tag`.

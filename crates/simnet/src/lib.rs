@@ -44,6 +44,7 @@ pub mod node;
 pub mod rng;
 pub mod spec;
 pub mod stats;
+pub mod telemetry;
 pub mod time;
 pub mod topology;
 pub mod trace;
@@ -57,6 +58,11 @@ pub use node::{Node, NodeId};
 pub use rng::SimRng;
 pub use spec::{HostProfile, NetworkClass, NetworkSpec};
 pub use stats::{NetworkStats, WorldStats};
+pub use telemetry::{
+    CauseId, Counter, DropCause, EventRing, FlightRecorder, Gauge, Histogram, Log2Histogram,
+    MetricValue, MetricsRegistry, MetricsSnapshot, SnapshotBuilder, StreamTransition, TimedEvent,
+    TraceEvent,
+};
 pub use time::{SimDuration, SimTime};
 pub use trace::{Trace, TraceRecord};
 pub use world::SimWorld;

@@ -3,6 +3,8 @@
 //! Tracing is disabled by default (it allocates); experiments and tests can
 //! enable it to inspect the exact sequence of simulated events.
 
+use std::collections::VecDeque;
+
 use crate::time::SimTime;
 
 /// One trace record.
@@ -16,12 +18,14 @@ pub struct TraceRecord {
     pub message: String,
 }
 
-/// A bounded in-memory trace sink.
+/// A bounded in-memory trace sink: a ring buffer that evicts its oldest
+/// records at capacity and counts what it evicted.
 #[derive(Debug, Default)]
 pub struct Trace {
     enabled: bool,
-    records: Vec<TraceRecord>,
+    records: VecDeque<TraceRecord>,
     capacity: usize,
+    records_dropped: u64,
 }
 
 impl Trace {
@@ -29,8 +33,9 @@ impl Trace {
     pub fn new() -> Self {
         Trace {
             enabled: false,
-            records: Vec::new(),
+            records: VecDeque::new(),
             capacity: 1_000_000,
+            records_dropped: 0,
         }
     }
 
@@ -49,16 +54,29 @@ impl Trace {
         self.enabled
     }
 
-    /// Sets the maximum number of records kept; older records are not
-    /// evicted, recording simply stops at the cap.
+    /// Sets the maximum number of records kept; the *oldest* records are
+    /// evicted (and counted in [`Trace::records_dropped`]) when the cap is
+    /// exceeded, immediately if the trace already holds more.
     pub fn set_capacity(&mut self, capacity: usize) {
         self.capacity = capacity;
+        while self.records.len() > capacity {
+            self.records.pop_front();
+            self.records_dropped += 1;
+        }
     }
 
-    /// Records a message if tracing is enabled and the cap is not reached.
+    /// Records a message if tracing is enabled, evicting the oldest
+    /// record once the cap is reached.
     pub fn record(&mut self, time: SimTime, category: &'static str, message: impl Into<String>) {
-        if self.enabled && self.records.len() < self.capacity {
-            self.records.push(TraceRecord {
+        if !self.enabled {
+            return;
+        }
+        if self.records.len() >= self.capacity {
+            self.records.pop_front();
+            self.records_dropped += 1;
+        }
+        if self.capacity > 0 {
+            self.records.push_back(TraceRecord {
                 time,
                 category,
                 message: message.into(),
@@ -66,9 +84,25 @@ impl Trace {
         }
     }
 
-    /// All records collected so far.
-    pub fn records(&self) -> &[TraceRecord] {
-        &self.records
+    /// All records currently held, oldest first.
+    pub fn records(&self) -> impl Iterator<Item = &TraceRecord> {
+        self.records.iter()
+    }
+
+    /// Number of records currently held.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether no records are held.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Records evicted oldest-first to stay within the capacity since the
+    /// last [`Trace::clear`].
+    pub fn records_dropped(&self) -> u64 {
+        self.records_dropped
     }
 
     /// Records whose category matches.
@@ -79,9 +113,10 @@ impl Trace {
         self.records.iter().filter(move |r| r.category == category)
     }
 
-    /// Clears all records.
+    /// Clears all records and the eviction counter.
     pub fn clear(&mut self) {
         self.records.clear();
+        self.records_dropped = 0;
     }
 }
 
@@ -93,7 +128,8 @@ mod tests {
     fn disabled_trace_records_nothing() {
         let mut t = Trace::new();
         t.record(SimTime::ZERO, "net", "hello");
-        assert!(t.records().is_empty());
+        assert!(t.is_empty());
+        assert_eq!(t.records_dropped(), 0);
     }
 
     #[test]
@@ -104,20 +140,39 @@ mod tests {
         t.record(SimTime::from_nanos(1), "net", "a");
         t.record(SimTime::from_nanos(2), "tcp", "b");
         t.record(SimTime::from_nanos(3), "net", "c");
-        assert_eq!(t.records().len(), 3);
+        assert_eq!(t.len(), 3);
         assert_eq!(t.by_category("net").count(), 2);
         t.clear();
-        assert!(t.records().is_empty());
+        assert!(t.is_empty());
     }
 
     #[test]
-    fn capacity_caps_recording() {
+    fn capacity_evicts_oldest_and_counts_drops() {
         let mut t = Trace::new();
         t.enable();
         t.set_capacity(2);
         for i in 0..5 {
-            t.record(SimTime::from_nanos(i), "x", "m");
+            t.record(SimTime::from_nanos(i), "x", format!("m{i}"));
         }
-        assert_eq!(t.records().len(), 2);
+        // The ring keeps the two *newest* records and counts the evicted.
+        assert_eq!(t.len(), 2);
+        let kept: Vec<&str> = t.records().map(|r| r.message.as_str()).collect();
+        assert_eq!(kept, vec!["m3", "m4"]);
+        assert_eq!(t.records_dropped(), 3);
+        t.clear();
+        assert_eq!(t.records_dropped(), 0);
+    }
+
+    #[test]
+    fn shrinking_capacity_evicts_immediately() {
+        let mut t = Trace::new();
+        t.enable();
+        for i in 0..4 {
+            t.record(SimTime::from_nanos(i), "x", format!("m{i}"));
+        }
+        t.set_capacity(1);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.records().next().unwrap().message, "m3");
+        assert_eq!(t.records_dropped(), 3);
     }
 }

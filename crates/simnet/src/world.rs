@@ -22,6 +22,7 @@ use crate::node::{Node, NodeId};
 use crate::rng::SimRng;
 use crate::spec::{HostProfile, NetworkSpec};
 use crate::stats::WorldStats;
+use crate::telemetry::{EventRing, MetricsRegistry, MetricsSnapshot, SnapshotBuilder, TraceEvent};
 use crate::time::{SimDuration, SimTime};
 use crate::trace::Trace;
 
@@ -36,8 +37,15 @@ pub struct SimWorld {
     nodes: Vec<Node>,
     networks: Vec<Network>,
     handlers: HashMap<(NodeId, ProtoId), FrameHandler>,
-    /// Event trace (disabled by default).
+    /// Free-form string trace (disabled by default); protocol layers above
+    /// the hot paths may still use it. Frame-level hot paths record typed
+    /// events into [`SimWorld::events`] instead.
     pub trace: Trace,
+    /// Typed event ring (disabled by default, allocation-free while off).
+    pub events: EventRing,
+    /// The unified metrics registry every layer of the stack registers
+    /// into; scrape it with [`SimWorld::metrics_snapshot`].
+    pub metrics: MetricsRegistry,
     /// Global counters.
     pub stats: WorldStats,
     /// Safety cap on the number of events executed by a single `run*` call;
@@ -56,6 +64,8 @@ impl SimWorld {
             networks: Vec::new(),
             handlers: HashMap::new(),
             trace: Trace::new(),
+            events: EventRing::new(),
+            metrics: MetricsRegistry::new(),
             stats: WorldStats::default(),
             max_events_per_run: Some(200_000_000),
         }
@@ -354,16 +364,34 @@ impl SimWorld {
             (delivery, dropped)
         };
 
-        if self.trace.is_enabled() {
-            let msg = format!(
-                "{} -> {} proto={} {}B{}",
+        if self.events.is_enabled() {
+            let (net, src, dst, proto, bytes) = (
+                network,
                 frame.src,
                 frame.dst,
-                frame.proto.0,
-                frame.payload.len(),
-                if dropped { " DROPPED" } else { "" }
+                frame.proto,
+                frame.payload.len() as u32,
             );
-            self.trace.record(now, "net", msg);
+            self.events.record(
+                now,
+                if dropped {
+                    TraceEvent::FrameLost {
+                        net,
+                        src,
+                        dst,
+                        proto,
+                        bytes,
+                    }
+                } else {
+                    TraceEvent::FrameSent {
+                        net,
+                        src,
+                        dst,
+                        proto,
+                        bytes,
+                    }
+                },
+            );
         }
 
         if dropped {
@@ -380,6 +408,56 @@ impl SimWorld {
         Ok(())
     }
 
+    // ----------------------------------------------------------------- //
+    // Telemetry
+    // ----------------------------------------------------------------- //
+
+    /// Scrapes one deterministic snapshot of the whole telemetry
+    /// namespace: the world and per-network counters under `sim.*`, the
+    /// trace/event-ring health counters, plus everything every layer
+    /// registered into [`SimWorld::metrics`].
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        let mut b = SnapshotBuilder::new();
+        b.counter("sim.world.events_executed", &[], self.stats.events_executed);
+        b.counter(
+            "sim.world.events_scheduled",
+            &[],
+            self.stats.events_scheduled,
+        );
+        b.counter(
+            "sim.world.events_cancelled",
+            &[],
+            self.stats.events_cancelled,
+        );
+        b.gauge("sim.world.nodes", &[], self.nodes.len() as i64);
+        b.gauge("sim.world.networks", &[], self.networks.len() as i64);
+        b.counter(
+            "sim.trace.records_dropped",
+            &[],
+            self.trace.records_dropped(),
+        );
+        b.counter("sim.events.dropped", &[], self.events.dropped());
+        for net in &self.networks {
+            let id = net.id.index().to_string();
+            let labels: &[(&str, &str)] = &[("net", id.as_str())];
+            b.counter("sim.net.frames_sent", labels, net.stats.frames_sent);
+            b.counter("sim.net.frames_dropped", labels, net.stats.frames_dropped);
+            b.counter(
+                "sim.net.frames_unclaimed",
+                labels,
+                net.stats.frames_unclaimed,
+            );
+            b.counter(
+                "sim.net.payload_bytes_sent",
+                labels,
+                net.stats.payload_bytes_sent,
+            );
+            b.counter("sim.net.wire_bytes_sent", labels, net.stats.wire_bytes_sent);
+        }
+        self.metrics.collect_into(&mut b);
+        b.finish()
+    }
+
     fn deliver(&mut self, network: NetworkId, frame: Frame) {
         let key = (frame.dst, frame.proto);
         match self.handlers.get(&key).cloned() {
@@ -388,9 +466,15 @@ impl SimWorld {
             }
             None => {
                 self.networks[network.index()].stats.frames_unclaimed += 1;
-                if self.trace.is_enabled() {
-                    let msg = format!("unclaimed frame at {} proto={}", frame.dst, frame.proto.0);
-                    self.trace.record(self.clock, "net", msg);
+                if self.events.is_enabled() {
+                    self.events.record(
+                        self.clock,
+                        TraceEvent::FrameUnclaimed {
+                            net: network,
+                            dst: frame.dst,
+                            proto: frame.proto,
+                        },
+                    );
                 }
             }
         }
