@@ -131,7 +131,26 @@ fn main() {
             r.completed,
         );
     }
-    match write_multi_site_json(&results, &incast, &failover) {
+    let churn = padico_bench::churn_sweep();
+    for r in &churn {
+        println!(
+            "{:>2} sites churn | {} deltas ({} incremental, {} full) | \
+             reconverge {:.3}/{:.3} ms avg/max | {} disrupted | {} violations | \
+             admit {:.2} ms drain {:.2} ms | exchanges ok: {}",
+            r.sites,
+            r.steps,
+            r.delta_reconvergences,
+            r.full_recomputes_during_churn,
+            r.reconverge_ms_avg,
+            r.reconverge_ms_max,
+            r.pairs_disrupted_max,
+            r.transient_violations,
+            r.admit_ms,
+            r.drain_ms,
+            r.exchanges_ok,
+        );
+    }
+    match write_multi_site_json(&results, &incast, &failover, &churn) {
         Ok(path) => println!("wrote {path}"),
         Err(e) => eprintln!("failed to write BENCH_multi_site.json: {e}"),
     }

@@ -12,16 +12,76 @@
 //! the unified telemetry snapshot at quiescence, writes it to
 //! `BENCH_multi_site_metrics.json`, and exits non-zero on any
 //! conservation violation (credit leak, frame leak, parked leftovers) or
-//! delivery failure. All are used by CI as bitrot guards.
+//! delivery failure. `--churn-smoke` replays a seeded flap schedule plus
+//! one live site admit/drain with the transient checker at every
+//! reconvergence step, writes `BENCH_churn_smoke.json`, and exits
+//! non-zero on any transient violation, full-table recompute, failed
+//! exchange, or conservation leak. All are used by CI as bitrot guards.
 
 use gridtopo::BackpressureMode;
 use padico_bench::{
-    conservation_violations, failover_metrics, failover_run, failover_sweep, incast_run,
-    incast_sweep, multi_site_sweep, write_multi_site_json,
+    churn_json_row, churn_run, churn_sweep, conservation_violations, failover_metrics,
+    failover_run, failover_sweep, incast_run, incast_sweep, multi_site_sweep,
+    write_multi_site_json,
 };
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
+    if args.iter().any(|a| a == "--churn-smoke") {
+        let r = churn_run(4, 6);
+        let path = "BENCH_churn_smoke.json";
+        std::fs::write(path, format!("{}\n", churn_json_row(&r).trim_start()))
+            .expect("write churn artifact");
+        println!(
+            "churn smoke: {} sites, {} deltas ({} incremental, {} full rebuilds), \
+             reconverge {:.3} ms avg / {:.3} ms max, {} pairs disrupted at worst, \
+             admit {:.3} ms, drain {:.3} ms ({} trunks retired) -> {path}",
+            r.sites,
+            r.steps,
+            r.delta_reconvergences,
+            r.full_recomputes_during_churn,
+            r.reconverge_ms_avg,
+            r.reconverge_ms_max,
+            r.pairs_disrupted_max,
+            r.admit_ms,
+            r.drain_ms,
+            r.trunks_retired,
+        );
+        let mut failed = false;
+        if r.transient_violations > 0 {
+            eprintln!(
+                "FAIL: {} transient violations (loop/blackhole/phantom/cost)",
+                r.transient_violations
+            );
+            failed = true;
+        }
+        if r.full_recomputes_during_churn > 0 {
+            eprintln!(
+                "FAIL: {} full table rebuilds — churn must reconverge incrementally",
+                r.full_recomputes_during_churn
+            );
+            failed = true;
+        }
+        if r.sites_recomputed > 0 {
+            eprintln!(
+                "FAIL: flap deltas recomputed {} intra tables",
+                r.sites_recomputed
+            );
+            failed = true;
+        }
+        if !r.exchanges_ok {
+            eprintln!("FAIL: an application exchange blackholed during churn");
+            failed = true;
+        }
+        if r.conservation_violations > 0 {
+            eprintln!(
+                "FAIL: {} conservation violations at quiescence",
+                r.conservation_violations
+            );
+            failed = true;
+        }
+        std::process::exit(if failed { 1 } else { 0 });
+    }
     if args.iter().any(|a| a == "--metrics-smoke") {
         let (snapshot, completed, recovery_ms, migrated) = failover_metrics(4);
         let path = "BENCH_multi_site_metrics.json";
@@ -223,7 +283,41 @@ fn main() {
         );
     }
 
-    match write_multi_site_json(&results, &incast, &failover) {
+    let churn = churn_sweep();
+    println!(
+        "\n{:>5} {:>5} {:>5} {:>7} {:>6} {:>12} {:>12} {:>10} {:>9} {:>8} {:>8} {:>9}",
+        "sites",
+        "flaps",
+        "steps",
+        "incr",
+        "full",
+        "reconv-avg",
+        "reconv-max",
+        "disrupted",
+        "violations",
+        "admit",
+        "drain",
+        "exchanges"
+    );
+    for r in &churn {
+        println!(
+            "{:>5} {:>5} {:>5} {:>7} {:>6} {:>9} ms {:>9} ms {:>10} {:>9} {:>5.2} ms {:>5.2} ms {:>9}",
+            r.sites,
+            r.flaps,
+            r.steps,
+            r.delta_reconvergences,
+            r.full_recomputes_during_churn,
+            format!("{:.3}", r.reconverge_ms_avg),
+            format!("{:.3}", r.reconverge_ms_max),
+            r.pairs_disrupted_max,
+            r.transient_violations,
+            r.admit_ms,
+            r.drain_ms,
+            if r.exchanges_ok { "ok" } else { "FAILED" },
+        );
+    }
+
+    match write_multi_site_json(&results, &incast, &failover, &churn) {
         Ok(path) => println!("\nwrote {path}"),
         Err(e) => eprintln!("\nfailed to write BENCH_multi_site.json: {e}"),
     }

@@ -14,9 +14,10 @@ pub mod routing;
 
 pub use experiments::*;
 pub use multi_site::{
-    conservation_violations, failover_metrics, failover_run, failover_sweep, incast_run,
-    incast_sweep, multi_site_json, multi_site_run, multi_site_sweep, write_multi_site_json,
-    FailoverResult, IncastResult, MultiSiteResult,
+    churn_json_row, churn_run, churn_sweep, conservation_violations, failover_metrics,
+    failover_run, failover_sweep, incast_run, incast_sweep, multi_site_json, multi_site_run,
+    multi_site_sweep, write_multi_site_json, ChurnResult, FailoverResult, IncastResult,
+    MultiSiteResult,
 };
 
 /// Formats a byte size the way the paper's axes do.

@@ -24,6 +24,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod churn;
 pub mod circuit;
 pub mod madio_stream;
 pub mod personality;
@@ -33,6 +34,10 @@ pub mod selector;
 pub mod trunk;
 pub mod vlink;
 
+pub use churn::{
+    admit_site_live, apply_backbone_delta, drain_site_live, republish_routes, AdmittedSite,
+    DrainReport,
+};
 pub use circuit::{
     Circuit, CircuitLink, CircuitLinkKind, CircuitMessage, MadIoCircuitLink, StreamCircuitLink,
 };

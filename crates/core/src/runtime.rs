@@ -245,6 +245,18 @@ impl PadicoRuntime {
         self.inner.borrow_mut().kb.set_routes(routes);
     }
 
+    /// Adopts `other`'s route cache (see [`TopologyKb::share_cache_with`]):
+    /// entries are source-keyed, so runtimes of different nodes pool one
+    /// LRU without ever serving each other's routes. The grid bring-up
+    /// shares one cache across the gateway runtimes — the nodes that
+    /// resolve a route per relayed stream. Re-share after
+    /// [`PadicoRuntime::set_route_table`], which detaches into a fresh
+    /// cache by design.
+    pub fn share_route_cache_with(&self, other: &PadicoRuntime) {
+        let other_kb = other.inner.borrow().kb.clone();
+        self.inner.borrow_mut().kb.share_cache_with(&other_kb);
+    }
+
     /// The memoized route and [`gridtopo::PathInfo`] towards `remote`, if
     /// a route table is installed and a route exists (see
     /// [`crate::selector::TopologyKb::resolve_route`]).
@@ -451,6 +463,36 @@ impl PadicoRuntime {
         severed.sort_by_key(|((node, net), _)| (node.0, net.0));
         let n = severed.len();
         for (_, mux) in severed {
+            mux.close_carrier(world);
+        }
+        n
+    }
+
+    /// Gracefully retires the outgoing trunks towards the given peers —
+    /// the drain-side counterpart of [`PadicoRuntime::drop_trunks`]: each
+    /// trunk's consumed-but-unreturned credit batches are flushed while
+    /// the carrier still delivers (so in credit mode the peer's ledger
+    /// balances exactly), then the carrier closes and the entry is
+    /// forgotten. Peers not in the list are untouched. Returns how many
+    /// trunks were retired.
+    pub fn retire_trunks_to(&self, world: &mut SimWorld, peers: &[NodeId]) -> usize {
+        let mut retired: Vec<((NodeId, NetworkId), TrunkMux)> = {
+            let mut inner = self.inner.borrow_mut();
+            let keys: Vec<(NodeId, NetworkId)> = inner
+                .trunks
+                .keys()
+                .filter(|(peer, _)| peers.contains(peer))
+                .copied()
+                .collect();
+            keys.into_iter()
+                .filter_map(|k| inner.trunks.remove(&k).map(|m| (k, m)))
+                .collect()
+        };
+        // Deterministic close order, like `drop_trunks`.
+        retired.sort_by_key(|((node, net), _)| (node.0, net.0));
+        let n = retired.len();
+        for (_, mux) in retired {
+            mux.flush_consumed_credits(world);
             mux.close_carrier(world);
         }
         n
@@ -951,6 +993,14 @@ pub fn runtimes_for_grid(
                 gateway_rts.push(rt.clone());
             }
             runtimes.push(rt);
+        }
+    }
+    // The gateway runtimes resolve a route per relayed stream: pool their
+    // memoized resolutions in one shared cache (entries are source-keyed,
+    // so sharing is observation-safe) instead of one LRU per runtime.
+    if let Some((first, rest)) = gateway_rts.split_first() {
+        for rt in rest {
+            rt.share_route_cache_with(first);
         }
     }
     // Pre-warm the gateway-to-gateway trunks now that every proxy

@@ -193,8 +193,10 @@ pub struct RouteCacheStats {
     pub misses: u64,
     /// Entries evicted by the LRU bound.
     pub evictions: u64,
-    /// Whole-cache invalidations (route-table installs / gateway-state
-    /// changes).
+    /// Invalidation sweeps. Route-table installs clear everything;
+    /// gateway-state changes sweep *selectively* — down drops only the
+    /// entries relaying through the affected gateway, up drops only the
+    /// detours resolved while some gateway was down.
     pub invalidations: u64,
     /// Entries currently resident.
     pub len: usize,
@@ -214,7 +216,7 @@ pub struct RouteCacheStats {
 /// the previous policy — did not guarantee.
 #[derive(Debug, Default)]
 struct RouteCache {
-    entries: HashMap<(NodeId, NodeId), (Rc<ResolvedRoute>, u64)>,
+    entries: HashMap<(NodeId, NodeId), CacheEntry>,
     /// (stamp, key) in stamp order; records whose stamp no longer matches
     /// the entry's are stale and skipped.
     order: VecDeque<(u64, (NodeId, NodeId))>,
@@ -225,14 +227,24 @@ struct RouteCache {
     invalidations: u64,
 }
 
+/// One memoized resolution: the shared materialization, its last-use
+/// recency stamp, and whether it was resolved while some gateway was
+/// marked down (such detours are swept when a gateway returns).
+#[derive(Debug)]
+struct CacheEntry {
+    value: Rc<ResolvedRoute>,
+    stamp: u64,
+    avoidance: bool,
+}
+
 impl RouteCache {
     /// Looks `key` up, refreshing its recency on a hit.
     fn get(&mut self, key: (NodeId, NodeId)) -> Option<Rc<ResolvedRoute>> {
         self.tick += 1;
         let tick = self.tick;
-        let (value, stamp) = self.entries.get_mut(&key)?;
-        *stamp = tick;
-        let value = value.clone();
+        let entry = self.entries.get_mut(&key)?;
+        entry.stamp = tick;
+        let value = entry.value.clone();
         self.order.push_back((tick, key));
         // Hits stamp a fresh record each: hit-dominated workloads must
         // compact here too or the lazy-deletion queue grows one record
@@ -247,11 +259,17 @@ impl RouteCache {
         if self.order.len() > 2 * self.entries.len().max(16) {
             let entries = &self.entries;
             self.order
-                .retain(|(stamp, key)| entries.get(key).is_some_and(|(_, s)| s == stamp));
+                .retain(|(stamp, key)| entries.get(key).is_some_and(|e| e.stamp == *stamp));
         }
     }
 
-    fn insert(&mut self, key: (NodeId, NodeId), value: Rc<ResolvedRoute>, capacity: usize) {
+    fn insert(
+        &mut self,
+        key: (NodeId, NodeId),
+        value: Rc<ResolvedRoute>,
+        avoidance: bool,
+        capacity: usize,
+    ) {
         let capacity = capacity.max(1);
         while self.entries.len() >= capacity && !self.entries.contains_key(&key) {
             let Some((stamp, oldest)) = self.order.pop_front() else {
@@ -259,7 +277,7 @@ impl RouteCache {
             };
             match self.entries.get(&oldest) {
                 // Live record: this is genuinely the least recently used.
-                Some((_, s)) if *s == stamp => {
+                Some(e) if e.stamp == stamp => {
                     self.entries.remove(&oldest);
                     self.evictions += 1;
                 }
@@ -270,9 +288,34 @@ impl RouteCache {
         }
         self.tick += 1;
         let tick = self.tick;
-        self.entries.insert(key, (value, tick));
+        self.entries.insert(
+            key,
+            CacheEntry {
+                value,
+                stamp: tick,
+                avoidance,
+            },
+        );
         self.order.push_back((tick, key));
         self.compact_if_bloated();
+    }
+
+    /// Selective invalidation for a gateway going down: only the entries
+    /// whose resolved route relays *through* it are dropped — every other
+    /// entry keeps serving hits. Stale order records are skipped lazily.
+    fn invalidate_through(&mut self, gateway: NodeId) {
+        self.entries
+            .retain(|_, e| !e.value.info.relays.contains(&gateway));
+        self.invalidations += 1;
+    }
+
+    /// Selective invalidation for a gateway coming back: only the entries
+    /// resolved while some gateway was down are dropped. Those routes
+    /// detour around a gateway that may now be live again — still correct,
+    /// but possibly no longer optimal, so they must re-resolve.
+    fn invalidate_avoidance(&mut self) {
+        self.entries.retain(|_, e| !e.avoidance);
+        self.invalidations += 1;
     }
 }
 
@@ -386,31 +429,43 @@ impl TopologyKb {
         } else {
             (routes.route(a, b)?, routes.cost(a, b).unwrap_or(0))
         };
+        let avoidance = self.prefs.gateway_failover && !down.is_empty();
         drop(down);
         let info = PathInfo::for_route(world, &route, cost);
         let resolved = Rc::new(ResolvedRoute { route, info });
         let mut cache = self.cache.borrow_mut();
         cache.misses += 1;
-        cache.insert((a, b), resolved.clone(), self.prefs.route_cache_capacity);
+        cache.insert(
+            (a, b),
+            resolved.clone(),
+            avoidance,
+            self.prefs.route_cache_capacity,
+        );
         Some(resolved)
     }
 
     /// Marks `gateway` dead: with `gateway_failover` set, subsequent
     /// resolutions avoid it (re-composing routes through any surviving
-    /// gateway of its site). Every cached route is invalidated — entries
-    /// resolved while the gateway was believed alive must not serve
-    /// another lookup. Learned automatically from trunk liveness by the
-    /// runtime; also available to tests and operators.
+    /// gateway of its site). Invalidation is *selective*: only the cached
+    /// entries whose route relays through the dead gateway are dropped —
+    /// routes that never touch it keep serving hits, so one gateway death
+    /// does not cold-start every other destination this node talks to.
+    /// Learned automatically from trunk liveness by the runtime; also
+    /// available to tests and operators. Acts on the *shared* cache, so
+    /// the sweep reaches every knowledge base sharing it.
     pub fn mark_gateway_down(&self, gateway: NodeId) {
         if self.down_gateways.borrow_mut().insert(gateway) {
-            self.invalidate_cache();
+            self.cache.borrow_mut().invalidate_through(gateway);
         }
     }
 
     /// Marks a previously down gateway live again (restarted process).
+    /// Selectively drops the detour entries — routes resolved while some
+    /// gateway was down — so traffic re-optimizes through the returned
+    /// gateway; entries resolved on a clean table are untouched.
     pub fn mark_gateway_up(&self, gateway: NodeId) {
         if self.down_gateways.borrow_mut().remove(&gateway) {
-            self.invalidate_cache();
+            self.cache.borrow_mut().invalidate_avoidance();
         }
     }
 
@@ -419,14 +474,18 @@ impl TopologyKb {
         self.down_gateways.borrow().iter().copied().collect()
     }
 
-    /// Clears every cached entry in place (counters survive). Unlike
-    /// [`TopologyKb::set_routes`] this acts on the *shared* cache: clones
-    /// share the same down-set, so the staleness reaches them all alike.
-    fn invalidate_cache(&self) {
-        let mut cache = self.cache.borrow_mut();
-        cache.entries.clear();
-        cache.order.clear();
-        cache.invalidations += 1;
+    /// Adopts `other`'s route cache, pooling both knowledge bases'
+    /// memoized resolutions in one shared LRU. Entries are keyed by the
+    /// *(source, destination)* pair, so knowledge bases of different nodes
+    /// never serve each other's routes — sharing only pools the memory
+    /// bound and lets a gateway-state sweep reach every sharer at once.
+    /// Gateway runtimes resolve a route per relayed stream, so the grid
+    /// bring-up shares one cache across them instead of one per runtime.
+    /// Sharers should hold the same route table (re-share after
+    /// republishing routes: [`TopologyKb::set_routes`] detaches into a
+    /// fresh cache by design).
+    pub fn share_cache_with(&mut self, other: &TopologyKb) {
+        self.cache = Rc::clone(&other.cache);
     }
 
     /// A snapshot of the route-cache counters.
@@ -887,12 +946,27 @@ mod tests {
         let dst = grid.site(1).node(2);
         let healthy = kb.resolve_route(&world, src, dst).unwrap();
         assert!(healthy.info.relays.contains(&grid.site(1).gateway));
-        // The far primary dies: the cache is invalidated and the fresh
-        // resolution rides the secondary.
+        // A second entry that never touches the victim: an intra-site
+        // pair, relayed through nothing.
+        let local = kb.resolve_route(&world, src, grid.site(0).node(1)).unwrap();
+        assert!(local.info.relays.is_empty());
+        assert_eq!(kb.route_cache_stats().len, 2);
+        // The far primary dies: invalidation is selective — only the
+        // entry relaying through the corpse is dropped.
         kb.mark_gateway_down(grid.site(1).gateway);
-        assert_eq!(kb.route_cache_stats().len, 0);
-        assert_eq!(kb.route_cache_stats().invalidations, 1);
+        let stats = kb.route_cache_stats();
+        assert_eq!(stats.len, 1, "the untouched local entry survives");
+        assert_eq!(stats.invalidations, 1);
         assert_eq!(kb.down_gateways(), vec![grid.site(1).gateway]);
+        let hits = stats.hits;
+        assert!(kb
+            .resolve_route(&world, src, grid.site(0).node(1))
+            .is_some());
+        assert_eq!(
+            kb.route_cache_stats().hits,
+            hits + 1,
+            "the surviving entry still serves hits"
+        );
         let rerouted = kb.resolve_route(&world, src, dst).unwrap();
         assert!(
             rerouted.info.relays.contains(&grid.site(1).gateways[1]),
@@ -903,10 +977,49 @@ mod tests {
         // Selector decisions follow the rerouted resolution.
         let d = kb.select_vlink(&world, src, dst);
         assert!(d.is_relayed());
-        // Recovery: marking it up re-invalidates and the primary returns.
+        // Recovery: marking it up sweeps only the detour entry (resolved
+        // under avoidance); the local entry stays and the primary returns.
         kb.mark_gateway_up(grid.site(1).gateway);
+        let stats = kb.route_cache_stats();
+        assert_eq!(stats.len, 1, "the detour left, the local entry stayed");
+        assert_eq!(stats.invalidations, 2);
         let back = kb.resolve_route(&world, src, dst).unwrap();
         assert!(back.info.relays.contains(&grid.site(1).gateway));
+    }
+
+    #[test]
+    fn shared_cache_pools_entries_and_sweeps_reach_every_sharer() {
+        let mut world = simnet::SimWorld::new(4);
+        let grid = gridtopo::GridTopology::star(
+            &mut world,
+            &[
+                gridtopo::SiteSpec::san_cluster("a", 3).with_gateways(2),
+                gridtopo::SiteSpec::san_cluster("b", 3).with_gateways(2),
+            ],
+            simnet::NetworkSpec::vthd_wan(),
+        );
+        let prefs = SelectorPreferences {
+            gateway_failover: true,
+            ..Default::default()
+        };
+        let routes = Rc::new(grid.routes.clone());
+        let kb_a = TopologyKb::with_routes(prefs.clone(), routes.clone());
+        let mut kb_b = TopologyKb::with_routes(prefs, routes);
+        kb_b.share_cache_with(&kb_a);
+        // Each knowledge base resolves from its own source node; entries
+        // are source-keyed, so they pool without ever cross-serving.
+        let a_src = grid.site(0).gateway;
+        let b_src = grid.site(0).gateways[1];
+        let dst = grid.site(1).node(2);
+        kb_a.resolve_route(&world, a_src, dst).unwrap();
+        kb_b.resolve_route(&world, b_src, dst).unwrap();
+        assert_eq!(kb_a.route_cache_stats().len, 2, "one pooled cache");
+        assert_eq!(kb_a.route_cache_stats().misses, 2);
+        // Both routes relay through the far primary; one sharer learning
+        // of its death sweeps the affected entries of every sharer.
+        kb_a.mark_gateway_down(grid.site(1).gateway);
+        assert_eq!(kb_a.route_cache_stats().len, 0);
+        assert_eq!(kb_b.route_cache_stats().invalidations, 1);
     }
 
     #[test]

@@ -58,6 +58,16 @@ const KIND_CREDIT: u8 = 3;
 /// sender with outstanding credited data can tell a silent-but-alive
 /// peer from a dead one.
 const KIND_HEARTBEAT: u8 = 4;
+/// Liveness probe (zero payload, stream id 0): sent **once per stall
+/// epoch** by an end with a *blocked* stream (bytes parked behind an
+/// exhausted window) whose wire has been quiet in both directions past
+/// every grace window — and only after the peer has been silent a full
+/// `dead_after`, so a live trunk never sees one. Unlike a heartbeat it
+/// counts as real traffic at the receiver (so a live peer answers it
+/// with heartbeats) and it opens a fresh expectation epoch at the
+/// sender, so a peer that died silently *during* the long stall is
+/// declared dead one `dead_after` later instead of never.
+const KIND_PROBE: u8 = 5;
 
 /// Size of the per-frame multiplexing header.
 pub(crate) const MUX_HEADER_BYTES: usize = 9;
@@ -81,11 +91,18 @@ const MAX_FRAME_PAYLOAD: usize = 64 * 1024;
 /// `dead_after` from the last real send: a receiver that legitimately
 /// sits on sub-threshold data (owing no credits yet) must never be
 /// mistaken for a corpse, and a timer armed for the whole stall would
-/// keep the event queue alive forever. The corner this trades away: a
-/// peer that dies *silently* after a stream has already been stalled
-/// past the window goes undetected until the next wire activity —
-/// orderly deaths (the `kill` fail-stop model) are always caught
-/// immediately regardless.
+/// keep the event queue alive forever. A *blocked* stream (bytes parked
+/// behind an exhausted window) whose stall outlives every grace window
+/// is covered by a single on-wire *probe* per epoch, fired only once
+/// the peer has also been silent a full `dead_after` (any frame is
+/// proof of life; until the deadline the timer parks on one silent
+/// scheduler event that any real activity cancels — live trunks never
+/// see a probe). The probe counts as real traffic at the peer (a live
+/// one answers with heartbeats, which re-arm nothing further — probes
+/// never chain) and opens a fresh expectation epoch here, so a peer
+/// that died silently mid-stall is declared dead one `dead_after` after
+/// the probe instead of never. Real traffic in either direction re-arms
+/// the probe for the next stall.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TrunkHealthConfig {
     /// How often the armed timer ticks (and, while the peer is actively
@@ -307,6 +324,19 @@ struct MuxInner {
     /// to tell a local sever from a dead *peer*: only the latter may mark
     /// the remote gateway down.
     locally_severed: bool,
+    /// Whether the current stall epoch already sent its liveness probe
+    /// (see [`KIND_PROBE`]); cleared by real traffic in either direction
+    /// so the *next* stall gets its own probe.
+    probed: bool,
+    /// Set when the pending health timer exists only to re-check a stall
+    /// probe's peer-silence deadline (the scheduled event's id). Such a
+    /// wake must stay *silent* — pre-probe code had no timer at all in
+    /// this period, and injecting a heartbeat into a busy carrier
+    /// perturbs the bulk datapath. Any wire activity preempts it: the
+    /// parked event is cancelled and normal interval ticking resumes, so
+    /// the probe machinery never delays a tick the old code would have
+    /// run.
+    probe_wait: Option<simnet::EventId>,
     /// Fault-model hook: a muted end sends nothing (its bytes are lost)
     /// and ignores everything it receives — a silently crashed gateway.
     muted: bool,
@@ -397,6 +427,8 @@ impl TrunkMux {
                 expect_since: SimTime::ZERO,
                 dead: false,
                 locally_severed: false,
+                probed: false,
+                probe_wait: None,
                 muted: false,
                 on_dead: Vec::new(),
                 warmup_charge: 0,
@@ -586,35 +618,99 @@ impl TrunkMux {
         }) || inner.warmup_charge > 0
     }
 
+    /// Like [`expecting_activity`](Self::expecting_activity) but
+    /// restricted to streams that cannot make progress *at all* without
+    /// the peer: bytes parked behind an exhausted window/budget, a close
+    /// deferred behind them, or warm-up padding still unacknowledged. A
+    /// stream merely carrying trailing unacked bytes (window partially
+    /// spent, nothing parked) still moves on its own — its next send
+    /// probes the wire naturally — so the stall probe does not spend
+    /// wire traffic or quiescence time challenging on its behalf.
+    fn blocked_activity(&self) -> bool {
+        let inner = self.inner.borrow();
+        inner.streams.values().any(|s| {
+            let st = s.borrow();
+            st.flow.is_some() && (!st.pending_tx.is_empty() || st.close_after_flush)
+        }) || inner.warmup_charge > 0
+    }
+
+    /// Arms the liveness watch because an *expectation* just began (or
+    /// deepened) without any frame hitting the wire — a send that parked
+    /// entirely behind an exhausted window/budget, or a close deferred
+    /// behind parked bytes. Sends arm the watch themselves; these paths
+    /// used to arm nothing, leaving a silently dead peer undetected until
+    /// the next actual send. Deliberately *not* an epoch renewal: only
+    /// real wire traffic (the stall probe included) may extend the
+    /// expectation, or a quiet-but-live peer could be declared dead
+    /// without ever being asked.
+    fn note_expectation(&self, world: &mut SimWorld) {
+        self.arm_health(world);
+    }
+
     /// (Re-)schedules the health timer if health is enabled and it is not
-    /// already pending.
+    /// already pending. A timer parked on a probe deadline (see
+    /// [`MuxInner::probe_wait`]) does not count as pending: wire activity
+    /// cancels it and resumes normal interval ticking.
     fn arm_health(&self, world: &mut SimWorld) {
-        let interval = {
+        let (interval, parked) = {
             let mut inner = self.inner.borrow_mut();
             let Some(h) = inner.health else { return };
-            if inner.health_armed || inner.dead {
-                return;
+            let parked = inner.probe_wait.take();
+            if parked.is_some() {
+                inner.health_armed = false;
+            }
+            (h.heartbeat_interval, parked)
+        };
+        if let Some(id) = parked {
+            world.cancel(id);
+        }
+        self.arm_health_after(world, interval);
+    }
+
+    /// Like [`arm_health`](Self::arm_health) but with an explicit delay;
+    /// returns the scheduled event, or `None` if one was already pending.
+    fn arm_health_after(
+        &self,
+        world: &mut SimWorld,
+        delay: SimDuration,
+    ) -> Option<simnet::EventId> {
+        {
+            let mut inner = self.inner.borrow_mut();
+            if inner.health.is_none() || inner.health_armed || inner.dead {
+                return None;
             }
             inner.health_armed = true;
-            h.heartbeat_interval
-        };
+        }
         let weak = Rc::downgrade(&self.inner);
-        world.schedule_after(interval, move |world| {
+        Some(world.schedule_after(delay, move |world| {
             if let Some(inner) = weak.upgrade() {
                 TrunkMux { inner }.health_tick(world);
             }
-        });
+        }))
+    }
+
+    /// Parks the health timer until a stall probe's peer-silence deadline
+    /// — one silent scheduler event, nothing on the wire, preempted by
+    /// any real activity.
+    fn arm_probe_wait(&self, world: &mut SimWorld, delay: SimDuration) {
+        if let Some(id) = self.arm_health_after(world, delay) {
+            self.inner.borrow_mut().probe_wait = Some(id);
+        }
     }
 
     fn health_tick(&self, world: &mut SimWorld) {
         let now = world.now();
         enum Verdict {
             Dead,
+            Probe,
+            ProbeWait(SimDuration),
             Tick { heartbeat: bool, rearm: bool },
         }
+        let was_probe_wait;
         let verdict = {
             let mut inner = self.inner.borrow_mut();
             inner.health_armed = false;
+            was_probe_wait = inner.probe_wait.take().is_some();
             let Some(h) = inner.health else { return };
             if inner.dead {
                 return;
@@ -624,6 +720,7 @@ impl TrunkMux {
             } else {
                 drop(inner);
                 let expecting = self.expecting_activity();
+                let blocked = self.blocked_activity();
                 let inner = self.inner.borrow();
                 // A receiver answers recent real traffic with keep-alives
                 // for `hb_window`; a sender's expectation stays *active*
@@ -659,14 +756,45 @@ impl TrunkMux {
                     let rearm = active_expectation
                         || now.since(inner.last_data_rx) <= hb_window
                         || now.since(inner.last_data_tx) <= hb_window;
-                    Verdict::Tick { heartbeat, rearm }
+                    if !rearm && blocked && !inner.probed && !inner.muted {
+                        // The timer is about to lapse while this end is
+                        // still *expecting* — both directions have been
+                        // quiet past the grace windows. This was the old
+                        // blind spot: a peer that died silently here went
+                        // undetected until the next send. Challenge it
+                        // once per stall epoch — but only after the peer
+                        // has been silent a full `dead_after` (any frame,
+                        // heartbeats included, is proof of life; probing
+                        // a live trunk injects traffic that perturbs the
+                        // bulk datapath). Until that deadline, park one
+                        // silent wake instead of ticking — real activity
+                        // in either direction cancels it and resumes
+                        // normal arming, so behaviour on live trunks is
+                        // exactly the pre-probe lapse.
+                        let silence = now.since(inner.last_rx);
+                        if silence > h.dead_after {
+                            Verdict::Probe
+                        } else {
+                            Verdict::ProbeWait(h.dead_after + h.heartbeat_interval - silence)
+                        }
+                    } else {
+                        Verdict::Tick { heartbeat, rearm }
+                    }
                 }
             }
         };
         match verdict {
             Verdict::Dead => self.declare_dead(world),
+            Verdict::Probe => {
+                self.inner.borrow_mut().probed = true;
+                self.send_frame(world, 0, KIND_PROBE, Bytes::new());
+            }
+            Verdict::ProbeWait(delay) => self.arm_probe_wait(world, delay),
             Verdict::Tick { heartbeat, rearm } => {
-                if heartbeat {
+                // A wake that existed only to re-check a probe deadline
+                // stays off the wire: without the probe machinery there
+                // would have been no timer here at all.
+                if heartbeat && !was_probe_wait {
                     self.send_frame(world, 0, KIND_HEARTBEAT, Bytes::new());
                 }
                 if rearm {
@@ -824,7 +952,18 @@ impl TrunkMux {
             if !frames.is_empty() {
                 inner.last_rx = world.now();
                 if frames.iter().any(|(_, k, _)| *k != KIND_HEARTBEAT) {
+                    // A probe counts as data *here* (the peer is waiting on
+                    // us — answer it with heartbeats), but only genuinely
+                    // real traffic re-arms our own one-shot probe: two
+                    // mutually stalled ends must not ping-pong probes
+                    // forever.
                     inner.last_data_rx = world.now();
+                }
+                if frames
+                    .iter()
+                    .any(|(_, k, _)| *k != KIND_HEARTBEAT && *k != KIND_PROBE)
+                {
+                    inner.probed = false;
                 }
             }
             frames
@@ -840,6 +979,11 @@ impl TrunkMux {
         for (id, kind, payload) in frames {
             if kind == KIND_HEARTBEAT {
                 continue; // keep-alive: its work was updating last_rx
+            }
+            if kind == KIND_PROBE {
+                // Liveness challenge: its work was updating last_data_rx,
+                // which makes the armed timer answer with heartbeats.
+                continue;
             }
             if kind == KIND_WARMUP {
                 // Padding: its work was done on the wire. With flow
@@ -989,6 +1133,12 @@ impl TrunkMux {
             let now = world.now();
             inner.last_tx = now;
             if kind != KIND_HEARTBEAT {
+                if kind != KIND_PROBE {
+                    // Real traffic re-arms the one-shot stall probe; the
+                    // probe itself must not, or one tick would both spend
+                    // and refresh it.
+                    inner.probed = false;
+                }
                 if let Some(h) = inner.health {
                     // A data send after the previous expectation decayed
                     // opens a new epoch: the peer gets a full
@@ -1107,7 +1257,10 @@ impl TrunkStream {
             st.bytes_sent += len as u64;
             if !st.pending_tx.is_empty() {
                 // Already parked: preserve FIFO order behind the backlog.
+                // Nothing hits the wire, so keep the liveness watch armed
+                // by hand — the deepened expectation must stay watched.
                 st.pending_tx.push_bytes(data);
+                self.mux.note_expectation(world);
                 return len;
             }
             let mut head = data;
@@ -1139,6 +1292,11 @@ impl TrunkStream {
         };
         if let Some(hook) = stalled_hook {
             (hook.borrow_mut())(world, true);
+        }
+        if chunks.is_empty() && len > 0 {
+            // The whole send parked (window or shared budget already at
+            // zero): no frame will arm the watch, so arm it here.
+            self.mux.note_expectation(world);
         }
         for chunk in chunks {
             self.mux.send_frame(world, id, KIND_DATA, chunk);
@@ -1371,6 +1529,10 @@ impl ByteStream for TrunkStream {
         if let Some(id) = action {
             self.mux.send_frame(world, id, KIND_CLOSE, Bytes::new());
             self.maybe_reap();
+        } else {
+            // The CLOSE is deferred behind parked bytes: another
+            // expectation that begins with no frame on the wire.
+            self.mux.note_expectation(world);
         }
     }
 
@@ -1861,6 +2023,105 @@ mod tests {
             assert!(got.len() > before, "resumed transfer stalled at {before}");
         }
         assert_eq!(got, data, "byte-exact across the idle resume");
+        assert!(!mux.is_dead());
+        assert!(!acceptor.is_dead());
+    }
+
+    #[test]
+    fn silent_death_during_a_long_stall_is_probed_and_detected() {
+        // Regression: a peer that died *silently* after a stream had
+        // already been stalled past the expectation window used to go
+        // undetected until the next wire activity (the expectation had
+        // decayed, the timer lapsed). The stall probe closes this: one
+        // on-wire challenge per stall epoch, opening a fresh expectation
+        // that a corpse cannot answer.
+        let mut world = SimWorld::new(0);
+        world.add_node("n");
+        let (mux, acceptor, _accepted) = mux_pair_flow(&world, Some(SMALL_FLOW));
+        let health = TrunkHealthConfig::default();
+        mux.enable_health(&mut world, health);
+        acceptor.enable_health(&mut world, health);
+        let died_at: Rc<RefCell<Option<simnet::SimTime>>> = Rc::new(RefCell::new(None));
+        let d = died_at.clone();
+        mux.on_dead(move |world, locally| {
+            assert!(!locally, "a silent peer death is not a local sever");
+            *d.borrow_mut() = Some(world.now());
+        });
+        // Multi-window burst: the sender parks, expecting credits a
+        // never-consuming receiver will not grant.
+        let s = mux.open();
+        let t0 = world.now();
+        s.send_all(&mut world, &[7u8; 3 * 4096]);
+        // The peer crashes silently *mid-stall*, after its initial
+        // heartbeats but before the sender's expectation decays — the
+        // exact window the pre-probe detector could never see into.
+        let acceptor_handle = acceptor.clone();
+        world.schedule_after(
+            health.dead_after - health.heartbeat_interval,
+            move |_world| acceptor_handle.mute(),
+        );
+        world.run();
+        assert!(mux.is_dead(), "the stall probe must catch the silent death");
+        let died = died_at.borrow().expect("on_dead hook must run");
+        let expect_window = health.dead_after + health.heartbeat_interval;
+        assert!(
+            died.since(t0) >= expect_window,
+            "detection goes through the post-decay probe, died after {:?}",
+            died.since(t0)
+        );
+        // Worst case: the peer's last heartbeat lands at the mute point
+        // (dead_after - hb), the probe waits out the peer-silence
+        // threshold (dead_after, + hb wait granularity), and the fresh
+        // expectation epoch runs its course (dead_after, + 2 hb tick
+        // granularity).
+        assert!(
+            died.since(t0)
+                <= (health.dead_after - health.heartbeat_interval)
+                    + health.dead_after
+                    + health.dead_after
+                    + health.heartbeat_interval
+                    + health.heartbeat_interval
+                    + health.heartbeat_interval,
+            "one probe, one dead_after — not an unbounded wait: {:?}",
+            died.since(t0)
+        );
+        assert!(s.is_finished(), "streams on the probed-dead trunk end");
+    }
+
+    #[test]
+    fn live_but_slow_peer_survives_the_stall_probe_and_completes() {
+        // The dual guarantee: the probe is one-shot per stall epoch, so a
+        // receiver that legitimately sits on data for ages is challenged
+        // once, answers with heartbeats, and the world still drains (no
+        // probe/heartbeat ping-pong keeping the event queue alive).
+        let mut world = SimWorld::new(0);
+        world.add_node("n");
+        let (mux, acceptor, accepted) = mux_pair_flow(&world, Some(SMALL_FLOW));
+        mux.enable_health(&mut world, TrunkHealthConfig::default());
+        acceptor.enable_health(&mut world, TrunkHealthConfig::default());
+        let s = mux.open();
+        let data: Vec<u8> = (0..3 * SMALL_FLOW.initial_window)
+            .map(|i| (i % 251) as u8)
+            .collect();
+        s.send_all(&mut world, &data);
+        world.run(); // must terminate: the stall probe never chains
+        assert!(
+            !mux.is_dead(),
+            "a live-but-slow peer answers the probe and survives"
+        );
+        assert!(!acceptor.is_dead());
+        // When the consumer finally drains, credits flow and the transfer
+        // completes byte-exact over the very trunk a false positive would
+        // have severed.
+        let a = accepted.borrow()[0].clone();
+        let mut got = Vec::new();
+        while got.len() < data.len() {
+            let before = got.len();
+            got.extend(a.recv(&mut world, usize::MAX));
+            world.run();
+            assert!(got.len() > before, "post-stall transfer stuck at {before}");
+        }
+        assert_eq!(got, data, "byte-exact across the probed stall");
         assert!(!mux.is_dead());
         assert!(!acceptor.is_dead());
     }

@@ -11,7 +11,7 @@
 
 use simnet::{NetworkId, NetworkSpec, NodeId, SimWorld};
 
-use crate::hier::SiteLayout;
+use crate::hier::{BackboneDelta, IsolationViolation, ReconvergeStats, SiteLayout};
 use crate::route::GridRoutes;
 
 /// Description of one site to build.
@@ -254,6 +254,86 @@ impl GridTopology {
     /// oracle checks only).
     pub fn use_flat_routes(&mut self, world: &SimWorld) {
         self.routes = GridRoutes::Flat(crate::route::RouteTable::compute(world));
+    }
+
+    /// Applies one churn delta to the grid's routes and layout. A grid on
+    /// hierarchical routes reconverges incrementally
+    /// ([`crate::hier::HierRouteTable::apply_delta`]); a grid on the flat
+    /// oracle has no delta machinery, so it updates the layout for
+    /// join/leave and recomputes the full table (link/gateway masks are
+    /// modeled upstream by the selector's down set there).
+    pub fn apply_delta(
+        &mut self,
+        world: &SimWorld,
+        delta: &BackboneDelta,
+    ) -> Result<ReconvergeStats, IsolationViolation> {
+        match &mut self.routes {
+            GridRoutes::Hier(hier) => {
+                let stats = hier.apply_delta(world, delta)?;
+                self.layout = hier.layout().clone();
+                Ok(stats)
+            }
+            GridRoutes::Flat(_) => {
+                match delta {
+                    BackboneDelta::SiteJoin { gateways, nodes } => {
+                        self.layout.add_site_ranked(gateways, nodes.iter().copied());
+                    }
+                    BackboneDelta::SiteLeave(site) => {
+                        self.layout.remove_site(*site);
+                    }
+                    _ => {}
+                }
+                self.routes = GridRoutes::Flat(crate::route::RouteTable::compute(world));
+                Ok(ReconvergeStats::default())
+            }
+        }
+    }
+
+    /// Builds `spec` into the *running* world and admits it as a new
+    /// site: its gateways are spliced onto `backbones` (every existing
+    /// backbone network when `None` — the star convention) and the
+    /// routing table reconverges via a [`BackboneDelta::SiteJoin`].
+    /// Returns the new site's index and the reconvergence receipt.
+    pub fn admit_site(
+        &mut self,
+        world: &mut SimWorld,
+        spec: &SiteSpec,
+        backbones: Option<&[NetworkId]>,
+    ) -> Result<(usize, ReconvergeStats), IsolationViolation> {
+        let site = build_site(world, spec);
+        let splice: Vec<NetworkId> = match backbones {
+            Some(list) => list.to_vec(),
+            None => self.backbones.clone(),
+        };
+        for &bb in &splice {
+            for &gw in &site.gateways {
+                world.attach(gw, bb);
+            }
+        }
+        let delta = BackboneDelta::SiteJoin {
+            gateways: site.gateways.clone(),
+            nodes: site.nodes.clone(),
+        };
+        self.sites.push(site);
+        let index = self.sites.len() - 1;
+        let stats = self.apply_delta(world, &delta)?;
+        Ok((index, stats))
+    }
+
+    /// Drains the site at `index` out of the grid: routes reconverge via
+    /// a [`BackboneDelta::SiteLeave`] and the site record is tombstoned
+    /// (its slot stays so other site indices remain stable). The caller
+    /// owns the runtime-level quiesce (see `core`'s drain path); this is
+    /// the topology/routing half.
+    pub fn drain_site(
+        &mut self,
+        world: &SimWorld,
+        index: usize,
+    ) -> Result<ReconvergeStats, IsolationViolation> {
+        let stats = self.apply_delta(world, &BackboneDelta::SiteLeave(index))?;
+        self.sites[index].nodes.clear();
+        self.sites[index].gateways.clear();
+        Ok(stats)
     }
 }
 

@@ -1,0 +1,523 @@
+//! Seeded churn schedules and the transient-safety checker.
+//!
+//! Incremental reconvergence ([`crate::hier::HierRouteTable::apply_delta`])
+//! is only worth trusting if the table is *safe at every step of the
+//! transition*, not just at the fixpoint — the Chameleon lesson from
+//! transient-safe BGP reconfiguration. This module provides both halves
+//! of that verification:
+//!
+//! * [`inject_link_churn`] — a seeded, replayable schedule of link and
+//!   gateway flaps (every down paired with a later up), with
+//!   [`ChurnSchedule::shuffled`] producing order-randomized replays of
+//!   the same flap multiset;
+//! * [`check_transients`] — asserts, against a masked shortest-path
+//!   oracle rebuilt from the table's own retained classification, that
+//!   the current routing state has **no loops** (every next-hop chain
+//!   terminates), **no blackholes** (every pair the oracle can reach is
+//!   routed, end to end, over usable links only) and **no phantom or
+//!   mispriced routes** (everything the table routes exists in the
+//!   masked world at exactly the oracle's cost);
+//! * [`replay_churn`] — replays a schedule delta by delta, running the
+//!   checker at every reconvergence step.
+
+use std::collections::{BTreeSet, BinaryHeap, HashMap, VecDeque};
+
+use simnet::{NetworkId, NodeId, SimRng, SimWorld};
+
+use crate::builder::GridTopology;
+use crate::hier::{BackboneDelta, IsolationViolation, ReconvergeStats};
+use crate::route::{link_cost, GridRoutes};
+
+/// A seeded, replayable schedule of churn deltas.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChurnSchedule {
+    /// The deltas, in injection order.
+    pub deltas: Vec<BackboneDelta>,
+}
+
+impl ChurnSchedule {
+    /// How many down flaps the schedule carries.
+    pub fn downs(&self) -> usize {
+        self.deltas
+            .iter()
+            .filter(|d| {
+                matches!(
+                    d,
+                    BackboneDelta::LinkDown(_) | BackboneDelta::GatewayDown(_)
+                )
+            })
+            .count()
+    }
+
+    /// A seeded reordering of the same flap multiset. Per-element order
+    /// is preserved (an element's up stays after its down — anything
+    /// else would change the *meaning*, not just the order), while the
+    /// interleaving across elements is randomized. Flap deltas on
+    /// distinct elements commute, so every such ordering must reach the
+    /// same fixpoint — which is exactly what the randomized-interleaving
+    /// property test asserts.
+    pub fn shuffled(&self, seed: u64) -> ChurnSchedule {
+        let mut rng = SimRng::seeded(seed);
+        // One FIFO queue per flapped element; draining queues in random
+        // order preserves per-element causality.
+        let mut queues: Vec<(ChurnElement, VecDeque<BackboneDelta>)> = Vec::new();
+        for delta in &self.deltas {
+            let elem = ChurnElement::of(delta);
+            match queues.iter_mut().find(|(e, _)| *e == elem) {
+                Some((_, q)) => q.push_back(delta.clone()),
+                None => {
+                    let mut q = VecDeque::new();
+                    q.push_back(delta.clone());
+                    queues.push((elem, q));
+                }
+            }
+        }
+        let mut deltas = Vec::with_capacity(self.deltas.len());
+        while !queues.is_empty() {
+            let pick = rng.gen_range(0, queues.len() as u64) as usize;
+            let (_, q) = &mut queues[pick];
+            deltas.push(q.pop_front().expect("nonempty queue"));
+            if q.is_empty() {
+                queues.remove(pick);
+            }
+        }
+        ChurnSchedule { deltas }
+    }
+}
+
+/// The element a flap delta acts on (sites are never flapped — joins and
+/// leaves go through the admit/drain lifecycle).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ChurnElement {
+    Link(NetworkId),
+    Gateway(NodeId),
+}
+
+impl ChurnElement {
+    fn of(delta: &BackboneDelta) -> ChurnElement {
+        match delta {
+            BackboneDelta::LinkDown(n) | BackboneDelta::LinkUp(n) => ChurnElement::Link(*n),
+            BackboneDelta::GatewayDown(g) | BackboneDelta::GatewayUp(g) => {
+                ChurnElement::Gateway(*g)
+            }
+            BackboneDelta::SiteJoin { .. } | BackboneDelta::SiteLeave(_) => {
+                unreachable!("churn schedules carry flap deltas only")
+            }
+        }
+    }
+}
+
+/// Generates a seeded flap schedule over the grid's redundant elements:
+/// backbone links (only when the grid has more than one, so a flap
+/// degrades the backbone instead of partitioning it) and redundant
+/// gateways (rank ≥ 1 — every site keeps its primary, so no site loses
+/// its last ingress). Each down is paired with a later up, and downs/ups
+/// interleave pseudo-randomly, so the grid passes through partially
+/// degraded intermediate states — the states the transient checker
+/// exists for. Deterministic in `(grid, seed, flaps)`.
+pub fn inject_link_churn(grid: &GridTopology, seed: u64, flaps: usize) -> ChurnSchedule {
+    let mut rng = SimRng::seeded(seed);
+    let mut pool: Vec<ChurnElement> = Vec::new();
+    if grid.backbones.len() > 1 {
+        pool.extend(grid.backbones.iter().map(|&n| ChurnElement::Link(n)));
+    }
+    for site in &grid.sites {
+        pool.extend(
+            site.gateways
+                .iter()
+                .skip(1)
+                .map(|&g| ChurnElement::Gateway(g)),
+        );
+    }
+    let mut deltas = Vec::with_capacity(flaps * 2);
+    let mut pending_up: Vec<ChurnElement> = Vec::new();
+    let mut remaining = flaps;
+    while remaining > 0 || !pending_up.is_empty() {
+        let up: Vec<&ChurnElement> = pool.iter().filter(|e| !pending_up.contains(e)).collect();
+        let emit_down =
+            remaining > 0 && !up.is_empty() && (pending_up.is_empty() || rng.gen_bool(0.6));
+        if emit_down {
+            let victim = *up[rng.gen_range(0, up.len() as u64) as usize];
+            deltas.push(match victim {
+                ChurnElement::Link(n) => BackboneDelta::LinkDown(n),
+                ChurnElement::Gateway(g) => BackboneDelta::GatewayDown(g),
+            });
+            pending_up.push(victim);
+            remaining -= 1;
+        } else if !pending_up.is_empty() {
+            let pick = rng.gen_range(0, pending_up.len() as u64) as usize;
+            deltas.push(match pending_up.remove(pick) {
+                ChurnElement::Link(n) => BackboneDelta::LinkUp(n),
+                ChurnElement::Gateway(g) => BackboneDelta::GatewayUp(g),
+            });
+        } else {
+            break; // nothing flappable at all
+        }
+    }
+    ChurnSchedule { deltas }
+}
+
+/// One transient-invariant violation found by [`check_transients`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TransientViolation {
+    /// A next-hop chain revisited a node.
+    RoutingLoop {
+        /// Pair whose chain looped.
+        src: NodeId,
+        /// Destination being walked towards.
+        dst: NodeId,
+    },
+    /// The masked oracle reaches the pair but the table does not, or the
+    /// table's chain dead-ends before the destination.
+    Blackhole {
+        /// Source of the lost pair.
+        src: NodeId,
+        /// Unreached destination.
+        dst: NodeId,
+    },
+    /// The table routes a pair over a link or relay the masked world
+    /// cannot carry (a down link, a down gateway used as a relay, or a
+    /// pair the oracle cannot reach at all).
+    PhantomRoute {
+        /// Source of the phantom pair.
+        src: NodeId,
+        /// Its claimed destination.
+        dst: NodeId,
+    },
+    /// Table and oracle disagree on the shortest-path cost.
+    CostMismatch {
+        /// Source of the mispriced pair.
+        src: NodeId,
+        /// Its destination.
+        dst: NodeId,
+        /// What the table charges.
+        table: u64,
+        /// What the masked oracle computes.
+        oracle: u64,
+    },
+}
+
+/// Min-heap entry for the oracle Dijkstra (cost only — the oracle
+/// compares *costs*, which are unique minima regardless of tie-breaks).
+#[derive(PartialEq, Eq)]
+struct OracleEntry(u64, NodeId);
+
+impl Ord for OracleEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        other.0.cmp(&self.0).then(other.1 .0.cmp(&self.1 .0))
+    }
+}
+
+impl PartialOrd for OracleEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Checks the grid's current routing state against a masked
+/// shortest-path oracle, returning every transient-invariant violation
+/// (empty means the step is safe: no loops, no blackholes, no phantom
+/// routes, costs exact).
+///
+/// The oracle is rebuilt per call from the table's own retained
+/// classification with the table's masks applied to the *physical*
+/// graph: down links contribute no edges, and a down gateway keeps its
+/// intra-site attachments but none on backbone networks (its WAN role is
+/// down, its site fabric is not) — exactly the semantics
+/// [`crate::hier::HierRouteTable::apply_delta`] promises. A grid on flat
+/// routes is checked against the unmasked world (the flat path
+/// recomputes fully and models no masks).
+pub fn check_transients(world: &SimWorld, grid: &GridTopology) -> Vec<TransientViolation> {
+    // Node and network scope plus masks, by table kind.
+    let (nodes, nets, down_links, down_gateways): (
+        Vec<NodeId>,
+        Vec<NetworkId>,
+        BTreeSet<NetworkId>,
+        BTreeSet<NodeId>,
+    ) = match &grid.routes {
+        GridRoutes::Hier(hier) => {
+            let layout = hier.layout();
+            let nodes: Vec<NodeId> = (0..layout.site_count())
+                .filter(|&s| layout.site_is_live(s))
+                .flat_map(|s| layout.site_nodes(s).iter().copied())
+                .collect();
+            let nets: Vec<NetworkId> = hier
+                .site_nets()
+                .iter()
+                .flatten()
+                .chain(hier.backbone_nets())
+                .copied()
+                .collect();
+            (
+                nodes,
+                nets,
+                hier.down_links().clone(),
+                hier.down_gateways().clone(),
+            )
+        }
+        GridRoutes::Flat(_) => {
+            let nodes = grid.all_nodes();
+            let nets = world.network_ids();
+            (nodes, nets, BTreeSet::new(), BTreeSet::new())
+        }
+    };
+    let backbone: BTreeSet<NetworkId> = match &grid.routes {
+        GridRoutes::Hier(hier) => hier.backbone_nets().iter().copied().collect(),
+        GridRoutes::Flat(_) => BTreeSet::new(),
+    };
+    let in_scope: BTreeSet<NodeId> = nodes.iter().copied().collect();
+
+    // Masked physical adjacency: clique-expand each usable net over its
+    // usable members.
+    let mut adj: HashMap<NodeId, Vec<(NodeId, u64)>> = HashMap::new();
+    for &net in &nets {
+        if down_links.contains(&net) {
+            continue;
+        }
+        let cost = link_cost(world, net);
+        let usable: Vec<NodeId> = world
+            .network(net)
+            .members()
+            .iter()
+            .copied()
+            .filter(|m| {
+                in_scope.contains(m) && !(backbone.contains(&net) && down_gateways.contains(m))
+            })
+            .collect();
+        for &a in &usable {
+            for &b in &usable {
+                if a != b {
+                    adj.entry(a).or_default().push((b, cost));
+                }
+            }
+        }
+    }
+
+    let mut violations = Vec::new();
+    let max_walk = nodes.len() + 2;
+    for &src in &nodes {
+        // Oracle single-source shortest paths from `src`.
+        let mut dist: HashMap<NodeId, u64> = HashMap::new();
+        let mut heap = BinaryHeap::new();
+        dist.insert(src, 0);
+        heap.push(OracleEntry(0, src));
+        while let Some(OracleEntry(cost, node)) = heap.pop() {
+            if dist.get(&node).is_some_and(|&d| d < cost) {
+                continue;
+            }
+            for &(next, edge) in adj.get(&node).map(Vec::as_slice).unwrap_or(&[]) {
+                let through = cost + edge;
+                if dist.get(&next).is_none_or(|&d| through < d) {
+                    dist.insert(next, through);
+                    heap.push(OracleEntry(through, next));
+                }
+            }
+        }
+        for &dst in &nodes {
+            if src == dst {
+                continue;
+            }
+            let oracle = dist.get(&dst).copied();
+            let table = grid.routes.cost(src, dst);
+            match (table, oracle) {
+                (None, None) => continue,
+                (None, Some(_)) => {
+                    violations.push(TransientViolation::Blackhole { src, dst });
+                    continue;
+                }
+                (Some(_), None) => {
+                    violations.push(TransientViolation::PhantomRoute { src, dst });
+                    continue;
+                }
+                (Some(t), Some(o)) if t != o => {
+                    violations.push(TransientViolation::CostMismatch {
+                        src,
+                        dst,
+                        table: t,
+                        oracle: o,
+                    });
+                    continue;
+                }
+                _ => {}
+            }
+            // Walk the next-hop chain: it must terminate at `dst` without
+            // revisiting a node, over usable links and relays only.
+            let mut visited = BTreeSet::new();
+            let mut cur = src;
+            let mut ok = false;
+            for _ in 0..max_walk {
+                if cur == dst {
+                    ok = true;
+                    break;
+                }
+                if !visited.insert(cur) {
+                    violations.push(TransientViolation::RoutingLoop { src, dst });
+                    ok = true; // already reported
+                    break;
+                }
+                let Some(hop) = grid.routes.next_hop(cur, dst) else {
+                    violations.push(TransientViolation::Blackhole { src, dst });
+                    ok = true;
+                    break;
+                };
+                let phantom = down_links.contains(&hop.network)
+                    || (hop.node != dst
+                        && backbone.contains(&hop.network)
+                        && down_gateways.contains(&hop.node));
+                if phantom {
+                    violations.push(TransientViolation::PhantomRoute { src, dst });
+                    ok = true;
+                    break;
+                }
+                cur = hop.node;
+            }
+            if !ok {
+                // Exhausted the walk bound without terminating: a loop the
+                // visited-set somehow missed cannot happen, but keep the
+                // accounting honest.
+                violations.push(TransientViolation::RoutingLoop { src, dst });
+            }
+        }
+    }
+    violations
+}
+
+/// The receipt of one schedule replay: per-step reconvergence stats and
+/// every transient violation found along the way.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChurnReplay {
+    /// Deltas applied.
+    pub steps: usize,
+    /// Violations across all steps (empty = transient-safe throughout).
+    pub violations: Vec<TransientViolation>,
+    /// One reconvergence receipt per delta, in order.
+    pub stats: Vec<ReconvergeStats>,
+}
+
+/// Replays `schedule` against the grid delta by delta, running
+/// [`check_transients`] after every reconvergence step.
+pub fn replay_churn(
+    world: &SimWorld,
+    grid: &mut GridTopology,
+    schedule: &ChurnSchedule,
+) -> Result<ChurnReplay, IsolationViolation> {
+    let mut violations = Vec::new();
+    let mut stats = Vec::with_capacity(schedule.deltas.len());
+    for delta in &schedule.deltas {
+        stats.push(grid.apply_delta(world, delta)?);
+        violations.extend(check_transients(world, grid));
+    }
+    Ok(ChurnReplay {
+        steps: schedule.deltas.len(),
+        violations,
+        stats,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::SiteSpec;
+    use simnet::NetworkSpec;
+
+    fn churn_ring(seed: u64) -> (SimWorld, GridTopology) {
+        let mut world = SimWorld::new(seed);
+        let specs: Vec<SiteSpec> = (0..4)
+            .map(|i| SiteSpec::san_cluster(format!("s{i}"), 3).with_gateways(2))
+            .collect();
+        let grid = GridTopology::ring(&mut world, &specs, NetworkSpec::vthd_wan());
+        (world, grid)
+    }
+
+    #[test]
+    fn seeded_schedules_are_deterministic_and_balanced() {
+        let (_, grid) = churn_ring(5);
+        let a = inject_link_churn(&grid, 99, 6);
+        let b = inject_link_churn(&grid, 99, 6);
+        assert_eq!(a, b, "same seed, same schedule");
+        assert_ne!(
+            a,
+            inject_link_churn(&grid, 100, 6),
+            "different seed, different order"
+        );
+        assert_eq!(a.downs(), 6);
+        assert_eq!(a.deltas.len(), 12, "every down has its up");
+        // Every element's up comes after its down.
+        for (i, delta) in a.deltas.iter().enumerate() {
+            if matches!(
+                delta,
+                BackboneDelta::LinkUp(_) | BackboneDelta::GatewayUp(_)
+            ) {
+                let elem = ChurnElement::of(delta);
+                assert!(
+                    a.deltas[..i].iter().any(|d| ChurnElement::of(d) == elem
+                        && matches!(
+                            d,
+                            BackboneDelta::LinkDown(_) | BackboneDelta::GatewayDown(_)
+                        )),
+                    "up without a preceding down at step {i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn a_clean_grid_has_no_transient_violations() {
+        let (world, grid) = churn_ring(7);
+        assert_eq!(check_transients(&world, &grid), vec![]);
+    }
+
+    #[test]
+    fn replayed_churn_is_transient_safe_and_returns_to_the_pristine_table() {
+        let (world, mut grid) = churn_ring(11);
+        let pristine = grid.routes.clone();
+        let schedule = inject_link_churn(&grid, 42, 6);
+        let replay = replay_churn(&world, &mut grid, &schedule).unwrap();
+        assert_eq!(replay.steps, schedule.deltas.len());
+        assert_eq!(
+            replay.violations,
+            vec![],
+            "every intermediate state is loop-free, blackhole-free and cost-exact"
+        );
+        // Flaps never recompute an intra table.
+        assert!(replay.stats.iter().all(|s| s.sites_recomputed == 0));
+        // All downs were paired with ups: the fixpoint is the pristine
+        // table, bit for bit.
+        assert_eq!(grid.routes, pristine);
+    }
+
+    #[test]
+    fn a_down_gateway_step_is_cost_exact_against_the_masked_oracle() {
+        let (world, mut grid) = churn_ring(13);
+        let victim = grid.site(1).gateways[1];
+        grid.apply_delta(&world, &BackboneDelta::GatewayDown(victim))
+            .unwrap();
+        assert_eq!(check_transients(&world, &grid), vec![]);
+        // And a masked backbone segment on top of it.
+        let segment = grid.backbones[2];
+        grid.apply_delta(&world, &BackboneDelta::LinkDown(segment))
+            .unwrap();
+        assert_eq!(check_transients(&world, &grid), vec![]);
+    }
+
+    #[test]
+    fn a_stale_flat_table_is_flagged() {
+        let mut world = SimWorld::new(3);
+        let mut grid = GridTopology::two_sites(&mut world, 3);
+        grid.use_flat_routes(&world);
+        assert_eq!(check_transients(&world, &grid), vec![]);
+        // The world grows a direct shortcut the table never learned of:
+        // the oracle sees a cheaper path, the table keeps charging the
+        // gateway detour.
+        let lan = world.add_network(NetworkSpec::ethernet_100());
+        world.attach(grid.site(0).node(1), lan);
+        world.attach(grid.site(1).node(1), lan);
+        let violations = check_transients(&world, &grid);
+        assert!(
+            violations
+                .iter()
+                .any(|v| matches!(v, TransientViolation::CostMismatch { .. })),
+            "staleness must be flagged: {violations:?}"
+        );
+    }
+}

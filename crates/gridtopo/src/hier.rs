@@ -41,10 +41,31 @@
 
 use std::collections::{BTreeSet, HashMap};
 use std::mem::size_of;
+use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
 
 use simnet::{NetworkId, NodeId, SimWorld};
 
 use crate::route::{dijkstra_subgraph, map_bytes, Hop, PathInfo, Route};
+
+/// Full-table builds ([`HierRouteTable::try_compute`]) since process
+/// start. Together with [`delta_reconvergences`] this is how benches and
+/// smoke tests prove churn was absorbed *without* full recomputation.
+static FULL_RECOMPUTES: AtomicU64 = AtomicU64::new(0);
+/// Incremental reconvergences ([`HierRouteTable::apply_delta`]) since
+/// process start.
+static DELTA_RECONVERGENCES: AtomicU64 = AtomicU64::new(0);
+
+/// Times a hierarchical table was built from scratch (process-wide,
+/// monotonic).
+pub fn full_recomputes() -> u64 {
+    FULL_RECOMPUTES.load(AtomicOrdering::Relaxed)
+}
+
+/// Times a hierarchical table absorbed a [`BackboneDelta`] incrementally
+/// (process-wide, monotonic).
+pub fn delta_reconvergences() -> u64 {
+    DELTA_RECONVERGENCES.load(AtomicOrdering::Relaxed)
+}
 
 /// A world that violates the gateway-isolation invariant: `network` spans
 /// several sites but `node` — one of its members — is not a gateway of its
@@ -71,6 +92,68 @@ impl std::fmt::Display for IsolationViolation {
 }
 
 impl std::error::Error for IsolationViolation {}
+
+/// One event of the churn stream: a topology change that
+/// [`HierRouteTable::apply_delta`] absorbs by *incremental* backbone
+/// reconvergence — the per-site intra tables are carried over untouched
+/// (except for a site the delta itself names), and only the small
+/// gateway-level backbone Dijkstra is re-run.
+///
+/// Link and gateway up/down deltas are masks over retained state:
+/// replaying flap deltas on *distinct* elements in any order reaches the
+/// same fixpoint table, and a down/up round trip on one element restores
+/// the table bit for bit (deltas on the same element keep their relative
+/// order, like any event log). Site join/leave deltas mutate the layout
+/// (join appends a site slot, leave tombstones one), so their order is
+/// part of the schedule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BackboneDelta {
+    /// `network` went down: it contributes no edges until a matching
+    /// [`BackboneDelta::LinkUp`]. Works on backbone links (the usual
+    /// case) and on site-local fabrics (which triggers that one site's
+    /// intra recompute).
+    LinkDown(NetworkId),
+    /// `network` came (back) up. A network the table has never seen is
+    /// classified against the current layout and admitted — this is how a
+    /// freshly-dialed trunk between existing sites joins the backbone.
+    LinkUp(NetworkId),
+    /// `node` stopped relaying: every backbone edge through it is masked
+    /// until a matching [`BackboneDelta::GatewayUp`]. Intra-site
+    /// connectivity is deliberately untouched — a gateway that lost its
+    /// WAN role still forwards on the site fabric.
+    GatewayDown(NodeId),
+    /// `node` resumed its backbone role.
+    GatewayUp(NodeId),
+    /// A new site joined the grid live: `gateways` ranked primary-first,
+    /// all of them members of `nodes`. Only the new site's intra table is
+    /// computed; existing sites are recomputed only if the join changed
+    /// their network classification (a fabric they share with the
+    /// newcomer becoming a backbone link).
+    SiteJoin {
+        /// Ranked gateway list of the joining site (primary first).
+        gateways: Vec<NodeId>,
+        /// Every member node of the joining site (gateways included).
+        nodes: Vec<NodeId>,
+    },
+    /// The site at this index left the grid: its intra entries are
+    /// stripped, its gateways drop out of the backbone, and its slot is
+    /// tombstoned so other site indices stay stable.
+    SiteLeave(usize),
+}
+
+/// What one [`HierRouteTable::apply_delta`] call actually recomputed —
+/// the receipt proving the reconvergence was incremental.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReconvergeStats {
+    /// Sites whose intra tables were (re)computed by this delta (0 for
+    /// pure backbone flaps).
+    pub sites_recomputed: usize,
+    /// Intra-site table entries carried over untouched.
+    pub intra_entries_retained: usize,
+    /// Gateway sources the backbone Dijkstra re-ran from (the whole
+    /// backbone graph is this small).
+    pub bb_sources: usize,
+}
 
 /// Site membership metadata of a hierarchical grid: which site each node
 /// belongs to and which nodes are each site's gateways (ranked, primary
@@ -123,6 +206,25 @@ impl SiteLayout {
         self.sites.push(nodes);
         self.gateways.push(gateways.to_vec());
         index
+    }
+
+    /// Removes site `site` from the layout and returns its former
+    /// members. The slot is tombstoned (left empty) rather than spliced
+    /// out, so every other site keeps its index — the stability churn
+    /// deltas rely on.
+    pub fn remove_site(&mut self, site: usize) -> Vec<NodeId> {
+        let nodes = std::mem::take(&mut self.sites[site]);
+        self.gateways[site].clear();
+        for n in &nodes {
+            self.site_of.remove(n);
+        }
+        nodes
+    }
+
+    /// Whether the site slot still has members (a tombstoned slot from
+    /// [`SiteLayout::remove_site`] does not).
+    pub fn site_is_live(&self, site: usize) -> bool {
+        !self.sites[site].is_empty()
     }
 
     /// The site `node` belongs to, if registered.
@@ -214,6 +316,77 @@ pub struct HierRouteTable {
     gw_list: Vec<NodeId>,
     gw_index: HashMap<NodeId, usize>,
     bb_adj: Vec<Vec<(usize, u64, u32, BbHop)>>,
+    /// Retained churn state: the per-site / backbone network
+    /// classification from the last (re)build, and the currently-masked
+    /// elements, kept so [`HierRouteTable::apply_delta`] can reconverge
+    /// the backbone without reclassifying the world or recomputing any
+    /// untouched site's intra table.
+    site_nets: Vec<Vec<NetworkId>>,
+    backbone_nets: Vec<NetworkId>,
+    down_links: BTreeSet<NetworkId>,
+    down_gateways: BTreeSet<NodeId>,
+}
+
+/// Classifies every network of `world` against `layout`: site-local nets
+/// per site, spanning nets as backbone links (gateway isolation
+/// enforced). Nets with fewer than two in-layout members contribute no
+/// edges and are dropped. With `strict_islands`, any member outside the
+/// layout disqualifies the whole network (the original
+/// [`HierRouteTable::try_compute`] island rule); without it, unknown
+/// members are individually ignored — the churn rule, where a departed
+/// site's gateway may still be attached to a shared backbone. A net in
+/// `sticky_backbone` that no longer spans sites (a ring segment left
+/// dangling by a departed neighbour) stays a backbone link instead of
+/// being demoted to a site fabric, so a clean leave never forces a
+/// surviving site's intra recompute.
+#[allow(clippy::type_complexity)]
+fn classify(
+    world: &SimWorld,
+    layout: &SiteLayout,
+    strict_islands: bool,
+    sticky_backbone: &[NetworkId],
+) -> Result<(Vec<Vec<NetworkId>>, Vec<NetworkId>), IsolationViolation> {
+    let mut site_nets: Vec<Vec<NetworkId>> = vec![Vec::new(); layout.site_count()];
+    let mut backbone_nets: Vec<NetworkId> = Vec::new();
+    'nets: for net in world.network_ids() {
+        let members = world.network(net).members();
+        let mut seen_site: Option<usize> = None;
+        let mut spans_sites = false;
+        let mut known = 0usize;
+        for &m in members {
+            let Some(site) = layout.site_of(m) else {
+                if strict_islands {
+                    // A member outside the layout: the network is not part
+                    // of the grid; skip it entirely.
+                    continue 'nets;
+                }
+                continue;
+            };
+            known += 1;
+            match seen_site {
+                None => seen_site = Some(site),
+                Some(s) if s != site => spans_sites = true,
+                Some(_) => {}
+            }
+        }
+        if known < 2 {
+            continue; // no possible edge among in-layout members
+        }
+        if spans_sites || sticky_backbone.contains(&net) {
+            for &m in members {
+                if layout.site_of(m).is_some() && !layout.is_gateway(m) {
+                    return Err(IsolationViolation {
+                        network: net,
+                        node: m,
+                    });
+                }
+            }
+            backbone_nets.push(net);
+        } else if let Some(site) = seen_site {
+            site_nets[site].push(net);
+        }
+    }
+    Ok((site_nets, backbone_nets))
 }
 
 impl HierRouteTable {
@@ -236,56 +409,241 @@ impl HierRouteTable {
         world: &SimWorld,
         layout: &SiteLayout,
     ) -> Result<HierRouteTable, IsolationViolation> {
-        let mut site_nets: Vec<Vec<NetworkId>> = vec![Vec::new(); layout.site_count()];
-        let mut backbone_nets: Vec<NetworkId> = Vec::new();
-        'nets: for net in world.network_ids() {
-            let members = world.network(net).members();
-            let mut seen_site: Option<usize> = None;
-            let mut spans_sites = false;
-            for &m in members {
-                let Some(site) = layout.site_of(m) else {
-                    // A member outside the layout: the network is not part
-                    // of the grid; skip it entirely.
-                    continue 'nets;
-                };
-                match seen_site {
-                    None => seen_site = Some(site),
-                    Some(s) if s != site => spans_sites = true,
-                    Some(_) => {}
-                }
-            }
-            if spans_sites {
-                for &m in members {
-                    if !layout.is_gateway(m) {
-                        return Err(IsolationViolation {
-                            network: net,
-                            node: m,
-                        });
-                    }
-                }
-                backbone_nets.push(net);
-            } else if let Some(site) = seen_site {
-                site_nets[site].push(net);
-            }
-        }
-
+        let (site_nets, backbone_nets) = classify(world, layout, true, &[])?;
         let mut table = HierRouteTable {
             layout: layout.clone(),
+            site_nets,
+            backbone_nets,
             ..Default::default()
         };
-        for (site, nets) in site_nets.iter().enumerate() {
+        for site in 0..table.layout.site_count() {
             let nodes = layout.site_nodes(site);
             dijkstra_subgraph(
                 world,
                 nodes,
-                nets,
+                &table.site_nets[site],
                 nodes,
                 &mut table.intra_next,
                 &mut table.intra_cost,
             );
         }
-        table.compute_backbone(world, &backbone_nets);
+        table.rebuild_backbone(world);
+        FULL_RECOMPUTES.fetch_add(1, AtomicOrdering::Relaxed);
         Ok(table)
+    }
+
+    /// Absorbs one churn event by incremental reconvergence: the retained
+    /// network classification and every untouched site's intra table are
+    /// carried over, and only the gateway-level backbone Dijkstra is
+    /// re-run (plus the intra table of a site the delta itself names — a
+    /// joining site, or the owner of a flapped site-local fabric).
+    ///
+    /// Deterministic, and for link/gateway flaps *commutative*: the same
+    /// multiset of flap deltas reaches the same fixpoint in any order,
+    /// and a down/up round trip restores the table bit for bit. `Err`
+    /// only when a delta admits a network that violates gateway
+    /// isolation; the table is left unchanged in that case.
+    pub fn apply_delta(
+        &mut self,
+        world: &SimWorld,
+        delta: &BackboneDelta,
+    ) -> Result<ReconvergeStats, IsolationViolation> {
+        let before_intra = self.intra_next.len();
+        let mut sites_recomputed = 0usize;
+        let mut stripped = 0usize;
+        match delta {
+            BackboneDelta::LinkDown(net) => {
+                self.down_links.insert(*net);
+                if let Some(site) = self.site_of_net(*net) {
+                    stripped += self.recompute_site_intra(world, site);
+                    sites_recomputed += 1;
+                }
+            }
+            BackboneDelta::LinkUp(net) => {
+                if !self.down_links.remove(net) {
+                    self.admit_link(world, *net)?;
+                }
+                if let Some(site) = self.site_of_net(*net) {
+                    stripped += self.recompute_site_intra(world, site);
+                    sites_recomputed += 1;
+                }
+            }
+            BackboneDelta::GatewayDown(node) => {
+                self.down_gateways.insert(*node);
+            }
+            BackboneDelta::GatewayUp(node) => {
+                self.down_gateways.remove(node);
+            }
+            BackboneDelta::SiteJoin { gateways, nodes } => {
+                self.layout.add_site_ranked(gateways, nodes.iter().copied());
+                let (recomputed, s) = self.reclassify_and_recompute(world)?;
+                sites_recomputed += recomputed;
+                stripped += s;
+            }
+            BackboneDelta::SiteLeave(site) => {
+                let removed = self.layout.remove_site(*site);
+                let gone: BTreeSet<NodeId> = removed.into_iter().collect();
+                let before = self.intra_next.len();
+                self.intra_next
+                    .retain(|(a, b), _| !gone.contains(a) && !gone.contains(b));
+                self.intra_cost
+                    .retain(|(a, b), _| !gone.contains(a) && !gone.contains(b));
+                stripped += before - self.intra_next.len();
+                self.down_gateways.retain(|g| !gone.contains(g));
+                let (recomputed, s) = self.reclassify_and_recompute(world)?;
+                sites_recomputed += recomputed;
+                stripped += s;
+            }
+        }
+        self.rebuild_backbone(world);
+        DELTA_RECONVERGENCES.fetch_add(1, AtomicOrdering::Relaxed);
+        Ok(ReconvergeStats {
+            sites_recomputed,
+            intra_entries_retained: before_intra.saturating_sub(stripped),
+            bb_sources: self.gw_list.len(),
+        })
+    }
+
+    /// Applies a batch of deltas, returning the summed receipts. The
+    /// backbone is rebuilt per delta (each step is a consistent table —
+    /// what the transient checker inspects), so prefer batching only
+    /// where intermediate tables are not observed.
+    pub fn apply_deltas(
+        &mut self,
+        world: &SimWorld,
+        deltas: &[BackboneDelta],
+    ) -> Result<ReconvergeStats, IsolationViolation> {
+        let mut total = ReconvergeStats::default();
+        for delta in deltas {
+            let s = self.apply_delta(world, delta)?;
+            total.sites_recomputed += s.sites_recomputed;
+            total.intra_entries_retained = s.intra_entries_retained;
+            total.bb_sources = s.bb_sources;
+        }
+        Ok(total)
+    }
+
+    /// Links currently masked by [`BackboneDelta::LinkDown`].
+    pub fn down_links(&self) -> &BTreeSet<NetworkId> {
+        &self.down_links
+    }
+
+    /// Gateways currently masked by [`BackboneDelta::GatewayDown`].
+    pub fn down_gateways(&self) -> &BTreeSet<NodeId> {
+        &self.down_gateways
+    }
+
+    /// The retained per-site network classification (the transient
+    /// checker's oracle builds over exactly the nets the table knows).
+    pub(crate) fn site_nets(&self) -> &[Vec<NetworkId>] {
+        &self.site_nets
+    }
+
+    /// The retained backbone-network classification.
+    pub(crate) fn backbone_nets(&self) -> &[NetworkId] {
+        &self.backbone_nets
+    }
+
+    /// The site whose local subgraph `net` belongs to, per the retained
+    /// classification.
+    fn site_of_net(&self, net: NetworkId) -> Option<usize> {
+        self.site_nets.iter().position(|nets| nets.contains(&net))
+    }
+
+    /// Classifies a network the table has never seen against the current
+    /// layout and admits it (backbone link, or a site-local fabric — the
+    /// latter triggers that site's intra recompute via the caller's
+    /// [`HierRouteTable::site_of_net`] lookup).
+    fn admit_link(&mut self, world: &SimWorld, net: NetworkId) -> Result<(), IsolationViolation> {
+        if self.backbone_nets.contains(&net) || self.site_of_net(net).is_some() {
+            return Ok(());
+        }
+        let members = world.network(net).members();
+        let mut seen_site: Option<usize> = None;
+        let mut spans_sites = false;
+        let mut known = 0usize;
+        for &m in members {
+            let Some(site) = self.layout.site_of(m) else {
+                continue;
+            };
+            known += 1;
+            match seen_site {
+                None => seen_site = Some(site),
+                Some(s) if s != site => spans_sites = true,
+                Some(_) => {}
+            }
+        }
+        if known < 2 {
+            return Ok(());
+        }
+        if spans_sites {
+            for &m in members {
+                if self.layout.site_of(m).is_some() && !self.layout.is_gateway(m) {
+                    return Err(IsolationViolation {
+                        network: net,
+                        node: m,
+                    });
+                }
+            }
+            self.backbone_nets.push(net);
+        } else if let Some(site) = seen_site {
+            self.site_nets[site].push(net);
+        }
+        Ok(())
+    }
+
+    /// Re-runs the classification after a layout change and recomputes
+    /// the intra table of exactly those sites whose site-local network
+    /// list changed (for a clean join: the new site only). Returns
+    /// `(sites recomputed, intra entries stripped)`.
+    fn reclassify_and_recompute(
+        &mut self,
+        world: &SimWorld,
+    ) -> Result<(usize, usize), IsolationViolation> {
+        let (site_nets, backbone_nets) = classify(world, &self.layout, false, &self.backbone_nets)?;
+        let mut recomputed = 0usize;
+        let mut stripped = 0usize;
+        let changed: Vec<usize> = (0..self.layout.site_count())
+            .filter(|&s| {
+                self.layout.site_is_live(s)
+                    && self.site_nets.get(s).map(Vec::as_slice) != Some(site_nets[s].as_slice())
+            })
+            .collect();
+        self.site_nets = site_nets;
+        self.backbone_nets = backbone_nets;
+        for site in changed {
+            stripped += self.recompute_site_intra(world, site);
+            recomputed += 1;
+        }
+        Ok((recomputed, stripped))
+    }
+
+    /// Strips and recomputes one site's intra table over its current
+    /// site-local networks minus the down links. Returns the number of
+    /// entries stripped.
+    fn recompute_site_intra(&mut self, world: &SimWorld, site: usize) -> usize {
+        let before = self.intra_next.len();
+        let layout = &self.layout;
+        self.intra_next
+            .retain(|(a, _), _| layout.site_of(*a) != Some(site));
+        self.intra_cost
+            .retain(|(a, _), _| layout.site_of(*a) != Some(site));
+        let stripped = before - self.intra_next.len();
+        let nodes: Vec<NodeId> = self.layout.site_nodes(site).to_vec();
+        let nets: Vec<NetworkId> = self.site_nets[site]
+            .iter()
+            .copied()
+            .filter(|n| !self.down_links.contains(n))
+            .collect();
+        dijkstra_subgraph(
+            world,
+            &nodes,
+            &nets,
+            &nodes,
+            &mut self.intra_next,
+            &mut self.intra_cost,
+        );
+        stripped
     }
 
     /// All-pairs Dijkstra over the backbone graph: nodes are the
@@ -295,9 +653,17 @@ impl HierRouteTable {
     /// tie-breaking mirrors the flat table's (cost, hops, edge tag,
     /// expanding node); virtual edges tag as `u32::MAX` so they sort after
     /// every real network on ties.
-    fn compute_backbone(&mut self, world: &SimWorld, backbone_nets: &[NetworkId]) {
+    ///
+    /// Masked elements contribute nothing: a down link spawns no edges, a
+    /// down gateway neither sources nor receives any (so no backbone path
+    /// transits it). This is the one piece churn re-runs per delta — its
+    /// cost is O(G·E_bb log G), independent of the site interiors.
+    fn rebuild_backbone(&mut self, world: &SimWorld) {
         use std::cmp::Reverse;
         use std::collections::BinaryHeap;
+
+        self.bb_next.clear();
+        self.bb_cost.clear();
 
         let gws = self.layout.gateways();
         let n = gws.len();
@@ -305,13 +671,19 @@ impl HierRouteTable {
 
         // (to, cost, tag, hop) per gateway, in deterministic build order.
         let mut adj: Vec<Vec<(usize, u64, u32, BbHop)>> = vec![Vec::new(); n];
-        for &net in backbone_nets {
+        for &net in &self.backbone_nets {
+            if self.down_links.contains(&net) {
+                continue;
+            }
             let c = crate::route::link_cost(world, net);
             let members = world.network(net).members();
             for &u in members {
                 let Some(&ui) = index.get(&u) else { continue };
+                if self.down_gateways.contains(&u) {
+                    continue;
+                }
                 for &v in members {
-                    if u != v {
+                    if u != v && !self.down_gateways.contains(&v) {
                         if let Some(&vi) = index.get(&v) {
                             adj[ui].push((
                                 vi,
@@ -330,8 +702,11 @@ impl HierRouteTable {
         for site in 0..self.layout.site_count() {
             let site_gws = self.layout.site_gateways(site);
             for &g1 in site_gws {
+                if self.down_gateways.contains(&g1) {
+                    continue;
+                }
                 for &g2 in site_gws {
-                    if g1 != g2 {
+                    if g1 != g2 && !self.down_gateways.contains(&g2) {
                         if let Some(&c) = self.intra_cost.get(&(g1, g2)) {
                             adj[index[&g1]].push((index[&g2], c, u32::MAX, BbHop::Intra(g2)));
                         }
@@ -1077,5 +1452,190 @@ mod tests {
             HierRouteTable::try_compute(&w, &grid.layout).unwrap()
         };
         assert_eq!(build(), build());
+    }
+
+    // ------------------------------------------------------------------ //
+    // Incremental reconvergence (BackboneDelta)
+    // ------------------------------------------------------------------ //
+
+    /// A 4-site ring with two gateways per site: enough redundancy that
+    /// any single link or gateway flap leaves every pair reachable.
+    fn churn_ring(seed: u64) -> (SimWorld, GridTopology) {
+        let mut w = SimWorld::new(seed);
+        let specs: Vec<SiteSpec> = (0..4)
+            .map(|i| SiteSpec::lan_cluster(format!("s{i}"), 3).with_gateways(2))
+            .collect();
+        let grid = GridTopology::ring(&mut w, &specs, NetworkSpec::vthd_wan());
+        (w, grid)
+    }
+
+    #[test]
+    fn link_flap_round_trip_restores_the_table_bit_for_bit() {
+        let (w, grid) = churn_ring(20);
+        let mut hier = HierRouteTable::try_compute(&w, &grid.layout).unwrap();
+        let pristine = hier.clone();
+        let link = grid.backbones[0];
+        let stats = hier
+            .apply_delta(&w, &BackboneDelta::LinkDown(link))
+            .unwrap();
+        assert_eq!(stats.sites_recomputed, 0, "a backbone flap touches no site");
+        assert_eq!(
+            stats.intra_entries_retained,
+            pristine.intra_next.len(),
+            "every intra entry is carried over"
+        );
+        assert_ne!(hier, pristine, "the mask must change the backbone");
+        // The ring routes the long way round; nothing is blackholed.
+        for &a in &grid.all_nodes() {
+            for &b in &grid.all_nodes() {
+                assert_eq!(
+                    pristine.reachable(a, b),
+                    hier.reachable(a, b),
+                    "ring redundancy keeps {a} -> {b} reachable"
+                );
+            }
+        }
+        hier.apply_delta(&w, &BackboneDelta::LinkUp(link)).unwrap();
+        assert_eq!(hier, pristine, "a down/up round trip is lossless");
+    }
+
+    #[test]
+    fn gateway_down_delta_is_cost_equal_to_route_avoiding() {
+        let (w, grid) = churn_ring(21);
+        let mut hier = HierRouteTable::try_compute(&w, &grid.layout).unwrap();
+        let pristine = hier.clone();
+        let victim = grid.site(1).gateway;
+        hier.apply_delta(&w, &BackboneDelta::GatewayDown(victim))
+            .unwrap();
+        let down: BTreeSet<NodeId> = [victim].into_iter().collect();
+        for &a in &grid.all_nodes() {
+            for &b in &grid.all_nodes() {
+                if a == victim || b == victim {
+                    continue;
+                }
+                assert_eq!(
+                    hier.cost(a, b),
+                    pristine.cost_avoiding(a, b, &down),
+                    "table-level reconvergence must match the per-lookup \
+                     failover for {a} -> {b}"
+                );
+            }
+        }
+        hier.apply_delta(&w, &BackboneDelta::GatewayUp(victim))
+            .unwrap();
+        assert_eq!(hier, pristine);
+    }
+
+    #[test]
+    fn flap_deltas_commute_to_the_same_fixpoint() {
+        let (w, grid) = churn_ring(22);
+        let base = HierRouteTable::try_compute(&w, &grid.layout).unwrap();
+        let deltas = [
+            BackboneDelta::LinkDown(grid.backbones[0]),
+            BackboneDelta::GatewayDown(grid.site(2).gateway),
+            BackboneDelta::LinkDown(grid.backbones[2]),
+            BackboneDelta::GatewayDown(grid.site(1).gateways[1]),
+        ];
+        let mut forward = base.clone();
+        forward.apply_deltas(&w, &deltas).unwrap();
+        let mut reversed = base.clone();
+        for d in deltas.iter().rev() {
+            reversed.apply_delta(&w, d).unwrap();
+        }
+        assert_eq!(
+            forward, reversed,
+            "flap deltas on distinct elements are masks: any ordering \
+             reaches the same fixpoint"
+        );
+    }
+
+    #[test]
+    fn site_join_matches_a_full_recompute() {
+        let mut w = SimWorld::new(23);
+        let mut grid = GridTopology::star(
+            &mut w,
+            &[
+                SiteSpec::san_cluster("a", 3).with_gateways(2),
+                SiteSpec::lan_cluster("b", 2),
+            ],
+            NetworkSpec::vthd_wan(),
+        );
+        let mut hier = match &grid.routes {
+            crate::route::GridRoutes::Hier(h) => h.clone(),
+            _ => unreachable!(),
+        };
+        // Build a third site into the running world and splice it onto
+        // the existing star backbone.
+        let spec = SiteSpec::lan_cluster("c", 3).with_gateways(2);
+        let (site_index, stats) = grid.admit_site(&mut w, &spec, None).unwrap();
+        assert_eq!(site_index, 2);
+        let site = grid.site(site_index);
+        let stats2 = hier
+            .apply_delta(
+                &w,
+                &BackboneDelta::SiteJoin {
+                    gateways: site.gateways.clone(),
+                    nodes: site.nodes.clone(),
+                },
+            )
+            .unwrap();
+        assert_eq!(
+            stats2.sites_recomputed, 1,
+            "a clean join computes the new site's intra table only"
+        );
+        assert_eq!(stats.sites_recomputed, 1);
+        // The incrementally-reconverged table is bit-identical to a fresh
+        // full build under the same layout.
+        let fresh = HierRouteTable::try_compute(&w, hier.layout()).unwrap();
+        assert_eq!(hier, fresh, "delta join == full recompute");
+        assert_eq!(
+            grid.routes,
+            crate::route::GridRoutes::Hier(fresh),
+            "the grid's own delta path agrees"
+        );
+    }
+
+    #[test]
+    fn site_leave_strips_the_site_and_keeps_survivors_cost_equal() {
+        let (w, grid) = churn_ring(24);
+        let mut grid = grid;
+        let mut hier = match &grid.routes {
+            crate::route::GridRoutes::Hier(h) => h.clone(),
+            _ => unreachable!(),
+        };
+        let pristine = hier.clone();
+        let leaving = 3usize;
+        let gone: Vec<NodeId> = grid.site(leaving).nodes.clone();
+        hier.apply_delta(&w, &BackboneDelta::SiteLeave(leaving))
+            .unwrap();
+        let stats = grid.drain_site(&w, leaving).unwrap();
+        assert_eq!(
+            stats.sites_recomputed, 0,
+            "a clean leave recomputes nothing"
+        );
+        for &g in &gone {
+            assert!(!hier.reachable(g, g), "departed nodes drop out entirely");
+            assert!(hier.layout().site_of(g).is_none());
+        }
+        // Survivors re-route around the hole (ring: the long way) and
+        // never *through* the departed gateways.
+        let departed: BTreeSet<NodeId> = gone.iter().copied().collect();
+        for s in 0..3usize {
+            for d in 0..3usize {
+                let a = grid.site(s).node(1);
+                let b = grid.site(d).node(2);
+                assert_eq!(
+                    hier.cost(a, b),
+                    pristine.cost_avoiding(a, b, &departed),
+                    "survivor pair {a} -> {b}"
+                );
+                if let Some(route) = hier.route(a, b) {
+                    assert!(
+                        route.relays().all(|r| !departed.contains(&r)),
+                        "no route may transit the departed site"
+                    );
+                }
+            }
+        }
     }
 }

@@ -49,13 +49,21 @@
 #![warn(rust_2018_idioms)]
 
 pub mod builder;
+pub mod churn;
 pub mod gateway;
 pub mod hier;
 pub mod route;
 
 pub use builder::{GridTopology, Site, SiteSpec};
+pub use churn::{
+    check_transients, inject_link_churn, replay_churn, ChurnReplay, ChurnSchedule,
+    TransientViolation,
+};
 pub use gateway::{
     BackpressureMode, GatewayStats, RelayConfig, RelayError, RelayFabric, RelayedMessage,
 };
-pub use hier::{HierRouteTable, IsolationViolation, SiteLayout};
+pub use hier::{
+    delta_reconvergences, full_recomputes, BackboneDelta, HierRouteTable, IsolationViolation,
+    ReconvergeStats, SiteLayout,
+};
 pub use route::{hier_fallbacks, link_cost, GridRoutes, Hop, PathInfo, Route, RouteTable};

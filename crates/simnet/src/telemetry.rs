@@ -235,8 +235,10 @@ impl SnapshotBuilder {
 
     /// Reports a histogram.
     pub fn histogram(&mut self, name: &str, labels: &[(&str, &str)], value: Log2Histogram) {
-        self.entries
-            .insert(metric_key(name, labels), MetricValue::Histogram(Box::new(value)));
+        self.entries.insert(
+            metric_key(name, labels),
+            MetricValue::Histogram(Box::new(value)),
+        );
     }
 
     /// Finishes the scrape.
@@ -627,6 +629,50 @@ pub enum TraceEvent {
     GatewayDown {
         /// The dead gateway.
         node: NodeId,
+    },
+    /// A down gateway resumed its backbone role.
+    GatewayRestored {
+        /// The recovered gateway.
+        node: NodeId,
+    },
+    /// A backbone link flapped down in the routing tables.
+    LinkDown {
+        /// The masked network.
+        net: NetworkId,
+    },
+    /// A flapped backbone link came back up.
+    LinkUp {
+        /// The restored network.
+        net: NetworkId,
+    },
+    /// A new site was admitted into the running grid.
+    SiteAdmitted {
+        /// Site index in the layout.
+        site: u32,
+        /// Gateways the site brought.
+        gateways: u32,
+        /// Total member nodes (gateways included).
+        nodes: u32,
+    },
+    /// A site began its graceful drain: streams quiesce, credits return,
+    /// trunks retire.
+    SiteDraining {
+        /// Site index in the layout.
+        site: u32,
+    },
+    /// The drained site left the grid; its routes are withdrawn.
+    SiteDrained {
+        /// Tombstoned site index.
+        site: u32,
+        /// Trunks retired during the drain.
+        trunks_retired: u32,
+    },
+    /// The routing tables reconverged after one churn delta.
+    Reconverged {
+        /// Sites whose intra tables were recomputed (0 for pure flaps).
+        sites_recomputed: u32,
+        /// Gateways in the rebuilt backbone graph.
+        backbone_gateways: u32,
     },
 }
 

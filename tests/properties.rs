@@ -418,6 +418,81 @@ fn hierarchical_routes_are_cost_equal_to_flat_dijkstra() {
 }
 
 // ---------------------------------------------------------------------- //
+// Churn commutes: replaying a seeded flap schedule under shuffled
+// orderings (per-element causality preserved, interleaving randomized)
+// must pass the transient checker at every intermediate step of every
+// ordering and land on the identical fixpoint table. Flaps only — site
+// joins and leaves renumber sites, so their orderings are not comparable.
+// ---------------------------------------------------------------------- //
+
+#[test]
+fn churn_replays_commute_and_stay_transient_safe_under_shuffling() {
+    use padicotm::gridtopo::{inject_link_churn, replay_churn, GridTopology, SiteSpec};
+    use padicotm::simnet::{NetworkSpec, SimWorld};
+
+    for_random_cases(111, 12, |rng| {
+        let world_seed = rng.next_u64();
+        let n_sites = 3 + rng.gen_range(0, 3) as usize;
+        let ring = rng.gen_bool(0.5);
+        let build = |world: &mut SimWorld| {
+            let specs: Vec<SiteSpec> = (0..n_sites)
+                .map(|i| SiteSpec::san_cluster(format!("s{i}"), 3).with_gateways(2))
+                .collect();
+            if ring {
+                GridTopology::ring(world, &specs, NetworkSpec::vthd_wan())
+            } else {
+                GridTopology::star(world, &specs, NetworkSpec::vthd_wan())
+            }
+        };
+        let flaps = 2 + rng.gen_range(0, 6) as usize;
+        let churn_seed = rng.next_u64();
+
+        // Baseline ordering: transient-safe throughout, no intra-table
+        // recomputes, and (all downs paired with ups) back to pristine.
+        let mut world = SimWorld::new(world_seed);
+        let mut grid = build(&mut world);
+        let pristine = grid.routes.clone();
+        let schedule = inject_link_churn(&grid, churn_seed, flaps);
+        let replay = replay_churn(&world, &mut grid, &schedule).unwrap();
+        assert_eq!(
+            replay.violations,
+            vec![],
+            "baseline ordering must be transient-safe"
+        );
+        assert!(
+            replay.stats.iter().all(|s| s.sites_recomputed == 0),
+            "flap deltas never recompute an intra table"
+        );
+        let fixpoint = grid.routes.clone();
+        assert_eq!(fixpoint, pristine, "paired flaps return to pristine");
+
+        // Shuffled interleavings: flaps on distinct elements commute, so
+        // every ordering must pass through only safe intermediate states
+        // (which differ across orderings!) and reach the same fixpoint.
+        for k in 0..3u64 {
+            let mut world = SimWorld::new(world_seed);
+            let mut grid = build(&mut world);
+            let shuffled = schedule.shuffled(churn_seed.wrapping_add(k + 1));
+            assert_eq!(
+                shuffled.deltas.len(),
+                schedule.deltas.len(),
+                "shuffling permutes, never drops"
+            );
+            let replay = replay_churn(&world, &mut grid, &shuffled).unwrap();
+            assert_eq!(
+                replay.violations,
+                vec![],
+                "ordering {k} must be transient-safe"
+            );
+            assert_eq!(
+                grid.routes, fixpoint,
+                "ordering {k} must reach the identical fixpoint"
+            );
+        }
+    });
+}
+
+// ---------------------------------------------------------------------- //
 // End-to-end invariant: TCP delivers arbitrary data intact over a lossy
 // network (exactly-once, in order).
 // ---------------------------------------------------------------------- //
