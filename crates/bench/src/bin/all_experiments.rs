@@ -150,7 +150,12 @@ fn main() {
             r.exchanges_ok,
         );
     }
-    match write_multi_site_json(&results, &incast, &failover, &churn) {
+    let scale = padico_bench::scale_run(&padico_bench::ScaleConfig::hundred_k());
+    println!(
+        "scale | {} nodes / {} shards | {:.0} events/s | digest {}",
+        scale.nodes, scale.shards, scale.events_per_sec, scale.digest,
+    );
+    match write_multi_site_json(&results, &incast, &failover, &churn, Some(&scale)) {
         Ok(path) => println!("wrote {path}"),
         Err(e) => eprintln!("failed to write BENCH_multi_site.json: {e}"),
     }

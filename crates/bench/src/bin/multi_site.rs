@@ -16,17 +16,77 @@
 //! one live site admit/drain with the transient checker at every
 //! reconvergence step, writes `BENCH_churn_smoke.json`, and exits
 //! non-zero on any transient violation, full-table recompute, failed
-//! exchange, or conservation leak. All are used by CI as bitrot guards.
+//! exchange, or conservation leak. `--scale-smoke` runs the measured
+//! 10⁵-node partitioned world plus a quick executor-equivalence check,
+//! writes `BENCH_scale_smoke.json`, and exits non-zero if the event
+//! rate falls under the floor, any cross-shard frame leaks, or the two
+//! executors' snapshots diverge by a single byte. All are used by CI as
+//! bitrot guards.
 
 use gridtopo::BackpressureMode;
 use padico_bench::{
-    churn_json_row, churn_run, churn_sweep, conservation_violations, failover_metrics,
-    failover_run, failover_sweep, incast_run, incast_sweep, multi_site_sweep,
-    write_multi_site_json,
+    churn_json_row, churn_run, churn_snapshot, churn_sweep, conservation_violations,
+    failover_metrics, failover_run, failover_sweep, incast_run, incast_sweep, multi_site_sweep,
+    scale_json_section, scale_run, write_multi_site_json, Executor, ScaleConfig,
 };
+
+/// Minimum events per wall-clock second the 10⁵-node scale smoke must
+/// sustain (conservative: CI runners may be single-core).
+const SCALE_EVENTS_PER_SEC_FLOOR: f64 = 50_000.0;
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
+    if args.iter().any(|a| a == "--scale-smoke") {
+        let r = scale_run(&ScaleConfig::hundred_k());
+        let path = "BENCH_scale_smoke.json";
+        std::fs::write(path, format!("{}\n", scale_json_section(&r)))
+            .expect("write scale artifact");
+        println!(
+            "scale smoke: {} nodes across {} shards on {} threads, \
+             {} events in {:.2}s ({:.0} events/s), {} cross-shard frames, \
+             digest {} -> {path}",
+            r.nodes,
+            r.shards,
+            r.threads,
+            r.events_total,
+            r.wall_seconds,
+            r.events_per_sec,
+            r.frames_crossed,
+            r.digest,
+        );
+        let mut failed = false;
+        if r.events_per_sec < SCALE_EVENTS_PER_SEC_FLOOR {
+            eprintln!(
+                "FAIL: {:.0} events/s under the {SCALE_EVENTS_PER_SEC_FLOOR:.0} floor",
+                r.events_per_sec
+            );
+            failed = true;
+        }
+        if r.cross_unclaimed > 0 {
+            eprintln!(
+                "FAIL: {} cross-shard frames leaked unclaimed",
+                r.cross_unclaimed
+            );
+            failed = true;
+        }
+        if r.delivered_local != r.frames_local || r.delivered_cross != r.frames_crossed {
+            eprintln!(
+                "FAIL: frame conservation broke (local {}/{}, cross {}/{})",
+                r.delivered_local, r.frames_local, r.delivered_cross, r.frames_crossed
+            );
+            failed = true;
+        }
+        // Quick executor-equivalence gate on a seeded CI scenario: the
+        // sharded-merge executor must be byte-identical to the single
+        // queue (the full seed sweep runs in tests/executor_equivalence.rs).
+        let single = churn_snapshot(3, 2, 0xC09E, Executor::Single).to_json();
+        let sharded = churn_snapshot(3, 2, 0xC09E, Executor::ShardedMerge).to_json();
+        if single != sharded {
+            eprintln!("FAIL: sharded-merge executor diverged from the single queue");
+            failed = true;
+        }
+        std::process::exit(if failed { 1 } else { 0 });
+    }
     if args.iter().any(|a| a == "--churn-smoke") {
         let r = churn_run(4, 6);
         let path = "BENCH_churn_smoke.json";
@@ -317,7 +377,20 @@ fn main() {
         );
     }
 
-    match write_multi_site_json(&results, &incast, &failover, &churn) {
+    let scale = scale_run(&ScaleConfig::hundred_k());
+    println!(
+        "\nscale: {} nodes / {} shards / {} threads, {:.0} events/s \
+         ({} events, {} cross-shard frames, digest {})",
+        scale.nodes,
+        scale.shards,
+        scale.threads,
+        scale.events_per_sec,
+        scale.events_total,
+        scale.frames_crossed,
+        scale.digest,
+    );
+
+    match write_multi_site_json(&results, &incast, &failover, &churn, Some(&scale)) {
         Ok(path) => println!("\nwrote {path}"),
         Err(e) => eprintln!("\nfailed to write BENCH_multi_site.json: {e}"),
     }

@@ -1,24 +1,41 @@
 //! Routing-scalability bench: flat all-pairs Dijkstra vs hierarchical
 //! two-level routing, written to `BENCH_routing.json`.
 //!
-//! Usage: `routing [--smoke]` — `--smoke` runs small sizes once (the CI
-//! guard) and does not overwrite the tracked JSON artifact. In both modes
-//! the process exits non-zero if any hierarchical/flat cost-equivalence
-//! check reports a mismatch, or if the hierarchical allreduce fails to
-//! send strictly fewer inter-site messages than the linear one.
+//! Usage: `routing [--smoke|--scale-smoke]` — `--smoke` runs small sizes
+//! once (the CI guard) and does not overwrite the tracked JSON artifact;
+//! `--scale-smoke` runs the single measured 10⁵-node cluster case (hier
+//! build, oracle spot-check against sampled flat sources, and a real
+//! relayed-traffic phase) without touching the artifact. The full run
+//! appends the same 10⁵-node case to the swept sizes. In all modes the
+//! process exits non-zero if any hierarchical/flat cost-equivalence
+//! check reports a mismatch, or (full/small smoke) if the hierarchical
+//! allreduce fails to send strictly fewer inter-site messages than the
+//! linear one.
 
 use padico_bench::routing::{
-    allreduce_comparison, routing_json, routing_sweep, write_routing_json,
+    allreduce_comparison, routing_case, routing_json, routing_sweep, write_routing_json,
 };
+
+/// The measured headline size: 10⁵ nodes as 1000 sites of 100.
+const SCALE_NODES: usize = 100_000;
 
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
+    let scale_smoke = std::env::args().any(|a| a == "--scale-smoke");
     let sizes: &[usize] = if smoke {
         &[100, 320]
     } else {
         &[100, 1000, 10_000]
     };
-    let cases = routing_sweep(sizes);
+    let mut cases = if scale_smoke {
+        Vec::new()
+    } else {
+        routing_sweep(sizes)
+    };
+    if !smoke {
+        eprintln!("routing: cluster @ {SCALE_NODES} nodes (measured)…");
+        cases.push(routing_case("cluster", SCALE_NODES));
+    }
     println!(
         "{:<8} {:>6} {:>6} {:>12} {:>12} {:>9} {:>12} {:>12} {:>9} {:>9} {:>9}",
         "shape",
@@ -52,6 +69,12 @@ fn main() {
         );
     }
     println!("(* = flat numbers extrapolated from sampled Dijkstra sources)");
+    for c in &cases {
+        println!(
+            "traffic @ {} nodes ({}): {:.0} events/s measured",
+            c.nodes, c.shape, c.events_per_sec
+        );
+    }
 
     let allreduce = allreduce_comparison(3, 6);
     println!(
@@ -75,6 +98,13 @@ fn main() {
             );
             failed = true;
         }
+        if c.events_per_sec <= 0.0 {
+            eprintln!(
+                "FAIL: {} @ {} nodes recorded no measured traffic",
+                c.shape, c.nodes
+            );
+            failed = true;
+        }
     }
     if allreduce.hier_inter_site_msgs >= allreduce.linear_inter_site_msgs {
         eprintln!(
@@ -85,7 +115,7 @@ fn main() {
         failed = true;
     }
 
-    if smoke {
+    if smoke || scale_smoke {
         let json = routing_json(&cases, &allreduce);
         assert!(json.contains("\"experiment\": \"routing\""));
         eprintln!("smoke run: artifact not written");

@@ -23,7 +23,40 @@ use padico_core::{
     admit_site_live, apply_backbone_delta, drain_site_live, runtimes_for_grid, PadicoRuntime,
     SelectorPreferences, VLink, VLinkEvent,
 };
-use simnet::{MetricsSnapshot, NetworkSpec, NodeId, SimDuration, SimWorld};
+use simnet::{MetricsSnapshot, NetworkSpec, NodeId, ShardStats, SimDuration, SimWorld};
+
+/// Which event-queue executor a scenario runs under.
+///
+/// `Single` is the classic one-heap queue; `ShardedMerge` splits the
+/// queue into per-site timer-wheel lanes (lane 0 = control) merged at
+/// pop time. The merge pops the global `(time, seq)` minimum, so a
+/// sharded run is required to be **bit-for-bit identical** to the
+/// single-queue run — `tests/executor_equivalence.rs` holds every
+/// seeded scenario to byte-identical [`MetricsSnapshot`] JSON.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Executor {
+    /// The single global event queue.
+    Single,
+    /// Per-site sharded lanes behind the merging executor.
+    ShardedMerge,
+}
+
+impl Executor {
+    /// Lowercase label used in reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            Executor::Single => "single",
+            Executor::ShardedMerge => "sharded",
+        }
+    }
+
+    /// Applies this executor to a freshly built grid world.
+    fn apply(self, world: &mut SimWorld, grid: &GridTopology) {
+        if self == Executor::ShardedMerge {
+            padico_core::enable_site_sharding(world, grid);
+        }
+    }
+}
 
 /// Backbone layout of a multi-site run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -258,9 +291,34 @@ const INCAST_MAX_ROUNDS: u64 = 64;
 /// `credit` mode the senders park on gateway credits and everything
 /// arrives in one pass.
 pub fn incast_run(senders: usize, frames_per_sender: u64, mode: BackpressureMode) -> IncastResult {
+    incast_case(senders, frames_per_sender, mode, 4242, Executor::Single).0
+}
+
+/// The telemetry snapshot of one quiesced incast run under the given
+/// seed and executor — the executor-equivalence surface for this
+/// scenario (two executors, same seed ⇒ byte-identical JSON).
+pub fn incast_snapshot(
+    senders: usize,
+    frames_per_sender: u64,
+    mode: BackpressureMode,
+    seed: u64,
+    exec: Executor,
+) -> MetricsSnapshot {
+    incast_case(senders, frames_per_sender, mode, seed, exec).1
+}
+
+/// [`incast_run`] parameterized by world seed and executor; also scrapes
+/// the metrics snapshot at quiescence.
+fn incast_case(
+    senders: usize,
+    frames_per_sender: u64,
+    mode: BackpressureMode,
+    seed: u64,
+    exec: Executor,
+) -> (IncastResult, MetricsSnapshot) {
     assert!(senders >= 1 && frames_per_sender >= 1);
     let wall = Instant::now();
-    let mut world = SimWorld::new(4242);
+    let mut world = SimWorld::new(seed);
     let grid = GridTopology::star(
         &mut world,
         &[
@@ -269,6 +327,7 @@ pub fn incast_run(senders: usize, frames_per_sender: u64, mode: BackpressureMode
         ],
         NetworkSpec::vthd_wan(),
     );
+    exec.apply(&mut world, &grid);
     // Each frame occupies the gateway's bounded memory for its 1 ms
     // store-and-forward hold while SAN arrivals land every few µs: the
     // entry gateway queue is the incast bottleneck (drops in `drop` mode,
@@ -349,7 +408,7 @@ pub fn incast_run(senders: usize, frames_per_sender: u64, mode: BackpressureMode
     } else {
         0.0
     };
-    IncastResult {
+    let result = IncastResult {
         senders,
         mode,
         frames_per_sender,
@@ -365,7 +424,8 @@ pub fn incast_run(senders: usize, frames_per_sender: u64, mode: BackpressureMode
         goodput_mb_s,
         sender_stall_ms: fabric.credit_stall_ns() as f64 / 1e6 / senders as f64,
         events_per_sec: world.stats.events_executed as f64 / wall.elapsed().as_secs_f64().max(1e-9),
-    }
+    };
+    (result, world.metrics_snapshot())
 }
 
 /// The incast sweep: sender fan-in × backpressure mode.
@@ -449,10 +509,30 @@ struct FailoverCaseOut {
 /// metrics the failover itself produces. The prelude fully drains before
 /// the streams start, so it never overlaps the measured recovery.
 fn failover_case(senders: usize, baseline: bool, instrument: bool) -> FailoverCaseOut {
+    failover_case_seeded(senders, baseline, instrument, 0xFA17, Executor::Single)
+}
+
+/// The telemetry snapshot of one quiesced *faulted* failover run
+/// (gateway killed mid-transfer, no instrumentation prelude) under the
+/// given seed and executor, plus its exact-delivery verdict — the
+/// executor-equivalence surface for this scenario.
+pub fn failover_snapshot(senders: usize, seed: u64, exec: Executor) -> (MetricsSnapshot, bool) {
+    let out = failover_case_seeded(senders, false, false, seed, exec);
+    (out.metrics, out.completed)
+}
+
+/// [`failover_case`] parameterized by world seed and executor.
+fn failover_case_seeded(
+    senders: usize,
+    baseline: bool,
+    instrument: bool,
+    seed: u64,
+    exec: Executor,
+) -> FailoverCaseOut {
     use padico_core::PadicoRuntime;
 
     let wall = Instant::now();
-    let mut world = SimWorld::new(0xFA17);
+    let mut world = SimWorld::new(seed);
     let regions = vec![
         vec![SiteSpec::san_cluster("send", senders + 2).with_gateways(2)],
         vec![SiteSpec::san_cluster("recv", 3).with_gateways(2)],
@@ -463,6 +543,7 @@ fn failover_case(senders: usize, baseline: bool, instrument: bool) -> FailoverCa
         NetworkSpec::vthd_wan(),
         NetworkSpec::vthd_wan(),
     );
+    exec.apply(&mut world, &grid);
     let prefs = SelectorPreferences {
         relay_backpressure: BackpressureMode::Credit,
         gateway_failover: true,
@@ -888,13 +969,60 @@ fn pairs_disrupted(grid: &GridTopology, pristine: &gridtopo::GridRoutes) -> usiz
 /// every step, then admits a fresh site live, exchanges with it, and
 /// drains it again. Deterministic in its arguments.
 pub fn churn_run(sites: usize, flaps: usize) -> ChurnResult {
+    churn_case(sites, flaps, 0xC09E, Executor::Single).0
+}
+
+/// The telemetry snapshot of one quiesced churn run under the given
+/// seed and executor — the executor-equivalence surface for this
+/// scenario. The seed drives both the world RNG and the flap schedule.
+pub fn churn_snapshot(sites: usize, flaps: usize, seed: u64, exec: Executor) -> MetricsSnapshot {
+    churn_case(sites, flaps, seed, exec).1
+}
+
+/// Cross-shard accounting of one *sharded* churn run — the surface the
+/// cross-shard conservation test drives: frames crossing gateway
+/// boundaries during churn must conserve exactly, per shard.
+#[derive(Debug, Clone)]
+pub struct ShardChurnReport {
+    /// The churn verdicts themselves.
+    pub result: ChurnResult,
+    /// Human-readable conservation violations from the quiesced
+    /// snapshot (per-gateway credits, fabric frames, parked leftovers).
+    pub violations: Vec<String>,
+    /// Per-lane executor counters (lane 0 = control, lane i+1 = site i).
+    pub shard: ShardStats,
+    /// The quiesced telemetry snapshot, for frame-conservation checks.
+    pub snapshot: MetricsSnapshot,
+}
+
+/// Runs one churn measurement under the sharded-merge executor and
+/// returns the per-shard accounting alongside the verdicts.
+pub fn churn_shard_report(sites: usize, flaps: usize, seed: u64) -> ShardChurnReport {
+    let (result, snapshot, shard) = churn_case(sites, flaps, seed, Executor::ShardedMerge);
+    ShardChurnReport {
+        result,
+        violations: conservation_violations(&snapshot),
+        shard: shard.expect("sharded churn run must expose shard stats"),
+        snapshot,
+    }
+}
+
+/// [`churn_run`] parameterized by seed and executor; also scrapes the
+/// metrics snapshot and (when sharded) the per-lane counters.
+fn churn_case(
+    sites: usize,
+    flaps: usize,
+    seed: u64,
+    exec: Executor,
+) -> (ChurnResult, MetricsSnapshot, Option<ShardStats>) {
     assert!(sites >= 3, "a ring needs 3+ sites");
     let wall = Instant::now();
-    let mut world = SimWorld::new(0xC09E);
+    let mut world = SimWorld::new(seed);
     let specs: Vec<SiteSpec> = (0..sites)
         .map(|i| SiteSpec::san_cluster(format!("s{i}"), 3).with_gateways(2))
         .collect();
     let mut grid = GridTopology::ring(&mut world, &specs, NetworkSpec::vthd_wan());
+    exec.apply(&mut world, &grid);
     let prefs = SelectorPreferences {
         relay_backpressure: BackpressureMode::Credit,
         gateway_failover: true,
@@ -915,7 +1043,7 @@ pub fn churn_run(sites: usize, flaps: usize) -> ChurnResult {
     let mut exchanges_ok = probe(&mut world, &rts, src, far);
 
     // ---- Flap schedule, transient-checked at every step --------------- //
-    let schedule = inject_link_churn(&grid, 0xC09E, flaps);
+    let schedule = inject_link_churn(&grid, seed, flaps);
     let mut violations = 0usize;
     let mut sites_recomputed = 0u64;
     let mut step_ms: Vec<f64> = Vec::with_capacity(schedule.deltas.len());
@@ -957,7 +1085,7 @@ pub fn churn_run(sites: usize, flaps: usize) -> ChurnResult {
     let snap = world.metrics_snapshot();
     let conservation = conservation_violations(&snap).len();
     let steps = step_ms.len();
-    ChurnResult {
+    let result = ChurnResult {
         sites,
         flaps,
         steps,
@@ -974,7 +1102,8 @@ pub fn churn_run(sites: usize, flaps: usize) -> ChurnResult {
         exchanges_ok,
         conservation_violations: conservation,
         events_per_sec: world.stats.events_executed as f64 / wall.elapsed().as_secs_f64().max(1e-9),
-    }
+    };
+    (result, snap, world.shard_stats().cloned())
 }
 
 /// The churn sweep: ring size × fixed flap count.
@@ -1017,6 +1146,7 @@ pub fn multi_site_json(
     incast: &[IncastResult],
     failover: &[FailoverResult],
     churn: &[ChurnResult],
+    scale: Option<&crate::scale::ScaleResult>,
 ) -> String {
     let mut s = String::from("{\n  \"experiment\": \"multi_site\",\n  \"results\": [\n");
     for (i, r) in results.iter().enumerate() {
@@ -1101,9 +1231,16 @@ pub fn multi_site_json(
         s.push_str(&churn_json_row(r));
         s.push_str(if i + 1 == churn.len() { "\n" } else { ",\n" });
     }
+    // The measured 10⁵-node partitioned-executor row (null when the
+    // caller skipped the scale phase).
+    s.push_str("  ],\n  \"scale\": ");
+    match scale {
+        Some(r) => s.push_str(&crate::scale::scale_json_section(r)),
+        None => s.push_str("null"),
+    }
     // The failover-phase telemetry snapshot (widest fan-in), so the
     // artifact carries the full counter state of the faulted run.
-    s.push_str("  ],\n  \"metrics\": ");
+    s.push_str(",\n  \"metrics\": ");
     match failover.last() {
         Some(r) => s.push_str(&snapshot_json_object(&r.metrics)),
         None => s.push_str("{}"),
@@ -1174,9 +1311,13 @@ pub fn write_multi_site_json(
     incast: &[IncastResult],
     failover: &[FailoverResult],
     churn: &[ChurnResult],
+    scale: Option<&crate::scale::ScaleResult>,
 ) -> std::io::Result<String> {
     let path = "BENCH_multi_site.json".to_string();
-    std::fs::write(&path, multi_site_json(results, incast, failover, churn))?;
+    std::fs::write(
+        &path,
+        multi_site_json(results, incast, failover, churn, scale),
+    )?;
     Ok(path)
 }
 
@@ -1221,8 +1362,11 @@ mod tests {
         let inc = incast_run(2, 8, BackpressureMode::Credit);
         let fo = failover_run(1);
         let ch = churn_run(3, 2);
-        let json = multi_site_json(&[r], &[inc], &[fo], &[ch]);
+        let scale = crate::scale::scale_run(&crate::scale::ScaleConfig::tiny());
+        let json = multi_site_json(&[r], &[inc], &[fo], &[ch], Some(&scale));
         assert!(json.contains("\"experiment\": \"multi_site\""));
+        assert!(json.contains("\"scale\""));
+        assert!(json.contains("\"digest\""));
         assert!(json.contains("\"sites\": 2"));
         assert!(json.contains("\"layout\": \"star\""));
         assert!(json.contains("\"frames_lost\""));

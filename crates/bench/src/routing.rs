@@ -29,7 +29,9 @@
 use std::rc::Rc;
 use std::time::Instant;
 
-use gridtopo::{GridRoutes, GridTopology, HierRouteTable, RouteTable, SiteSpec};
+use gridtopo::{
+    GridRoutes, GridTopology, HierRouteTable, RelayConfig, RelayFabric, RouteTable, SiteSpec,
+};
 use middleware::MpiComm;
 use padico_core::{runtimes_for_grid, SelectorPreferences, TopologyKb};
 use simnet::{NetworkSpec, NodeId, SimRng, SimWorld};
@@ -47,6 +49,11 @@ const ORACLE_SOURCES: usize = 12;
 
 /// (src, dst) pairs timed per lookup measurement.
 const LOOKUP_PAIRS: usize = 1000;
+
+/// Frames relayed in the measured traffic phase of each case.
+const TRAFFIC_FRAMES: usize = 1000;
+/// Destination nodes bound in the traffic phase.
+const TRAFFIC_DESTS: usize = 64;
 
 /// One swept case.
 #[derive(Debug, Clone)]
@@ -83,6 +90,11 @@ pub struct RoutingCase {
     pub cost_mismatches: usize,
     /// Oracle disagreements: differing reachability.
     pub reachability_mismatches: usize,
+    /// Simulator events per wall-clock second in the measured traffic
+    /// phase — real relayed frames through the full-size world, so the
+    /// row records an *executed* event rate at this node count, not an
+    /// extrapolation.
+    pub events_per_sec: f64,
 }
 
 impl RoutingCase {
@@ -282,6 +294,31 @@ pub fn routing_case(shape: &'static str, nodes: usize) -> RoutingCase {
         std::hint::black_box(kb.resolve_route(&world, a, b));
     });
 
+    // Measured traffic phase: relay real frames through the full-size
+    // world over the grid's (hierarchical) routes and record the event
+    // rate. Long ring paths may exceed the relay TTL — those frames are
+    // still executed work, which is what this phase measures.
+    let fabric = RelayFabric::new(grid.routes.clone(), RelayConfig::default());
+    for &node in &all {
+        fabric.attach(&mut world, node);
+    }
+    let dests = sample_nodes(&mut rng, &all, TRAFFIC_DESTS.min(n));
+    for &dst in &dests {
+        fabric.bind(&mut world, dst, 3, |_w, _msg| {});
+    }
+    let events_before = world.stats.events_executed;
+    let t0 = Instant::now();
+    for k in 0..TRAFFIC_FRAMES {
+        let src = all[rng.gen_range(0, n as u64) as usize];
+        let dst = dests[k % dests.len()];
+        if src != dst {
+            let _ = fabric.send(&mut world, src, dst, 3, vec![0u8; 256]);
+        }
+    }
+    world.run();
+    let events_per_sec =
+        (world.stats.events_executed - events_before) as f64 / t0.elapsed().as_secs_f64().max(1e-9);
+
     RoutingCase {
         shape,
         nodes: n,
@@ -297,6 +334,7 @@ pub fn routing_case(shape: &'static str, nodes: usize) -> RoutingCase {
         pairs_checked,
         cost_mismatches,
         reachability_mismatches,
+        events_per_sec,
     }
 }
 
@@ -385,7 +423,7 @@ pub fn routing_json(cases: &[RoutingCase], allreduce: &AllreduceResult) -> Strin
                 "\"hier_lookup_ns\": {:.0}, \"hier_cached_lookup_ns\": {:.0}, ",
                 "\"build_speedup\": {:.1}, \"bytes_ratio\": {:.1}, ",
                 "\"pairs_checked\": {}, \"cost_mismatches\": {}, ",
-                "\"reachability_mismatches\": {}}}{}\n"
+                "\"reachability_mismatches\": {}, \"events_per_sec\": {:.0}}}{}\n"
             ),
             c.shape,
             c.nodes,
@@ -405,6 +443,7 @@ pub fn routing_json(cases: &[RoutingCase], allreduce: &AllreduceResult) -> Strin
             c.pairs_checked,
             c.cost_mismatches,
             c.reachability_mismatches,
+            c.events_per_sec,
             if i + 1 == cases.len() { "" } else { "," },
         ));
     }

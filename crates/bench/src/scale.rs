@@ -1,0 +1,335 @@
+//! The 10⁵-node scale benchmark: a partitioned world of SAN-cluster
+//! shards exchanging local and cross-shard traffic.
+//!
+//! The single-queue simulator tops out long before grid scale: one
+//! `SimWorld` with 10⁵ nodes serializes every event through one queue.
+//! This benchmark instead builds the world as `shards` independent
+//! [`SimWorld`]s (one per site, ~`nodes_per_shard` nodes each) driven by
+//! [`run_partitioned`]: shards execute in conservative windows whose
+//! width is the cross-site lookahead, and gateway frames cross between
+//! shards at the window barriers — exactly the gateway-isolation
+//! invariant the grid topology guarantees (only gateways touch the
+//! backbone, and the backbone latency bounds every cross-site delivery
+//! from below).
+//!
+//! Each shard runs a fixed, seed-independent workload: every node sends
+//! `frames_per_node` frames to its ring successor on the site SAN
+//! (payloads drawn from a per-shard [`FramePool`] freelist), and the
+//! shard's gateway (node 0) emits `cross_frames_per_shard` frames to the
+//! next shard. The run is deterministic and thread-count-independent:
+//! the report digest is identical at any worker count, which the
+//! `--scale-smoke` CI job and the unit tests below both assert.
+
+use std::cell::{Cell, RefCell};
+use std::rc::Rc;
+
+use simnet::{
+    run_partitioned, Frame, FramePool, NetworkSpec, NodeId, Partition, ProtoId, SimDuration,
+    SimTime, SimWorld,
+};
+
+/// Local intra-shard traffic tag (`ProtoId::user(41)`).
+const LOCAL: ProtoId = ProtoId(ProtoId::USER_BASE.0 + 41);
+/// Cross-shard gateway traffic tag (`ProtoId::user(42)`).
+const CROSS: ProtoId = ProtoId(ProtoId::USER_BASE.0 + 42);
+/// Payload bytes of every scale frame.
+const SCALE_FRAME_BYTES: usize = 512;
+/// Buffers each shard's freelist retains.
+const POOL_BUFFERS: usize = 64;
+
+/// Shape of one scale run.
+#[derive(Debug, Clone)]
+pub struct ScaleConfig {
+    /// Shard worlds (sites).
+    pub shards: u16,
+    /// Nodes per shard; total nodes = `shards × nodes_per_shard`.
+    pub nodes_per_shard: usize,
+    /// Frames each node sends to its ring successor on the site SAN.
+    pub frames_per_node: u64,
+    /// Frames each shard's gateway sends to the next shard.
+    pub cross_frames_per_shard: u64,
+    /// Worker threads (shard `s` runs on worker `s % threads`).
+    pub threads: usize,
+    /// Conservative window width — the modelled backbone latency, a
+    /// lower bound on every cross-shard delivery.
+    pub lookahead: SimDuration,
+    /// Base RNG seed (shard `s` runs on `seed + s`).
+    pub seed: u64,
+}
+
+impl ScaleConfig {
+    /// The headline configuration: 10⁵ nodes as 1000 sites × 100 nodes.
+    pub fn hundred_k() -> Self {
+        ScaleConfig {
+            shards: 1000,
+            nodes_per_shard: 100,
+            frames_per_node: 6,
+            cross_frames_per_shard: 8,
+            threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
+            lookahead: SimDuration::from_micros(200),
+            seed: 0x5CA1E,
+        }
+    }
+
+    /// A seconds-scale shrink of the same shape, for tests.
+    pub fn tiny() -> Self {
+        ScaleConfig {
+            shards: 8,
+            nodes_per_shard: 10,
+            frames_per_node: 3,
+            cross_frames_per_shard: 4,
+            threads: 1,
+            lookahead: SimDuration::from_micros(200),
+            seed: 0x5CA1E,
+        }
+    }
+
+    /// Total nodes across all shards.
+    pub fn nodes(&self) -> usize {
+        self.shards as usize * self.nodes_per_shard
+    }
+}
+
+/// Everything one scale run measures.
+#[derive(Debug, Clone)]
+pub struct ScaleResult {
+    /// Total nodes simulated.
+    pub nodes: usize,
+    /// Shard worlds.
+    pub shards: u16,
+    /// Worker threads used.
+    pub threads: usize,
+    /// Window-barrier rounds executed.
+    pub rounds: u64,
+    /// Events executed across all shards.
+    pub events_total: u64,
+    /// Local frames put on site SANs (summed over shards).
+    pub frames_local: u64,
+    /// Local frames delivered to their ring successor.
+    pub delivered_local: u64,
+    /// Frames that crossed a shard boundary.
+    pub frames_crossed: u64,
+    /// Cross-shard frames delivered to a gateway handler.
+    pub delivered_cross: u64,
+    /// Cross-shard frames that found no handler — must be 0.
+    pub cross_unclaimed: u64,
+    /// Payload buffers served from the freelists (vs fresh allocations).
+    pub pool_reused: u64,
+    /// Payload buffers freshly allocated.
+    pub pool_allocated: u64,
+    /// Wall-clock seconds of the window loop.
+    pub wall_seconds: f64,
+    /// Events per wall-clock second — the headline scaling number.
+    pub events_per_sec: f64,
+    /// FNV-1a fingerprint of the merged per-shard telemetry digest.
+    /// Identical across thread counts and across runs of the same
+    /// config — the determinism handle of the partitioned executor.
+    pub digest: String,
+}
+
+/// FNV-1a, 64-bit — a dependency-free fingerprint for the digest text.
+fn fnv1a(s: &str) -> u64 {
+    let mut h = 0xcbf29ce484222325u64;
+    for b in s.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// Builds one shard world of the scale workload.
+fn build_shard(cfg: &ScaleConfig, shard: u16, world: &mut SimWorld) {
+    let n = cfg.nodes_per_shard;
+    let net = world.add_network(NetworkSpec::myrinet_2000());
+    let nodes: Vec<NodeId> = (0..n)
+        .map(|i| world.add_node(&format!("s{shard}n{i}")))
+        .collect();
+    for &node in &nodes {
+        world.attach(node, net);
+    }
+
+    let pool = Rc::new(RefCell::new(FramePool::new(POOL_BUFFERS)));
+    let delivered_local = Rc::new(Cell::new(0u64));
+    let delivered_cross = Rc::new(Cell::new(0u64));
+
+    // Scrape the workload counters into the shard snapshot so the
+    // merged digest covers them and the report can aggregate them.
+    let (p2, dl2, dc2) = (
+        pool.clone(),
+        delivered_local.clone(),
+        delivered_cross.clone(),
+    );
+    world.metrics.register_collector(move |b| {
+        let s = p2.borrow().stats();
+        b.counter("scale.pool.reused", &[], s.reused);
+        b.counter("scale.pool.allocated", &[], s.allocated);
+        b.counter("scale.pool.reclaimed", &[], s.reclaimed);
+        b.counter("scale.delivered_local", &[], dl2.get());
+        b.counter("scale.delivered_cross", &[], dc2.get());
+    });
+
+    // Every node receives from its ring predecessor; payload buffers go
+    // back to the freelist on delivery.
+    for &node in &nodes {
+        let (p2, d2) = (pool.clone(), delivered_local.clone());
+        world.register_handler(node, LOCAL, move |_w, _net, f| {
+            d2.set(d2.get() + 1);
+            p2.borrow_mut().reclaim(f.payload);
+        });
+    }
+    // The gateway (node 0) also absorbs cross-shard arrivals.
+    let (p2, d2) = (pool.clone(), delivered_cross.clone());
+    world.register_handler(nodes[0], CROSS, move |_w, _net, f| {
+        d2.set(d2.get() + 1);
+        p2.borrow_mut().reclaim(f.payload);
+    });
+
+    // Local traffic: node i sends `frames_per_node` frames to node i+1,
+    // staggered so the SAN is busy across the whole run.
+    for i in 0..n {
+        let (src, dst) = (nodes[i], nodes[(i + 1) % n]);
+        for k in 0..cfg.frames_per_node {
+            let at = SimTime::from_nanos(1_000 + k * 200_000 + i as u64 * 1_900);
+            let p2 = pool.clone();
+            world.schedule_at(at, move |w| {
+                let payload = p2.borrow_mut().take(SCALE_FRAME_BYTES);
+                w.send_frame(net, Frame::new(src, dst, LOCAL, payload))
+                    .expect("scale local send");
+            });
+        }
+    }
+
+    // Cross traffic: the gateway sends to the next shard's gateway.
+    let next = (shard + 1) % cfg.shards;
+    let gw = nodes[0];
+    for k in 0..cfg.cross_frames_per_shard {
+        let at = SimTime::from_nanos(50_000 + k * 450_000);
+        let p2 = pool.clone();
+        world.schedule_at(at, move |w| {
+            let payload = p2.borrow_mut().take(SCALE_FRAME_BYTES);
+            w.send_remote(
+                next,
+                Frame::new(gw, NodeId(0), CROSS, payload),
+                SimDuration::ZERO,
+            );
+        });
+    }
+}
+
+/// Runs one scale measurement.
+pub fn scale_run(cfg: &ScaleConfig) -> ScaleResult {
+    assert!(cfg.shards >= 2, "cross traffic needs 2+ shards");
+    assert!(cfg.nodes_per_shard >= 2, "a ring needs 2+ nodes");
+    let part = Partition {
+        shards: cfg.shards,
+        threads: cfg.threads,
+        lookahead: cfg.lookahead,
+        seed: cfg.seed,
+    };
+    let report = run_partitioned(&part, |shard, world| build_shard(cfg, shard, world));
+
+    let mut frames_local = 0u64;
+    let mut delivered_local = 0u64;
+    let mut delivered_cross = 0u64;
+    let mut pool_reused = 0u64;
+    let mut pool_allocated = 0u64;
+    let mut cross_unclaimed = 0u64;
+    for o in &report.outcomes {
+        frames_local += o.snapshot.counter_total("sim.net.frames_sent");
+        delivered_local += o.snapshot.counter("scale.delivered_local").unwrap_or(0);
+        delivered_cross += o.snapshot.counter("scale.delivered_cross").unwrap_or(0);
+        pool_reused += o.snapshot.counter("scale.pool.reused").unwrap_or(0);
+        pool_allocated += o.snapshot.counter("scale.pool.allocated").unwrap_or(0);
+        cross_unclaimed += o.stats.remote_unclaimed;
+    }
+    ScaleResult {
+        nodes: cfg.nodes(),
+        shards: cfg.shards,
+        threads: report.threads,
+        rounds: report.rounds,
+        events_total: report.events_total,
+        frames_local,
+        delivered_local,
+        frames_crossed: report.frames_crossed,
+        delivered_cross,
+        cross_unclaimed,
+        pool_reused,
+        pool_allocated,
+        wall_seconds: report.wall_seconds,
+        events_per_sec: report.events_per_sec(),
+        digest: format!("{:016x}", fnv1a(&report.digest())),
+    }
+}
+
+/// Renders one [`ScaleResult`] as the `"scale"` JSON object embedded in
+/// `BENCH_multi_site.json` (no trailing comma or newline).
+pub fn scale_json_section(r: &ScaleResult) -> String {
+    format!(
+        concat!(
+            "{{\"nodes\": {}, \"shards\": {}, \"threads\": {}, \"rounds\": {}, ",
+            "\"events_total\": {}, \"frames_local\": {}, \"delivered_local\": {}, ",
+            "\"frames_crossed\": {}, \"delivered_cross\": {}, \"cross_unclaimed\": {}, ",
+            "\"pool_reused\": {}, \"pool_allocated\": {}, \"wall_seconds\": {:.3}, ",
+            "\"events_per_sec\": {:.0}, \"digest\": \"{}\"}}"
+        ),
+        r.nodes,
+        r.shards,
+        r.threads,
+        r.rounds,
+        r.events_total,
+        r.frames_local,
+        r.delivered_local,
+        r.frames_crossed,
+        r.delivered_cross,
+        r.cross_unclaimed,
+        r.pool_reused,
+        r.pool_allocated,
+        r.wall_seconds,
+        r.events_per_sec,
+        r.digest,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_scale_run_conserves_and_pools() {
+        let cfg = ScaleConfig::tiny();
+        let r = scale_run(&cfg);
+        assert_eq!(r.nodes, 80);
+        // Every local frame sent is delivered on the lossless SAN.
+        let sent = cfg.shards as u64 * cfg.nodes_per_shard as u64 * cfg.frames_per_node;
+        assert_eq!(r.frames_local, sent, "{r:?}");
+        assert_eq!(r.delivered_local, sent, "{r:?}");
+        // Every cross frame arrives at a registered gateway handler.
+        let crossed = cfg.shards as u64 * cfg.cross_frames_per_shard;
+        assert_eq!(r.frames_crossed, crossed, "{r:?}");
+        assert_eq!(r.delivered_cross, crossed, "{r:?}");
+        assert_eq!(r.cross_unclaimed, 0, "{r:?}");
+        // The freelist absorbs the steady state: most payloads reuse a
+        // retired buffer instead of allocating.
+        assert!(r.pool_reused > r.pool_allocated, "{r:?}");
+    }
+
+    #[test]
+    fn scale_digest_is_thread_count_independent() {
+        let mut cfg = ScaleConfig::tiny();
+        let a = scale_run(&cfg);
+        cfg.threads = 3;
+        let b = scale_run(&cfg);
+        assert_eq!(a.digest, b.digest);
+        assert_eq!(a.events_total, b.events_total);
+        assert_eq!(a.rounds, b.rounds);
+    }
+
+    #[test]
+    fn scale_json_section_is_balanced() {
+        let r = scale_run(&ScaleConfig::tiny());
+        let json = scale_json_section(&r);
+        assert!(json.contains("\"events_per_sec\""));
+        assert!(json.contains("\"digest\""));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+}

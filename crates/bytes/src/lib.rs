@@ -18,7 +18,11 @@ use std::sync::Arc;
 /// A cheaply cloneable, contiguous, immutable slice of memory.
 #[derive(Clone, Default)]
 pub struct Bytes {
-    buf: Arc<[u8]>,
+    // `Arc<Vec<u8>>` rather than upstream's `Arc<[u8]>`: freezing a
+    // `Vec` is then allocation-free even when capacity exceeds length,
+    // and a uniquely-owned buffer can be recovered intact via
+    // [`Bytes::try_into_vec`] for freelist reuse (`simnet::arena`).
+    buf: Arc<Vec<u8>>,
     start: usize,
     end: usize,
 }
@@ -45,10 +49,22 @@ impl Bytes {
     fn from_vec(v: Vec<u8>) -> Bytes {
         let end = v.len();
         Bytes {
-            buf: Arc::from(v.into_boxed_slice()),
+            buf: Arc::new(v),
             start: 0,
             end,
         }
+    }
+
+    /// Recovers the backing `Vec<u8>` if this handle is the sole owner
+    /// of the full buffer (no other clones or live sub-slices); the
+    /// vector keeps its capacity, so hot paths can recycle payload
+    /// allocations through a freelist. Otherwise returns `self` back.
+    pub fn try_into_vec(self) -> Result<Vec<u8>, Bytes> {
+        if self.start != 0 || self.end != self.buf.len() {
+            return Err(self);
+        }
+        let (start, end) = (self.start, self.end);
+        Arc::try_unwrap(self.buf).map_err(|buf| Bytes { buf, start, end })
     }
 
     /// Number of bytes.
@@ -522,6 +538,28 @@ mod tests {
         let head = m.split_to(2);
         assert_eq!(&head[..], &[1, 2]);
         assert_eq!(&m[..], &[3, 4, 5]);
+    }
+
+    #[test]
+    fn try_into_vec_recovers_unique_full_buffers() {
+        let mut v = Vec::with_capacity(4096);
+        v.extend_from_slice(&[9u8; 100]);
+        let b = Bytes::from(v);
+        let back = b.try_into_vec().expect("sole owner");
+        assert_eq!(back.len(), 100);
+        assert!(back.capacity() >= 4096, "capacity survives the round trip");
+
+        // A live clone blocks recovery…
+        let b = Bytes::from(vec![1u8, 2, 3]);
+        let c = b.clone();
+        let b = b.try_into_vec().unwrap_err();
+        drop(c);
+        // …until it is dropped.
+        assert_eq!(b.try_into_vec().unwrap(), vec![1, 2, 3]);
+
+        // A sub-slice is never recoverable, even when uniquely owned.
+        let s = Bytes::from(vec![1u8, 2, 3, 4]).slice(1..3);
+        assert!(s.try_into_vec().is_err());
     }
 
     #[test]

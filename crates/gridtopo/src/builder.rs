@@ -236,6 +236,35 @@ impl GridTopology {
             .collect()
     }
 
+    /// The conservative lookahead this grid affords a sharded executor:
+    /// the minimum latency of any backbone segment. Every cross-site
+    /// frame rides a backbone (gateway isolation), so its delivery is at
+    /// least this far in the future — the window the simulator can
+    /// execute sites independently within.
+    pub fn shard_lookahead(&self, world: &SimWorld) -> simnet::SimDuration {
+        self.backbones
+            .iter()
+            .map(|&id| world.network(id).spec.latency)
+            .min()
+            .unwrap_or_default()
+    }
+
+    /// Builds the site-partitioning metadata for
+    /// [`SimWorld::enable_sharding`]: every node of site `i` goes to
+    /// shard lane `i + 1` (lane 0 stays the control lane for top-level
+    /// driving and nodes admitted after the map was built), with the
+    /// lookahead from [`GridTopology::shard_lookahead`].
+    pub fn shard_map(&self, world: &SimWorld) -> simnet::ShardMap {
+        let sites = self.layout.site_count();
+        let mut map = simnet::ShardMap::new((sites + 1) as u16, self.shard_lookahead(world));
+        for site in 0..sites {
+            for &node in self.layout.site_nodes(site) {
+                map.assign(node, (site + 1) as u16);
+            }
+        }
+        map
+    }
+
     /// Recomputes the routing table (after manual topology edits). A grid
     /// on hierarchical routes recomputes through
     /// [`GridRoutes::compute_auto`] — if the edit broke gateway isolation,

@@ -1,0 +1,146 @@
+//! Freelist allocation for frame payloads.
+//!
+//! At 10⁵ nodes the simulator materializes millions of payload buffers;
+//! allocating and freeing each one individually is pure overhead since
+//! frames are immutable and short-lived. [`FramePool`] keeps a freelist
+//! of retired `Vec<u8>` buffers: the hot path takes a buffer, fills it,
+//! freezes it into [`Bytes`], and the receive handler gives the buffer
+//! back via [`FramePool::reclaim`] — possible at zero cost because the
+//! vendored [`Bytes`] exposes [`Bytes::try_into_vec`] for uniquely-owned
+//! full buffers.
+//!
+//! The pool is deliberately not wired into [`SimWorld`](crate::world::SimWorld)
+//! itself: payload lifecycle belongs to the workload, and each shard of a
+//! partitioned run owns a private pool (the pool is plain data, no
+//! interior sharing).
+
+use bytes::Bytes;
+
+/// A bounded freelist of payload buffers.
+#[derive(Debug)]
+pub struct FramePool {
+    free: Vec<Vec<u8>>,
+    max_buffers: usize,
+    stats: PoolStats,
+}
+
+/// Allocation counters of a [`FramePool`].
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Buffers handed out from the freelist.
+    pub reused: u64,
+    /// Buffers that had to be freshly allocated (freelist empty).
+    pub allocated: u64,
+    /// Buffers returned to the freelist.
+    pub reclaimed: u64,
+    /// Reclaim attempts that failed (shared or sliced payloads) or found
+    /// the freelist full.
+    pub missed: u64,
+}
+
+impl FramePool {
+    /// Creates a pool retaining at most `max_buffers` retired buffers.
+    pub fn new(max_buffers: usize) -> Self {
+        FramePool {
+            free: Vec::new(),
+            max_buffers,
+            stats: PoolStats::default(),
+        }
+    }
+
+    /// Takes a zero-filled buffer of exactly `len` bytes, reusing a
+    /// retired allocation when one is available.
+    pub fn take(&mut self, len: usize) -> Vec<u8> {
+        match self.free.pop() {
+            Some(mut buf) => {
+                self.stats.reused += 1;
+                buf.clear();
+                buf.resize(len, 0);
+                buf
+            }
+            None => {
+                self.stats.allocated += 1;
+                vec![0u8; len]
+            }
+        }
+    }
+
+    /// Tries to recover `payload`'s backing buffer into the freelist.
+    /// Returns `true` on success; shared, sliced or surplus buffers are
+    /// simply dropped (`false`).
+    pub fn reclaim(&mut self, payload: Bytes) -> bool {
+        match payload.try_into_vec() {
+            Ok(buf) if self.free.len() < self.max_buffers => {
+                self.stats.reclaimed += 1;
+                self.free.push(buf);
+                true
+            }
+            _ => {
+                self.stats.missed += 1;
+                false
+            }
+        }
+    }
+
+    /// Returns a buffer obtained via [`FramePool::take`] without it ever
+    /// having become a payload.
+    pub fn give(&mut self, buf: Vec<u8>) {
+        if self.free.len() < self.max_buffers {
+            self.stats.reclaimed += 1;
+            self.free.push(buf);
+        } else {
+            self.stats.missed += 1;
+        }
+    }
+
+    /// Buffers currently parked in the freelist.
+    pub fn free_buffers(&self) -> usize {
+        self.free.len()
+    }
+
+    /// Allocation counters.
+    pub fn stats(&self) -> PoolStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_reuses_the_allocation() {
+        let mut pool = FramePool::new(8);
+        let buf = pool.take(256);
+        assert_eq!(buf.len(), 256);
+        let payload = Bytes::from(buf);
+        assert!(pool.reclaim(payload));
+        assert_eq!(pool.free_buffers(), 1);
+        let again = pool.take(64);
+        assert_eq!(again.len(), 64);
+        let s = pool.stats();
+        assert_eq!((s.allocated, s.reused, s.reclaimed), (1, 1, 1));
+    }
+
+    #[test]
+    fn shared_payloads_are_not_reclaimed() {
+        let mut pool = FramePool::new(8);
+        let payload = Bytes::from(pool.take(16));
+        let clone = payload.clone();
+        assert!(!pool.reclaim(payload));
+        drop(clone);
+        assert_eq!(pool.free_buffers(), 0);
+        assert_eq!(pool.stats().missed, 1);
+    }
+
+    #[test]
+    fn freelist_is_bounded() {
+        let mut pool = FramePool::new(2);
+        let bufs: Vec<_> = (0..5).map(|_| pool.take(8)).collect();
+        for b in bufs {
+            pool.give(b);
+        }
+        assert_eq!(pool.free_buffers(), 2);
+        assert_eq!(pool.stats().missed, 3);
+    }
+}

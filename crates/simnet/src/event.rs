@@ -2,59 +2,67 @@
 //!
 //! Events are closures scheduled at an absolute [`SimTime`]. Ties are broken
 //! by insertion order so that the simulation is fully deterministic.
+//!
+//! The queue is backed by the hierarchical [`TimerWheel`](crate::wheel::TimerWheel)
+//! (`O(1)` insertion instead of a `BinaryHeap`'s `O(log n)`), and pops in
+//! exact `(time, seq)` order — property-tested against a heap oracle in
+//! `tests/properties.rs`.
+//!
+//! Cancellation is tombstone-based: a cancelled entry stays in the wheel
+//! until popped (and skipped) — but the queue now *compacts* itself when
+//! tombstones outnumber half the live entries, so a workload that
+//! schedules and cancels many timers (retransmit timers, stall probes,
+//! heartbeats) no longer accumulates dead entries without bound. The
+//! [`EventQueue::cancelled_pending`] stat exposes the current tombstone
+//! count.
 
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
 use std::collections::HashSet;
 
 use crate::time::SimTime;
+use crate::wheel::TimerWheel;
 use crate::world::SimWorld;
 
 /// Identifier of a scheduled event, usable to cancel it before it fires.
+///
+/// The low 48 bits are the global insertion sequence; the high 16 bits
+/// name the shard lane the event lives in (0 for the single-queue
+/// executor), so cancellation can be routed without a global lookup.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct EventId(pub(crate) u64);
+
+/// Bits of an [`EventId`] holding the insertion sequence.
+pub(crate) const SEQ_BITS: u32 = 48;
+/// Mask extracting the insertion sequence from an [`EventId`].
+pub(crate) const SEQ_MASK: u64 = (1u64 << SEQ_BITS) - 1;
+
+impl EventId {
+    pub(crate) fn new(lane: u16, seq: u64) -> Self {
+        debug_assert!(seq <= SEQ_MASK);
+        EventId(((lane as u64) << SEQ_BITS) | seq)
+    }
+    pub(crate) fn lane(self) -> u16 {
+        (self.0 >> SEQ_BITS) as u16
+    }
+    pub(crate) fn seq(self) -> u64 {
+        self.0 & SEQ_MASK
+    }
+}
 
 /// The callback type executed when an event fires.
 pub type EventFn = Box<dyn FnOnce(&mut SimWorld)>;
 
-struct Scheduled {
-    time: SimTime,
-    seq: u64,
-    id: EventId,
-    callback: EventFn,
-}
-
-impl PartialEq for Scheduled {
-    fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
-    }
-}
-impl Eq for Scheduled {}
-
-impl PartialOrd for Scheduled {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-
-impl Ord for Scheduled {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // BinaryHeap is a max-heap; invert so that the earliest event (and,
-        // at equal times, the earliest scheduled) pops first.
-        other
-            .time
-            .cmp(&self.time)
-            .then_with(|| other.seq.cmp(&self.seq))
-    }
-}
+/// Don't bother compacting tiny queues: the sweep is O(pending) and only
+/// pays off once a meaningful number of tombstones can be reclaimed.
+const COMPACT_FLOOR: usize = 64;
 
 /// Priority queue of pending events ordered by (time, insertion sequence).
 #[derive(Default)]
 pub struct EventQueue {
-    heap: BinaryHeap<Scheduled>,
+    wheel: TimerWheel<EventFn>,
     next_seq: u64,
-    cancelled: HashSet<EventId>,
+    cancelled: HashSet<u64>,
     live: usize,
+    compactions: u64,
 }
 
 impl EventQueue {
@@ -73,30 +81,37 @@ impl EventQueue {
         self.live == 0
     }
 
+    /// Number of cancelled entries still occupying the wheel (tombstones
+    /// awaiting pop-skip or compaction).
+    pub fn cancelled_pending(&self) -> usize {
+        self.wheel.len().saturating_sub(self.live)
+    }
+
+    /// How many times the queue has compacted tombstones away.
+    pub fn compactions(&self) -> u64 {
+        self.compactions
+    }
+
     /// Schedules `callback` to run at `time`. Returns an id for cancellation.
     pub fn push(&mut self, time: SimTime, callback: EventFn) -> EventId {
         let seq = self.next_seq;
         self.next_seq += 1;
-        let id = EventId(seq);
-        self.heap.push(Scheduled {
-            time,
-            seq,
-            id,
-            callback,
-        });
+        self.wheel.push(time.as_nanos(), seq, callback);
         self.live += 1;
-        id
+        EventId::new(0, seq)
     }
 
     /// Cancels a pending event. Cancelling an already-fired or unknown event
     /// is a no-op and returns `false`.
     pub fn cancel(&mut self, id: EventId) -> bool {
-        if id.0 >= self.next_seq {
+        if id.seq() >= self.next_seq {
             return false;
         }
-        if self.cancelled.insert(id) {
-            // The entry stays in the heap but will be skipped when popped.
+        if self.cancelled.insert(id.seq()) {
+            // The entry stays in the wheel but will be skipped when popped
+            // — unless tombstones pile up, in which case we compact below.
             self.live = self.live.saturating_sub(1);
+            self.maybe_compact();
             true
         } else {
             false
@@ -106,25 +121,51 @@ impl EventQueue {
     /// Time of the next live event, if any.
     pub fn next_time(&mut self) -> Option<SimTime> {
         self.skip_cancelled();
-        self.heap.peek().map(|s| s.time)
+        self.wheel.peek().map(|(t, _)| SimTime::from_nanos(t))
     }
 
     /// Pops the next live event.
     pub fn pop(&mut self) -> Option<(SimTime, EventFn)> {
         self.skip_cancelled();
-        let s = self.heap.pop()?;
+        let (t, _seq, f) = self.wheel.pop()?;
         self.live = self.live.saturating_sub(1);
-        Some((s.time, s.callback))
+        Some((SimTime::from_nanos(t), f))
     }
 
     fn skip_cancelled(&mut self) {
-        while let Some(top) = self.heap.peek() {
-            if self.cancelled.remove(&top.id) {
-                self.heap.pop();
+        while let Some((_, seq)) = self.wheel.peek() {
+            if self.cancelled.remove(&seq) {
+                self.wheel.pop();
             } else {
                 break;
             }
         }
+    }
+
+    /// Sweeps tombstones out of the wheel once they exceed half the live
+    /// entries. Cancelled ids that were found (and purged) are dropped
+    /// from the tombstone set; ids of already-fired events stay, which is
+    /// what makes double-cancel detection exact.
+    fn maybe_compact(&mut self) {
+        let tombstones = self.cancelled_pending();
+        if tombstones < COMPACT_FLOOR || tombstones * 2 <= self.live {
+            return;
+        }
+        let cancelled = &mut self.cancelled;
+        self.wheel.retain(|seq| !cancelled.remove(&seq));
+        self.compactions += 1;
+    }
+
+    /// Decomposes the queue so a sharded queue can adopt it as a lane
+    /// (wheel, next sequence, tombstones, live count, compaction count).
+    pub(crate) fn into_parts(self) -> (TimerWheel<EventFn>, u64, HashSet<u64>, usize, u64) {
+        (
+            self.wheel,
+            self.next_seq,
+            self.cancelled,
+            self.live,
+            self.compactions,
+        )
     }
 }
 
@@ -179,7 +220,9 @@ mod tests {
         assert!(!q.cancel(a), "double cancel is a no-op");
         assert!(!q.cancel(EventId(999)), "unknown id is a no-op");
         assert_eq!(q.len(), 1);
+        assert_eq!(q.cancelled_pending(), 1);
         assert_eq!(q.next_time(), Some(SimTime::from_nanos(2)));
+        assert_eq!(q.cancelled_pending(), 0, "skipped at peek");
         let mut world = SimWorld::new(0);
         while let Some((_t, f)) = q.pop() {
             f(&mut world);
@@ -194,5 +237,50 @@ mod tests {
         assert!(q.is_empty());
         assert_eq!(q.next_time(), None);
         assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn tombstones_compact_when_they_outnumber_live() {
+        let mut q = EventQueue::new();
+        let log = Rc::new(RefCell::new(Vec::new()));
+        // 300 events far in the future; cancel 2 of every 3.
+        let ids: Vec<_> = (0..300)
+            .map(|i| q.push(SimTime::from_micros(1000 + i), record(&log, i as u32)))
+            .collect();
+        for (i, id) in ids.iter().enumerate() {
+            if i % 3 != 0 {
+                assert!(q.cancel(*id));
+            }
+        }
+        assert_eq!(q.len(), 100);
+        assert!(q.compactions() >= 1, "compaction must have triggered");
+        assert!(
+            q.cancelled_pending() <= q.len(),
+            "tombstones were swept: {} pending vs {} live",
+            q.cancelled_pending(),
+            q.len()
+        );
+        // Survivors still pop in exact order.
+        let mut world = SimWorld::new(0);
+        while let Some((_t, f)) = q.pop() {
+            f(&mut world);
+        }
+        let want: Vec<u32> = (0..300).filter(|i| i % 3 == 0).collect();
+        assert_eq!(*log.borrow(), want);
+    }
+
+    #[test]
+    fn cancel_after_fire_still_reports_cancelled_once() {
+        // Legacy semantics the executor-equivalence suite depends on: the
+        // queue cannot distinguish "fired" from "pending" by id alone, so
+        // the first cancel of a fired id returns true and the second false.
+        let mut q = EventQueue::new();
+        let log = Rc::new(RefCell::new(Vec::new()));
+        let a = q.push(SimTime::from_nanos(1), record(&log, 1));
+        let mut world = SimWorld::new(0);
+        let (_t, f) = q.pop().unwrap();
+        f(&mut world);
+        assert!(q.cancel(a));
+        assert!(!q.cancel(a));
     }
 }

@@ -36,26 +36,34 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod arena;
 pub mod event;
 pub mod frame;
 pub mod loss;
 pub mod network;
 pub mod node;
 pub mod rng;
+pub mod shard;
 pub mod spec;
 pub mod stats;
 pub mod telemetry;
 pub mod time;
 pub mod topology;
 pub mod trace;
+pub mod wheel;
 pub mod world;
 
+pub use arena::{FramePool, PoolStats};
 pub use event::EventId;
 pub use frame::{Frame, ProtoId};
 pub use loss::LossModel;
 pub use network::{Network, NetworkId, SendError};
 pub use node::{Node, NodeId};
 pub use rng::SimRng;
+pub use shard::{
+    run_partitioned, Partition, PartitionReport, PartitionStats, RemoteFrame, ShardMap,
+    ShardOutcome, ShardStats, REMOTE_NET,
+};
 pub use spec::{HostProfile, NetworkClass, NetworkSpec};
 pub use stats::{NetworkStats, WorldStats};
 pub use telemetry::{
@@ -65,6 +73,7 @@ pub use telemetry::{
 };
 pub use time::{SimDuration, SimTime};
 pub use trace::{Trace, TraceRecord};
+pub use wheel::TimerWheel;
 pub use world::SimWorld;
 
 /// Convenient glob import for users of the simulator.

@@ -1,0 +1,724 @@
+//! Per-site sharding of the simulator.
+//!
+//! The paper's gateway-isolation invariant — all inter-site traffic
+//! crosses a known trunk with a known latency — is exactly the
+//! *lookahead* condition conservative parallel discrete-event simulation
+//! needs. This module exploits it twice, at two different scales:
+//!
+//! 1. **Sharded-merge executor** ([`ShardedQueue`], enabled on a normal
+//!    [`SimWorld`](crate::world::SimWorld) via
+//!    [`enable_sharding`](crate::world::SimWorld::enable_sharding)):
+//!    every site owns a private hierarchical
+//!    [`TimerWheel`](crate::wheel::TimerWheel) lane plus a virtual clock
+//!    cursor, and a lazy merge-heap of lane heads picks the global
+//!    minimum `(time, seq)`. Sequence numbers stay *global*, so the pop
+//!    order — and therefore every RNG draw, every metric, every byte of
+//!    `MetricsSnapshot::to_json()` — is bit-for-bit identical to the
+//!    single-queue executor. This is the mode the executor-equivalence
+//!    suite runs every CI scenario under.
+//!
+//! 2. **Partitioned executor** ([`run_partitioned`]): each shard is a
+//!    whole `SimWorld` owned by a worker thread (the world is built *on*
+//!    its thread — protocol stacks are `Rc`-based and never migrate).
+//!    Shards advance in conservative windows of width = the trunk
+//!    lookahead; cross-shard frames are exchanged at window barriers and
+//!    injected in a canonical `(deliver_at, from, seq)` order, so a run
+//!    with N worker threads is byte-identical to the same run with one.
+//!    This is what executes the measured 10⁵-node worlds.
+
+use std::collections::{BinaryHeap, HashSet};
+use std::sync::mpsc;
+
+use crate::event::{EventFn, EventId, EventQueue};
+use crate::frame::Frame;
+use crate::telemetry::MetricsSnapshot;
+use crate::time::{SimDuration, SimTime};
+use crate::wheel::TimerWheel;
+use crate::world::SimWorld;
+use crate::NodeId;
+
+// --------------------------------------------------------------------- //
+// Shard map: node → lane assignment plus the conservative lookahead.
+// --------------------------------------------------------------------- //
+
+/// Assignment of nodes to shard lanes, plus the lookahead window that
+/// makes cross-lane synchronization conservative.
+///
+/// Lane 0 is the *control* lane: top-level test driving, nodes admitted
+/// after the map was built, and anything unassigned. Sites occupy lanes
+/// `1..=sites`.
+#[derive(Clone, Debug)]
+pub struct ShardMap {
+    lane_of: Vec<u16>,
+    lanes: u16,
+    lookahead: SimDuration,
+}
+
+impl ShardMap {
+    /// Creates a map with `lanes` lanes (lane 0 included) and the given
+    /// lookahead — the minimum virtual-time distance of any cross-lane
+    /// frame delivery (in a gateway-isolated grid: the minimum backbone
+    /// latency).
+    pub fn new(lanes: u16, lookahead: SimDuration) -> Self {
+        assert!(lanes >= 1, "need at least the control lane");
+        ShardMap {
+            lane_of: Vec::new(),
+            lanes,
+            lookahead,
+        }
+    }
+
+    /// Assigns `node` to `lane`.
+    pub fn assign(&mut self, node: NodeId, lane: u16) {
+        assert!(lane < self.lanes, "lane {lane} out of range");
+        let idx = node.index();
+        if idx >= self.lane_of.len() {
+            self.lane_of.resize(idx + 1, 0);
+        }
+        self.lane_of[idx] = lane;
+    }
+
+    /// Lane of `node` (0 if never assigned).
+    pub fn lane_of(&self, node: NodeId) -> u16 {
+        self.lane_of.get(node.index()).copied().unwrap_or(0)
+    }
+
+    /// Number of lanes, including the control lane.
+    pub fn lanes(&self) -> u16 {
+        self.lanes
+    }
+
+    /// The conservative lookahead window.
+    pub fn lookahead(&self) -> SimDuration {
+        self.lookahead
+    }
+}
+
+/// Per-lane execution and cross-lane traffic counters for the
+/// sharded-merge executor.
+///
+/// Deliberately *not* part of [`MetricsSnapshot`]: snapshots must stay
+/// byte-identical between executors, so shard bookkeeping lives on a
+/// side channel ([`SimWorld::shard_stats`](crate::world::SimWorld::shard_stats)).
+#[derive(Clone, Debug, Default)]
+pub struct ShardStats {
+    /// Events executed per lane.
+    pub lane_events: Vec<u64>,
+    /// Frames whose delivery entered each lane from another lane.
+    pub cross_in: Vec<u64>,
+    /// Frames each lane sent to another lane.
+    pub cross_out: Vec<u64>,
+    /// Cross-lane deliveries scheduled *closer* than the lookahead
+    /// window — each one is a grid that violates gateway isolation (or a
+    /// lookahead that was derived too large). Always 0 on a conforming
+    /// topology.
+    pub lookahead_violations: u64,
+}
+
+impl ShardStats {
+    pub(crate) fn with_lanes(lanes: u16) -> Self {
+        ShardStats {
+            lane_events: vec![0; lanes as usize],
+            cross_in: vec![0; lanes as usize],
+            cross_out: vec![0; lanes as usize],
+            lookahead_violations: 0,
+        }
+    }
+
+    /// Total frames that crossed a lane boundary.
+    pub fn frames_crossed(&self) -> u64 {
+        self.cross_out.iter().sum()
+    }
+}
+
+// --------------------------------------------------------------------- //
+// Sharded event queue: per-lane timer wheels + lazy head merge.
+// --------------------------------------------------------------------- //
+
+struct Lane {
+    wheel: TimerWheel<EventFn>,
+    cancelled: HashSet<u64>,
+    live: usize,
+    compactions: u64,
+}
+
+const COMPACT_FLOOR: usize = 64;
+
+impl Lane {
+    fn new() -> Self {
+        Lane {
+            wheel: TimerWheel::new(),
+            cancelled: HashSet::new(),
+            live: 0,
+            compactions: 0,
+        }
+    }
+
+    /// `(time, seq)` of this lane's earliest live entry, discarding any
+    /// cancelled entries sitting at the head.
+    fn head(&mut self) -> Option<(u64, u64)> {
+        while let Some((t, seq)) = self.wheel.peek() {
+            if self.cancelled.remove(&seq) {
+                self.wheel.pop();
+            } else {
+                return Some((t, seq));
+            }
+        }
+        None
+    }
+
+    fn maybe_compact(&mut self) {
+        let tombstones = self.wheel.len().saturating_sub(self.live);
+        if tombstones < COMPACT_FLOOR || tombstones * 2 <= self.live {
+            return;
+        }
+        let cancelled = &mut self.cancelled;
+        self.wheel.retain(|seq| !cancelled.remove(&seq));
+        self.compactions += 1;
+    }
+}
+
+/// Merge-heap entry: the cached head of one lane. `BinaryHeap` is a
+/// max-heap, so the ordering is inverted.
+#[derive(Clone, Copy, PartialEq, Eq)]
+struct Head {
+    time: u64,
+    seq: u64,
+    lane: u16,
+}
+
+impl PartialOrd for Head {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Head {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (other.time, other.seq).cmp(&(self.time, self.seq))
+    }
+}
+
+/// Event queue sharded into per-lane timer wheels with a global
+/// insertion sequence, popping the global minimum `(time, seq)` — the
+/// exact order the single [`EventQueue`] would produce.
+pub(crate) struct ShardedQueue {
+    lanes: Vec<Lane>,
+    /// Lazily-maintained heap of (possibly stale) lane heads.
+    merge: BinaryHeap<Head>,
+    cached_head: Vec<Option<(u64, u64)>>,
+    next_seq: u64,
+    live: usize,
+}
+
+impl ShardedQueue {
+    /// Adopts an existing single queue as lane 0 and adds `lanes - 1`
+    /// empty site lanes. Previously-issued [`EventId`]s (lane bits 0)
+    /// stay valid.
+    pub(crate) fn from_single(queue: EventQueue, lanes: u16) -> Self {
+        let (wheel, next_seq, cancelled, live, compactions) = queue.into_parts();
+        let mut lane0 = Lane::new();
+        lane0.wheel = wheel;
+        lane0.cancelled = cancelled;
+        lane0.live = live;
+        lane0.compactions = compactions;
+        let mut q = ShardedQueue {
+            lanes: std::iter::once(lane0)
+                .chain((1..lanes).map(|_| Lane::new()))
+                .collect(),
+            merge: BinaryHeap::new(),
+            cached_head: vec![None; lanes as usize],
+            next_seq,
+            live,
+        };
+        for lane in 0..lanes as usize {
+            q.refresh_head(lane);
+        }
+        q
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.live
+    }
+
+    pub(crate) fn cancelled_pending(&self) -> usize {
+        self.lanes
+            .iter()
+            .map(|l| l.wheel.len().saturating_sub(l.live))
+            .sum()
+    }
+
+    pub(crate) fn compactions(&self) -> u64 {
+        self.lanes.iter().map(|l| l.compactions).sum()
+    }
+
+    fn refresh_head(&mut self, lane: usize) {
+        let h = self.lanes[lane].head();
+        if self.cached_head[lane] != h {
+            self.cached_head[lane] = h;
+            if let Some((time, seq)) = h {
+                self.merge.push(Head {
+                    time,
+                    seq,
+                    lane: lane as u16,
+                });
+            }
+        }
+    }
+
+    pub(crate) fn push(&mut self, time: SimTime, lane: u16, callback: EventFn) -> EventId {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let t = time.as_nanos();
+        let l = &mut self.lanes[lane as usize];
+        l.wheel.push(t, seq, callback);
+        l.live += 1;
+        self.live += 1;
+        if self.cached_head[lane as usize].is_none_or(|h| (t, seq) < h) {
+            self.cached_head[lane as usize] = Some((t, seq));
+            self.merge.push(Head { time: t, seq, lane });
+        }
+        EventId::new(lane, seq)
+    }
+
+    pub(crate) fn cancel(&mut self, id: EventId) -> bool {
+        let seq = id.seq();
+        if seq >= self.next_seq {
+            return false;
+        }
+        let lane = &mut self.lanes[id.lane() as usize];
+        if lane.cancelled.insert(seq) {
+            lane.live = lane.live.saturating_sub(1);
+            self.live = self.live.saturating_sub(1);
+            lane.maybe_compact();
+            true
+        } else {
+            false
+        }
+    }
+
+    /// The lane whose current head is the global minimum, validated
+    /// against the merge heap's cached entries.
+    fn min_lane(&mut self) -> Option<usize> {
+        loop {
+            let top = *self.merge.peek()?;
+            let lane = top.lane as usize;
+            let actual = self.lanes[lane].head();
+            if actual == Some((top.time, top.seq)) {
+                return Some(lane);
+            }
+            // Stale entry: the head fired, was cancelled, or was
+            // superseded by an earlier push. Discard and re-cache.
+            self.merge.pop();
+            if self.cached_head[lane] != actual {
+                self.cached_head[lane] = actual;
+                if let Some((time, seq)) = actual {
+                    self.merge.push(Head {
+                        time,
+                        seq,
+                        lane: lane as u16,
+                    });
+                }
+            }
+        }
+    }
+
+    pub(crate) fn next_time(&mut self) -> Option<SimTime> {
+        let lane = self.min_lane()?;
+        self.cached_head[lane].map(|(t, _)| SimTime::from_nanos(t))
+    }
+
+    pub(crate) fn pop(&mut self) -> Option<(SimTime, u16, EventFn)> {
+        let lane = self.min_lane()?;
+        self.merge.pop();
+        let (t, _seq, f) = self.lanes[lane].wheel.pop().expect("validated head");
+        self.lanes[lane].live -= 1;
+        self.live -= 1;
+        self.cached_head[lane] = None;
+        self.refresh_head(lane);
+        Some((SimTime::from_nanos(t), lane as u16, f))
+    }
+}
+
+// --------------------------------------------------------------------- //
+// Partitioned executor: thread-per-shard worlds, conservative windows.
+// --------------------------------------------------------------------- //
+
+/// The sentinel network id handed to handlers for frames that arrived
+/// from another shard (there is no local [`Network`](crate::network::Network)
+/// behind it — handlers must not index the world's network table with it).
+pub const REMOTE_NET: crate::NetworkId = crate::NetworkId(u32::MAX);
+
+/// A frame in flight between two shard worlds.
+#[derive(Clone, Debug)]
+pub struct RemoteFrame {
+    /// Destination shard.
+    pub to: u16,
+    /// Source shard.
+    pub from: u16,
+    /// Source-shard send sequence (canonical injection tie-break).
+    pub seq: u64,
+    /// Absolute virtual delivery time (≥ send time + lookahead).
+    pub deliver_at: SimTime,
+    /// The frame itself; delivered to the `(dst, proto)` handler in the
+    /// destination world with [`REMOTE_NET`] as the network id.
+    pub frame: Frame,
+}
+
+/// Cross-shard traffic counters of one partitioned world
+/// ([`SimWorld::partition_stats`](crate::world::SimWorld::partition_stats)).
+#[derive(Clone, Debug, Default)]
+pub struct PartitionStats {
+    /// This world's shard index.
+    pub shard: u16,
+    /// Remote frames injected into this world.
+    pub cross_in: u64,
+    /// Remote frames this world emitted.
+    pub cross_out: u64,
+    /// Remote frames that arrived with no handler registered.
+    pub remote_unclaimed: u64,
+}
+
+/// Configuration for [`run_partitioned`].
+#[derive(Clone, Debug)]
+pub struct Partition {
+    /// Number of shard worlds.
+    pub shards: u16,
+    /// Worker threads (shard `s` is owned by worker `s % threads`).
+    pub threads: usize,
+    /// Conservative window width; must be a lower bound on every
+    /// cross-shard delivery latency, and must be non-zero.
+    pub lookahead: SimDuration,
+    /// Base RNG seed; shard `s` runs on `seed + s`.
+    pub seed: u64,
+}
+
+/// What one shard world looked like at quiescence.
+pub struct ShardOutcome {
+    /// Shard index.
+    pub shard: u16,
+    /// Final virtual clock.
+    pub final_now: SimTime,
+    /// Events executed by this world.
+    pub events_executed: u64,
+    /// Cross-shard counters.
+    pub stats: PartitionStats,
+    /// Full telemetry snapshot of this world.
+    pub snapshot: MetricsSnapshot,
+}
+
+/// Result of a partitioned run.
+pub struct PartitionReport {
+    /// Per-shard outcomes, ordered by shard index.
+    pub outcomes: Vec<ShardOutcome>,
+    /// Barrier rounds executed.
+    pub rounds: u64,
+    /// Total events executed across all shards.
+    pub events_total: u64,
+    /// Total frames exchanged between shards.
+    pub frames_crossed: u64,
+    /// Wall-clock seconds spent in the window loop.
+    pub wall_seconds: f64,
+    /// Worker threads used.
+    pub threads: usize,
+}
+
+impl PartitionReport {
+    /// Virtual events per wall-clock second.
+    pub fn events_per_sec(&self) -> f64 {
+        if self.wall_seconds > 0.0 {
+            self.events_total as f64 / self.wall_seconds
+        } else {
+            0.0
+        }
+    }
+
+    /// Deterministic digest of the entire run — per-shard clocks,
+    /// counters and full snapshots, excluding wall-clock fields. Two
+    /// runs of the same partition spec must produce equal digests
+    /// regardless of thread count.
+    pub fn digest(&self) -> String {
+        crate::telemetry::merged_digest(self.outcomes.iter().map(|o| {
+            let header = format!(
+                "shard={} now={} events={} cross_in={} cross_out={} unclaimed={}",
+                o.shard,
+                o.final_now.as_nanos(),
+                o.events_executed,
+                o.stats.cross_in,
+                o.stats.cross_out,
+                o.stats.remote_unclaimed,
+            );
+            (header, &o.snapshot)
+        }))
+    }
+}
+
+enum Go {
+    Round {
+        horizon: SimTime,
+        frames: Vec<RemoteFrame>,
+    },
+    Finish,
+}
+
+struct Done {
+    worker: usize,
+    outbox: Vec<RemoteFrame>,
+    next_time: Option<SimTime>,
+    executed_delta: u64,
+}
+
+/// Runs `cfg.shards` independent shard worlds to quiescence under
+/// conservative window synchronization.
+///
+/// `build` is called once per shard *on the worker thread that owns it*
+/// (worlds are `Rc`-ridden and never cross threads) to populate nodes,
+/// handlers and initial events; it may immediately use
+/// [`SimWorld::send_remote`](crate::world::SimWorld::send_remote).
+///
+/// The run is deterministic: for a fixed `cfg` (threads excluded) and
+/// `build`, the merged [`PartitionReport::digest`] is byte-identical
+/// whatever `cfg.threads` is.
+pub fn run_partitioned<B>(cfg: &Partition, build: B) -> PartitionReport
+where
+    B: Fn(u16, &mut SimWorld) + Send + Sync,
+{
+    assert!(cfg.shards >= 1, "need at least one shard");
+    assert!(
+        cfg.lookahead > SimDuration::ZERO,
+        "conservative sync needs a non-zero lookahead"
+    );
+    let threads = cfg.threads.clamp(1, cfg.shards as usize);
+    let build = &build;
+
+    let mut to_workers: Vec<mpsc::Sender<Go>> = Vec::with_capacity(threads);
+    let (done_tx, done_rx) = mpsc::channel::<Done>();
+    let (final_tx, final_rx) = mpsc::channel::<Vec<ShardOutcome>>();
+
+    let mut rounds = 0u64;
+    let mut events_total = 0u64;
+    let mut frames_crossed = 0u64;
+    let started = std::time::Instant::now();
+
+    let mut outcomes: Vec<ShardOutcome> = Vec::with_capacity(cfg.shards as usize);
+    std::thread::scope(|scope| {
+        for worker in 0..threads {
+            let (tx, rx) = mpsc::channel::<Go>();
+            to_workers.push(tx);
+            let done_tx = done_tx.clone();
+            let final_tx = final_tx.clone();
+            let owned: Vec<u16> = (0..cfg.shards)
+                .filter(|s| *s as usize % threads == worker)
+                .collect();
+            let (seed, lookahead) = (cfg.seed, cfg.lookahead);
+            scope.spawn(move || {
+                let mut worlds: Vec<(u16, SimWorld, u64)> = owned
+                    .iter()
+                    .map(|&s| {
+                        let mut w = SimWorld::new(seed.wrapping_add(s as u64));
+                        w.enable_partition(s, lookahead);
+                        build(s, &mut w);
+                        (s, w, 0u64)
+                    })
+                    .collect();
+                while let Ok(go) = rx.recv() {
+                    match go {
+                        Go::Round { horizon, frames } => {
+                            let mut outbox = Vec::new();
+                            let mut next_time: Option<SimTime> = None;
+                            let mut executed_delta = 0u64;
+                            for (sid, world, seen) in worlds.iter_mut() {
+                                for rf in frames.iter().filter(|rf| rf.to == *sid) {
+                                    world.inject_remote(rf.clone());
+                                }
+                                world.run_before(horizon);
+                                let executed = world.stats.events_executed;
+                                executed_delta += executed - *seen;
+                                *seen = executed;
+                                outbox.append(&mut world.take_remote_outbox());
+                                next_time = match (next_time, world.next_event_time()) {
+                                    (Some(a), Some(b)) => Some(a.min(b)),
+                                    (a, b) => a.or(b),
+                                };
+                            }
+                            done_tx
+                                .send(Done {
+                                    worker,
+                                    outbox,
+                                    next_time,
+                                    executed_delta,
+                                })
+                                .expect("coordinator alive");
+                        }
+                        Go::Finish => {
+                            let outcomes: Vec<ShardOutcome> = worlds
+                                .iter()
+                                .map(|(s, w, _)| ShardOutcome {
+                                    shard: *s,
+                                    final_now: w.now(),
+                                    events_executed: w.stats.events_executed,
+                                    stats: w.partition_stats().cloned().unwrap_or_default(),
+                                    snapshot: w.metrics_snapshot(),
+                                })
+                                .collect();
+                            final_tx.send(outcomes).expect("coordinator alive");
+                            break;
+                        }
+                    }
+                }
+            });
+        }
+
+        // Coordinator: barrier rounds until every shard is quiescent and
+        // no frames are in transit.
+        let mut transit: Vec<RemoteFrame> = Vec::new();
+        let mut horizon = SimTime::ZERO; // first round executes nothing, just reports
+        loop {
+            // Route in-transit frames to their owning workers in the
+            // canonical order (sorted below before being moved here).
+            for (worker, tx) in to_workers.iter().enumerate() {
+                let frames: Vec<RemoteFrame> = transit
+                    .iter()
+                    .filter(|rf| rf.to as usize % threads == worker)
+                    .cloned()
+                    .collect();
+                tx.send(Go::Round { horizon, frames })
+                    .expect("worker alive");
+            }
+            transit.clear();
+            rounds += 1;
+
+            let mut next_time: Option<SimTime> = None;
+            for _ in 0..threads {
+                let done = done_rx.recv().expect("worker alive");
+                let _ = done.worker;
+                events_total += done.executed_delta;
+                frames_crossed += done.outbox.len() as u64;
+                transit.extend(done.outbox);
+                next_time = match (next_time, done.next_time) {
+                    (Some(a), Some(b)) => Some(a.min(b)),
+                    (a, b) => a.or(b),
+                };
+            }
+            // Earliest thing that can still happen anywhere: a pending
+            // local event, or an in-transit frame (which becomes an event
+            // at its delivery time).
+            let earliest = transit
+                .iter()
+                .map(|rf| rf.deliver_at)
+                .chain(next_time)
+                .min();
+            let Some(earliest) = earliest else {
+                break; // fully quiescent
+            };
+            // Canonical injection order — this is what makes the run
+            // independent of thread count and scheduling.
+            transit.sort_by_key(|rf| (rf.deliver_at, rf.from, rf.seq));
+            // Any event below earliest + lookahead cannot be affected by
+            // a cross-shard frame generated at or after `earliest`.
+            horizon = earliest + cfg.lookahead;
+        }
+        for tx in &to_workers {
+            tx.send(Go::Finish).expect("worker alive");
+        }
+        for _ in 0..threads {
+            outcomes.extend(final_rx.recv().expect("worker alive"));
+        }
+    });
+    outcomes.sort_by_key(|o| o.shard);
+
+    PartitionReport {
+        outcomes,
+        rounds,
+        events_total,
+        frames_crossed,
+        wall_seconds: started.elapsed().as_secs_f64(),
+        threads,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::ProtoId;
+    use crate::spec::NetworkSpec;
+    use std::cell::Cell;
+    use std::rc::Rc;
+
+    /// A two-shard ping-pong over the remote channel: shard 0 sends N
+    /// pings, shard 1 pongs each back.
+    fn ping_pong(threads: usize) -> PartitionReport {
+        let cfg = Partition {
+            shards: 2,
+            threads,
+            lookahead: SimDuration::from_micros(50),
+            seed: 7,
+        };
+        run_partitioned(&cfg, |shard, world| {
+            let node = world.add_node(&format!("gw{shard}"));
+            let peer = 1 - shard;
+            let count = Rc::new(Cell::new(0u32));
+            world.register_handler(node, ProtoId::user(0), move |w, net, f| {
+                assert_eq!(net, REMOTE_NET);
+                count.set(count.get() + 1);
+                if count.get() < 10 {
+                    let reply = Frame::new(f.dst, f.src, ProtoId::user(0), vec![0u8; 64]);
+                    w.send_remote(peer, reply, SimDuration::ZERO);
+                }
+            });
+            if shard == 0 {
+                world.schedule_at(SimTime::from_nanos(10), move |w| {
+                    let f = Frame::new(node, NodeId(0), ProtoId::user(0), vec![0u8; 64]);
+                    w.send_remote(peer, f, SimDuration::ZERO);
+                });
+            }
+        })
+    }
+
+    #[test]
+    fn partitioned_ping_pong_converges_and_conserves() {
+        let r = ping_pong(2);
+        assert_eq!(r.outcomes.len(), 2);
+        let total_out: u64 = r.outcomes.iter().map(|o| o.stats.cross_out).sum();
+        let total_in: u64 = r.outcomes.iter().map(|o| o.stats.cross_in).sum();
+        assert_eq!(total_out, total_in, "no frame lost in transit");
+        assert_eq!(r.frames_crossed, total_out);
+        assert!(r.frames_crossed >= 19, "10 pings + 9 pongs crossed");
+    }
+
+    #[test]
+    fn thread_count_does_not_change_the_run() {
+        let a = ping_pong(1).digest();
+        let b = ping_pong(2).digest();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn local_traffic_runs_inside_a_shard() {
+        let cfg = Partition {
+            shards: 3,
+            threads: 2,
+            lookahead: SimDuration::from_micros(10),
+            seed: 1,
+        };
+        let r = run_partitioned(&cfg, |_shard, world| {
+            let a = world.add_node("a");
+            let b = world.add_node("b");
+            let net = world.add_network(NetworkSpec::myrinet_2000());
+            world.attach(a, net);
+            world.attach(b, net);
+            let got = Rc::new(Cell::new(0u32));
+            let g = got.clone();
+            world.register_handler(b, ProtoId::user(1), move |_w, _n, _f| {
+                g.set(g.get() + 1);
+            });
+            for _ in 0..5 {
+                world
+                    .send_frame(net, Frame::new(a, b, ProtoId::user(1), vec![0u8; 128]))
+                    .unwrap();
+            }
+        });
+        assert_eq!(r.outcomes.len(), 3);
+        assert_eq!(r.frames_crossed, 0);
+        assert!(r.events_total >= 15, "5 deliveries per shard");
+    }
+}

@@ -362,6 +362,23 @@ impl MetricsSnapshot {
     }
 }
 
+/// Concatenates labeled snapshots into one deterministic digest string —
+/// the comparison surface for partitioned executor runs, where each
+/// shard world produces its own snapshot and "bit-for-bit identical"
+/// must hold over the whole fleet, not one world.
+///
+/// The caller supplies parts in a canonical order (e.g. sorted by shard
+/// index); the digest is exactly `<header>\n<snapshot JSON>` per part.
+pub fn merged_digest<'a>(parts: impl Iterator<Item = (String, &'a MetricsSnapshot)>) -> String {
+    let mut out = String::new();
+    for (header, snapshot) in parts {
+        out.push_str(&header);
+        out.push('\n');
+        out.push_str(&snapshot.to_json());
+    }
+    out
+}
+
 // --------------------------------------------------------------------- //
 // Registry
 // --------------------------------------------------------------------- //

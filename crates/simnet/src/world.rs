@@ -20,6 +20,7 @@ use crate::frame::{Frame, ProtoId};
 use crate::network::{Network, NetworkId, SendError};
 use crate::node::{Node, NodeId};
 use crate::rng::SimRng;
+use crate::shard::{PartitionStats, RemoteFrame, ShardMap, ShardStats, ShardedQueue, REMOTE_NET};
 use crate::spec::{HostProfile, NetworkSpec};
 use crate::stats::WorldStats;
 use crate::telemetry::{EventRing, MetricsRegistry, MetricsSnapshot, SnapshotBuilder, TraceEvent};
@@ -29,10 +30,83 @@ use crate::trace::Trace;
 /// Receive handler invoked when a frame is delivered to a node.
 pub type FrameHandler = Rc<RefCell<dyn FnMut(&mut SimWorld, NetworkId, Frame)>>;
 
+/// The event queue behind the world: either the classic single queue or
+/// the per-site sharded-merge queue. Both pop in the same global
+/// `(time, seq)` order, so the choice is invisible to everything above.
+enum Queue {
+    Single(EventQueue),
+    Sharded(ShardedQueue),
+}
+
+impl Queue {
+    fn push(&mut self, t: SimTime, lane: u16, f: EventFn) -> EventId {
+        match self {
+            Queue::Single(q) => q.push(t, f),
+            Queue::Sharded(q) => q.push(t, lane, f),
+        }
+    }
+    fn cancel(&mut self, id: EventId) -> bool {
+        match self {
+            Queue::Single(q) => q.cancel(id),
+            Queue::Sharded(q) => q.cancel(id),
+        }
+    }
+    fn next_time(&mut self) -> Option<SimTime> {
+        match self {
+            Queue::Single(q) => q.next_time(),
+            Queue::Sharded(q) => q.next_time(),
+        }
+    }
+    fn pop(&mut self) -> Option<(SimTime, u16, EventFn)> {
+        match self {
+            Queue::Single(q) => q.pop().map(|(t, f)| (t, 0, f)),
+            Queue::Sharded(q) => q.pop(),
+        }
+    }
+    fn len(&self) -> usize {
+        match self {
+            Queue::Single(q) => q.len(),
+            Queue::Sharded(q) => q.len(),
+        }
+    }
+    fn cancelled_pending(&self) -> usize {
+        match self {
+            Queue::Single(q) => q.cancelled_pending(),
+            Queue::Sharded(q) => q.cancelled_pending(),
+        }
+    }
+    fn compactions(&self) -> u64 {
+        match self {
+            Queue::Single(q) => q.compactions(),
+            Queue::Sharded(q) => q.compactions(),
+        }
+    }
+}
+
+/// Sharded-merge executor state (see [`SimWorld::enable_sharding`]).
+struct ShardState {
+    map: ShardMap,
+    stats: ShardStats,
+    /// Lane of the event currently executing; inherited by anything it
+    /// schedules. Lane 0 between events (top-level test driving).
+    current_lane: u16,
+}
+
+/// Partitioned executor state (see [`SimWorld::enable_partition`]).
+struct PartitionState {
+    shard: u16,
+    lookahead: SimDuration,
+    out_seq: u64,
+    outbox: Vec<RemoteFrame>,
+    stats: PartitionStats,
+}
+
 /// The discrete-event simulation world.
 pub struct SimWorld {
     clock: SimTime,
-    queue: EventQueue,
+    queue: Queue,
+    shard: Option<Box<ShardState>>,
+    partition: Option<Box<PartitionState>>,
     rng: SimRng,
     nodes: Vec<Node>,
     networks: Vec<Network>,
@@ -58,7 +132,9 @@ impl SimWorld {
     pub fn new(seed: u64) -> Self {
         SimWorld {
             clock: SimTime::ZERO,
-            queue: EventQueue::new(),
+            queue: Queue::Single(EventQueue::new()),
+            shard: None,
+            partition: None,
             rng: SimRng::seeded(seed),
             nodes: Vec::new(),
             networks: Vec::new(),
@@ -90,7 +166,8 @@ impl SimWorld {
     pub fn schedule_at(&mut self, t: SimTime, f: impl FnOnce(&mut SimWorld) + 'static) -> EventId {
         let t = t.max(self.clock);
         self.stats.events_scheduled += 1;
-        self.queue.push(t, Box::new(f) as EventFn)
+        let lane = self.shard.as_ref().map_or(0, |s| s.current_lane);
+        self.queue.push(t, lane, Box::new(f) as EventFn)
     }
 
     /// Schedules `f` to run after the duration `d`.
@@ -117,6 +194,22 @@ impl SimWorld {
         self.queue.len()
     }
 
+    /// Cancelled events still occupying queue slots (tombstones awaiting
+    /// pop-skip or compaction).
+    pub fn cancelled_pending(&self) -> usize {
+        self.queue.cancelled_pending()
+    }
+
+    /// How many tombstone compaction sweeps the queue has performed.
+    pub fn queue_compactions(&self) -> u64 {
+        self.queue.compactions()
+    }
+
+    /// Time of the earliest pending event, if any.
+    pub fn next_event_time(&mut self) -> Option<SimTime> {
+        self.queue.next_time()
+    }
+
     // ----------------------------------------------------------------- //
     // Execution
     // ----------------------------------------------------------------- //
@@ -125,10 +218,16 @@ impl SimWorld {
     /// empty.
     pub fn step(&mut self) -> bool {
         match self.queue.pop() {
-            Some((t, f)) => {
+            Some((t, lane, f)) => {
                 debug_assert!(t >= self.clock, "time must be monotonic");
                 self.clock = t;
                 self.stats.events_executed += 1;
+                if let Some(s) = self.shard.as_deref_mut() {
+                    s.current_lane = lane;
+                    if let Some(n) = s.stats.lane_events.get_mut(lane as usize) {
+                        *n += 1;
+                    }
+                }
                 f(self);
                 true
             }
@@ -186,6 +285,27 @@ impl SimWorld {
     pub fn run_while(&mut self, mut keep_going: impl FnMut() -> bool) {
         let mut executed = 0u64;
         while keep_going() && self.step() {
+            executed += 1;
+            if let Some(cap) = self.max_events_per_run {
+                assert!(
+                    executed <= cap,
+                    "simulation exceeded the safety cap of {cap} events"
+                );
+            }
+        }
+    }
+
+    /// Runs every event with time *strictly before* `t`, leaving the
+    /// clock at the last executed event (it is not advanced to `t`).
+    /// This is the window primitive of the partitioned executor: a shard
+    /// executes its safe window `[now, horizon)` and stops.
+    pub fn run_before(&mut self, t: SimTime) {
+        let mut executed = 0u64;
+        while let Some(next) = self.queue.next_time() {
+            if next >= t {
+                break;
+            }
+            self.step();
             executed += 1;
             if let Some(cap) = self.max_events_per_run {
                 assert!(
@@ -398,14 +518,170 @@ impl SimWorld {
             return Ok(());
         }
 
+        // Under the sharded-merge executor the delivery event belongs to
+        // the destination's lane; a lane crossing is counted and checked
+        // against the lookahead window (both always satisfied on a
+        // gateway-isolated grid — the invariant the sharding stands on).
+        let lane = match self.shard.as_deref_mut() {
+            Some(s) => {
+                let src_lane = s.map.lane_of(frame.src);
+                let dst_lane = s.map.lane_of(frame.dst);
+                if src_lane != dst_lane {
+                    s.stats.cross_out[src_lane as usize] += 1;
+                    s.stats.cross_in[dst_lane as usize] += 1;
+                    if src_lane != 0 && dst_lane != 0 && delivery_time < now + s.map.lookahead() {
+                        s.stats.lookahead_violations += 1;
+                    }
+                }
+                dst_lane
+            }
+            None => 0,
+        };
         self.stats.events_scheduled += 1;
         self.queue.push(
             delivery_time,
+            lane,
             Box::new(move |world: &mut SimWorld| {
                 world.deliver(network, frame);
             }),
         );
         Ok(())
+    }
+
+    // ----------------------------------------------------------------- //
+    // Executors: per-site sharding and partitioned worlds
+    // ----------------------------------------------------------------- //
+
+    /// Switches this world to the sharded-merge executor: per-lane timer
+    /// wheels with a global sequence, popping the identical global
+    /// `(time, seq)` order as the single queue — every RNG draw, metric
+    /// and snapshot byte stays the same (asserted by
+    /// `tests/executor_equivalence.rs`).
+    ///
+    /// The existing queue (with any already-scheduled events) becomes
+    /// lane 0, so previously-issued [`EventId`]s remain cancellable.
+    /// Typically called right after the grid is built, with the map from
+    /// `GridTopology::shard_map`.
+    pub fn enable_sharding(&mut self, map: ShardMap) {
+        assert!(self.shard.is_none(), "sharding already enabled");
+        assert!(
+            self.partition.is_none(),
+            "a partitioned world is already a shard; it cannot be sharded again"
+        );
+        let single = std::mem::replace(&mut self.queue, Queue::Single(EventQueue::new()));
+        let Queue::Single(q) = single else {
+            unreachable!("shard is None implies a single queue")
+        };
+        self.queue = Queue::Sharded(ShardedQueue::from_single(q, map.lanes()));
+        let stats = ShardStats::with_lanes(map.lanes());
+        self.shard = Some(Box::new(ShardState {
+            map,
+            stats,
+            current_lane: 0,
+        }));
+    }
+
+    /// Per-lane execution and cross-lane traffic counters, if the
+    /// sharded-merge executor is enabled. Kept out of
+    /// [`SimWorld::metrics_snapshot`] on purpose: snapshots must stay
+    /// byte-identical across executors.
+    pub fn shard_stats(&self) -> Option<&ShardStats> {
+        self.shard.as_ref().map(|s| &s.stats)
+    }
+
+    /// Which executor this world runs on: `"single"`, `"sharded"` or
+    /// `"partitioned"`.
+    pub fn executor_kind(&self) -> &'static str {
+        if self.partition.is_some() {
+            "partitioned"
+        } else if self.shard.is_some() {
+            "sharded"
+        } else {
+            "single"
+        }
+    }
+
+    /// Marks this world as shard `shard` of a partitioned run with the
+    /// given conservative lookahead. Normally called by
+    /// [`run_partitioned`](crate::shard::run_partitioned), not directly.
+    pub fn enable_partition(&mut self, shard: u16, lookahead: SimDuration) {
+        assert!(self.partition.is_none(), "partition already enabled");
+        assert!(self.shard.is_none(), "cannot partition a sharded world");
+        self.partition = Some(Box::new(PartitionState {
+            shard,
+            lookahead,
+            out_seq: 0,
+            outbox: Vec::new(),
+            stats: PartitionStats {
+                shard,
+                ..PartitionStats::default()
+            },
+        }));
+    }
+
+    /// Emits `frame` towards another shard world. Delivery happens at
+    /// `now + max(extra_delay, lookahead)` — the lookahead floor is what
+    /// keeps conservative window synchronization safe. The frame reaches
+    /// the destination world's `(frame.dst, frame.proto)` handler with
+    /// [`REMOTE_NET`](crate::shard::REMOTE_NET) as the network id.
+    pub fn send_remote(&mut self, to_shard: u16, frame: Frame, extra_delay: SimDuration) {
+        let now = self.clock;
+        let p = self
+            .partition
+            .as_deref_mut()
+            .expect("send_remote requires enable_partition");
+        let deliver_at = now + extra_delay.max(p.lookahead);
+        let seq = p.out_seq;
+        p.out_seq += 1;
+        p.stats.cross_out += 1;
+        p.outbox.push(RemoteFrame {
+            to: to_shard,
+            from: p.shard,
+            seq,
+            deliver_at,
+            frame,
+        });
+    }
+
+    /// Drains the frames queued by [`SimWorld::send_remote`] since the
+    /// last call (the window-barrier exchange).
+    pub fn take_remote_outbox(&mut self) -> Vec<RemoteFrame> {
+        self.partition
+            .as_deref_mut()
+            .map(|p| std::mem::take(&mut p.outbox))
+            .unwrap_or_default()
+    }
+
+    /// Schedules an in-transit remote frame for delivery in this world.
+    pub fn inject_remote(&mut self, rf: RemoteFrame) {
+        let p = self
+            .partition
+            .as_deref_mut()
+            .expect("inject_remote requires enable_partition");
+        p.stats.cross_in += 1;
+        let frame = rf.frame;
+        self.schedule_at(rf.deliver_at, move |world| {
+            world.deliver_remote(frame);
+        });
+    }
+
+    /// Cross-shard traffic counters, if this world is a partition shard.
+    pub fn partition_stats(&self) -> Option<&PartitionStats> {
+        self.partition.as_ref().map(|p| &p.stats)
+    }
+
+    fn deliver_remote(&mut self, frame: Frame) {
+        let key = (frame.dst, frame.proto);
+        match self.handlers.get(&key).cloned() {
+            Some(handler) => {
+                handler.borrow_mut()(self, REMOTE_NET, frame);
+            }
+            None => {
+                if let Some(p) = self.partition.as_deref_mut() {
+                    p.stats.remote_unclaimed += 1;
+                }
+            }
+        }
     }
 
     // ----------------------------------------------------------------- //
