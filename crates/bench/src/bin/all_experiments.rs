@@ -155,7 +155,42 @@ fn main() {
         "scale | {} nodes / {} shards | {:.0} events/s | digest {}",
         scale.nodes, scale.shards, scale.events_per_sec, scale.digest,
     );
-    match write_multi_site_json(&results, &incast, &failover, &churn, Some(&scale)) {
+    use padico_bench::fullstack::{
+        compare_windows, mirror_equivalence, threads_table, FullStackReport, MirrorConfig,
+        RingConfig,
+    };
+    let equivalence = mirror_equivalence(&MirrorConfig::smoke());
+    println!(
+        "fullstack equivalence | identical: {} | {} rounds | {} crossed",
+        equivalence.identical, equivalence.rounds, equivalence.frames_crossed,
+    );
+    let hundred_k = RingConfig::hundred_k();
+    let (ring_global, ring_per_trunk) = compare_windows(&hundred_k);
+    println!(
+        "fullstack ring | {} nodes | global {} rounds {:.0} ev/s | per-trunk {} rounds {:.0} ev/s",
+        ring_global.nodes,
+        ring_global.rounds,
+        ring_global.events_per_sec,
+        ring_per_trunk.rounds,
+        ring_per_trunk.events_per_sec,
+    );
+    // The 10⁶-node row is deliberately omitted here (it alone takes
+    // ~minutes); the canonical artifact with that row comes from the
+    // `multi_site` main sweep.
+    let table = threads_table(&hundred_k, &[1, 2, 4, hundred_k.threads.max(4)]);
+    let fullstack = FullStackReport {
+        equivalence,
+        rows: vec![ring_global, ring_per_trunk],
+        threads_table: table,
+    };
+    match write_multi_site_json(
+        &results,
+        &incast,
+        &failover,
+        &churn,
+        Some(&scale),
+        Some(&fullstack),
+    ) {
         Ok(path) => println!("wrote {path}"),
         Err(e) => eprintln!("failed to write BENCH_multi_site.json: {e}"),
     }

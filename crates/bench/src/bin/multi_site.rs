@@ -24,6 +24,10 @@
 //! bitrot guards.
 
 use gridtopo::BackpressureMode;
+use padico_bench::fullstack::{
+    compare_windows, fullstack_json_section, mirror_equivalence, threads_table, FullStackReport,
+    MirrorConfig, RingConfig, WindowMode,
+};
 use padico_bench::{
     churn_json_row, churn_run, churn_snapshot, churn_sweep, conservation_violations,
     failover_metrics, failover_run, failover_sweep, incast_run, incast_sweep, multi_site_sweep,
@@ -34,17 +38,24 @@ use padico_bench::{
 /// sustain (conservative: CI runners may be single-core).
 const SCALE_EVENTS_PER_SEC_FLOOR: f64 = 50_000.0;
 
+/// Minimum events per wall-clock second for the full-stack smoke ring.
+/// Lower than the synthetic floor: every event here runs real selector,
+/// relay and credit machinery, and CI builds the smoke lane in debug.
+const FULLSTACK_EVENTS_PER_SEC_FLOOR: f64 = 10_000.0;
+
+/// Executor-internal bookkeeping keys excluded from byte-identity
+/// comparisons — lane layout legitimately differs between queue
+/// organizations while all observable telemetry must not.
+const EXEC_KEYS: &[&str] = &["sim.executor."];
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     if args.iter().any(|a| a == "--scale-smoke") {
         let r = scale_run(&ScaleConfig::hundred_k());
-        let path = "BENCH_scale_smoke.json";
-        std::fs::write(path, format!("{}\n", scale_json_section(&r)))
-            .expect("write scale artifact");
         println!(
             "scale smoke: {} nodes across {} shards on {} threads, \
              {} events in {:.2}s ({:.0} events/s), {} cross-shard frames, \
-             digest {} -> {path}",
+             digest {}",
             r.nodes,
             r.shards,
             r.threads,
@@ -79,12 +90,123 @@ fn main() {
         // Quick executor-equivalence gate on a seeded CI scenario: the
         // sharded-merge executor must be byte-identical to the single
         // queue (the full seed sweep runs in tests/executor_equivalence.rs).
-        let single = churn_snapshot(3, 2, 0xC09E, Executor::Single).to_json();
-        let sharded = churn_snapshot(3, 2, 0xC09E, Executor::ShardedMerge).to_json();
+        let single = churn_snapshot(3, 2, 0xC09E, Executor::Single).to_json_excluding(EXEC_KEYS);
+        let sharded =
+            churn_snapshot(3, 2, 0xC09E, Executor::ShardedMerge).to_json_excluding(EXEC_KEYS);
         if single != sharded {
             eprintln!("FAIL: sharded-merge executor diverged from the single queue");
             failed = true;
         }
+
+        // Full-stack partitioned scenario: the real relay/credit/selector
+        // machinery sharded per site must be byte-identical to the single
+        // queue, conserve every cross-boundary frame, and hold the same
+        // digest under both window modes and every thread count.
+        let eq = mirror_equivalence(&MirrorConfig::smoke());
+        println!(
+            "fullstack equivalence: identical {}, {} frames delivered, \
+             {} crossed ({} out / {} in), {} rounds",
+            eq.identical, eq.delivered, eq.frames_crossed, eq.cross_out, eq.cross_in, eq.rounds,
+        );
+        if !eq.identical {
+            eprintln!("FAIL: full-stack partitioned snapshot diverged from the single queue");
+            failed = true;
+        }
+        if eq.delivered != eq.frames_total {
+            eprintln!(
+                "FAIL: full-stack delivery incomplete ({}/{})",
+                eq.delivered, eq.frames_total
+            );
+            failed = true;
+        }
+        if eq.lookahead_violations > 0 {
+            eprintln!(
+                "FAIL: {} lookahead violations in the full-stack run",
+                eq.lookahead_violations
+            );
+            failed = true;
+        }
+        for violation in &eq.conservation {
+            eprintln!("FAIL: {violation}");
+            failed = true;
+        }
+
+        let ring = RingConfig::smoke();
+        let (ring_global, ring_per_trunk) = compare_windows(&ring);
+        let table = threads_table(&ring, &[1, 2, ring.threads.max(2)]);
+        println!(
+            "fullstack ring: {} nodes / {} shards, global {} rounds \
+             ({:.0} events/s), per-trunk {} rounds ({:.0} events/s), digest {}",
+            ring_global.nodes,
+            ring_global.shards,
+            ring_global.rounds,
+            ring_global.events_per_sec,
+            ring_per_trunk.rounds,
+            ring_per_trunk.events_per_sec,
+            ring_per_trunk.digest,
+        );
+        if ring_global.digest != ring_per_trunk.digest {
+            eprintln!(
+                "FAIL: window mode changed the simulation (global {} vs per-trunk {})",
+                ring_global.digest, ring_per_trunk.digest
+            );
+            failed = true;
+        }
+        if ring_per_trunk.rounds >= ring_global.rounds {
+            eprintln!(
+                "FAIL: per-trunk windows saved no rounds ({} vs {})",
+                ring_per_trunk.rounds, ring_global.rounds
+            );
+            failed = true;
+        }
+        for row in table.iter().chain([&ring_global, &ring_per_trunk]) {
+            if row.digest != ring_per_trunk.digest {
+                eprintln!(
+                    "FAIL: digest drifted at {} threads ({} vs {})",
+                    row.threads, row.digest, ring_per_trunk.digest
+                );
+                failed = true;
+            }
+            if row.lookahead_violations > 0 {
+                eprintln!(
+                    "FAIL: {} lookahead violations at {} threads",
+                    row.lookahead_violations, row.threads
+                );
+                failed = true;
+            }
+            if row.cross_out != row.cross_in || row.cross_unclaimed > 0 {
+                eprintln!(
+                    "FAIL: cross-shard leak at {} threads (out {}, in {}, unclaimed {})",
+                    row.threads, row.cross_out, row.cross_in, row.cross_unclaimed
+                );
+                failed = true;
+            }
+            if row.events_per_sec < FULLSTACK_EVENTS_PER_SEC_FLOOR {
+                eprintln!(
+                    "FAIL: {:.0} events/s under the {FULLSTACK_EVENTS_PER_SEC_FLOOR:.0} \
+                     full-stack floor at {} threads",
+                    row.events_per_sec, row.threads
+                );
+                failed = true;
+            }
+        }
+
+        let report = FullStackReport {
+            equivalence: eq,
+            rows: vec![ring_global, ring_per_trunk],
+            threads_table: table,
+        };
+        let path = "BENCH_scale_smoke.json";
+        std::fs::write(
+            path,
+            format!(
+                "{{\"scale\": {}, \"fullstack\": {}}}\n",
+                scale_json_section(&r),
+                fullstack_json_section(&report)
+            ),
+        )
+        .expect("write scale artifact");
+        println!("wrote {path}");
         std::process::exit(if failed { 1 } else { 0 });
     }
     if args.iter().any(|a| a == "--churn-smoke") {
@@ -187,6 +309,30 @@ fn main() {
                 eprintln!("FAIL: no metrics under {prefix}* in the snapshot");
                 failed = true;
             }
+        }
+        // Cross-shard conservation on a partitioned full-stack run: every
+        // frame one shard world emits across the boundary must be injected
+        // into exactly one other world (Σout == Σin), and the *merged*
+        // snapshot must conserve credits and frames across the cut.
+        let eq = mirror_equivalence(&MirrorConfig::smoke());
+        println!(
+            "cross-shard conservation: {} out / {} in across the boundary",
+            eq.cross_out, eq.cross_in,
+        );
+        if eq.cross_out != eq.cross_in {
+            eprintln!(
+                "FAIL: cross-shard frame leak ({} out vs {} in)",
+                eq.cross_out, eq.cross_in
+            );
+            failed = true;
+        }
+        if eq.cross_out == 0 {
+            eprintln!("FAIL: the partitioned run crossed no frames — the check is vacuous");
+            failed = true;
+        }
+        for violation in &eq.conservation {
+            eprintln!("FAIL: merged-snapshot conservation: {violation}");
+            failed = true;
         }
         std::process::exit(if failed { 1 } else { 0 });
     }
@@ -390,7 +536,56 @@ fn main() {
         scale.digest,
     );
 
-    match write_multi_site_json(&results, &incast, &failover, &churn, Some(&scale)) {
+    // Full-stack partitioned execution: the mirror-equivalence verdict,
+    // the measured 10⁵ rows under both window modes, the 10⁶ per-trunk
+    // row, and the threads-vs-events/s scaling table.
+    let equivalence = mirror_equivalence(&MirrorConfig::smoke());
+    println!(
+        "\nfullstack equivalence: identical {}, {} delivered, {} crossed, {} rounds",
+        equivalence.identical,
+        equivalence.delivered,
+        equivalence.frames_crossed,
+        equivalence.rounds,
+    );
+    let hundred_k = RingConfig::hundred_k();
+    let (ring_global, ring_per_trunk) = compare_windows(&hundred_k);
+    let million = padico_bench::fullstack::ring_run(&RingConfig::million(), WindowMode::PerTrunk);
+    let table = threads_table(&hundred_k, &[1, 2, 4, hundred_k.threads.max(4)]);
+    println!(
+        "{:>9} {:>7} {:>8} {:>10} {:>8} {:>12} {:>14} {:>9} {:>18}",
+        "nodes", "shards", "threads", "mode", "rounds", "events", "events/s", "wall", "digest"
+    );
+    for row in [&ring_global, &ring_per_trunk, &million]
+        .into_iter()
+        .chain(table.iter())
+    {
+        println!(
+            "{:>9} {:>7} {:>8} {:>10} {:>8} {:>12} {:>14.0} {:>7.2}s {:>18}",
+            row.nodes,
+            row.shards,
+            row.threads,
+            row.mode.label(),
+            row.rounds,
+            row.events_total,
+            row.events_per_sec,
+            row.wall_seconds,
+            row.digest,
+        );
+    }
+    let fullstack = FullStackReport {
+        equivalence,
+        rows: vec![ring_global, ring_per_trunk, million],
+        threads_table: table,
+    };
+
+    match write_multi_site_json(
+        &results,
+        &incast,
+        &failover,
+        &churn,
+        Some(&scale),
+        Some(&fullstack),
+    ) {
         Ok(path) => println!("\nwrote {path}"),
         Err(e) => eprintln!("\nfailed to write BENCH_multi_site.json: {e}"),
     }

@@ -87,6 +87,13 @@ fn main() {
         allreduce.linear_us,
         allreduce.hier_us,
     );
+    println!(
+        "bcast inter-site msgs linear={} hier={}; barrier linear={} hier={}",
+        allreduce.bcast_linear_inter_site_msgs,
+        allreduce.bcast_hier_inter_site_msgs,
+        allreduce.barrier_linear_inter_site_msgs,
+        allreduce.barrier_hier_inter_site_msgs,
+    );
 
     let mut failed = false;
     for c in &cases {
@@ -111,6 +118,20 @@ fn main() {
             "FAIL: hierarchical allreduce sent {} inter-site messages, \
              linear sent {}",
             allreduce.hier_inter_site_msgs, allreduce.linear_inter_site_msgs
+        );
+        failed = true;
+    }
+    if allreduce.bcast_hier_inter_site_msgs >= allreduce.bcast_linear_inter_site_msgs {
+        eprintln!(
+            "FAIL: hierarchical bcast sent {} inter-site messages, linear sent {}",
+            allreduce.bcast_hier_inter_site_msgs, allreduce.bcast_linear_inter_site_msgs
+        );
+        failed = true;
+    }
+    if allreduce.barrier_hier_inter_site_msgs >= allreduce.barrier_linear_inter_site_msgs {
+        eprintln!(
+            "FAIL: hierarchical barrier sent {} inter-site messages, linear sent {}",
+            allreduce.barrier_hier_inter_site_msgs, allreduce.barrier_linear_inter_site_msgs
         );
         failed = true;
     }

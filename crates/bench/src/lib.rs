@@ -9,6 +9,7 @@
 
 pub mod datapath;
 pub mod experiments;
+pub mod fullstack;
 pub mod multi_site;
 pub mod routing;
 pub mod scale;

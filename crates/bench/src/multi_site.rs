@@ -1147,6 +1147,7 @@ pub fn multi_site_json(
     failover: &[FailoverResult],
     churn: &[ChurnResult],
     scale: Option<&crate::scale::ScaleResult>,
+    fullstack: Option<&crate::fullstack::FullStackReport>,
 ) -> String {
     let mut s = String::from("{\n  \"experiment\": \"multi_site\",\n  \"results\": [\n");
     for (i, r) in results.iter().enumerate() {
@@ -1238,6 +1239,14 @@ pub fn multi_site_json(
         Some(r) => s.push_str(&crate::scale::scale_json_section(r)),
         None => s.push_str("null"),
     }
+    // Full-stack partitioned execution: the mirror-world equivalence
+    // verdict, the 10⁵/10⁶-node ring rows (global vs per-trunk windows),
+    // and the threads-vs-events/s scaling table.
+    s.push_str(",\n  \"fullstack\": ");
+    match fullstack {
+        Some(r) => s.push_str(&crate::fullstack::fullstack_json_section(r)),
+        None => s.push_str("null"),
+    }
     // The failover-phase telemetry snapshot (widest fan-in), so the
     // artifact carries the full counter state of the faulted run.
     s.push_str(",\n  \"metrics\": ");
@@ -1312,11 +1321,12 @@ pub fn write_multi_site_json(
     failover: &[FailoverResult],
     churn: &[ChurnResult],
     scale: Option<&crate::scale::ScaleResult>,
+    fullstack: Option<&crate::fullstack::FullStackReport>,
 ) -> std::io::Result<String> {
     let path = "BENCH_multi_site.json".to_string();
     std::fs::write(
         &path,
-        multi_site_json(results, incast, failover, churn, scale),
+        multi_site_json(results, incast, failover, churn, scale, fullstack),
     )?;
     Ok(path)
 }
@@ -1363,9 +1373,22 @@ mod tests {
         let fo = failover_run(1);
         let ch = churn_run(3, 2);
         let scale = crate::scale::scale_run(&crate::scale::ScaleConfig::tiny());
-        let json = multi_site_json(&[r], &[inc], &[fo], &[ch], Some(&scale));
+        let fullstack = crate::fullstack::FullStackReport {
+            equivalence: crate::fullstack::mirror_equivalence(
+                &crate::fullstack::MirrorConfig::smoke(),
+            ),
+            rows: vec![crate::fullstack::ring_run(
+                &crate::fullstack::RingConfig::tiny(),
+                crate::fullstack::WindowMode::PerTrunk,
+            )],
+            threads_table: vec![],
+        };
+        let json = multi_site_json(&[r], &[inc], &[fo], &[ch], Some(&scale), Some(&fullstack));
         assert!(json.contains("\"experiment\": \"multi_site\""));
         assert!(json.contains("\"scale\""));
+        assert!(json.contains("\"fullstack\""));
+        assert!(json.contains("\"identical\": true"));
+        assert!(json.contains("\"mode\": \"per-trunk\""));
         assert!(json.contains("\"digest\""));
         assert!(json.contains("\"sites\": 2"));
         assert!(json.contains("\"layout\": \"star\""));

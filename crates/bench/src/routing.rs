@@ -121,6 +121,14 @@ pub struct AllreduceResult {
     pub linear_inter_site_msgs: u64,
     /// Inter-site messages of the hierarchical algorithm.
     pub hier_inter_site_msgs: u64,
+    /// Inter-site messages of the flat root-to-everyone broadcast.
+    pub bcast_linear_inter_site_msgs: u64,
+    /// Inter-site messages of the hierarchical (leader-tree) broadcast.
+    pub bcast_hier_inter_site_msgs: u64,
+    /// Inter-site messages of the flat gather/release barrier.
+    pub barrier_linear_inter_site_msgs: u64,
+    /// Inter-site messages of the hierarchical barrier.
+    pub barrier_hier_inter_site_msgs: u64,
     /// Virtual completion time of the linear algorithm, microseconds.
     pub linear_us: f64,
     /// Virtual completion time of the hierarchical algorithm.
@@ -344,7 +352,11 @@ pub fn allreduce_comparison(sites: usize, nodes_per_site: usize) -> AllreduceRes
     let wall = Instant::now();
     let events = std::cell::Cell::new(0u64);
     let snapshot = std::cell::RefCell::new(simnet::MetricsSnapshot::default());
-    let run = |hier: bool| -> (u64, f64) {
+    // Each run measures the allreduce, then the broadcast and barrier
+    // as separate phases, reading the cumulative inter-site counter
+    // between phases so every collective gets its own linear-vs-hier
+    // comparison on the same grid.
+    let run = |hier: bool| -> ([u64; 3], f64) {
         let mut world = SimWorld::new(0xA11);
         let specs: Vec<SiteSpec> = (0..sites)
             .map(|i| SiteSpec::san_cluster(format!("s{i}"), nodes_per_site))
@@ -362,6 +374,8 @@ pub fn allreduce_comparison(sites: usize, nodes_per_site: usize) -> AllreduceRes
             })
             .collect();
         world.run(); // settle trunks and listeners before timing
+        let inter_now =
+            |comms: &[MpiComm]| -> u64 { comms.iter().map(|c| c.inter_site_messages()).sum() };
         let t0 = world.now();
         for (i, comm) in comms.iter().enumerate() {
             let value = (i + 1) as f64;
@@ -377,20 +391,50 @@ pub fn allreduce_comparison(sites: usize, nodes_per_site: usize) -> AllreduceRes
         }
         world.run();
         let us = world.now().since(t0).as_micros_f64();
-        let inter: u64 = comms.iter().map(|c| c.inter_site_messages()).sum();
+        let allreduce_inter = inter_now(&comms);
+        for (i, comm) in comms.iter().enumerate() {
+            let data = (i == 0).then(|| vec![0xB0u8; 64]);
+            let cb = move |_w: &mut SimWorld, buf: Vec<u8>| {
+                assert_eq!(buf, vec![0xB0u8; 64], "bcast buffer");
+            };
+            if hier {
+                comm.bcast(&mut world, 0, data, cb);
+            } else {
+                comm.bcast_linear(&mut world, 0, data, cb);
+            }
+        }
+        world.run();
+        let bcast_inter = inter_now(&comms) - allreduce_inter;
+        let entered = std::rc::Rc::new(std::cell::Cell::new(0usize));
+        for comm in &comms {
+            let e = entered.clone();
+            let cb = move |_w: &mut SimWorld| e.set(e.get() + 1);
+            if hier {
+                comm.barrier(&mut world, cb);
+            } else {
+                comm.barrier_linear(&mut world, cb);
+            }
+        }
+        world.run();
+        assert_eq!(entered.get(), comms.len(), "barrier released every rank");
+        let barrier_inter = inter_now(&comms) - allreduce_inter - bcast_inter;
         events.set(events.get() + world.stats.events_executed);
         if hier {
             *snapshot.borrow_mut() = world.metrics_snapshot();
         }
-        (inter, us)
+        ([allreduce_inter, bcast_inter, barrier_inter], us)
     };
-    let (linear_inter_site_msgs, linear_us) = run(false);
-    let (hier_inter_site_msgs, hier_us) = run(true);
+    let ([linear_inter_site_msgs, bcast_linear, barrier_linear], linear_us) = run(false);
+    let ([hier_inter_site_msgs, bcast_hier, barrier_hier], hier_us) = run(true);
     AllreduceResult {
         sites,
         nodes_per_site,
         linear_inter_site_msgs,
         hier_inter_site_msgs,
+        bcast_linear_inter_site_msgs: bcast_linear,
+        bcast_hier_inter_site_msgs: bcast_hier,
+        barrier_linear_inter_site_msgs: barrier_linear,
+        barrier_hier_inter_site_msgs: barrier_hier,
         linear_us,
         hier_us,
         events_per_sec: events.get() as f64 / wall.elapsed().as_secs_f64().max(1e-9),
@@ -451,6 +495,8 @@ pub fn routing_json(cases: &[RoutingCase], allreduce: &AllreduceResult) -> Strin
         concat!(
             "  ],\n  \"allreduce\": {{\"sites\": {}, \"nodes_per_site\": {}, ",
             "\"linear_inter_site_msgs\": {}, \"hier_inter_site_msgs\": {}, ",
+            "\"bcast_linear_inter_site_msgs\": {}, \"bcast_hier_inter_site_msgs\": {}, ",
+            "\"barrier_linear_inter_site_msgs\": {}, \"barrier_hier_inter_site_msgs\": {}, ",
             "\"linear_us\": {:.1}, \"hier_us\": {:.1}, ",
             "\"events_per_sec\": {:.0}}},\n  \"metrics\": {}\n}}\n"
         ),
@@ -458,6 +504,10 @@ pub fn routing_json(cases: &[RoutingCase], allreduce: &AllreduceResult) -> Strin
         allreduce.nodes_per_site,
         allreduce.linear_inter_site_msgs,
         allreduce.hier_inter_site_msgs,
+        allreduce.bcast_linear_inter_site_msgs,
+        allreduce.bcast_hier_inter_site_msgs,
+        allreduce.barrier_linear_inter_site_msgs,
+        allreduce.barrier_hier_inter_site_msgs,
         allreduce.linear_us,
         allreduce.hier_us,
         allreduce.events_per_sec,
@@ -495,6 +545,16 @@ mod tests {
         let a = allreduce_comparison(2, 3);
         assert!(a.hier_inter_site_msgs < a.linear_inter_site_msgs, "{a:?}");
         assert!(a.hier_us > 0.0 && a.linear_us > 0.0);
+        // The hierarchical broadcast and barrier must also cross the
+        // WAN strictly less than their flat oracles.
+        assert!(
+            a.bcast_hier_inter_site_msgs < a.bcast_linear_inter_site_msgs,
+            "{a:?}"
+        );
+        assert!(
+            a.barrier_hier_inter_site_msgs < a.barrier_linear_inter_site_msgs,
+            "{a:?}"
+        );
     }
 
     #[test]

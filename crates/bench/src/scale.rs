@@ -128,7 +128,7 @@ pub struct ScaleResult {
 }
 
 /// FNV-1a, 64-bit — a dependency-free fingerprint for the digest text.
-fn fnv1a(s: &str) -> u64 {
+pub(crate) fn fnv1a(s: &str) -> u64 {
     let mut h = 0xcbf29ce484222325u64;
     for b in s.as_bytes() {
         h ^= *b as u64;
@@ -153,17 +153,11 @@ fn build_shard(cfg: &ScaleConfig, shard: u16, world: &mut SimWorld) {
     let delivered_cross = Rc::new(Cell::new(0u64));
 
     // Scrape the workload counters into the shard snapshot so the
-    // merged digest covers them and the report can aggregate them.
-    let (p2, dl2, dc2) = (
-        pool.clone(),
-        delivered_local.clone(),
-        delivered_cross.clone(),
-    );
+    // merged digest covers them and the report can aggregate them. The
+    // freelist publishes itself under `sim.executor.pool.*`.
+    FramePool::register_metrics(&pool, &world.metrics);
+    let (dl2, dc2) = (delivered_local.clone(), delivered_cross.clone());
     world.metrics.register_collector(move |b| {
-        let s = p2.borrow().stats();
-        b.counter("scale.pool.reused", &[], s.reused);
-        b.counter("scale.pool.allocated", &[], s.allocated);
-        b.counter("scale.pool.reclaimed", &[], s.reclaimed);
         b.counter("scale.delivered_local", &[], dl2.get());
         b.counter("scale.delivered_cross", &[], dc2.get());
     });
@@ -224,6 +218,7 @@ pub fn scale_run(cfg: &ScaleConfig) -> ScaleResult {
         shards: cfg.shards,
         threads: cfg.threads,
         lookahead: cfg.lookahead,
+        trunks: None,
         seed: cfg.seed,
     };
     let report = run_partitioned(&part, |shard, world| build_shard(cfg, shard, world));
@@ -238,8 +233,11 @@ pub fn scale_run(cfg: &ScaleConfig) -> ScaleResult {
         frames_local += o.snapshot.counter_total("sim.net.frames_sent");
         delivered_local += o.snapshot.counter("scale.delivered_local").unwrap_or(0);
         delivered_cross += o.snapshot.counter("scale.delivered_cross").unwrap_or(0);
-        pool_reused += o.snapshot.counter("scale.pool.reused").unwrap_or(0);
-        pool_allocated += o.snapshot.counter("scale.pool.allocated").unwrap_or(0);
+        pool_reused += o.snapshot.counter("sim.executor.pool.reused").unwrap_or(0);
+        pool_allocated += o
+            .snapshot
+            .counter("sim.executor.pool.allocated")
+            .unwrap_or(0);
         cross_unclaimed += o.stats.remote_unclaimed;
     }
     ScaleResult {

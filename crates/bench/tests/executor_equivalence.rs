@@ -6,10 +6,14 @@
 //! CI: sharding only changes how the event queue is organized — pops
 //! still come out in global `(time, seq)` order, so the RNG stream, the
 //! delivery order and every counter are bit-for-bit the same. The
-//! comparison is on `MetricsSnapshot::to_json()` output, which covers
-//! the full metric namespace of a quiesced run.
+//! comparison is on `MetricsSnapshot::to_json_excluding(&["sim.executor."])`
+//! output, which covers the full metric namespace of a quiesced run;
+//! only the executor's own bookkeeping (`sim.executor.*` — lanes,
+//! cross-lane counters, shard ids) legitimately differs between queue
+//! organizations and is excluded.
 
 use gridtopo::BackpressureMode;
+use padico_bench::fullstack::{mirror_equivalence, MirrorConfig};
 use padico_bench::{
     churn_shard_report, churn_snapshot, failover_snapshot, incast_snapshot, Executor,
 };
@@ -20,12 +24,17 @@ const INCAST_SEEDS: [u64; 3] = [4242, 7, 0xBEEF];
 const FAILOVER_SEEDS: [u64; 2] = [0xFA17, 99];
 const CHURN_SEEDS: [u64; 2] = [0xC09E, 0x1234];
 
+/// Executor-internal bookkeeping, excluded from every comparison.
+const EXEC: &[&str] = &["sim.executor."];
+
 #[test]
 fn incast_is_bit_identical_across_executors() {
     for seed in INCAST_SEEDS {
         for mode in [BackpressureMode::Drop, BackpressureMode::Credit] {
-            let single = incast_snapshot(4, 32, mode, seed, Executor::Single).to_json();
-            let sharded = incast_snapshot(4, 32, mode, seed, Executor::ShardedMerge).to_json();
+            let single =
+                incast_snapshot(4, 32, mode, seed, Executor::Single).to_json_excluding(EXEC);
+            let sharded =
+                incast_snapshot(4, 32, mode, seed, Executor::ShardedMerge).to_json_excluding(EXEC);
             assert!(
                 single.contains("relay.fabric.frames_sent"),
                 "snapshot must cover the relay fabric (seed {seed:#x})"
@@ -48,8 +57,8 @@ fn failover_is_bit_identical_across_executors() {
             "failover must deliver byte-exactly under both executors (seed {seed:#x})"
         );
         assert_eq!(
-            single.to_json(),
-            sharded.to_json(),
+            single.to_json_excluding(EXEC),
+            sharded.to_json_excluding(EXEC),
             "failover snapshot diverged at seed {seed:#x}"
         );
     }
@@ -58,8 +67,8 @@ fn failover_is_bit_identical_across_executors() {
 #[test]
 fn churn_is_bit_identical_across_executors() {
     for seed in CHURN_SEEDS {
-        let single = churn_snapshot(3, 3, seed, Executor::Single).to_json();
-        let sharded = churn_snapshot(3, 3, seed, Executor::ShardedMerge).to_json();
+        let single = churn_snapshot(3, 3, seed, Executor::Single).to_json_excluding(EXEC);
+        let sharded = churn_snapshot(3, 3, seed, Executor::ShardedMerge).to_json_excluding(EXEC);
         assert_eq!(single, sharded, "churn snapshot diverged at seed {seed:#x}");
     }
 }
@@ -100,4 +109,25 @@ fn cross_shard_traffic_conserves_under_churn() {
     // simulated networks (the conservation lines above weren't vacuous).
     let sent = report.snapshot.counter_total("sim.net.frames_sent");
     assert!(sent > 0, "churn must put frames on the wire");
+}
+
+/// The partitioned executor on the *full stack*: every shard world runs
+/// the real relay/credit machinery over a mirrored two-site grid, and
+/// the merged snapshot must be byte-identical to the single-queue run —
+/// including credits consumed in one shard world and returned through a
+/// wire credit frame from another.
+#[test]
+fn full_stack_partitioned_run_is_bit_identical_to_single_queue() {
+    for threads in [1usize, 2] {
+        let mut cfg = MirrorConfig::smoke();
+        cfg.threads = threads;
+        let eq = mirror_equivalence(&cfg);
+        assert!(
+            eq.identical,
+            "partitioned full-stack snapshot diverged ({threads} threads): {eq:?}"
+        );
+        assert_eq!(eq.delivered, eq.frames_total, "{eq:?}");
+        assert_eq!(eq.lookahead_violations, 0, "{eq:?}");
+        assert_eq!(eq.conservation, Vec::<String>::new());
+    }
 }

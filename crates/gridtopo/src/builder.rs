@@ -249,6 +249,66 @@ impl GridTopology {
             .unwrap_or_default()
     }
 
+    /// Per-trunk conservative lookahead windows for the partitioned
+    /// executor (shard `s` hosting site `s`): one directed edge per
+    /// ordered pair of sites sharing a backbone network, whose window is
+    /// the smallest latency of any backbone joining the two. This
+    /// replaces the single global-minimum window of
+    /// [`GridTopology::shard_lookahead`] with the actual latency of each
+    /// trunk: a shard adjacent only to slow trunks may run far ahead of
+    /// its neighbours even while some other pair of sites is joined by a
+    /// fast segment. Site pairs with no shared backbone get no edge —
+    /// relayed traffic between them crosses the intermediate sites'
+    /// declared edges hop by hop, so no direct frame ever skips a window.
+    pub fn trunk_lookaheads(&self, world: &SimWorld) -> simnet::TrunkLookahead {
+        let site_of = self.site_of_nodes();
+        let mut trunks = simnet::TrunkLookahead::new();
+        for &bb in &self.backbones {
+            let net = world.network(bb);
+            let lat = net.spec.latency;
+            if lat == simnet::SimDuration::ZERO {
+                continue; // a zero-latency trunk affords no window
+            }
+            let mut sites: Vec<u16> = net
+                .members()
+                .iter()
+                .filter_map(|&n| site_of.get(n.0 as usize).copied())
+                .filter(|&s| s != u16::MAX)
+                .collect();
+            sites.sort_unstable();
+            sites.dedup();
+            for (k, &i) in sites.iter().enumerate() {
+                for &j in &sites[k + 1..] {
+                    trunks.set(i, j, lat);
+                    trunks.set(j, i, lat);
+                }
+            }
+        }
+        trunks
+    }
+
+    /// Node → site map in dense node-id order (a node outside every site
+    /// — impossible for builder-made grids — maps to `u16::MAX`). This is
+    /// the shared input of mirror-world ownership
+    /// ([`simnet::SimWorld::set_mirror_owners`]) and the relay fabric's
+    /// wire credit plane
+    /// ([`crate::gateway::RelayFabric::enable_wire_credit_returns`]).
+    pub fn site_of_nodes(&self) -> Vec<u16> {
+        let max = self
+            .sites
+            .iter()
+            .flat_map(|s| s.nodes.iter())
+            .map(|n| n.0)
+            .max();
+        let mut map = vec![u16::MAX; max.map_or(0, |m| m as usize + 1)];
+        for (i, site) in self.sites.iter().enumerate() {
+            for &n in &site.nodes {
+                map[n.0 as usize] = i as u16;
+            }
+        }
+        map
+    }
+
     /// Builds the site-partitioning metadata for
     /// [`SimWorld::enable_sharding`]: every node of site `i` goes to
     /// shard lane `i + 1` (lane 0 stays the control lane for top-level
@@ -557,6 +617,38 @@ mod tests {
         let r = g.routes.route(a1, b1).unwrap();
         assert_eq!(r.hop_count(), 1);
         assert_eq!(r.hops[0].network, shortcut);
+    }
+
+    #[test]
+    fn trunk_lookaheads_follow_the_backbone_shape() {
+        // Star: every site pair shares the one backbone.
+        let mut w = SimWorld::new(1);
+        let g = GridTopology::two_sites(&mut w, 3);
+        let t = g.trunk_lookaheads(&w);
+        let wan_latency = w.network(g.backbones[0]).spec.latency;
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.get(0, 1), Some(wan_latency));
+        assert_eq!(t.get(1, 0), Some(wan_latency));
+        assert_eq!(g.shard_lookahead(&w), wan_latency);
+
+        // Ring: only adjacent sites share a segment.
+        let mut w = SimWorld::new(2);
+        let specs: Vec<SiteSpec> = (0..4)
+            .map(|i| SiteSpec::lan_cluster(format!("s{i}"), 2))
+            .collect();
+        let g = GridTopology::ring(&mut w, &specs, NetworkSpec::vthd_wan());
+        let t = g.trunk_lookaheads(&w);
+        assert_eq!(t.len(), 8, "4 segments, both directions");
+        assert!(t.get(0, 1).is_some() && t.get(3, 0).is_some());
+        assert_eq!(t.get(0, 2), None, "opposite sites share no trunk");
+
+        // The node → site map covers every node exactly once.
+        let site_of = g.site_of_nodes();
+        for (i, site) in g.sites.iter().enumerate() {
+            for &n in &site.nodes {
+                assert_eq!(site_of[n.0 as usize], i as u16);
+            }
+        }
     }
 
     #[test]

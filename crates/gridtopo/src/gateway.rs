@@ -34,7 +34,8 @@ use std::rc::Rc;
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use simnet::{
-    CauseId, DropCause, Frame, NodeId, ProtoId, SimDuration, SimRng, SimTime, SimWorld, TraceEvent,
+    CauseId, DropCause, Frame, NetworkId, NodeId, ProtoId, SimDuration, SimRng, SimTime, SimWorld,
+    TraceEvent,
 };
 
 use crate::route::{GridRoutes, Hop};
@@ -199,6 +200,14 @@ impl std::error::Error for RelayError {}
 
 type EndpointCallback = Rc<RefCell<dyn FnMut(&mut SimWorld, RelayedMessage)>>;
 
+/// Where a consumed credit must travel to be returned: `None` for the
+/// classic in-memory return (same-site consumer, modelled as a fixed
+/// [`RelayConfig::credit_return_latency`]), `Some((node, net))` when the
+/// wire credit plane is enabled and the consumer sits across a site
+/// boundary — the return then rides a real [`ProtoId::RELAY_CREDIT`]
+/// frame over `net` back to `node`, paying true wire timing.
+type Upstream = Option<(NodeId, NetworkId)>;
+
 #[derive(Default)]
 struct GatewayState {
     queue_depth: usize,
@@ -224,6 +233,9 @@ struct ParkedFrame {
     payload: Bytes,
     parked_at: SimTime,
     cause: CauseId,
+    /// Reverse path for the *holding* gateway's own credit once the frame
+    /// finally leaves its queue (wire credit plane; see [`Upstream`]).
+    upstream: Upstream,
 }
 
 /// Deterministic in-transit frame discarder (crash/corruption model).
@@ -265,6 +277,13 @@ struct FabricInner {
     fault: Option<FaultInjector>,
     /// Whether this fabric already registered its metrics collector.
     metrics_registered: bool,
+    /// Wire credit plane (see [`RelayFabric::enable_wire_credit_returns`]):
+    /// node index → site id. When set, a credit consumed by a sender in a
+    /// *different* site than the gateway is returned as a real
+    /// [`ProtoId::RELAY_CREDIT`] frame on the reverse trunk instead of the
+    /// fixed-latency in-memory return. `None` (the default) keeps the
+    /// fabric byte-identical to the classic behaviour.
+    wire_credit_sites: Option<Vec<u16>>,
 }
 
 impl FabricInner {
@@ -299,6 +318,19 @@ impl FabricInner {
         }
         Some((hop, rerouted))
     }
+    /// With the wire credit plane enabled: the reverse path the credit a
+    /// frame from `src` consumed towards `here` must ride home, when the
+    /// two sit in different sites. `None` otherwise (plane off, same
+    /// site, or unknown nodes) — the in-memory return applies.
+    fn credit_upstream(&self, src: NodeId, here: NodeId, net: NetworkId) -> Upstream {
+        let sites = self.wire_credit_sites.as_ref()?;
+        let site = |n: NodeId| sites.get(n.0 as usize).copied();
+        match (site(src), site(here)) {
+            (Some(a), Some(b)) if a != b => Some((src, net)),
+            _ => None,
+        }
+    }
+
     /// Takes one credit towards `gw` if the pool allows it.
     fn try_consume_credit(&mut self, gw: NodeId) -> bool {
         let capacity = self.config.queue_capacity;
@@ -422,8 +454,31 @@ impl RelayFabric {
                 reroute_cache: HashMap::new(),
                 fault: None,
                 metrics_registered: false,
+                wire_credit_sites: None,
             })),
         }
+    }
+
+    /// Enables the wire credit plane: `site_of[node]` maps every node to
+    /// its site, and from now on a credit consumed towards a gateway by a
+    /// sender in a *different* site is returned as a real
+    /// [`ProtoId::RELAY_CREDIT`] frame transmitted on the reverse trunk
+    /// (true serialization + propagation timing) instead of the fixed
+    /// [`RelayConfig::credit_return_latency`] in-memory return. Intra-site
+    /// returns are unchanged.
+    ///
+    /// This makes inter-site credit traffic observable on the wire — the
+    /// property the partitioned executor needs: with site-per-shard
+    /// ownership, *every* inter-world interaction (data and credits) is a
+    /// frame crossing the shard boundary, so mirror worlds stay exact.
+    ///
+    /// Requirement: any node that can be the inter-site upstream of a
+    /// relay hop (in practice the gateways, which forward across trunks)
+    /// must be [`RelayFabric::attach`]ed so the returning credit frame
+    /// finds its handler. Origin senders should share a site with their
+    /// first-hop gateway.
+    pub fn enable_wire_credit_returns(&self, site_of: Vec<u16>) {
+        self.inner.borrow_mut().wire_credit_sites = Some(site_of);
     }
 
     /// Replaces the routing table (after a topology change).
@@ -529,7 +584,7 @@ impl RelayFabric {
                                 );
                             }
                             if holder_returns {
-                                self.schedule_credit_return(world, holder);
+                                self.schedule_credit_return_from(world, holder, pf.upstream);
                             }
                         }
                         None => inner.parked_send_failures += 1,
@@ -614,6 +669,7 @@ impl RelayFabric {
                     pf.ttl,
                     pf.payload,
                     pf.cause,
+                    pf.upstream,
                 );
             }
         }
@@ -638,8 +694,15 @@ impl RelayFabric {
             });
         }
         let fabric = self.clone();
-        world.register_handler(node, ProtoId::RELAY, move |world, _net, frame| {
-            fabric.on_relay_frame(world, frame);
+        world.register_handler(node, ProtoId::RELAY, move |world, net, frame| {
+            fabric.on_relay_frame(world, net, frame);
+        });
+        let fabric = self.clone();
+        world.register_handler(node, ProtoId::RELAY_CREDIT, move |world, _net, frame| {
+            let Some(gw) = decode_credit(&frame.payload) else {
+                return; // malformed; drop silently
+            };
+            fabric.on_credit_returned(world, gw);
         });
     }
 
@@ -768,6 +831,7 @@ impl RelayFabric {
                                     payload,
                                     parked_at: world.now(),
                                     cause,
+                                    upstream: None,
                                 });
                             inner.credit_stalls += 1;
                             inner.frames_sent += 1;
@@ -797,12 +861,17 @@ impl RelayFabric {
         }
     }
 
-    /// Relay agent: a `ProtoId::RELAY` frame arrived at `frame.dst`.
-    fn on_relay_frame(&self, world: &mut SimWorld, frame: Frame) {
+    /// Relay agent: a `ProtoId::RELAY` frame arrived at `frame.dst` on
+    /// network `net`.
+    fn on_relay_frame(&self, world: &mut SimWorld, net: NetworkId, frame: Frame) {
         let here = frame.dst;
         let Some((final_dst, orig_src, port, ttl, cause)) = decode(&frame.payload) else {
             return; // malformed; drop silently
         };
+        // The hop sender (`frame.src`) holds one of our credits; with the
+        // wire credit plane on and the sender across a site boundary, the
+        // return must ride the reverse trunk back to it.
+        let upstream = self.inner.borrow().credit_upstream(frame.src, here, net);
 
         if final_dst == here {
             if self.inner.borrow().down.contains(&here) {
@@ -900,7 +969,7 @@ impl RelayFabric {
                 );
             }
             if credit_mode {
-                self.schedule_credit_return(world, here);
+                self.schedule_credit_return_from(world, here, upstream);
             }
             return;
         };
@@ -914,7 +983,7 @@ impl RelayFabric {
         let payload = frame.payload.slice(RELAY_HEADER_BYTES..);
         world.schedule_after(per_hop_latency, move |world| {
             fabric.forward_from_gateway(
-                world, here, hop, final_dst, orig_src, port, ttl, payload, cause,
+                world, here, hop, final_dst, orig_src, port, ttl, payload, cause, upstream,
             );
         });
     }
@@ -934,6 +1003,7 @@ impl RelayFabric {
         ttl: u8,
         payload: Bytes,
         cause: CauseId,
+        upstream: Upstream,
     ) {
         let hop = {
             let mut inner = self.inner.borrow_mut();
@@ -958,7 +1028,7 @@ impl RelayFabric {
                     );
                 }
                 if credit_mode {
-                    self.schedule_credit_return(world, here);
+                    self.schedule_credit_return_from(world, here, upstream);
                 }
                 return;
             }
@@ -992,7 +1062,7 @@ impl RelayFabric {
                             );
                         }
                         if credit_mode {
-                            self.schedule_credit_return(world, here);
+                            self.schedule_credit_return_from(world, here, upstream);
                         }
                         return;
                     }
@@ -1016,6 +1086,7 @@ impl RelayFabric {
                         payload,
                         parked_at: world.now(),
                         cause,
+                        upstream,
                     });
                 inner.credit_stalls += 1;
                 drop(inner);
@@ -1032,7 +1103,7 @@ impl RelayFabric {
             hop
         };
         self.complete_forward(
-            world, here, hop, final_dst, orig_src, port, ttl, payload, cause,
+            world, here, hop, final_dst, orig_src, port, ttl, payload, cause, upstream,
         );
     }
 
@@ -1051,6 +1122,7 @@ impl RelayFabric {
         ttl: u8,
         payload: Bytes,
         cause: CauseId,
+        upstream: Upstream,
     ) {
         let credit_mode = {
             let mut inner = self.inner.borrow_mut();
@@ -1104,7 +1176,7 @@ impl RelayFabric {
             }
         }
         if credit_mode {
-            self.schedule_credit_return(world, here);
+            self.schedule_credit_return_from(world, here, upstream);
         }
     }
 
@@ -1117,6 +1189,23 @@ impl RelayFabric {
         world.schedule_after(delay, move |world| {
             fabric.on_credit_returned(world, gw);
         });
+    }
+
+    /// Returns one of `gw`'s credits along `upstream`: the in-memory
+    /// fixed-latency return when `None`, a real [`ProtoId::RELAY_CREDIT`]
+    /// frame on the reverse trunk when the wire credit plane routed the
+    /// consumption across sites. A refused wire send (topology changed)
+    /// falls back to the in-memory return so credits never leak.
+    fn schedule_credit_return_from(&self, world: &mut SimWorld, gw: NodeId, upstream: Upstream) {
+        match upstream {
+            None => self.schedule_credit_return(world, gw),
+            Some((up_node, up_net)) => {
+                let frame = Frame::new(gw, up_node, ProtoId::RELAY_CREDIT, encode_credit(gw));
+                if world.send_frame(up_net, frame).is_err() {
+                    self.schedule_credit_return(world, gw);
+                }
+            }
+        }
     }
 
     fn on_credit_returned(&self, world: &mut SimWorld, gw: NodeId) {
@@ -1182,6 +1271,7 @@ impl RelayFabric {
                     pf.ttl,
                     pf.payload,
                     pf.cause,
+                    pf.upstream,
                 );
             }
         }
@@ -1321,6 +1411,21 @@ fn encode(dst: NodeId, src: NodeId, port: u16, ttl: u8, cause: CauseId, payload:
     buf.put_u64(cause.0);
     buf.extend_from_slice(payload);
     buf.freeze()
+}
+
+/// Wire form of a credit-return advertisement: the 4-byte id of the
+/// gateway whose pool the credit re-enters.
+fn encode_credit(gw: NodeId) -> Bytes {
+    let mut buf = BytesMut::with_capacity(4);
+    buf.put_u32(gw.0);
+    buf.freeze()
+}
+
+fn decode_credit(wire: &Bytes) -> Option<NodeId> {
+    if wire.len() < 4 {
+        return None;
+    }
+    Some(NodeId(wire.slice(..4).get_u32()))
 }
 
 fn decode(wire: &Bytes) -> Option<(NodeId, NodeId, u16, u8, CauseId)> {
@@ -1468,6 +1573,62 @@ mod tests {
             assert_eq!(fabric.outstanding_credits(gw), 0);
             assert_eq!(fabric.available_credits(gw), 4);
         }
+    }
+
+    #[test]
+    fn wire_credit_plane_returns_inter_site_credits_on_the_trunk() {
+        let mut w = SimWorld::new(7);
+        let a = w.add_node("a");
+        let g = w.add_node("g");
+        let h = w.add_node("h");
+        let b = w.add_node("b");
+        let lan1 = w.add_network(NetworkSpec::ethernet_100());
+        let trunk = w.add_network(NetworkSpec::ethernet_100());
+        let lan2 = w.add_network(NetworkSpec::ethernet_100());
+        w.attach(a, lan1);
+        w.attach(g, lan1);
+        w.attach(g, trunk);
+        w.attach(h, trunk);
+        w.attach(h, lan2);
+        w.attach(b, lan2);
+        let fabric = RelayFabric::new(
+            RouteTable::compute(&w),
+            RelayConfig {
+                per_hop_latency: SimDuration::from_millis(1),
+                queue_capacity: 4,
+                backpressure: BackpressureMode::Credit,
+                ..Default::default()
+            },
+        );
+        for n in [a, g, h, b] {
+            fabric.attach(&mut w, n);
+        }
+        // a,g in site 0; h,b in site 1: only the g→h hop crosses sites,
+        // so only h's credits ride the trunk home.
+        fabric.enable_wire_credit_returns(vec![0, 0, 1, 1]);
+        let received = Rc::new(Cell::new(0u32));
+        let r = received.clone();
+        fabric.bind(&mut w, b, 2, move |_w, _m| r.set(r.get() + 1));
+        for _ in 0..32 {
+            fabric.send(&mut w, a, b, 2, vec![0u8; 200]).unwrap();
+        }
+        w.run();
+        assert_eq!(received.get(), 32, "wire credit plane must stay lossless");
+        assert_eq!(fabric.parked_frames(), 0);
+        assert_eq!(fabric.total_dropped(), 0);
+        for gw in [g, h] {
+            let s = fabric.gateway_stats(gw);
+            assert_eq!(s.credits_consumed, s.credits_returned, "{s:?}");
+            assert_eq!(fabric.outstanding_credits(gw), 0);
+        }
+        // The trunk carried every data frame g→h plus one RELAY_CREDIT
+        // frame h→g per credit g consumed towards h; the intra-site
+        // returns (g's pool, consumed by a) stayed in memory.
+        let consumed_at_h = fabric.gateway_stats(h).credits_consumed;
+        assert_eq!(consumed_at_h, 32);
+        assert_eq!(w.network(trunk).stats.frames_sent, 32 + consumed_at_h);
+        assert_eq!(w.network(lan1).stats.frames_sent, 32);
+        assert_eq!(w.network(lan2).stats.frames_sent, 32);
     }
 
     #[test]

@@ -368,7 +368,24 @@ impl MpiComm {
     // ------------------------------------------------------------------ //
 
     /// Barrier: `done` runs once every rank has entered the barrier.
+    ///
+    /// With a [`CommTopology`] installed and the communicator spanning
+    /// several sites, this runs the hierarchical gather/release tree —
+    /// members sync with their site leader, leaders sync through the
+    /// root leader — crossing the WAN `2·(S-1)` times instead of the
+    /// flat barrier's `2·(N - |root site|)`. Without a topology it falls
+    /// back to [`MpiComm::barrier_linear`].
     pub fn barrier(&self, world: &mut SimWorld, done: impl FnOnce(&mut SimWorld) + 'static) {
+        let topo = self.inner.borrow().topology.clone();
+        match topo {
+            Some(t) if t.site_count() > 1 => self.barrier_hier(world, &t, done),
+            _ => self.barrier_linear(world, done),
+        }
+    }
+
+    /// The flat gather-to-rank-0/release barrier — the seed behaviour,
+    /// kept as the oracle the hierarchical barrier is checked against.
+    pub fn barrier_linear(&self, world: &mut SimWorld, done: impl FnOnce(&mut SimWorld) + 'static) {
         let tag = self.next_coll_tag();
         let size = self.size();
         let rank = self.rank();
@@ -405,9 +422,141 @@ impl MpiComm {
         }
     }
 
+    /// Hierarchical barrier: members sync with their site leader, the
+    /// site leaders sync through the root leader (the only WAN
+    /// crossings), then every leader releases its site. Three collective
+    /// tags are consumed on every rank, whatever its role.
+    fn barrier_hier(
+        &self,
+        world: &mut SimWorld,
+        topo: &Rc<CommTopology>,
+        done: impl FnOnce(&mut SimWorld) + 'static,
+    ) {
+        let tag_gather = self.next_coll_tag();
+        let tag_inter = self.next_coll_tag();
+        let tag_release = self.next_coll_tag();
+        let rank = self.rank();
+        let my_site = topo.site_of(rank);
+        let my_leader = topo.leader(my_site);
+        let root_leader = topo.leader(topo.site_of(0));
+
+        if rank != my_leader {
+            // Member: report in, wait for the site release.
+            self.send(world, my_leader, tag_gather, &[]);
+            self.recv(
+                world,
+                Some(my_leader),
+                Some(tag_release),
+                move |world, _msg| done(world),
+            );
+            return;
+        }
+
+        // Leader: gather the site, sync with the root leader, release.
+        let comm = self.clone();
+        let topo2 = topo.clone();
+        let release = move |world: &mut SimWorld| {
+            for &member in topo2.site_ranks(topo2.site_of(comm.rank())) {
+                if member != comm.rank() {
+                    comm.send(world, member, tag_release, &[]);
+                }
+            }
+            done(world);
+        };
+
+        let comm = self.clone();
+        let topo2 = topo.clone();
+        let inter = move |world: &mut SimWorld| {
+            if rank == root_leader {
+                let other_leaders: Vec<usize> = (0..topo2.site_count())
+                    .map(|s| topo2.leader(s))
+                    .filter(|&l| l != root_leader)
+                    .collect();
+                let remaining = Rc::new(RefCell::new(other_leaders.len()));
+                let release = Rc::new(RefCell::new(Some(
+                    Box::new(release) as Box<dyn FnOnce(&mut SimWorld)>
+                )));
+                for &leader in &other_leaders {
+                    let remaining = remaining.clone();
+                    let release = release.clone();
+                    let comm2 = comm.clone();
+                    let leaders = other_leaders.clone();
+                    comm.recv(world, Some(leader), Some(tag_inter), move |world, _msg| {
+                        *remaining.borrow_mut() -= 1;
+                        if *remaining.borrow() == 0 {
+                            for &l in &leaders {
+                                comm2.send(world, l, tag_inter, &[]);
+                            }
+                            if let Some(release) = release.borrow_mut().take() {
+                                release(world);
+                            }
+                        }
+                    });
+                }
+            } else {
+                comm.send(world, root_leader, tag_inter, &[]);
+                let release = RefCell::new(Some(release));
+                comm.recv(
+                    world,
+                    Some(root_leader),
+                    Some(tag_inter),
+                    move |world, _msg| {
+                        if let Some(release) = release.borrow_mut().take() {
+                            release(world);
+                        }
+                    },
+                );
+            }
+        };
+
+        let workers = topo.site_ranks(my_site).len() - 1;
+        if workers == 0 {
+            inter(world);
+            return;
+        }
+        let remaining = Rc::new(RefCell::new(workers));
+        let inter = Rc::new(RefCell::new(Some(
+            Box::new(inter) as Box<dyn FnOnce(&mut SimWorld)>
+        )));
+        for _ in 0..workers {
+            let remaining = remaining.clone();
+            let inter = inter.clone();
+            self.recv(world, ANY_SOURCE, Some(tag_gather), move |world, _msg| {
+                *remaining.borrow_mut() -= 1;
+                if *remaining.borrow() == 0 {
+                    if let Some(inter) = inter.borrow_mut().take() {
+                        inter(world);
+                    }
+                }
+            });
+        }
+    }
+
     /// Broadcast from `root`: the root passes `Some(data)`, the others
     /// `None`; every rank's `done` receives the broadcast buffer.
+    ///
+    /// With a [`CommTopology`] installed and the communicator spanning
+    /// several sites, the buffer travels the WAN once per remote site —
+    /// root leader to site leaders, leaders into their sites — instead
+    /// of once per remote *rank*. Without a topology it falls back to
+    /// [`MpiComm::bcast_linear`].
     pub fn bcast(
+        &self,
+        world: &mut SimWorld,
+        root: usize,
+        data: Option<Vec<u8>>,
+        done: impl FnOnce(&mut SimWorld, Vec<u8>) + 'static,
+    ) {
+        let topo = self.inner.borrow().topology.clone();
+        match topo {
+            Some(t) if t.site_count() > 1 => self.bcast_hier(world, &t, root, data, done),
+            _ => self.bcast_linear(world, root, data, done),
+        }
+    }
+
+    /// The flat root-sends-to-everyone broadcast — the seed behaviour,
+    /// kept as the oracle the hierarchical broadcast is checked against.
+    pub fn bcast_linear(
         &self,
         world: &mut SimWorld,
         root: usize,
@@ -430,6 +579,82 @@ impl MpiComm {
                 done(world, msg.data)
             });
         }
+    }
+
+    /// Hierarchical broadcast over the installed site decomposition: the
+    /// root hands the buffer to its site leader (if it is not the leader
+    /// itself), the root leader sends it to every other site leader —
+    /// the only WAN crossings — and each leader copies it to its site
+    /// members. Three collective tags are consumed on every rank.
+    fn bcast_hier(
+        &self,
+        world: &mut SimWorld,
+        topo: &Rc<CommTopology>,
+        root: usize,
+        data: Option<Vec<u8>>,
+        done: impl FnOnce(&mut SimWorld, Vec<u8>) + 'static,
+    ) {
+        let tag_up = self.next_coll_tag();
+        let tag_inter = self.next_coll_tag();
+        let tag_down = self.next_coll_tag();
+        let rank = self.rank();
+        let my_site = topo.site_of(rank);
+        let my_leader = topo.leader(my_site);
+        let root_site = topo.site_of(root);
+        let root_leader = topo.leader(root_site);
+
+        // A leader holding the buffer fans it out: across the WAN to the
+        // other site leaders (root leader only), and down into its own
+        // site (skipping the root, which already holds it).
+        let comm = self.clone();
+        let topo2 = topo.clone();
+        let fan_out = move |world: &mut SimWorld, data: &[u8]| {
+            let me = comm.rank();
+            if me == root_leader {
+                for s in 0..topo2.site_count() {
+                    let l = topo2.leader(s);
+                    if l != root_leader {
+                        comm.send(world, l, tag_inter, data);
+                    }
+                }
+            }
+            for &member in topo2.site_ranks(topo2.site_of(me)) {
+                if member != me && member != root {
+                    comm.send(world, member, tag_down, data);
+                }
+            }
+        };
+
+        if rank == root {
+            let data = data.expect("root must provide the broadcast buffer");
+            if rank == my_leader {
+                fan_out(world, &data);
+            } else {
+                self.send(world, my_leader, tag_up, &data);
+            }
+            done(world, data);
+            return;
+        }
+        if rank == my_leader {
+            // The buffer arrives from the root (same site, up the tree)
+            // or from the root leader (across the WAN).
+            let (src, tag) = if my_site == root_site {
+                (root, tag_up)
+            } else {
+                (root_leader, tag_inter)
+            };
+            let fan_out = RefCell::new(Some(fan_out));
+            self.recv(world, Some(src), Some(tag), move |world, msg| {
+                if let Some(fan_out) = fan_out.borrow_mut().take() {
+                    fan_out(world, &msg.data);
+                }
+                done(world, msg.data);
+            });
+            return;
+        }
+        self.recv(world, Some(my_leader), Some(tag_down), move |world, msg| {
+            done(world, msg.data)
+        });
     }
 
     /// Sum-reduction of one `f64` to `root`; the root's `done` receives
@@ -514,7 +739,9 @@ impl MpiComm {
         let comm = self.clone();
         self.reduce_sum(world, 0, value, move |world, total| {
             // Root broadcasts the result; everyone completes on reception.
-            comm.bcast(
+            // Explicitly the *linear* broadcast: this is the flat oracle,
+            // whatever topology is installed.
+            comm.bcast_linear(
                 world,
                 0,
                 total.map(|t| t.to_be_bytes().to_vec()),
@@ -958,6 +1185,91 @@ mod tests {
             hier_inter < linear_inter,
             "hierarchy must cross the WAN strictly less"
         );
+    }
+
+    #[test]
+    fn hierarchical_bcast_matches_linear_oracle() {
+        // Same grid, same root, same payload: both algorithms must hand
+        // every rank the identical buffer; the hierarchy must cross the
+        // site boundary once per remote site instead of once per remote
+        // rank.
+        let run = |hier: bool, root: usize| -> (Vec<Vec<u8>>, u64) {
+            let (mut world, comms) = grid_mpi_world(3, 3, true);
+            let n = comms.len();
+            let results = Rc::new(RefCell::new(vec![Vec::new(); n]));
+            for (i, comm) in comms.iter().enumerate() {
+                let r = results.clone();
+                let data = (i == root).then(|| b"hier payload".to_vec());
+                let cb = move |_w: &mut SimWorld, buf: Vec<u8>| {
+                    r.borrow_mut()[i] = buf;
+                };
+                if hier {
+                    comm.bcast(&mut world, root, data, cb);
+                } else {
+                    comm.bcast_linear(&mut world, root, data, cb);
+                }
+            }
+            world.run();
+            let inter: u64 = comms.iter().map(|c| c.inter_site_messages()).sum();
+            (Rc::try_unwrap(results).unwrap().into_inner(), inter)
+        };
+        // Root 4 is a plain member of site 1 — the up-the-tree hop, the
+        // leader exchange and the skip-the-root fan-out all engage.
+        let (linear_bufs, linear_inter) = run(false, 4);
+        let (hier_bufs, hier_inter) = run(true, 4);
+        assert_eq!(hier_bufs, linear_bufs, "buffers must match the oracle");
+        assert!(hier_bufs.iter().all(|b| b == b"hier payload"));
+        // Linear from rank 4: 6 remote-site ranks cross. Hierarchical:
+        // one leader exchange = S-1 = 2.
+        assert_eq!(linear_inter, 6);
+        assert_eq!(hier_inter, 2);
+    }
+
+    #[test]
+    fn hierarchical_bcast_from_leader_root_matches_oracle() {
+        let (mut world, comms) = grid_mpi_world(2, 3, true);
+        let n = comms.len();
+        let results = Rc::new(RefCell::new(vec![Vec::new(); n]));
+        for (i, comm) in comms.iter().enumerate() {
+            let r = results.clone();
+            // Rank 0 is the gateway (and leader) of site 0.
+            let data = (i == 0).then(|| vec![9u8; 100]);
+            comm.bcast(&mut world, 0, data, move |_w, buf| {
+                r.borrow_mut()[i] = buf;
+            });
+        }
+        world.run();
+        for i in 0..n {
+            assert_eq!(results.borrow()[i], vec![9u8; 100], "rank {i}");
+        }
+        let inter: u64 = comms.iter().map(|c| c.inter_site_messages()).sum();
+        assert_eq!(inter, 1, "leader root crosses once per remote site");
+    }
+
+    #[test]
+    fn hierarchical_barrier_releases_all_and_crosses_less() {
+        let run = |hier: bool| -> u64 {
+            let (mut world, comms) = grid_mpi_world(2, 4, true);
+            let released = Rc::new(Cell::new(0));
+            for comm in &comms {
+                let r = released.clone();
+                let cb = move |_w: &mut SimWorld| r.set(r.get() + 1);
+                if hier {
+                    comm.barrier(&mut world, cb);
+                } else {
+                    comm.barrier_linear(&mut world, cb);
+                }
+            }
+            world.run();
+            assert_eq!(released.get(), comms.len(), "every rank releases");
+            comms.iter().map(|c| c.inter_site_messages()).sum()
+        };
+        let linear_inter = run(false);
+        let hier_inter = run(true);
+        // Linear: each of site 1's four ranks crosses twice (enter +
+        // release). Hierarchical: one leader round-trip = 2·(S-1).
+        assert_eq!(linear_inter, 8);
+        assert_eq!(hier_inter, 2);
     }
 
     #[test]

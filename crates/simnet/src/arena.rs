@@ -14,7 +14,12 @@
 //! partitioned run owns a private pool (the pool is plain data, no
 //! interior sharing).
 
+use std::cell::RefCell;
+use std::rc::Rc;
+
 use bytes::Bytes;
+
+use crate::telemetry::MetricsRegistry;
 
 /// A bounded freelist of payload buffers.
 #[derive(Debug)]
@@ -101,6 +106,29 @@ impl FramePool {
     /// Allocation counters.
     pub fn stats(&self) -> PoolStats {
         self.stats
+    }
+
+    /// Registers a shared pool into a [`MetricsRegistry`] under
+    /// `sim.executor.pool.*` (hit/miss counters plus a freelist gauge),
+    /// so [`MetricsSnapshot`](crate::telemetry::MetricsSnapshot) covers
+    /// payload recycling wherever the sharded/partitioned executors use
+    /// it. Holds only a weak reference — a dropped pool scrapes nothing.
+    pub fn register_metrics(pool: &Rc<RefCell<FramePool>>, registry: &MetricsRegistry) {
+        let weak = Rc::downgrade(pool);
+        registry.register_collector(move |b| {
+            let Some(pool) = weak.upgrade() else { return };
+            let pool = pool.borrow();
+            let s = pool.stats();
+            b.counter("sim.executor.pool.reused", &[], s.reused);
+            b.counter("sim.executor.pool.allocated", &[], s.allocated);
+            b.counter("sim.executor.pool.reclaimed", &[], s.reclaimed);
+            b.counter("sim.executor.pool.missed", &[], s.missed);
+            b.gauge(
+                "sim.executor.pool.free_buffers",
+                &[],
+                pool.free_buffers() as i64,
+            );
+        });
     }
 }
 

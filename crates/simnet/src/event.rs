@@ -134,7 +134,7 @@ impl EventQueue {
 
     fn skip_cancelled(&mut self) {
         while let Some((_, seq)) = self.wheel.peek() {
-            if self.cancelled.remove(&seq) {
+            if self.cancelled.contains(&seq) {
                 self.wheel.pop();
             } else {
                 break;
@@ -143,16 +143,19 @@ impl EventQueue {
     }
 
     /// Sweeps tombstones out of the wheel once they exceed half the live
-    /// entries. Cancelled ids that were found (and purged) are dropped
-    /// from the tombstone set; ids of already-fired events stay, which is
-    /// what makes double-cancel detection exact.
+    /// entries. The purged ids *stay* in the tombstone set — that is what
+    /// makes double-cancel detection exact: if compaction (or pop-skip)
+    /// forgot an id, a second `cancel` of the same handle would read as a
+    /// fresh cancellation and corrupt the live count. The set therefore
+    /// holds one bare id per cancellation for the rest of the run, while
+    /// the compacted closures (the part worth reclaiming) are freed.
     fn maybe_compact(&mut self) {
         let tombstones = self.cancelled_pending();
         if tombstones < COMPACT_FLOOR || tombstones * 2 <= self.live {
             return;
         }
-        let cancelled = &mut self.cancelled;
-        self.wheel.retain(|seq| !cancelled.remove(&seq));
+        let cancelled = &self.cancelled;
+        self.wheel.retain(|seq| !cancelled.contains(&seq));
         self.compactions += 1;
     }
 

@@ -62,7 +62,7 @@ pub use node::{Node, NodeId};
 pub use rng::SimRng;
 pub use shard::{
     run_partitioned, Partition, PartitionReport, PartitionStats, RemoteFrame, ShardMap,
-    ShardOutcome, ShardStats, REMOTE_NET,
+    ShardOutcome, ShardStats, TrunkLookahead, REMOTE_NET,
 };
 pub use spec::{HostProfile, NetworkClass, NetworkSpec};
 pub use stats::{NetworkStats, WorldStats};

@@ -26,7 +26,7 @@
 //!    with N worker threads is byte-identical to the same run with one.
 //!    This is what executes the measured 10⁵-node worlds.
 
-use std::collections::{BinaryHeap, HashSet};
+use std::collections::{BTreeMap, BinaryHeap, HashSet};
 use std::sync::mpsc;
 
 use crate::event::{EventFn, EventId, EventQueue};
@@ -158,7 +158,7 @@ impl Lane {
     /// cancelled entries sitting at the head.
     fn head(&mut self) -> Option<(u64, u64)> {
         while let Some((t, seq)) = self.wheel.peek() {
-            if self.cancelled.remove(&seq) {
+            if self.cancelled.contains(&seq) {
                 self.wheel.pop();
             } else {
                 return Some((t, seq));
@@ -167,13 +167,17 @@ impl Lane {
         None
     }
 
+    /// Mirrors [`EventQueue`]'s compaction exactly, including the rule
+    /// that purged ids stay in the tombstone set (exact double-cancel
+    /// detection — see `EventQueue::maybe_compact`); the executors must
+    /// agree on every cancel verdict to stay byte-equivalent.
     fn maybe_compact(&mut self) {
         let tombstones = self.wheel.len().saturating_sub(self.live);
         if tombstones < COMPACT_FLOOR || tombstones * 2 <= self.live {
             return;
         }
-        let cancelled = &mut self.cancelled;
-        self.wheel.retain(|seq| !cancelled.remove(&seq));
+        let cancelled = &self.cancelled;
+        self.wheel.retain(|seq| !cancelled.contains(&seq));
         self.compactions += 1;
     }
 }
@@ -249,6 +253,30 @@ impl ShardedQueue {
 
     pub(crate) fn compactions(&self) -> u64 {
         self.lanes.iter().map(|l| l.compactions).sum()
+    }
+
+    /// `(live, tombstoned)` entry counts of one lane.
+    pub(crate) fn lane_pending(&self, lane: u16) -> Option<(usize, usize)> {
+        self.lanes
+            .get(lane as usize)
+            .map(|l| (l.live, l.wheel.len().saturating_sub(l.live)))
+    }
+
+    /// Unconditionally compacts one lane's tombstones (no floor — this
+    /// is the site-drain sweep, where the lane is about to go dormant).
+    /// Returns the number of entries removed.
+    pub(crate) fn compact_lane(&mut self, lane: u16) -> usize {
+        let Some(l) = self.lanes.get_mut(lane as usize) else {
+            return 0;
+        };
+        let before = l.wheel.len();
+        let cancelled = &l.cancelled;
+        l.wheel.retain(|seq| !cancelled.contains(&seq));
+        let removed = before - l.wheel.len();
+        if removed > 0 {
+            l.compactions += 1;
+        }
+        removed
     }
 
     fn refresh_head(&mut self, lane: usize) {
@@ -359,8 +387,16 @@ pub struct RemoteFrame {
     pub seq: u64,
     /// Absolute virtual delivery time (≥ send time + lookahead).
     pub deliver_at: SimTime,
+    /// Network the frame should appear to arrive on. [`REMOTE_NET`] for
+    /// frames emitted through the raw
+    /// [`send_remote`](crate::world::SimWorld::send_remote) channel;
+    /// a real network id for frames intercepted at a mirrored trunk (the
+    /// destination world then delivers through its normal per-network
+    /// path, so unclaimed accounting and handler dispatch match the
+    /// single-world run byte-for-byte).
+    pub net: crate::NetworkId,
     /// The frame itself; delivered to the `(dst, proto)` handler in the
-    /// destination world with [`REMOTE_NET`] as the network id.
+    /// destination world.
     pub frame: Frame,
 }
 
@@ -376,6 +412,91 @@ pub struct PartitionStats {
     pub cross_out: u64,
     /// Remote frames that arrived with no handler registered.
     pub remote_unclaimed: u64,
+    /// Cross-shard frames whose computed delivery undercut the lookahead
+    /// of their trunk — each one is a window-safety violation (a trunk
+    /// map that promised more lookahead than the mirrored network
+    /// provides). Always 0 on a conforming configuration; the frame is
+    /// still shipped at its true delivery time, never floored, so
+    /// equivalence runs surface the bug instead of masking it.
+    pub lookahead_violations: u64,
+}
+
+/// Per-trunk conservative lookahead: a lower bound on the delivery
+/// latency of every cross-shard frame per directed shard pair.
+///
+/// This is the per-edge refinement of the single global window: a shard
+/// only needs to wait for its *in-edges*, so one low-latency trunk
+/// elsewhere in the grid no longer throttles every window. Derived from
+/// gateway trunk latencies by
+/// `GridTopology::trunk_lookaheads` on the full stack.
+#[derive(Clone, Debug, Default)]
+pub struct TrunkLookahead {
+    edges: BTreeMap<(u16, u16), SimDuration>,
+}
+
+impl TrunkLookahead {
+    /// An empty map (no trunks declared).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Declares the lookahead of the directed trunk `from → to`.
+    /// Keeps the minimum if the pair is declared twice (parallel trunks).
+    pub fn set(&mut self, from: u16, to: u16, lookahead: SimDuration) {
+        assert!(
+            lookahead > SimDuration::ZERO,
+            "conservative sync needs a non-zero per-trunk lookahead"
+        );
+        self.edges
+            .entry((from, to))
+            .and_modify(|d| *d = (*d).min(lookahead))
+            .or_insert(lookahead);
+    }
+
+    /// Lookahead of the directed trunk `from → to`, if declared.
+    pub fn get(&self, from: u16, to: u16) -> Option<SimDuration> {
+        self.edges.get(&(from, to)).copied()
+    }
+
+    /// Number of declared directed trunks.
+    pub fn len(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Whether no trunks are declared.
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+
+    /// Iterates `(from, to, lookahead)` in canonical order.
+    pub fn iter(&self) -> impl Iterator<Item = (u16, u16, SimDuration)> + '_ {
+        self.edges.iter().map(|(&(f, t), &d)| (f, t, d))
+    }
+
+    /// In-edge adjacency per destination shard: `in_edges[s]` lists
+    /// `(src, lookahead)` for every declared trunk into `s`.
+    fn in_edges(&self, shards: u16) -> Vec<Vec<(u16, SimDuration)>> {
+        let mut adj = vec![Vec::new(); shards as usize];
+        for (&(from, to), &d) in &self.edges {
+            if (to as usize) < adj.len() {
+                adj[to as usize].push((from, d));
+            }
+        }
+        adj
+    }
+
+    /// Per-source lookahead vectors for a shard world's mirror boundary:
+    /// `out[to]` is the lookahead this shard promised on its trunk to
+    /// `to` (used by the sender side to count violations).
+    pub(crate) fn out_edges_of(&self, from: u16, shards: u16) -> Vec<Option<SimDuration>> {
+        let mut out = vec![None; shards as usize];
+        for (&(f, t), &d) in &self.edges {
+            if f == from && (t as usize) < out.len() {
+                out[t as usize] = Some(d);
+            }
+        }
+        out
+    }
 }
 
 /// Configuration for [`run_partitioned`].
@@ -385,9 +506,19 @@ pub struct Partition {
     pub shards: u16,
     /// Worker threads (shard `s` is owned by worker `s % threads`).
     pub threads: usize,
-    /// Conservative window width; must be a lower bound on every
-    /// cross-shard delivery latency, and must be non-zero.
+    /// Global conservative window width; must be a lower bound on every
+    /// cross-shard delivery latency, and must be non-zero. Used whenever
+    /// `trunks` is `None`, and as the floor raw
+    /// [`send_remote`](crate::world::SimWorld::send_remote) deliveries
+    /// are clamped to.
     pub lookahead: SimDuration,
+    /// Per-trunk lookahead map. When set, each shard's window horizon is
+    /// computed from its in-edges only — `horizon(s) = min over declared
+    /// trunks (p → s) of (earliest(p) + lookahead(p → s))`, where
+    /// `earliest(p)` covers both `p`'s pending events and frames still
+    /// in transit towards `p`. A shard with no in-edges runs to local
+    /// quiescence in one window.
+    pub trunks: Option<TrunkLookahead>,
     /// Base RNG seed; shard `s` runs on `seed + s`.
     pub seed: u64,
 }
@@ -439,22 +570,33 @@ impl PartitionReport {
     pub fn digest(&self) -> String {
         crate::telemetry::merged_digest(self.outcomes.iter().map(|o| {
             let header = format!(
-                "shard={} now={} events={} cross_in={} cross_out={} unclaimed={}",
+                "shard={} now={} events={} cross_in={} cross_out={} unclaimed={} violations={}",
                 o.shard,
                 o.final_now.as_nanos(),
                 o.events_executed,
                 o.stats.cross_in,
                 o.stats.cross_out,
                 o.stats.remote_unclaimed,
+                o.stats.lookahead_violations,
             );
             (header, &o.snapshot)
         }))
+    }
+
+    /// Total cross-shard lookahead violations (0 on a conforming run).
+    pub fn lookahead_violations(&self) -> u64 {
+        self.outcomes
+            .iter()
+            .map(|o| o.stats.lookahead_violations)
+            .sum()
     }
 }
 
 enum Go {
     Round {
-        horizon: SimTime,
+        /// Window horizon per shard index (uniform mode broadcasts one
+        /// value; per-trunk mode computes each from the shard's in-edges).
+        horizons: Vec<SimTime>,
         frames: Vec<RemoteFrame>,
     },
     Finish,
@@ -463,7 +605,8 @@ enum Go {
 struct Done {
     worker: usize,
     outbox: Vec<RemoteFrame>,
-    next_time: Option<SimTime>,
+    /// Earliest pending local event per owned shard.
+    next_times: Vec<(u16, Option<SimTime>)>,
     executed_delta: u64,
 }
 
@@ -488,6 +631,7 @@ where
         "conservative sync needs a non-zero lookahead"
     );
     let threads = cfg.threads.clamp(1, cfg.shards as usize);
+    let in_edges = cfg.trunks.as_ref().map(|t| t.in_edges(cfg.shards));
     let build = &build;
 
     let mut to_workers: Vec<mpsc::Sender<Go>> = Vec::with_capacity(threads);
@@ -510,41 +654,43 @@ where
                 .filter(|s| *s as usize % threads == worker)
                 .collect();
             let (seed, lookahead) = (cfg.seed, cfg.lookahead);
+            let trunks = cfg.trunks.clone();
+            let shards = cfg.shards;
             scope.spawn(move || {
                 let mut worlds: Vec<(u16, SimWorld, u64)> = owned
                     .iter()
                     .map(|&s| {
                         let mut w = SimWorld::new(seed.wrapping_add(s as u64));
                         w.enable_partition(s, lookahead);
+                        if let Some(t) = &trunks {
+                            w.set_trunk_lookaheads(t.out_edges_of(s, shards));
+                        }
                         build(s, &mut w);
                         (s, w, 0u64)
                     })
                     .collect();
                 while let Ok(go) = rx.recv() {
                     match go {
-                        Go::Round { horizon, frames } => {
+                        Go::Round { horizons, frames } => {
                             let mut outbox = Vec::new();
-                            let mut next_time: Option<SimTime> = None;
+                            let mut next_times = Vec::with_capacity(worlds.len());
                             let mut executed_delta = 0u64;
                             for (sid, world, seen) in worlds.iter_mut() {
                                 for rf in frames.iter().filter(|rf| rf.to == *sid) {
                                     world.inject_remote(rf.clone());
                                 }
-                                world.run_before(horizon);
+                                world.run_before(horizons[*sid as usize]);
                                 let executed = world.stats.events_executed;
                                 executed_delta += executed - *seen;
                                 *seen = executed;
                                 outbox.append(&mut world.take_remote_outbox());
-                                next_time = match (next_time, world.next_event_time()) {
-                                    (Some(a), Some(b)) => Some(a.min(b)),
-                                    (a, b) => a.or(b),
-                                };
+                                next_times.push((*sid, world.next_event_time()));
                             }
                             done_tx
                                 .send(Done {
                                     worker,
                                     outbox,
-                                    next_time,
+                                    next_times,
                                     executed_delta,
                                 })
                                 .expect("coordinator alive");
@@ -571,7 +717,8 @@ where
         // Coordinator: barrier rounds until every shard is quiescent and
         // no frames are in transit.
         let mut transit: Vec<RemoteFrame> = Vec::new();
-        let mut horizon = SimTime::ZERO; // first round executes nothing, just reports
+        // First round executes nothing, just reports.
+        let mut horizons = vec![SimTime::ZERO; cfg.shards as usize];
         loop {
             // Route in-transit frames to their owning workers in the
             // canonical order (sorted below before being moved here).
@@ -581,41 +728,66 @@ where
                     .filter(|rf| rf.to as usize % threads == worker)
                     .cloned()
                     .collect();
-                tx.send(Go::Round { horizon, frames })
-                    .expect("worker alive");
+                tx.send(Go::Round {
+                    horizons: horizons.clone(),
+                    frames,
+                })
+                .expect("worker alive");
             }
             transit.clear();
             rounds += 1;
 
-            let mut next_time: Option<SimTime> = None;
+            // Earliest thing that can still happen in each shard: a
+            // pending local event, or an in-transit frame (which becomes
+            // an event at its delivery time).
+            let mut bases: Vec<Option<SimTime>> = vec![None; cfg.shards as usize];
+            let min_into = |slot: &mut Option<SimTime>, t: Option<SimTime>| {
+                *slot = match (*slot, t) {
+                    (Some(a), Some(b)) => Some(a.min(b)),
+                    (a, b) => a.or(b),
+                };
+            };
             for _ in 0..threads {
                 let done = done_rx.recv().expect("worker alive");
                 let _ = done.worker;
                 events_total += done.executed_delta;
                 frames_crossed += done.outbox.len() as u64;
+                for &(sid, t) in &done.next_times {
+                    min_into(&mut bases[sid as usize], t);
+                }
                 transit.extend(done.outbox);
-                next_time = match (next_time, done.next_time) {
-                    (Some(a), Some(b)) => Some(a.min(b)),
-                    (a, b) => a.or(b),
-                };
             }
-            // Earliest thing that can still happen anywhere: a pending
-            // local event, or an in-transit frame (which becomes an event
-            // at its delivery time).
-            let earliest = transit
-                .iter()
-                .map(|rf| rf.deliver_at)
-                .chain(next_time)
-                .min();
-            let Some(earliest) = earliest else {
+            for rf in &transit {
+                min_into(&mut bases[rf.to as usize], Some(rf.deliver_at));
+            }
+            let Some(earliest) = bases.iter().flatten().min().copied() else {
                 break; // fully quiescent
             };
             // Canonical injection order — this is what makes the run
             // independent of thread count and scheduling.
             transit.sort_by_key(|rf| (rf.deliver_at, rf.from, rf.seq));
-            // Any event below earliest + lookahead cannot be affected by
-            // a cross-shard frame generated at or after `earliest`.
-            horizon = earliest + cfg.lookahead;
+            match &in_edges {
+                // Global window: any event below earliest + lookahead
+                // cannot be affected by a cross-shard frame generated at
+                // or after `earliest`.
+                None => horizons.fill(earliest + cfg.lookahead),
+                // Per-trunk windows: shard `s` only has to respect its
+                // in-edges. A frame emitted by `p` at or after `base(p)`
+                // reaches `s` no earlier than `base(p) + lookahead(p→s)`,
+                // so `s` may run strictly below the minimum of those
+                // bounds. Shards whose upstreams are all quiescent (or
+                // that have no declared in-edges) run to local
+                // quiescence in this window.
+                Some(adj) => {
+                    for (s, horizon) in horizons.iter_mut().enumerate() {
+                        *horizon = adj[s]
+                            .iter()
+                            .filter_map(|&(p, d)| bases[p as usize].map(|b| b.saturating_add(d)))
+                            .min()
+                            .unwrap_or(SimTime::MAX);
+                    }
+                }
+            }
         }
         for tx in &to_workers {
             tx.send(Go::Finish).expect("worker alive");
@@ -651,6 +823,7 @@ mod tests {
             shards: 2,
             threads,
             lookahead: SimDuration::from_micros(50),
+            trunks: None,
             seed: 7,
         };
         run_partitioned(&cfg, |shard, world| {
@@ -692,12 +865,76 @@ mod tests {
         assert_eq!(a, b);
     }
 
+    /// A ring of shards relaying one token each: shard `s` forwards to
+    /// `s + 1` over its declared trunk. Per-trunk windows must produce
+    /// the same run as the global-minimum window, in (weakly) fewer
+    /// barrier rounds, with zero violations.
+    fn token_ring(trunks: Option<TrunkLookahead>) -> PartitionReport {
+        const SHARDS: u16 = 4;
+        let cfg = Partition {
+            shards: SHARDS,
+            threads: 2,
+            lookahead: SimDuration::from_micros(20),
+            trunks,
+            seed: 11,
+        };
+        run_partitioned(&cfg, |shard, world| {
+            let node = world.add_node(&format!("gw{shard}"));
+            let next = (shard + 1) % SHARDS;
+            let hops = Rc::new(Cell::new(0u32));
+            // Each hop waits out a latency matching its trunk: slow out
+            // of even shards, fast out of odd ones.
+            let delay = if shard % 2 == 0 {
+                SimDuration::from_micros(200)
+            } else {
+                SimDuration::from_micros(20)
+            };
+            world.register_handler(node, ProtoId::user(0), move |w, _net, f| {
+                hops.set(hops.get() + 1);
+                if hops.get() < 8 {
+                    let fwd = Frame::new(f.dst, f.src, ProtoId::user(0), vec![0u8; 32]);
+                    w.send_remote(next, fwd, delay);
+                }
+            });
+            if shard == 0 {
+                world.schedule_at(SimTime::from_nanos(100), move |w| {
+                    let f = Frame::new(node, NodeId(0), ProtoId::user(0), vec![0u8; 32]);
+                    w.send_remote(next, f, delay);
+                });
+            }
+        })
+    }
+
+    #[test]
+    fn per_trunk_windows_match_global_and_save_rounds() {
+        let mut trunks = TrunkLookahead::new();
+        for s in 0..4u16 {
+            let d = if s % 2 == 0 {
+                SimDuration::from_micros(200)
+            } else {
+                SimDuration::from_micros(20)
+            };
+            trunks.set(s, (s + 1) % 4, d);
+        }
+        let global = token_ring(None);
+        let per_trunk = token_ring(Some(trunks));
+        assert_eq!(global.digest(), per_trunk.digest());
+        assert_eq!(per_trunk.lookahead_violations(), 0);
+        assert!(
+            per_trunk.rounds <= global.rounds,
+            "per-trunk windows must not add rounds: {} vs {}",
+            per_trunk.rounds,
+            global.rounds
+        );
+    }
+
     #[test]
     fn local_traffic_runs_inside_a_shard() {
         let cfg = Partition {
             shards: 3,
             threads: 2,
             lookahead: SimDuration::from_micros(10),
+            trunks: None,
             seed: 1,
         };
         let r = run_partitioned(&cfg, |_shard, world| {

@@ -123,6 +123,15 @@ impl Log2Histogram {
             .map(|(b, &c)| (b as u32, c))
             .collect()
     }
+
+    /// Accumulates another histogram into this one, bucket-wise.
+    pub fn absorb(&mut self, other: &Log2Histogram) {
+        for (b, c) in other.buckets() {
+            self.counts[b as usize] += c;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+    }
 }
 
 // --------------------------------------------------------------------- //
@@ -359,6 +368,52 @@ impl MetricsSnapshot {
         }
         s.push_str("  }\n}\n");
         s
+    }
+
+    /// Like [`to_json`](Self::to_json), but with every entry whose key
+    /// starts with one of `prefixes` omitted. The comparison surface for
+    /// cross-executor equivalence: executor-internal bookkeeping
+    /// (`sim.executor.*`) legitimately differs between queue
+    /// organizations and is stripped before asserting byte-identity.
+    pub fn to_json_excluding(&self, prefixes: &[&str]) -> String {
+        let filtered = MetricsSnapshot {
+            entries: self
+                .entries
+                .iter()
+                .filter(|(k, _)| !prefixes.iter().any(|p| k.starts_with(p)))
+                .map(|(k, v)| (k.clone(), v.clone()))
+                .collect(),
+        };
+        filtered.to_json()
+    }
+
+    /// Merges per-shard snapshots of one partitioned run into the
+    /// single-world view: counters add, gauges take the maximum (mirror
+    /// worlds report identical structural gauges, and per-gateway
+    /// high-water marks live in exactly one world each — the others hold
+    /// zero), histograms accumulate bucket-wise.
+    pub fn merge<'a>(parts: impl IntoIterator<Item = &'a MetricsSnapshot>) -> MetricsSnapshot {
+        let mut entries: BTreeMap<String, MetricValue> = BTreeMap::new();
+        for part in parts {
+            for (key, value) in &part.entries {
+                match entries.entry(key.clone()) {
+                    std::collections::btree_map::Entry::Vacant(e) => {
+                        e.insert(value.clone());
+                    }
+                    std::collections::btree_map::Entry::Occupied(mut e) => {
+                        match (e.get_mut(), value) {
+                            (MetricValue::Counter(a), MetricValue::Counter(b)) => *a += b,
+                            (MetricValue::Gauge(a), MetricValue::Gauge(b)) => *a = (*a).max(*b),
+                            (MetricValue::Histogram(a), MetricValue::Histogram(b)) => {
+                                a.absorb(b);
+                            }
+                            (slot, other) => *slot = other.clone(),
+                        }
+                    }
+                }
+            }
+        }
+        MetricsSnapshot { entries }
     }
 }
 

@@ -96,6 +96,16 @@ struct ShardState {
 struct PartitionState {
     shard: u16,
     lookahead: SimDuration,
+    /// Per-destination-shard lookahead (this shard's trunk out-edges);
+    /// empty when the run uses the single global window.
+    trunk_out: Vec<Option<SimDuration>>,
+    /// Mirror ownership: node index → owning shard. When non-empty, the
+    /// world was built as a full mirror of the grid and
+    /// [`SimWorld::send_frame`] intercepts frames whose destination is
+    /// owned by another shard at the trunk boundary (full local wire
+    /// timing, then ship). Empty = no mirror, only explicit
+    /// [`SimWorld::send_remote`] crosses shards.
+    owner_of: Vec<u16>,
     out_seq: u64,
     outbox: Vec<RemoteFrame>,
     stats: PartitionStats,
@@ -518,6 +528,45 @@ impl SimWorld {
             return Ok(());
         }
 
+        // Partition-mirror trunk boundary: the wire timing above ran
+        // against this world's mirror of the network (ports, stats,
+        // serialization — byte-identical to the single-world run), but
+        // the destination node executes in another shard's world. Ship
+        // the frame at its true delivery time; the destination world
+        // re-enters through its normal per-network delivery path. The
+        // delivery event is *not* scheduled (or counted) here — the
+        // destination world schedules it at injection.
+        if let Some(p) = self.partition.as_deref_mut() {
+            if let Some(&owner) = p.owner_of.get(frame.dst.index()) {
+                if owner != p.shard {
+                    let declared = p.trunk_out.get(owner as usize).copied().flatten();
+                    if !p.trunk_out.is_empty() && declared.is_none() {
+                        // Per-trunk windows promise nothing about an
+                        // undeclared pair — crossing one is unsafe.
+                        p.stats.lookahead_violations += 1;
+                    }
+                    if delivery_time < now + declared.unwrap_or(p.lookahead) {
+                        // Never floored: ship at the true time so
+                        // equivalence runs surface the bad lookahead
+                        // instead of masking it with skewed clocks.
+                        p.stats.lookahead_violations += 1;
+                    }
+                    let seq = p.out_seq;
+                    p.out_seq += 1;
+                    p.stats.cross_out += 1;
+                    p.outbox.push(RemoteFrame {
+                        to: owner,
+                        from: p.shard,
+                        seq,
+                        deliver_at: delivery_time,
+                        net: network,
+                        frame,
+                    });
+                    return Ok(());
+                }
+            }
+        }
+
         // Under the sharded-merge executor the delivery event belongs to
         // the destination's lane; a lane crossing is counted and checked
         // against the lookahead window (both always satisfied on a
@@ -589,6 +638,28 @@ impl SimWorld {
         self.shard.as_ref().map(|s| &s.stats)
     }
 
+    /// `(live, tombstoned)` entry counts of one sharded-merge lane, or
+    /// `None` when the sharded-merge executor is not enabled (or the
+    /// lane does not exist). Used by site drain to decide whether a
+    /// departing site's lane still holds work.
+    pub fn shard_lane_pending(&self, lane: u16) -> Option<(usize, usize)> {
+        match &self.queue {
+            Queue::Sharded(q) => q.lane_pending(lane),
+            Queue::Single(_) => None,
+        }
+    }
+
+    /// Forces a tombstone compaction sweep of one sharded-merge lane,
+    /// returning the number of cancelled entries physically removed.
+    /// Site drain calls this before detaching a site so a dead lane does
+    /// not keep tombstones resident for the rest of the run.
+    pub fn sweep_shard_lane(&mut self, lane: u16) -> usize {
+        match &mut self.queue {
+            Queue::Sharded(q) => q.compact_lane(lane),
+            Queue::Single(_) => 0,
+        }
+    }
+
     /// Which executor this world runs on: `"single"`, `"sharded"` or
     /// `"partitioned"`.
     pub fn executor_kind(&self) -> &'static str {
@@ -610,6 +681,8 @@ impl SimWorld {
         self.partition = Some(Box::new(PartitionState {
             shard,
             lookahead,
+            trunk_out: Vec::new(),
+            owner_of: Vec::new(),
             out_seq: 0,
             outbox: Vec::new(),
             stats: PartitionStats {
@@ -617,6 +690,44 @@ impl SimWorld {
                 ..PartitionStats::default()
             },
         }));
+    }
+
+    /// Installs this shard's per-trunk lookahead out-edges
+    /// (`out[to_shard]`), replacing the single global floor for declared
+    /// destinations. Normally called by
+    /// [`run_partitioned`](crate::shard::run_partitioned) from
+    /// [`Partition::trunks`](crate::shard::Partition::trunks).
+    pub fn set_trunk_lookaheads(&mut self, out: Vec<Option<SimDuration>>) {
+        let p = self
+            .partition
+            .as_deref_mut()
+            .expect("set_trunk_lookaheads requires enable_partition");
+        p.trunk_out = out;
+    }
+
+    /// Declares this world a full *mirror* of the grid: every shard
+    /// builds identical nodes/networks (same ids, same seed-independent
+    /// construction order), and `owner_of[node.index()]` names the shard
+    /// whose world actually executes that node. From then on,
+    /// [`SimWorld::send_frame`] computes full local wire timing for every
+    /// frame — TX/RX port occupancy, serialization, latency — and frames
+    /// whose destination is foreign-owned are shipped across the shard
+    /// boundary at their true delivery time instead of being scheduled
+    /// locally. Nodes beyond the map are treated as local.
+    pub fn set_mirror_owners(&mut self, owner_of: Vec<u16>) {
+        let p = self
+            .partition
+            .as_deref_mut()
+            .expect("set_mirror_owners requires enable_partition");
+        p.owner_of = owner_of;
+    }
+
+    /// The shard owning `node` under the mirror map (`None` when no
+    /// mirror is installed: everything is local).
+    pub fn mirror_owner(&self, node: NodeId) -> Option<u16> {
+        self.partition
+            .as_deref()
+            .and_then(|p| p.owner_of.get(node.index()).copied())
     }
 
     /// Emits `frame` towards another shard world. Delivery happens at
@@ -630,7 +741,11 @@ impl SimWorld {
             .partition
             .as_deref_mut()
             .expect("send_remote requires enable_partition");
-        let deliver_at = now + extra_delay.max(p.lookahead);
+        let declared = p.trunk_out.get(to_shard as usize).copied().flatten();
+        if !p.trunk_out.is_empty() && declared.is_none() {
+            p.stats.lookahead_violations += 1;
+        }
+        let deliver_at = now + extra_delay.max(declared.unwrap_or(p.lookahead));
         let seq = p.out_seq;
         p.out_seq += 1;
         p.stats.cross_out += 1;
@@ -639,6 +754,7 @@ impl SimWorld {
             from: p.shard,
             seq,
             deliver_at,
+            net: REMOTE_NET,
             frame,
         });
     }
@@ -660,8 +776,9 @@ impl SimWorld {
             .expect("inject_remote requires enable_partition");
         p.stats.cross_in += 1;
         let frame = rf.frame;
+        let net = rf.net;
         self.schedule_at(rf.deliver_at, move |world| {
-            world.deliver_remote(frame);
+            world.deliver_remote(net, frame);
         });
     }
 
@@ -670,7 +787,14 @@ impl SimWorld {
         self.partition.as_ref().map(|p| &p.stats)
     }
 
-    fn deliver_remote(&mut self, frame: Frame) {
+    fn deliver_remote(&mut self, net: NetworkId, frame: Frame) {
+        // A mirrored-trunk frame carries its real network id; deliver
+        // through the normal per-network path so handler dispatch and
+        // unclaimed accounting match the single-world run byte-for-byte.
+        if net != REMOTE_NET && net.index() < self.networks.len() {
+            self.deliver(net, frame);
+            return;
+        }
         let key = (frame.dst, frame.proto);
         match self.handlers.get(&key).cloned() {
             Some(handler) => {
@@ -729,6 +853,52 @@ impl SimWorld {
                 net.stats.payload_bytes_sent,
             );
             b.counter("sim.net.wire_bytes_sent", labels, net.stats.wire_bytes_sent);
+        }
+        // Executor-level bookkeeping lives under `sim.executor.*` — only
+        // emitted when a non-single executor is active, and stripped by
+        // the equivalence suite (via `to_json_excluding`) because queue
+        // organization legitimately differs across executors.
+        if let Some(s) = self.shard.as_deref() {
+            b.gauge("sim.executor.lanes", &[], s.map.lanes() as i64);
+            b.counter(
+                "sim.executor.lookahead_violations",
+                &[],
+                s.stats.lookahead_violations,
+            );
+            for lane in 0..s.map.lanes() as usize {
+                let id = lane.to_string();
+                let labels: &[(&str, &str)] = &[("lane", id.as_str())];
+                b.counter(
+                    "sim.executor.lane_events",
+                    labels,
+                    s.stats.lane_events[lane],
+                );
+                b.counter("sim.executor.cross_in", labels, s.stats.cross_in[lane]);
+                b.counter("sim.executor.cross_out", labels, s.stats.cross_out[lane]);
+            }
+        }
+        if let Some(p) = self.partition.as_deref() {
+            b.gauge("sim.executor.shard", &[], p.stats.shard as i64);
+            b.counter("sim.executor.cross_in", &[], p.stats.cross_in);
+            b.counter("sim.executor.cross_out", &[], p.stats.cross_out);
+            b.counter(
+                "sim.executor.remote_unclaimed",
+                &[],
+                p.stats.remote_unclaimed,
+            );
+            b.counter(
+                "sim.executor.lookahead_violations",
+                &[],
+                p.stats.lookahead_violations,
+            );
+        }
+        if self.shard.is_some() || self.partition.is_some() {
+            b.gauge(
+                "sim.executor.cancelled_pending",
+                &[],
+                self.queue.cancelled_pending() as i64,
+            );
+            b.counter("sim.executor.compactions", &[], self.queue.compactions());
         }
         self.metrics.collect_into(&mut b);
         b.finish()
