@@ -4,6 +4,7 @@
 //! over the simulated testbed. See [`experiments`] for the individual
 //! experiments and the `src/bin/*` binaries for printable output.
 
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

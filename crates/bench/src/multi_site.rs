@@ -787,6 +787,10 @@ pub fn failover_metrics(senders: usize) -> (MetricsSnapshot, bool, Option<f64>, 
 /// * per gateway, relay credits consumed == credits returned;
 /// * relay-fabric frames sent == delivered + unclaimed + Σ dropped
 ///   (lossless backbones — nothing vanishes without a drop counter);
+/// * per simulated network, frames dropped + unclaimed ≤ frames sent
+///   (a fabric can only lose what actually entered it);
+/// * across the sharded executor's lanes, Σ cross-lane departures ==
+///   Σ cross-lane arrivals (every relayed event lands exactly once);
 /// * no frame left parked on gateway credits;
 /// * no stream left parked on trunk memory, and no received byte left
 ///   unconsumed in trunk receive buffers.
@@ -830,6 +834,49 @@ pub fn conservation_violations(snap: &MetricsSnapshot) -> Vec<String> {
         if parked != 0 {
             violations.push(format!("{parked} frames left parked on gateway credits"));
         }
+    }
+
+    // Per-network frame accounting: a fabric cannot drop or strand more
+    // frames than were ever pushed onto it.
+    let sent_keys: Vec<String> = snap
+        .with_prefix("sim.net.frames_sent{")
+        .map(|(k, _)| k.to_string())
+        .collect();
+    for key in sent_keys {
+        let labels = &key["sim.net.frames_sent".len()..];
+        let sent = snap.counter(&key).unwrap_or(0);
+        let dropped = snap
+            .counter(&format!("sim.net.frames_dropped{labels}"))
+            .unwrap_or(0);
+        let unclaimed = snap
+            .counter(&format!("sim.net.frames_unclaimed{labels}"))
+            .unwrap_or(0);
+        if dropped + unclaimed > sent {
+            violations.push(format!(
+                "frame over-accounting on net {labels}: dropped {dropped} \
+                 + unclaimed {unclaimed} > sent {sent}"
+            ));
+        }
+    }
+
+    // Cross-lane event conservation in the sharded executor: departures
+    // and arrivals are incremented pairwise, so over all lanes they must
+    // balance exactly. (Only the lane-labelled counters participate: the
+    // partitioned executor's unlabelled cross_in/cross_out settle against
+    // *other shards'* snapshots, not this one.)
+    let lane_cross_in: u64 = snap
+        .with_prefix("sim.executor.cross_in{")
+        .filter_map(|(k, _)| snap.counter(k))
+        .sum();
+    let lane_cross_out: u64 = snap
+        .with_prefix("sim.executor.cross_out{")
+        .filter_map(|(k, _)| snap.counter(k))
+        .sum();
+    if lane_cross_in != lane_cross_out {
+        violations.push(format!(
+            "cross-lane event leak in the sharded executor: \
+             {lane_cross_out} departures != {lane_cross_in} arrivals"
+        ));
     }
 
     // Trunk memory fully drained: nothing parked, nothing buffered.

@@ -7,6 +7,7 @@
 //! upstream crate for the implemented surface; swapping the real crate back
 //! in requires only a manifest change.
 
+#![deny(unsafe_code)]
 #![warn(rust_2018_idioms)]
 
 use std::borrow::Borrow;

@@ -21,6 +21,7 @@
 //! node; middleware systems (see the `middleware` crate) are written
 //! against it and never touch the network directly.
 
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

@@ -8,7 +8,7 @@
 //! according to the topology knowledge base and the user preferences.
 
 use std::cell::RefCell;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::rc::Rc;
 
 use gridtopo::{GridRoutes, GridTopology};
@@ -51,7 +51,7 @@ struct RuntimeInner {
     /// Persistent trunks towards gateway proxies, keyed by
     /// (gateway, network). Established once, shared by every relayed
     /// stream this node opens through that gateway.
-    trunks: HashMap<(NodeId, NetworkId), TrunkMux>,
+    trunks: BTreeMap<(NodeId, NetworkId), TrunkMux>,
     /// Trunk demultiplexers accepted by this node's proxy listener, kept
     /// alive here (their carrier callbacks hold only weak references).
     accepted_trunks: Vec<TrunkMux>,
@@ -100,7 +100,7 @@ impl PadicoRuntime {
                 kb: TopologyKb::new(prefs),
                 dead: false,
                 local_services: HashMap::new(),
-                trunks: HashMap::new(),
+                trunks: BTreeMap::new(),
                 accepted_trunks: Vec::new(),
                 flight_recorders: Vec::new(),
             })),
@@ -423,9 +423,8 @@ impl PadicoRuntime {
                     .events
                     .record(now, TraceEvent::GatewayDown { node: inner.node });
             }
-            let mut outgoing: Vec<((NodeId, NetworkId), TrunkMux)> = inner.trunks.drain().collect();
-            outgoing.sort_by_key(|((node, net), _)| (node.0, net.0));
-            let outgoing: Vec<TrunkMux> = outgoing.into_iter().map(|(_, m)| m).collect();
+            // BTreeMap::into_iter is (gateway, network) key order.
+            let outgoing: Vec<TrunkMux> = std::mem::take(&mut inner.trunks).into_values().collect();
             let accepted: Vec<TrunkMux> = inner.accepted_trunks.drain(..).collect();
             (outgoing, accepted)
         };
@@ -456,13 +455,13 @@ impl PadicoRuntime {
     /// `VLink::bytes_refused`). The next relayed stream re-establishes a
     /// fresh trunk lazily. Returns how many trunks were severed.
     pub fn drop_trunks(&self, world: &mut SimWorld) -> usize {
-        let mut severed: Vec<((NodeId, NetworkId), TrunkMux)> =
-            self.inner.borrow_mut().trunks.drain().collect();
-        // HashMap drain order is nondeterministic: close in key order so
-        // runs stay bit-for-bit reproducible.
-        severed.sort_by_key(|((node, net), _)| (node.0, net.0));
+        // BTreeMap::into_iter closes in (gateway, network) key order, so
+        // runs stay bit-for-bit reproducible by construction.
+        let severed: Vec<TrunkMux> = std::mem::take(&mut self.inner.borrow_mut().trunks)
+            .into_values()
+            .collect();
         let n = severed.len();
-        for (_, mux) in severed {
+        for mux in severed {
             mux.close_carrier(world);
         }
         n
@@ -476,7 +475,7 @@ impl PadicoRuntime {
     /// forgotten. Peers not in the list are untouched. Returns how many
     /// trunks were retired.
     pub fn retire_trunks_to(&self, world: &mut SimWorld, peers: &[NodeId]) -> usize {
-        let mut retired: Vec<((NodeId, NetworkId), TrunkMux)> = {
+        let retired: Vec<((NodeId, NetworkId), TrunkMux)> = {
             let mut inner = self.inner.borrow_mut();
             let keys: Vec<(NodeId, NetworkId)> = inner
                 .trunks
@@ -488,8 +487,8 @@ impl PadicoRuntime {
                 .filter_map(|k| inner.trunks.remove(&k).map(|m| (k, m)))
                 .collect()
         };
-        // Deterministic close order, like `drop_trunks`.
-        retired.sort_by_key(|((node, net), _)| (node.0, net.0));
+        // `keys` came from a BTreeMap, so the close order is already the
+        // deterministic (gateway, network) order `drop_trunks` uses.
         let n = retired.len();
         for (_, mux) in retired {
             mux.flush_consumed_credits(world);
@@ -526,11 +525,10 @@ impl PadicoRuntime {
     /// no entry's `recv_high_water` ever exceeds it.
     pub fn trunk_memory_stats(&self) -> Vec<crate::trunk::TrunkMemoryStats> {
         let inner = self.inner.borrow();
-        let mut keyed: Vec<(&(NodeId, NetworkId), &TrunkMux)> = inner.trunks.iter().collect();
-        keyed.sort_by_key(|((node, net), _)| (node.0, net.0));
-        keyed
-            .into_iter()
-            .map(|(_, mux)| mux.memory_stats())
+        inner
+            .trunks
+            .values()
+            .map(|mux| mux.memory_stats())
             .chain(inner.accepted_trunks.iter().map(|m| m.memory_stats()))
             .collect()
     }

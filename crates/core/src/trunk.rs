@@ -36,7 +36,7 @@
 //! what it consumes), so accounting is conserved until both sides close.
 
 use std::cell::RefCell;
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 use std::rc::Rc;
 
 use bytes::{Bytes, BytesMut};
@@ -277,7 +277,7 @@ struct MuxInner {
     carrier: Rc<dyn ByteStream>,
     /// Reassembly buffer for mux frames arriving on the carrier.
     rx: SegBuf,
-    streams: HashMap<u32, Rc<RefCell<StreamState>>>,
+    streams: BTreeMap<u32, Rc<RefCell<StreamState>>>,
     next_id: u32,
     flow: Option<TrunkFlowConfig>,
     /// Shared send budget across every stream of this trunk, if bounded.
@@ -409,7 +409,7 @@ impl TrunkMux {
             inner: Rc::new(RefCell::new(MuxInner {
                 carrier: carrier.clone(),
                 rx: SegBuf::new(),
-                streams: HashMap::new(),
+                streams: BTreeMap::new(),
                 next_id: 1,
                 flow,
                 budget,
@@ -550,8 +550,8 @@ impl TrunkMux {
                 b.left = (b.left + charge).min(b.cap);
             }
             let hooks = std::mem::take(&mut inner.on_dead);
-            let mut states: Vec<_> = inner.streams.values().cloned().collect();
-            states.sort_by_key(|s| s.borrow().id);
+            // BTreeMap is keyed by stream id, so this is id order already.
+            let states: Vec<_> = inner.streams.values().cloned().collect();
             (hooks, states, inner.locally_severed)
         };
         let carrier = self.inner.borrow().carrier.clone();
@@ -574,8 +574,8 @@ impl TrunkMux {
     /// peer's notion of *acknowledged* matches exactly what this end
     /// consumed — and therefore what its splices already forwarded.
     pub fn flush_consumed_credits(&self, world: &mut SimWorld) {
-        let mut states: Vec<_> = self.inner.borrow().streams.values().cloned().collect();
-        states.sort_by_key(|s| s.borrow().id);
+        // BTreeMap is keyed by stream id, so this is id order already.
+        let states: Vec<_> = self.inner.borrow().streams.values().cloned().collect();
         for state in states {
             let grant = {
                 let mut st = state.borrow_mut();

@@ -7,6 +7,7 @@
 //! [`criterion_group!`]/[`criterion_main!`] macros. Each benchmark runs
 //! `sample_size` timed samples and prints mean/min/max wall-clock times.
 
+#![deny(unsafe_code)]
 #![warn(rust_2018_idioms)]
 
 use std::fmt::Display;

@@ -3,7 +3,7 @@
 //! A [`RelayFabric`] attaches a relay agent to every participating node.
 //! Frames addressed to a node with which the sender shares no network are
 //! encapsulated (final destination, origin, port, TTL) and sent hop by hop
-//! along the [`RouteTable`] route: each gateway receives the frame, pays a
+//! along the [`RouteTable`](crate::route::RouteTable) route: each gateway receives the frame, pays a
 //! per-hop relay latency (the store-and-forward cost of the gateway's CPU
 //! and memory), and retransmits it on the next network.
 //!
@@ -29,7 +29,7 @@
 //! logic can be tested reproducibly.
 
 use std::cell::RefCell;
-use std::collections::{BTreeSet, HashMap, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
 use std::rc::Rc;
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
@@ -247,7 +247,7 @@ struct FaultInjector {
 struct FabricInner {
     routes: GridRoutes,
     config: RelayConfig,
-    gateways: HashMap<NodeId, GatewayState>,
+    gateways: BTreeMap<NodeId, GatewayState>,
     endpoints: HashMap<(NodeId, u16), EndpointCallback>,
     /// Frames accepted by [`RelayFabric::send`] (parked ones included).
     frames_sent: u64,
@@ -256,7 +256,7 @@ struct FabricInner {
     unclaimed_frames: u64,
     /// Frames waiting for a credit, keyed by the gateway whose pool is
     /// exhausted. FIFO per gateway, so resumption is deterministic.
-    parked: HashMap<NodeId, VecDeque<ParkedFrame>>,
+    parked: BTreeMap<NodeId, VecDeque<ParkedFrame>>,
     /// Times a send had to park for want of a credit.
     credit_stalls: u64,
     /// Total virtual time frames spent parked, in nanoseconds.
@@ -373,8 +373,8 @@ impl FabricInner {
         b.gauge("relay.fabric.parked_frames", &[], parked as i64);
         b.gauge("relay.fabric.gateways_down", &[], self.down.len() as i64);
 
-        let mut ids: Vec<NodeId> = self.gateways.keys().copied().collect();
-        ids.sort_unstable();
+        // BTreeMap keys iterate in NodeId order already.
+        let ids: Vec<NodeId> = self.gateways.keys().copied().collect();
         for id in ids {
             let g = &self.gateways[&id];
             let gw = id.0.to_string();
@@ -432,20 +432,20 @@ pub struct RelayFabric {
 
 impl RelayFabric {
     /// Creates a relay fabric over the given routing table (flat or
-    /// hierarchical; both [`RouteTable`] and
+    /// hierarchical; both [`RouteTable`](crate::route::RouteTable) and
     /// [`crate::hier::HierRouteTable`] convert into [`GridRoutes`]).
     pub fn new(routes: impl Into<GridRoutes>, config: RelayConfig) -> RelayFabric {
         RelayFabric {
             inner: Rc::new(RefCell::new(FabricInner {
                 routes: routes.into(),
                 config,
-                gateways: HashMap::new(),
+                gateways: BTreeMap::new(),
                 endpoints: HashMap::new(),
                 frames_sent: 0,
                 delivered_frames: 0,
                 delivered_bytes: 0,
                 unclaimed_frames: 0,
-                parked: HashMap::new(),
+                parked: BTreeMap::new(),
                 credit_stalls: 0,
                 credit_stall_ns: 0,
                 parked_send_failures: 0,

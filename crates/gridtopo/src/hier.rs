@@ -39,6 +39,7 @@
 //! and friends), which is what gateway failover uses to re-route around a
 //! fault-injected gateway through any surviving one.
 
+// simlint: allow-file(D4, reason = "process-wide monotonic counters (full_recomputes / delta_reconvergences) read by benches and smoke tests; Relaxed loads/adds, no cross-thread ordering, no effect on simulation state")
 use std::collections::{BTreeSet, HashMap};
 use std::mem::size_of;
 use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
@@ -484,8 +485,10 @@ impl HierRouteTable {
                 let removed = self.layout.remove_site(*site);
                 let gone: BTreeSet<NodeId> = removed.into_iter().collect();
                 let before = self.intra_next.len();
+                // simlint: allow(D1, reason = "pure key predicate over a ~GB-scale table; the survivor set is visit-order independent and lookups never iterate; a BTreeMap here would regress the events/s floors")
                 self.intra_next
                     .retain(|(a, b), _| !gone.contains(a) && !gone.contains(b));
+                // simlint: allow(D1, reason = "pure key predicate over a ~GB-scale table; the survivor set is visit-order independent and lookups never iterate; a BTreeMap here would regress the events/s floors")
                 self.intra_cost
                     .retain(|(a, b), _| !gone.contains(a) && !gone.contains(b));
                 stripped += before - self.intra_next.len();
@@ -624,8 +627,10 @@ impl HierRouteTable {
     fn recompute_site_intra(&mut self, world: &SimWorld, site: usize) -> usize {
         let before = self.intra_next.len();
         let layout = &self.layout;
+        // simlint: allow(D1, reason = "pure key predicate over a ~GB-scale table; the survivor set is visit-order independent and lookups never iterate; a BTreeMap here would regress the events/s floors")
         self.intra_next
             .retain(|(a, _), _| layout.site_of(*a) != Some(site));
+        // simlint: allow(D1, reason = "pure key predicate over a ~GB-scale table; the survivor set is visit-order independent and lookups never iterate; a BTreeMap here would regress the events/s floors")
         self.intra_cost
             .retain(|(a, _), _| layout.site_of(*a) != Some(site));
         let stripped = before - self.intra_next.len();

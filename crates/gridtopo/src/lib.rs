@@ -45,6 +45,7 @@
 //! assert_eq!(fabric.total_relayed(), 2); // both site gateways forwarded it
 //! ```
 
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

@@ -9,6 +9,7 @@
 //! per-link costs, with fully deterministic tie-breaking so a given
 //! topology always yields bit-identical routing tables.
 
+// simlint: allow-file(D4, reason = "process-wide monotonic fallback counter plus a warn-once latch; Relaxed ops, no cross-thread ordering, no effect on simulation state")
 use std::cmp::Ordering;
 use std::collections::{BTreeSet, BinaryHeap, HashMap};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering as AtomicOrdering};
@@ -531,7 +532,7 @@ impl RouteTable {
 /// callers can treat the enum as one resolver.
 ///
 /// The equivalence covers the grid's own nodes: a hierarchical table only
-/// knows the nodes of its [`SiteLayout`](crate::hier::SiteLayout) (a node
+/// knows the nodes of its [`SiteLayout`] (a node
 /// outside it is unreachable, even from itself), while a flat table
 /// computed over the same world also answers for world nodes outside the
 /// grid (and reports every node self-reachable at cost 0).

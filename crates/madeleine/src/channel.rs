@@ -115,7 +115,7 @@ struct MadInner {
     network: NetworkId,
     config: MadConfig,
     hw_channels: u8,
-    channels: HashMap<u16, Rc<RefCell<ChannelState>>>,
+    channels: BTreeMap<u16, Rc<RefCell<ChannelState>>>,
     next_channel_id: u16,
     /// Instant until which the sending CPU path is busy: per-message
     /// software overheads serialize on the host, they do not overlap.
@@ -177,7 +177,7 @@ impl Madeleine {
                 } else {
                     hw_channels
                 },
-                channels: HashMap::new(),
+                channels: BTreeMap::new(),
                 next_channel_id: 0,
                 send_cpu_free: simnet::SimTime::ZERO,
                 recv_cpu_free: simnet::SimTime::ZERO,
@@ -192,8 +192,8 @@ impl Madeleine {
         world.metrics.register_collector(move |b| {
             let Some(inner) = weak.upgrade() else { return };
             let inner = inner.borrow();
-            let mut ids: Vec<u16> = inner.channels.keys().copied().collect();
-            ids.sort_unstable();
+            // BTreeMap keys iterate in channel-id order already.
+            let ids: Vec<u16> = inner.channels.keys().copied().collect();
             for id in ids {
                 let st = inner.channels[&id].borrow();
                 let chan = id.to_string();

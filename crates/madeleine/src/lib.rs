@@ -17,6 +17,7 @@
 //!   messages sustain ≈240 MB/s on the simulated Myrinet-2000, matching the
 //!   paper's Table 1.
 
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

@@ -16,6 +16,7 @@
 //! * [`cost`] — the calibrated per-middleware cost profiles behind Table 1
 //!   and Figure 3.
 
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

@@ -16,6 +16,7 @@
 //! personalities, the middleware systems) only ever touches the network
 //! through this crate.
 
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

@@ -1,0 +1,354 @@
+//! A hand-rolled Rust lexer.
+//!
+//! simlint does not need a full parser: every rule it enforces is a
+//! statement about *token patterns* (an identifier followed by `.iter()`,
+//! a string literal containing `:p}`, an `unsafe` keyword without a
+//! `SAFETY:` comment nearby). What it does need is a lexer that is
+//! *correct* about the things grep gets wrong — comments, raw strings,
+//! char literals vs lifetimes — so that a banned name inside a doc
+//! comment or a format string never produces a false finding.
+//!
+//! The lexer keeps comments as first-class tokens because the allow
+//! annotations (`// simlint: allow(...)`) and the `SAFETY:` requirement
+//! of rule U1 live in them.
+
+/// What kind of token this is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`foo`, `unsafe`, `for`).
+    Ident,
+    /// A lifetime (`'a`, `'static`). The text excludes the leading `'`.
+    Lifetime,
+    /// A single punctuation character (`.`, `:`, `{`, ...). Multi-char
+    /// operators are left as individual tokens; rule patterns match the
+    /// sequence explicitly.
+    Punct(char),
+    /// String literal, including raw and byte strings. Text is the
+    /// *contents* (quotes and hash guards stripped, escapes left as-is).
+    Str,
+    /// Char literal (`'x'`, `'\n'`).
+    Char,
+    /// Numeric literal.
+    Num,
+    /// `// ...` comment (doc comments included). Text excludes the
+    /// leading slashes.
+    LineComment,
+    /// `/* ... */` comment (nesting handled). Text excludes delimiters.
+    BlockComment,
+}
+
+/// One lexed token with its 1-based source line.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    pub kind: TokKind,
+    pub text: String,
+    pub line: u32,
+}
+
+impl Tok {
+    pub fn is_comment(&self) -> bool {
+        matches!(self.kind, TokKind::LineComment | TokKind::BlockComment)
+    }
+
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct(c)
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_ascii_alphabetic() || c == '_'
+}
+
+fn is_ident_cont(c: char) -> bool {
+    c.is_ascii_alphanumeric() || c == '_'
+}
+
+/// Lex a source file into tokens. Never fails: unterminated constructs
+/// are closed at end of input (a lint must degrade gracefully on files
+/// that do not compile yet).
+pub fn lex(src: &str) -> Vec<Tok> {
+    let chars: Vec<char> = src.chars().collect();
+    let mut toks = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let n = chars.len();
+
+    let count_lines = |s: &[char]| s.iter().filter(|&&c| c == '\n').count() as u32;
+
+    while i < n {
+        let c = chars[i];
+        // Whitespace.
+        if c.is_whitespace() {
+            if c == '\n' {
+                line += 1;
+            }
+            i += 1;
+            continue;
+        }
+        // Comments.
+        if c == '/' && i + 1 < n && chars[i + 1] == '/' {
+            let start = i + 2;
+            let mut j = start;
+            while j < n && chars[j] != '\n' {
+                j += 1;
+            }
+            toks.push(Tok {
+                kind: TokKind::LineComment,
+                text: chars[start..j].iter().collect(),
+                line,
+            });
+            i = j;
+            continue;
+        }
+        if c == '/' && i + 1 < n && chars[i + 1] == '*' {
+            let start_line = line;
+            let start = i + 2;
+            let mut depth = 1usize;
+            let mut j = start;
+            while j < n && depth > 0 {
+                if chars[j] == '/' && j + 1 < n && chars[j + 1] == '*' {
+                    depth += 1;
+                    j += 2;
+                } else if chars[j] == '*' && j + 1 < n && chars[j + 1] == '/' {
+                    depth -= 1;
+                    j += 2;
+                } else {
+                    if chars[j] == '\n' {
+                        line += 1;
+                    }
+                    j += 1;
+                }
+            }
+            let end = if depth == 0 { j - 2 } else { j };
+            toks.push(Tok {
+                kind: TokKind::BlockComment,
+                text: chars[start..end].iter().collect(),
+                line: start_line,
+            });
+            i = j;
+            continue;
+        }
+        // Raw strings: r"..." / r#"..."# / br#"..."# etc.
+        if (c == 'r' || c == 'b') && i + 1 < n {
+            let (prefix_len, is_raw) = match (c, chars.get(i + 1), chars.get(i + 2)) {
+                ('r', Some('"'), _) | ('r', Some('#'), _) => (1, true),
+                ('b', Some('r'), Some('"')) | ('b', Some('r'), Some('#')) => (2, true),
+                _ => (0, false),
+            };
+            if is_raw {
+                let mut j = i + prefix_len;
+                let mut hashes = 0usize;
+                while j < n && chars[j] == '#' {
+                    hashes += 1;
+                    j += 1;
+                }
+                if j < n && chars[j] == '"' {
+                    let start_line = line;
+                    j += 1;
+                    let body_start = j;
+                    'scan: while j < n {
+                        if chars[j] == '"' {
+                            let mut k = 0usize;
+                            while k < hashes && j + 1 + k < n && chars[j + 1 + k] == '#' {
+                                k += 1;
+                            }
+                            if k == hashes {
+                                break 'scan;
+                            }
+                        }
+                        j += 1;
+                    }
+                    let body: Vec<char> = chars[body_start..j.min(n)].to_vec();
+                    line += count_lines(&body);
+                    toks.push(Tok {
+                        kind: TokKind::Str,
+                        text: body.iter().collect(),
+                        line: start_line,
+                    });
+                    i = (j + 1 + hashes).min(n);
+                    continue;
+                }
+            }
+        }
+        // Byte string b"..." — fall through to the ordinary string path.
+        if c == 'b' && i + 1 < n && chars[i + 1] == '"' {
+            i += 1; // consume the prefix, leave the quote for the string arm
+            continue;
+        }
+        // Strings.
+        if c == '"' {
+            let start_line = line;
+            let mut j = i + 1;
+            let mut body = String::new();
+            while j < n {
+                if chars[j] == '\\' && j + 1 < n {
+                    body.push(chars[j]);
+                    body.push(chars[j + 1]);
+                    if chars[j + 1] == '\n' {
+                        line += 1;
+                    }
+                    j += 2;
+                    continue;
+                }
+                if chars[j] == '"' {
+                    break;
+                }
+                if chars[j] == '\n' {
+                    line += 1;
+                }
+                body.push(chars[j]);
+                j += 1;
+            }
+            toks.push(Tok {
+                kind: TokKind::Str,
+                text: body,
+                line: start_line,
+            });
+            i = j + 1;
+            continue;
+        }
+        // Char literal or lifetime.
+        if c == '\'' {
+            // 'x' or '\n' → char literal; 'ident not followed by ' → lifetime.
+            if i + 1 < n && chars[i + 1] == '\\' {
+                // Escaped char literal.
+                let mut j = i + 2;
+                while j < n && chars[j] != '\'' {
+                    j += 1;
+                }
+                toks.push(Tok {
+                    kind: TokKind::Char,
+                    text: chars[i + 1..j.min(n)].iter().collect(),
+                    line,
+                });
+                i = j + 1;
+                continue;
+            }
+            if i + 2 < n && chars[i + 2] == '\'' && chars[i + 1] != '\'' {
+                toks.push(Tok {
+                    kind: TokKind::Char,
+                    text: chars[i + 1].to_string(),
+                    line,
+                });
+                i += 3;
+                continue;
+            }
+            if i + 1 < n && is_ident_start(chars[i + 1]) {
+                let mut j = i + 1;
+                while j < n && is_ident_cont(chars[j]) {
+                    j += 1;
+                }
+                toks.push(Tok {
+                    kind: TokKind::Lifetime,
+                    text: chars[i + 1..j].iter().collect(),
+                    line,
+                });
+                i = j;
+                continue;
+            }
+            // Odd single quote (e.g. inside macro soup): treat as punct.
+            toks.push(Tok {
+                kind: TokKind::Punct('\''),
+                text: "'".into(),
+                line,
+            });
+            i += 1;
+            continue;
+        }
+        // Identifiers / keywords.
+        if is_ident_start(c) {
+            let mut j = i;
+            while j < n && is_ident_cont(chars[j]) {
+                j += 1;
+            }
+            toks.push(Tok {
+                kind: TokKind::Ident,
+                text: chars[i..j].iter().collect(),
+                line,
+            });
+            i = j;
+            continue;
+        }
+        // Numbers (digits plus alphanumeric suffixes/exponents; good enough
+        // for pattern matching, we never interpret the value).
+        if c.is_ascii_digit() {
+            let mut j = i;
+            while j < n && (is_ident_cont(chars[j]) || chars[j] == '.') {
+                // Don't swallow `1..=5` range punctuation or a method call
+                // on a literal: stop a dot that is not followed by a digit.
+                if chars[j] == '.' && !(j + 1 < n && chars[j + 1].is_ascii_digit()) {
+                    break;
+                }
+                j += 1;
+            }
+            toks.push(Tok {
+                kind: TokKind::Num,
+                text: chars[i..j].iter().collect(),
+                line,
+            });
+            i = j;
+            continue;
+        }
+        // Everything else: single punctuation char.
+        toks.push(Tok {
+            kind: TokKind::Punct(c),
+            text: c.to_string(),
+            line,
+        });
+        i += 1;
+    }
+    toks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comments_and_strings_are_opaque() {
+        let toks = lex("// HashMap in a comment\nlet s = \"Instant {:p}\"; /* SystemTime */");
+        let idents: Vec<&str> = toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(idents, vec!["let", "s"]);
+        let strs: Vec<&str> = toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Str)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(strs, vec!["Instant {:p}"]);
+    }
+
+    #[test]
+    fn raw_strings_and_nesting() {
+        let toks = lex("r#\"a \" b\"# /* outer /* inner */ still */ x");
+        assert_eq!(toks[0].kind, TokKind::Str);
+        assert_eq!(toks[0].text, "a \" b");
+        assert_eq!(toks[1].kind, TokKind::BlockComment);
+        assert!(toks[2].is_ident("x"));
+    }
+
+    #[test]
+    fn lifetimes_vs_chars() {
+        let toks = lex("&'a str; let c = 'x'; let nl = '\\n';");
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == TokKind::Lifetime && t.text == "a"));
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == TokKind::Char && t.text == "x"));
+    }
+
+    #[test]
+    fn line_numbers_survive_multiline_tokens() {
+        let toks = lex("a\n\"two\nlines\"\nb");
+        let b = toks.iter().find(|t| t.is_ident("b")).unwrap();
+        assert_eq!(b.line, 4);
+    }
+}

@@ -1,0 +1,98 @@
+//! The `simlint` binary.
+//!
+//! ```text
+//! cargo run --release -p simlint -- --workspace [--json PATH] [--root DIR]
+//! ```
+//!
+//! Exits nonzero if any finding lacks an allow annotation. Output is
+//! deterministic (sorted) in both the human table and the JSON artifact.
+
+#![deny(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut json_path: Option<PathBuf> = None;
+    let mut root_arg: Option<PathBuf> = None;
+    let mut workspace = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--workspace" => workspace = true,
+            "--json" => {
+                i += 1;
+                match args.get(i) {
+                    Some(p) => json_path = Some(PathBuf::from(p)),
+                    None => {
+                        eprintln!("simlint: --json needs a path");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            "--root" => {
+                i += 1;
+                match args.get(i) {
+                    Some(p) => root_arg = Some(PathBuf::from(p)),
+                    None => {
+                        eprintln!("simlint: --root needs a directory");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: simlint --workspace [--json PATH] [--root DIR]\n\
+                     rules: D1 hash-iteration, D2 wall-clock/entropy, D3 pointer \
+                     formatting,\n       D4 thread confinement, C1 conservation pairs, \
+                     H1 hygiene, U1 SAFETY,\n       A1 allow hygiene \
+                     (see crates/simlint/RULES.md)"
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("simlint: unknown argument `{other}` (try --help)");
+                return ExitCode::from(2);
+            }
+        }
+        i += 1;
+    }
+    if !workspace {
+        eprintln!("simlint: nothing to do; pass --workspace (try --help)");
+        return ExitCode::from(2);
+    }
+
+    let root = match root_arg.or_else(|| {
+        std::env::current_dir()
+            .ok()
+            .and_then(|d| simlint::find_workspace_root(&d))
+    }) {
+        Some(r) => r,
+        None => {
+            eprintln!("simlint: no workspace root found (pass --root)");
+            return ExitCode::from(2);
+        }
+    };
+
+    let report = match simlint::run_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("simlint: scan failed: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    print!("{}", report.table());
+    if let Some(p) = json_path {
+        if let Err(e) = std::fs::write(&p, report.to_json()) {
+            eprintln!("simlint: writing {} failed: {e}", p.display());
+            return ExitCode::from(2);
+        }
+    }
+    if report.failed() {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,170 @@
+//! Findings, deterministic ordering, and the two output forms: a human
+//! table and machine-readable JSON. Everything is sorted so that two
+//! runs over the same tree are byte-identical — the lint holds itself
+//! to the invariant it enforces.
+
+/// One finding. `allow_reason` is set when a `// simlint: allow(...)`
+/// annotation matched: the finding is reported but does not fail the run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    pub rule: &'static str,
+    pub path: String,
+    pub line: u32,
+    pub message: String,
+    pub allow_reason: Option<String>,
+}
+
+impl Finding {
+    pub fn new(rule: &'static str, path: &str, line: u32, message: String) -> Self {
+        Finding {
+            rule,
+            path: path.to_string(),
+            line,
+            message,
+            allow_reason: None,
+        }
+    }
+}
+
+/// The result of a full run.
+#[derive(Debug, Default)]
+pub struct Report {
+    pub findings: Vec<Finding>,
+    pub files_scanned: usize,
+}
+
+impl Report {
+    /// Canonical order: path, then line, then rule, then message.
+    pub fn sort(&mut self) {
+        self.findings.sort_by(|a, b| {
+            (a.path.as_str(), a.line, a.rule, a.message.as_str()).cmp(&(
+                b.path.as_str(),
+                b.line,
+                b.rule,
+                b.message.as_str(),
+            ))
+        });
+    }
+
+    pub fn unallowed(&self) -> impl Iterator<Item = &Finding> {
+        self.findings.iter().filter(|f| f.allow_reason.is_none())
+    }
+
+    pub fn allowed(&self) -> impl Iterator<Item = &Finding> {
+        self.findings.iter().filter(|f| f.allow_reason.is_some())
+    }
+
+    /// Nonzero exit iff any finding lacks an allow.
+    pub fn failed(&self) -> bool {
+        self.unallowed().next().is_some()
+    }
+
+    /// Human-readable table.
+    pub fn table(&self) -> String {
+        let mut out = String::new();
+        let unallowed = self.unallowed().count();
+        let allowed = self.allowed().count();
+        if unallowed > 0 {
+            out.push_str("FINDINGS\n");
+            for f in self.unallowed() {
+                out.push_str(&format!(
+                    "  {:<4} {}:{}\n       {}\n",
+                    f.rule, f.path, f.line, f.message
+                ));
+            }
+        }
+        if allowed > 0 {
+            out.push_str("ALLOWED (annotated, with reasons)\n");
+            for f in self.allowed() {
+                out.push_str(&format!(
+                    "  {:<4} {}:{} — {}\n",
+                    f.rule,
+                    f.path,
+                    f.line,
+                    f.allow_reason.as_deref().unwrap_or("")
+                ));
+            }
+        }
+        out.push_str(&format!(
+            "simlint: {} files scanned, {} finding(s), {} allowed\n",
+            self.files_scanned, unallowed, allowed
+        ));
+        out
+    }
+
+    /// Machine-readable JSON, stable field order, sorted findings.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"findings\": [");
+        for (i, f) in self.findings.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    {");
+            out.push_str(&format!("\"rule\": {}, ", json_str(f.rule)));
+            out.push_str(&format!("\"path\": {}, ", json_str(&f.path)));
+            out.push_str(&format!("\"line\": {}, ", f.line));
+            out.push_str(&format!("\"message\": {}, ", json_str(&f.message)));
+            match &f.allow_reason {
+                Some(r) => out.push_str(&format!("\"allowed\": true, \"reason\": {}", json_str(r))),
+                None => out.push_str("\"allowed\": false"),
+            }
+            out.push('}');
+        }
+        if !self.findings.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("],\n");
+        out.push_str(&format!(
+            "  \"summary\": {{\"files_scanned\": {}, \"findings\": {}, \"allowed\": {}}}\n}}\n",
+            self.files_scanned,
+            self.unallowed().count(),
+            self.allowed().count()
+        ));
+        out
+    }
+}
+
+/// Minimal JSON string escaping (the only non-trivial characters our
+/// messages can contain are quotes, backslashes, and control chars).
+pub fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_is_deterministic_and_escaped() {
+        let mut r = Report::default();
+        r.findings
+            .push(Finding::new("D1", "b.rs", 2, "x \"y\"".into()));
+        r.findings.push(Finding::new("D1", "a.rs", 9, "z".into()));
+        r.sort();
+        let j = r.to_json();
+        assert!(j.find("a.rs").unwrap() < j.find("b.rs").unwrap());
+        assert!(j.contains("x \\\"y\\\""));
+        assert_eq!(j, {
+            let mut r2 = Report::default();
+            r2.findings.push(Finding::new("D1", "a.rs", 9, "z".into()));
+            r2.findings
+                .push(Finding::new("D1", "b.rs", 2, "x \"y\"".into()));
+            r2.sort();
+            r2.to_json()
+        });
+    }
+}

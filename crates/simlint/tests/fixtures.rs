@@ -1,0 +1,113 @@
+//! Every rule fires exactly once on its fixture, a well-formed allow
+//! suppresses, and the real workspace scans clean.
+//!
+//! Fixtures live in `tests/fixtures/` (excluded from the workspace scan
+//! by `config::skip_entirely`) and are scanned under a *pretend*
+//! in-scope path so the path-scoping rules treat them as simulator
+//! sources.
+
+use std::fs;
+use std::path::Path;
+
+use simlint::{find_workspace_root, run_single, run_workspace};
+
+/// Scans `tests/fixtures/<name>.rs` as if it lived at an in-scope
+/// simulator path and returns the report.
+fn scan_fixture(name: &str) -> simlint::report::Report {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(format!("{name}.rs"));
+    let src = fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("fixture {} unreadable: {e}", path.display()));
+    run_single("crates/core/src/fixture.rs", &src)
+}
+
+/// Asserts the fixture produces exactly one unallowed finding, of `rule`.
+fn fires_once(name: &str, rule: &str) {
+    let report = scan_fixture(name);
+    let unallowed: Vec<_> = report.unallowed().collect();
+    assert_eq!(
+        unallowed.len(),
+        1,
+        "fixture {name}: expected exactly one {rule} finding, got:\n{}",
+        report.table()
+    );
+    assert_eq!(
+        unallowed[0].rule,
+        rule,
+        "fixture {name}:\n{}",
+        report.table()
+    );
+}
+
+#[test]
+fn d1_hash_iteration_fires_once() {
+    fires_once("d1", "D1");
+}
+
+#[test]
+fn d2_wall_clock_fires_once() {
+    fires_once("d2", "D2");
+}
+
+#[test]
+fn d3_pointer_format_fires_once() {
+    fires_once("d3", "D3");
+}
+
+#[test]
+fn d4_thread_spawn_fires_once() {
+    fires_once("d4", "D4");
+}
+
+#[test]
+fn c1_missing_partner_fires_once() {
+    fires_once("c1", "C1");
+}
+
+#[test]
+fn h1_println_fires_once() {
+    fires_once("h1", "H1");
+}
+
+#[test]
+fn u1_unsafe_without_safety_fires_once() {
+    fires_once("u1", "U1");
+}
+
+#[test]
+fn a1_unused_allow_fires_once() {
+    fires_once("a1_unused", "A1");
+}
+
+#[test]
+fn a1_missing_reason_fires_once() {
+    fires_once("a1_noreason", "A1");
+}
+
+#[test]
+fn well_formed_allow_suppresses() {
+    let report = scan_fixture("allowed_ok");
+    assert!(
+        !report.failed(),
+        "allowed fixture must pass:\n{}",
+        report.table()
+    );
+    let allowed: Vec<_> = report.allowed().collect();
+    assert_eq!(allowed.len(), 1, "the D2 finding is recorded as allowed");
+    assert_eq!(allowed[0].rule, "D2");
+    assert!(allowed[0].allow_reason.is_some());
+}
+
+#[test]
+fn workspace_scans_clean() {
+    let manifest = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let root = find_workspace_root(manifest).expect("workspace root above crates/simlint");
+    let report = run_workspace(&root).expect("workspace scan");
+    assert!(report.files_scanned > 50, "the whole tree was visited");
+    assert!(
+        !report.failed(),
+        "the workspace must lint clean:\n{}",
+        report.table()
+    );
+}

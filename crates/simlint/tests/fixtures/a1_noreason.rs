@@ -1,0 +1,6 @@
+// Fixture: A1 fires exactly once — an allow annotation missing the
+// mandatory reason.
+pub fn clocked() -> u64 {
+    // simlint: allow(D2)
+    7
+}

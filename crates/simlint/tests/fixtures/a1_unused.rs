@@ -1,0 +1,6 @@
+// Fixture: A1 fires exactly once — an allow annotation that suppresses
+// nothing.
+pub fn nothing() -> u64 {
+    // simlint: allow(D1, reason = "nothing on the next line iterates a hash map")
+    1 + 1
+}

@@ -1,0 +1,7 @@
+// Fixture: a real D2 violation suppressed by a well-formed allow — the
+// report carries one *allowed* finding and zero unallowed ones.
+pub fn stamp() -> u64 {
+    // simlint: allow(D2, reason = "fixture: demonstrates a justified suppression")
+    let _ = std::time::SystemTime::now();
+    0
+}

@@ -1,0 +1,15 @@
+// Fixture: C1 fires exactly once — a conservation-family counter whose
+// partner (`relay.credits_returned`) is never registered.
+pub struct Builder {
+    out: Vec<(String, u64)>,
+}
+
+impl Builder {
+    pub fn counter(&mut self, name: &str, v: u64) {
+        self.out.push((name.to_string(), v));
+    }
+}
+
+pub fn register(b: &mut Builder, consumed: u64) {
+    b.counter("relay.credits_consumed", consumed);
+}

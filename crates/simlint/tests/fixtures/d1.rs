@@ -1,0 +1,8 @@
+// Fixture: D1 fires exactly once — hash iteration in a snapshot path.
+use std::collections::HashMap;
+
+pub fn snapshot_keys(m: &HashMap<u32, u64>) -> Vec<u32> {
+    let mut ids: Vec<u32> = m.keys().copied().collect();
+    ids.sort_unstable();
+    ids
+}

@@ -1,0 +1,6 @@
+// Fixture: D2 fires exactly once — wall clock outside a bench module.
+pub fn stamp() -> bool {
+    let now = std::time::SystemTime::now();
+    let _ = now;
+    true
+}

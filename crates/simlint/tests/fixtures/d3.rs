@@ -1,0 +1,5 @@
+// Fixture: D3 fires exactly once — pointer-address formatting in a
+// serialized path.
+pub fn trace_label(x: &u64) -> String {
+    format!("{:p}", x)
+}

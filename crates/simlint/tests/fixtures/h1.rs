@@ -1,0 +1,4 @@
+// Fixture: H1 fires exactly once — println! outside benches/examples.
+pub fn report(x: u64) {
+    println!("x = {x}");
+}

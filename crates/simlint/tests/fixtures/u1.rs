@@ -1,0 +1,7 @@
+// Fixture: U1 fires exactly once — an unjustified `unsafe` block.
+//
+// (Deliberately no safety justification comment above the block.)
+
+pub fn peek(v: &[u8]) -> u8 {
+    unsafe { *v.get_unchecked(0) }
+}

@@ -56,7 +56,7 @@ impl FramePool {
     /// Takes a zero-filled buffer of exactly `len` bytes, reusing a
     /// retired allocation when one is available.
     pub fn take(&mut self, len: usize) -> Vec<u8> {
-        match self.free.pop() {
+        let buf = match self.free.pop() {
             Some(mut buf) => {
                 self.stats.reused += 1;
                 buf.clear();
@@ -67,14 +67,16 @@ impl FramePool {
                 self.stats.allocated += 1;
                 vec![0u8; len]
             }
-        }
+        };
+        self.debug_assert_conserved();
+        buf
     }
 
     /// Tries to recover `payload`'s backing buffer into the freelist.
     /// Returns `true` on success; shared, sliced or surplus buffers are
     /// simply dropped (`false`).
     pub fn reclaim(&mut self, payload: Bytes) -> bool {
-        match payload.try_into_vec() {
+        let kept = match payload.try_into_vec() {
             Ok(buf) if self.free.len() < self.max_buffers => {
                 self.stats.reclaimed += 1;
                 self.free.push(buf);
@@ -84,7 +86,9 @@ impl FramePool {
                 self.stats.missed += 1;
                 false
             }
-        }
+        };
+        self.debug_assert_conserved();
+        kept
     }
 
     /// Returns a buffer obtained via [`FramePool::take`] without it ever
@@ -96,6 +100,22 @@ impl FramePool {
         } else {
             self.stats.missed += 1;
         }
+        self.debug_assert_conserved();
+    }
+
+    /// Runtime twin of the simlint C1 conservation rule: every buffer in
+    /// the freelist arrived through a counted reclaim and left through a
+    /// counted reuse, so `free == reclaimed - reused` at every step.
+    /// Compiled out of release builds.
+    fn debug_assert_conserved(&self) {
+        debug_assert_eq!(
+            self.free.len() as u64,
+            self.stats.reclaimed - self.stats.reused,
+            "frame-pool leak: freelist {} != reclaimed {} - reused {}",
+            self.free.len(),
+            self.stats.reclaimed,
+            self.stats.reused,
+        );
     }
 
     /// Buffers currently parked in the freelist.

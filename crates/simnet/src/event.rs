@@ -3,7 +3,7 @@
 //! Events are closures scheduled at an absolute [`SimTime`]. Ties are broken
 //! by insertion order so that the simulation is fully deterministic.
 //!
-//! The queue is backed by the hierarchical [`TimerWheel`](crate::wheel::TimerWheel)
+//! The queue is backed by the hierarchical [`TimerWheel`]
 //! (`O(1)` insertion instead of a `BinaryHeap`'s `O(log n)`), and pops in
 //! exact `(time, seq)` order — property-tested against a heap oracle in
 //! `tests/properties.rs`.

@@ -33,6 +33,7 @@
 //! assert!(world.now() > SimTime::ZERO);
 //! ```
 
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

@@ -5,11 +5,11 @@
 //! *lookahead* condition conservative parallel discrete-event simulation
 //! needs. This module exploits it twice, at two different scales:
 //!
-//! 1. **Sharded-merge executor** ([`ShardedQueue`], enabled on a normal
-//!    [`SimWorld`](crate::world::SimWorld) via
+//! 1. **Sharded-merge executor** (`ShardedQueue`, enabled on a normal
+//!    [`SimWorld`] via
 //!    [`enable_sharding`](crate::world::SimWorld::enable_sharding)):
 //!    every site owns a private hierarchical
-//!    [`TimerWheel`](crate::wheel::TimerWheel) lane plus a virtual clock
+//!    [`TimerWheel`] lane plus a virtual clock
 //!    cursor, and a lazy merge-heap of lane heads picks the global
 //!    minimum `(time, seq)`. Sequence numbers stay *global*, so the pop
 //!    order — and therefore every RNG draw, every metric, every byte of
@@ -128,6 +128,18 @@ impl ShardStats {
     /// Total frames that crossed a lane boundary.
     pub fn frames_crossed(&self) -> u64 {
         self.cross_out.iter().sum()
+    }
+
+    /// Runtime twin of the simlint C1 conservation rule: departures and
+    /// arrivals are incremented pairwise, so summed over every lane they
+    /// must balance exactly. Compiled out of release builds; called when
+    /// the counters are scraped into a snapshot.
+    pub fn debug_assert_balanced(&self) {
+        debug_assert_eq!(
+            self.cross_out.iter().sum::<u64>(),
+            self.cross_in.iter().sum::<u64>(),
+            "cross-lane event leak: departures and arrivals diverge",
+        );
     }
 }
 
@@ -641,6 +653,7 @@ where
     let mut rounds = 0u64;
     let mut events_total = 0u64;
     let mut frames_crossed = 0u64;
+    // simlint: allow(D2, reason = "wall-clock events/s reporting only; never feeds event ordering, digests, or snapshots")
     let started = std::time::Instant::now();
 
     let mut outcomes: Vec<ShardOutcome> = Vec::with_capacity(cfg.shards as usize);

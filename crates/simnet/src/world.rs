@@ -734,7 +734,7 @@ impl SimWorld {
     /// `now + max(extra_delay, lookahead)` — the lookahead floor is what
     /// keeps conservative window synchronization safe. The frame reaches
     /// the destination world's `(frame.dst, frame.proto)` handler with
-    /// [`REMOTE_NET`](crate::shard::REMOTE_NET) as the network id.
+    /// [`REMOTE_NET`] as the network id.
     pub fn send_remote(&mut self, to_shard: u16, frame: Frame, extra_delay: SimDuration) {
         let now = self.clock;
         let p = self
@@ -859,6 +859,7 @@ impl SimWorld {
         // the equivalence suite (via `to_json_excluding`) because queue
         // organization legitimately differs across executors.
         if let Some(s) = self.shard.as_deref() {
+            s.stats.debug_assert_balanced();
             b.gauge("sim.executor.lanes", &[], s.map.lanes() as i64);
             b.counter(
                 "sim.executor.lookahead_violations",

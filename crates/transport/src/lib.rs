@@ -21,6 +21,7 @@
 //! * [`loopback`] — an in-memory stream pair for intra-node links.
 //! * [`stream`] — the [`stream::ByteStream`] trait all of these implement.
 
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

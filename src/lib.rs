@@ -12,13 +12,15 @@
 //!   secure streams over the simulated networks;
 //! * [`madeleine`] — the Madeleine-style SAN message library;
 //! * [`netaccess`] — the arbitration layer (MadIO, SysIO, fair polling);
-//! * [`core`](padico_core) — the dual-abstraction framework itself (VLink,
+//! * [`core`] — the dual-abstraction framework itself (VLink,
 //!   Circuit, selector, personalities, runtime);
 //! * [`middleware`] — MPI, CORBA ORBs, Java sockets, SOAP and HLA ported on
 //!   top of the framework.
 //!
 //! See `examples/` for runnable scenarios and the `padico-bench` crate for
 //! the experiment harness that regenerates the paper's tables and figures.
+
+#![deny(unsafe_code)]
 
 pub use gridtopo;
 pub use madeleine;
